@@ -1,0 +1,58 @@
+"""Shared state for the figure/table benchmarks.
+
+The paper's evaluation ingests one week of trace into RAW, SHAHED and
+SPATE, then measures storage, ingestion time and task response times.
+The ``week_run`` fixture performs that ingestion once per benchmark
+session; each bench derives its figure from it and writes the
+reproduced series to ``benchmarks/results/<name>.txt``.
+
+Environment knobs:
+    SPATE_BENCH_SCALE  trace scale (default 0.002 ~ 10 MB week).
+    SPATE_BENCH_CODEC  SPATE storage codec (default gzip-ref; use
+                       "gzip" to run the from-scratch DEFLATE).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.baselines.base import Framework
+from repro.evaluation import EvaluationSetup, FrameworkRun, run_all
+from repro.evaluation.harness import bench_codec, bench_scale
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+FRAMEWORK_ORDER = ("RAW", "SHAHED", "SPATE")
+
+
+@dataclass
+class WeekRun:
+    """One full-week ingestion across the three frameworks."""
+
+    setup: EvaluationSetup
+    runs: dict[str, FrameworkRun]
+    scale: float
+    codec: str
+
+    def framework(self, name: str) -> Framework:
+        return self.setup.frameworks[name]
+
+
+@pytest.fixture(scope="session")
+def week_run() -> WeekRun:
+    scale = bench_scale()
+    codec = bench_codec()
+    setup, runs = run_all(scale=scale, days=7, codec=codec)
+    return WeekRun(setup=setup, runs=runs, scale=scale, codec=codec)
+
+
+def report(name: str, text: str) -> None:
+    """Print a reproduced figure/table and persist it under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

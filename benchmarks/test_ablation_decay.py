@@ -1,0 +1,74 @@
+"""Ablation: decay retention horizon vs storage (paper §V-C).
+
+Sweeps the "Evict Oldest Individuals" full-resolution horizon and reports
+end-of-trace storage, demonstrating the storage/exploration-resolution
+trade-off the decaying layer buys.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Spate, SpateConfig
+from repro.core.config import DecayPolicyConfig
+from repro.core.snapshot import EPOCHS_PER_DAY
+from repro.telco import TelcoTraceGenerator, TraceConfig
+
+from conftest import report
+
+HORIZON_DAYS = (1, 2, 4, 7)
+TRACE_DAYS = 7
+
+
+@pytest.fixture(scope="module")
+def snapshots():
+    generator = TelcoTraceGenerator(
+        TraceConfig(scale=0.002, days=TRACE_DAYS, seed=37)
+    )
+    return generator, list(generator.generate())
+
+
+def run_with_horizon(generator, snaps, keep_days: int):
+    config = SpateConfig(
+        codec="gzip-ref",
+        decay=DecayPolicyConfig(keep_epochs=keep_days * EPOCHS_PER_DAY),
+    )
+    spate = Spate(config)
+    spate.register_cells(generator.cells_table())
+    for snapshot in snaps:
+        spate.ingest(snapshot)
+    spate.finalize()
+    return spate
+
+
+def test_ablation_decay_report(benchmark, snapshots):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    generator, snaps = snapshots
+    lines = [
+        f"Ablation: decay horizon over a {TRACE_DAYS}-day trace",
+        f"{'keep_days':>10} {'live_leaves':>12} {'stored_KB':>10} "
+        f"{'old-window aggregates':>22}",
+    ]
+    stored = {}
+    for keep_days in HORIZON_DAYS:
+        spate = run_with_horizon(generator, snaps, keep_days)
+        kb = spate.storage_stats().logical_bytes / 1024
+        stored[keep_days] = kb
+        # Exploration over the (possibly decayed) first day still answers.
+        result = spate.explore("CDR", ("downflux",), None, 0, 47)
+        lines.append(
+            f"{keep_days:>10} {spate.index.leaf_count():>12} {kb:>10.1f} "
+            f"{'count=' + str(result.aggregate('downflux').count):>22}"
+        )
+    report("ablation_decay_horizon", "\n".join(lines))
+
+    # Shorter horizon -> strictly less storage; resolution degrades but
+    # aggregates never disappear.
+    ordered = [stored[d] for d in HORIZON_DAYS]
+    assert ordered == sorted(ordered)
+
+
+def test_decay_pass_benchmark(benchmark, snapshots):
+    generator, snaps = snapshots
+    spate = run_with_horizon(generator, snaps, 2)
+    benchmark.pedantic(spate.run_decay, rounds=5, iterations=1)

@@ -1,0 +1,82 @@
+"""Ablation: differential (delta) compression of the snapshot stream.
+
+The paper's future work: "Differential compression ... can reduce the
+storage layer overheads in each acquisition cycle."  This bench compares
+per-snapshot compression against the delta archive, and sweeps the anchor
+cadence (compression ratio vs reconstruction-chain length — the
+recreation/storage trade-off of Bhattacherjee et al. cited in §IX-B).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.compression import get_codec
+from repro.compression.differential import IncrementalArchive
+from repro.telco import TelcoTraceGenerator, TraceConfig
+
+from conftest import report
+
+CADENCES = (1, 4, 12)
+
+
+@pytest.fixture(scope="module")
+def payloads():
+    generator = TelcoTraceGenerator(TraceConfig(scale=0.004, days=1, seed=47))
+    return [generator.snapshot(e).tables["CDR"].serialize() for e in range(24)]
+
+
+def test_ablation_differential_report(benchmark, payloads):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    codec = get_codec("gzip-ref")
+    standalone = sum(len(codec.compress(p)) for p in payloads)
+    raw = sum(len(p) for p in payloads)
+
+    lines = [
+        "Ablation: differential compression of the snapshot stream (CDR)",
+        f"raw bytes: {raw:,}; per-snapshot gzip: {standalone:,} "
+        f"({raw / standalone:.2f}x)",
+        f"{'anchor_every':>13} {'stored':>9} {'ratio':>7} {'read_last_ms':>13}",
+    ]
+    stored_by_cadence = {}
+    for cadence in CADENCES:
+        archive = IncrementalArchive(
+            base_codec_name="gzip-ref", anchor_every=cadence
+        )
+        for payload in payloads:
+            archive.append(payload)
+        stats = archive.stats()
+        stored_by_cadence[cadence] = stats.stored_bytes
+        start = time.perf_counter()
+        archive.read(len(payloads) - 1)
+        read_ms = (time.perf_counter() - start) * 1000
+        lines.append(
+            f"{cadence:>13} {stats.stored_bytes:>9,} {stats.ratio:>7.2f} "
+            f"{read_ms:>13.2f}"
+        )
+    report("ablation_differential", "\n".join(lines))
+
+    # Deltas must help: longer anchor spacing -> less storage.
+    assert stored_by_cadence[12] < stored_by_cadence[1]
+    # And the delta archive beats per-snapshot compression outright.
+    assert stored_by_cadence[12] < standalone
+
+    for payload_index in (0, len(payloads) - 1):
+        archive = IncrementalArchive(base_codec_name="gzip-ref", anchor_every=12)
+        for payload in payloads:
+            archive.append(payload)
+        assert archive.read(payload_index) == payloads[payload_index]
+
+
+def test_delta_append_benchmark(benchmark, payloads):
+    archive = IncrementalArchive(base_codec_name="gzip-ref", anchor_every=100)
+    archive.append(payloads[0])
+    state = {"i": 1}
+
+    def append_next():
+        archive.append(payloads[state["i"] % len(payloads)])
+        state["i"] += 1
+
+    benchmark.pedantic(append_next, rounds=3, iterations=1)

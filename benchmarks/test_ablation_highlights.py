@@ -1,0 +1,68 @@
+"""Ablation: highlights threshold θ per resolution level (paper §V-B).
+
+The paper notes each level can use its own θ, with "lower thresholds for
+higher levels [of] resolution".  This bench sweeps θ_day and reports how
+many highlights are detected and what the summaries cost, showing θ's
+precision/volume trade-off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Spate, SpateConfig
+from repro.core.config import HighlightsConfig
+from repro.telco import TelcoTraceGenerator, TraceConfig
+
+from conftest import report
+
+THETAS = (0.005, 0.02, 0.05, 0.15)
+
+
+@pytest.fixture(scope="module")
+def snapshots():
+    generator = TelcoTraceGenerator(TraceConfig(scale=0.002, days=1, seed=31))
+    return generator, [generator.snapshot(e) for e in range(48)]
+
+
+def run_with_theta(generator, snaps, theta: float):
+    config = SpateConfig(
+        codec="gzip-ref",
+        highlights=HighlightsConfig(theta_day=theta),
+    )
+    spate = Spate(config)
+    spate.register_cells(generator.cells_table())
+    for snapshot in snaps:
+        spate.ingest(snapshot)
+    spate.finalize()
+    return spate
+
+
+def test_ablation_theta_report(benchmark, snapshots):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    generator, snaps = snapshots
+    lines = [
+        "Ablation: highlights threshold theta_day",
+        f"{'theta':>8} {'highlights':>11}",
+    ]
+    counts = {}
+    for theta in THETAS:
+        spate = run_with_theta(generator, snaps, theta)
+        count = len(spate.highlights(0, 47))
+        counts[theta] = count
+        lines.append(f"{theta:>8.3f} {count:>11}")
+    report("ablation_highlights_theta", "\n".join(lines))
+
+    # Monotone: a higher threshold flags (weakly) more values as rare.
+    ordered = [counts[t] for t in THETAS]
+    assert ordered == sorted(ordered)
+
+
+def test_highlight_detection_benchmark(benchmark, snapshots):
+    generator, snaps = snapshots
+    spate = run_with_theta(generator, snaps, 0.05)
+    day = spate.index.day_nodes()[0]
+    assert day.summary is not None
+    benchmark.pedantic(
+        day.summary.detect_highlights, args=(0.05,), rounds=5, iterations=1
+    )

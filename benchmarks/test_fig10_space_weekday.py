@@ -1,0 +1,58 @@
+"""Figure 10: disk space for the whole dataset, partitioned by weekday.
+
+Paper: SPATE again needs about an order of magnitude less disk space,
+steadily across Monday..Sunday despite weekday load variation.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import format_table
+from repro.telco.workload import WEEKDAYS, weekday_of_epoch
+
+from conftest import FRAMEWORK_ORDER, report
+
+
+def test_fig10_report(benchmark, week_run):
+    # benchmark wrapper keeps this report alive under --benchmark-only
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    series = {}
+    for name in FRAMEWORK_ORDER:
+        by_day = week_run.runs[name].stored_bytes_by(weekday_of_epoch)
+        series[name] = {d: by_day.get(d, 0) / 1e6 for d in WEEKDAYS}
+    text = format_table(
+        f"Figure 10: disk space by weekday (scale={week_run.scale})",
+        list(WEEKDAYS),
+        series,
+        unit="MB",
+        precision=3,
+    )
+    mean_reduction = sum(
+        series["RAW"][d] / series["SPATE"][d] for d in WEEKDAYS
+    ) / len(WEEKDAYS)
+    text += f"\nmean RAW/SPATE reduction: {mean_reduction:.1f}x"
+    report("fig10_space_weekday", text)
+
+    for day in WEEKDAYS:
+        assert series["SPATE"][day] < series["RAW"][day] / 3
+    # Weekend volume dips below the weekday peak (the generator's
+    # weekly load curve, mirroring the real trace's).
+    assert series["RAW"]["Sun"] < series["RAW"]["Fri"]
+
+
+def test_compression_ratio_stability(week_run):
+    """The compression ratio holds steady across weekdays."""
+    spate = week_run.runs["SPATE"]
+    raw = week_run.runs["RAW"]
+    spate_by = spate.stored_bytes_by(weekday_of_epoch)
+    raw_by = raw.stored_bytes_by(weekday_of_epoch)
+    ratios = [raw_by[d] / spate_by[d] for d in WEEKDAYS]
+    assert max(ratios) < min(ratios) * 1.5
+
+
+def test_bytes_by_weekday_benchmark(benchmark, week_run):
+    benchmark.pedantic(
+        week_run.runs["SPATE"].stored_bytes_by,
+        args=(weekday_of_epoch,),
+        rounds=5,
+        iterations=1,
+    )

@@ -1,0 +1,105 @@
+"""Figure 12: response time for the heavier tasks T6-T8 (log scale).
+
+Paper: with Spark parallelization, T6 (colStats), T7 (k-means) and T8
+(linear regression) run in the same ballpark on SPATE and SHAHED —
+these are CPU-bound jobs where compressed input streams neither help
+nor hurt much; SPATE's win is purely the 10x storage reduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import EngineContext
+from repro.evaluation import format_table
+from repro.query import tasks
+
+from conftest import FRAMEWORK_ORDER, report
+
+WINDOW = (0, 47)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    context = EngineContext(parallelism=4)
+    yield context
+    context.shutdown()
+
+
+@pytest.fixture(scope="module")
+def task_times(week_run, engine):
+    times: dict[str, dict[str, float]] = {name: {} for name in FRAMEWORK_ORDER}
+    details: dict[str, dict[str, object]] = {name: {} for name in FRAMEWORK_ORDER}
+    for name in FRAMEWORK_ORDER:
+        framework = week_run.framework(name)
+        results = {
+            "T6": tasks.t6_statistics(framework, *WINDOW, engine),
+            "T7": tasks.t7_clustering(framework, *WINDOW, engine, k=4),
+            "T8": tasks.t8_regression(framework, *WINDOW, engine),
+        }
+        for task_id, result in results.items():
+            times[name][task_id] = result.seconds
+            details[name][task_id] = result.row_count
+    return times, details
+
+
+def test_fig12_report(benchmark, week_run, task_times):
+    # benchmark wrapper keeps this report alive under --benchmark-only
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    times, details = task_times
+    task_ids = ["T6", "T7", "T8"]
+    text = format_table(
+        f"Figure 12: response time, tasks T6-T8 with engine parallelism "
+        f"(scale={week_run.scale}, codec={week_run.codec})",
+        task_ids,
+        times,
+        unit="seconds",
+    )
+    report("fig12_tasks_heavy", text)
+
+    # Same input data -> same sample counts everywhere.
+    for task_id in task_ids:
+        counts = {details[name][task_id] for name in FRAMEWORK_ORDER}
+        assert len(counts) == 1
+
+    # Shape: SPATE stays close to SHAHED for CPU-bound tasks
+    # ("SPATE remains close to the running time of SHAHED in all cases").
+    # Note: with the modeled slow-disk I/O, the single read these jobs
+    # perform is visible at small scales, nudging SPATE slightly below
+    # SHAHED; the band is asymmetric to allow that while still failing
+    # on any pathological regression.
+    for task_id in task_ids:
+        ratio = times["SPATE"][task_id] / times["SHAHED"][task_id]
+        assert 1 / 5 < ratio < 3.0, f"{task_id} ratio {ratio:.2f} out of band"
+
+    # The storage benefit persists regardless (paper's closing point).
+    spate_bytes = week_run.framework("SPATE").stored_logical_bytes
+    raw_bytes = week_run.framework("RAW").stored_logical_bytes
+    assert spate_bytes * 4 < raw_bytes
+
+
+@pytest.mark.parametrize("framework_name", FRAMEWORK_ORDER)
+def test_t6_colstats_benchmark(benchmark, week_run, engine, framework_name):
+    framework = week_run.framework(framework_name)
+    benchmark.pedantic(
+        tasks.t6_statistics, args=(framework, 0, 11, engine),
+        rounds=2, iterations=1,
+    )
+
+
+@pytest.mark.parametrize("framework_name", FRAMEWORK_ORDER)
+def test_t7_kmeans_benchmark(benchmark, week_run, engine, framework_name):
+    framework = week_run.framework(framework_name)
+    benchmark.pedantic(
+        tasks.t7_clustering, args=(framework, 0, 11, engine),
+        kwargs={"k": 3}, rounds=2, iterations=1,
+    )
+
+
+@pytest.mark.parametrize("framework_name", FRAMEWORK_ORDER)
+def test_t8_regression_benchmark(benchmark, week_run, engine, framework_name):
+    framework = week_run.framework(framework_name)
+    benchmark.pedantic(
+        tasks.t8_regression, args=(framework, 0, 11, engine),
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,53 @@
+"""Figure 8: disk space for the whole dataset, partitioned by day period.
+
+Paper: SPATE needs about an order of magnitude less disk space than RAW
+and SHAHED, consistently across day periods (§VIII-C totals: 0.49 GB vs
+5.37 / 5.32 GB for the full dataset).
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import format_table
+from repro.telco.workload import DAY_PERIODS, day_period_of_epoch
+
+from conftest import FRAMEWORK_ORDER, report
+
+
+def test_fig8_report(benchmark, week_run):
+    # benchmark wrapper keeps this report alive under --benchmark-only
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    periods = list(DAY_PERIODS)
+    series = {}
+    for name in FRAMEWORK_ORDER:
+        by_period = week_run.runs[name].stored_bytes_by(day_period_of_epoch)
+        series[name] = {p: by_period.get(p, 0) / 1e6 for p in periods}
+    text = format_table(
+        f"Figure 8: disk space by day period (scale={week_run.scale})",
+        periods,
+        series,
+        unit="MB",
+        precision=3,
+    )
+    totals = {
+        name: week_run.framework(name).stored_logical_bytes / 1e6
+        for name in FRAMEWORK_ORDER
+    }
+    text += "\nTotals (whole dataset, MB): " + "  ".join(
+        f"{n}={v:.2f}" for n, v in totals.items()
+    )
+    text += (
+        f"\nSPATE reduction vs RAW: {totals['RAW'] / totals['SPATE']:.1f}x "
+        f"(paper: 5.32 GB / 0.49 GB = 10.9x)"
+    )
+    report("fig8_space_period", text)
+
+    for period in periods:
+        assert series["SPATE"][period] < series["RAW"][period] / 3
+        assert series["SHAHED"][period] == series["RAW"][period]
+    assert totals["RAW"] / totals["SPATE"] > 4  # strong storage win
+
+
+def test_storage_stats_benchmark(benchmark, week_run):
+    benchmark.pedantic(
+        week_run.framework("SPATE").storage_stats, rounds=5, iterations=1
+    )

@@ -1,0 +1,47 @@
+"""Figure 9: ingestion time per snapshot, partitioned by day of week.
+
+Paper: same story as Figure 7 at weekday granularity — SPATE at most
+~1.2x slower than RAW, stable across Monday..Sunday.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import format_table
+from repro.telco.workload import WEEKDAYS
+
+from conftest import FRAMEWORK_ORDER, report
+
+
+def test_fig9_report(benchmark, week_run):
+    # benchmark wrapper keeps this report alive under --benchmark-only
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    series = {
+        name: week_run.runs[name].by_weekday() for name in FRAMEWORK_ORDER
+    }
+    text = format_table(
+        f"Figure 9: ingestion time per snapshot by weekday "
+        f"(scale={week_run.scale}, codec={week_run.codec})",
+        list(WEEKDAYS),
+        series,
+        unit="seconds",
+    )
+    worst = max(
+        series["SPATE"][day] / series["RAW"][day] for day in WEEKDAYS
+    )
+    text += f"\nworst SPATE/RAW ratio: {worst:.2f}x (paper: <= 1.2x)"
+    report("fig9_ingest_weekday", text)
+
+    for day in WEEKDAYS:
+        assert series["SPATE"][day] < series["RAW"][day] * 2.5
+
+    # Load variation across days must not blow up ingestion variance
+    # ("data load per snapshot affects the ingestion time only
+    # negligibly") — allow a generous 3x band.
+    spate = [series["SPATE"][day] for day in WEEKDAYS]
+    assert max(spate) < min(spate) * 3.0
+
+
+def test_weekday_bucketing_benchmark(benchmark, week_run):
+    benchmark.pedantic(
+        week_run.runs["SPATE"].by_weekday, rounds=5, iterations=1
+    )

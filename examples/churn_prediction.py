@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Churn prediction over SPATE-stored CDR data.
+
+The paper's related work (Huang et al., SIGMOD'15) shows telco big data
+lifts churn-prediction accuracy dramatically versus BSS-only features.
+This example assembles per-subscriber behavioural features from a week
+of SPATE-stored CDRs (session counts, drop rates, traffic volumes,
+mobility) and trains the engine's logistic regression on a synthetic
+churn label driven by bad network experience.
+
+Run:
+    python examples/churn_prediction.py
+"""
+
+import random
+
+from repro.core import Spate, SpateConfig
+from repro.engine import EngineContext
+from repro.engine.ml import logistic_regression
+from repro.telco import TelcoTraceGenerator, TraceConfig
+
+
+def subscriber_features(spate, first_epoch, last_epoch):
+    """Per-subscriber aggregates: [sessions, drop_rate, fail_rate,
+    mean_duration, total_down, distinct_cells]."""
+    columns, rows = spate.read_rows("CDR", first_epoch, last_epoch)
+    idx = {name: columns.index(name) for name in
+           ("caller_id", "drop_flag", "result", "duration_s",
+            "downflux", "cell_id")}
+    per_user: dict[str, dict] = {}
+    for row in rows:
+        user = row[idx["caller_id"]]
+        record = per_user.setdefault(user, {
+            "sessions": 0, "drops": 0, "fails": 0,
+            "duration": 0, "down": 0, "cells": set(),
+        })
+        record["sessions"] += 1
+        record["drops"] += int(row[idx["drop_flag"]])
+        record["fails"] += int(row[idx["result"]] != "OK")
+        record["duration"] += int(row[idx["duration_s"]])
+        record["down"] += int(row[idx["downflux"]])
+        record["cells"].add(row[idx["cell_id"]])
+    features = {}
+    for user, r in per_user.items():
+        n = r["sessions"]
+        features[user] = [
+            float(n),
+            r["drops"] / n,
+            r["fails"] / n,
+            r["duration"] / n,
+            float(r["down"]),
+            float(len(r["cells"])),
+        ]
+    return features
+
+
+def synthetic_churn_labels(features, seed=7):
+    """Churn probability rises with drop/fail rates and falls with usage
+    — the behavioural signal the classifier must recover."""
+    rng = random.Random(seed)
+    labels = {}
+    for user, f in features.items():
+        sessions, drop_rate, fail_rate = f[0], f[1], f[2]
+        logit = -1.5 + 9.0 * drop_rate + 6.0 * fail_rate - 0.02 * sessions
+        p = 1.0 / (1.0 + pow(2.718281828, -logit))
+        labels[user] = int(rng.random() < p)
+    return labels
+
+
+def main() -> None:
+    generator = TelcoTraceGenerator(TraceConfig(scale=0.01, days=3))
+    spate = Spate(SpateConfig(codec="gzip-ref"))
+    spate.register_cells(generator.cells_table())
+    for snapshot in generator.generate():
+        spate.ingest(snapshot)
+    spate.finalize()
+
+    features = subscriber_features(spate, 0, 3 * 48 - 1)
+    labels = synthetic_churn_labels(features)
+    print(f"subscribers with activity: {len(features)}, "
+          f"churners: {sum(labels.values())}")
+
+    samples = [(features[u], labels[u]) for u in sorted(features)]
+    split = int(len(samples) * 0.8)
+    train, test = samples[:split], samples[split:]
+
+    with EngineContext(parallelism=4) as ctx:
+        model = logistic_regression(ctx.parallelize(train), iterations=250)
+
+    base_rate = max(
+        sum(l for __, l in test), len(test) - sum(l for __, l in test)
+    ) / len(test)
+    print(f"train accuracy: {model.accuracy(train):.1%}")
+    print(f"test accuracy:  {model.accuracy(test):.1%} "
+          f"(majority baseline {base_rate:.1%})")
+    names = ["sessions", "drop_rate", "fail_rate", "mean_dur",
+             "downflux", "cells"]
+    print("feature weights (raw space):")
+    for name, weight in zip(names, model.weights):
+        print(f"  {name:>10}: {weight:+.4f}")
+    at_risk = sorted(
+        features, key=lambda u: model.predict_proba(features[u]), reverse=True
+    )[:5]
+    print("highest churn risk subscribers:",
+          ", ".join(f"{u} ({model.predict_proba(features[u]):.0%})"
+                    for u in at_risk))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Decaying in action: bounded storage with year-scale exploration.
+
+Simulates a long-running deployment where the operator retains full
+resolution for only three days of snapshots (the data fungus "Evict
+Oldest Individuals").  Storage stays bounded as weeks stream in, while
+exploration queries over the decayed past still answer from the
+retained day/month summaries.
+
+Run:
+    python examples/decay_capacity_planning.py
+"""
+
+from repro.core import Spate, SpateConfig
+from repro.core.config import DecayPolicyConfig
+from repro.core.snapshot import EPOCHS_PER_DAY
+from repro.index.decay import describe_policy
+from repro.telco import TelcoTraceGenerator, TraceConfig
+
+
+def main() -> None:
+    decay = DecayPolicyConfig(
+        enabled=True,
+        keep_epochs=3 * EPOCHS_PER_DAY,  # 3 days of full resolution
+        keep_highlight_days=365,
+        keep_highlight_months_days=3650,
+    )
+    print(describe_policy(decay))
+
+    generator = TelcoTraceGenerator(TraceConfig(scale=0.005, days=14))
+    spate = Spate(SpateConfig(codec="gzip-ref", decay=decay))
+    spate.register_cells(generator.cells_table())
+
+    print("\nweek  live_leaves  stored_bytes  reclaimed_total")
+    reclaimed = 0
+    for snapshot in generator.generate():
+        spate.ingest(snapshot)
+        if (snapshot.epoch + 1) % (7 * EPOCHS_PER_DAY) == 0:
+            week = (snapshot.epoch + 1) // (7 * EPOCHS_PER_DAY)
+            stats = spate.storage_stats()
+            print(f"{week:>4}  {spate.index.leaf_count():>11}  "
+                  f"{stats.logical_bytes:>12,}  ...")
+    spate.finalize()
+
+    stats = spate.storage_stats()
+    print(f"\nAfter 14 days: {spate.index.leaf_count()} live leaves "
+          f"({stats.logical_bytes:,} logical bytes on the DFS).")
+
+    # Recent window: full-resolution records are still there.
+    frontier = spate.index.frontier_epoch
+    recent = spate.explore(
+        "CDR", ("downflux",), box=None,
+        first_epoch=frontier - 47, last_epoch=frontier,
+    )
+    print(f"\nRecent day: {len(recent.records)} exact records, "
+          f"resolutions used: {sorted(set(recent.resolution_by_day.values()))}")
+
+    # Decayed window: the first week's leaves are gone, but the
+    # exploration still answers from day summaries.
+    old = spate.explore(
+        "CDR", ("downflux",), box=None, first_epoch=0, last_epoch=6 * 48 - 1,
+    )
+    down = old.aggregate("downflux")
+    print(f"Decayed week 1: {len(old.records)} exact records "
+          f"(leaves evicted), but aggregates survive: "
+          f"count={down.count:,} mean={down.mean:,.0f}")
+    print(f"  resolutions used: {sorted(set(old.resolution_by_day.values()))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setuptools shim so `pip install -e . --no-use-pep517` works offline
+(the sandbox has no network and no `wheel` package, which the PEP 517
+editable path requires)."""
+
+from setuptools import setup
+
+setup()

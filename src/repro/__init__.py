@@ -1,0 +1,41 @@
+"""SPATE reproduction: efficient telco big-data exploration with
+compression and decaying (Costa et al., ICDE 2017).
+
+Public API tour:
+
+- :class:`repro.core.Spate` — the framework facade (ingest / explore).
+- :class:`repro.core.SpateConfig` — codec, replication, highlights θ,
+  decay policy.
+- :mod:`repro.telco` — synthetic trace generator substituting the
+  paper's proprietary 5 GB trace.
+- :mod:`repro.compression` — from-scratch GZIP/7z/SNAPPY/ZSTD-family
+  codecs plus stdlib reference adapters.
+- :mod:`repro.baselines` — the RAW and SHAHED comparison frameworks.
+- :mod:`repro.query` — exploration queries, tasks T1-T8, SPATE-SQL.
+- :mod:`repro.engine` — the mini parallel engine with k-means, linear
+  regression and colStats.
+- :mod:`repro.privacy` — k-anonymity sanitization.
+"""
+
+from repro.core.config import DecayPolicyConfig, HighlightsConfig, SpateConfig
+from repro.core.snapshot import Snapshot, Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Spate",
+    "SpateConfig",
+    "HighlightsConfig",
+    "DecayPolicyConfig",
+    "Snapshot",
+    "Table",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    if name == "Spate":
+        from repro.core.spate import Spate
+
+        return Spate
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

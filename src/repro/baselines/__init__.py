@@ -1,0 +1,12 @@
+"""Compared frameworks (paper §VII-A): RAW and SHAHED baselines.
+
+All frameworks — including SPATE itself — implement
+:class:`~repro.baselines.base.Framework`, so the benchmark harness and
+the T1-T8 tasks run identically against each.
+"""
+
+from repro.baselines.base import Framework, IngestStats
+from repro.baselines.raw import RawFramework
+from repro.baselines.shahed import ShahedFramework
+
+__all__ = ["Framework", "IngestStats", "RawFramework", "ShahedFramework"]

@@ -1,0 +1,124 @@
+"""Common interface for the compared frameworks (RAW / SHAHED / SPATE).
+
+Storage layout: one DFS file per (epoch, table) — mirroring the paper's
+setting where CDR and NMS arrive as separate file types in a directory
+hierarchy.  Scans that touch one table therefore read (and, for SPATE,
+decompress) only that table's files.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.core.snapshot import Snapshot, Table
+from repro.dfs.filesystem import DfsStats, SimulatedDFS
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class IngestStats:
+    """Per-snapshot ingestion metrics (Figures 7 and 9)."""
+
+    epoch: int
+    seconds: float
+    raw_bytes: int
+    stored_bytes: int
+
+
+class Framework(ABC):
+    """A storage+index framework under evaluation."""
+
+    #: Display name used in benchmark tables.
+    name: str = ""
+
+    def __init__(self, dfs: SimulatedDFS) -> None:
+        self.dfs = dfs
+        #: epoch -> table name -> DFS path.
+        self._epoch_tables: dict[int, dict[str, str]] = {}
+
+    @abstractmethod
+    def ingest(self, snapshot: Snapshot) -> IngestStats:
+        """Store one arriving snapshot (and index it, if applicable)."""
+
+    @abstractmethod
+    def read_table(self, epoch: int, table: str) -> Table | None:
+        """Load one table of one snapshot; None when absent."""
+
+    def read_snapshot(self, epoch: int) -> Snapshot:
+        """Load a whole snapshot (every stored table).
+
+        Raises:
+            QueryError: if the epoch was never ingested.
+        """
+        tables = self._epoch_tables.get(epoch)
+        if tables is None:
+            raise QueryError(f"epoch {epoch} was never ingested")
+        snapshot = Snapshot(epoch=epoch)
+        for name in sorted(tables):
+            loaded = self.read_table(epoch, name)
+            if loaded is not None:
+                snapshot.add_table(loaded)
+        return snapshot
+
+    def finalize(self) -> None:
+        """End-of-stream hook (default: nothing)."""
+
+    def modeled_io_seconds(self) -> float:
+        """Accumulated modeled I/O time (see
+        :class:`~repro.dfs.filesystem.IoCostModel`); 0 when no model is
+        configured.  Diff around an operation to charge I/O to it."""
+        return self.dfs.modeled_io_seconds
+
+    def ingested_epochs(self) -> list[int]:
+        """Epochs stored so far, ascending."""
+        return sorted(self._epoch_tables)
+
+    def read_rows(
+        self, table: str, first_epoch: int, last_epoch: int
+    ) -> tuple[list[str], list[list[str]]]:
+        """Scan one table across an epoch range.
+
+        Returns:
+            ``(columns, rows)``; columns come from the first snapshot in
+            range holding the table.  Empty when nothing matches.
+        """
+        columns: list[str] = []
+        rows: list[list[str]] = []
+        for epoch in self.ingested_epochs():
+            if epoch < first_epoch or epoch > last_epoch:
+                continue
+            found = self.read_table(epoch, table)
+            if found is None:
+                continue
+            if not columns:
+                columns = list(found.columns)
+            rows.extend(found.rows)
+        return columns, rows
+
+    def table_partitions(
+        self, table: str, first_epoch: int, last_epoch: int
+    ) -> list[list[list[str]]]:
+        """Rows grouped per snapshot — natural partitions for the engine."""
+        partitions: list[list[list[str]]] = []
+        for epoch in self.ingested_epochs():
+            if epoch < first_epoch or epoch > last_epoch:
+                continue
+            found = self.read_table(epoch, table)
+            if found is not None and found.rows:
+                partitions.append(found.rows)
+        return partitions or [[]]
+
+    def storage_stats(self) -> DfsStats:
+        """Cluster accounting (Figures 8 and 10 plot logical bytes)."""
+        return self.dfs.stats()
+
+    @property
+    def stored_logical_bytes(self) -> int:
+        """Pre-replication bytes stored on the DFS."""
+        return self.dfs.stats().logical_bytes
+
+    @property
+    def stored_physical_bytes(self) -> int:
+        """Replicated bytes resident on datanodes."""
+        return self.dfs.stats().physical_bytes

@@ -1,0 +1,47 @@
+"""RAW baseline: uncompressed text files on the DFS, no index, no decay."""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines.base import Framework, IngestStats
+from repro.core.snapshot import Snapshot, Table
+from repro.dfs.filesystem import SimulatedDFS
+
+
+class RawFramework(Framework):
+    """The paper's default solution: plain snapshot files on HDFS."""
+
+    name = "RAW"
+
+    def __init__(self, dfs: SimulatedDFS, path_prefix: str = "/raw/snapshots") -> None:
+        super().__init__(dfs)
+        self._prefix = path_prefix
+
+    def ingest(self, snapshot: Snapshot) -> IngestStats:
+        """Store one arriving snapshot (Framework interface)."""
+        start = time.perf_counter()
+        io_before = self.dfs.modeled_io_seconds
+        total = 0
+        paths: dict[str, str] = {}
+        for name, table in snapshot.tables.items():
+            payload = table.serialize()
+            path = f"{self._prefix}/epoch-{snapshot.epoch:08d}/{name}.txt"
+            self.dfs.write_file(path, payload)
+            paths[name] = path
+            total += len(payload)
+        self._epoch_tables[snapshot.epoch] = paths
+        return IngestStats(
+            epoch=snapshot.epoch,
+            seconds=(time.perf_counter() - start)
+            + (self.dfs.modeled_io_seconds - io_before),
+            raw_bytes=total,
+            stored_bytes=total,
+        )
+
+    def read_table(self, epoch: int, table: str) -> Table | None:
+        """Load one stored table of one epoch; None when absent."""
+        path = self._epoch_tables.get(epoch, {}).get(table)
+        if path is None:
+            return None
+        return Table.deserialize(table, self.dfs.read_file(path))

@@ -1,0 +1,201 @@
+"""SHAHED baseline: spatio-temporal aggregate index, no compression/decay.
+
+The paper isolates SHAHED's aggregate index (Eldawy et al., ICDE 2015 /
+SpatialHadoop): a multi-resolution *temporal* hierarchy where each node
+holds a *spatial* partitioning (quad-tree tiles) of aggregate values
+(min/max/sum/count).  Raw snapshots are stored uncompressed; aggregate
+queries are answered from the index, selection queries scan the text
+files.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.baselines.base import Framework, IngestStats
+from repro.core.snapshot import Snapshot, Table, epoch_to_timestamp
+from repro.dfs.filesystem import SimulatedDFS
+from repro.index.highlights import CELL_COLUMN, NumericStats
+from repro.spatial.geometry import BoundingBox, Point
+from repro.spatial.quadtree import QuadTree
+
+
+@dataclass
+class AggregateTile:
+    """Aggregates of one (attribute, spatial point) within a period."""
+
+    stats: dict[str, NumericStats] = field(default_factory=dict)
+
+    def add(self, attribute: str, value: int) -> None:
+        """Fold one value into the running statistics."""
+        entry = self.stats.get(attribute)
+        if entry is None:
+            entry = self.stats[attribute] = NumericStats()
+        entry.add(value)
+
+
+@dataclass
+class TemporalAggregateNode:
+    """One period (epoch / day / month) of the SHAHED aggregate index."""
+
+    level: str
+    key: str
+    tree: QuadTree
+    cells: dict[str, AggregateTile] = field(default_factory=dict)
+
+    def add_record(self, cell_id: str, location: Point, attribute: str, value: int) -> None:
+        """Fold one record's value into the (cell, attribute) aggregates."""
+        tile = self.cells.get(cell_id)
+        if tile is None:
+            tile = self.cells[cell_id] = AggregateTile()
+            self.tree.insert(location, cell_id)
+        tile.add(attribute, value)
+
+    def query(self, box: BoundingBox, attribute: str) -> NumericStats:
+        """Aggregate ``attribute`` over cells inside ``box``."""
+        combined = NumericStats()
+        for cell_id in self.tree.query(box):
+            stats = self.cells[cell_id].stats.get(attribute)
+            if stats is not None:
+                combined.merge(stats)
+        return combined
+
+
+class ShahedFramework(Framework):
+    """SHAHED-style framework: uncompressed storage + aggregate quad index."""
+
+    name = "SHAHED"
+
+    #: Numeric attributes aggregated per table (SHAHED aggregates the
+    #: measurement value of each satellite dataset; here, the telco KPIs).
+    AGGREGATED: dict[str, list[str]] = {
+        "CDR": ["upflux", "downflux", "duration_s", "drop_flag"],
+        "NMS": ["val", "drops", "throughput_kbps"],
+    }
+
+    def __init__(
+        self,
+        dfs: SimulatedDFS,
+        area: BoundingBox,
+        cell_locations: dict[str, Point],
+        path_prefix: str = "/shahed/snapshots",
+    ) -> None:
+        """
+        Args:
+            dfs: backing filesystem.
+            area: service-area bounds for the quad-trees.
+            cell_locations: cell id -> centroid (from the CELL table).
+        """
+        super().__init__(dfs)
+        self._prefix = path_prefix
+        self._area = area
+        self._cell_locations = cell_locations
+        self.epoch_nodes: dict[int, TemporalAggregateNode] = {}
+        self.day_nodes: dict[str, TemporalAggregateNode] = {}
+        self.month_nodes: dict[str, TemporalAggregateNode] = {}
+
+    def ingest(self, snapshot: Snapshot) -> IngestStats:
+        """Store one arriving snapshot (Framework interface)."""
+        start = time.perf_counter()
+        io_before = self.dfs.modeled_io_seconds
+        total = 0
+        paths: dict[str, str] = {}
+        for name, table in snapshot.tables.items():
+            payload = table.serialize()
+            path = f"{self._prefix}/epoch-{snapshot.epoch:08d}/{name}.txt"
+            self.dfs.write_file(path, payload)
+            paths[name] = path
+            total += len(payload)
+        self._epoch_tables[snapshot.epoch] = paths
+        self._index_snapshot(snapshot)
+        return IngestStats(
+            epoch=snapshot.epoch,
+            seconds=(time.perf_counter() - start)
+            + (self.dfs.modeled_io_seconds - io_before),
+            raw_bytes=total,
+            stored_bytes=total,
+        )
+
+    def read_table(self, epoch: int, table: str) -> Table | None:
+        """Load one stored table of one epoch; None when absent."""
+        path = self._epoch_tables.get(epoch, {}).get(table)
+        if path is None:
+            return None
+        return Table.deserialize(table, self.dfs.read_file(path))
+
+    def aggregate_query(
+        self, box: BoundingBox, attribute: str, first_epoch: int, last_epoch: int
+    ) -> NumericStats:
+        """Aggregate from the index across an epoch range, using coarse
+        temporal nodes (whole days) where the range fully covers them —
+        SHAHED's multi-resolution aggregation."""
+        from repro.core.snapshot import EPOCHS_PER_DAY, epoch_to_timestamp
+
+        combined = NumericStats()
+        epoch = first_epoch
+        while epoch <= last_epoch:
+            day_start = epoch - (epoch % EPOCHS_PER_DAY)
+            day_end = day_start + EPOCHS_PER_DAY - 1
+            day_key = epoch_to_timestamp(day_start).strftime("%Y-%m-%d")
+            if (
+                epoch == day_start
+                and day_end <= last_epoch
+                and day_key in self.day_nodes
+            ):
+                combined.merge(self.day_nodes[day_key].query(box, attribute))
+                epoch = day_end + 1
+                continue
+            node = self.epoch_nodes.get(epoch)
+            if node is not None:
+                combined.merge(node.query(box, attribute))
+            epoch += 1
+        return combined
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _index_snapshot(self, snapshot: Snapshot) -> None:
+        when = epoch_to_timestamp(snapshot.epoch)
+        nodes = [
+            self._node(self.epoch_nodes, snapshot.epoch, "epoch", str(snapshot.epoch)),
+            self._node(self.day_nodes, when.strftime("%Y-%m-%d"), "day",
+                       when.strftime("%Y-%m-%d")),
+            self._node(self.month_nodes, when.strftime("%Y-%m"), "month",
+                       when.strftime("%Y-%m")),
+        ]
+        for table_name, attributes in self.AGGREGATED.items():
+            table = snapshot.tables.get(table_name)
+            if table is None:
+                continue
+            cell_col = CELL_COLUMN.get(table_name)
+            if cell_col is None or cell_col not in table.columns:
+                continue
+            cell_idx = table.column_index(cell_col)
+            attr_idx = [
+                (a, table.column_index(a)) for a in attributes if a in table.columns
+            ]
+            for row in table.rows:
+                cell_id = row[cell_idx]
+                location = self._cell_locations.get(cell_id)
+                if location is None:
+                    continue
+                for attribute, idx in attr_idx:
+                    value = row[idx]
+                    if value and _is_int(value):
+                        for node in nodes:
+                            node.add_record(cell_id, location, attribute, int(value))
+
+    def _node(self, store: dict, key, level: str, label: str) -> TemporalAggregateNode:
+        node = store.get(key)
+        if node is None:
+            node = store[key] = TemporalAggregateNode(
+                level=level, key=label, tree=QuadTree(self._area, capacity=32)
+            )
+        return node
+
+
+def _is_int(value: str) -> bool:
+    body = value[1:] if value and value[0] == "-" else value
+    return bool(body) and body.isdigit()

@@ -1,0 +1,236 @@
+"""Command-line interface for the SPATE reproduction.
+
+Because the system is an in-process library (the DFS is simulated), each
+command generates a seeded trace, ingests it, and runs the requested
+operation — same seed, same answers.
+
+Commands:
+    info          list codecs, layouts, templates and defaults
+    ingest        ingest a trace into SPATE and report storage/ingestion
+    explore       run a Q(a, b, w) exploration query
+    sql           run a SQL statement over the ingested tables
+    highlights    list detected rare-event highlights
+    bench-codecs  Table-I style codec microbenchmark
+
+Examples:
+    python -m repro.cli ingest --scale 0.01 --days 1 --codec gzip
+    python -m repro.cli explore --attr downflux --first 0 --last 47
+    python -m repro.cli sql "SELECT call_type, COUNT(*) FROM CDR GROUP BY call_type"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.compression import available_codecs, get_codec
+from repro.compression.base import StatsAccumulator
+from repro.core import Spate, SpateConfig
+from repro.core.layout import LAYOUTS
+from repro.spatial.geometry import BoundingBox
+from repro.telco import TelcoTraceGenerator, TraceConfig
+from repro.ui import QUERY_TEMPLATES
+
+
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.005,
+                        help="trace scale (1.0 = the paper's 5 GB week)")
+    parser.add_argument("--days", type=int, default=1, help="trace length")
+    parser.add_argument("--seed", type=int, default=2017, help="RNG seed")
+    parser.add_argument("--codec", default="gzip-ref",
+                        help=f"storage codec ({', '.join(available_codecs())})")
+    parser.add_argument("--layout", default="row", choices=LAYOUTS,
+                        help="physical table layout")
+
+
+def _build_spate(args: argparse.Namespace) -> tuple[Spate, TelcoTraceGenerator]:
+    generator = TelcoTraceGenerator(
+        TraceConfig(scale=args.scale, days=args.days, seed=args.seed)
+    )
+    spate = Spate(SpateConfig(codec=args.codec, layout=args.layout))
+    spate.register_cells(generator.cells_table())
+    for snapshot in generator.generate():
+        spate.ingest(snapshot)
+    spate.finalize()
+    return spate, generator
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """``info``: list codecs, layouts, templates and trace defaults."""
+    print("codecs:   ", ", ".join(available_codecs()))
+    print("layouts:  ", ", ".join(LAYOUTS))
+    print("templates:", ", ".join(sorted(QUERY_TEMPLATES)))
+    config = TraceConfig()
+    print(f"trace defaults: scale={config.scale} days={config.days} "
+          f"seed={config.seed}")
+    print(f"paper scale 1.0 = ~1.7M CDR + ~21M NMS records per week")
+    return 0
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """``ingest``: build SPATE over a generated trace; print storage report."""
+    spate, __ = _build_spate(args)
+    stats = spate.storage_stats()
+    report = spate.last_ingest_report
+    print(f"ingested epochs:   {len(spate.ingested_epochs())}")
+    print(f"logical bytes:     {stats.logical_bytes:,}")
+    print(f"physical bytes:    {stats.physical_bytes:,} "
+          f"(replication {spate.config.replication})")
+    if report is not None:
+        print(f"last snapshot:     ratio {report.ratio:.2f}x, "
+              f"{report.total_seconds * 1000:.1f} ms")
+    if args.render_index:
+        print(spate.render_index())
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    """``explore``: run Q(a, b, w) and print records/aggregates."""
+    spate, __ = _build_spate(args)
+    box = None
+    if args.box:
+        coords = [float(c) for c in args.box.split(",")]
+        if len(coords) != 4:
+            print("--box expects min_x,min_y,max_x,max_y", file=sys.stderr)
+            return 2
+        box = BoundingBox(*coords)
+    result = spate.explore(
+        args.table, tuple(args.attr), box, args.first, args.last
+    )
+    print(f"records: {len(result.records)}  "
+          f"snapshots read: {result.snapshots_read}  "
+          f"decayed data used: {result.used_decayed_data}")
+    for attribute in args.attr:
+        stats = result.aggregate(attribute)
+        if stats.count:
+            print(f"  {attribute}: count={stats.count} mean={stats.mean:,.1f} "
+                  f"min={stats.minimum} max={stats.maximum}")
+    for record in result.records[: args.limit]:
+        print("  " + "|".join(record))
+    return 0
+
+
+def cmd_sql(args: argparse.Namespace) -> int:
+    """``sql``: execute a SELECT over the ingested tables."""
+    from repro.query.sql import Database
+
+    spate, __ = _build_spate(args)
+    db = Database()
+    last = spate.index.frontier_epoch
+    db.register_framework(spate, ["CDR", "NMS"], 0, last)
+    db.register_table("CELL", *_cells_as_rows(spate))
+    result = db.execute(args.statement)
+    print("\t".join(result.columns))
+    for row in result.rows[: args.limit]:
+        print("\t".join(str(c) for c in row))
+    if len(result.rows) > args.limit:
+        print(f"... {len(result.rows) - args.limit} more rows")
+    return 0
+
+
+def _cells_as_rows(spate: Spate):
+    columns = ["cell_id", "x", "y"]
+    rows = [
+        [cell_id, f"{p.x:.1f}", f"{p.y:.1f}"]
+        for cell_id, p in spate.cell_locations.items()
+    ]
+    return columns, rows
+
+
+def cmd_highlights(args: argparse.Namespace) -> int:
+    """``highlights``: list detected rare events in a window."""
+    spate, __ = _build_spate(args)
+    highlights = spate.highlights(args.first, args.last)
+    highlights.sort(key=lambda h: h.rate)
+    print(f"{len(highlights)} highlights in epochs "
+          f"[{args.first}, {args.last}]")
+    for h in highlights[: args.limit]:
+        print(f"  [{h.period}] {h.table}.{h.attribute} = {h.value!r} "
+              f"({h.frequency}/{h.total}, {h.rate:.2%})")
+    return 0
+
+
+def cmd_bench_codecs(args: argparse.Namespace) -> int:
+    """``bench-codecs``: Table-I style microbenchmark over snapshots."""
+    generator = TelcoTraceGenerator(
+        TraceConfig(scale=args.scale, days=1, seed=args.seed)
+    )
+    payloads = [
+        generator.snapshot(epoch).serialize()
+        for epoch in range(12, 12 + args.snapshots)
+    ]
+    print(f"{'codec':>10} {'ratio':>8} {'Tc1(s)':>9} {'Tc2(s)':>9}")
+    for name in args.codecs or ("gzip", "7z", "snappy", "zstd", "gzip-ref"):
+        codec = get_codec(name)
+        acc = StatsAccumulator()
+        for payload in payloads:
+            acc.add(codec.measure(payload))
+        print(f"{name:>10} {acc.mean_ratio:>8.2f} "
+              f"{acc.mean_compress_seconds:>9.4f} "
+              f"{acc.mean_decompress_seconds:>9.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro-spate",
+        description="SPATE telco big-data exploration (ICDE 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="list codecs/layouts/templates")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("ingest", help="ingest a trace, report storage")
+    _add_trace_args(p)
+    p.add_argument("--render-index", action="store_true",
+                   help="print the temporal index tree")
+    p.set_defaults(func=cmd_ingest)
+
+    p = sub.add_parser("explore", help="run Q(a, b, w)")
+    _add_trace_args(p)
+    p.add_argument("--table", default="CDR")
+    p.add_argument("--attr", action="append", default=None,
+                   help="attribute to select (repeatable)")
+    p.add_argument("--box", default=None,
+                   help="spatial filter: min_x,min_y,max_x,max_y (metres)")
+    p.add_argument("--first", type=int, default=0, help="first epoch")
+    p.add_argument("--last", type=int, default=47, help="last epoch")
+    p.add_argument("--limit", type=int, default=10, help="records to print")
+    p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser("sql", help="run a SQL statement")
+    _add_trace_args(p)
+    p.add_argument("statement", help="the SELECT statement")
+    p.add_argument("--limit", type=int, default=20)
+    p.set_defaults(func=cmd_sql)
+
+    p = sub.add_parser("highlights", help="list detected highlights")
+    _add_trace_args(p)
+    p.add_argument("--first", type=int, default=0)
+    p.add_argument("--last", type=int, default=47)
+    p.add_argument("--limit", type=int, default=20)
+    p.set_defaults(func=cmd_highlights)
+
+    p = sub.add_parser("bench-codecs", help="Table-I microbenchmark")
+    p.add_argument("--scale", type=float, default=0.004)
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument("--snapshots", type=int, default=4)
+    p.add_argument("--codecs", nargs="*", default=None)
+    p.set_defaults(func=cmd_bench_codecs)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "attr", "sentinel") is None:
+        args.attr = ["downflux", "upflux"]
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,77 @@
+"""Lossless compression codecs for the SPATE storage layer.
+
+The paper's storage layer evaluates GZIP, 7z, SNAPPY and ZSTD (Table I).
+This package implements the same algorithm families from scratch:
+
+- :mod:`repro.compression.lz77` — sliding-window match finder (LZ77).
+- :mod:`repro.compression.huffman` — canonical Huffman entropy coding.
+- :mod:`repro.compression.deflate` — DEFLATE-like LZ77+Huffman ("gzip").
+- :mod:`repro.compression.snappy` — byte-oriented LZ with no entropy
+  stage, tuned for speed ("snappy").
+- :mod:`repro.compression.rans` — range Asymmetric Numeral System
+  entropy coder (the family ZSTD's FSE belongs to).
+- :mod:`repro.compression.zstd` — LZ77 + rANS with optional trained
+  dictionaries ("zstd").
+- :mod:`repro.compression.lzma_like` — large-window LZ + adaptive
+  binary range coder ("7z"/LZMA family).
+- :mod:`repro.compression.columnar` — RLE / delta / dictionary column
+  encodings used before the general-purpose codec.
+- :mod:`repro.compression.entropy` — Shannon-entropy analysis used to
+  reproduce Figure 4.
+
+Codecs register themselves in :data:`repro.compression.base.REGISTRY`;
+use :func:`get_codec` to obtain one by name.
+"""
+
+from repro.compression.base import (
+    Codec,
+    CodecStats,
+    REGISTRY,
+    available_codecs,
+    get_codec,
+    register_codec,
+)
+from repro.compression.deflate import DeflateCodec
+from repro.compression.snappy import SnappyCodec
+from repro.compression.zstd import ZstdCodec, ZstdDictionary
+from repro.compression.lzma_like import LzmaLikeCodec
+from repro.compression.stdlib_adapters import (
+    Bz2RefCodec,
+    GzipRefCodec,
+    LzmaRefCodec,
+)
+from repro.compression.entropy import (
+    attribute_entropies,
+    column_entropy,
+    shannon_entropy,
+    theoretical_best_ratio,
+)
+from repro.compression.differential import (
+    IncrementalArchive,
+    compress_against,
+    decompress_against,
+)
+
+__all__ = [
+    "Codec",
+    "CodecStats",
+    "REGISTRY",
+    "available_codecs",
+    "get_codec",
+    "register_codec",
+    "DeflateCodec",
+    "SnappyCodec",
+    "ZstdCodec",
+    "ZstdDictionary",
+    "LzmaLikeCodec",
+    "GzipRefCodec",
+    "Bz2RefCodec",
+    "LzmaRefCodec",
+    "shannon_entropy",
+    "column_entropy",
+    "attribute_entropies",
+    "theoretical_best_ratio",
+    "IncrementalArchive",
+    "compress_against",
+    "decompress_against",
+]

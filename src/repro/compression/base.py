@@ -1,0 +1,158 @@
+"""Codec interface, registry, and measurement helpers.
+
+A :class:`Codec` turns ``bytes`` into fewer ``bytes`` and back, losslessly.
+Codecs are stateless and safe to share across threads unless documented
+otherwise.  Every concrete codec registers itself under a short name so the
+storage layer can be configured with a string (mirroring how the paper
+swaps GZIP/7z/SNAPPY/ZSTD behind one interface).
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.errors import CompressionError
+
+
+@dataclass(frozen=True)
+class CodecStats:
+    """One compress/decompress round-trip measurement.
+
+    Mirrors the three metrics of the paper's Table I: compression ratio
+    ``r_c = S / S_c``, compression time ``T_c1`` and decompression time
+    ``T_c2`` (seconds).
+    """
+
+    codec: str
+    raw_bytes: int
+    compressed_bytes: int
+    compress_seconds: float
+    decompress_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio ``r_c``; ``inf`` for an empty compressed payload."""
+        if self.compressed_bytes == 0:
+            return float("inf")
+        return self.raw_bytes / self.compressed_bytes
+
+
+class Codec(ABC):
+    """Lossless compression codec.
+
+    Subclasses must define :attr:`name` and implement :meth:`compress` and
+    :meth:`decompress` such that ``decompress(compress(b)) == b`` for every
+    ``bytes`` input.
+    """
+
+    #: Short registry name, e.g. ``"gzip"``.
+    name: str = ""
+
+    @abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Return the compressed representation of ``data``."""
+
+    @abstractmethod
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress`.
+
+        Raises:
+            CorruptStreamError: if ``data`` is not a valid stream for this
+                codec.
+        """
+
+    def measure(self, data: bytes) -> CodecStats:
+        """Round-trip ``data`` and record Table-I style metrics.
+
+        Raises:
+            CompressionError: if the round trip does not restore ``data``.
+        """
+        start = time.perf_counter()
+        compressed = self.compress(data)
+        mid = time.perf_counter()
+        restored = self.decompress(compressed)
+        end = time.perf_counter()
+        if restored != data:
+            raise CompressionError(
+                f"codec {self.name!r} failed round-trip on {len(data)} bytes"
+            )
+        return CodecStats(
+            codec=self.name,
+            raw_bytes=len(data),
+            compressed_bytes=len(compressed),
+            compress_seconds=mid - start,
+            decompress_seconds=end - mid,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+#: Global name -> factory registry.  Factories take no arguments and return
+#: a codec configured with library defaults.
+REGISTRY: dict[str, type[Codec]] = {}
+
+
+def register_codec(cls: type[Codec]) -> type[Codec]:
+    """Class decorator adding ``cls`` to :data:`REGISTRY` under ``cls.name``."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a non-empty name")
+    if cls.name in REGISTRY:
+        raise ValueError(f"duplicate codec name {cls.name!r}")
+    REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_codec(name: str) -> Codec:
+    """Instantiate the registered codec called ``name``.
+
+    Raises:
+        CompressionError: if no codec with that name is registered.
+    """
+    try:
+        factory = REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise CompressionError(
+            f"unknown codec {name!r}; available: {known}"
+        ) from None
+    return factory()
+
+
+def available_codecs() -> list[str]:
+    """Sorted names of every registered codec."""
+    return sorted(REGISTRY)
+
+
+@dataclass
+class StatsAccumulator:
+    """Average a series of :class:`CodecStats` (per-snapshot Table-I rows)."""
+
+    samples: list[CodecStats] = field(default_factory=list)
+
+    def add(self, stats: CodecStats) -> None:
+        """Fold one value into the running statistics."""
+        self.samples.append(stats)
+
+    @property
+    def mean_ratio(self) -> float:
+        """Average compression ratio across samples (0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return sum(s.ratio for s in self.samples) / len(self.samples)
+
+    @property
+    def mean_compress_seconds(self) -> float:
+        """Average compression time across samples."""
+        if not self.samples:
+            return 0.0
+        return sum(s.compress_seconds for s in self.samples) / len(self.samples)
+
+    @property
+    def mean_decompress_seconds(self) -> float:
+        """Average decompression time across samples."""
+        if not self.samples:
+            return 0.0
+        return sum(s.decompress_seconds for s in self.samples) / len(self.samples)

@@ -1,0 +1,120 @@
+"""Bit-level I/O used by the Huffman and DEFLATE-like coders.
+
+Bits are written least-significant-bit first within each byte, matching
+the convention used by DEFLATE (RFC 1951).  Huffman codes are written
+with their *most* significant bit first via :meth:`BitWriter.write_bits_msb`,
+again matching DEFLATE's split convention.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CorruptStreamError
+
+
+class BitWriter:
+    """Accumulates bits LSB-first and yields a ``bytes`` payload."""
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        self._acc |= (bit & 1) << self._nbits
+        self._nbits += 1
+        if self._nbits == 8:
+            self._out.append(self._acc)
+            self._acc = 0
+            self._nbits = 0
+
+    def write_bits(self, value: int, count: int) -> None:
+        """Append ``count`` bits of ``value``, LSB first."""
+        acc = self._acc
+        nbits = self._nbits
+        acc |= (value & ((1 << count) - 1)) << nbits
+        nbits += count
+        out = self._out
+        while nbits >= 8:
+            out.append(acc & 0xFF)
+            acc >>= 8
+            nbits -= 8
+        self._acc = acc
+        self._nbits = nbits
+
+    def write_bits_msb(self, value: int, count: int) -> None:
+        """Append ``count`` bits of ``value``, MSB first (Huffman codes)."""
+        for shift in range(count - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def align_to_byte(self) -> None:
+        """Pad with zero bits up to the next byte boundary."""
+        if self._nbits:
+            self._out.append(self._acc)
+            self._acc = 0
+            self._nbits = 0
+
+    def getvalue(self) -> bytes:
+        """Flush any partial byte and return the accumulated payload."""
+        self.align_to_byte()
+        return bytes(self._out)
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far (before final padding)."""
+        return len(self._out) * 8 + self._nbits
+
+
+class BitReader:
+    """Reads bits LSB-first from a ``bytes`` payload."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+        self._acc = 0
+        self._nbits = 0
+
+    def read_bit(self) -> int:
+        """Read one bit.
+
+        Raises:
+            CorruptStreamError: on reading past the end of the payload.
+        """
+        if self._nbits == 0:
+            if self._pos >= len(self._data):
+                raise CorruptStreamError("bit stream exhausted")
+            self._acc = self._data[self._pos]
+            self._pos += 1
+            self._nbits = 8
+        bit = self._acc & 1
+        self._acc >>= 1
+        self._nbits -= 1
+        return bit
+
+    def read_bits(self, count: int) -> int:
+        """Read ``count`` bits LSB-first and return them as an integer."""
+        acc = self._acc
+        nbits = self._nbits
+        data = self._data
+        pos = self._pos
+        while nbits < count:
+            if pos >= len(data):
+                raise CorruptStreamError("bit stream exhausted")
+            acc |= data[pos] << nbits
+            pos += 1
+            nbits += 8
+        value = acc & ((1 << count) - 1)
+        self._acc = acc >> count
+        self._nbits = nbits - count
+        self._pos = pos
+        return value
+
+    def align_to_byte(self) -> None:
+        """Discard bits up to the next byte boundary."""
+        self._acc = 0
+        self._nbits = 0
+
+    @property
+    def bits_remaining(self) -> int:
+        """Number of unread bits (including buffered ones)."""
+        return self._nbits + 8 * (len(self._data) - self._pos)

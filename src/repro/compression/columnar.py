@@ -1,0 +1,212 @@
+"""Columnar pre-encodings: RLE, delta, and dictionary encoding.
+
+The telco schema is "mostly nominal text and interval-scaled discrete
+numerical values" (paper §II-B) with many near-constant columns
+(Figure 4 shows entropies below 1 bit).  Encoding each column with a
+type-appropriate transform before the general-purpose codec exploits
+that structure; the layout ablation bench measures the gain.
+
+All encoders operate on a list of string cells (one column) and return
+``bytes``; decoders invert exactly.
+"""
+
+from __future__ import annotations
+
+from repro.compression.varint import decode_varint, encode_varint
+from repro.errors import CorruptStreamError
+
+_SEP = b"\x00"
+
+
+def _encode_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    return encode_varint(len(raw)) + raw
+
+
+def _decode_str(data: bytes, pos: int) -> tuple[str, int]:
+    length, pos = decode_varint(data, pos)
+    raw = data[pos : pos + length]
+    if len(raw) != length:
+        raise CorruptStreamError("truncated string cell")
+    return raw.decode("utf-8"), pos + length
+
+
+def rle_encode(cells: list[str]) -> bytes:
+    """Run-length encode: ``(run_length, value)`` pairs."""
+    out = bytearray(encode_varint(len(cells)))
+    i = 0
+    n = len(cells)
+    while i < n:
+        j = i
+        while j < n and cells[j] == cells[i]:
+            j += 1
+        out += encode_varint(j - i)
+        out += _encode_str(cells[i])
+        i = j
+    return bytes(out)
+
+
+def rle_decode(data: bytes) -> list[str]:
+    """Invert :func:`rle_encode`."""
+    total, pos = decode_varint(data, 0)
+    cells: list[str] = []
+    while len(cells) < total:
+        run, pos = decode_varint(data, pos)
+        value, pos = _decode_str(data, pos)
+        cells.extend([value] * run)
+    if len(cells) != total:
+        raise CorruptStreamError("RLE runs exceed declared cell count")
+    return cells
+
+
+def delta_encode(cells: list[str]) -> bytes:
+    """Delta encode an integer column (zigzag varints of differences).
+
+    Raises:
+        ValueError: if any cell is not an integer literal.
+    """
+    out = bytearray(encode_varint(len(cells)))
+    prev = 0
+    for cell in cells:
+        value = int(cell)
+        diff = value - prev
+        out += encode_varint(_zigzag(diff))
+        prev = value
+    return bytes(out)
+
+
+def delta_decode(data: bytes) -> list[str]:
+    """Invert :func:`delta_encode`."""
+    total, pos = decode_varint(data, 0)
+    cells: list[str] = []
+    prev = 0
+    for __ in range(total):
+        encoded, pos = decode_varint(data, pos)
+        prev += _unzigzag(encoded)
+        cells.append(str(prev))
+    return cells
+
+
+def dictionary_encode(cells: list[str]) -> bytes:
+    """Dictionary encode: value table + per-cell code varints."""
+    table: dict[str, int] = {}
+    codes: list[int] = []
+    for cell in cells:
+        code = table.get(cell)
+        if code is None:
+            code = len(table)
+            table[cell] = code
+        codes.append(code)
+    out = bytearray(encode_varint(len(cells)))
+    out += encode_varint(len(table))
+    for value in table:  # insertion order == code order
+        out += _encode_str(value)
+    for code in codes:
+        out += encode_varint(code)
+    return bytes(out)
+
+
+def dictionary_decode(data: bytes) -> list[str]:
+    """Invert :func:`dictionary_encode`."""
+    total, pos = decode_varint(data, 0)
+    table_size, pos = decode_varint(data, pos)
+    table: list[str] = []
+    for __ in range(table_size):
+        value, pos = _decode_str(data, pos)
+        table.append(value)
+    cells: list[str] = []
+    for __ in range(total):
+        code, pos = decode_varint(data, pos)
+        if code >= len(table):
+            raise CorruptStreamError(f"dictionary code {code} out of range")
+        cells.append(table[code])
+    return cells
+
+
+def plain_encode(cells: list[str]) -> bytes:
+    """Length-prefixed plain encoding (fallback for high-entropy columns)."""
+    out = bytearray(encode_varint(len(cells)))
+    for cell in cells:
+        out += _encode_str(cell)
+    return bytes(out)
+
+
+def plain_decode(data: bytes) -> list[str]:
+    """Invert :func:`plain_encode`."""
+    total, pos = decode_varint(data, 0)
+    cells: list[str] = []
+    for __ in range(total):
+        value, pos = _decode_str(data, pos)
+        cells.append(value)
+    return cells
+
+
+_ENCODINGS = {
+    "rle": (rle_encode, rle_decode),
+    "delta": (delta_encode, delta_decode),
+    "dict": (dictionary_encode, dictionary_decode),
+    "plain": (plain_encode, plain_decode),
+}
+_ENCODING_IDS = {name: i for i, name in enumerate(sorted(_ENCODINGS))}
+_ID_ENCODINGS = {i: name for name, i in _ENCODING_IDS.items()}
+
+
+def choose_encoding(cells: list[str]) -> str:
+    """Pick the cheapest encoding for a column by simple heuristics.
+
+    Long runs favour RLE; small distinct sets favour dictionary;
+    integer columns favour delta; everything else stays plain.
+    """
+    if not cells:
+        return "plain"
+    distinct = set(cells)
+    if len(distinct) == 1:
+        return "rle"
+    runs = sum(1 for a, b in zip(cells, cells[1:]) if a != b) + 1
+    if runs <= len(cells) // 4:
+        return "rle"
+    if _all_ints(cells):
+        return "delta"
+    if len(distinct) <= max(16, len(cells) // 8):
+        return "dict"
+    return "plain"
+
+
+def encode_column(cells: list[str], encoding: str | None = None) -> bytes:
+    """Encode one column, auto-selecting the transform unless given.
+
+    The chosen encoding id is stored in the first byte so decoding is
+    self-describing.
+    """
+    name = encoding or choose_encoding(cells)
+    encode, __ = _ENCODINGS[name]
+    return bytes([_ENCODING_IDS[name]]) + encode(cells)
+
+
+def decode_column(data: bytes) -> list[str]:
+    """Invert :func:`encode_column`."""
+    if not data:
+        raise CorruptStreamError("empty column payload")
+    name = _ID_ENCODINGS.get(data[0])
+    if name is None:
+        raise CorruptStreamError(f"unknown column encoding id {data[0]}")
+    __, decode = _ENCODINGS[name]
+    return decode(data[1:])
+
+
+def _all_ints(cells: list[str]) -> bool:
+    for cell in cells:
+        if not cell:
+            return False
+        body = cell[1:] if cell[0] == "-" else cell
+        if not body.isdigit():
+            return False
+    return True
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) ^ (value >> 63) if value < 0 else value << 1
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)

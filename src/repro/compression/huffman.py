@@ -1,0 +1,175 @@
+"""Canonical Huffman coding.
+
+Builds length-limited canonical Huffman codes from symbol frequencies,
+exactly the entropy stage DEFLATE uses.  Only the code *lengths* need to
+be transmitted: both sides derive identical codes from the lengths via
+the canonical construction (codes assigned in order of (length, symbol)).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.compression.bitio import BitReader, BitWriter
+from repro.errors import CorruptStreamError
+
+MAX_CODE_LENGTH = 15
+
+
+def code_lengths(frequencies: dict[int, int], max_length: int = MAX_CODE_LENGTH) -> dict[int, int]:
+    """Compute Huffman code lengths for ``frequencies``.
+
+    Uses the standard heap construction then limits lengths to
+    ``max_length`` with the Kraft-sum repair pass (package-merge would be
+    optimal; the repair heuristic is what zlib effectively ships).
+
+    Returns:
+        Mapping symbol -> code length in bits.  A single-symbol alphabet
+        gets length 1.
+    """
+    symbols = [s for s, f in frequencies.items() if f > 0]
+    if not symbols:
+        return {}
+    if len(symbols) == 1:
+        return {symbols[0]: 1}
+
+    # Heap of (weight, tie_breaker, node). Leaves are symbols; internal
+    # nodes are (left, right) tuples.
+    counter = 0
+    heap: list[tuple[int, int, object]] = []
+    for sym in symbols:
+        heap.append((frequencies[sym], counter, sym))
+        counter += 1
+    heapq.heapify(heap)
+    while len(heap) > 1:
+        w1, _, n1 = heapq.heappop(heap)
+        w2, _, n2 = heapq.heappop(heap)
+        heapq.heappush(heap, (w1 + w2, counter, (n1, n2)))
+        counter += 1
+
+    lengths: dict[int, int] = {}
+
+    def walk(node: object, depth: int) -> None:
+        if isinstance(node, tuple):
+            walk(node[0], depth + 1)
+            walk(node[1], depth + 1)
+        else:
+            lengths[node] = max(depth, 1)
+
+    walk(heap[0][2], 0)
+    _limit_lengths(lengths, max_length)
+    return lengths
+
+
+def _limit_lengths(lengths: dict[int, int], max_length: int) -> None:
+    """Clamp code lengths to ``max_length`` keeping the Kraft sum valid."""
+    overflow = [s for s, ln in lengths.items() if ln > max_length]
+    if not overflow:
+        return
+    for sym in overflow:
+        lengths[sym] = max_length
+    # Kraft sum in units of 2^-max_length must not exceed 2^max_length.
+    unit = 1 << max_length
+    kraft = sum(unit >> ln for ln in lengths.values())
+    # Demote shortest codes (lengthen them) until the sum fits.
+    by_length = sorted(lengths.items(), key=lambda kv: kv[1])
+    idx = 0
+    while kraft > unit:
+        sym, ln = by_length[idx % len(by_length)]
+        ln = lengths[sym]
+        if ln < max_length:
+            lengths[sym] = ln + 1
+            kraft -= (unit >> ln) - (unit >> (ln + 1))
+        idx += 1
+
+
+def canonical_codes(lengths: dict[int, int]) -> dict[int, tuple[int, int]]:
+    """Assign canonical codes from code lengths.
+
+    Returns:
+        Mapping symbol -> (code, length); codes are MSB-first values.
+    """
+    if not lengths:
+        return {}
+    ordered = sorted(lengths.items(), key=lambda kv: (kv[1], kv[0]))
+    codes: dict[int, tuple[int, int]] = {}
+    code = 0
+    prev_len = ordered[0][1]
+    for sym, ln in ordered:
+        code <<= ln - prev_len
+        codes[sym] = (code, ln)
+        code += 1
+        prev_len = ln
+    return codes
+
+
+@dataclass
+class _DecodeNode:
+    """Binary trie node for Huffman decoding."""
+
+    symbol: int | None = None
+    zero: "_DecodeNode | None" = None
+    one: "_DecodeNode | None" = None
+
+
+class HuffmanEncoder:
+    """Encodes symbols with a fixed canonical code table."""
+
+    def __init__(self, lengths: dict[int, int]) -> None:
+        self._codes = canonical_codes(lengths)
+        self.lengths = dict(lengths)
+
+    def encode_symbol(self, writer: BitWriter, symbol: int) -> None:
+        """Write ``symbol``'s canonical code to the bit stream."""
+        code, length = self._codes[symbol]
+        writer.write_bits_msb(code, length)
+
+    def encoded_bits(self, symbol: int) -> int:
+        """Bit cost of ``symbol`` under this table (for cost models)."""
+        return self._codes[symbol][1]
+
+
+class HuffmanDecoder:
+    """Decodes symbols written by :class:`HuffmanEncoder`."""
+
+    def __init__(self, lengths: dict[int, int]) -> None:
+        self._root = _DecodeNode()
+        for sym, (code, length) in canonical_codes(lengths).items():
+            node = self._root
+            for shift in range(length - 1, -1, -1):
+                bit = (code >> shift) & 1
+                if bit:
+                    if node.one is None:
+                        node.one = _DecodeNode()
+                    node = node.one
+                else:
+                    if node.zero is None:
+                        node.zero = _DecodeNode()
+                    node = node.zero
+            node.symbol = sym
+
+    def decode_symbol(self, reader: BitReader) -> int:
+        """Read one symbol from the bit stream."""
+        node = self._root
+        while node.symbol is None:
+            node = node.one if reader.read_bit() else node.zero
+            if node is None:
+                raise CorruptStreamError("invalid Huffman code in stream")
+        return node.symbol
+
+
+def write_length_table(writer: BitWriter, lengths: dict[int, int], alphabet_size: int) -> None:
+    """Serialize a code-length table: 4 bits per symbol (0 = absent)."""
+    for sym in range(alphabet_size):
+        writer.write_bits(lengths.get(sym, 0), 4)
+
+
+def read_length_table(reader: BitReader, alphabet_size: int) -> dict[int, int]:
+    """Inverse of :func:`write_length_table`."""
+    lengths: dict[int, int] = {}
+    for sym in range(alphabet_size):
+        ln = reader.read_bits(4)
+        if ln:
+            lengths[sym] = ln
+    return lengths

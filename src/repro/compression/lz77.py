@@ -1,0 +1,177 @@
+"""Sliding-window LZ77 match finder shared by the LZ-family codecs.
+
+The encoder emits a sequence of tokens: either a literal byte or a
+back-reference ``(length, distance)`` into the already-emitted output.
+DEFLATE, Snappy and ZSTD all layer different entropy stages on top of
+exactly this token stream, so it is factored out here once.
+
+The match finder uses 4-byte hash chains, the classic zlib approach:
+each position hashes its next four bytes into a bucket holding previous
+positions with the same hash; candidates are verified and the longest
+match wins, with a configurable chain-depth bound trading speed for
+ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+MIN_MATCH = 4
+MAX_MATCH = 273  # generous cap shared by all our LZ codecs
+_HASH_BITS = 16
+_HASH_MASK = (1 << _HASH_BITS) - 1
+
+
+@dataclass(frozen=True)
+class Token:
+    """One LZ77 token.
+
+    Either a literal (``length == 0``, ``literal`` holds the byte value)
+    or a match of ``length`` bytes starting ``distance`` bytes back.
+    """
+
+    literal: int = 0
+    length: int = 0
+    distance: int = 0
+
+    @property
+    def is_match(self) -> bool:
+        """True for back-reference tokens (False for literals)."""
+        return self.length > 0
+
+
+def _hash4(data: bytes, pos: int) -> int:
+    """Hash the four bytes at ``pos`` into a bucket index."""
+    value = (
+        data[pos]
+        | (data[pos + 1] << 8)
+        | (data[pos + 2] << 16)
+        | (data[pos + 3] << 24)
+    )
+    return ((value * 2654435761) >> 16) & _HASH_MASK
+
+
+def tokenize(
+    data: bytes,
+    window_size: int = 1 << 15,
+    max_chain: int = 32,
+    lazy: bool = True,
+    start: int = 0,
+) -> Iterator[Token]:
+    """Yield LZ77 tokens covering ``data[start:]``.
+
+    Args:
+        data: input payload.
+        window_size: maximum back-reference distance.
+        max_chain: how many hash-chain candidates to verify per position;
+            higher values improve ratio at the cost of speed.
+        lazy: defer a match by one byte when the next position offers a
+            strictly longer one (zlib's "lazy matching").
+        start: bytes before this offset act as a shared dictionary: they
+            are indexed for back-references but produce no tokens.  The
+            decoder must seed its output buffer with the same prefix.
+    """
+    n = len(data)
+    if n - start < MIN_MATCH:
+        for byte in data[start:]:
+            yield Token(literal=byte)
+        return
+
+    head: dict[int, list[int]] = {}
+    pos = start
+    limit = n - MIN_MATCH + 1
+
+    def find_match(at: int) -> tuple[int, int]:
+        """Return (length, distance) of the best match at ``at`` (0,0 if none)."""
+        bucket = head.get(_hash4(data, at))
+        if not bucket:
+            return 0, 0
+        best_len = 0
+        best_dist = 0
+        lo = at - window_size
+        tried = 0
+        for candidate in reversed(bucket):
+            if candidate < lo:
+                break
+            tried += 1
+            if tried > max_chain:
+                break
+            # Quick reject: the byte one past the current best must match
+            # too, otherwise the candidate can't beat it.
+            probe = at + best_len
+            if best_len and probe < n and data[candidate + best_len] != data[probe]:
+                continue
+            length = _match_length(data, candidate, at, n)
+            if length > best_len:
+                best_len = length
+                best_dist = at - candidate
+                if best_len >= MAX_MATCH:
+                    break
+        if best_len < MIN_MATCH:
+            return 0, 0
+        return min(best_len, MAX_MATCH), best_dist
+
+    def insert(at: int) -> None:
+        bucket = head.setdefault(_hash4(data, at), [])
+        bucket.append(at)
+        # Keep buckets from growing without bound on degenerate inputs.
+        if len(bucket) > 4 * max_chain:
+            del bucket[: 2 * max_chain]
+
+    # Index the dictionary prefix so matches can reach into it.
+    dict_step = 1 if start <= 4096 else 2
+    for covered in range(0, min(start, limit), dict_step):
+        insert(covered)
+
+    while pos < n:
+        if pos >= limit:
+            yield Token(literal=data[pos])
+            pos += 1
+            continue
+        length, dist = find_match(pos)
+        if length and lazy and pos + 1 < limit:
+            insert(pos)
+            next_length, next_dist = find_match(pos + 1)
+            if next_length > length:
+                yield Token(literal=data[pos])
+                pos += 1
+                length, dist = next_length, next_dist
+        if not length:
+            insert(pos)
+            yield Token(literal=data[pos])
+            pos += 1
+            continue
+        yield Token(length=length, distance=dist)
+        end = pos + length
+        insert(pos)
+        # Index a sparse subset of covered positions: full indexing is the
+        # dominant cost in pure Python and adds little ratio.
+        step = 1 if length <= 16 else 3
+        for covered in range(pos + 1, min(end, limit), step):
+            insert(covered)
+        pos = end
+
+
+def _match_length(data: bytes, back: int, at: int, n: int) -> int:
+    """Length of the common prefix of data[back:] and data[at:], capped."""
+    max_len = min(MAX_MATCH, n - at)
+    length = 0
+    while length < max_len and data[back + length] == data[at + length]:
+        length += 1
+    return length
+
+
+def reconstruct(tokens: Iterator[Token]) -> bytes:
+    """Rebuild the original payload from a token stream (decoder side)."""
+    out = bytearray()
+    for token in tokens:
+        if token.is_match:
+            start = len(out) - token.distance
+            if start < 0:
+                raise ValueError("match distance reaches before stream start")
+            for i in range(token.length):
+                out.append(out[start + i])
+        else:
+            out.append(token.literal)
+    return bytes(out)

@@ -1,0 +1,126 @@
+"""LZMA-family codec ("7z"): large-window LZ + adaptive binary range coder.
+
+This is the library's 7z stand-in.  It shares 7z/LZMA's design point —
+best compression ratio, slowest compression — by combining:
+
+- a 1 MiB match window with a deep hash-chain search;
+- context-modelled literals (bit-tree per previous-byte context);
+- gamma-binned lengths/distances whose exponents go through adaptive
+  bit-trees and whose mantissas ride as direct bits.
+
+Container: ``[magic b"LZM"][raw_len varint][range-coded stream]``.
+"""
+
+from __future__ import annotations
+
+from repro.compression.base import Codec, register_codec
+from repro.compression.lz77 import MIN_MATCH, tokenize
+from repro.compression.rangecoder import (
+    BitModel,
+    RangeDecoder,
+    RangeEncoder,
+    new_bit_tree,
+)
+from repro.compression.varint import decode_varint, encode_varint
+from repro.errors import CorruptStreamError
+
+_MAGIC = b"LZM"
+_LITERAL_CONTEXTS = 8  # previous byte's top 3 bits
+_LEN_TREE_BITS = 4  # gamma exponent of (length - MIN_MATCH): 0..8
+_DIST_TREE_BITS = 5  # gamma exponent of (distance - 1): 0..~21
+
+
+class _Models:
+    """All adaptive contexts for one stream (fresh per compress/decompress)."""
+
+    def __init__(self) -> None:
+        self.is_match = BitModel()
+        self.literal = [new_bit_tree(8) for __ in range(_LITERAL_CONTEXTS)]
+        self.length = new_bit_tree(_LEN_TREE_BITS)
+        self.distance = new_bit_tree(_DIST_TREE_BITS)
+
+
+def _gamma_bin(value: int) -> tuple[int, int, int]:
+    plus = value + 1
+    exponent = plus.bit_length() - 1
+    return exponent, exponent, plus - (1 << exponent)
+
+
+def _gamma_value(exponent: int, extra: int) -> int:
+    return (1 << exponent) + extra - 1
+
+
+@register_codec
+class LzmaLikeCodec(Codec):
+    """Our from-scratch 7z-equivalent (LZ + adaptive range coding)."""
+
+    name = "7z"
+
+    def __init__(self, window_size: int = 1 << 20, max_chain: int = 64) -> None:
+        self._window_size = window_size
+        self._max_chain = max_chain
+
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data`` losslessly (Codec interface)."""
+        models = _Models()
+        encoder = RangeEncoder()
+        prev_byte = 0
+        for token in tokenize(
+            data, window_size=self._window_size, max_chain=self._max_chain
+        ):
+            if token.is_match:
+                encoder.encode_bit(models.is_match, 1)
+                lbin, lcount, lextra = _gamma_bin(token.length - MIN_MATCH)
+                encoder.encode_bit_tree(models.length, lbin, _LEN_TREE_BITS)
+                if lcount:
+                    encoder.encode_direct_bits(lextra, lcount)
+                dbin, dcount, dextra = _gamma_bin(token.distance - 1)
+                encoder.encode_bit_tree(models.distance, dbin, _DIST_TREE_BITS)
+                if dcount:
+                    encoder.encode_direct_bits(dextra, dcount)
+                prev_byte = 0  # context resets after a match (cheap, symmetric)
+            else:
+                encoder.encode_bit(models.is_match, 0)
+                context = prev_byte >> 5
+                encoder.encode_bit_tree(models.literal[context], token.literal, 8)
+                prev_byte = token.literal
+        return _MAGIC + encode_varint(len(data)) + encoder.finish()
+
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress` (Codec interface)."""
+        if data[: len(_MAGIC)] != _MAGIC:
+            raise CorruptStreamError("bad 7z-like magic")
+        raw_len, offset = decode_varint(data, len(_MAGIC))
+        if raw_len == 0:
+            return b""
+        models = _Models()
+        decoder = RangeDecoder(data[offset:])
+        out = bytearray()
+        prev_byte = 0
+        while len(out) < raw_len:
+            if decoder.decode_bit(models.is_match):
+                lbin = decoder.decode_bit_tree(models.length, _LEN_TREE_BITS)
+                lextra = decoder.decode_direct_bits(lbin) if lbin else 0
+                length = _gamma_value(lbin, lextra) + MIN_MATCH
+                dbin = decoder.decode_bit_tree(models.distance, _DIST_TREE_BITS)
+                dextra = decoder.decode_direct_bits(dbin) if dbin else 0
+                distance = _gamma_value(dbin, dextra) + 1
+                start = len(out) - distance
+                if start < 0:
+                    raise CorruptStreamError("match distance before stream start")
+                if distance >= length:
+                    out += out[start : start + length]
+                else:
+                    for i in range(length):
+                        out.append(out[start + i])
+                prev_byte = 0
+            else:
+                context = prev_byte >> 5
+                byte = decoder.decode_bit_tree(models.literal[context], 8)
+                out.append(byte)
+                prev_byte = byte
+        if len(out) != raw_len:
+            raise CorruptStreamError(
+                f"decoded {len(out)} bytes, header promised {raw_len}"
+            )
+        return bytes(out)

@@ -1,0 +1,159 @@
+"""Adaptive binary range coder (the LZMA entropy stage).
+
+Implements the carry-propagating 32-bit range encoder/decoder used by
+LZMA/7z, with 11-bit adaptive bit probabilities (shift-5 update) and
+direct (uniform) bits for mantissas.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CorruptStreamError
+
+_TOP = 1 << 24
+PROB_BITS = 11
+PROB_INIT = 1 << (PROB_BITS - 1)  # p = 0.5
+_MOVE_BITS = 5
+
+
+class BitModel:
+    """A single adaptive binary probability (11-bit, shift-5 adaptation)."""
+
+    __slots__ = ("prob",)
+
+    def __init__(self) -> None:
+        self.prob = PROB_INIT
+
+
+class RangeEncoder:
+    """Carry-propagating range encoder, LZMA flavour."""
+
+    def __init__(self) -> None:
+        self._low = 0
+        self._range = 0xFFFFFFFF
+        self._cache = 0
+        self._cache_size = 1
+        self._out = bytearray()
+
+    def encode_bit(self, model: BitModel, bit: int) -> None:
+        """Encode one bit under an adaptive probability model."""
+        bound = (self._range >> PROB_BITS) * model.prob
+        if bit == 0:
+            self._range = bound
+            model.prob += ((1 << PROB_BITS) - model.prob) >> _MOVE_BITS
+        else:
+            self._low += bound
+            self._range -= bound
+            model.prob -= model.prob >> _MOVE_BITS
+        while self._range < _TOP:
+            self._range <<= 8
+            self._shift_low()
+
+    def encode_direct_bits(self, value: int, count: int) -> None:
+        """Encode ``count`` uniformly-distributed bits of ``value``, MSB first."""
+        for shift in range(count - 1, -1, -1):
+            self._range >>= 1
+            if (value >> shift) & 1:
+                self._low += self._range
+            while self._range < _TOP:
+                self._range <<= 8
+                self._shift_low()
+
+    def encode_bit_tree(self, models: list[BitModel], value: int, bits: int) -> None:
+        """Encode ``bits`` of ``value`` through a bit-tree of contexts."""
+        node = 1
+        for shift in range(bits - 1, -1, -1):
+            bit = (value >> shift) & 1
+            self.encode_bit(models[node], bit)
+            node = (node << 1) | bit
+
+    def finish(self) -> bytes:
+        """Flush the encoder and return the coded byte stream."""
+        for __ in range(5):
+            self._shift_low()
+        return bytes(self._out)
+
+    def _shift_low(self) -> None:
+        if self._low < 0xFF000000 or self._low > 0xFFFFFFFF:
+            carry = self._low >> 32
+            self._out.append((self._cache + carry) & 0xFF)
+            for __ in range(self._cache_size - 1):
+                self._out.append((0xFF + carry) & 0xFF)
+            self._cache = (self._low >> 24) & 0xFF
+            self._cache_size = 0
+        self._cache_size += 1
+        self._low = (self._low << 8) & 0xFFFFFFFF
+
+
+class RangeDecoder:
+    """Decoder matching :class:`RangeEncoder`."""
+
+    #: Bytes of synthetic zero-padding tolerated past the end of input:
+    #: the encoder's flush writes 5 bytes, so a valid stream never needs
+    #: more than this slack.  Unbounded padding would let a corrupt
+    #: header with a huge declared length spin the decoder forever.
+    _MAX_PADDING = 16
+
+    def __init__(self, data: bytes) -> None:
+        if len(data) < 5:
+            raise CorruptStreamError("range-coded stream shorter than 5 bytes")
+        self._data = data
+        self._pos = 5
+        self._padded = 0
+        self._range = 0xFFFFFFFF
+        # Byte 0 is the encoder's initial cache (always 0); state follows.
+        self._code = int.from_bytes(data[1:5], "big")
+
+    def _next_byte(self) -> int:
+        if self._pos < len(self._data):
+            byte = self._data[self._pos]
+            self._pos += 1
+            return byte
+        self._padded += 1
+        if self._padded > self._MAX_PADDING:
+            raise CorruptStreamError("range-coded stream exhausted")
+        return 0  # zero-padding matches the encoder's flush
+
+    def decode_bit(self, model: BitModel) -> int:
+        """Decode one bit under an adaptive probability model."""
+        bound = (self._range >> PROB_BITS) * model.prob
+        if self._code < bound:
+            self._range = bound
+            model.prob += ((1 << PROB_BITS) - model.prob) >> _MOVE_BITS
+            bit = 0
+        else:
+            self._code -= bound
+            self._range -= bound
+            model.prob -= model.prob >> _MOVE_BITS
+            bit = 1
+        while self._range < _TOP:
+            self._range <<= 8
+            self._code = ((self._code << 8) | self._next_byte()) & 0xFFFFFFFF
+        return bit
+
+    def decode_direct_bits(self, count: int) -> int:
+        """Decode ``count`` uniformly-distributed bits, MSB first."""
+        value = 0
+        for __ in range(count):
+            self._range >>= 1
+            if self._code >= self._range:
+                self._code -= self._range
+                bit = 1
+            else:
+                bit = 0
+            value = (value << 1) | bit
+            while self._range < _TOP:
+                self._range <<= 8
+                self._code = ((self._code << 8) | self._next_byte()) & 0xFFFFFFFF
+        return value
+
+    def decode_bit_tree(self, models: list[BitModel], bits: int) -> int:
+        """Decode ``bits`` bits through a bit-tree of contexts."""
+        node = 1
+        for __ in range(bits):
+            node = (node << 1) | self.decode_bit(models[node])
+        return node - (1 << bits)
+
+
+def new_bit_tree(bits: int) -> list[BitModel]:
+    """Allocate the context array for a ``bits``-deep bit tree."""
+    return [BitModel() for __ in range(1 << bits)]

@@ -1,0 +1,180 @@
+"""Range Asymmetric Numeral System (rANS) entropy coder.
+
+ZSTD's FSE coder belongs to the ANS family; this module implements the
+byte-renormalized *range* variant, which is the simplest ANS member to
+make bit-exact in pure Python.  A static frequency table is normalized
+to ``SCALE = 2**SCALE_BITS`` slots; symbols are encoded in reverse and
+decoded forward, the signature LIFO behaviour of ANS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.compression.varint import decode_varint, encode_varint
+from repro.errors import CorruptStreamError
+
+SCALE_BITS = 12
+SCALE = 1 << SCALE_BITS
+_RANS_L = 1 << 23  # lower bound of the normalized state interval
+
+
+def normalize_frequencies(counts: dict[int, int], scale: int = SCALE) -> dict[int, int]:
+    """Scale raw symbol counts so they sum to exactly ``scale``.
+
+    Every present symbol keeps a frequency of at least 1 (a zero
+    frequency would make the symbol unencodable).
+
+    Raises:
+        ValueError: if there are more distinct symbols than slots.
+    """
+    present = {s: c for s, c in counts.items() if c > 0}
+    if not present:
+        return {}
+    if len(present) > scale:
+        raise ValueError(f"{len(present)} symbols exceed {scale} slots")
+    total = sum(present.values())
+    freqs = {}
+    for sym, count in present.items():
+        freqs[sym] = max(1, (count * scale) // total)
+    # Repair rounding drift by adjusting the most frequent symbols.
+    drift = scale - sum(freqs.values())
+    for sym, __ in sorted(present.items(), key=lambda kv: -kv[1]):
+        if drift == 0:
+            break
+        if drift > 0:
+            freqs[sym] += drift
+            drift = 0
+        else:
+            take = min(freqs[sym] - 1, -drift)
+            freqs[sym] -= take
+            drift += take
+    if sum(freqs.values()) != scale:
+        raise ValueError("frequency normalization failed to converge")
+    return freqs
+
+
+@dataclass
+class RansTable:
+    """Precomputed encode/decode tables for one normalized distribution."""
+
+    freqs: dict[int, int]
+    cumulative: dict[int, int]
+    slot_to_symbol: list[int]
+
+    @classmethod
+    def from_counts(cls, counts: dict[int, int]) -> "RansTable":
+        """Build normalized encode/decode tables from raw symbol counts."""
+        freqs = normalize_frequencies(counts)
+        cumulative: dict[int, int] = {}
+        slot_to_symbol: list[int] = []
+        running = 0
+        for sym in sorted(freqs):
+            cumulative[sym] = running
+            slot_to_symbol.extend([sym] * freqs[sym])
+            running += freqs[sym]
+        return cls(freqs=freqs, cumulative=cumulative, slot_to_symbol=slot_to_symbol)
+
+    def serialize(self) -> bytes:
+        """Compact wire form: varint count then (symbol, freq) varint pairs."""
+        out = bytearray(encode_varint(len(self.freqs)))
+        for sym in sorted(self.freqs):
+            out += encode_varint(sym)
+            out += encode_varint(self.freqs[sym])
+        return bytes(out)
+
+    @classmethod
+    def deserialize(cls, data: bytes, offset: int = 0) -> tuple["RansTable", int]:
+        """Invert :meth:`serialize`; returns (table, next_offset)."""
+        count, pos = decode_varint(data, offset)
+        counts: dict[int, int] = {}
+        for __ in range(count):
+            sym, pos = decode_varint(data, pos)
+            freq, pos = decode_varint(data, pos)
+            counts[sym] = freq
+        if counts and sum(counts.values()) != SCALE:
+            raise CorruptStreamError("rANS table does not sum to the scale")
+        if not counts:
+            return cls({}, {}, []), pos
+        cumulative: dict[int, int] = {}
+        slot_to_symbol: list[int] = []
+        running = 0
+        for sym in sorted(counts):
+            cumulative[sym] = running
+            slot_to_symbol.extend([sym] * counts[sym])
+            running += counts[sym]
+        return cls(freqs=counts, cumulative=cumulative, slot_to_symbol=slot_to_symbol), pos
+
+
+def rans_encode(symbols: Sequence[int], table: RansTable) -> bytes:
+    """Encode ``symbols`` with the static distribution in ``table``.
+
+    Returns the renormalization byte stream with the final 4-byte state
+    appended (little-endian).
+    """
+    freqs = table.freqs
+    cumulative = table.cumulative
+    state = _RANS_L
+    out = bytearray()
+    # ANS is last-in first-out: encode in reverse so decode runs forward.
+    for sym in reversed(symbols):
+        freq = freqs[sym]
+        upper = ((_RANS_L >> SCALE_BITS) << 8) * freq
+        while state >= upper:
+            out.append(state & 0xFF)
+            state >>= 8
+        state = ((state // freq) << SCALE_BITS) + (state % freq) + cumulative[sym]
+    out += state.to_bytes(4, "little")
+    return bytes(out)
+
+
+def rans_decode(data: bytes, table: RansTable, count: int) -> list[int]:
+    """Decode ``count`` symbols produced by :func:`rans_encode`."""
+    if count == 0:
+        return []
+    if len(data) < 4:
+        raise CorruptStreamError("rANS stream shorter than its state")
+    state = int.from_bytes(data[-4:], "little")
+    pos = len(data) - 5  # renormalization bytes are consumed backwards
+    slot_to_symbol = table.slot_to_symbol
+    freqs = table.freqs
+    cumulative = table.cumulative
+    mask = SCALE - 1
+    out = []
+    for __ in range(count):
+        slot = state & mask
+        try:
+            sym = slot_to_symbol[slot]
+        except IndexError:
+            raise CorruptStreamError("rANS state points outside the table") from None
+        state = freqs[sym] * (state >> SCALE_BITS) + slot - cumulative[sym]
+        while state < _RANS_L:
+            if pos < 0:
+                raise CorruptStreamError("rANS stream exhausted mid-decode")
+            state = (state << 8) | data[pos]
+            pos -= 1
+        out.append(sym)
+    return out
+
+
+def encode_with_table(symbols: Sequence[int]) -> bytes:
+    """Convenience: build a table from ``symbols`` and emit table + stream."""
+    counts: dict[int, int] = {}
+    for sym in symbols:
+        counts[sym] = counts.get(sym, 0) + 1
+    table = RansTable.from_counts(counts)
+    header = table.serialize()
+    body = rans_encode(symbols, table)
+    return encode_varint(len(symbols)) + header + encode_varint(len(body)) + body
+
+
+def decode_with_table(data: bytes, offset: int = 0) -> tuple[list[int], int]:
+    """Inverse of :func:`encode_with_table`; returns (symbols, next_offset)."""
+    count, pos = decode_varint(data, offset)
+    table, pos = RansTable.deserialize(data, pos)
+    body_len, pos = decode_varint(data, pos)
+    body = data[pos : pos + body_len]
+    if len(body) != body_len:
+        raise CorruptStreamError("truncated rANS body")
+    return rans_decode(body, table, count), pos + body_len

@@ -1,0 +1,99 @@
+"""Snappy-like codec: byte-aligned LZ77 with no entropy stage.
+
+Mirrors Google Snappy's design point — maximize speed, accept ~half the
+ratio of entropy-coded codecs (the trade-off Table I reports).  The
+container is byte-aligned throughout:
+
+``[magic b"SNP"][raw_len varint]`` then a sequence of elements, each a
+tag byte ``0x00`` (literal run: ``varint n`` + ``n`` bytes) or ``0x01``
+(copy: ``varint length`` + ``varint distance``).
+"""
+
+from __future__ import annotations
+
+from repro.compression.base import Codec, register_codec
+from repro.compression.lz77 import tokenize
+from repro.compression.varint import decode_varint, encode_varint
+from repro.errors import CorruptStreamError
+
+_MAGIC = b"SNP"
+_TAG_LITERAL = 0x00
+_TAG_COPY = 0x01
+
+
+@register_codec
+class SnappyCodec(Codec):
+    """Fast byte-oriented LZ codec (no Huffman/ANS stage)."""
+
+    name = "snappy"
+
+    def __init__(self, window_size: int = 1 << 16, max_chain: int = 8) -> None:
+        self._window_size = window_size
+        self._max_chain = max_chain
+
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data`` losslessly (Codec interface)."""
+        out = bytearray(_MAGIC)
+        out += encode_varint(len(data))
+        literals = bytearray()
+        pos = 0
+
+        def flush_literals() -> None:
+            if literals:
+                out.append(_TAG_LITERAL)
+                out.extend(encode_varint(len(literals)))
+                out.extend(literals)
+                literals.clear()
+
+        for token in tokenize(
+            data,
+            window_size=self._window_size,
+            max_chain=self._max_chain,
+            lazy=False,
+        ):
+            if token.is_match:
+                flush_literals()
+                out.append(_TAG_COPY)
+                out += encode_varint(token.length)
+                out += encode_varint(token.distance)
+                pos += token.length
+            else:
+                literals.append(token.literal)
+                pos += 1
+        flush_literals()
+        return bytes(out)
+
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress` (Codec interface)."""
+        if data[: len(_MAGIC)] != _MAGIC:
+            raise CorruptStreamError("bad snappy-like magic")
+        raw_len, pos = decode_varint(data, len(_MAGIC))
+        out = bytearray()
+        n = len(data)
+        while pos < n:
+            tag = data[pos]
+            pos += 1
+            if tag == _TAG_LITERAL:
+                run, pos = decode_varint(data, pos)
+                if pos + run > n:
+                    raise CorruptStreamError("literal run past end of stream")
+                out += data[pos : pos + run]
+                pos += run
+            elif tag == _TAG_COPY:
+                length, pos = decode_varint(data, pos)
+                distance, pos = decode_varint(data, pos)
+                start = len(out) - distance
+                if start < 0:
+                    raise CorruptStreamError("copy distance before stream start")
+                if distance >= length:
+                    out += out[start : start + length]
+                else:
+                    for i in range(length):
+                        out.append(out[start + i])
+            else:
+                raise CorruptStreamError(f"unknown element tag {tag:#x}")
+        if len(out) != raw_len:
+            raise CorruptStreamError(
+                f"decoded {len(out)} bytes, header promised {raw_len}"
+            )
+        return bytes(out)

@@ -1,0 +1,95 @@
+"""Reference codecs backed by the Python standard library.
+
+These wrap :mod:`zlib`, :mod:`bz2` and :mod:`lzma` behind the same
+:class:`~repro.compression.base.Codec` interface as the from-scratch
+implementations.  They exist to cross-check compression *ratios* against
+battle-tested coders and to let the storage layer run at C speed when a
+benchmark wants paper-scale data volumes.
+"""
+
+from __future__ import annotations
+
+import bz2
+import lzma
+import zlib
+
+from repro.compression.base import Codec, register_codec
+from repro.errors import CorruptStreamError
+
+
+@register_codec
+class GzipRefCodec(Codec):
+    """zlib/DEFLATE at default level (the paper's GZIP reference)."""
+
+    name = "gzip-ref"
+
+    def __init__(self, level: int = 6) -> None:
+        self._level = level
+
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data`` losslessly (Codec interface)."""
+        return zlib.compress(data, self._level)
+
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress` (Codec interface)."""
+        try:
+            return zlib.decompress(data)
+        except zlib.error as exc:
+            raise CorruptStreamError(f"zlib stream error: {exc}") from exc
+
+
+@register_codec
+class Bz2RefCodec(Codec):
+    """bz2 (BWT family) reference codec."""
+
+    name = "bz2-ref"
+
+    def __init__(self, level: int = 9) -> None:
+        self._level = level
+
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data`` losslessly (Codec interface)."""
+        return bz2.compress(data, self._level)
+
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress` (Codec interface)."""
+        try:
+            return bz2.decompress(data)
+        except OSError as exc:
+            raise CorruptStreamError(f"bz2 stream error: {exc}") from exc
+
+
+@register_codec
+class LzmaRefCodec(Codec):
+    """xz/LZMA reference codec (the paper's 7z reference)."""
+
+    name = "7z-ref"
+
+    def __init__(self, preset: int = 6) -> None:
+        self._preset = preset
+
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data`` losslessly (Codec interface)."""
+        return lzma.compress(data, preset=self._preset)
+
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress` (Codec interface)."""
+        try:
+            return lzma.decompress(data)
+        except lzma.LZMAError as exc:
+            raise CorruptStreamError(f"lzma stream error: {exc}") from exc
+
+
+@register_codec
+class IdentityCodec(Codec):
+    """No-op codec used by the RAW baseline and for overhead measurements."""
+
+    name = "identity"
+
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data`` losslessly (Codec interface)."""
+        return data
+
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress` (Codec interface)."""
+        return data

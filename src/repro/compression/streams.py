@@ -1,0 +1,185 @@
+"""Framed streaming compression over any registered codec.
+
+The paper's storage desiderata include "maximum compatibility with I/O
+stream libraries in the big data ecosystem" — snapshot files are written
+and read as streams, not single buffers.  This module adds a chunked
+container so any :class:`~repro.compression.base.Codec` can compress an
+unbounded stream with bounded memory:
+
+``[magic b"SPF1"][codec_name_len u8][codec_name]`` then frames of
+``[raw_len varint][compressed_len varint][compressed bytes]`` and a
+terminating empty frame (``0 0``).
+
+Each frame is independently decodable, so readers can stop early and
+corrupt tails are detected frame-by-frame.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import BinaryIO, Iterator
+
+from repro.compression.base import Codec, get_codec
+from repro.compression.varint import encode_varint
+from repro.errors import CorruptStreamError
+
+_MAGIC = b"SPF1"
+DEFAULT_FRAME_SIZE = 256 * 1024
+
+
+class CompressedWriter:
+    """File-like writer: buffers bytes and emits compressed frames."""
+
+    def __init__(
+        self,
+        sink: BinaryIO,
+        codec: Codec | str = "gzip",
+        frame_size: int = DEFAULT_FRAME_SIZE,
+    ) -> None:
+        if frame_size < 1:
+            raise ValueError("frame_size must be positive")
+        self._codec = get_codec(codec) if isinstance(codec, str) else codec
+        self._sink = sink
+        self._frame_size = frame_size
+        self._buffer = bytearray()
+        self._closed = False
+        name = self._codec.name.encode("ascii")
+        sink.write(_MAGIC)
+        sink.write(bytes([len(name)]))
+        sink.write(name)
+
+    def write(self, data: bytes) -> int:
+        """Buffer ``data``, flushing complete frames."""
+        if self._closed:
+            raise ValueError("writer is closed")
+        self._buffer += data
+        while len(self._buffer) >= self._frame_size:
+            self._emit(bytes(self._buffer[: self._frame_size]))
+            del self._buffer[: self._frame_size]
+        return len(data)
+
+    def flush(self) -> None:
+        """Emit any buffered partial frame."""
+        if self._buffer:
+            self._emit(bytes(self._buffer))
+            self._buffer.clear()
+
+    def close(self) -> None:
+        """Flush and write the terminating frame."""
+        if self._closed:
+            return
+        self.flush()
+        self._sink.write(encode_varint(0))
+        self._sink.write(encode_varint(0))
+        self._closed = True
+
+    def _emit(self, chunk: bytes) -> None:
+        compressed = self._codec.compress(chunk)
+        self._sink.write(encode_varint(len(chunk)))
+        self._sink.write(encode_varint(len(compressed)))
+        self._sink.write(compressed)
+
+    def __enter__(self) -> "CompressedWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class CompressedReader:
+    """File-like reader over a :class:`CompressedWriter` stream."""
+
+    def __init__(self, source: BinaryIO) -> None:
+        magic = source.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise CorruptStreamError("bad stream-container magic")
+        name_len = source.read(1)
+        if not name_len:
+            raise CorruptStreamError("truncated codec name")
+        name = source.read(name_len[0]).decode("ascii")
+        self._codec = get_codec(name)
+        self._source = source
+        self._pending = bytearray()
+        self._exhausted = False
+
+    @property
+    def codec_name(self) -> str:
+        """Name of the codec recorded in the stream header."""
+        return self._codec.name
+
+    def read(self, size: int = -1) -> bytes:
+        """Read up to ``size`` bytes (all remaining when negative)."""
+        if size < 0:
+            chunks = [bytes(self._pending)]
+            self._pending.clear()
+            for frame in self._frames():
+                chunks.append(frame)
+            return b"".join(chunks)
+        while len(self._pending) < size and not self._exhausted:
+            frame = self._next_frame()
+            if frame is None:
+                break
+            self._pending += frame
+        out = bytes(self._pending[:size])
+        del self._pending[:size]
+        return out
+
+    def _frames(self) -> Iterator[bytes]:
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                return
+            yield frame
+
+    def _next_frame(self) -> bytes | None:
+        if self._exhausted:
+            return None
+        raw_len = self._read_varint()
+        compressed_len = self._read_varint()
+        if raw_len == 0 and compressed_len == 0:
+            self._exhausted = True
+            return None
+        payload = self._source.read(compressed_len)
+        if len(payload) != compressed_len:
+            raise CorruptStreamError("truncated frame payload")
+        chunk = self._codec.decompress(payload)
+        if len(chunk) != raw_len:
+            raise CorruptStreamError(
+                f"frame decoded to {len(chunk)} bytes, header said {raw_len}"
+            )
+        return chunk
+
+    def _read_varint(self) -> int:
+        shift = 0
+        value = 0
+        while True:
+            byte = self._source.read(1)
+            if not byte:
+                raise CorruptStreamError("truncated frame header")
+            value |= (byte[0] & 0x7F) << shift
+            if not byte[0] & 0x80:
+                return value
+            shift += 7
+            if shift > 63:
+                raise CorruptStreamError("frame header varint too long")
+
+    def __enter__(self) -> "CompressedReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+def compress_stream(
+    data: bytes, codec: Codec | str = "gzip", frame_size: int = DEFAULT_FRAME_SIZE
+) -> bytes:
+    """One-shot helper: wrap ``data`` in the framed container."""
+    sink = io.BytesIO()
+    with CompressedWriter(sink, codec=codec, frame_size=frame_size) as writer:
+        writer.write(data)
+    return sink.getvalue()
+
+
+def decompress_stream(payload: bytes) -> bytes:
+    """One-shot helper: unwrap a framed container."""
+    return CompressedReader(io.BytesIO(payload)).read()

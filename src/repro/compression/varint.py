@@ -1,0 +1,45 @@
+"""LEB128-style unsigned varints used by the codec containers."""
+
+from __future__ import annotations
+
+from repro.errors import CorruptStreamError
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as a little-endian base-128 varint."""
+    if value < 0:
+        raise ValueError("varints encode non-negative integers only")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint starting at ``offset``.
+
+    Returns:
+        ``(value, next_offset)``.
+
+    Raises:
+        CorruptStreamError: on truncated input or absurd length.
+    """
+    value = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise CorruptStreamError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 63:
+            raise CorruptStreamError("varint longer than 64 bits")

@@ -1,0 +1,32 @@
+"""SPATE core: configuration, data model, and the framework facade.
+
+The public entry point is :class:`repro.core.spate.Spate`; construct it
+with a :class:`repro.core.config.SpateConfig`, feed it snapshots from
+:mod:`repro.telco.generator`, and query it through
+:meth:`~repro.core.spate.Spate.explore` or the SQL interface in
+:mod:`repro.query.sql`.
+"""
+
+from repro.core.config import DecayPolicyConfig, HighlightsConfig, SpateConfig
+from repro.core.snapshot import Snapshot, Table, epoch_to_timestamp, timestamp_to_epoch
+
+__all__ = [
+    "DecayPolicyConfig",
+    "HighlightsConfig",
+    "SpateConfig",
+    "Snapshot",
+    "Table",
+    "Spate",
+    "epoch_to_timestamp",
+    "timestamp_to_epoch",
+]
+
+
+def __getattr__(name: str):
+    # Lazy import: Spate pulls in the index/dfs/query stack, which would
+    # otherwise make `repro.core.snapshot` unimportable in isolation.
+    if name == "Spate":
+        from repro.core.spate import Spate
+
+        return Spate
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

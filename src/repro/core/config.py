@@ -1,0 +1,108 @@
+"""Configuration for the SPATE framework."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class HighlightsConfig:
+    """Highlights-module settings (paper §V-B).
+
+    A value is a *highlight* when its occurrence frequency falls below
+    the threshold θ for the resolution level; each level can use its own
+    θ ("lower thresholds for higher levels [of] resolution").
+    """
+
+    #: Frequency thresholds θ per level, as fractions of records.
+    theta_day: float = 0.05
+    theta_month: float = 0.02
+    theta_year: float = 0.01
+    #: Attributes to aggregate into highlight summaries per table.
+    tracked_attributes: dict[str, list[str]] = field(
+        default_factory=lambda: {
+            "CDR": ["drop_flag", "result", "call_type", "upflux", "downflux", "duration_s"],
+            "NMS": ["kpi", "val", "drops", "throughput_kbps"],
+            "MR": ["rssi_dbm"],
+        }
+    )
+
+    def theta_for_level(self, level: str) -> float:
+        """Highlight threshold for a resolution level (day/month/year)."""
+        thetas = {"day": self.theta_day, "month": self.theta_month, "year": self.theta_year}
+        try:
+            return thetas[level]
+        except KeyError:
+            raise ConfigError(f"no highlights threshold for level {level!r}") from None
+
+    def __post_init__(self) -> None:
+        for name in ("theta_day", "theta_month", "theta_year"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class DecayPolicyConfig:
+    """Decaying-module settings (paper §V-C, data fungus).
+
+    The default policy is the paper's "Evict Oldest Individuals": keep
+    full-resolution snapshot leaves for ``keep_epochs`` ingestion
+    cycles; beyond that, leaves are purged and queries fall back to the
+    retained highlight aggregates.  Aggregates themselves decay after
+    ``keep_highlight_days`` at day granularity (monthly/yearly summaries
+    persist until their own horizons).
+    """
+
+    enabled: bool = True
+    #: Full-resolution retention horizon, in ingestion cycles.
+    keep_epochs: int = 48 * 365  # one year of 30-minute snapshots
+    #: Day-level highlight retention horizon, in days.
+    keep_highlight_days: int = 365 * 3
+    #: Month-level highlight retention horizon, in days.
+    keep_highlight_months_days: int = 365 * 10
+
+    def __post_init__(self) -> None:
+        if self.keep_epochs < 1:
+            raise ConfigError("keep_epochs must be at least 1")
+        if self.keep_highlight_days < 1:
+            raise ConfigError("keep_highlight_days must be at least 1")
+
+
+@dataclass(frozen=True)
+class SpateConfig:
+    """Top-level framework configuration.
+
+    Attributes:
+        codec: registered codec name for the storage layer (paper
+            default: GZIP).
+        layout: physical table layout before compression — "row" (the
+            paper's text files) or "columnar" (typed per-column
+            encodings; ~1.3x denser on the telco schema).
+        replication: DFS replication factor (paper testbed: 3).
+        block_size: DFS block size in bytes (paper testbed: 64 MB;
+            scaled down by default for in-process experiments).
+        leaf_spatial_index: attach a per-snapshot R-tree (paper argues
+            against it; kept for the ablation).
+        highlights: highlights-module settings.
+        decay: decaying-module settings.
+    """
+
+    codec: str = "gzip"
+    layout: str = "row"
+    replication: int = 3
+    block_size: int = 4 * 1024 * 1024
+    leaf_spatial_index: bool = False
+    highlights: HighlightsConfig = field(default_factory=HighlightsConfig)
+    decay: DecayPolicyConfig = field(default_factory=DecayPolicyConfig)
+
+    def __post_init__(self) -> None:
+        if self.replication < 1:
+            raise ConfigError("replication must be at least 1")
+        if self.block_size < 1024:
+            raise ConfigError("block_size must be at least 1 KiB")
+        from repro.core.layout import validate_layout
+
+        validate_layout(self.layout)

@@ -1,0 +1,95 @@
+"""Physical table layouts for the storage layer.
+
+Two layouts before the general-purpose codec:
+
+- ``row``: the paper's text files (``Table.serialize``) — one escaped
+  record per line.
+- ``columnar``: per-column typed encodings (RLE / delta / dictionary,
+  see :mod:`repro.compression.columnar`) concatenated into one blob.
+  The telco schema's low per-attribute entropy makes this ~1.3x denser
+  after compression (measured by the layout ablation bench).
+
+Both round-trip exactly; the layout ablation bench and the
+``SpateConfig.layout`` option let the two be compared end to end.
+"""
+
+from __future__ import annotations
+
+from repro.compression.columnar import decode_column, encode_column
+from repro.compression.varint import decode_varint, encode_varint
+from repro.core.snapshot import Table
+from repro.errors import ConfigError, CorruptStreamError
+
+ROW_LAYOUT = "row"
+COLUMNAR_LAYOUT = "columnar"
+LAYOUTS = (ROW_LAYOUT, COLUMNAR_LAYOUT)
+
+_COLUMNAR_MAGIC = b"COL1"
+
+
+def validate_layout(layout: str) -> str:
+    """Return ``layout`` or raise for unknown names."""
+    if layout not in LAYOUTS:
+        raise ConfigError(f"unknown layout {layout!r}; choose from {LAYOUTS}")
+    return layout
+
+
+def serialize_table(table: Table, layout: str = ROW_LAYOUT) -> bytes:
+    """Serialize a table in the requested physical layout."""
+    if layout == ROW_LAYOUT:
+        return table.serialize()
+    if layout == COLUMNAR_LAYOUT:
+        return _serialize_columnar(table)
+    raise ConfigError(f"unknown layout {layout!r}")
+
+
+def deserialize_table(name: str, data: bytes, layout: str = ROW_LAYOUT) -> Table:
+    """Invert :func:`serialize_table`."""
+    if layout == ROW_LAYOUT:
+        return Table.deserialize(name, data)
+    if layout == COLUMNAR_LAYOUT:
+        return _deserialize_columnar(name, data)
+    raise ConfigError(f"unknown layout {layout!r}")
+
+
+def _serialize_columnar(table: Table) -> bytes:
+    out = bytearray(_COLUMNAR_MAGIC)
+    out += encode_varint(len(table.columns))
+    out += encode_varint(len(table.rows))
+    for column in table.columns:
+        raw = column.encode("utf-8")
+        out += encode_varint(len(raw))
+        out += raw
+    for position in range(len(table.columns)):
+        cells = [row[position] for row in table.rows]
+        encoded = encode_column(cells)
+        out += encode_varint(len(encoded))
+        out += encoded
+    return bytes(out)
+
+
+def _deserialize_columnar(name: str, data: bytes) -> Table:
+    if data[: len(_COLUMNAR_MAGIC)] != _COLUMNAR_MAGIC:
+        raise CorruptStreamError("bad columnar table magic")
+    pos = len(_COLUMNAR_MAGIC)
+    n_columns, pos = decode_varint(data, pos)
+    n_rows, pos = decode_varint(data, pos)
+    columns: list[str] = []
+    for __ in range(n_columns):
+        length, pos = decode_varint(data, pos)
+        columns.append(data[pos : pos + length].decode("utf-8"))
+        pos += length
+    column_values: list[list[str]] = []
+    for __ in range(n_columns):
+        length, pos = decode_varint(data, pos)
+        cells = decode_column(data[pos : pos + length])
+        pos += length
+        if len(cells) != n_rows:
+            raise CorruptStreamError(
+                f"column has {len(cells)} cells, header promised {n_rows}"
+            )
+        column_values.append(cells)
+    rows = [
+        [column_values[c][r] for c in range(n_columns)] for r in range(n_rows)
+    ]
+    return Table(name=name, columns=columns, rows=rows)

@@ -1,0 +1,114 @@
+"""Operational metrics for the SPATE warehouse.
+
+A lightweight counter/gauge registry the facade updates on every
+ingest, query, and decay pass — the observability surface an operator
+of the paper's system would watch (ingest lag vs the 30-minute budget,
+compression ratio trend, decay reclamation, query mix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WarehouseMetrics:
+    """Running totals for one SPATE instance."""
+
+    snapshots_ingested: int = 0
+    records_ingested: int = 0
+    raw_bytes_ingested: int = 0
+    stored_bytes_written: int = 0
+    ingest_seconds_total: float = 0.0
+
+    exploration_queries: int = 0
+    snapshots_decompressed: int = 0
+    decayed_answers: int = 0
+
+    decay_passes: int = 0
+    leaves_evicted: int = 0
+    bytes_reclaimed: int = 0
+
+    #: max ingest time seen, to compare against the epoch budget.
+    worst_ingest_seconds: float = 0.0
+    _ratio_samples: list[float] = field(default_factory=list, repr=False)
+
+    # ------------------------------------------------------------------
+    # Update hooks (called by the facade)
+    # ------------------------------------------------------------------
+
+    def on_ingest(
+        self,
+        records: int,
+        raw_bytes: int,
+        stored_bytes: int,
+        seconds: float,
+    ) -> None:
+        """Record one ingested snapshot's sizes and timing."""
+        self.snapshots_ingested += 1
+        self.records_ingested += records
+        self.raw_bytes_ingested += raw_bytes
+        self.stored_bytes_written += stored_bytes
+        self.ingest_seconds_total += seconds
+        if seconds > self.worst_ingest_seconds:
+            self.worst_ingest_seconds = seconds
+        if stored_bytes:
+            self._ratio_samples.append(raw_bytes / stored_bytes)
+
+    def on_explore(self, snapshots_read: int, used_decayed: bool) -> None:
+        """Record one exploration query's storage touch."""
+        self.exploration_queries += 1
+        self.snapshots_decompressed += snapshots_read
+        if used_decayed:
+            self.decayed_answers += 1
+
+    def on_decay(self, leaves_evicted: int, bytes_reclaimed: int) -> None:
+        """Record one decay pass's evictions."""
+        self.decay_passes += 1
+        self.leaves_evicted += leaves_evicted
+        self.bytes_reclaimed += bytes_reclaimed
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    @property
+    def mean_compression_ratio(self) -> float:
+        """Average per-snapshot compression ratio so far."""
+        if not self._ratio_samples:
+            return 0.0
+        return sum(self._ratio_samples) / len(self._ratio_samples)
+
+    @property
+    def mean_ingest_seconds(self) -> float:
+        """Average ingest time per snapshot so far."""
+        if not self.snapshots_ingested:
+            return 0.0
+        return self.ingest_seconds_total / self.snapshots_ingested
+
+    def epoch_budget_headroom(self, epoch_seconds: float = 30 * 60) -> float:
+        """How many times the worst ingest fits in one epoch."""
+        if self.worst_ingest_seconds == 0.0:
+            return float("inf")
+        return epoch_seconds / self.worst_ingest_seconds
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            "SPATE warehouse metrics",
+            f"  snapshots ingested:    {self.snapshots_ingested}",
+            f"  records ingested:      {self.records_ingested:,}",
+            f"  raw -> stored bytes:   {self.raw_bytes_ingested:,} -> "
+            f"{self.stored_bytes_written:,} "
+            f"(mean ratio {self.mean_compression_ratio:.2f}x)",
+            f"  mean/worst ingest:     {self.mean_ingest_seconds * 1000:.1f} ms / "
+            f"{self.worst_ingest_seconds * 1000:.1f} ms "
+            f"(budget headroom {self.epoch_budget_headroom():,.0f}x)",
+            f"  exploration queries:   {self.exploration_queries} "
+            f"({self.decayed_answers} answered from decayed summaries)",
+            f"  snapshots decompressed:{self.snapshots_decompressed}",
+            f"  decay: {self.decay_passes} passes, "
+            f"{self.leaves_evicted} leaves evicted, "
+            f"{self.bytes_reclaimed:,} bytes reclaimed",
+        ]
+        return "\n".join(lines)

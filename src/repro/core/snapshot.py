@@ -1,0 +1,186 @@
+"""Relational snapshot data model.
+
+Telco data arrives in 30-minute batches ("snapshots", paper §II-B): each
+snapshot is a set of tables (CDR, NMS, ...) of string-valued records
+over a fixed schema.  Cells are kept as strings end-to-end — the paper
+notes the data "mostly contains string and integer values", and keeping
+the wire representation canonical makes compression measurements honest.
+
+Serialization is a CSV-like text format (newline-separated records,
+``|``-separated cells with escaping) chosen to mirror the paper's
+text-format HDFS files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+
+EPOCH_MINUTES = 30
+EPOCHS_PER_DAY = 24 * 60 // EPOCH_MINUTES  # 48
+#: Trace origin: Monday 2016-01-18 00:00, matching the paper's one-week span.
+TRACE_ORIGIN = datetime(2016, 1, 18, 0, 0, 0)
+
+_FIELD_SEP = "|"
+_ESCAPE = {"|": "\\p", "\n": "\\n", "\\": "\\\\"}
+_UNESCAPE = {"\\p": "|", "\\n": "\n", "\\\\": "\\"}
+
+
+def epoch_to_timestamp(epoch: int) -> datetime:
+    """Start time of ingestion cycle ``epoch`` (0-based from the origin)."""
+    return TRACE_ORIGIN + timedelta(minutes=EPOCH_MINUTES * epoch)
+
+
+def timestamp_to_epoch(when: datetime) -> int:
+    """Ingestion cycle containing ``when``."""
+    delta = when - TRACE_ORIGIN
+    return int(delta.total_seconds() // (EPOCH_MINUTES * 60))
+
+
+def _escape_cell(cell: str) -> str:
+    if "|" not in cell and "\n" not in cell and "\\" not in cell:
+        return cell
+    out = cell.replace("\\", "\\\\").replace("|", "\\p").replace("\n", "\\n")
+    return out
+
+
+def _unescape_cell(cell: str) -> str:
+    if "\\" not in cell:
+        return cell
+    out = []
+    i = 0
+    while i < len(cell):
+        if cell[i] == "\\" and i + 1 < len(cell):
+            out.append(_UNESCAPE.get(cell[i : i + 2], cell[i : i + 2]))
+            i += 2
+        else:
+            out.append(cell[i])
+            i += 1
+    return "".join(out)
+
+
+@dataclass
+class Table:
+    """A named relation: column names plus rows of string cells."""
+
+    name: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(set(self.columns)) != len(self.columns):
+            raise ValueError(f"table {self.name!r} has duplicate column names")
+
+    def column_index(self, column: str) -> int:
+        """Position of ``column``; raises ``KeyError`` with table context."""
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise KeyError(f"table {self.name!r} has no column {column!r}") from None
+
+    def column_values(self, column: str) -> list[str]:
+        """All cells of one column, in row order."""
+        idx = self.column_index(column)
+        return [row[idx] for row in self.rows]
+
+    def append(self, row: list[str]) -> None:
+        """Add a record, validating arity."""
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row arity {len(row)} != schema arity {len(self.columns)} "
+                f"for table {self.name!r}"
+            )
+        self.rows.append(row)
+
+    def serialize(self) -> bytes:
+        """Text wire form: header line, then one escaped record per line."""
+        lines = [_FIELD_SEP.join(_escape_cell(c) for c in self.columns)]
+        for row in self.rows:
+            lines.append(_FIELD_SEP.join(_escape_cell(c) for c in row))
+        return ("\n".join(lines) + "\n").encode("utf-8")
+
+    @classmethod
+    def deserialize(cls, name: str, data: bytes) -> "Table":
+        """Invert :meth:`serialize`."""
+        text = data.decode("utf-8")
+        lines = text.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        if not lines:
+            raise ValueError(f"empty payload for table {name!r}")
+        columns = [_unescape_cell(c) for c in lines[0].split(_FIELD_SEP)]
+        table = cls(name=name, columns=columns)
+        arity = len(columns)
+        for line in lines[1:]:
+            cells = [_unescape_cell(c) for c in line.split(_FIELD_SEP)]
+            if len(cells) != arity:
+                raise ValueError(
+                    f"record arity {len(cells)} != header arity {arity} "
+                    f"in table {name!r}"
+                )
+            table.rows.append(cells)
+        return table
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+@dataclass
+class Snapshot:
+    """One ingestion cycle's worth of data: an epoch plus its tables."""
+
+    epoch: int
+    tables: dict[str, Table] = field(default_factory=dict)
+
+    @property
+    def timestamp(self) -> datetime:
+        """Start time of this snapshot's ingestion cycle."""
+        return epoch_to_timestamp(self.epoch)
+
+    def add_table(self, table: Table) -> None:
+        """Attach a table; rejects duplicate table names."""
+        if table.name in self.tables:
+            raise ValueError(f"snapshot already has table {table.name!r}")
+        self.tables[table.name] = table
+
+    def record_count(self) -> int:
+        """Total records across all tables."""
+        return sum(len(t) for t in self.tables.values())
+
+    def serialize(self) -> bytes:
+        """Wire form: per-table section headers then table payloads.
+
+        Layout: for each table (sorted by name) a line
+        ``#table <name> <payload_bytes>`` followed by the payload.
+        """
+        out = bytearray()
+        out += f"#snapshot {self.epoch}\n".encode()
+        for name in sorted(self.tables):
+            payload = self.tables[name].serialize()
+            out += f"#table {name} {len(payload)}\n".encode()
+            out += payload
+        return bytes(out)
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "Snapshot":
+        """Invert :meth:`serialize`."""
+        newline = data.index(b"\n")
+        header = data[:newline].decode("utf-8")
+        if not header.startswith("#snapshot "):
+            raise ValueError("payload does not start with a snapshot header")
+        snapshot = cls(epoch=int(header.split(" ", 1)[1]))
+        pos = newline + 1
+        while pos < len(data):
+            newline = data.index(b"\n", pos)
+            line = data[pos:newline].decode("utf-8")
+            if not line.startswith("#table "):
+                raise ValueError(f"expected table header, found {line!r}")
+            __, name, size = line.split(" ")
+            pos = newline + 1
+            payload = data[pos : pos + int(size)]
+            snapshot.add_table(Table.deserialize(name, payload))
+            pos += int(size)
+        return snapshot

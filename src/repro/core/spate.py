@@ -1,0 +1,298 @@
+"""The SPATE framework facade (paper Figure 1).
+
+Wires the three layers together: the storage layer (lossless codec over
+a replicated DFS), the indexing layer (multi-resolution temporal index,
+incremence, highlights, decay), and the application layer (exploration
+queries; the SQL interface lives in :mod:`repro.query.sql`).
+
+Typical use::
+
+    from repro.core import Spate, SpateConfig
+    from repro.telco import TelcoTraceGenerator, TraceConfig
+
+    gen = TelcoTraceGenerator(TraceConfig(scale=0.01))
+    spate = Spate(SpateConfig(codec="gzip"))
+    spate.register_cells(gen.cells_table())
+    for snapshot in gen.generate():
+        spate.ingest(snapshot)
+    spate.finalize()
+    result = spate.explore("CDR", ("downflux",), box=None,
+                           first_epoch=0, last_epoch=47)
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import Framework, IngestStats
+from repro.compression.base import get_codec
+from repro.core.config import SpateConfig
+from repro.core.metrics import WarehouseMetrics
+from repro.core.snapshot import Snapshot, Table
+from repro.dfs.filesystem import SimulatedDFS
+from repro.errors import DecayedDataError, QueryError
+from repro.index.decay import DecayModule, DecayReport
+from repro.index.highlights import Highlight
+from repro.index.incremence import IncremenceModule, IngestReport
+from repro.index.temporal import SnapshotLeaf, TemporalIndex
+from repro.query.explore import ExplorationEngine, ExplorationQuery, ExplorationResult
+from repro.spatial.geometry import BoundingBox, Point
+from repro.spatial.rtree import RTree
+
+
+class Spate(Framework):
+    """The SPATE telco big-data exploration framework."""
+
+    name = "SPATE"
+
+    def __init__(
+        self,
+        config: SpateConfig | None = None,
+        dfs: SimulatedDFS | None = None,
+    ) -> None:
+        self.config = config or SpateConfig()
+        dfs = dfs or SimulatedDFS(
+            block_size=self.config.block_size,
+            default_replication=self.config.replication,
+        )
+        super().__init__(dfs)
+        self.codec = get_codec(self.config.codec)
+        self.index = TemporalIndex()
+        self.incremence = IncremenceModule(
+            dfs=self.dfs, index=self.index, codec=self.codec, config=self.config
+        )
+        self.decay = DecayModule(
+            dfs=self.dfs, index=self.index, config=self.config.decay
+        )
+        self.cell_locations: dict[str, Point] = {}
+        self.area: BoundingBox | None = None
+        self._leaf_spatial: dict[int, RTree] = {}
+        self._explorer: ExplorationEngine | None = None
+        self._last_ingest_report: IngestReport | None = None
+        self.metrics = WarehouseMetrics()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def register_cells(self, cells: Table) -> None:
+        """Load the CELL relation so records gain spatial meaning.
+
+        Every record is linked to a cell id; the cell centroid (x, y)
+        is the finest location available (paper §II-B).
+        """
+        x_idx = cells.column_index("x")
+        y_idx = cells.column_index("y")
+        id_idx = cells.column_index("cell_id")
+        for row in cells.rows:
+            self.cell_locations[row[id_idx]] = Point(float(row[x_idx]), float(row[y_idx]))
+        if self.cell_locations:
+            points = list(self.cell_locations.values())
+            self.area = BoundingBox.from_points(points)
+        self._explorer = None  # rebuild with the new locations
+
+    # ------------------------------------------------------------------
+    # Framework interface
+    # ------------------------------------------------------------------
+
+    def ingest(self, snapshot: Snapshot) -> IngestStats:
+        """Compress, store, index and (optionally) decay for one epoch."""
+        io_before = self.dfs.modeled_io_seconds
+        report = self.incremence.ingest(snapshot)
+        self._last_ingest_report = report
+        if self.config.leaf_spatial_index:
+            self._build_leaf_rtree(snapshot)
+        if self.config.decay.enabled:
+            decay_report = self.decay.run()
+            if decay_report.leaves_evicted:
+                self.metrics.on_decay(
+                    decay_report.leaves_evicted, decay_report.bytes_reclaimed
+                )
+        self._epoch_tables[snapshot.epoch] = {
+            name: self.incremence.leaf_path(snapshot.epoch, name)
+            for name in snapshot.tables
+        }
+        seconds = report.total_seconds + (self.dfs.modeled_io_seconds - io_before)
+        self.metrics.on_ingest(
+            records=snapshot.record_count(),
+            raw_bytes=report.raw_bytes,
+            stored_bytes=report.compressed_bytes,
+            seconds=seconds,
+        )
+        return IngestStats(
+            epoch=snapshot.epoch,
+            seconds=seconds,
+            raw_bytes=report.raw_bytes,
+            stored_bytes=report.compressed_bytes,
+        )
+
+    def read_table(self, epoch: int, table: str) -> Table | None:
+        """Decompress one table of one stored snapshot.
+
+        Raises:
+            QueryError: if the epoch was never ingested.
+            DecayedDataError: if the snapshot has been evicted by decay.
+        """
+        leaf = self._require_leaf(epoch)
+        return self._read_leaf_table(leaf, table)
+
+    def read_snapshot(self, epoch: int) -> Snapshot:
+        """Decompress one stored snapshot (all tables).
+
+        Raises:
+            QueryError: if the epoch was never ingested.
+            DecayedDataError: if the snapshot has been evicted by decay.
+        """
+        leaf = self._require_leaf(epoch)
+        snapshot = Snapshot(epoch=epoch)
+        for name in sorted(leaf.table_paths):
+            loaded = self._read_leaf_table(leaf, name)
+            if loaded is not None:
+                snapshot.add_table(loaded)
+        return snapshot
+
+    def _require_leaf(self, epoch: int) -> SnapshotLeaf:
+        leaf = self._find_leaf(epoch)
+        if leaf is None:
+            raise QueryError(f"epoch {epoch} was never ingested")
+        if leaf.decayed:
+            raise DecayedDataError(
+                f"epoch {epoch} decayed; only aggregates remain"
+            )
+        return leaf
+
+    def ingested_epochs(self) -> list[int]:
+        """Live (non-decayed) epochs — decayed leaves can't be scanned."""
+        return [leaf.epoch for leaf in self.index.leaves() if not leaf.decayed]
+
+    def finalize(self) -> None:
+        """Close the stream: finalize trailing day/month/year summaries."""
+        self.incremence.finalize()
+
+    # ------------------------------------------------------------------
+    # Exploration API
+    # ------------------------------------------------------------------
+
+    def explore(
+        self,
+        table: str,
+        attributes: tuple[str, ...],
+        box: BoundingBox | None,
+        first_epoch: int,
+        last_epoch: int,
+        coarse: bool = False,
+    ) -> ExplorationResult:
+        """Run Q(a, b, w).
+
+        Args:
+            coarse: use the paper's single-covering-node prefetch mode
+                instead of the per-day finest-resolution walk.
+        """
+        query = ExplorationQuery(
+            table=table,
+            attributes=tuple(attributes),
+            box=box,
+            first_epoch=first_epoch,
+            last_epoch=last_epoch,
+        )
+        engine = self._engine()
+        result = (
+            engine.evaluate_coarse(query) if coarse else engine.evaluate(query)
+        )
+        self.metrics.on_explore(result.snapshots_read, result.used_decayed_data)
+        return result
+
+    def highlights(self, first_epoch: int, last_epoch: int) -> list[Highlight]:
+        """Detected highlights overlapping the window."""
+        return self._engine().highlights_in_window(first_epoch, last_epoch)
+
+    def run_decay(self) -> DecayReport:
+        """Force a decay pass (normally run on every ingest)."""
+        report = self.decay.run()
+        if report.leaves_evicted:
+            self.metrics.on_decay(report.leaves_evicted, report.bytes_reclaimed)
+        return report
+
+    def decay_groups(
+        self, older_than_epoch: int, keep_fraction: float = 0.25
+    ):
+        """Apply the "Evict Grouped Individuals" fungus: rewrite leaves
+        older than ``older_than_epoch`` keeping only the busiest
+        ``keep_fraction`` of cells (selected from the index's per-cell
+        summaries).  Returns the :class:`~repro.index.fungus.
+        GroupDecayReport`.
+        """
+        from repro.index.fungus import EvictGroupedIndividuals, busiest_cells
+
+        keep = busiest_cells(self.index, "CDR", keep_fraction)
+        if not keep:
+            # Summaries not finalized yet; fall back to all known cells.
+            keep = set(self.cell_locations)
+        fungus = EvictGroupedIndividuals(
+            dfs=self.dfs,
+            index=self.index,
+            codec=self.codec,
+            layout=self.config.layout,
+        )
+        report = fungus.run(older_than_epoch, keep)
+        if report.bytes_reclaimed:
+            self.metrics.on_decay(0, report.bytes_reclaimed)
+        return report
+
+    def render_index(self) -> str:
+        """ASCII view of the temporal index (Figure 5)."""
+        return self.index.render()
+
+    @property
+    def last_ingest_report(self) -> IngestReport | None:
+        """Stage-level timing of the most recent ingest."""
+        return self._last_ingest_report
+
+    def leaf_rtree(self, epoch: int) -> RTree | None:
+        """Per-snapshot spatial index, when ``leaf_spatial_index`` is on."""
+        return self._leaf_spatial.get(epoch)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _engine(self) -> ExplorationEngine:
+        if self._explorer is None:
+            self._explorer = ExplorationEngine(
+                index=self.index,
+                read_leaf_table=self._read_leaf_table,
+                cell_locations=self.cell_locations,
+            )
+        return self._explorer
+
+    def _read_leaf_table(self, leaf: SnapshotLeaf, table: str) -> Table | None:
+        from repro.core.layout import deserialize_table
+
+        path = leaf.table_paths.get(table)
+        if path is None:
+            return None
+        return deserialize_table(
+            table,
+            self.codec.decompress(self.dfs.read_file(path)),
+            self.config.layout,
+        )
+
+    def _find_leaf(self, epoch: int) -> SnapshotLeaf | None:
+        for leaf in self.index.leaves():
+            if leaf.epoch == epoch:
+                return leaf
+        return None
+
+    def _build_leaf_rtree(self, snapshot: Snapshot) -> None:
+        """Optional per-leaf spatial index over the snapshot's records."""
+        tree = RTree(max_entries=16)
+        for table_name, table in snapshot.tables.items():
+            from repro.index.highlights import CELL_COLUMN
+
+            cell_col = CELL_COLUMN.get(table_name)
+            if cell_col is None or cell_col not in table.columns:
+                continue
+            cell_idx = table.column_index(cell_col)
+            for row_no, row in enumerate(table.rows):
+                location = self.cell_locations.get(row[cell_idx])
+                if location is not None:
+                    tree.insert_point(location, (table_name, row_no))
+        self._leaf_spatial[snapshot.epoch] = tree

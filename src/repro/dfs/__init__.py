@@ -1,0 +1,26 @@
+"""In-process simulation of a replicated block filesystem (HDFS-like).
+
+The paper stores snapshots on HDFS v2.5.2 with a 64 MB block size and
+replication factor 3.  This package provides the same contract in
+process: a :class:`~repro.dfs.filesystem.SimulatedDFS` with a namenode
+holding the namespace and block map, datanodes holding block payloads,
+rack-aware-ish placement, re-replication after datanode failures, and
+byte accounting (both logical file size and physical replicated usage —
+the quantity Figures 8 and 10 plot).
+"""
+
+from repro.dfs.block import Block, BlockId
+from repro.dfs.datanode import DataNode
+from repro.dfs.namenode import FileMeta, NameNode
+from repro.dfs.filesystem import DfsStats, IoCostModel, SimulatedDFS
+
+__all__ = [
+    "Block",
+    "BlockId",
+    "DataNode",
+    "FileMeta",
+    "NameNode",
+    "SimulatedDFS",
+    "DfsStats",
+    "IoCostModel",
+]

@@ -1,0 +1,32 @@
+"""Block primitives for the simulated DFS."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Opaque block identifier (monotonically assigned by the namenode).
+BlockId = int
+
+
+@dataclass(frozen=True)
+class Block:
+    """A fixed-maximum-size chunk of file data."""
+
+    block_id: BlockId
+    data: bytes
+
+    @property
+    def size(self) -> int:
+        """Payload size in bytes."""
+        return len(self.data)
+
+
+def split_into_blocks(data: bytes, block_size: int) -> list[bytes]:
+    """Chunk a payload into block-size pieces (last block may be short).
+
+    An empty payload yields no blocks, matching HDFS (a zero-length file
+    has an empty block list).
+    """
+    if block_size < 1:
+        raise ValueError("block_size must be positive")
+    return [data[i : i + block_size] for i in range(0, len(data), block_size)]

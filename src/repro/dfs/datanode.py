@@ -1,0 +1,78 @@
+"""Datanode: stores block replicas and reports usage."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dfs.block import Block, BlockId
+from repro.errors import StorageError
+
+
+@dataclass
+class DataNode:
+    """One storage node in the simulated cluster."""
+
+    node_id: str
+    capacity: int | None = None  # bytes; None = unbounded
+    alive: bool = True
+    _blocks: dict[BlockId, bytes] = field(default_factory=dict, repr=False)
+
+    @property
+    def used_bytes(self) -> int:
+        """Physical bytes stored on this node."""
+        return sum(len(b) for b in self._blocks.values())
+
+    @property
+    def block_count(self) -> int:
+        """Number of replicas resident on this node."""
+        return len(self._blocks)
+
+    def free_bytes(self) -> float:
+        """Remaining capacity (``inf`` when unbounded)."""
+        if self.capacity is None:
+            return float("inf")
+        return self.capacity - self.used_bytes
+
+    def store(self, block: Block) -> None:
+        """Accept a block replica.
+
+        Raises:
+            StorageError: if the node is dead or out of capacity.
+        """
+        if not self.alive:
+            raise StorageError(f"datanode {self.node_id} is down")
+        if self.capacity is not None and self.used_bytes + block.size > self.capacity:
+            raise StorageError(f"datanode {self.node_id} is full")
+        self._blocks[block.block_id] = block.data
+
+    def read(self, block_id: BlockId) -> bytes:
+        """Serve a block replica.
+
+        Raises:
+            StorageError: if the node is dead or lacks the replica.
+        """
+        if not self.alive:
+            raise StorageError(f"datanode {self.node_id} is down")
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise StorageError(
+                f"datanode {self.node_id} has no replica of block {block_id}"
+            ) from None
+
+    def drop(self, block_id: BlockId) -> None:
+        """Delete a replica if present (idempotent)."""
+        self._blocks.pop(block_id, None)
+
+    def has_block(self, block_id: BlockId) -> bool:
+        """True when this node holds a replica of the block."""
+        return block_id in self._blocks
+
+    def fail(self) -> None:
+        """Simulate a crash: replicas become unreachable (not erased —
+        a restarted node reports them back, like HDFS block reports)."""
+        self.alive = False
+
+    def restart(self) -> None:
+        """Bring the node back with whatever replicas it still holds."""
+        self.alive = True

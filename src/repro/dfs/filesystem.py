@@ -1,0 +1,249 @@
+"""SimulatedDFS: the client-facing replicated filesystem facade.
+
+Write path: split the payload into blocks, place each replica on the
+emptiest live datanodes, register locations with the namenode.  Read
+path: fetch each block from any live replica.  Failure handling: a
+killed datanode leaves blocks under-replicated; :meth:`SimulatedDFS.
+re_replicate` restores the target factor from surviving replicas, and a
+read raises :class:`~repro.errors.BlockLostError` only when *every*
+replica is gone — the behaviour the paper's replication-3 testbed buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dfs.block import Block, split_into_blocks
+from repro.dfs.datanode import DataNode
+from repro.dfs.namenode import NameNode
+from repro.errors import BlockLostError, ReplicationError, StorageError
+
+
+@dataclass(frozen=True)
+class DfsStats:
+    """Cluster-wide accounting snapshot."""
+
+    logical_bytes: int  # sum of file sizes (pre-replication)
+    physical_bytes: int  # bytes actually resident on datanodes
+    file_count: int
+    block_count: int
+    live_datanodes: int
+
+
+@dataclass(frozen=True)
+class IoCostModel:
+    """Models the disk/network cost the in-process DFS doesn't pay.
+
+    The paper's testbed uses slow 7.2K RPM RAID-5 disks behind HDFS;
+    ingestion and scan times there are dominated by streaming bytes to
+    and from those disks.  Serving everything from RAM would erase the
+    very effect Figures 7-12 measure (compressed files move fewer
+    bytes), so the simulator accounts a modeled I/O time per operation:
+    ``latency + bytes / bandwidth``, with replica pipelining adding a
+    fraction of the stream time per extra replica.
+    """
+
+    #: Effective streaming rate of the paper's virtualized 7.2K RPM
+    #: RAID-5 behind HDFS with replication traffic — slow by design.
+    bandwidth_bytes_per_s: float = 4e6
+    op_latency_s: float = 0.0003
+    replication_pipeline_factor: float = 0.3
+
+    def write_seconds(self, nbytes: int, replication: int) -> float:
+        """Modeled time to write ``nbytes`` with ``replication`` replicas."""
+        stream = nbytes / self.bandwidth_bytes_per_s
+        pipeline = 1.0 + self.replication_pipeline_factor * max(0, replication - 1)
+        return self.op_latency_s + stream * pipeline
+
+    def read_seconds(self, nbytes: int) -> float:
+        """Modeled time to stream ``nbytes`` off disk."""
+        return self.op_latency_s + nbytes / self.bandwidth_bytes_per_s
+
+
+class SimulatedDFS:
+    """An in-process HDFS-like filesystem."""
+
+    def __init__(
+        self,
+        datanodes: int = 4,
+        block_size: int = 4 * 1024 * 1024,
+        default_replication: int = 3,
+        node_capacity: int | None = None,
+        io_model: IoCostModel | None = None,
+    ) -> None:
+        """
+        Args:
+            datanodes: cluster size (paper testbed: 4 worker images).
+            block_size: maximum block payload (paper: 64 MB).
+            default_replication: replica target (paper: 3).
+            node_capacity: per-node byte budget, None for unbounded.
+            io_model: when given, every read/write accrues modeled I/O
+                seconds in :attr:`modeled_io_seconds` (see
+                :class:`IoCostModel`); None disables the model.
+        """
+        if datanodes < 1:
+            raise StorageError("cluster needs at least one datanode")
+        if default_replication < 1:
+            raise StorageError("replication must be at least 1")
+        self.block_size = block_size
+        self.default_replication = default_replication
+        self.io_model = io_model
+        #: Accumulated modeled I/O time; callers diff this around an
+        #: operation to charge it to a measurement.
+        self.modeled_io_seconds = 0.0
+        self.namenode = NameNode()
+        self.datanodes: dict[str, DataNode] = {
+            f"dn{i:02d}": DataNode(node_id=f"dn{i:02d}", capacity=node_capacity)
+            for i in range(datanodes)
+        }
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+
+    def write_file(self, path: str, data: bytes, replication: int | None = None) -> None:
+        """Create ``path`` with ``data``.
+
+        Raises:
+            FileExistsInDFSError: if the path exists.
+            ReplicationError: if fewer live nodes than replicas requested.
+        """
+        replication = replication or self.default_replication
+        live = self._live_nodes()
+        effective = min(replication, len(live))
+        if effective == 0:
+            raise ReplicationError("no live datanodes")
+        meta = self.namenode.create_file(path, replication=effective)
+        meta.size = len(data)
+        if self.io_model is not None:
+            self.modeled_io_seconds += self.io_model.write_seconds(
+                len(data), effective
+            )
+        for chunk in split_into_blocks(data, self.block_size):
+            block_id = self.namenode.allocate_block()
+            block = Block(block_id=block_id, data=chunk)
+            for node in self._pick_targets(effective):
+                node.store(block)
+                self.namenode.add_location(block_id, node.node_id)
+            meta.blocks.append(block_id)
+
+    def read_file(self, path: str) -> bytes:
+        """Read the full contents of ``path``.
+
+        Raises:
+            FileNotFoundInDFSError: for unknown paths.
+            BlockLostError: when a block has no live replica.
+        """
+        meta = self.namenode.lookup(path)
+        out = bytearray()
+        for block_id in meta.blocks:
+            out += self._read_block(block_id, path)
+        if self.io_model is not None:
+            self.modeled_io_seconds += self.io_model.read_seconds(len(out))
+        return bytes(out)
+
+    def delete_file(self, path: str) -> None:
+        """Remove ``path`` and reclaim all replicas."""
+        meta = self.namenode.delete_file(path)
+        for block_id in meta.blocks:
+            for node in self.datanodes.values():
+                node.drop(block_id)
+
+    def exists(self, path: str) -> bool:
+        """True when the path is present in the namespace."""
+        return self.namenode.exists(path)
+
+    def list_dir(self, prefix: str) -> list[str]:
+        """Paths under a directory prefix, sorted."""
+        return self.namenode.list_dir(prefix)
+
+    def file_size(self, path: str) -> int:
+        """Logical size of ``path`` in bytes."""
+        return self.namenode.lookup(path).size
+
+    # ------------------------------------------------------------------
+    # Cluster management / accounting
+    # ------------------------------------------------------------------
+
+    def stats(self) -> DfsStats:
+        """Cluster accounting: logical vs physical (replicated) bytes."""
+        files = self.namenode.files()
+        return DfsStats(
+            logical_bytes=sum(f.size for f in files),
+            physical_bytes=sum(n.used_bytes for n in self.datanodes.values()),
+            file_count=len(files),
+            block_count=sum(len(f.blocks) for f in files),
+            live_datanodes=len(self._live_nodes()),
+        )
+
+    def kill_datanode(self, node_id: str) -> None:
+        """Crash a datanode (replicas become unreachable)."""
+        self._node(node_id).fail()
+
+    def restart_datanode(self, node_id: str) -> None:
+        """Bring a crashed datanode back; its replicas re-register."""
+        self._node(node_id).restart()
+
+    def re_replicate(self) -> int:
+        """Restore the replication target for under-replicated blocks.
+
+        Copies from any surviving live replica to live nodes lacking
+        one.  Returns the number of new replicas created.  Blocks with
+        zero live replicas are skipped (they surface as
+        :class:`~repro.errors.BlockLostError` on read).
+        """
+        live_ids = {n.node_id for n in self._live_nodes()}
+        created = 0
+        for block_id, missing in self.namenode.under_replicated(live_ids):
+            sources = [
+                self.datanodes[nid]
+                for nid in self.namenode.locations(block_id)
+                if nid in live_ids and self.datanodes[nid].has_block(block_id)
+            ]
+            if not sources:
+                continue
+            data = sources[0].read(block_id)
+            holders = self.namenode.locations(block_id)
+            targets = [
+                node
+                for node in sorted(
+                    self._live_nodes(), key=lambda n: n.used_bytes
+                )
+                if node.node_id not in holders
+            ][:missing]
+            for node in targets:
+                node.store(Block(block_id=block_id, data=data))
+                self.namenode.add_location(block_id, node.node_id)
+                created += 1
+        return created
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _node(self, node_id: str) -> DataNode:
+        try:
+            return self.datanodes[node_id]
+        except KeyError:
+            raise StorageError(f"unknown datanode {node_id!r}") from None
+
+    def _live_nodes(self) -> list[DataNode]:
+        return [n for n in self.datanodes.values() if n.alive]
+
+    def _pick_targets(self, count: int) -> list[DataNode]:
+        """Emptiest-first placement across live nodes."""
+        live = sorted(self._live_nodes(), key=lambda n: n.used_bytes)
+        if len(live) < count:
+            raise ReplicationError(
+                f"need {count} live datanodes, have {len(live)}"
+            )
+        return live[:count]
+
+    def _read_block(self, block_id: int, path: str) -> bytes:
+        for node_id in self.namenode.locations(block_id):
+            node = self.datanodes.get(node_id)
+            if node is not None and node.alive and node.has_block(block_id):
+                return node.read(block_id)
+        raise BlockLostError(
+            f"block {block_id} of {path!r} has no live replica"
+        )

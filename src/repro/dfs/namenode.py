@@ -1,0 +1,139 @@
+"""Namenode: namespace and block map for the simulated DFS."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dfs.block import BlockId
+from repro.errors import FileExistsInDFSError, FileNotFoundInDFSError
+
+
+@dataclass
+class FileMeta:
+    """Metadata for one file in the namespace."""
+
+    path: str
+    blocks: list[BlockId] = field(default_factory=list)
+    size: int = 0
+    replication: int = 3
+
+
+class NameNode:
+    """Holds the path namespace and the block -> datanode location map."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, FileMeta] = {}
+        self._locations: dict[BlockId, set[str]] = {}
+        self._next_block_id: BlockId = 0
+
+    # ------------------------------------------------------------------
+    # Namespace operations
+    # ------------------------------------------------------------------
+
+    def create_file(self, path: str, replication: int) -> FileMeta:
+        """Register a new file.
+
+        Raises:
+            FileExistsInDFSError: when the path is taken.
+        """
+        path = normalize_path(path)
+        if path in self._files:
+            raise FileExistsInDFSError(path)
+        meta = FileMeta(path=path, replication=replication)
+        self._files[path] = meta
+        return meta
+
+    def lookup(self, path: str) -> FileMeta:
+        """Resolve a path.
+
+        Raises:
+            FileNotFoundInDFSError: for unknown paths.
+        """
+        path = normalize_path(path)
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundInDFSError(path) from None
+
+    def exists(self, path: str) -> bool:
+        """True when the path is present in the namespace."""
+        return normalize_path(path) in self._files
+
+    def delete_file(self, path: str) -> FileMeta:
+        """Remove a file from the namespace, returning its metadata so
+        the filesystem can reclaim replicas.
+
+        Raises:
+            FileNotFoundInDFSError: for unknown paths.
+        """
+        path = normalize_path(path)
+        try:
+            meta = self._files.pop(path)
+        except KeyError:
+            raise FileNotFoundInDFSError(path) from None
+        for block_id in meta.blocks:
+            self._locations.pop(block_id, None)
+        return meta
+
+    def list_dir(self, prefix: str) -> list[str]:
+        """Paths under a directory prefix, sorted."""
+        prefix = normalize_path(prefix)
+        if not prefix.endswith("/"):
+            prefix += "/"
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def file_count(self) -> int:
+        """Number of files in the namespace."""
+        return len(self._files)
+
+    def files(self) -> list[FileMeta]:
+        """All file metadata records."""
+        return list(self._files.values())
+
+    # ------------------------------------------------------------------
+    # Block map operations
+    # ------------------------------------------------------------------
+
+    def allocate_block(self) -> BlockId:
+        """Reserve and return a fresh block id."""
+        block_id = self._next_block_id
+        self._next_block_id += 1
+        self._locations[block_id] = set()
+        return block_id
+
+    def add_location(self, block_id: BlockId, node_id: str) -> None:
+        """Register ``node_id`` as holding a replica of the block."""
+        self._locations.setdefault(block_id, set()).add(node_id)
+
+    def remove_location(self, block_id: BlockId, node_id: str) -> None:
+        """Forget ``node_id`` as a replica holder (idempotent)."""
+        self._locations.get(block_id, set()).discard(node_id)
+
+    def locations(self, block_id: BlockId) -> set[str]:
+        """Datanodes believed to hold a replica of ``block_id``."""
+        return set(self._locations.get(block_id, set()))
+
+    def blocks_on(self, node_id: str) -> list[BlockId]:
+        """Every block with a replica registered on ``node_id``."""
+        return [b for b, nodes in self._locations.items() if node_id in nodes]
+
+    def under_replicated(self, live_nodes: set[str]) -> list[tuple[BlockId, int]]:
+        """Blocks whose live replica count is below their file's target.
+
+        Returns:
+            ``(block_id, missing_count)`` pairs.
+        """
+        out: list[tuple[BlockId, int]] = []
+        for meta in self._files.values():
+            for block_id in meta.blocks:
+                live = len(self._locations.get(block_id, set()) & live_nodes)
+                if live < meta.replication:
+                    out.append((block_id, meta.replication - live))
+        return out
+
+
+def normalize_path(path: str) -> str:
+    """Canonicalize a DFS path: leading slash, no trailing slash, no
+    duplicate separators."""
+    parts = [p for p in path.split("/") if p]
+    return "/" + "/".join(parts)

@@ -1,0 +1,14 @@
+"""Mini parallel execution engine (the paper's Spark substitute).
+
+Provides an RDD-like :class:`~repro.engine.dataset.ParallelDataset`
+with the narrow/wide transformations the T6-T8 tasks need (map, filter,
+reduce, reduceByKey, join, collect) executed over partitions by a
+thread pool, plus :mod:`repro.engine.ml` with from-scratch k-means,
+linear regression and multivariate column statistics mirroring Spark
+MLlib's ``KMeans``, ``LinearRegression`` and ``Statistics.colStats``.
+"""
+
+from repro.engine.context import EngineContext
+from repro.engine.dataset import ParallelDataset
+
+__all__ = ["EngineContext", "ParallelDataset"]

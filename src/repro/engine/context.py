@@ -1,0 +1,72 @@
+"""Engine context: owns the worker pool and creates datasets."""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.engine.partition import split_partitions
+
+
+class EngineContext:
+    """Analogue of a SparkContext: a worker pool plus dataset factory.
+
+    Threads (not processes) back the pool: the workloads here alternate
+    between DFS reads/decompression (which release the GIL in the
+    stdlib codecs) and pure-Python compute, matching the paper's
+    observation that T7/T8 are CPU-bound either way.
+
+    Use as a context manager, or call :meth:`shutdown` explicitly.
+    """
+
+    def __init__(self, parallelism: int | None = None) -> None:
+        if parallelism is None:
+            parallelism = min(8, os.cpu_count() or 2)
+        if parallelism < 1:
+            raise ValueError("parallelism must be positive")
+        self.parallelism = parallelism
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.parallelism, thread_name_prefix="repro-engine"
+        )
+        self._closed = False
+
+    def parallelize(self, items: Sequence[Any], partitions: int | None = None) -> "ParallelDataset":
+        """Create a dataset from an in-memory sequence."""
+        from repro.engine.dataset import ParallelDataset
+
+        parts = split_partitions(items, partitions or self.parallelism)
+        return ParallelDataset(self, parts)
+
+    def from_partitions(self, partitions: list[list[Any]]) -> "ParallelDataset":
+        """Create a dataset from pre-built partitions (e.g. one per
+        snapshot file, so IO parallelism follows storage layout)."""
+        from repro.engine.dataset import ParallelDataset
+
+        return ParallelDataset(self, [list(p) for p in partitions] or [[]])
+
+    def run_per_partition(
+        self, partitions: list[list[Any]], func: Callable[[list[Any]], Any]
+    ) -> list[Any]:
+        """Apply ``func`` to every partition concurrently, preserving order."""
+        if self._closed:
+            raise RuntimeError("engine context already shut down")
+        return list(self._pool.map(func, partitions))
+
+    def map_concurrently(self, func: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        """Plain concurrent map (used for per-file reads)."""
+        if self._closed:
+            raise RuntimeError("engine context already shut down")
+        return list(self._pool.map(func, items))
+
+    def shutdown(self) -> None:
+        """Stop the worker pool; further work is rejected."""
+        if not self._closed:
+            self._pool.shutdown(wait=True)
+            self._closed = True
+
+    def __enter__(self) -> "EngineContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,0 +1,259 @@
+"""ParallelDataset: a lazy, partitioned, RDD-like collection.
+
+Narrow transformations (map/filter/flat_map) compose lazily into a
+per-partition pipeline; actions (collect/count/reduce/...) trigger
+execution across the context's worker pool.  Wide operations
+(reduce_by_key, group_by_key, join, distinct) shuffle by key hash.
+"""
+
+from __future__ import annotations
+
+from functools import reduce as _functools_reduce
+from typing import Any, Callable, Iterable
+
+from repro.engine.partition import hash_partition
+from repro.errors import EngineError
+
+
+class ParallelDataset:
+    """A lazily-evaluated distributed collection."""
+
+    def __init__(
+        self,
+        context: "EngineContext",
+        partitions: list[list[Any]],
+        pipeline: tuple[tuple[str, Callable[[Any], Any]], ...] = (),
+    ) -> None:
+        self._context = context
+        self._partitions = partitions
+        self._pipeline = pipeline
+
+    # ------------------------------------------------------------------
+    # Narrow transformations (lazy)
+    # ------------------------------------------------------------------
+
+    def map(self, func: Callable[[Any], Any]) -> "ParallelDataset":
+        """Element-wise transform."""
+        return self._derive(("map", func))
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "ParallelDataset":
+        """Keep elements satisfying ``predicate``."""
+        return self._derive(("filter", predicate))
+
+    def flat_map(self, func: Callable[[Any], Iterable[Any]]) -> "ParallelDataset":
+        """Transform each element into zero or more elements."""
+        return self._derive(("flat_map", func))
+
+    def _derive(self, stage: tuple[str, Callable]) -> "ParallelDataset":
+        return ParallelDataset(self._context, self._partitions, self._pipeline + (stage,))
+
+    def _evaluate_partition(self, partition: list[Any]) -> list[Any]:
+        items = partition
+        for kind, func in self._pipeline:
+            if kind == "map":
+                items = [func(x) for x in items]
+            elif kind == "filter":
+                items = [x for x in items if func(x)]
+            elif kind == "flat_map":
+                items = [y for x in items for y in func(x)]
+            else:  # pragma: no cover - internal invariant
+                raise EngineError(f"unknown pipeline stage {kind!r}")
+        return items
+
+    def _materialize(self) -> list[list[Any]]:
+        return self._context.run_per_partition(self._partitions, self._evaluate_partition)
+
+    # ------------------------------------------------------------------
+    # Actions (eager)
+    # ------------------------------------------------------------------
+
+    def collect(self) -> list[Any]:
+        """All elements, partition order preserved."""
+        return [x for part in self._materialize() for x in part]
+
+    def count(self) -> int:
+        """Number of elements after the pipeline runs."""
+        return sum(len(part) for part in self._materialize())
+
+    def take(self, n: int) -> list[Any]:
+        """First ``n`` elements in partition order."""
+        out: list[Any] = []
+        for part in self._materialize():
+            out.extend(part)
+            if len(out) >= n:
+                return out[:n]
+        return out
+
+    def reduce(self, func: Callable[[Any, Any], Any]) -> Any:
+        """Tree-reduce: per-partition reduce then combine.
+
+        Raises:
+            EngineError: on an empty dataset.
+        """
+        partials = [
+            _functools_reduce(func, part)
+            for part in self._materialize()
+            if part
+        ]
+        if not partials:
+            raise EngineError("reduce over an empty dataset")
+        return _functools_reduce(func, partials)
+
+    def aggregate(
+        self,
+        zero: Any,
+        seq_op: Callable[[Any, Any], Any],
+        comb_op: Callable[[Any, Any], Any],
+    ) -> Any:
+        """Fold each partition from ``zero`` with ``seq_op``, then merge
+        partials with ``comb_op`` (zero must be immutable-or-copied by
+        the caller, as in Spark)."""
+
+        def fold(part: list[Any]) -> Any:
+            acc = zero
+            for item in part:
+                acc = seq_op(acc, item)
+            return acc
+
+        partials = self._context.run_per_partition(self._partitions_after(), fold)
+        result = zero
+        for partial in partials:
+            result = comb_op(result, partial)
+        return result
+
+    def _partitions_after(self) -> list[list[Any]]:
+        """Materialized partitions with the pipeline applied."""
+        return self._materialize()
+
+    # ------------------------------------------------------------------
+    # Wide (shuffle) operations
+    # ------------------------------------------------------------------
+
+    def reduce_by_key(self, func: Callable[[Any, Any], Any]) -> "ParallelDataset":
+        """Combine ``(k, v)`` pairs per key.  Map-side combine first,
+        then a hash shuffle, then final reduction per key."""
+        n_out = self._context.parallelism
+
+        def combine(part: list[Any]) -> dict[Any, Any]:
+            acc: dict[Any, Any] = {}
+            for key, value in part:
+                if key in acc:
+                    acc[key] = func(acc[key], value)
+                else:
+                    acc[key] = value
+            return acc
+
+        partials = self._context.run_per_partition(self._materialize(), combine)
+        buckets: list[dict[Any, Any]] = [{} for __ in range(n_out)]
+        for partial in partials:
+            for key, value in partial.items():
+                bucket = buckets[hash_partition(key, n_out)]
+                if key in bucket:
+                    bucket[key] = func(bucket[key], value)
+                else:
+                    bucket[key] = value
+        return ParallelDataset(
+            self._context, [list(b.items()) for b in buckets]
+        )
+
+    def group_by_key(self) -> "ParallelDataset":
+        """Gather ``(k, v)`` pairs into ``(k, [v...])``."""
+        return self.map(lambda kv: (kv[0], [kv[1]])).reduce_by_key(
+            lambda a, b: a + b
+        )
+
+    def map_values(self, func: Callable[[Any], Any]) -> "ParallelDataset":
+        """Transform only the value of ``(k, v)`` pairs."""
+        return self.map(lambda kv: (kv[0], func(kv[1])))
+
+    def join(self, other: "ParallelDataset") -> "ParallelDataset":
+        """Inner hash-join of two keyed datasets -> ``(k, (v1, v2))``."""
+        left = self.collect()
+        right_index: dict[Any, list[Any]] = {}
+        for key, value in other.collect():
+            right_index.setdefault(key, []).append(value)
+        joined = [
+            (key, (lv, rv))
+            for key, lv in left
+            for rv in right_index.get(key, ())
+        ]
+        return self._context.parallelize(joined)
+
+    def distinct(self) -> "ParallelDataset":
+        """Deduplicate elements (must be hashable)."""
+        seen: set[Any] = set()
+        out: list[Any] = []
+        for item in self.collect():
+            if item not in seen:
+                seen.add(item)
+                out.append(item)
+        return self._context.parallelize(out)
+
+    def union(self, other: "ParallelDataset") -> "ParallelDataset":
+        """Concatenate two datasets (no dedup, like RDD.union)."""
+        return ParallelDataset(
+            self._context, self._materialize() + other._materialize()
+        )
+
+    def sample(self, fraction: float, seed: int = 2017) -> "ParallelDataset":
+        """Bernoulli sample without replacement.
+
+        Raises:
+            EngineError: for a fraction outside [0, 1].
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise EngineError(f"sample fraction {fraction} outside [0, 1]")
+        import random
+
+        rng = random.Random(seed)
+        kept = [
+            [item for item in part if rng.random() < fraction]
+            for part in self._materialize()
+        ]
+        return ParallelDataset(self._context, kept)
+
+    def sort_by(self, key: Callable[[Any], Any], ascending: bool = True) -> "ParallelDataset":
+        """Total sort (materializes; fine for result-set sized data)."""
+        ordered = sorted(self.collect(), key=key, reverse=not ascending)
+        return self._context.parallelize(ordered)
+
+    def cache(self) -> "ParallelDataset":
+        """Materialize the pipeline once; downstream actions reuse it."""
+        return ParallelDataset(self._context, self._materialize())
+
+    def histogram(self, buckets: int, value_of: Callable[[Any], float] = float) -> tuple[list[float], list[int]]:
+        """Equal-width histogram of numeric values.
+
+        Returns:
+            (bucket_edges, counts) with ``len(edges) == buckets + 1``.
+
+        Raises:
+            EngineError: for an empty dataset or non-positive buckets.
+        """
+        if buckets < 1:
+            raise EngineError("histogram needs at least one bucket")
+        values = [value_of(x) for x in self.collect()]
+        if not values:
+            raise EngineError("histogram over an empty dataset")
+        lo, hi = min(values), max(values)
+        if lo == hi:
+            return [lo, hi], [len(values)]
+        width = (hi - lo) / buckets
+        edges = [lo + i * width for i in range(buckets)] + [hi]
+        counts = [0] * buckets
+        for value in values:
+            index = min(int((value - lo) / width), buckets - 1)
+            counts[index] += 1
+        return edges, counts
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_partitions(self) -> int:
+        """How many partitions back this dataset."""
+        return len(self._partitions)
+
+
+from repro.engine.context import EngineContext  # noqa: E402  (cycle-breaking)

@@ -1,0 +1,24 @@
+"""From-scratch ML algorithms mirroring the Spark MLlib calls in T6-T8.
+
+- :mod:`repro.engine.ml.colstats` — ``Statistics.colStats`` equivalent:
+  column-wise max, min, mean, variance, non-zero count, count (T6).
+- :mod:`repro.engine.ml.kmeans` — Lloyd's k-means with k-means++ seeding (T7).
+- :mod:`repro.engine.ml.linreg` — ordinary-least-squares linear
+  regression via the normal equations (T8).
+"""
+
+from repro.engine.ml.colstats import ColumnStatistics, col_stats
+from repro.engine.ml.kmeans import KMeansModel, kmeans
+from repro.engine.ml.linreg import LinearRegressionModel, linear_regression
+from repro.engine.ml.logreg import LogisticRegressionModel, logistic_regression
+
+__all__ = [
+    "ColumnStatistics",
+    "col_stats",
+    "KMeansModel",
+    "kmeans",
+    "LinearRegressionModel",
+    "linear_regression",
+    "LogisticRegressionModel",
+    "logistic_regression",
+]

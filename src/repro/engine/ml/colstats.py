@@ -1,0 +1,123 @@
+"""Multivariate column statistics (Spark's ``Statistics.colStats``).
+
+Computes, per column: count, mean, variance (sample), min, max and the
+number of non-zeros — exactly the summary the paper's T6 task requests.
+Implemented as a single parallel aggregation over the dataset using a
+mergeable accumulator (Chan et al.'s pairwise variance update), so the
+work distributes across engine partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.dataset import ParallelDataset
+from repro.errors import EngineError
+
+
+@dataclass
+class ColumnStatistics:
+    """Aggregated column-wise moments of a vector dataset."""
+
+    count: int
+    mean: np.ndarray
+    variance: np.ndarray
+    minimum: np.ndarray
+    maximum: np.ndarray
+    num_nonzeros: np.ndarray
+
+    def as_rows(self) -> list[tuple[str, list[float]]]:
+        """(metric, values) rows for report printing."""
+        return [
+            ("count", [float(self.count)] * len(self.mean)),
+            ("mean", self.mean.tolist()),
+            ("variance", self.variance.tolist()),
+            ("min", self.minimum.tolist()),
+            ("max", self.maximum.tolist()),
+            ("numNonzeros", self.num_nonzeros.tolist()),
+        ]
+
+
+@dataclass
+class _Accumulator:
+    """Mergeable running moments (parallel variance via Chan's method)."""
+
+    count: int = 0
+    mean: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    m2: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    minimum: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    maximum: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    nonzeros: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    def add(self, vector: np.ndarray) -> "_Accumulator":
+        """Fold one value into the running statistics."""
+        if self.count == 0:
+            return _Accumulator(
+                count=1,
+                mean=vector.astype(float),
+                m2=np.zeros_like(vector, dtype=float),
+                minimum=vector.astype(float),
+                maximum=vector.astype(float),
+                nonzeros=(vector != 0).astype(float),
+            )
+        count = self.count + 1
+        delta = vector - self.mean
+        mean = self.mean + delta / count
+        m2 = self.m2 + delta * (vector - mean)
+        return _Accumulator(
+            count=count,
+            mean=mean,
+            m2=m2,
+            minimum=np.minimum(self.minimum, vector),
+            maximum=np.maximum(self.maximum, vector),
+            nonzeros=self.nonzeros + (vector != 0),
+        )
+
+    def merge(self, other: "_Accumulator") -> "_Accumulator":
+        """Fold another accumulator of the same shape into this one."""
+        if self.count == 0:
+            return other
+        if other.count == 0:
+            return self
+        count = self.count + other.count
+        delta = other.mean - self.mean
+        mean = self.mean + delta * (other.count / count)
+        m2 = self.m2 + other.m2 + delta * delta * (self.count * other.count / count)
+        return _Accumulator(
+            count=count,
+            mean=mean,
+            m2=m2,
+            minimum=np.minimum(self.minimum, other.minimum),
+            maximum=np.maximum(self.maximum, other.maximum),
+            nonzeros=self.nonzeros + other.nonzeros,
+        )
+
+
+def col_stats(dataset: ParallelDataset) -> ColumnStatistics:
+    """Column statistics of a dataset of equal-length numeric vectors.
+
+    Raises:
+        EngineError: on an empty dataset or inconsistent vector widths.
+    """
+    result: _Accumulator = dataset.aggregate(
+        _Accumulator(),
+        lambda acc, vec: acc.add(np.asarray(vec, dtype=float)),
+        lambda a, b: a.merge(b),
+    )
+    if result.count == 0:
+        raise EngineError("colStats over an empty dataset")
+    variance = (
+        result.m2 / (result.count - 1)
+        if result.count > 1
+        else np.zeros_like(result.m2)
+    )
+    return ColumnStatistics(
+        count=result.count,
+        mean=result.mean,
+        variance=variance,
+        minimum=result.minimum,
+        maximum=result.maximum,
+        num_nonzeros=result.nonzeros,
+    )

@@ -1,0 +1,134 @@
+"""Lloyd's k-means with k-means++ seeding (Spark MLlib ``KMeans``).
+
+Each iteration assigns points to the nearest centroid and recomputes
+centroids; assignment distributes over engine partitions, which is the
+structure that makes T7 CPU-bound in the paper regardless of storage
+format.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.dataset import ParallelDataset
+from repro.errors import EngineError
+
+
+@dataclass
+class KMeansModel:
+    """Fitted k-means model."""
+
+    centroids: np.ndarray  # shape (k, d)
+    inertia: float  # sum of squared distances to assigned centroids
+    iterations: int
+    converged: bool
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return len(self.centroids)
+
+    def predict(self, vector) -> int:
+        """Index of the nearest centroid."""
+        point = np.asarray(vector, dtype=float)
+        distances = np.linalg.norm(self.centroids - point, axis=1)
+        return int(np.argmin(distances))
+
+
+def kmeans(
+    dataset: ParallelDataset,
+    k: int,
+    max_iterations: int = 20,
+    tolerance: float = 1e-4,
+    seed: int = 2017,
+) -> KMeansModel:
+    """Cluster a dataset of numeric vectors into ``k`` groups.
+
+    Args:
+        dataset: vectors (sequences of floats), all the same width.
+        k: cluster count; must not exceed the number of distinct points.
+        max_iterations: Lloyd iteration cap.
+        tolerance: centroid-movement threshold for convergence.
+        seed: RNG seed for k-means++ seeding.
+
+    Raises:
+        EngineError: for an empty dataset or k < 1.
+    """
+    if k < 1:
+        raise EngineError("k must be at least 1")
+    points = np.asarray(dataset.collect(), dtype=float)
+    if points.size == 0:
+        raise EngineError("k-means over an empty dataset")
+    if len(points) < k:
+        raise EngineError(f"k={k} exceeds dataset size {len(points)}")
+
+    centroids = _kmeans_pp_init(points, k, random.Random(seed))
+    converged = False
+    iteration = 0
+    inertia = float("inf")
+    for iteration in range(1, max_iterations + 1):
+        sums, counts, inertia = _assign(dataset, centroids)
+        new_centroids = centroids.copy()
+        for idx in range(k):
+            if counts[idx] > 0:
+                new_centroids[idx] = sums[idx] / counts[idx]
+        movement = float(np.linalg.norm(new_centroids - centroids, axis=1).max())
+        centroids = new_centroids
+        if movement < tolerance:
+            converged = True
+            break
+    return KMeansModel(
+        centroids=centroids,
+        inertia=inertia,
+        iterations=iteration,
+        converged=converged,
+    )
+
+
+def _assign(
+    dataset: ParallelDataset, centroids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """One assignment pass: per-cluster vector sums, counts, and inertia."""
+    k, d = centroids.shape
+
+    def seq(acc, vector):
+        sums, counts, sse = acc
+        point = np.asarray(vector, dtype=float)
+        distances = np.linalg.norm(centroids - point, axis=1)
+        idx = int(np.argmin(distances))
+        sums = sums.copy()
+        counts = counts.copy()
+        sums[idx] += point
+        counts[idx] += 1
+        return sums, counts, sse + float(distances[idx] ** 2)
+
+    def comb(a, b):
+        return a[0] + b[0], a[1] + b[1], a[2] + b[2]
+
+    zero = (np.zeros((k, d)), np.zeros(k, dtype=int), 0.0)
+    return dataset.aggregate(zero, seq, comb)
+
+
+def _kmeans_pp_init(points: np.ndarray, k: int, rng: random.Random) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids proportionally to
+    squared distance from the chosen set."""
+    first = points[rng.randrange(len(points))]
+    centroids = [first]
+    sq_dist = np.sum((points - first) ** 2, axis=1)
+    for __ in range(1, k):
+        total = float(sq_dist.sum())
+        if total == 0.0:
+            # All remaining points coincide with a centroid; duplicate.
+            centroids.append(points[rng.randrange(len(points))])
+            continue
+        threshold = rng.random() * total
+        cumulative = np.cumsum(sq_dist)
+        idx = int(np.searchsorted(cumulative, threshold))
+        idx = min(idx, len(points) - 1)
+        chosen = points[idx]
+        centroids.append(chosen)
+        sq_dist = np.minimum(sq_dist, np.sum((points - chosen) ** 2, axis=1))
+    return np.asarray(centroids, dtype=float)

@@ -1,0 +1,90 @@
+"""Ordinary-least-squares linear regression (MLlib ``LinearRegression``).
+
+Fits ``y = X w + b`` by accumulating the Gram matrix ``X'X`` and moment
+vector ``X'y`` in one distributed pass, then solving the (regularized)
+normal equations — the closed-form path MLlib uses for small feature
+counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.dataset import ParallelDataset
+from repro.errors import EngineError
+
+
+@dataclass
+class LinearRegressionModel:
+    """Fitted linear model ``y = X @ weights + intercept``."""
+
+    weights: np.ndarray
+    intercept: float
+    r_squared: float
+    n_samples: int
+
+    def predict(self, features) -> float:
+        """Predicted label for one feature vector."""
+        return float(np.asarray(features, dtype=float) @ self.weights + self.intercept)
+
+
+def linear_regression(
+    dataset: ParallelDataset,
+    reg_param: float = 1e-8,
+) -> LinearRegressionModel:
+    """Fit OLS over a dataset of ``(features, label)`` pairs.
+
+    Args:
+        dataset: elements are ``(sequence_of_floats, float)``.
+        reg_param: ridge term added to the Gram diagonal for
+            numerical stability (degenerate designs stay solvable).
+
+    Raises:
+        EngineError: on an empty dataset or inconsistent widths.
+    """
+    first = dataset.take(1)
+    if not first:
+        raise EngineError("linear regression over an empty dataset")
+    d = len(first[0][0])
+    aug = d + 1  # intercept column
+
+    def seq(acc, sample):
+        gram, moment, count, y_sum, y_sq = acc
+        features, label = sample
+        x = np.ones(aug)
+        x[:d] = np.asarray(features, dtype=float)
+        return (
+            gram + np.outer(x, x),
+            moment + x * float(label),
+            count + 1,
+            y_sum + float(label),
+            y_sq + float(label) ** 2,
+        )
+
+    def comb(a, b):
+        return (a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3], a[4] + b[4])
+
+    zero = (np.zeros((aug, aug)), np.zeros(aug), 0, 0.0, 0.0)
+    gram, moment, count, y_sum, y_sq = dataset.aggregate(zero, seq, comb)
+    gram = gram + reg_param * np.eye(aug)
+    try:
+        solution = np.linalg.solve(gram, moment)
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - reg keeps it PSD
+        raise EngineError(f"normal equations are singular: {exc}") from exc
+
+    weights = solution[:d]
+    intercept = float(solution[d])
+
+    # R^2 from the accumulated moments: SSE = y'y - 2 w'X'y + w'X'X w.
+    sse = float(y_sq - 2.0 * solution @ moment + solution @ gram @ solution)
+    mean_y = y_sum / count
+    sst = float(y_sq - count * mean_y**2)
+    r_squared = 1.0 - sse / sst if sst > 0 else 1.0
+    return LinearRegressionModel(
+        weights=weights,
+        intercept=intercept,
+        r_squared=max(min(r_squared, 1.0), -1.0),
+        n_samples=count,
+    )

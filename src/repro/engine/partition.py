@@ -1,0 +1,33 @@
+"""Partitioning helpers for the mini engine."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def split_partitions(items: Sequence[Any], n: int) -> list[list[Any]]:
+    """Split ``items`` into ``n`` contiguous, near-equal partitions.
+
+    Fewer partitions are returned when there are fewer items than ``n``;
+    an empty input yields a single empty partition so downstream stages
+    always see at least one.
+    """
+    if n < 1:
+        raise ValueError("partition count must be positive")
+    items = list(items)
+    if not items:
+        return [[]]
+    n = min(n, len(items))
+    base, extra = divmod(len(items), n)
+    partitions: list[list[Any]] = []
+    start = 0
+    for i in range(n):
+        size = base + (1 if i < extra else 0)
+        partitions.append(items[start : start + size])
+        start += size
+    return partitions
+
+
+def hash_partition(key: Any, n: int) -> int:
+    """Stable partition assignment for shuffle operations."""
+    return hash(key) % n

@@ -1,0 +1,80 @@
+"""Exception hierarchy for the SPATE reproduction.
+
+Every error raised by the library derives from :class:`SpateError`, so
+callers can catch one type at the integration boundary while still being
+able to discriminate storage, index, query, and engine failures.
+"""
+
+from __future__ import annotations
+
+
+class SpateError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(SpateError):
+    """An invalid configuration value was supplied."""
+
+
+class CompressionError(SpateError):
+    """A codec failed to compress or decompress a payload."""
+
+
+class CorruptStreamError(CompressionError):
+    """A compressed stream failed validation (bad magic, checksum, length)."""
+
+
+class StorageError(SpateError):
+    """The simulated distributed filesystem rejected an operation."""
+
+
+class FileNotFoundInDFSError(StorageError):
+    """The requested path does not exist in the DFS namespace."""
+
+
+class FileExistsInDFSError(StorageError):
+    """Attempted to create a path that already exists."""
+
+
+class ReplicationError(StorageError):
+    """Not enough live datanodes to satisfy the replication factor."""
+
+
+class BlockLostError(StorageError):
+    """Every replica of a block is on a failed datanode."""
+
+
+class IndexError_(SpateError):
+    """The temporal index rejected an operation (renamed to avoid builtin)."""
+
+
+class DecayedDataError(IndexError_):
+    """The requested data has been decayed (evicted) from the index."""
+
+
+class OutOfOrderSnapshotError(IndexError_):
+    """A snapshot arrived with a timestamp older than the index frontier."""
+
+
+class QueryError(SpateError):
+    """A data-exploration or SQL query is invalid or failed to execute."""
+
+
+class SqlSyntaxError(QueryError):
+    """The SQL text could not be parsed."""
+
+
+class SqlPlanError(QueryError):
+    """The parsed SQL statement could not be planned (unknown table/column)."""
+
+
+class PrivacyError(SpateError):
+    """A privacy-sanitization request could not be satisfied."""
+
+
+class AnonymityUnsatisfiableError(PrivacyError):
+    """k-anonymity cannot be reached even with full generalization."""
+
+
+class EngineError(SpateError):
+    """The parallel execution engine failed a job."""

@@ -1,0 +1,25 @@
+"""Experiment harness shared by the benchmarks and examples.
+
+Builds the three compared frameworks (RAW / SHAHED / SPATE) over one
+synthetic trace, drives ingestion, and aggregates the metrics the
+paper's figures plot (ingestion time per snapshot, disk space, task
+response time).
+"""
+
+from repro.evaluation.harness import (
+    EvaluationSetup,
+    FrameworkRun,
+    build_frameworks,
+    format_table,
+    ingest_trace,
+    run_all,
+)
+
+__all__ = [
+    "EvaluationSetup",
+    "FrameworkRun",
+    "build_frameworks",
+    "ingest_trace",
+    "run_all",
+    "format_table",
+]

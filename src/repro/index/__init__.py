@@ -1,0 +1,40 @@
+"""SPATE indexing layer: multi-resolution temporal index with decay.
+
+Three modules, mirroring paper §V:
+
+- :mod:`repro.index.temporal` — the 4-level (epoch, day, month, year)
+  index tree, incremented on its right-most path as snapshots arrive.
+- :mod:`repro.index.highlights` — per-node aggregate summaries and
+  frequency-threshold highlight detection (the materialized OLAP cube).
+- :mod:`repro.index.decay` — the data fungus ("Evict Oldest
+  Individuals") that purges the oldest leaves and summaries.
+"""
+
+from repro.index.highlights import (
+    AttributeSummary,
+    CategoricalStats,
+    Highlight,
+    HighlightSummary,
+    NumericStats,
+    summarize_snapshot,
+)
+from repro.index.temporal import DayNode, MonthNode, SnapshotLeaf, TemporalIndex, YearNode
+from repro.index.incremence import IncremenceModule
+from repro.index.decay import DecayModule, EvictOldestIndividuals
+
+__all__ = [
+    "AttributeSummary",
+    "CategoricalStats",
+    "Highlight",
+    "HighlightSummary",
+    "NumericStats",
+    "summarize_snapshot",
+    "TemporalIndex",
+    "SnapshotLeaf",
+    "DayNode",
+    "MonthNode",
+    "YearNode",
+    "IncremenceModule",
+    "DecayModule",
+    "EvictOldestIndividuals",
+]

@@ -1,0 +1,149 @@
+"""Decaying module: the data fungus (paper §V-C).
+
+Decaying is the progressive loss of detail as data ages: full-resolution
+snapshot leaves are purged first (their compressed files deleted from
+the DFS, the leaf marked decayed), then day-level summaries, then
+month-level summaries — until only the yearly/root aggregates remain.
+The schema itself never decays.
+
+The policy implemented is the paper's "Evict Oldest Individuals": the
+decay horizon slides with the ingestion frontier, so the warehouse keeps
+a constant-width full-resolution window plus ever-coarser history.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.core.config import DecayPolicyConfig
+from repro.core.snapshot import EPOCHS_PER_DAY
+from repro.dfs.filesystem import SimulatedDFS
+from repro.index.temporal import TemporalIndex
+
+
+@dataclass
+class DecayReport:
+    """What one decay pass removed."""
+
+    leaves_evicted: int = 0
+    bytes_reclaimed: int = 0
+    day_summaries_evicted: int = 0
+    month_summaries_evicted: int = 0
+    evicted_paths: list[str] = field(default_factory=list)
+
+
+class DecayPolicy(ABC):
+    """A data fungus: decides what the decay pass may evict."""
+
+    @abstractmethod
+    def leaf_horizon_epoch(self, frontier_epoch: int) -> int:
+        """Oldest epoch whose leaf survives (exclusive eviction bound)."""
+
+    @abstractmethod
+    def day_summary_horizon_epoch(self, frontier_epoch: int) -> int:
+        """Oldest epoch whose day summary survives."""
+
+    @abstractmethod
+    def month_summary_horizon_epoch(self, frontier_epoch: int) -> int:
+        """Oldest epoch whose month summary survives."""
+
+
+class EvictOldestIndividuals(DecayPolicy):
+    """The paper's fungus: sliding retention windows per resolution."""
+
+    def __init__(self, config: DecayPolicyConfig) -> None:
+        self._config = config
+
+    def leaf_horizon_epoch(self, frontier_epoch: int) -> int:
+        """Oldest epoch whose full-resolution leaf survives."""
+        return frontier_epoch - self._config.keep_epochs + 1
+
+    def day_summary_horizon_epoch(self, frontier_epoch: int) -> int:
+        """Oldest epoch whose day summary survives."""
+        return frontier_epoch - self._config.keep_highlight_days * EPOCHS_PER_DAY + 1
+
+    def month_summary_horizon_epoch(self, frontier_epoch: int) -> int:
+        """Oldest epoch whose month summary survives."""
+        return (
+            frontier_epoch
+            - self._config.keep_highlight_months_days * EPOCHS_PER_DAY
+            + 1
+        )
+
+
+class DecayModule:
+    """Runs decay passes over one (DFS, index) pair."""
+
+    def __init__(
+        self,
+        dfs: SimulatedDFS,
+        index: TemporalIndex,
+        config: DecayPolicyConfig,
+        policy: DecayPolicy | None = None,
+    ) -> None:
+        self._dfs = dfs
+        self._index = index
+        self._config = config
+        self._policy = policy or EvictOldestIndividuals(config)
+
+    def run(self) -> DecayReport:
+        """One decay pass against the current ingestion frontier.
+
+        Idempotent: a second pass with the same frontier evicts nothing.
+        """
+        report = DecayReport()
+        if not self._config.enabled:
+            return report
+        frontier = self._index.frontier_epoch
+        if frontier < 0:
+            return report
+
+        leaf_horizon = self._policy.leaf_horizon_epoch(frontier)
+        day_horizon = self._policy.day_summary_horizon_epoch(frontier)
+        month_horizon = self._policy.month_summary_horizon_epoch(frontier)
+
+        for day in self._index.day_nodes():
+            day_last_epoch = _last_epoch_of_day(day.day)
+            for leaf in day.leaves:
+                if leaf.decayed or leaf.epoch >= leaf_horizon:
+                    continue
+                for path in leaf.table_paths.values():
+                    if self._dfs.exists(path):
+                        self._dfs.delete_file(path)
+                    report.evicted_paths.append(path)
+                report.bytes_reclaimed += leaf.compressed_bytes
+                leaf.decayed = True
+                report.leaves_evicted += 1
+            if day.summary is not None and day_last_epoch < day_horizon:
+                day.summary = None
+                report.day_summaries_evicted += 1
+
+        for month in self._index.month_nodes():
+            if month.summary is None or not month.days:
+                continue
+            month_last_epoch = _last_epoch_of_day(month.days[-1].day)
+            if month_last_epoch < month_horizon:
+                month.summary = None
+                report.month_summaries_evicted += 1
+
+        return report
+
+
+def _last_epoch_of_day(day) -> int:
+    """Last epoch index that falls on calendar day ``day``."""
+    from repro.core.snapshot import TRACE_ORIGIN
+
+    delta_days = (day - TRACE_ORIGIN.date()).days
+    return delta_days * EPOCHS_PER_DAY + EPOCHS_PER_DAY - 1
+
+
+def describe_policy(config: DecayPolicyConfig) -> str:
+    """Human-readable description of a decay configuration."""
+    return (
+        "Evict Oldest Individuals: full resolution for "
+        f"{config.keep_epochs} epochs "
+        f"({config.keep_epochs / EPOCHS_PER_DAY:.1f} days), day summaries "
+        f"for {config.keep_highlight_days} days, month summaries for "
+        f"{config.keep_highlight_months_days} days"
+    )

@@ -1,0 +1,159 @@
+"""The "Evict Grouped Individuals" data fungus (Kersten, CIDR'15).
+
+The paper's decaying module cites two fungi from [16]: it *chooses*
+"Evict Oldest Individuals" (implemented in :mod:`repro.index.decay`)
+and mentions "Evict Grouped Individuals" as the alternative.  This
+module implements that alternative as *partial* decay: old snapshots
+are rewritten keeping only the records of a chosen cell group
+(typically the busiest cells), so detail is lost selectively by spatial
+group rather than wholesale by age.
+
+Unlike leaf eviction, grouped decay preserves exact records for the
+retained group at full temporal resolution — useful when a few hot
+urban cells carry most operational value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compression.base import Codec
+from repro.core.layout import deserialize_table, serialize_table
+from repro.core.snapshot import Table
+from repro.dfs.filesystem import SimulatedDFS
+from repro.errors import IndexError_
+from repro.index.highlights import CELL_COLUMN
+from repro.index.temporal import SnapshotLeaf, TemporalIndex
+
+
+@dataclass
+class GroupDecayReport:
+    """Outcome of one grouped-decay pass."""
+
+    leaves_rewritten: int = 0
+    records_dropped: int = 0
+    bytes_before: int = 0
+    bytes_after: int = 0
+    kept_cells: set[str] = field(default_factory=set)
+
+    @property
+    def bytes_reclaimed(self) -> int:
+        """Bytes freed by the rewrite pass."""
+        return self.bytes_before - self.bytes_after
+
+
+class EvictGroupedIndividuals:
+    """Rewrites old leaves keeping only records of the retained cells."""
+
+    def __init__(
+        self,
+        dfs: SimulatedDFS,
+        index: TemporalIndex,
+        codec: Codec,
+        layout: str = "row",
+    ) -> None:
+        self._dfs = dfs
+        self._index = index
+        self._codec = codec
+        self._layout = layout
+
+    def run(
+        self,
+        older_than_epoch: int,
+        keep_cells: set[str],
+    ) -> GroupDecayReport:
+        """Thin every live leaf with ``epoch < older_than_epoch`` down to
+        records whose cell is in ``keep_cells``.
+
+        Idempotent: leaves already thinned to the same group shrink no
+        further.  Fully-decayed leaves are skipped.
+
+        Raises:
+            IndexError_: if ``keep_cells`` is empty (that would be full
+                eviction — use the Evict Oldest Individuals policy).
+        """
+        if not keep_cells:
+            raise IndexError_(
+                "grouped decay requires a non-empty retained cell set"
+            )
+        report = GroupDecayReport(kept_cells=set(keep_cells))
+        for leaf in self._index.leaves():
+            if leaf.decayed or leaf.epoch >= older_than_epoch:
+                continue
+            self._thin_leaf(leaf, keep_cells, report)
+        return report
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _thin_leaf(
+        self,
+        leaf: SnapshotLeaf,
+        keep_cells: set[str],
+        report: GroupDecayReport,
+    ) -> None:
+        new_total = 0
+        new_records = 0
+        rewrote = False
+        for table_name, path in leaf.table_paths.items():
+            if not self._dfs.exists(path):
+                continue
+            compressed = self._dfs.read_file(path)
+            cell_column = CELL_COLUMN.get(table_name)
+            table = deserialize_table(
+                table_name, self._codec.decompress(compressed), self._layout
+            )
+            if cell_column is None or cell_column not in table.columns:
+                new_total += len(compressed)
+                new_records += len(table)
+                continue
+            cell_idx = table.column_index(cell_column)
+            kept_rows = [r for r in table.rows if r[cell_idx] in keep_cells]
+            dropped = len(table.rows) - len(kept_rows)
+            if dropped == 0:
+                new_total += len(compressed)
+                new_records += len(table)
+                continue
+            thinned = Table(
+                name=table_name, columns=list(table.columns), rows=kept_rows
+            )
+            payload = self._codec.compress(
+                serialize_table(thinned, self._layout)
+            )
+            replication = self._dfs.namenode.lookup(path).replication
+            self._dfs.delete_file(path)
+            self._dfs.write_file(path, payload, replication=replication)
+            report.records_dropped += dropped
+            new_total += len(payload)
+            new_records += len(kept_rows)
+            rewrote = True
+        if rewrote:
+            report.leaves_rewritten += 1
+            report.bytes_before += leaf.compressed_bytes
+            report.bytes_after += new_total
+            leaf.compressed_bytes = new_total
+            leaf.record_count = new_records
+
+
+def busiest_cells(index: TemporalIndex, table: str, fraction: float) -> set[str]:
+    """The top ``fraction`` of cells by record count, from the index's
+    per-cell summaries — the natural "important group" selector.
+
+    Raises:
+        IndexError_: for a fraction outside (0, 1].
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise IndexError_(f"fraction {fraction} outside (0, 1]")
+    counts: dict[str, int] = {}
+    for day in index.day_nodes():
+        if day.summary is None:
+            continue
+        for cell_id, attrs in day.summary.per_cell.get(table, {}).items():
+            best = max((s.count for s in attrs.values()), default=0)
+            counts[cell_id] = counts.get(cell_id, 0) + best
+    if not counts:
+        return set()
+    ranked = sorted(counts, key=lambda c: counts[c], reverse=True)
+    keep = max(1, int(len(ranked) * fraction))
+    return set(ranked[:keep])

@@ -1,0 +1,276 @@
+"""Highlights module: per-node summaries and highlight detection.
+
+Highlights are "materialized views to long-standing queries" (paper
+§V-B): per temporal node, SPATE keeps aggregate statistics of tracked
+attributes plus the set of *highlights* — values whose occurrence
+frequency falls below the level's threshold θ (rare events are the
+interesting ones; frequent values are "no-highlights").
+
+Summaries are hierarchical: a day summary is the merge of its
+snapshots' summaries, a month the merge of its days, a year of its
+months — so the cube's construction cost is amortized over ingestion.
+Per-cell numeric statistics are retained so decayed periods can still
+answer spatially-filtered aggregate queries.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.config import HighlightsConfig
+from repro.core.snapshot import Snapshot
+
+#: Which column carries the serving cell id, per table.
+CELL_COLUMN: dict[str, str] = {
+    "CDR": "cell_id",
+    "NMS": "cellid",
+    "CELL": "cell_id",
+    "MR": "cellid",
+}
+
+
+@dataclass
+class NumericStats:
+    """Streaming min/max/sum/count over an integer attribute."""
+
+    count: int = 0
+    total: int = 0
+    minimum: int | None = None
+    maximum: int | None = None
+
+    def add(self, value: int) -> None:
+        """Fold one value into the running statistics."""
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def merge(self, other: "NumericStats") -> None:
+        """Fold another accumulator of the same shape into this one."""
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        if self.minimum is None or (other.minimum is not None and other.minimum < self.minimum):
+            self.minimum = other.minimum
+        if self.maximum is None or (other.maximum is not None and other.maximum > self.maximum):
+            self.maximum = other.maximum
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the accumulated values."""
+        return self.total / self.count if self.count else 0.0
+
+    def copy(self) -> "NumericStats":
+        """Deep-enough copy: mutating the clone leaves this intact."""
+        return NumericStats(self.count, self.total, self.minimum, self.maximum)
+
+
+@dataclass
+class CategoricalStats:
+    """Value-frequency table over a categorical attribute."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    @property
+    def total(self) -> int:
+        """Sum of all per-value counts."""
+        return sum(self.counts.values())
+
+    def add(self, value: str) -> None:
+        """Fold one value into the running statistics."""
+        self.counts[value] += 1
+
+    def merge(self, other: "CategoricalStats") -> None:
+        """Fold another accumulator of the same shape into this one."""
+        self.counts.update(other.counts)
+
+    def copy(self) -> "CategoricalStats":
+        """Deep-enough copy: mutating the clone leaves this intact."""
+        return CategoricalStats(counts=Counter(self.counts))
+
+
+@dataclass
+class AttributeSummary:
+    """Either-typed summary of one attribute.
+
+    Numeric attributes keep :class:`NumericStats` *and* a value-frequency
+    table (capped) so highlight detection can find rare peaks; purely
+    categorical attributes keep frequencies only.
+    """
+
+    numeric: NumericStats | None = None
+    categorical: CategoricalStats = field(default_factory=CategoricalStats)
+    #: Cap on distinct tracked values; beyond it the frequency table
+    #: degrades to top-k (rare values are what highlights need anyway).
+    max_distinct: int = 4096
+
+    def add(self, value: str) -> None:
+        """Fold one value into the running statistics."""
+        if value and _is_int(value):
+            if self.numeric is None:
+                self.numeric = NumericStats()
+            self.numeric.add(int(value))
+        if len(self.categorical.counts) < self.max_distinct or value in self.categorical.counts:
+            self.categorical.add(value)
+
+    def merge(self, other: "AttributeSummary") -> None:
+        """Fold another accumulator of the same shape into this one."""
+        if other.numeric is not None:
+            if self.numeric is None:
+                self.numeric = NumericStats()
+            self.numeric.merge(other.numeric)
+        self.categorical.merge(other.categorical)
+        if len(self.categorical.counts) > self.max_distinct:
+            kept = self.categorical.counts.most_common(self.max_distinct)
+            self.categorical.counts = Counter(dict(kept))
+
+    def copy(self) -> "AttributeSummary":
+        """Deep-enough copy: mutating the clone leaves this intact."""
+        return AttributeSummary(
+            numeric=self.numeric.copy() if self.numeric else None,
+            categorical=self.categorical.copy(),
+            max_distinct=self.max_distinct,
+        )
+
+
+@dataclass(frozen=True)
+class Highlight:
+    """One detected rare event.
+
+    ``kind`` is "categorical" (described by its value/type) or "numeric"
+    (described by its peaking point), per paper §V-B.
+    """
+
+    table: str
+    attribute: str
+    kind: str
+    value: str
+    frequency: int
+    total: int
+    level: str
+    period: str
+
+    @property
+    def rate(self) -> float:
+        """Occurrence frequency as a fraction of the total."""
+        return self.frequency / self.total if self.total else 0.0
+
+
+@dataclass
+class HighlightSummary:
+    """All summary state for one temporal node."""
+
+    level: str  # "epoch" | "day" | "month" | "year" | "root"
+    period: str  # e.g. "2016-01-18", "2016-01", "2016"
+    record_counts: dict[str, int] = field(default_factory=dict)
+    attributes: dict[str, dict[str, AttributeSummary]] = field(default_factory=dict)
+    #: table -> cell_id -> attribute -> NumericStats (spatial drill-down).
+    per_cell: dict[str, dict[str, dict[str, NumericStats]]] = field(default_factory=dict)
+    highlights: list[Highlight] = field(default_factory=list)
+
+    def merge(self, other: "HighlightSummary") -> None:
+        """Fold ``other`` (a finer-resolution summary) into this node."""
+        for table, count in other.record_counts.items():
+            self.record_counts[table] = self.record_counts.get(table, 0) + count
+        for table, attrs in other.attributes.items():
+            mine = self.attributes.setdefault(table, {})
+            for name, summary in attrs.items():
+                if name in mine:
+                    mine[name].merge(summary)
+                else:
+                    mine[name] = summary.copy()
+        for table, cells in other.per_cell.items():
+            mine_cells = self.per_cell.setdefault(table, {})
+            for cell_id, attrs in cells.items():
+                mine_attrs = mine_cells.setdefault(cell_id, {})
+                for name, stats in attrs.items():
+                    if name in mine_attrs:
+                        mine_attrs[name].merge(stats)
+                    else:
+                        mine_attrs[name] = stats.copy()
+
+    def detect_highlights(self, theta: float) -> list[Highlight]:
+        """Find rare values: occurrence frequency below ``theta``.
+
+        Stores and returns the refreshed highlight list for this node.
+        """
+        found: list[Highlight] = []
+        for table, attrs in self.attributes.items():
+            for name, summary in attrs.items():
+                total = summary.categorical.total
+                if total == 0:
+                    continue
+                for value, count in summary.categorical.counts.items():
+                    if count / total < theta:
+                        kind = "numeric" if _is_int(value) else "categorical"
+                        found.append(
+                            Highlight(
+                                table=table,
+                                attribute=name,
+                                kind=kind,
+                                value=value,
+                                frequency=count,
+                                total=total,
+                                level=self.level,
+                                period=self.period,
+                            )
+                        )
+        self.highlights = found
+        return found
+
+    def cell_stats(self, table: str, cell_ids: set[str], attribute: str) -> NumericStats:
+        """Aggregate one numeric attribute over a set of cells."""
+        combined = NumericStats()
+        for cell_id in cell_ids:
+            stats = self.per_cell.get(table, {}).get(cell_id, {}).get(attribute)
+            if stats is not None:
+                combined.merge(stats)
+        return combined
+
+
+def summarize_snapshot(
+    snapshot: Snapshot,
+    config: HighlightsConfig,
+) -> HighlightSummary:
+    """Build the epoch-level summary of one snapshot."""
+    summary = HighlightSummary(level="epoch", period=str(snapshot.epoch))
+    for table_name, table in snapshot.tables.items():
+        tracked = config.tracked_attributes.get(table_name)
+        if not tracked:
+            continue
+        present = [a for a in tracked if a in table.columns]
+        indexes = {a: table.column_index(a) for a in present}
+        cell_col = CELL_COLUMN.get(table_name)
+        cell_idx = (
+            table.column_index(cell_col)
+            if cell_col and cell_col in table.columns
+            else None
+        )
+        summary.record_counts[table_name] = len(table)
+        attr_summaries = summary.attributes.setdefault(table_name, {})
+        for name in present:
+            attr_summaries.setdefault(name, AttributeSummary())
+        cells = summary.per_cell.setdefault(table_name, {})
+        for row in table.rows:
+            cell_id = row[cell_idx] if cell_idx is not None else None
+            cell_attrs = cells.setdefault(cell_id, {}) if cell_id is not None else None
+            for name in present:
+                value = row[indexes[name]]
+                attr_summaries[name].add(value)
+                if cell_attrs is not None and value and _is_int(value):
+                    stats = cell_attrs.get(name)
+                    if stats is None:
+                        stats = cell_attrs[name] = NumericStats()
+                    stats.add(int(value))
+    return summary
+
+
+def _is_int(value: str) -> bool:
+    if not value:
+        return False
+    body = value[1:] if value[0] == "-" else value
+    return body.isdigit()

@@ -1,0 +1,206 @@
+"""Incremence module: ingest snapshots into storage + index (paper §V-A).
+
+For each arriving snapshot the module (1) serializes and losslessly
+compresses it via the configured codec, (2) writes the result to the
+replicated DFS, (3) appends a leaf on the index's right-most path, and
+(4) rolls summaries upward — each snapshot's summary increments the
+pending day accumulator; when a day/month/year completes, its summary
+is finalized, highlights are detected with the level's θ, and the
+summary is forwarded to the parent (paper §V-B's incremental cube).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.compression.base import Codec
+from repro.core.config import SpateConfig
+from repro.core.snapshot import Snapshot
+from repro.dfs.filesystem import SimulatedDFS
+from repro.index.highlights import HighlightSummary, summarize_snapshot
+from repro.index.temporal import DayNode, MonthNode, SnapshotLeaf, TemporalIndex, YearNode
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """Timing/size breakdown for one ingested snapshot (Figures 7/9)."""
+
+    epoch: int
+    raw_bytes: int
+    compressed_bytes: int
+    compress_seconds: float
+    store_seconds: float
+    index_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Compression + store + index time for the snapshot."""
+        return self.compress_seconds + self.store_seconds + self.index_seconds
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (raw bytes / stored bytes)."""
+        return self.raw_bytes / self.compressed_bytes if self.compressed_bytes else 0.0
+
+
+class IncremenceModule:
+    """Drives ingestion into one (DFS, index) pair."""
+
+    def __init__(
+        self,
+        dfs: SimulatedDFS,
+        index: TemporalIndex,
+        codec: Codec,
+        config: SpateConfig,
+        path_prefix: str = "/spate/snapshots",
+    ) -> None:
+        self._dfs = dfs
+        self._index = index
+        self._codec = codec
+        self._config = config
+        self._prefix = path_prefix
+
+    def ingest(self, snapshot: Snapshot) -> IngestReport:
+        """Ingest one snapshot; returns the per-stage timing report."""
+        t0 = time.perf_counter()
+        from repro.core.layout import serialize_table
+
+        compressed_tables: dict[str, bytes] = {}
+        raw_bytes = 0
+        for name, table in snapshot.tables.items():
+            payload = serialize_table(table, self._config.layout)
+            raw_bytes += len(payload)
+            compressed_tables[name] = self._codec.compress(payload)
+        t1 = time.perf_counter()
+
+        table_paths: dict[str, str] = {}
+        compressed_bytes = 0
+        for name, compressed in compressed_tables.items():
+            path = self.leaf_path(snapshot.epoch, name)
+            self._dfs.write_file(
+                path, compressed, replication=self._config.replication
+            )
+            table_paths[name] = path
+            compressed_bytes += len(compressed)
+        t2 = time.perf_counter()
+
+        leaf = SnapshotLeaf(
+            epoch=snapshot.epoch,
+            table_paths=table_paths,
+            raw_bytes=raw_bytes,
+            compressed_bytes=compressed_bytes,
+            record_count=snapshot.record_count(),
+        )
+        new_day, new_month, new_year = self._index.insert_leaf(leaf)
+        # A new period boundary means the previous period is complete:
+        # finalize bottom-up (day before month before year).
+        if new_day:
+            self._finalize_completed_day()
+        if new_month:
+            self._finalize_completed_month()
+        if new_year:
+            self._finalize_completed_year()
+
+        snapshot_summary = summarize_snapshot(snapshot, self._config.highlights)
+        current_day = self._current_day()
+        if current_day.summary is None:
+            current_day.summary = HighlightSummary(level="day", period=current_day.key)
+        current_day.summary.merge(snapshot_summary)
+        t3 = time.perf_counter()
+
+        return IngestReport(
+            epoch=snapshot.epoch,
+            raw_bytes=raw_bytes,
+            compressed_bytes=compressed_bytes,
+            compress_seconds=t1 - t0,
+            store_seconds=t2 - t1,
+            index_seconds=t3 - t2,
+        )
+
+    def finalize(self) -> None:
+        """Close out the trailing (incomplete) day/month/year at end of
+        stream so their summaries are queryable."""
+        for day in self._index.day_nodes():
+            if not day.finalized and day.summary is not None:
+                self._finalize_day(day)
+        for month in self._index.month_nodes():
+            if not month.finalized:
+                self._finalize_month(month)
+        for year in self._index.years:
+            if not year.finalized:
+                self._finalize_year(year)
+
+    def leaf_path(self, epoch: int, table: str) -> str:
+        """DFS path for one snapshot table's compressed payload."""
+        return f"{self._prefix}/epoch-{epoch:08d}/{table}.{self._config.codec}"
+
+    # ------------------------------------------------------------------
+    # Period finalization
+    # ------------------------------------------------------------------
+
+    def _current_day(self) -> DayNode:
+        return self._index.years[-1].months[-1].days[-1]
+
+    def _finalize_completed_day(self) -> None:
+        """Finalize the day before the just-created one, if any."""
+        days = self._index.day_nodes()
+        if len(days) >= 2:
+            previous = days[-2]
+            if not previous.finalized:
+                self._finalize_day(previous)
+
+    def _finalize_completed_month(self) -> None:
+        months = self._index.month_nodes()
+        if len(months) >= 2 and not months[-2].finalized:
+            self._finalize_month(months[-2])
+
+    def _finalize_completed_year(self) -> None:
+        if len(self._index.years) >= 2 and not self._index.years[-2].finalized:
+            self._finalize_year(self._index.years[-2])
+
+    def _finalize_day(self, day: DayNode) -> None:
+        if day.summary is None:
+            day.summary = HighlightSummary(level="day", period=day.key)
+        day.summary.detect_highlights(self._config.highlights.theta_for_level("day"))
+        day.finalized = True
+        month = self._month_of(day)
+        if month.summary is None:
+            month.summary = HighlightSummary(level="month", period=month.key)
+        month.summary.merge(day.summary)
+
+    def _finalize_month(self, month: MonthNode) -> None:
+        # Make sure every child day has been folded in first.
+        for day in month.days:
+            if not day.finalized:
+                self._finalize_day(day)
+        if month.summary is None:
+            month.summary = HighlightSummary(level="month", period=month.key)
+        month.summary.detect_highlights(self._config.highlights.theta_for_level("month"))
+        month.finalized = True
+        year = self._year_of(month)
+        if year.summary is None:
+            year.summary = HighlightSummary(level="year", period=year.key)
+        year.summary.merge(month.summary)
+
+    def _finalize_year(self, year: YearNode) -> None:
+        for month in year.months:
+            if not month.finalized:
+                self._finalize_month(month)
+        if year.summary is None:
+            year.summary = HighlightSummary(level="year", period=year.key)
+        year.summary.detect_highlights(self._config.highlights.theta_for_level("year"))
+        year.finalized = True
+        self._index.root_summary.merge(year.summary)
+
+    def _month_of(self, day: DayNode) -> MonthNode:
+        for month in self._index.month_nodes():
+            if (month.year, month.month) == (day.day.year, day.day.month):
+                return month
+        raise AssertionError(f"day {day.key} has no parent month node")
+
+    def _year_of(self, month: MonthNode) -> YearNode:
+        for year in self._index.years:
+            if year.year == month.year:
+                return year
+        raise AssertionError(f"month {month.key} has no parent year node")

@@ -1,0 +1,265 @@
+"""The multi-resolution spatio-temporal index tree (paper Figure 5).
+
+Four temporal levels — root → year → month → day → snapshot leaf — with
+each leaf pointing at one compressed 30-minute snapshot in the DFS.
+Insertion always happens on the right-most path (snapshots arrive in
+time order), creating dummy day/month/year nodes at period boundaries.
+Each internal node carries a :class:`~repro.index.highlights.
+HighlightSummary`; leaves carry storage metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+
+from repro.core.snapshot import EPOCHS_PER_DAY, epoch_to_timestamp
+from repro.errors import OutOfOrderSnapshotError
+from repro.index.highlights import HighlightSummary
+
+
+@dataclass
+class SnapshotLeaf:
+    """Leaf: one ingested snapshot's storage metadata.
+
+    Each table of the snapshot is a separate compressed DFS file
+    (mirroring the paper's per-file-type directory hierarchy), so scans
+    of one table decompress only that table.
+    """
+
+    epoch: int
+    table_paths: dict[str, str]
+    raw_bytes: int
+    compressed_bytes: int
+    record_count: int
+    decayed: bool = False
+
+    @property
+    def day_key(self) -> str:
+        """Calendar day (YYYY-MM-DD) this leaf belongs to."""
+        return epoch_to_timestamp(self.epoch).strftime("%Y-%m-%d")
+
+
+@dataclass
+class DayNode:
+    """Day node: up to 48 snapshot leaves plus the daily highlights."""
+
+    day: date
+    leaves: list[SnapshotLeaf] = field(default_factory=list)
+    summary: HighlightSummary | None = None
+    finalized: bool = False
+
+    @property
+    def key(self) -> str:
+        """Canonical period key for this node."""
+        return self.day.strftime("%Y-%m-%d")
+
+    def live_leaves(self) -> list[SnapshotLeaf]:
+        """Leaves not yet evicted by decay."""
+        return [leaf for leaf in self.leaves if not leaf.decayed]
+
+
+@dataclass
+class MonthNode:
+    """Month node: its days plus the monthly highlights."""
+
+    year: int
+    month: int
+    days: list[DayNode] = field(default_factory=list)
+    summary: HighlightSummary | None = None
+    finalized: bool = False
+
+    @property
+    def key(self) -> str:
+        """Canonical period key for this node."""
+        return f"{self.year:04d}-{self.month:02d}"
+
+
+@dataclass
+class YearNode:
+    """Year node: its months plus the yearly highlights."""
+
+    year: int
+    months: list[MonthNode] = field(default_factory=list)
+    summary: HighlightSummary | None = None
+    finalized: bool = False
+
+    @property
+    def key(self) -> str:
+        """Canonical period key for this node."""
+        return f"{self.year:04d}"
+
+
+class TemporalIndex:
+    """The index tree with right-most-path (incremental) insertion."""
+
+    def __init__(self) -> None:
+        self.years: list[YearNode] = []
+        self.root_summary = HighlightSummary(level="root", period="all")
+        self._frontier_epoch = -1
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def insert_leaf(self, leaf: SnapshotLeaf) -> tuple[bool, bool, bool]:
+        """Insert a snapshot leaf on the right-most path.
+
+        Snapshots must arrive in epoch order (the stream is periodic).
+
+        Returns:
+            ``(new_day, new_month, new_year)`` — which dummy nodes had
+            to be created, so the caller can finalize completed periods.
+
+        Raises:
+            OutOfOrderSnapshotError: for a non-increasing epoch.
+        """
+        if leaf.epoch <= self._frontier_epoch:
+            raise OutOfOrderSnapshotError(
+                f"epoch {leaf.epoch} <= frontier {self._frontier_epoch}"
+            )
+        self._frontier_epoch = leaf.epoch
+        when = epoch_to_timestamp(leaf.epoch)
+
+        new_year = not self.years or self.years[-1].year != when.year
+        if new_year:
+            self.years.append(YearNode(year=when.year))
+        year_node = self.years[-1]
+
+        new_month = not year_node.months or year_node.months[-1].month != when.month
+        if new_month:
+            year_node.months.append(MonthNode(year=when.year, month=when.month))
+        month_node = year_node.months[-1]
+
+        day_key = when.date()
+        new_day = not month_node.days or month_node.days[-1].day != day_key
+        if new_day:
+            month_node.days.append(DayNode(day=day_key))
+        month_node.days[-1].leaves.append(leaf)
+
+        return new_day, new_month, new_year
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+
+    def day_nodes(self) -> list[DayNode]:
+        """All day nodes, oldest first."""
+        return [
+            day
+            for year in self.years
+            for month in year.months
+            for day in month.days
+        ]
+
+    def month_nodes(self) -> list[MonthNode]:
+        """All month nodes, oldest first."""
+        return [month for year in self.years for month in year.months]
+
+    def find_day(self, key: str) -> DayNode | None:
+        """Day node by "YYYY-MM-DD" key."""
+        for day in self.day_nodes():
+            if day.key == key:
+                return day
+        return None
+
+    def find_month(self, key: str) -> MonthNode | None:
+        """Month node by "YYYY-MM" key, or None."""
+        for month in self.month_nodes():
+            if month.key == key:
+                return month
+        return None
+
+    def find_year(self, key: str) -> YearNode | None:
+        """Year node by "YYYY" key, or None."""
+        for year in self.years:
+            if year.key == key:
+                return year
+        return None
+
+    def leaves(self) -> list[SnapshotLeaf]:
+        """Every leaf (including decayed placeholders), oldest first."""
+        return [leaf for day in self.day_nodes() for leaf in day.leaves]
+
+    def leaves_in_epochs(self, first: int, last: int) -> list[SnapshotLeaf]:
+        """Live leaves with ``first <= epoch <= last``."""
+        return [
+            leaf
+            for leaf in self.leaves()
+            if first <= leaf.epoch <= last and not leaf.decayed
+        ]
+
+    @property
+    def frontier_epoch(self) -> int:
+        """Most recently ingested epoch (-1 when empty)."""
+        return self._frontier_epoch
+
+    def covering_node_summary(self, first_epoch: int, last_epoch: int) -> HighlightSummary | None:
+        """Summary of the smallest single node whose period covers the
+        window — the paper's coarse lookup ("the index is accessed to
+        find the temporal node whose period completely covers w")."""
+        t0 = epoch_to_timestamp(first_epoch)
+        t1 = epoch_to_timestamp(last_epoch)
+        if t0.date() == t1.date():
+            day = self.find_day(t0.strftime("%Y-%m-%d"))
+            if day is not None and day.summary is not None:
+                return day.summary
+        if (t0.year, t0.month) == (t1.year, t1.month):
+            month = self.find_month(t0.strftime("%Y-%m"))
+            if month is not None and month.summary is not None:
+                return month.summary
+        if t0.year == t1.year:
+            year = self.find_year(f"{t0.year:04d}")
+            if year is not None and year.summary is not None:
+                return year.summary
+        return self.root_summary
+
+    # ------------------------------------------------------------------
+    # Accounting / rendering
+    # ------------------------------------------------------------------
+
+    def storage_bytes(self) -> int:
+        """Compressed bytes referenced by live leaves."""
+        return sum(l.compressed_bytes for l in self.leaves() if not l.decayed)
+
+    def leaf_count(self) -> int:
+        """Number of live (non-decayed) leaves."""
+        return sum(1 for l in self.leaves() if not l.decayed)
+
+    def render(self, max_leaves_per_day: int = 3) -> str:
+        """ASCII rendering of the tree (Figure 5's structure)."""
+        lines = ["root"]
+        for year in self.years:
+            lines.append(f"└─ year {year.key}"
+                         f"{' *' if year.summary else ''}")
+            for month in year.months:
+                lines.append(f"   └─ month {month.key}"
+                             f"{' *' if month.summary else ''}")
+                for day in month.days:
+                    live = day.live_leaves()
+                    decayed = len(day.leaves) - len(live)
+                    lines.append(
+                        f"      └─ day {day.key} "
+                        f"[{len(live)} live, {decayed} decayed]"
+                        f"{' *' if day.summary else ''}"
+                    )
+                    for leaf in live[:max_leaves_per_day]:
+                        lines.append(
+                            f"         └─ epoch {leaf.epoch} "
+                            f"({leaf.compressed_bytes}B)"
+                        )
+                    if len(live) > max_leaves_per_day:
+                        lines.append(
+                            f"         └─ ... {len(live) - max_leaves_per_day} more"
+                        )
+        return "\n".join(lines)
+
+
+def epochs_of_day(day_key: str) -> tuple[int, int]:
+    """(first, last) epoch of a "YYYY-MM-DD" day."""
+    target = date.fromisoformat(day_key)
+    from repro.core.snapshot import TRACE_ORIGIN
+
+    delta_days = (target - TRACE_ORIGIN.date()).days
+    first = delta_days * EPOCHS_PER_DAY
+    return first, first + EPOCHS_PER_DAY - 1

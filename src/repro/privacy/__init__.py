@@ -1,0 +1,48 @@
+"""Privacy sanitization: k-anonymity over query result sets (task T5).
+
+Replaces the ARX library the paper calls: generalization hierarchies
+(:mod:`repro.privacy.hierarchy`), a full-domain generalization
+k-anonymizer with residual suppression and a Mondrian-style
+multidimensional partitioner (:mod:`repro.privacy.kanonymity`), and
+quality metrics (:mod:`repro.privacy.metrics`).
+"""
+
+from repro.privacy.hierarchy import (
+    GeneralizationHierarchy,
+    IntervalHierarchy,
+    ValueMapHierarchy,
+    default_cdr_hierarchies,
+)
+from repro.privacy.kanonymity import (
+    AnonymizationResult,
+    full_domain_anonymize,
+    is_k_anonymous,
+    mondrian_anonymize,
+)
+from repro.privacy.ldiversity import (
+    is_entropy_l_diverse,
+    is_l_diverse,
+    l_diverse_anonymize,
+)
+from repro.privacy.metrics import (
+    discernibility_metric,
+    equivalence_classes,
+    generalization_information_loss,
+)
+
+__all__ = [
+    "GeneralizationHierarchy",
+    "IntervalHierarchy",
+    "ValueMapHierarchy",
+    "default_cdr_hierarchies",
+    "AnonymizationResult",
+    "full_domain_anonymize",
+    "mondrian_anonymize",
+    "is_k_anonymous",
+    "equivalence_classes",
+    "discernibility_metric",
+    "generalization_information_loss",
+    "is_l_diverse",
+    "is_entropy_l_diverse",
+    "l_diverse_anonymize",
+]

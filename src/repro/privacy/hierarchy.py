@@ -1,0 +1,146 @@
+"""Generalization hierarchies for quasi-identifier attributes.
+
+A hierarchy maps a value through successively coarser levels, ending at
+the fully suppressed ``"*"``.  Level 0 is the original value.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+SUPPRESSED = "*"
+
+
+class GeneralizationHierarchy(ABC):
+    """Maps values to coarser representations, level by level."""
+
+    @property
+    @abstractmethod
+    def height(self) -> int:
+        """Number of levels above the original (level ``height`` is "*")."""
+
+    @abstractmethod
+    def generalize(self, value: str, level: int) -> str:
+        """``value`` at generalization ``level`` (0 = unchanged)."""
+
+
+class ValueMapHierarchy(GeneralizationHierarchy):
+    """Explicit per-level value mappings (categorical attributes)."""
+
+    def __init__(self, levels: list[dict[str, str]], name: str = "") -> None:
+        """
+        Args:
+            levels: ``levels[i]`` maps a level-``i`` value to its
+                level-``i+1`` parent; unknown values generalize to "*".
+            name: label for error messages.
+        """
+        self._levels = levels
+        self.name = name
+
+    @property
+    def height(self) -> int:
+        """Number of generalization levels above the original value."""
+        return len(self._levels) + 1
+
+    def generalize(self, value: str, level: int) -> str:
+        """``value`` at generalization ``level`` (0 = unchanged)."""
+        if level < 0 or level > self.height:
+            raise ValueError(f"level {level} out of range for {self.name!r}")
+        if level >= self.height:
+            return SUPPRESSED
+        current = value
+        for step in range(level):
+            if step >= len(self._levels):
+                return SUPPRESSED
+            current = self._levels[step].get(current, SUPPRESSED)
+            if current == SUPPRESSED:
+                return SUPPRESSED
+        return current
+
+
+class IntervalHierarchy(GeneralizationHierarchy):
+    """Numeric generalization by widening intervals.
+
+    Level ``i`` buckets the value into ranges of ``base_width *
+    factor**(i-1)``, rendered as ``"[lo-hi)"``.
+    """
+
+    def __init__(self, base_width: int = 10, factor: int = 5, levels: int = 3) -> None:
+        if base_width < 1 or factor < 2 or levels < 1:
+            raise ValueError("invalid interval hierarchy parameters")
+        self._base = base_width
+        self._factor = factor
+        self._levels = levels
+
+    @property
+    def height(self) -> int:
+        """Number of generalization levels above the original value."""
+        return self._levels + 1
+
+    def generalize(self, value: str, level: int) -> str:
+        """``value`` at generalization ``level`` (0 = unchanged)."""
+        if level == 0:
+            return value
+        if level >= self.height:
+            return SUPPRESSED
+        try:
+            number = int(value)
+        except ValueError:
+            return SUPPRESSED
+        width = self._base * self._factor ** (level - 1)
+        lo = (number // width) * width
+        return f"[{lo}-{lo + width})"
+
+
+class PrefixHierarchy(GeneralizationHierarchy):
+    """Generalize identifiers by truncating suffix characters
+    (cell ids like ``C01234`` -> ``C012**`` -> ``C0****`` -> ``*``)."""
+
+    def __init__(self, chop_per_level: int = 2, levels: int = 3) -> None:
+        self._chop = chop_per_level
+        self._levels = levels
+
+    @property
+    def height(self) -> int:
+        """Number of generalization levels above the original value."""
+        return self._levels + 1
+
+    def generalize(self, value: str, level: int) -> str:
+        """``value`` at generalization ``level`` (0 = unchanged)."""
+        if level == 0:
+            return value
+        if level >= self.height or not value:
+            return SUPPRESSED
+        keep = max(0, len(value) - self._chop * level)
+        if keep == 0:
+            return SUPPRESSED
+        return value[:keep] + "*" * (len(value) - keep)
+
+
+def default_cdr_hierarchies() -> dict[str, GeneralizationHierarchy]:
+    """Hierarchies for the CDR quasi-identifiers used by task T5."""
+    plan = ValueMapHierarchy(
+        levels=[
+            {
+                "prepaid": "consumer",
+                "postpaid": "consumer",
+                "business": "enterprise",
+                "iot": "enterprise",
+            }
+        ],
+        name="plan_type",
+    )
+    tech = ValueMapHierarchy(
+        levels=[{"2G": "legacy", "3G": "legacy", "4G": "modern"}],
+        name="tech",
+    )
+    call_type = ValueMapHierarchy(
+        levels=[{"voice": "realtime", "sms": "messaging", "data": "data"}],
+        name="call_type",
+    )
+    return {
+        "cell_id": PrefixHierarchy(chop_per_level=2, levels=3),
+        "plan_type": plan,
+        "tech": tech,
+        "call_type": call_type,
+    }

@@ -1,0 +1,214 @@
+"""k-anonymity algorithms (Sweeney 2002), task T5's sanitizer.
+
+Two algorithms:
+
+- :func:`full_domain_anonymize` — full-domain generalization: search
+  the per-attribute level lattice breadth-first for the lowest levels
+  reaching k-anonymity, suppressing residual small equivalence classes
+  (bounded by ``max_suppression``).
+- :func:`mondrian_anonymize` — Mondrian multidimensional partitioning
+  for numeric quasi-identifiers: recursively median-split while every
+  part keeps at least ``k`` rows, then recode each part to its range.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.errors import AnonymityUnsatisfiableError, PrivacyError
+from repro.privacy.hierarchy import GeneralizationHierarchy
+
+
+@dataclass
+class AnonymizationResult:
+    """Outcome of a sanitization run."""
+
+    rows: list[list[str]]
+    columns: list[str]
+    k: int
+    levels: dict[str, int] = field(default_factory=dict)
+    suppressed_rows: int = 0
+
+    @property
+    def released_rows(self) -> int:
+        """Number of rows in the released (non-suppressed) set."""
+        return len(self.rows)
+
+
+def is_k_anonymous(rows: list[list[str]], quasi_indexes: list[int], k: int) -> bool:
+    """True when every quasi-identifier combination occurs >= k times."""
+    if not rows:
+        return True
+    counts = Counter(tuple(row[i] for i in quasi_indexes) for row in rows)
+    return min(counts.values()) >= k
+
+
+def full_domain_anonymize(
+    rows: list[list[str]],
+    columns: list[str],
+    quasi_identifiers: list[str],
+    hierarchies: dict[str, GeneralizationHierarchy],
+    k: int = 5,
+    max_suppression: float = 0.05,
+) -> AnonymizationResult:
+    """Full-domain generalization to k-anonymity.
+
+    Searches level vectors in order of total generalization height and
+    returns the first (lowest-distortion) one whose residual suppression
+    stays within ``max_suppression``.
+
+    Raises:
+        PrivacyError: on unknown quasi-identifier columns.
+        AnonymityUnsatisfiableError: if even full generalization plus
+            allowed suppression cannot reach k.
+    """
+    if k < 1:
+        raise PrivacyError("k must be at least 1")
+    quasi_indexes = _resolve_columns(columns, quasi_identifiers)
+    if not rows:
+        return AnonymizationResult(rows=[], columns=list(columns), k=k)
+
+    heights = [hierarchies[q].height for q in quasi_identifiers]
+    candidates = sorted(
+        itertools.product(*(range(h + 1) for h in heights)),
+        key=lambda levels: (sum(levels), max(levels)),
+    )
+    budget = int(len(rows) * max_suppression)
+
+    for levels in candidates:
+        recoded = _recode(rows, quasi_indexes, quasi_identifiers, hierarchies, levels)
+        counts = Counter(
+            tuple(row[i] for i in quasi_indexes) for row in recoded
+        )
+        violating = {sig for sig, count in counts.items() if count < k}
+        n_suppressed = sum(counts[sig] for sig in violating)
+        if n_suppressed <= budget:
+            released = [
+                row
+                for row in recoded
+                if tuple(row[i] for i in quasi_indexes) not in violating
+            ]
+            return AnonymizationResult(
+                rows=released,
+                columns=list(columns),
+                k=k,
+                levels=dict(zip(quasi_identifiers, levels)),
+                suppressed_rows=n_suppressed,
+            )
+
+    raise AnonymityUnsatisfiableError(
+        f"cannot reach {k}-anonymity within {max_suppression:.0%} suppression"
+    )
+
+
+def mondrian_anonymize(
+    rows: list[list[str]],
+    columns: list[str],
+    quasi_identifiers: list[str],
+    k: int = 5,
+) -> AnonymizationResult:
+    """Mondrian multidimensional recoding over numeric quasi-identifiers.
+
+    Non-numeric values are treated as 0 for ordering purposes.  Each
+    final partition's quasi-identifier cells are recoded to the
+    partition's ``"lo-hi"`` range (or the single value).
+
+    Raises:
+        PrivacyError: on unknown columns.
+        AnonymityUnsatisfiableError: when fewer than ``k`` rows exist.
+    """
+    if k < 1:
+        raise PrivacyError("k must be at least 1")
+    quasi_indexes = _resolve_columns(columns, quasi_identifiers)
+    if not rows:
+        return AnonymizationResult(rows=[], columns=list(columns), k=k)
+    if len(rows) < k:
+        raise AnonymityUnsatisfiableError(
+            f"only {len(rows)} rows; cannot form a {k}-anonymous class"
+        )
+
+    out: list[list[str]] = []
+
+    def numeric(row: list[str], idx: int) -> float:
+        try:
+            return float(row[idx])
+        except ValueError:
+            return 0.0
+
+    def recode_partition(part: list[list[str]]) -> None:
+        summary: dict[int, str] = {}
+        for idx in quasi_indexes:
+            values = sorted(numeric(row, idx) for row in part)
+            lo, hi = values[0], values[-1]
+            summary[idx] = _format_value(lo) if lo == hi else f"{_format_value(lo)}-{_format_value(hi)}"
+        for row in part:
+            copy = list(row)
+            for idx, text in summary.items():
+                copy[idx] = text
+            out.append(copy)
+
+    def split(part: list[list[str]]) -> None:
+        # Choose the quasi dimension with the widest normalized range.
+        best_idx = None
+        best_span = 0.0
+        for idx in quasi_indexes:
+            values = [numeric(row, idx) for row in part]
+            span = max(values) - min(values)
+            if span > best_span:
+                best_span = span
+                best_idx = idx
+        if best_idx is None or len(part) < 2 * k:
+            recode_partition(part)
+            return
+        ordered = sorted(part, key=lambda row: numeric(row, best_idx))
+        middle = len(ordered) // 2
+        left, right = ordered[:middle], ordered[middle:]
+        if len(left) < k or len(right) < k:
+            recode_partition(part)
+            return
+        split(left)
+        split(right)
+
+    split(list(rows))
+    return AnonymizationResult(
+        rows=out,
+        columns=list(columns),
+        k=k,
+        levels={q: -1 for q in quasi_identifiers},  # -1 = multidimensional
+    )
+
+
+def _resolve_columns(columns: list[str], quasi: list[str]) -> list[int]:
+    indexes = []
+    for name in quasi:
+        try:
+            indexes.append(columns.index(name))
+        except ValueError:
+            raise PrivacyError(f"unknown quasi-identifier column {name!r}") from None
+    return indexes
+
+
+def _recode(
+    rows: list[list[str]],
+    quasi_indexes: list[int],
+    quasi_names: list[str],
+    hierarchies: dict[str, GeneralizationHierarchy],
+    levels: tuple[int, ...],
+) -> list[list[str]]:
+    recoded = []
+    for row in rows:
+        copy = list(row)
+        for idx, name, level in zip(quasi_indexes, quasi_names, levels):
+            copy[idx] = (
+                hierarchies[name].generalize(copy[idx], level)
+                if level > 0
+                else copy[idx]
+            )
+        recoded.append(copy)
+    return recoded
+
+
+def _format_value(value: float) -> str:
+    return str(int(value)) if value == int(value) else f"{value:.2f}"

@@ -1,0 +1,47 @@
+"""Anonymization quality metrics."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.privacy.hierarchy import GeneralizationHierarchy
+
+
+def equivalence_classes(
+    rows: list[list[str]], quasi_indexes: list[int]
+) -> dict[tuple[str, ...], int]:
+    """Quasi-identifier signature -> class size."""
+    return dict(Counter(tuple(row[i] for i in quasi_indexes) for row in rows))
+
+
+def discernibility_metric(rows: list[list[str]], quasi_indexes: list[int]) -> int:
+    """Bayardo-Agrawal discernibility: sum over classes of |class|^2.
+
+    Lower is better (small classes keep records distinguishable).
+    """
+    classes = equivalence_classes(rows, quasi_indexes)
+    return sum(size * size for size in classes.values())
+
+
+def generalization_information_loss(
+    levels: dict[str, int],
+    hierarchies: dict[str, "GeneralizationHierarchy"],
+) -> float:
+    """Mean normalized generalization height in [0, 1].
+
+    0 = untouched data, 1 = everything suppressed.  Mondrian results
+    (level -1 sentinels) are excluded from the mean.
+    """
+    ratios = []
+    for name, level in levels.items():
+        if level < 0:
+            continue
+        height = hierarchies[name].height
+        ratios.append(level / height if height else 0.0)
+    return sum(ratios) / len(ratios) if ratios else 0.0
+
+
+def suppression_ratio(released: int, suppressed: int) -> float:
+    """Fraction of input rows suppressed."""
+    total = released + suppressed
+    return suppressed / total if total else 0.0

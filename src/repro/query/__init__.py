@@ -1,0 +1,12 @@
+"""Application layer: data exploration queries, telco tasks, and SQL.
+
+- :mod:`repro.query.explore` — Q(a, b, w) exploration queries against
+  the SPATE index (paper §VI-A).
+- :mod:`repro.query.tasks` — the eight evaluation tasks T1-T8
+  (paper §VII-E), runnable against any framework.
+- :mod:`repro.query.sql` — the SPATE-SQL declarative interface.
+"""
+
+from repro.query.explore import ExplorationQuery, ExplorationResult
+
+__all__ = ["ExplorationQuery", "ExplorationResult"]

@@ -1,0 +1,268 @@
+"""Data exploration queries Q(a, b, w) (paper §VI-A).
+
+A query selects attributes ``a``, a spatial bounding box ``b`` and a
+temporal window ``w``.  Evaluation walks the temporal index and, for
+each day in the window, uses the finest resolution still available:
+
+- live snapshot leaves -> decompress and return exact records;
+- decayed leaves but a day summary -> day-level aggregates;
+- decayed day summary -> month summary; then year; then root.
+
+This is decay-aware exploration: old windows still answer, at
+progressively coarser granularity, without the raw data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.snapshot import EPOCHS_PER_DAY
+from repro.errors import QueryError
+from repro.index.highlights import CELL_COLUMN, Highlight, NumericStats
+from repro.index.temporal import TemporalIndex
+from repro.spatial.geometry import BoundingBox, Point
+
+
+@dataclass(frozen=True)
+class ExplorationQuery:
+    """Q(a, b, w): attributes, bounding box, temporal window (epochs)."""
+
+    table: str
+    attributes: tuple[str, ...]
+    box: BoundingBox | None  # None = whole service area
+    first_epoch: int
+    last_epoch: int
+
+    def __post_init__(self) -> None:
+        if self.first_epoch > self.last_epoch:
+            raise QueryError(
+                f"window [{self.first_epoch}, {self.last_epoch}] is inverted"
+            )
+        if not self.attributes:
+            raise QueryError("query selects no attributes")
+
+
+@dataclass
+class ExplorationResult:
+    """Answer to an exploration query."""
+
+    query: ExplorationQuery
+    columns: list[str] = field(default_factory=list)
+    records: list[list[str]] = field(default_factory=list)
+    aggregates: dict[str, NumericStats] = field(default_factory=dict)
+    highlights: list[Highlight] = field(default_factory=list)
+    #: day key -> resolution used ("snapshots" / "day" / "month" / "year" / "root").
+    resolution_by_day: dict[str, str] = field(default_factory=dict)
+    snapshots_read: int = 0
+
+    @property
+    def used_decayed_data(self) -> bool:
+        """True when any part of the window fell back to summaries."""
+        return any(r != "snapshots" for r in self.resolution_by_day.values())
+
+    def aggregate(self, attribute: str) -> NumericStats:
+        """Combined stats for one attribute (empty stats if untracked)."""
+        return self.aggregates.get(attribute, NumericStats())
+
+
+class ExplorationEngine:
+    """Evaluates exploration queries against a SPATE instance's state."""
+
+    def __init__(
+        self,
+        index: TemporalIndex,
+        read_leaf_table,
+        cell_locations: dict[str, Point],
+    ) -> None:
+        """
+        Args:
+            index: the temporal index.
+            read_leaf_table: callable ``(SnapshotLeaf, table_name) ->
+                Table | None`` that loads and decompresses one table of
+                one leaf from storage.
+            cell_locations: cell id -> centroid, for the spatial filter.
+        """
+        self._index = index
+        self._read_leaf_table = read_leaf_table
+        self._cell_locations = cell_locations
+
+    def evaluate(self, query: ExplorationQuery) -> ExplorationResult:
+        """Run Q(a, b, w) at the finest available resolution per day."""
+        result = ExplorationResult(query=query)
+        cells = self._cells_in_box(query.box)
+        consumed_months: set[str] = set()
+        consumed_years: set[str] = set()
+        used_root = False
+
+        for day_key in self._day_keys(query.first_epoch, query.last_epoch):
+            day = self._index.find_day(day_key)
+            decayed_in_window = day is not None and any(
+                leaf.decayed
+                and query.first_epoch <= leaf.epoch <= query.last_epoch
+                for leaf in day.leaves
+            )
+            if (
+                day is not None
+                and day.live_leaves()
+                and not (decayed_in_window and day.summary is not None)
+            ):
+                # Fully live portion: exact records from the snapshots.
+                self._scan_day(day, query, cells, result)
+                result.resolution_by_day[day_key] = "snapshots"
+                continue
+            if day is not None and day.summary is not None:
+                # Some (or all) requested leaves decayed: answer the whole
+                # day from its summary — coarser but complete, matching
+                # the paper's "retrieve a larger period" behaviour.
+                self._fold_summary(day.summary, query, cells, result)
+                result.resolution_by_day[day_key] = "day"
+                continue
+            if day is not None and day.live_leaves():
+                # Partially decayed day with no summary yet: best effort
+                # from whatever snapshots survive.
+                self._scan_day(day, query, cells, result)
+                result.resolution_by_day[day_key] = "snapshots"
+                continue
+            month_key = day_key[:7]
+            month = self._index.find_month(month_key)
+            if month is not None and month.summary is not None:
+                if month_key not in consumed_months:
+                    consumed_months.add(month_key)
+                    self._fold_summary(month.summary, query, cells, result)
+                result.resolution_by_day[day_key] = "month"
+                continue
+            year_key = day_key[:4]
+            year = self._index.find_year(year_key)
+            if year is not None and year.summary is not None:
+                if year_key not in consumed_years:
+                    consumed_years.add(year_key)
+                    self._fold_summary(year.summary, query, cells, result)
+                result.resolution_by_day[day_key] = "year"
+                continue
+            if not used_root:
+                used_root = True
+                self._fold_summary(self._index.root_summary, query, cells, result)
+            result.resolution_by_day[day_key] = "root"
+
+        return result
+
+    def evaluate_coarse(self, query: ExplorationQuery) -> ExplorationResult:
+        """The paper's prefetching variant: answer from the single
+        smallest node covering the whole window (may span more time than
+        requested — "implicit prefetching")."""
+        result = ExplorationResult(query=query)
+        cells = self._cells_in_box(query.box)
+        summary = self._index.covering_node_summary(query.first_epoch, query.last_epoch)
+        if summary is not None:
+            self._fold_summary(summary, query, cells, result)
+            result.resolution_by_day["*"] = summary.level
+        return result
+
+    def highlights_in_window(self, first_epoch: int, last_epoch: int) -> list[Highlight]:
+        """All detected highlights from nodes overlapping the window."""
+        out: list[Highlight] = []
+        day_keys = set(self._day_keys(first_epoch, last_epoch))
+        for day in self._index.day_nodes():
+            if day.key in day_keys and day.summary is not None:
+                out.extend(day.summary.highlights)
+        return out
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _cells_in_box(self, box: BoundingBox | None) -> set[str] | None:
+        if box is None:
+            return None
+        return {
+            cell_id
+            for cell_id, point in self._cell_locations.items()
+            if box.contains(point)
+        }
+
+    def _day_keys(self, first_epoch: int, last_epoch: int) -> list[str]:
+        from repro.core.snapshot import epoch_to_timestamp
+
+        keys: list[str] = []
+        first_day = first_epoch // EPOCHS_PER_DAY
+        last_day = last_epoch // EPOCHS_PER_DAY
+        for day_index in range(first_day, last_day + 1):
+            keys.append(
+                epoch_to_timestamp(day_index * EPOCHS_PER_DAY).strftime("%Y-%m-%d")
+            )
+        return keys
+
+    def _scan_day(
+        self,
+        day,
+        query: ExplorationQuery,
+        cells: set[str] | None,
+        result: ExplorationResult,
+    ) -> None:
+        """Exact path: decompress the day's in-window leaves and filter."""
+        for leaf in day.live_leaves():
+            if leaf.epoch < query.first_epoch or leaf.epoch > query.last_epoch:
+                continue
+            table = self._read_leaf_table(leaf, query.table)
+            result.snapshots_read += 1
+            if table is None:
+                continue
+            if not result.columns:
+                result.columns = ["epoch"] + [
+                    a for a in query.attributes if a in table.columns
+                ]
+            attr_idx = [
+                (a, table.column_index(a))
+                for a in query.attributes
+                if a in table.columns
+            ]
+            cell_col = CELL_COLUMN.get(query.table)
+            cell_idx = (
+                table.column_index(cell_col)
+                if cells is not None and cell_col in table.columns
+                else None
+            )
+            for row in table.rows:
+                if cell_idx is not None and row[cell_idx] not in cells:
+                    continue
+                record = [str(leaf.epoch)] + [row[idx] for __, idx in attr_idx]
+                result.records.append(record)
+                for name, idx in attr_idx:
+                    value = row[idx]
+                    if value and _is_int(value):
+                        stats = result.aggregates.get(name)
+                        if stats is None:
+                            stats = result.aggregates[name] = NumericStats()
+                        stats.add(int(value))
+
+    def _fold_summary(
+        self,
+        summary,
+        query: ExplorationQuery,
+        cells: set[str] | None,
+        result: ExplorationResult,
+    ) -> None:
+        """Decayed path: answer from per-cell aggregates in a summary."""
+        for attribute in query.attributes:
+            if cells is not None:
+                stats = summary.cell_stats(query.table, cells, attribute)
+            else:
+                table_attrs = summary.attributes.get(query.table, {})
+                attr_summary = table_attrs.get(attribute)
+                stats = (
+                    attr_summary.numeric.copy()
+                    if attr_summary and attr_summary.numeric
+                    else NumericStats()
+                )
+            if stats.count:
+                mine = result.aggregates.get(attribute)
+                if mine is None:
+                    result.aggregates[attribute] = stats
+                else:
+                    mine.merge(stats)
+        result.highlights.extend(summary.highlights)
+
+
+def _is_int(value: str) -> bool:
+    body = value[1:] if value[0] == "-" else value
+    return body.isdigit()

@@ -1,0 +1,26 @@
+"""SPATE-SQL: the declarative exploration interface (paper §VI-B).
+
+A small SQL engine over the frameworks' stored tables, supporting the
+query classes the paper lists for its Hue/Hive interface: basic
+SELECT-FROM-WHERE blocks, nested queries (FROM subqueries and IN/scalar
+subqueries), joins, aggregates with GROUP BY / HAVING, ORDER BY, LIMIT
+and DISTINCT.
+
+Usage::
+
+    from repro.query.sql import Database
+
+    db = Database()
+    db.register_table("CDR", columns, rows)
+    result = db.execute(
+        "SELECT cellid, SUM(val) AS drops FROM NMS "
+        "WHERE kpi = 'call_drop_rate' GROUP BY cellid"
+    )
+    result.columns, result.rows
+"""
+
+from repro.query.sql.executor import Database, QueryResult
+from repro.query.sql.parser import parse_sql
+from repro.query.sql.lexer import tokenize_sql
+
+__all__ = ["Database", "QueryResult", "parse_sql", "tokenize_sql"]

@@ -1,0 +1,249 @@
+"""SQL abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+class Expression:
+    """Base class for SQL expressions."""
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """``name`` or ``table.name``."""
+
+    name: str
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """String or numeric constant (NULL is ``value=None``)."""
+
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """``*`` or ``table.*``."""
+
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.*" if self.table else "*"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """Infix operation (comparison, boolean, arithmetic)."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """``NOT expr`` or ``-expr``."""
+
+    op: str
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """Aggregate or scalar function call."""
+
+    name: str
+    args: tuple[Expression, ...]
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.name}({'DISTINCT ' if self.distinct else ''}{inner})"
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    """``expr BETWEEN low AND high`` (optionally negated)."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """``expr IN (v1, v2, ...)`` or ``expr IN (SELECT ...)``."""
+
+    operand: Expression
+    items: tuple[Expression, ...] = ()
+    subquery: "Optional[SelectStatement]" = None
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    """``expr LIKE pattern`` with % and _ wildcards."""
+
+    operand: Expression
+    pattern: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """``expr IS [NOT] NULL`` (empty string counts as NULL)."""
+
+    operand: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expression):
+    """A parenthesized SELECT used as a value."""
+
+    select: "SelectStatement"
+
+
+@dataclass(frozen=True)
+class CaseExpression(Expression):
+    """``CASE WHEN cond THEN value ... [ELSE default] END``.
+
+    The searched form only (no ``CASE operand WHEN ...``); the parser
+    rewrites the simple form into searched equality branches.
+    """
+
+    branches: tuple[tuple[Expression, Expression], ...]
+    default: Optional[Expression] = None
+
+    def __str__(self) -> str:
+        inner = " ".join(
+            f"WHEN {cond} THEN {value}" for cond, value in self.branches
+        )
+        tail = f" ELSE {self.default}" if self.default is not None else ""
+        return f"CASE {inner}{tail} END"
+
+
+# ----------------------------------------------------------------------
+# FROM clause
+# ----------------------------------------------------------------------
+
+class FromItem:
+    """Base class for FROM sources."""
+
+
+@dataclass(frozen=True)
+class TableRef(FromItem):
+    """A named table with an optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """The name this source is referenced by (alias or table name)."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SubqueryRef(FromItem):
+    """A derived table: ``(SELECT ...) alias``."""
+
+    select: "SelectStatement"
+    alias: str
+
+    @property
+    def binding(self) -> str:
+        """The name this source is referenced by (alias or table name)."""
+        return self.alias
+
+
+@dataclass(frozen=True)
+class Join(FromItem):
+    """``left JOIN right ON condition`` (inner or left outer)."""
+
+    left: FromItem
+    right: FromItem
+    condition: Optional[Expression]
+    kind: str = "inner"  # "inner" | "left" | "cross"
+
+
+# ----------------------------------------------------------------------
+# Statement
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection: expression plus optional alias."""
+
+    expression: Expression
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    expression: Expression
+    ascending: bool = True
+
+
+@dataclass
+class SelectStatement:
+    """A full SELECT statement."""
+
+    items: list[SelectItem] = field(default_factory=list)
+    from_item: Optional[FromItem] = None
+    where: Optional[Expression] = None
+    group_by: list[Expression] = field(default_factory=list)
+    having: Optional[Expression] = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False
+    #: UNION chain: (statement, keep_duplicates) pairs appended to this
+    #: SELECT; ORDER BY/LIMIT on the head apply to the combined result.
+    unions: "list[tuple[SelectStatement, bool]]" = field(default_factory=list)
+
+
+AGGREGATE_FUNCTIONS = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+def contains_aggregate(expr: Expression) -> bool:
+    """True when any aggregate call appears in ``expr``."""
+    if isinstance(expr, FunctionCall):
+        if expr.name in AGGREGATE_FUNCTIONS:
+            return True
+        return any(contains_aggregate(a) for a in expr.args)
+    if isinstance(expr, BinaryOp):
+        return contains_aggregate(expr.left) or contains_aggregate(expr.right)
+    if isinstance(expr, UnaryOp):
+        return contains_aggregate(expr.operand)
+    if isinstance(expr, Between):
+        return any(contains_aggregate(e) for e in (expr.operand, expr.low, expr.high))
+    if isinstance(expr, (InList, Like, IsNull)):
+        return contains_aggregate(expr.operand)
+    if isinstance(expr, CaseExpression):
+        branch_hit = any(
+            contains_aggregate(c) or contains_aggregate(v)
+            for c, v in expr.branches
+        )
+        default_hit = expr.default is not None and contains_aggregate(expr.default)
+        return branch_hit or default_hit
+    return False

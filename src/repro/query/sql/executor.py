@@ -1,0 +1,989 @@
+"""SQL execution engine.
+
+Plans and runs a parsed :class:`~repro.query.sql.ast.SelectStatement`
+against registered tables.  Plan shape follows the classic pipeline:
+FROM (scans + joins, hash-join for equi-conditions) -> WHERE ->
+GROUP BY/aggregate -> HAVING -> projection -> DISTINCT -> ORDER BY ->
+LIMIT.
+
+Value semantics: table cells are strings; comparisons coerce both sides
+to numbers when both parse, otherwise compare as strings.  Empty string
+and ``NULL`` are null: they fail every comparison and are skipped by
+aggregates, matching SQL's three-valued logic closely enough for the
+paper's workloads.  Correlated subqueries are not supported.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import QueryError, SqlPlanError
+from repro.query.sql.ast import (
+    AGGREGATE_FUNCTIONS,
+    Between,
+    CaseExpression,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FromItem,
+    FunctionCall,
+    InList,
+    IsNull,
+    Join,
+    Like,
+    Literal,
+    OrderItem,
+    ScalarSubquery,
+    SelectItem,
+    SelectStatement,
+    Star,
+    SubqueryRef,
+    TableRef,
+    UnaryOp,
+    contains_aggregate,
+)
+from repro.query.sql.parser import parse_sql
+
+
+@dataclass
+class QueryResult:
+    """Materialized result of a query."""
+
+    columns: list[str]
+    rows: list[list[Any]]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> list[Any]:
+        """One output column by name."""
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise QueryError(f"result has no column {name!r}") from None
+        return [row[idx] for row in self.rows]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Rows as dictionaries keyed by output column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+@dataclass
+class _Scope:
+    """Resolved (binding, column) schema of an intermediate row set."""
+
+    fields: list[tuple[Optional[str], str]] = field(default_factory=list)
+
+    def resolve(self, ref: ColumnRef) -> int:
+        """Index of the field a column reference binds to."""
+        matches = [
+            i
+            for i, (binding, column) in enumerate(self.fields)
+            if column == ref.name and (ref.table is None or binding == ref.table)
+        ]
+        if not matches:
+            raise SqlPlanError(f"unknown column {ref}")
+        if len(matches) > 1 and ref.table is None:
+            raise SqlPlanError(f"ambiguous column {ref.name!r}")
+        return matches[0]
+
+    def star_indexes(self, table: Optional[str]) -> list[int]:
+        """Field indexes expanded by ``*`` or ``table.*``."""
+        idx = [
+            i
+            for i, (binding, __) in enumerate(self.fields)
+            if table is None or binding == table
+        ]
+        if not idx:
+            raise SqlPlanError(f"no columns for {table!r}.*")
+        return idx
+
+
+class Database:
+    """A named-table catalog plus the query executor."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, tuple[list[str], Callable[[], list[list[str]]]]] = {}
+
+    def register_table(
+        self, name: str, columns: list[str], rows: list[list[str]]
+    ) -> None:
+        """Register a materialized table (name lookup is case-insensitive)."""
+        materialized = rows
+        self._tables[name.upper()] = (list(columns), lambda: materialized)
+
+    def register_lazy_table(
+        self, name: str, columns: list[str], loader: Callable[[], list[list[str]]]
+    ) -> None:
+        """Register a table whose rows load on first scan (e.g. from a
+        framework's compressed storage)."""
+        self._tables[name.upper()] = (list(columns), loader)
+
+    def register_framework(
+        self, framework, tables: list[str], first_epoch: int, last_epoch: int
+    ) -> None:
+        """Expose a framework's stored tables over an epoch window."""
+        for table in tables:
+            columns, rows = framework.read_rows(table, first_epoch, last_epoch)
+            if columns:
+                self.register_table(table, columns, rows)
+
+    def table_names(self) -> list[str]:
+        """Registered table names, sorted."""
+        return sorted(self._tables)
+
+    def execute(self, sql: str | SelectStatement) -> QueryResult:
+        """Parse (if needed) and run a SELECT statement."""
+        statement = parse_sql(sql) if isinstance(sql, str) else sql
+        return self._execute_select(statement)
+
+    def explain(self, sql: str | SelectStatement) -> str:
+        """Describe the execution plan without running the query.
+
+        Shows scan sources with pushed-down predicates, the join
+        strategy (hash vs nested-loop), and the post-FROM pipeline
+        stages — the shape a Hive EXPLAIN would print.
+        """
+        stmt = parse_sql(sql) if isinstance(sql, str) else sql
+        if stmt.unions:
+            import copy
+
+            head = copy.copy(stmt)
+            head.unions = []
+            head.order_by = []
+            head.limit = None
+            lines = []
+            if stmt.limit is not None:
+                lines.append(f"Limit [{stmt.limit}]")
+            if stmt.order_by:
+                keys = ", ".join(str(o.expression) for o in stmt.order_by)
+                lines.append(f"Sort [{keys}]")
+            mode = (
+                "UnionAll"
+                if all(keep for __, keep in stmt.unions)
+                else "Union (distinct)"
+            )
+            lines.append(f"{mode} [{len(stmt.unions) + 1} branches]")
+            for branch in [head] + [b for b, __ in stmt.unions]:
+                for line in self.explain(branch).splitlines():
+                    lines.append("  " + line)
+            return "\n".join(lines)
+        lines = []
+        if stmt.limit is not None:
+            lines.append(f"Limit [{stmt.limit}]")
+        if stmt.order_by:
+            keys = ", ".join(
+                f"{o.expression} {'ASC' if o.ascending else 'DESC'}"
+                for o in stmt.order_by
+            )
+            lines.append(f"Sort [{keys}]")
+        if stmt.distinct:
+            lines.append("Distinct")
+        grouped = bool(stmt.group_by) or stmt.having is not None or any(
+            contains_aggregate(i.expression) for i in stmt.items
+        )
+        projection = ", ".join(
+            (i.alias or str(i.expression)) for i in stmt.items
+        )
+        if grouped:
+            keys = ", ".join(str(k) for k in stmt.group_by) or "<all>"
+            lines.append(f"HashAggregate [keys: {keys}] -> [{projection}]")
+            if stmt.having is not None:
+                lines.append(f"  Having [{stmt.having}]")
+        else:
+            lines.append(f"Project [{projection}]")
+        if stmt.from_item is not None:
+            conjuncts = [
+                c for c in _split_conjuncts(stmt.where)
+                if not contains_aggregate(c)
+            ]
+            residual = self._explain_from(stmt.from_item, conjuncts, lines, 1)
+            for predicate in residual:
+                lines.insert(
+                    len(lines), f"  Filter (post-join) [{predicate}]"
+                )
+        return "\n".join(lines)
+
+    def _explain_from(
+        self,
+        item: FromItem,
+        conjuncts: list[Expression],
+        lines: list[str],
+        depth: int,
+    ) -> list[Expression]:
+        pad = "  " * depth
+        if isinstance(item, Join):
+            equi = None
+            try:
+                left_scope = self._scope_of(item.left)
+                right_scope = self._scope_of(item.right)
+                equi = self._equi_join_keys(item.condition, left_scope, right_scope)
+            except SqlPlanError:
+                pass
+            strategy = "HashJoin" if equi is not None else "NestedLoopJoin"
+            if item.kind == "cross":
+                strategy = "CrossJoin"
+            lines.append(f"{pad}{strategy} [{item.condition or 'true'}]")
+            if item.kind != "left":
+                conjuncts = self._explain_from(item.left, conjuncts, lines, depth + 1)
+                conjuncts = self._explain_from(item.right, conjuncts, lines, depth + 1)
+                return conjuncts
+            self._explain_from(item.left, [], lines, depth + 1)
+            self._explain_from(item.right, [], lines, depth + 1)
+            return conjuncts
+        scope = self._scope_of(item)
+        pushed = [c for c in conjuncts if self._resolvable(c, scope)]
+        leftover = [c for c in conjuncts if not self._resolvable(c, scope)]
+        label = (
+            f"Scan {item.name}" + (f" AS {item.alias}" if item.alias else "")
+            if isinstance(item, TableRef)
+            else f"Subquery AS {item.alias}"
+        )
+        suffix = (
+            " pushed: [" + " AND ".join(str(p) for p in pushed) + "]"
+            if pushed
+            else ""
+        )
+        lines.append(f"{pad}{label}{suffix}")
+        return leftover
+
+    def _scope_of(self, item: FromItem) -> _Scope:
+        """Schema of a FROM source, derived statically (no row access)."""
+        if isinstance(item, TableRef):
+            upper = item.name.upper()
+            if upper not in self._tables:
+                raise SqlPlanError(f"unknown table {item.name!r}")
+            columns, __ = self._tables[upper]
+            return _Scope(fields=[(item.binding, c) for c in columns])
+        if isinstance(item, SubqueryRef):
+            columns = self._static_columns(item.select)
+            return _Scope(fields=[(item.alias, c) for c in columns])
+        if isinstance(item, Join):
+            left = self._scope_of(item.left)
+            right = self._scope_of(item.right)
+            return _Scope(fields=left.fields + right.fields)
+        raise SqlPlanError(f"unsupported FROM item {item!r}")
+
+    def _static_columns(self, stmt: SelectStatement) -> list[str]:
+        """Output column names of a statement without executing it."""
+        columns: list[str] = []
+        scope = (
+            self._scope_of(stmt.from_item)
+            if stmt.from_item is not None
+            else _Scope()
+        )
+        for item in stmt.items:
+            if isinstance(item.expression, Star):
+                for idx in scope.star_indexes(item.expression.table):
+                    columns.append(scope.fields[idx][1])
+            else:
+                columns.append(item.alias or str(item.expression))
+        return columns
+
+    # ------------------------------------------------------------------
+    # Execution pipeline
+    # ------------------------------------------------------------------
+
+    def _execute_select(self, stmt: SelectStatement) -> QueryResult:
+        if stmt.unions:
+            return self._execute_union(stmt)
+        if stmt.from_item is not None:
+            # Predicate pushdown: split the WHERE conjunction and let
+            # each FROM source consume the conjuncts it can evaluate,
+            # so single-table filters run *below* joins.
+            conjuncts = _split_conjuncts(stmt.where)
+            # A conjunct may only be pushed when it resolves against the
+            # *full* FROM scope: an ambiguous bare column must surface
+            # as an error, not silently bind inside one join side.
+            full_scope = self._scope_of(stmt.from_item)
+            pushable = [
+                c
+                for c in conjuncts
+                if not contains_aggregate(c) and self._resolvable(c, full_scope)
+            ]
+            blocked = [c for c in conjuncts if c not in pushable]
+            scope, rows, leftover = self._execute_from_filtered(
+                stmt.from_item, pushable
+            )
+            for predicate in leftover + blocked:
+                rows = [
+                    r for r in rows if _truthy(self._eval(predicate, r, scope))
+                ]
+        else:
+            scope, rows = _Scope(), [[]]
+            if stmt.where is not None:
+                rows = [
+                    r for r in rows if _truthy(self._eval(stmt.where, r, scope))
+                ]
+
+        grouped = bool(stmt.group_by) or any(
+            contains_aggregate(item.expression) for item in stmt.items
+        ) or (stmt.having is not None)
+
+        if grouped:
+            out_columns, out_rows = self._grouped_projection(stmt, scope, rows)
+        else:
+            out_columns, out_rows = self._plain_projection(stmt.items, scope, rows)
+
+        if stmt.distinct:
+            seen: set[tuple] = set()
+            deduped = []
+            for row in out_rows:
+                key = tuple(row)
+                if key not in seen:
+                    seen.add(key)
+                    deduped.append(row)
+            out_rows = deduped
+
+        if stmt.order_by:
+            out_rows = self._order(stmt, scope, out_columns, out_rows, rows, grouped)
+
+        if stmt.limit is not None:
+            out_rows = out_rows[: stmt.limit]
+
+        return QueryResult(columns=out_columns, rows=out_rows)
+
+    def _execute_union(self, stmt: SelectStatement) -> QueryResult:
+        """Run a UNION chain: branches concatenated, set semantics unless
+        every link was UNION ALL; trailing ORDER BY/LIMIT apply to the
+        combined result by output column or ordinal."""
+        import copy
+
+        head = copy.copy(stmt)
+        head.unions = []
+        head.order_by = []
+        head.limit = None
+        result = self._execute_select(head)
+        columns = result.columns
+        rows = list(result.rows)
+        dedup = False
+        for branch, keep_duplicates in stmt.unions:
+            branch_result = self._execute_select(branch)
+            if len(branch_result.columns) != len(columns):
+                raise SqlPlanError(
+                    f"UNION branches have {len(columns)} vs "
+                    f"{len(branch_result.columns)} columns"
+                )
+            rows.extend(branch_result.rows)
+            if not keep_duplicates:
+                dedup = True
+        if dedup:
+            seen: set[tuple] = set()
+            unique = []
+            for row in rows:
+                key = tuple(_null_safe(c) for c in row)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(row)
+            rows = unique
+        if stmt.order_by:
+            indexes = []
+            for order in stmt.order_by:
+                expr = order.expression
+                if isinstance(expr, ColumnRef) and expr.table is None and expr.name in columns:
+                    indexes.append((columns.index(expr.name), order.ascending))
+                elif isinstance(expr, Literal) and isinstance(expr.value, int):
+                    if not 1 <= expr.value <= len(columns):
+                        raise SqlPlanError(
+                            f"ORDER BY position {expr.value} out of range"
+                        )
+                    indexes.append((expr.value - 1, order.ascending))
+                else:
+                    raise SqlPlanError(
+                        "ORDER BY on UNION must reference output columns"
+                    )
+            rows.sort(
+                key=lambda row: [
+                    _sortable(row[i], asc) for i, asc in indexes
+                ]
+            )
+        if stmt.limit is not None:
+            rows = rows[: stmt.limit]
+        return QueryResult(columns=columns, rows=rows)
+
+    # ------------------------------------------------------------------
+    # FROM
+    # ------------------------------------------------------------------
+
+    def _execute_from_filtered(
+        self, item: FromItem, conjuncts: list[Expression]
+    ) -> tuple[_Scope, list[list[Any]], list[Expression]]:
+        """Execute a FROM source, consuming the WHERE conjuncts that are
+        fully resolvable against it.  Returns (scope, rows, leftover)."""
+        if isinstance(item, Join) and item.kind != "left":
+            # Left joins can't take pushdown on the right side (a filter
+            # below the join changes which rows get NULL-extended), so
+            # only inner/cross joins participate.
+            left_scope, left_rows, conjuncts = self._execute_from_filtered(
+                item.left, conjuncts
+            )
+            right_scope, right_rows, conjuncts = self._execute_from_filtered(
+                item.right, conjuncts
+            )
+            scope, rows = self._join_materialized(
+                item, left_scope, left_rows, right_scope, right_rows
+            )
+        else:
+            scope, rows = self._execute_from(item)
+        applicable = []
+        leftover = []
+        for predicate in conjuncts:
+            target = applicable if self._resolvable(predicate, scope) else leftover
+            target.append(predicate)
+        for predicate in applicable:
+            rows = [r for r in rows if _truthy(self._eval(predicate, r, scope))]
+        return scope, rows, leftover
+
+    def _resolvable(self, expr: Expression, scope: _Scope) -> bool:
+        """True when every column reference in ``expr`` binds uniquely in
+        ``scope`` (subqueries are self-contained and always fine)."""
+        if isinstance(expr, ColumnRef):
+            try:
+                scope.resolve(expr)
+                return True
+            except SqlPlanError:
+                return False
+        if isinstance(expr, Star):
+            return False
+        if isinstance(expr, BinaryOp):
+            return self._resolvable(expr.left, scope) and self._resolvable(
+                expr.right, scope
+            )
+        if isinstance(expr, UnaryOp):
+            return self._resolvable(expr.operand, scope)
+        if isinstance(expr, Between):
+            return all(
+                self._resolvable(e, scope)
+                for e in (expr.operand, expr.low, expr.high)
+            )
+        if isinstance(expr, InList):
+            return self._resolvable(expr.operand, scope) and all(
+                self._resolvable(i, scope) for i in expr.items
+            )
+        if isinstance(expr, (Like, IsNull)):
+            return self._resolvable(expr.operand, scope)
+        if isinstance(expr, FunctionCall):
+            return all(self._resolvable(a, scope) for a in expr.args)
+        if isinstance(expr, CaseExpression):
+            parts = [e for pair in expr.branches for e in pair]
+            if expr.default is not None:
+                parts.append(expr.default)
+            return all(self._resolvable(e, scope) for e in parts)
+        return True  # literals, scalar subqueries
+
+    def _execute_from(self, item: FromItem) -> tuple[_Scope, list[list[Any]]]:
+        if isinstance(item, TableRef):
+            upper = item.name.upper()
+            if upper not in self._tables:
+                raise SqlPlanError(f"unknown table {item.name!r}")
+            columns, loader = self._tables[upper]
+            scope = _Scope(fields=[(item.binding, c) for c in columns])
+            return scope, [list(r) for r in loader()]
+        if isinstance(item, SubqueryRef):
+            inner = self._execute_select(item.select)
+            scope = _Scope(fields=[(item.alias, c) for c in inner.columns])
+            return scope, inner.rows
+        if isinstance(item, Join):
+            return self._execute_join(item)
+        raise SqlPlanError(f"unsupported FROM item {item!r}")
+
+    def _execute_join(self, join: Join) -> tuple[_Scope, list[list[Any]]]:
+        left_scope, left_rows = self._execute_from(join.left)
+        right_scope, right_rows = self._execute_from(join.right)
+        return self._join_materialized(
+            join, left_scope, left_rows, right_scope, right_rows
+        )
+
+    def _join_materialized(
+        self,
+        join: Join,
+        left_scope: _Scope,
+        left_rows: list[list[Any]],
+        right_scope: _Scope,
+        right_rows: list[list[Any]],
+    ) -> tuple[_Scope, list[list[Any]]]:
+        scope = _Scope(fields=left_scope.fields + right_scope.fields)
+
+        if join.kind == "cross":
+            rows = [l + r for l in left_rows for r in right_rows]
+            return scope, rows
+
+        equi = self._equi_join_keys(join.condition, left_scope, right_scope)
+        out: list[list[Any]] = []
+        if equi is not None:
+            left_idx, right_idx = equi
+            index: dict[Any, list[list[Any]]] = {}
+            for r in right_rows:
+                index.setdefault(_null_safe(r[right_idx]), []).append(r)
+            for l in left_rows:
+                matches = index.get(_null_safe(l[left_idx]), [])
+                matched = False
+                for r in matches:
+                    combined = l + r
+                    if join.condition is None or _truthy(
+                        self._eval(join.condition, combined, scope)
+                    ):
+                        out.append(combined)
+                        matched = True
+                if not matched and join.kind == "left":
+                    out.append(l + [None] * len(right_scope.fields))
+            return scope, out
+
+        for l in left_rows:
+            matched = False
+            for r in right_rows:
+                combined = l + r
+                if join.condition is None or _truthy(
+                    self._eval(join.condition, combined, scope)
+                ):
+                    out.append(combined)
+                    matched = True
+            if not matched and join.kind == "left":
+                out.append(l + [None] * len(right_scope.fields))
+        return scope, out
+
+    @staticmethod
+    def _equi_join_keys(
+        condition: Optional[Expression], left: _Scope, right: _Scope
+    ) -> Optional[tuple[int, int]]:
+        """Detect ``a.x = b.y`` so the join can hash instead of loop."""
+        if not isinstance(condition, BinaryOp) or condition.op != "=":
+            return None
+        if not isinstance(condition.left, ColumnRef) or not isinstance(
+            condition.right, ColumnRef
+        ):
+            return None
+        try:
+            li = left.resolve(condition.left)
+            ri = right.resolve(condition.right)
+            return li, ri
+        except SqlPlanError:
+            pass
+        try:
+            li = left.resolve(condition.right)
+            ri = right.resolve(condition.left)
+            return li, ri
+        except SqlPlanError:
+            return None
+
+    # ------------------------------------------------------------------
+    # Projection
+    # ------------------------------------------------------------------
+
+    def _plain_projection(
+        self, items: list[SelectItem], scope: _Scope, rows: list[list[Any]]
+    ) -> tuple[list[str], list[list[Any]]]:
+        columns: list[str] = []
+        evaluators: list[Callable[[list[Any]], Any]] = []
+        for item in items:
+            if isinstance(item.expression, Star):
+                for idx in scope.star_indexes(item.expression.table):
+                    columns.append(scope.fields[idx][1])
+                    evaluators.append(lambda row, i=idx: row[i])
+            else:
+                columns.append(item.alias or str(item.expression))
+                expr = item.expression
+                evaluators.append(lambda row, e=expr: self._eval(e, row, scope))
+        out = [[fn(row) for fn in evaluators] for row in rows]
+        return columns, out
+
+    def _grouped_projection(
+        self, stmt: SelectStatement, scope: _Scope, rows: list[list[Any]]
+    ) -> tuple[list[str], list[list[Any]]]:
+        keys = stmt.group_by
+        groups: dict[tuple, list[list[Any]]] = {}
+        if keys:
+            for row in rows:
+                sig = tuple(_hashable(self._eval(k, row, scope)) for k in keys)
+                groups.setdefault(sig, []).append(row)
+        else:
+            groups[()] = rows  # implicit single group (pure aggregates)
+
+        columns: list[str] = []
+        aliases: dict[str, Expression] = {}
+        for item in stmt.items:
+            if isinstance(item.expression, Star):
+                raise SqlPlanError("SELECT * is invalid with GROUP BY")
+            columns.append(item.alias or str(item.expression))
+            if item.alias:
+                aliases[item.alias] = item.expression
+
+        having = (
+            _substitute_aliases(stmt.having, aliases)
+            if stmt.having is not None
+            else None
+        )
+        out: list[list[Any]] = []
+        for __, group_rows in sorted(groups.items(), key=lambda kv: kv[0]):
+            if having is not None and not _truthy(
+                self._eval_grouped(having, group_rows, scope)
+            ):
+                continue
+            out.append(
+                [
+                    self._eval_grouped(item.expression, group_rows, scope)
+                    for item in stmt.items
+                ]
+            )
+        return columns, out
+
+    def _order(
+        self,
+        stmt: SelectStatement,
+        scope: _Scope,
+        out_columns: list[str],
+        out_rows: list[list[Any]],
+        base_rows: list[list[Any]],
+        grouped: bool,
+    ) -> list[list[Any]]:
+        """ORDER BY over aliases/projections, falling back to base columns
+        for non-grouped queries."""
+
+        def sort_key(indexed: tuple[int, list[Any]]):
+            i, row = indexed
+            key = []
+            for order in stmt.order_by:
+                value = self._order_value(order, row, out_columns, scope, base_rows, i, grouped)
+                key.append(_sortable(value, order.ascending))
+            return key
+
+        decorated = sorted(enumerate(out_rows), key=sort_key)
+        return [row for __, row in decorated]
+
+    def _order_value(
+        self,
+        order: OrderItem,
+        out_row: list[Any],
+        out_columns: list[str],
+        scope: _Scope,
+        base_rows: list[list[Any]],
+        position: int,
+        grouped: bool,
+    ) -> Any:
+        expr = order.expression
+        if isinstance(expr, ColumnRef) and expr.table is None and expr.name in out_columns:
+            return out_row[out_columns.index(expr.name)]
+        if isinstance(expr, Literal) and isinstance(expr.value, int):
+            # ORDER BY <ordinal>
+            ordinal = expr.value
+            if not 1 <= ordinal <= len(out_columns):
+                raise SqlPlanError(f"ORDER BY position {ordinal} out of range")
+            return out_row[ordinal - 1]
+        if grouped:
+            raise SqlPlanError(
+                "ORDER BY on grouped queries must reference output columns"
+            )
+        return self._eval(expr, base_rows[position], scope)
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+    # ------------------------------------------------------------------
+
+    def _eval(self, expr: Expression, row: list[Any], scope: _Scope) -> Any:
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, ColumnRef):
+            return row[scope.resolve(expr)]
+        if isinstance(expr, UnaryOp):
+            if expr.op == "NOT":
+                return not _truthy(self._eval(expr.operand, row, scope))
+            value = _number(self._eval(expr.operand, row, scope))
+            return -value if value is not None else None
+        if isinstance(expr, BinaryOp):
+            return self._eval_binary(expr, row, scope)
+        if isinstance(expr, Between):
+            value = self._eval(expr.operand, row, scope)
+            low = self._eval(expr.low, row, scope)
+            high = self._eval(expr.high, row, scope)
+            hit = _compare(value, low) >= 0 and _compare(value, high) <= 0
+            return hit != expr.negated
+        if isinstance(expr, InList):
+            value = self._eval(expr.operand, row, scope)
+            if expr.subquery is not None:
+                inner = self._execute_select(expr.subquery)
+                if len(inner.columns) != 1:
+                    raise SqlPlanError("IN subquery must yield one column")
+                pool = {_null_safe(r[0]) for r in inner.rows}
+            else:
+                pool = {_null_safe(self._eval(i, row, scope)) for i in expr.items}
+            return (_null_safe(value) in pool) != expr.negated
+        if isinstance(expr, Like):
+            value = self._eval(expr.operand, row, scope)
+            if value is None:
+                return False
+            regex = _like_to_regex(expr.pattern)
+            return bool(regex.fullmatch(str(value))) != expr.negated
+        if isinstance(expr, IsNull):
+            value = self._eval(expr.operand, row, scope)
+            null = value is None or value == ""
+            return null != expr.negated
+        if isinstance(expr, CaseExpression):
+            for condition, value in expr.branches:
+                if _truthy(self._eval(condition, row, scope)):
+                    return self._eval(value, row, scope)
+            if expr.default is not None:
+                return self._eval(expr.default, row, scope)
+            return None
+        if isinstance(expr, ScalarSubquery):
+            inner = self._execute_select(expr.select)
+            if len(inner.columns) != 1:
+                raise SqlPlanError("scalar subquery must yield one column")
+            if len(inner.rows) > 1:
+                raise QueryError("scalar subquery returned more than one row")
+            return inner.rows[0][0] if inner.rows else None
+        if isinstance(expr, FunctionCall):
+            if expr.name in AGGREGATE_FUNCTIONS:
+                raise SqlPlanError(
+                    f"aggregate {expr.name} outside GROUP BY context"
+                )
+            return self._eval_scalar_function(expr, row, scope)
+        if isinstance(expr, Star):
+            raise SqlPlanError("* is only valid in SELECT or COUNT(*)")
+        raise SqlPlanError(f"unsupported expression {expr!r}")
+
+    def _eval_binary(self, expr: BinaryOp, row: list[Any], scope: _Scope) -> Any:
+        if expr.op == "AND":
+            return _truthy(self._eval(expr.left, row, scope)) and _truthy(
+                self._eval(expr.right, row, scope)
+            )
+        if expr.op == "OR":
+            return _truthy(self._eval(expr.left, row, scope)) or _truthy(
+                self._eval(expr.right, row, scope)
+            )
+        left = self._eval(expr.left, row, scope)
+        right = self._eval(expr.right, row, scope)
+        if expr.op in ("=", "!=", "<", "<=", ">", ">="):
+            if _is_null(left) or _is_null(right):
+                return False
+            cmp = _compare(left, right)
+            return {
+                "=": cmp == 0,
+                "!=": cmp != 0,
+                "<": cmp < 0,
+                "<=": cmp <= 0,
+                ">": cmp > 0,
+                ">=": cmp >= 0,
+            }[expr.op]
+        ln = _number(left)
+        rn = _number(right)
+        if ln is None or rn is None:
+            return None
+        if expr.op == "+":
+            return ln + rn
+        if expr.op == "-":
+            return ln - rn
+        if expr.op == "*":
+            return ln * rn
+        if expr.op == "/":
+            if rn == 0:
+                return None
+            return ln / rn
+        if expr.op == "%":
+            if rn == 0:
+                return None
+            return ln % rn
+        raise SqlPlanError(f"unsupported operator {expr.op!r}")
+
+    def _eval_scalar_function(
+        self, expr: FunctionCall, row: list[Any], scope: _Scope
+    ) -> Any:
+        from repro.query.sql.functions import SCALAR_FUNCTIONS
+
+        func = SCALAR_FUNCTIONS.get(expr.name)
+        if func is None:
+            raise SqlPlanError(f"unknown function {expr.name!r}")
+        args = [self._eval(a, row, scope) for a in expr.args]
+        return func(*args)
+
+    def _eval_grouped(
+        self, expr: Expression, group_rows: list[list[Any]], scope: _Scope
+    ) -> Any:
+        if isinstance(expr, FunctionCall) and expr.name in AGGREGATE_FUNCTIONS:
+            return self._eval_aggregate(expr, group_rows, scope)
+        if isinstance(expr, BinaryOp):
+            if expr.op in ("AND", "OR"):
+                left = self._eval_grouped(expr.left, group_rows, scope)
+                right_lazy = lambda: self._eval_grouped(expr.right, group_rows, scope)
+                if expr.op == "AND":
+                    return _truthy(left) and _truthy(right_lazy())
+                return _truthy(left) or _truthy(right_lazy())
+            left = self._eval_grouped(expr.left, group_rows, scope)
+            right = self._eval_grouped(expr.right, group_rows, scope)
+            synthetic = BinaryOp(op=expr.op, left=Literal(left), right=Literal(right))
+            return self._eval_binary(synthetic, [], scope)
+        if isinstance(expr, UnaryOp):
+            inner = self._eval_grouped(expr.operand, group_rows, scope)
+            if expr.op == "NOT":
+                return not _truthy(inner)
+            value = _number(inner)
+            return -value if value is not None else None
+        # Non-aggregate leaf: evaluate against the group's first row
+        # (must be functionally dependent on the group key, as in SQL).
+        representative = group_rows[0] if group_rows else []
+        return self._eval(expr, representative, scope)
+
+    def _eval_aggregate(
+        self, expr: FunctionCall, group_rows: list[list[Any]], scope: _Scope
+    ) -> Any:
+        if expr.name == "COUNT" and (not expr.args or isinstance(expr.args[0], Star)):
+            return len(group_rows)
+        if len(expr.args) != 1:
+            raise SqlPlanError(f"{expr.name} takes exactly one argument")
+        values = [
+            self._eval(expr.args[0], row, scope)
+            for row in group_rows
+        ]
+        values = [v for v in values if not _is_null(v)]
+        if expr.distinct:
+            values = list(dict.fromkeys(values))
+        if expr.name == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if expr.name in ("SUM", "AVG"):
+            numbers = [n for n in (_number(v) for v in values) if n is not None]
+            if not numbers:
+                return None
+            total = sum(numbers)
+            return total if expr.name == "SUM" else total / len(numbers)
+        # MIN / MAX use SQL comparison semantics.
+        best = values[0]
+        for value in values[1:]:
+            cmp = _compare(value, best)
+            if (expr.name == "MIN" and cmp < 0) or (expr.name == "MAX" and cmp > 0):
+                best = value
+        return best
+
+
+def _split_conjuncts(expr: Optional[Expression]) -> list[Expression]:
+    """Flatten a WHERE tree of ANDs into its conjunct list."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
+    return [expr]
+
+
+def _substitute_aliases(
+    expr: Expression, aliases: dict[str, Expression]
+) -> Expression:
+    """Replace bare select-alias references in HAVING with their
+    expressions (the common MySQL-style convenience)."""
+    if isinstance(expr, ColumnRef) and expr.table is None and expr.name in aliases:
+        return aliases[expr.name]
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            op=expr.op,
+            left=_substitute_aliases(expr.left, aliases),
+            right=_substitute_aliases(expr.right, aliases),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(op=expr.op, operand=_substitute_aliases(expr.operand, aliases))
+    if isinstance(expr, Between):
+        return Between(
+            operand=_substitute_aliases(expr.operand, aliases),
+            low=_substitute_aliases(expr.low, aliases),
+            high=_substitute_aliases(expr.high, aliases),
+            negated=expr.negated,
+        )
+    if isinstance(expr, InList):
+        return InList(
+            operand=_substitute_aliases(expr.operand, aliases),
+            items=tuple(_substitute_aliases(i, aliases) for i in expr.items),
+            subquery=expr.subquery,
+            negated=expr.negated,
+        )
+    return expr
+
+
+# ----------------------------------------------------------------------
+# Value semantics helpers
+# ----------------------------------------------------------------------
+
+def _is_null(value: Any) -> bool:
+    return value is None or value == ""
+
+
+def _truthy(value: Any) -> bool:
+    if _is_null(value):
+        return False
+    if isinstance(value, bool):
+        return value
+    number = _number(value)
+    if number is not None:
+        return number != 0
+    return bool(value)
+
+
+def _number(value: Any) -> float | int | None:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, str):
+        try:
+            return int(value)
+        except ValueError:
+            try:
+                return float(value)
+            except ValueError:
+                return None
+    return None
+
+
+def _compare(left: Any, right: Any) -> int:
+    ln = _number(left)
+    rn = _number(right)
+    if ln is not None and rn is not None:
+        return (ln > rn) - (ln < rn)
+    ls, rs = str(left), str(right)
+    return (ls > rs) - (ls < rs)
+
+
+def _null_safe(value: Any) -> Any:
+    """Normalize for hashing: numbers compare across int/str forms."""
+    number = _number(value)
+    return number if number is not None else value
+
+
+def _hashable(value: Any) -> Any:
+    return value if isinstance(value, (str, int, float, bool, type(None))) else str(value)
+
+
+def _sortable(value: Any, ascending: bool):
+    """Total-order key: nulls last, numbers before strings."""
+    null = _is_null(value)
+    number = _number(value)
+    if number is not None:
+        key = (0, number, "")
+    else:
+        key = (1, 0.0, str(value))
+    rank = (1 if null else 0, key)
+
+    class _Wrapped:
+        __slots__ = ("rank",)
+
+        def __init__(self, rank):
+            self.rank = rank
+
+        def __lt__(self, other):
+            return self.rank < other.rank if ascending else self.rank > other.rank
+
+        def __eq__(self, other):
+            return self.rank == other.rank
+
+    return _Wrapped(rank)
+
+
+def _like_to_regex(pattern: str) -> re.Pattern:
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("".join(out), re.DOTALL)

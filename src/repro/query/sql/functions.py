@@ -1,0 +1,66 @@
+"""Scalar SQL functions."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+def _null_through(func: Callable) -> Callable:
+    """Wrap a function so any null argument yields null."""
+
+    def wrapper(*args: Any) -> Any:
+        if any(a is None or a == "" for a in args):
+            return None
+        return func(*args)
+
+    return wrapper
+
+
+def _upper(value: Any) -> str:
+    return str(value).upper()
+
+
+def _lower(value: Any) -> str:
+    return str(value).lower()
+
+
+def _length(value: Any) -> int:
+    return len(str(value))
+
+
+def _substr(value: Any, start: Any, length: Any = None) -> str:
+    text = str(value)
+    begin = int(start) - 1  # SQL substr is 1-based
+    if length is None:
+        return text[begin:]
+    return text[begin : begin + int(length)]
+
+
+def _abs(value: Any) -> float | int:
+    number = float(value)
+    result = abs(number)
+    return int(result) if result == int(result) else result
+
+
+def _round(value: Any, digits: Any = 0) -> float | int:
+    result = round(float(value), int(digits))
+    return int(result) if int(digits) == 0 else result
+
+
+def _coalesce(*args: Any) -> Any:
+    for arg in args:
+        if arg is not None and arg != "":
+            return arg
+    return None
+
+
+#: Registry consulted by the executor for non-aggregate calls.
+SCALAR_FUNCTIONS: dict[str, Callable] = {
+    "UPPER": _null_through(_upper),
+    "LOWER": _null_through(_lower),
+    "LENGTH": _null_through(_length),
+    "SUBSTR": _null_through(_substr),
+    "ABS": _null_through(_abs),
+    "ROUND": _null_through(_round),
+    "COALESCE": _coalesce,  # coalesce must see nulls
+}

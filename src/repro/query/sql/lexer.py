@@ -1,0 +1,97 @@
+"""SQL lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "AS", "AND", "OR", "NOT", "JOIN", "INNER", "LEFT", "OUTER", "ON",
+    "BETWEEN", "IN", "LIKE", "IS", "NULL", "ASC", "DESC", "DISTINCT",
+    "CASE", "WHEN", "THEN", "ELSE", "END", "UNION", "ALL",
+    "COUNT", "SUM", "AVG", "MIN", "MAX",
+}
+
+_TWO_CHAR_OPS = {"<=", ">=", "<>", "!="}
+_ONE_CHAR_OPS = set("=<>+-*/%(),.;")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    kind: "keyword" | "identifier" | "string" | "number" | "op" | "eof".
+    """
+
+    kind: str
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        """True when this token is one of the given keywords."""
+        return self.kind == "keyword" and self.value in names
+
+    def is_op(self, *ops: str) -> bool:
+        """True when this token is one of the given operators."""
+        return self.kind == "op" and self.value in ops
+
+
+def tokenize_sql(text: str) -> list[Token]:
+    """Tokenize SQL text.
+
+    Raises:
+        SqlSyntaxError: on unterminated strings or illegal characters.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'" or ch == '"':
+            end = text.find(ch, i + 1)
+            if end == -1:
+                raise SqlSyntaxError(f"unterminated string at position {i}")
+            tokens.append(Token("string", text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A dot not followed by a digit is a qualifier (t.col).
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("number", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, i))
+            else:
+                tokens.append(Token("identifier", word, i))
+            i = j
+            continue
+        if text[i : i + 2] in _TWO_CHAR_OPS:
+            tokens.append(Token("op", text[i : i + 2], i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token("op", ch, i))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"illegal character {ch!r} at position {i}")
+    tokens.append(Token("eof", "", n))
+    return tokens

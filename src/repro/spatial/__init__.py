@@ -1,0 +1,15 @@
+"""Spatial primitives and indexes.
+
+Provides the geometry types used across the library and two classic
+spatial indexes — an R-tree and a PR quadtree — plus a uniform grid.
+The paper discusses embedding a spatial index per leaf snapshot
+(§V-A) but argues the storage cost outweighs the benefit for 30-minute
+snapshots; our leaf-spatial ablation bench quantifies that trade-off.
+"""
+
+from repro.spatial.geometry import BoundingBox, Point
+from repro.spatial.rtree import RTree
+from repro.spatial.quadtree import QuadTree
+from repro.spatial.grid import UniformGrid
+
+__all__ = ["BoundingBox", "Point", "RTree", "QuadTree", "UniformGrid"]

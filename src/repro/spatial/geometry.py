@@ -1,0 +1,130 @@
+"""2-D geometry primitives: points and axis-aligned bounding boxes."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point in metres within the service-area coordinate frame."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``.
+
+    Degenerate boxes (zero width/height) are valid and behave as points
+    or segments; inverted boxes are rejected.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                f"inverted bounding box ({self.min_x},{self.min_y})-"
+                f"({self.max_x},{self.max_y})"
+            )
+
+    @classmethod
+    def from_points(cls, points: list[Point]) -> "BoundingBox":
+        """Smallest box containing every point; raises on an empty list."""
+        if not points:
+            raise ValueError("cannot bound zero points")
+        return cls(
+            min(p.x for p in points),
+            min(p.y for p in points),
+            max(p.x for p in points),
+            max(p.y for p in points),
+        )
+
+    @classmethod
+    def around(cls, center: Point, half_width: float, half_height: float | None = None) -> "BoundingBox":
+        """Box centred on ``center`` with the given half-extents."""
+        if half_height is None:
+            half_height = half_width
+        return cls(
+            center.x - half_width,
+            center.y - half_height,
+            center.x + half_width,
+            center.y + half_height,
+        )
+
+    @property
+    def width(self) -> float:
+        """Extent along x."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Extent along y."""
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        """Covered area."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        """Geometric centre point."""
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains(self, point: Point) -> bool:
+        """Inclusive containment check."""
+        return (
+            self.min_x <= point.x <= self.max_x
+            and self.min_y <= point.y <= self.max_y
+        )
+
+    def contains_box(self, other: "BoundingBox") -> bool:
+        """True when ``other`` lies entirely inside this box."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """True when the boxes share any point (touching counts)."""
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        """Smallest box covering both."""
+        return BoundingBox(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def expand_to(self, point: Point) -> "BoundingBox":
+        """Smallest box covering this box and ``point``."""
+        return BoundingBox(
+            min(self.min_x, point.x),
+            min(self.min_y, point.y),
+            max(self.max_x, point.x),
+            max(self.max_y, point.y),
+        )
+
+    def enlargement(self, other: "BoundingBox") -> float:
+        """Area growth needed to absorb ``other`` (R-tree insert metric)."""
+        return self.union(other).area - self.area

@@ -1,0 +1,83 @@
+"""Uniform grid index: the cheapest spatial access method.
+
+SPATE's highlights are aggregated per spatial grid tile at each temporal
+resolution; a uniform grid gives O(1) tile lookup and a natural raster
+for the heatmap renderer in :mod:`repro.ui`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.spatial.geometry import BoundingBox, Point
+
+
+class UniformGrid:
+    """Fixed ``cols`` x ``rows`` grid of buckets over a bounding box."""
+
+    def __init__(self, area: BoundingBox, cols: int = 32, rows: int = 32) -> None:
+        if cols < 1 or rows < 1:
+            raise ValueError("grid must have at least one column and row")
+        if area.width <= 0 or area.height <= 0:
+            raise ValueError("grid area must have positive extent")
+        self.area = area
+        self.cols = cols
+        self.rows = rows
+        self._buckets: dict[tuple[int, int], list[Any]] = {}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def tile_of(self, point: Point) -> tuple[int, int]:
+        """(col, row) of the tile containing ``point``.
+
+        Points on the max edge fold into the last tile.
+
+        Raises:
+            ValueError: if the point is outside the grid area.
+        """
+        if not self.area.contains(point):
+            raise ValueError(f"{point} outside grid area")
+        col = min(int((point.x - self.area.min_x) / self.area.width * self.cols), self.cols - 1)
+        row = min(int((point.y - self.area.min_y) / self.area.height * self.rows), self.rows - 1)
+        return col, row
+
+    def tile_bounds(self, col: int, row: int) -> BoundingBox:
+        """Geometry of tile (col, row)."""
+        if not (0 <= col < self.cols and 0 <= row < self.rows):
+            raise ValueError(f"tile ({col},{row}) out of range")
+        tile_w = self.area.width / self.cols
+        tile_h = self.area.height / self.rows
+        min_x = self.area.min_x + col * tile_w
+        min_y = self.area.min_y + row * tile_h
+        return BoundingBox(min_x, min_y, min_x + tile_w, min_y + tile_h)
+
+    def insert(self, point: Point, payload: Any = None) -> None:
+        """Add a payload to the tile containing ``point``."""
+        self._buckets.setdefault(self.tile_of(point), []).append(payload)
+        self._size += 1
+
+    def query(self, box: BoundingBox) -> list[Any]:
+        """Payloads in tiles intersecting ``box`` (exact per-point filter
+        is the caller's job; the grid is a coarse pre-filter)."""
+        out: list[Any] = []
+        for col, row in self.tiles_intersecting(box):
+            out.extend(self._buckets.get((col, row), []))
+        return out
+
+    def tiles_intersecting(self, box: BoundingBox) -> Iterator[tuple[int, int]]:
+        """Tile coordinates overlapping ``box``."""
+        if not self.area.intersects(box):
+            return
+        lo_col = max(0, int((box.min_x - self.area.min_x) / self.area.width * self.cols))
+        hi_col = min(self.cols - 1, int((box.max_x - self.area.min_x) / self.area.width * self.cols))
+        lo_row = max(0, int((box.min_y - self.area.min_y) / self.area.height * self.rows))
+        hi_row = min(self.rows - 1, int((box.max_y - self.area.min_y) / self.area.height * self.rows))
+        for row in range(lo_row, hi_row + 1):
+            for col in range(lo_col, hi_col + 1):
+                yield col, row
+
+    def bucket(self, col: int, row: int) -> list[Any]:
+        """Direct tile contents (empty list for untouched tiles)."""
+        return self._buckets.get((col, row), [])

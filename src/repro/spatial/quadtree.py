@@ -1,0 +1,135 @@
+"""Point-region (PR) quadtree over a fixed service area.
+
+Used by the SHAHED baseline's aggregate index (SpatialHadoop partitions
+space with quad-tree style tiles) and available as the per-leaf snapshot
+index in SPATE's ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.spatial.geometry import BoundingBox, Point
+
+
+@dataclass
+class _QNode:
+    box: BoundingBox
+    points: list[tuple[Point, Any]] = field(default_factory=list)
+    children: "list[_QNode] | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for nodes without children."""
+        return self.children is None
+
+
+class QuadTree:
+    """PR quadtree: leaves hold up to ``capacity`` points, then split."""
+
+    def __init__(self, area: BoundingBox, capacity: int = 16, max_depth: int = 12) -> None:
+        """
+        Args:
+            area: the fixed space covered by the root tile.
+            capacity: points per leaf before splitting.
+            max_depth: split limit; overflowing max-depth leaves grow
+                unbounded rather than recursing forever on duplicates.
+        """
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._root = _QNode(box=area)
+        self._capacity = capacity
+        self._max_depth = max_depth
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def area(self) -> BoundingBox:
+        """The fixed space covered by the root tile."""
+        return self._root.box
+
+    def insert(self, point: Point, payload: Any = None) -> None:
+        """Insert a point.
+
+        Raises:
+            ValueError: if the point lies outside the root area.
+        """
+        if not self._root.box.contains(point):
+            raise ValueError(f"{point} outside quadtree area {self._root.box}")
+        node = self._root
+        depth = 0
+        while not node.is_leaf:
+            node = self._child_for(node, point)
+            depth += 1
+        node.points.append((point, payload))
+        self._size += 1
+        if len(node.points) > self._capacity and depth < self._max_depth:
+            self._split(node)
+
+    def query(self, box: BoundingBox) -> list[Any]:
+        """Payloads of points inside ``box``."""
+        return [payload for __, payload in self.query_points(box)]
+
+    def query_points(self, box: BoundingBox) -> Iterator[tuple[Point, Any]]:
+        """(point, payload) pairs inside ``box``."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.box.intersects(box):
+                continue
+            if node.is_leaf:
+                for point, payload in node.points:
+                    if box.contains(point):
+                        yield point, payload
+            else:
+                stack.extend(node.children)
+
+    def leaf_tiles(self) -> Iterator[BoundingBox]:
+        """Every leaf tile's bounds (SHAHED-style spatial partitioning)."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield node.box
+            else:
+                stack.extend(node.children)
+
+    @property
+    def depth(self) -> int:
+        """Maximum leaf depth (0 for a root-only tree)."""
+
+        def walk(node: _QNode) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(child) for child in node.children)
+
+        return walk(self._root)
+
+    def _split(self, node: _QNode) -> None:
+        box = node.box
+        cx = (box.min_x + box.max_x) / 2.0
+        cy = (box.min_y + box.max_y) / 2.0
+        node.children = [
+            _QNode(box=BoundingBox(box.min_x, box.min_y, cx, cy)),  # SW
+            _QNode(box=BoundingBox(cx, box.min_y, box.max_x, cy)),  # SE
+            _QNode(box=BoundingBox(box.min_x, cy, cx, box.max_y)),  # NW
+            _QNode(box=BoundingBox(cx, cy, box.max_x, box.max_y)),  # NE
+        ]
+        points = node.points
+        node.points = []
+        for point, payload in points:
+            self._child_for(node, point).points.append((point, payload))
+
+    @staticmethod
+    def _child_for(node: _QNode, point: Point) -> _QNode:
+        assert node.children is not None
+        box = node.box
+        cx = (box.min_x + box.max_x) / 2.0
+        cy = (box.min_y + box.max_y) / 2.0
+        east = point.x > cx
+        north = point.y > cy
+        index = (2 if north else 0) + (1 if east else 0)
+        return node.children[index]

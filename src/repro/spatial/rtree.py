@@ -1,0 +1,302 @@
+"""R-tree with quadratic split (Guttman 1984).
+
+Stores ``(BoundingBox, payload)`` entries; point data is stored as a
+degenerate box.  Supports box-intersection queries, which is all the
+leaf-level snapshot index needs (paper §V-A: "Each leaf node could
+store an additional spatial index (e.g., R-tree or quad-tree variant)").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.spatial.geometry import BoundingBox, Point
+
+
+@dataclass
+class _Entry:
+    box: BoundingBox
+    payload: Any = None  # leaf entries
+    child: "_Node | None" = None  # internal entries
+
+
+@dataclass
+class _Node:
+    leaf: bool
+    entries: list[_Entry] = field(default_factory=list)
+
+    def bounds(self) -> BoundingBox:
+        """Smallest box covering every entry of this node."""
+        box = self.entries[0].box
+        for entry in self.entries[1:]:
+            box = box.union(entry.box)
+        return box
+
+
+class RTree:
+    """Dynamic R-tree index over boxed payloads."""
+
+    def __init__(self, max_entries: int = 8) -> None:
+        """
+        Args:
+            max_entries: node fan-out M; minimum fill is ``M // 2``.
+        """
+        if max_entries < 4:
+            raise ValueError("max_entries must be at least 4")
+        self._max = max_entries
+        self._min = max_entries // 2
+        self._root = _Node(leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, box: BoundingBox, payload: Any) -> None:
+        """Insert a payload under ``box``."""
+        entry = _Entry(box=box, payload=payload)
+        split = self._insert(self._root, entry)
+        if split is not None:
+            old_root = self._root
+            self._root = _Node(
+                leaf=False,
+                entries=[
+                    _Entry(box=old_root.bounds(), child=old_root),
+                    _Entry(box=split.bounds(), child=split),
+                ],
+            )
+        self._size += 1
+
+    def insert_point(self, point: Point, payload: Any) -> None:
+        """Insert a point payload (degenerate box)."""
+        self.insert(BoundingBox(point.x, point.y, point.x, point.y), payload)
+
+    @classmethod
+    def bulk_load(
+        cls, entries: list[tuple[BoundingBox, Any]], max_entries: int = 8
+    ) -> "RTree":
+        """Build a packed R-tree with Sort-Tile-Recursive (STR) loading.
+
+        STR sorts by x, slices into vertical strips, sorts each strip by
+        y and packs full leaves — yielding near-100% node utilization
+        and far better query performance than one-at-a-time insertion
+        (the strategy SpatialHadoop uses for static partitions).
+        """
+        import math
+
+        tree = cls(max_entries=max_entries)
+        if not entries:
+            return tree
+        tree._size = len(entries)
+
+        leaf_count = math.ceil(len(entries) / max_entries)
+        strip_count = max(1, math.ceil(math.sqrt(leaf_count)))
+        by_x = sorted(entries, key=lambda e: (e[0].min_x + e[0].max_x))
+        strip_size = math.ceil(len(by_x) / strip_count)
+
+        leaves: list[_Node] = []
+        for s in range(0, len(by_x), strip_size):
+            strip = sorted(
+                by_x[s : s + strip_size],
+                key=lambda e: (e[0].min_y + e[0].max_y),
+            )
+            for i in range(0, len(strip), max_entries):
+                chunk = strip[i : i + max_entries]
+                leaves.append(
+                    _Node(
+                        leaf=True,
+                        entries=[_Entry(box=b, payload=p) for b, p in chunk],
+                    )
+                )
+
+        level = leaves
+        while len(level) > 1:
+            parents: list[_Node] = []
+            for i in range(0, len(level), max_entries):
+                children = level[i : i + max_entries]
+                parents.append(
+                    _Node(
+                        leaf=False,
+                        entries=[
+                            _Entry(box=child.bounds(), child=child)
+                            for child in children
+                        ],
+                    )
+                )
+            level = parents
+        tree._root = level[0]
+        return tree
+
+    def delete(self, box: BoundingBox, payload: Any) -> bool:
+        """Remove one entry matching ``(box, payload)`` exactly.
+
+        Returns True when an entry was removed.  Underfull nodes are
+        handled by reinserting their orphaned entries (Guttman's
+        condense-tree), keeping queries exact after deletions.
+        """
+        orphans: list[_Entry] = []
+        removed = self._delete(self._root, box, payload, orphans)
+        if not removed:
+            return False
+        self._size -= 1
+        # Collapse a root with a single internal child.
+        while not self._root.leaf and len(self._root.entries) == 1:
+            child = self._root.entries[0].child
+            assert child is not None
+            self._root = child
+        if not self._root.entries and not self._root.leaf:
+            self._root = _Node(leaf=True)
+        for orphan in orphans:
+            if orphan.child is not None:
+                for leaf_box, leaf_payload in _collect(orphan.child):
+                    self._size -= 1
+                    self.insert(leaf_box, leaf_payload)
+            else:
+                self._size -= 1
+                self.insert(orphan.box, orphan.payload)
+        return True
+
+    def _delete(
+        self,
+        node: _Node,
+        box: BoundingBox,
+        payload: Any,
+        orphans: list[_Entry],
+    ) -> bool:
+        if node.leaf:
+            for i, entry in enumerate(node.entries):
+                if entry.box == box and entry.payload == payload:
+                    del node.entries[i]
+                    return True
+            return False
+        for i, entry in enumerate(node.entries):
+            if not entry.box.intersects(box):
+                continue
+            assert entry.child is not None
+            if self._delete(entry.child, box, payload, orphans):
+                if len(entry.child.entries) < self._min:
+                    # Orphan the underfull subtree for reinsertion.
+                    orphans.extend(entry.child.entries)
+                    del node.entries[i]
+                else:
+                    entry.box = entry.child.bounds()
+                return True
+        return False
+
+    def query(self, box: BoundingBox) -> list[Any]:
+        """Payloads whose boxes intersect ``box``."""
+        return [entry.payload for entry in self._query_entries(self._root, box)]
+
+    def query_count(self, box: BoundingBox) -> int:
+        """Number of intersecting entries (no payload materialization)."""
+        return sum(1 for __ in self._query_entries(self._root, box))
+
+    def items(self) -> Iterator[tuple[BoundingBox, Any]]:
+        """Iterate every (box, payload) pair."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for entry in node.entries:
+                if node.leaf:
+                    yield entry.box, entry.payload
+                else:
+                    assert entry.child is not None
+                    stack.append(entry.child)
+
+    @property
+    def depth(self) -> int:
+        """Height of the tree (1 for a single leaf root)."""
+        depth = 1
+        node = self._root
+        while not node.leaf:
+            node = node.entries[0].child  # R-trees are height-balanced
+            assert node is not None
+            depth += 1
+        return depth
+
+    def _query_entries(self, node: _Node, box: BoundingBox) -> Iterator[_Entry]:
+        for entry in node.entries:
+            if not entry.box.intersects(box):
+                continue
+            if node.leaf:
+                yield entry
+            else:
+                assert entry.child is not None
+                yield from self._query_entries(entry.child, box)
+
+    def _insert(self, node: _Node, entry: _Entry) -> _Node | None:
+        """Insert recursively; returns a new sibling if ``node`` split."""
+        if node.leaf:
+            node.entries.append(entry)
+        else:
+            best = min(
+                node.entries,
+                key=lambda e: (e.box.enlargement(entry.box), e.box.area),
+            )
+            assert best.child is not None
+            split = self._insert(best.child, entry)
+            best.box = best.child.bounds()
+            if split is not None:
+                node.entries.append(_Entry(box=split.bounds(), child=split))
+        if len(node.entries) > self._max:
+            return self._split(node)
+        return None
+
+    def _split(self, node: _Node) -> _Node:
+        """Quadratic split: seed with the most wasteful pair, then greedily
+        assign each remaining entry to the group needing less enlargement."""
+        entries = node.entries
+        worst = -1.0
+        seeds = (0, 1)
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                waste = (
+                    entries[i].box.union(entries[j].box).area
+                    - entries[i].box.area
+                    - entries[j].box.area
+                )
+                if waste > worst:
+                    worst = waste
+                    seeds = (i, j)
+
+        group_a = [entries[seeds[0]]]
+        group_b = [entries[seeds[1]]]
+        box_a = group_a[0].box
+        box_b = group_b[0].box
+        rest = [e for k, e in enumerate(entries) if k not in seeds]
+        for entry in rest:
+            # Force assignment when one group must absorb all remaining
+            # entries to reach minimum fill.
+            remaining = len(rest) - (len(group_a) + len(group_b) - 2)
+            if len(group_a) + remaining <= self._min:
+                group_a.append(entry)
+                box_a = box_a.union(entry.box)
+                continue
+            if len(group_b) + remaining <= self._min:
+                group_b.append(entry)
+                box_b = box_b.union(entry.box)
+                continue
+            grow_a = box_a.enlargement(entry.box)
+            grow_b = box_b.enlargement(entry.box)
+            if grow_a < grow_b or (grow_a == grow_b and box_a.area <= box_b.area):
+                group_a.append(entry)
+                box_a = box_a.union(entry.box)
+            else:
+                group_b.append(entry)
+                box_b = box_b.union(entry.box)
+
+        node.entries = group_a
+        return _Node(leaf=node.leaf, entries=group_b)
+
+
+def _collect(node: _Node):
+    """All (box, payload) pairs in a subtree."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        for entry in current.entries:
+            if current.leaf:
+                yield entry.box, entry.payload
+            else:
+                assert entry.child is not None
+                stack.append(entry.child)

@@ -1,0 +1,30 @@
+"""Synthetic telco substrate: network topology, users, and trace generation.
+
+Substitutes the paper's proprietary 5 GB anonymized trace (1.7M CDR,
+21M NMS, 3660 CELL records from 1192 antennas over ~6000 km², 300K
+users, one week).  The generator is seeded and scale-parameterized: at
+``scale=1.0`` it produces the paper's record counts; benchmarks default
+to a smaller scale because the from-scratch codecs run in pure Python.
+"""
+
+from repro.telco.network import NetworkTopology, RadioTech
+from repro.telco.generator import TelcoTraceGenerator, TraceConfig
+from repro.telco.workload import (
+    DAY_PERIODS,
+    WEEKDAYS,
+    day_period_of_epoch,
+    load_multiplier,
+    weekday_of_epoch,
+)
+
+__all__ = [
+    "NetworkTopology",
+    "RadioTech",
+    "TelcoTraceGenerator",
+    "TraceConfig",
+    "DAY_PERIODS",
+    "WEEKDAYS",
+    "day_period_of_epoch",
+    "weekday_of_epoch",
+    "load_multiplier",
+]

@@ -1,0 +1,212 @@
+"""Radio/core network topology model (paper §II-A, Figure 2).
+
+Builds the physical side of a telco network: base stations of three
+generations (GSM BTS, UMTS Node B, LTE eNode B) placed over a service
+area, their controllers (BSC / RNC / MME), and the sector cells each
+antenna serves.  Every generated record in the trace is linked to a
+cell id; the cell's centroid gives the record its (x, y) used by the
+spatial index.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.spatial.geometry import BoundingBox, Point
+
+
+class RadioTech(Enum):
+    """Radio access technology generation."""
+
+    GSM = "2G"  # BTS controlled by a BSC
+    UMTS = "3G"  # Node B controlled by an RNC
+    LTE = "4G"  # eNode B attached to an MME
+
+    @property
+    def base_station_kind(self) -> str:
+        """Base-station name for this generation (BTS/NodeB/eNodeB)."""
+        return {"2G": "BTS", "3G": "NodeB", "4G": "eNodeB"}[self.value]
+
+    @property
+    def controller_kind(self) -> str:
+        """Controller name for this generation (BSC/RNC/MME)."""
+        return {"2G": "BSC", "3G": "RNC", "4G": "MME"}[self.value]
+
+
+@dataclass(frozen=True)
+class Controller:
+    """BSC / RNC / MME aggregating many base stations."""
+
+    controller_id: str
+    kind: str
+    tech: RadioTech
+
+
+@dataclass(frozen=True)
+class Antenna:
+    """One base station (BTS / Node B / eNode B)."""
+
+    antenna_id: str
+    tech: RadioTech
+    location: Point
+    controller_id: str
+    sectors: int
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One sector cell served by an antenna.
+
+    The cell covers an area around the antenna; records carry only the
+    cell id, so the centroid is the finest spatial resolution available
+    (the paper: "we can not talk about spatial data in the traditional
+    sense").
+    """
+
+    cell_id: str
+    antenna_id: str
+    controller_id: str
+    tech: RadioTech
+    centroid: Point
+    azimuth_deg: int
+    range_m: int
+    capacity_erlang: int
+
+
+@dataclass
+class NetworkTopology:
+    """The full radio network: controllers, antennas, and cells."""
+
+    area: BoundingBox
+    controllers: list[Controller] = field(default_factory=list)
+    antennas: list[Antenna] = field(default_factory=list)
+    cells: list[Cell] = field(default_factory=list)
+
+    _cells_by_id: dict[str, Cell] = field(default_factory=dict, repr=False)
+
+    def cell(self, cell_id: str) -> Cell:
+        """Look up a cell by id; raises ``KeyError`` for unknown ids."""
+        return self._cells_by_id[cell_id]
+
+    def cells_in(self, box: BoundingBox) -> list[Cell]:
+        """Cells whose centroid lies inside ``box``."""
+        return [c for c in self.cells if box.contains(c.centroid)]
+
+    @classmethod
+    def build(
+        cls,
+        n_antennas: int = 1192,
+        area_km: tuple[float, float] = (100.0, 60.0),
+        seed: int = 2017,
+        hotspot_count: int = 5,
+    ) -> "NetworkTopology":
+        """Generate a topology shaped like the paper's deployment.
+
+        Antennas cluster around ``hotspot_count`` city centres (dense
+        urban cores) with a uniform rural remainder; each antenna serves
+        1-4 sector cells, giving ~3660 cells for 1192 antennas, over an
+        ``area_km`` service rectangle (~6000 km² by default).
+
+        Args:
+            n_antennas: number of base stations.
+            area_km: (width, height) of the service area in kilometres.
+            seed: RNG seed; same seed -> identical topology.
+            hotspot_count: number of urban clusters.
+        """
+        rng = random.Random(seed)
+        width_m = area_km[0] * 1000.0
+        height_m = area_km[1] * 1000.0
+        area = BoundingBox(0.0, 0.0, width_m, height_m)
+        topo = cls(area=area)
+
+        hotspots = [
+            (
+                rng.uniform(0.15, 0.85) * width_m,
+                rng.uniform(0.15, 0.85) * height_m,
+                rng.uniform(2000.0, 6000.0),  # cluster radius
+            )
+            for __ in range(hotspot_count)
+        ]
+
+        # Controllers: one BSC per ~150 GSM antennas, one RNC per ~100
+        # UMTS antennas, one MME pool for LTE.
+        tech_shares = [(RadioTech.GSM, 0.35), (RadioTech.UMTS, 0.40), (RadioTech.LTE, 0.25)]
+        controller_capacity = {RadioTech.GSM: 150, RadioTech.UMTS: 100, RadioTech.LTE: 400}
+        controller_pools: dict[RadioTech, list[Controller]] = {}
+        for tech, share in tech_shares:
+            count = max(1, math.ceil(n_antennas * share / controller_capacity[tech]))
+            pool = [
+                Controller(
+                    controller_id=f"{tech.controller_kind}-{i:03d}",
+                    kind=tech.controller_kind,
+                    tech=tech,
+                )
+                for i in range(count)
+            ]
+            controller_pools[tech] = pool
+            topo.controllers.extend(pool)
+
+        cell_seq = 0
+        for idx in range(n_antennas):
+            roll = rng.random()
+            cumulative = 0.0
+            tech = RadioTech.GSM
+            for candidate, share in tech_shares:
+                cumulative += share
+                if roll < cumulative:
+                    tech = candidate
+                    break
+
+            # 70% of antennas live in a hotspot cluster, the rest are rural.
+            if rng.random() < 0.70:
+                cx, cy, radius = hotspots[rng.randrange(len(hotspots))]
+                angle = rng.uniform(0.0, 2.0 * math.pi)
+                dist = abs(rng.gauss(0.0, radius))
+                x = min(max(cx + dist * math.cos(angle), 0.0), width_m)
+                y = min(max(cy + dist * math.sin(angle), 0.0), height_m)
+            else:
+                x = rng.uniform(0.0, width_m)
+                y = rng.uniform(0.0, height_m)
+
+            controller = controller_pools[tech][idx % len(controller_pools[tech])]
+            sectors = rng.choices([1, 2, 3, 4], weights=[10, 20, 55, 15])[0]
+            antenna = Antenna(
+                antenna_id=f"{tech.base_station_kind}-{idx:04d}",
+                tech=tech,
+                location=Point(x, y),
+                controller_id=controller.controller_id,
+                sectors=sectors,
+            )
+            topo.antennas.append(antenna)
+
+            cell_range = {
+                RadioTech.GSM: rng.randint(800, 3000),
+                RadioTech.UMTS: rng.randint(400, 1500),
+                RadioTech.LTE: rng.randint(200, 900),
+            }[tech]
+            for sector in range(sectors):
+                azimuth = (360 // sectors) * sector
+                offset = cell_range / 2.0
+                rad = math.radians(azimuth)
+                centroid = Point(
+                    min(max(x + offset * math.cos(rad), 0.0), width_m),
+                    min(max(y + offset * math.sin(rad), 0.0), height_m),
+                )
+                cell = Cell(
+                    cell_id=f"C{cell_seq:05d}",
+                    antenna_id=antenna.antenna_id,
+                    controller_id=controller.controller_id,
+                    tech=tech,
+                    centroid=centroid,
+                    azimuth_deg=azimuth,
+                    range_m=cell_range,
+                    capacity_erlang=rng.randint(20, 200),
+                )
+                topo.cells.append(cell)
+                topo._cells_by_id[cell.cell_id] = cell
+                cell_seq += 1
+
+        return topo

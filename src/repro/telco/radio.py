@@ -1,0 +1,58 @@
+"""Radio propagation model shared by the generator and the UI.
+
+A log-distance path-loss model: received power falls with
+``10 * n * log10(distance)`` from the antenna's transmit power, with
+technology-specific exponents (urban macro ~3.5).  The generator uses
+it to synthesize measurement-report RSSI values; the UI's coverage
+model uses the *same* physics to predict coverage, so comparing
+predicted vs measured maps (paper Figure 6) is meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.telco.network import RadioTech
+
+#: Effective radiated power referenced at 1 m, dBm, per technology —
+#: calibrated so a macro cell reads ~-90 dBm at 1 km, the realistic
+#: mid-cell RSSI.
+TX_POWER_DBM: dict[RadioTech, float] = {
+    RadioTech.GSM: 18.0,
+    RadioTech.UMTS: 14.0,
+    RadioTech.LTE: 12.0,
+}
+
+#: Path-loss exponent per technology (higher frequency decays faster).
+PATH_LOSS_EXPONENT: dict[RadioTech, float] = {
+    RadioTech.GSM: 3.2,
+    RadioTech.UMTS: 3.5,
+    RadioTech.LTE: 3.7,
+}
+
+#: Receiver sensitivity floor; below this the signal is unusable.
+NOISE_FLOOR_DBM = -120.0
+
+
+def received_power_dbm(
+    distance_m: float,
+    tech: RadioTech,
+    shadowing_db: float = 0.0,
+) -> float:
+    """Received signal strength at ``distance_m`` from an antenna.
+
+    Args:
+        distance_m: metres from the transmitter (clamped to >= 1).
+        tech: radio technology (sets TX power and decay exponent).
+        shadowing_db: log-normal shadowing term to add (0 for the
+            deterministic prediction model).
+    """
+    distance = max(distance_m, 1.0)
+    loss = 10.0 * PATH_LOSS_EXPONENT[tech] * math.log10(distance)
+    rssi = TX_POWER_DBM[tech] - loss + shadowing_db
+    return max(rssi, NOISE_FLOOR_DBM)
+
+
+def usable(rssi_dbm: float, margin_db: float = 10.0) -> bool:
+    """True when the signal clears the noise floor by ``margin_db``."""
+    return rssi_dbm >= NOISE_FLOOR_DBM + margin_db

@@ -1,0 +1,188 @@
+"""Schema and per-attribute generation specs for CDR / NMS / CELL files.
+
+The paper (Figure 3) shows the first 10 of ~200 CDR attributes plus the
+full 8-attribute NMS and 10-attribute CELL schemas, and Figure 4 plots
+each attribute's Shannon entropy: most CDR attributes fall below 1 bit
+(optional fields left blank, near-constant flags), a handful reach 3-5
+bits, while NMS counters span up to ~10 bits.  Each attribute here
+carries a distribution spec so the generator reproduces that entropy
+profile — which is what determines the achievable compression ratios.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+CDR_TABLE = "CDR"
+NMS_TABLE = "NMS"
+CELL_TABLE = "CELL"
+MR_TABLE = "MR"
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """How to generate one attribute's value.
+
+    kind:
+        - ``core``: filled in by the generator's domain logic (timestamps,
+          ids, fluxes...); ``sample`` is never called.
+        - ``blank``: always empty (the paper's zero-entropy optional fields).
+        - ``constant``: a single fixed value (zero entropy).
+        - ``categorical``: weighted choice over ``values``; skewed weights
+          yield sub-1-bit entropies.
+        - ``int_range``: uniform integer in ``[low, high]``.
+        - ``int_skewed``: geometric-ish integer concentrated near ``low``.
+    """
+
+    name: str
+    kind: str = "core"
+    values: tuple[str, ...] = ()
+    weights: tuple[float, ...] = ()
+    low: int = 0
+    high: int = 0
+
+    def sample(self, rng: random.Random) -> str:
+        """Draw one generated value for this attribute."""
+        if self.kind == "blank":
+            return ""
+        if self.kind == "constant":
+            return self.values[0]
+        if self.kind == "categorical":
+            return rng.choices(self.values, weights=self.weights or None)[0]
+        if self.kind == "int_range":
+            return str(rng.randint(self.low, self.high))
+        if self.kind == "int_skewed":
+            span = max(1, self.high - self.low)
+            value = self.low + min(int(rng.expovariate(8.0 / span)), span)
+            return str(value)
+        raise ValueError(f"attribute {self.name!r} of kind {self.kind!r} "
+                         "must be filled by the generator")
+
+
+def _skewed(name: str, *values: str) -> AttributeSpec:
+    """Categorical spec with a 90/…-style skew (entropy well below 1 bit)."""
+    head = 0.92
+    tail = (1.0 - head) / max(1, len(values) - 1)
+    weights = (head,) + (tail,) * (len(values) - 1)
+    return AttributeSpec(name=name, kind="categorical", values=values, weights=weights)
+
+
+def _build_cdr_schema() -> list[AttributeSpec]:
+    """~200 attributes: 14 core domain fields + operational filler whose
+    entropy profile matches Figure 4 (left)."""
+    core = [
+        AttributeSpec("ts"),            # epoch-granular timestamp
+        AttributeSpec("caller_id"),     # anonymized subscriber id
+        AttributeSpec("callee_id"),
+        AttributeSpec("cell_id"),       # serving cell at session start
+        AttributeSpec("call_type"),     # voice / sms / data
+        AttributeSpec("tech"),          # 2G / 3G / 4G
+        AttributeSpec("duration_s"),
+        AttributeSpec("upflux"),        # uploaded bytes
+        AttributeSpec("downflux"),      # downloaded bytes
+        AttributeSpec("result"),        # completion code
+        AttributeSpec("drop_flag"),
+        AttributeSpec("roaming"),
+        AttributeSpec("plan_type"),
+        AttributeSpec("record_id"),
+    ]
+    filler: list[AttributeSpec] = []
+    # ~60 optional attributes left blank in this trace (entropy 0).
+    for i in range(60):
+        filler.append(AttributeSpec(f"opt_{i:03d}", kind="blank"))
+    # ~30 constant config/version tags (entropy 0).
+    for i in range(30):
+        filler.append(AttributeSpec(f"cfg_{i:03d}", kind="constant", values=(f"v{i % 4}",)))
+    # ~70 heavily skewed flags/codes (entropy < 1 bit).
+    for i in range(70):
+        filler.append(_skewed(f"flag_{i:03d}", "0", "1", "2"))
+    # ~16 moderately diverse categorical codes (1-3 bits).
+    for i in range(16):
+        values = tuple(f"K{j}" for j in range(4 + (i % 5)))
+        filler.append(AttributeSpec(
+            f"code_{i:02d}", kind="categorical", values=values,
+            weights=tuple(1.0 / (j + 1) for j in range(len(values))),
+        ))
+    # ~10 numeric measurement attributes (3-5 bits).
+    for i in range(10):
+        filler.append(AttributeSpec(f"meas_{i:02d}", kind="int_skewed", low=0, high=200))
+    return core + filler
+
+
+#: Full CDR schema, core attributes first (mirrors Figure 3's layout).
+CDR_SCHEMA: list[AttributeSpec] = _build_cdr_schema()
+
+#: NMS: aggregated per-cell network counters (8 attributes, Figure 3 centre).
+NMS_SCHEMA: list[AttributeSpec] = [
+    AttributeSpec("ts"),
+    AttributeSpec("cellid"),
+    AttributeSpec("kpi"),           # which counter this row reports
+    AttributeSpec("val"),           # the counter value
+    AttributeSpec("throughput_kbps"),
+    AttributeSpec("attempts"),
+    AttributeSpec("drops"),
+    AttributeSpec("latency_ms"),
+]
+
+#: NMS KPI rotation — several report types per cell per epoch, which is
+#: why NMS dominates the data volume (>97% per the paper).
+NMS_KPIS: tuple[str, ...] = (
+    "call_drop_rate", "call_duration_avg", "antenna_throughput",
+    "handover_success", "rssi_avg", "paging_success",
+    "channel_occupancy", "tx_power", "interference", "availability",
+    "setup_time", "congestion", "packet_loss", "jitter",
+    "attach_success", "bearer_drops", "dl_prb_util",
+)
+
+#: MR: per-session radio measurement reports (OSS's third part,
+#: paper §II-B: "MR includes a variety of measurement reports (e.g.,
+#: for estimating user location)").  RSSI values follow the
+#: log-distance propagation model in :mod:`repro.telco.radio`.
+MR_SCHEMA: list[AttributeSpec] = [
+    AttributeSpec("ts"),
+    AttributeSpec("user_id"),
+    AttributeSpec("cellid"),
+    AttributeSpec("rssi_dbm"),
+    AttributeSpec("rsrq_db"),
+    AttributeSpec("timing_advance"),
+]
+
+#: CELL: static cell descriptions (10 attributes, Figure 3 right).
+CELL_SCHEMA: list[AttributeSpec] = [
+    AttributeSpec("cell_id"),
+    AttributeSpec("antenna_id"),
+    AttributeSpec("controller_id"),
+    AttributeSpec("tech"),
+    AttributeSpec("x"),
+    AttributeSpec("y"),
+    AttributeSpec("azimuth"),
+    AttributeSpec("range_m"),
+    AttributeSpec("capacity"),
+    AttributeSpec("site_name"),
+]
+
+#: Column-name lists, the form most call sites want.
+CDR_COLUMNS: list[str] = [a.name for a in CDR_SCHEMA]
+NMS_COLUMNS: list[str] = [a.name for a in NMS_SCHEMA]
+CELL_COLUMNS: list[str] = [a.name for a in CELL_SCHEMA]
+MR_COLUMNS: list[str] = [a.name for a in MR_SCHEMA]
+
+#: CDR quasi-identifiers for the privacy task (T5).
+CDR_QUASI_IDENTIFIERS: list[str] = ["cell_id", "plan_type", "tech", "call_type"]
+
+
+@dataclass(frozen=True)
+class SchemaInfo:
+    """Bundle of a table's name and column list."""
+
+    table: str
+    columns: list[str] = field(default_factory=list)
+
+
+ALL_SCHEMAS: dict[str, list[AttributeSpec]] = {
+    CDR_TABLE: CDR_SCHEMA,
+    NMS_TABLE: NMS_SCHEMA,
+    CELL_TABLE: CELL_SCHEMA,
+    MR_TABLE: MR_SCHEMA,
+}

@@ -1,0 +1,131 @@
+"""Subscriber population and mobility model.
+
+Each subscriber has a home antenna neighbourhood, an activity level
+(drawn from a heavy-tailed distribution — a few subscribers generate
+most sessions), and a simple Markov mobility model that moves them
+between nearby cells across epochs.  Mobility is what makes the T4
+self-join ("products that changed their location") non-trivial.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.telco.network import NetworkTopology
+
+
+@dataclass
+class Subscriber:
+    """One anonymized subscriber."""
+
+    user_id: str
+    home_cell_index: int
+    current_cell_index: int
+    activity: float  # relative session rate
+    plan_type: str
+    mobility: float  # probability of moving to a neighbour cell per epoch
+
+
+class UserPopulation:
+    """Manages subscribers and steps their mobility each epoch."""
+
+    PLAN_TYPES = ("prepaid", "postpaid", "business", "iot")
+    _PLAN_WEIGHTS = (0.45, 0.40, 0.10, 0.05)
+
+    def __init__(
+        self,
+        topology: NetworkTopology,
+        n_users: int = 300_000,
+        seed: int = 2017,
+    ) -> None:
+        """
+        Args:
+            topology: the radio network subscribers attach to.
+            n_users: population size (paper: ~300K).
+            seed: RNG seed for reproducibility.
+        """
+        if not topology.cells:
+            raise ValueError("topology has no cells")
+        self._topology = topology
+        self._rng = random.Random(seed)
+        self._neighbours = self._build_neighbour_table()
+        self.subscribers: list[Subscriber] = []
+        n_cells = len(topology.cells)
+        for i in range(n_users):
+            home = self._rng.randrange(n_cells)
+            self.subscribers.append(
+                Subscriber(
+                    user_id=f"U{i:06d}",
+                    home_cell_index=home,
+                    current_cell_index=home,
+                    # Pareto-ish activity: most users light, few heavy.
+                    activity=min(self._rng.paretovariate(1.8), 20.0),
+                    plan_type=self._rng.choices(
+                        self.PLAN_TYPES, weights=self._PLAN_WEIGHTS
+                    )[0],
+                    mobility=self._rng.uniform(0.02, 0.35),
+                )
+            )
+        # Precompute cumulative weights once: activities never change and
+        # random.choices would otherwise rebuild them on every epoch.
+        running = 0.0
+        self._cum_weights: list[float] = []
+        for sub in self.subscribers:
+            running += sub.activity
+            self._cum_weights.append(running)
+        self._total_activity = running
+
+    def _build_neighbour_table(self) -> list[list[int]]:
+        """For each cell, the indexes of its ~6 nearest cells.
+
+        Built on a coarse grid so construction is O(n) rather than the
+        naive O(n^2) pairwise scan.
+        """
+        cells = self._topology.cells
+        grid: dict[tuple[int, int], list[int]] = {}
+        tile = 3000.0  # metres
+        for idx, cell in enumerate(cells):
+            key = (int(cell.centroid.x // tile), int(cell.centroid.y // tile))
+            grid.setdefault(key, []).append(idx)
+        neighbours: list[list[int]] = []
+        for idx, cell in enumerate(cells):
+            kx = int(cell.centroid.x // tile)
+            ky = int(cell.centroid.y // tile)
+            candidates: list[int] = []
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    candidates.extend(grid.get((kx + dx, ky + dy), []))
+            candidates = [c for c in candidates if c != idx]
+            candidates.sort(
+                key=lambda c: cells[c].centroid.distance_to(cell.centroid)
+            )
+            neighbours.append(candidates[:6] or [idx])
+        return neighbours
+
+    def step_mobility(self) -> None:
+        """Advance one epoch: each subscriber may hop to a neighbour cell,
+        with a pull back towards home (so positions don't diffuse away)."""
+        rng = self._rng
+        for sub in self.subscribers:
+            roll = rng.random()
+            if roll < sub.mobility:
+                options = self._neighbours[sub.current_cell_index]
+                sub.current_cell_index = options[rng.randrange(len(options))]
+            elif roll < sub.mobility + 0.05:
+                sub.current_cell_index = sub.home_cell_index
+
+    def sample_active(self, count: int) -> list[Subscriber]:
+        """Draw ``count`` subscribers weighted by activity (with
+        replacement — heavy users produce multiple sessions per epoch)."""
+        if not self.subscribers:
+            return []
+        return self._rng.choices(
+            self.subscribers,
+            cum_weights=self._cum_weights,
+            k=count,
+        )
+
+    def random_peer(self) -> Subscriber:
+        """Uniform random subscriber (call destination)."""
+        return self.subscribers[self._rng.randrange(len(self.subscribers))]

@@ -1,0 +1,103 @@
+"""Temporal workload model: diurnal and weekly load curves.
+
+The paper partitions its one-week trace by arrival time into four day
+periods (morning 5-12, afternoon 12-17, evening 17-21, night 21-5) and
+into the seven weekdays, and shows per-partition ingestion time and
+disk space (Figures 7-10).  This module defines those partitions and
+the load multipliers that make the synthetic trace's volume vary the
+same way.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.snapshot import EPOCHS_PER_DAY, epoch_to_timestamp
+
+#: Day-period name -> [start_hour, end_hour) in local time, paper §VII-C.
+DAY_PERIODS: dict[str, tuple[int, int]] = {
+    "morning": (5, 12),
+    "afternoon": (12, 17),
+    "evening": (17, 21),
+    "night": (21, 5),  # wraps midnight
+}
+
+WEEKDAYS: tuple[str, ...] = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+
+
+def day_period_of_hour(hour: int) -> str:
+    """The paper's day-period containing ``hour`` (0-23)."""
+    if not 0 <= hour < 24:
+        raise ValueError(f"hour {hour} out of range")
+    if 5 <= hour < 12:
+        return "morning"
+    if 12 <= hour < 17:
+        return "afternoon"
+    if 17 <= hour < 21:
+        return "evening"
+    return "night"
+
+
+def day_period_of_epoch(epoch: int) -> str:
+    """Day-period of an ingestion cycle."""
+    return day_period_of_hour(epoch_to_timestamp(epoch).hour)
+
+
+def weekday_of_epoch(epoch: int) -> str:
+    """Weekday name ("Mon".."Sun") of an ingestion cycle."""
+    return WEEKDAYS[epoch_to_timestamp(epoch).weekday()]
+
+
+#: Relative activity level per weekday: weekdays busier than the
+#: weekend for signalling-heavy traffic, Friday the peak.
+_WEEKDAY_FACTOR: dict[str, float] = {
+    "Mon": 1.00, "Tue": 1.02, "Wed": 1.04, "Thu": 1.05,
+    "Fri": 1.12, "Sat": 0.88, "Sun": 0.78,
+}
+
+
+def diurnal_factor(hour: float) -> float:
+    """Smooth daily activity curve.
+
+    Calm overnight trough, morning ramp, midday plateau, evening peak —
+    the classic telco traffic shape.  Normalized so the daily mean is
+    roughly 1.0.
+    """
+    # Two harmonics: the main day/night cycle plus an evening bump.
+    base = 1.0 + 0.55 * math.sin((hour - 9.0) / 24.0 * 2.0 * math.pi)
+    evening = 0.25 * math.exp(-((hour - 19.0) ** 2) / 8.0)
+    night_suppress = 0.35 if (hour < 5.0 or hour >= 23.0) else 0.0
+    return max(0.12, base + evening - night_suppress)
+
+
+def load_multiplier(epoch: int) -> float:
+    """Combined weekday x time-of-day activity multiplier for an epoch."""
+    when = epoch_to_timestamp(epoch)
+    hour = when.hour + when.minute / 60.0
+    return diurnal_factor(hour) * _WEEKDAY_FACTOR[WEEKDAYS[when.weekday()]]
+
+
+def epochs_of_day_period(period: str, days: int = 7) -> list[int]:
+    """All epochs (over ``days`` days from the origin) in a day period.
+
+    Raises:
+        KeyError: for an unknown period name.
+    """
+    if period not in DAY_PERIODS:
+        raise KeyError(f"unknown day period {period!r}")
+    return [
+        epoch
+        for epoch in range(days * EPOCHS_PER_DAY)
+        if day_period_of_epoch(epoch) == period
+    ]
+
+
+def epochs_of_weekday(weekday: str, days: int = 7) -> list[int]:
+    """All epochs falling on ``weekday`` within ``days`` days of trace."""
+    if weekday not in WEEKDAYS:
+        raise KeyError(f"unknown weekday {weekday!r}")
+    return [
+        epoch
+        for epoch in range(days * EPOCHS_PER_DAY)
+        if weekday_of_epoch(epoch) == weekday
+    ]

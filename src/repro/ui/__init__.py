@@ -1,0 +1,22 @@
+"""Application-layer presentation: text heatmaps and query templates.
+
+Substitutes the paper's Google-Maps SPATE-UI (Figure 6): the heatmap
+renderer rasterizes per-cell aggregates over the service area, and the
+template registry mirrors the UI's "query bar" presets (drop calls,
+downflux/upflux, RSSI heatmaps).
+"""
+
+from repro.ui.cache import CachedExplorer
+from repro.ui.coverage import CoverageComparison, CoverageModel
+from repro.ui.heatmap import HeatmapRenderer, render_heatmap
+from repro.ui.templates import QUERY_TEMPLATES, run_template
+
+__all__ = [
+    "CachedExplorer",
+    "HeatmapRenderer",
+    "render_heatmap",
+    "CoverageModel",
+    "CoverageComparison",
+    "QUERY_TEMPLATES",
+    "run_template",
+]

@@ -1,0 +1,136 @@
+"""UI-side exploration cache (paper §VI-A).
+
+"When users decide to focus on a smaller window within w, it is
+considered as a data exploration query Q(a, b, w') with |w'| < |w|,
+which can be served directly from the cache of the user interface."
+
+:class:`CachedExplorer` wraps a SPATE instance: results are cached, and
+a new query whose window is *contained* in a cached query's window
+(same table, attributes and box) is answered by narrowing the cached
+records — no storage access, the zoom-in path the paper describes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.index.highlights import NumericStats
+from repro.query.explore import ExplorationQuery, ExplorationResult
+from repro.spatial.geometry import BoundingBox
+
+
+def _box_key(box: BoundingBox | None) -> tuple | None:
+    if box is None:
+        return None
+    return (box.min_x, box.min_y, box.max_x, box.max_y)
+
+
+@dataclass(frozen=True)
+class _CacheKey:
+    table: str
+    attributes: tuple[str, ...]
+    box: tuple | None
+
+
+class CachedExplorer:
+    """LRU exploration cache over one SPATE instance."""
+
+    def __init__(self, spate, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._spate = spate
+        self._capacity = capacity
+        self._entries: OrderedDict[_CacheKey, ExplorationResult] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def explore(
+        self,
+        table: str,
+        attributes: tuple[str, ...],
+        box: BoundingBox | None,
+        first_epoch: int,
+        last_epoch: int,
+    ) -> ExplorationResult:
+        """Q(a, b, w), preferring a cached covering result."""
+        key = _CacheKey(
+            table=table, attributes=tuple(attributes), box=_box_key(box)
+        )
+        cached = self._entries.get(key)
+        if cached is not None and self._covers(cached, first_epoch, last_epoch):
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return self._narrow(cached, first_epoch, last_epoch)
+        self.misses += 1
+        result = self._spate.explore(
+            table, attributes, box, first_epoch, last_epoch
+        )
+        # Only record-bearing results can be narrowed later; summary-only
+        # answers (decayed windows) are cached for exact repeats only.
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+        return result
+
+    def invalidate(self) -> None:
+        """Drop everything (call after new ingests or decay passes)."""
+        self._entries.clear()
+
+    @property
+    def size(self) -> int:
+        """Number of cached results."""
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _covers(cached: ExplorationResult, first: int, last: int) -> bool:
+        query = cached.query
+        if not (query.first_epoch <= first and last <= query.last_epoch):
+            return False
+        if query.first_epoch == first and query.last_epoch == last:
+            return True
+        # Narrowing needs exact records; a result that leaned on decayed
+        # summaries can't be sliced by epoch.
+        return not cached.used_decayed_data
+
+    def _narrow(
+        self, cached: ExplorationResult, first: int, last: int
+    ) -> ExplorationResult:
+        query = cached.query
+        if query.first_epoch == first and query.last_epoch == last:
+            return cached
+        narrowed_query = ExplorationQuery(
+            table=query.table,
+            attributes=query.attributes,
+            box=query.box,
+            first_epoch=first,
+            last_epoch=last,
+        )
+        records = [
+            record
+            for record in cached.records
+            if first <= int(record[0]) <= last
+        ]
+        aggregates: dict[str, NumericStats] = {}
+        for position, name in enumerate(cached.columns[1:], start=1):
+            stats = NumericStats()
+            for record in records:
+                value = record[position]
+                if value and value.lstrip("-").isdigit():
+                    stats.add(int(value))
+            if stats.count:
+                aggregates[name] = stats
+        return ExplorationResult(
+            query=narrowed_query,
+            columns=list(cached.columns),
+            records=records,
+            aggregates=aggregates,
+            highlights=list(cached.highlights),
+            resolution_by_day={"*": "cache"},
+            snapshots_read=0,
+        )

@@ -1,0 +1,137 @@
+"""Precomputed network coverage models (paper Figure 6).
+
+SPATE-UI overlays "precomputed heatmap models" (predicted coverage)
+against "the real network measurements" loaded from storage.  The
+:class:`CoverageModel` rasterizes predicted RSSI over the service area
+using the same log-distance propagation physics the trace generator
+uses for MR records, so predicted-vs-measured comparisons are apples
+to apples — large deltas indicate propagation faults (terrain, broken
+antennas), exactly the use case the paper's UI query bar lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.spatial.geometry import BoundingBox, Point
+from repro.telco.network import NetworkTopology
+from repro.telco.radio import NOISE_FLOOR_DBM, received_power_dbm
+from repro.ui.heatmap import HeatmapRenderer
+
+
+@dataclass
+class CoverageModel:
+    """Predicted best-server RSSI over a grid of the service area."""
+
+    topology: NetworkTopology
+    cols: int = 48
+    rows: int = 16
+    _grid: dict[tuple[int, int], float] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        area = self.topology.area
+        tile_w = area.width / self.cols
+        tile_h = area.height / self.rows
+        for row in range(self.rows):
+            for col in range(self.cols):
+                center = Point(
+                    area.min_x + (col + 0.5) * tile_w,
+                    area.min_y + (row + 0.5) * tile_h,
+                )
+                self._grid[(col, row)] = self._best_rssi(center)
+
+    def _best_rssi(self, point: Point) -> float:
+        best = NOISE_FLOOR_DBM
+        for antenna in self.topology.antennas:
+            rssi = received_power_dbm(
+                antenna.location.distance_to(point), antenna.tech
+            )
+            if rssi > best:
+                best = rssi
+        return best
+
+    def predicted_rssi(self, point: Point) -> float:
+        """Predicted best-server RSSI at a point (tile-resolution)."""
+        area = self.topology.area
+        if not area.contains(point):
+            return NOISE_FLOOR_DBM
+        col = min(
+            int((point.x - area.min_x) / area.width * self.cols), self.cols - 1
+        )
+        row = min(
+            int((point.y - area.min_y) / area.height * self.rows), self.rows - 1
+        )
+        return self._grid[(col, row)]
+
+    def coverage_fraction(self, threshold_dbm: float = -105.0) -> float:
+        """Fraction of tiles predicted above ``threshold_dbm``."""
+        if not self._grid:
+            return 0.0
+        covered = sum(1 for v in self._grid.values() if v >= threshold_dbm)
+        return covered / len(self._grid)
+
+    def render(self) -> str:
+        """ASCII heatmap of predicted coverage."""
+        area = self.topology.area
+        tile_w = area.width / self.cols
+        tile_h = area.height / self.rows
+        samples = [
+            (
+                Point(
+                    area.min_x + (col + 0.5) * tile_w,
+                    area.min_y + (row + 0.5) * tile_h,
+                ),
+                value,
+            )
+            for (col, row), value in self._grid.items()
+        ]
+        renderer = HeatmapRenderer(area, cols=self.cols, rows=self.rows)
+        return renderer.render(samples, title="Predicted coverage (RSSI dBm)")
+
+    def compare_with_measurements(
+        self, measurements: list[tuple[Point, float]]
+    ) -> "CoverageComparison":
+        """Per-measurement predicted-vs-observed deltas.
+
+        Args:
+            measurements: (location, measured RSSI dBm) pairs, e.g.
+                decoded from stored MR records.
+        """
+        deltas = [
+            measured - self.predicted_rssi(point)
+            for point, measured in measurements
+        ]
+        return CoverageComparison(deltas=deltas)
+
+
+@dataclass
+class CoverageComparison:
+    """Summary of predicted-vs-measured RSSI deltas."""
+
+    deltas: list[float]
+
+    @property
+    def count(self) -> int:
+        """Number of compared measurements."""
+        return len(self.deltas)
+
+    @property
+    def mean_delta_db(self) -> float:
+        """Mean signed measured-minus-predicted delta."""
+        return sum(self.deltas) / len(self.deltas) if self.deltas else 0.0
+
+    @property
+    def mean_abs_delta_db(self) -> float:
+        """Mean absolute measured-vs-predicted delta."""
+        return (
+            sum(abs(d) for d in self.deltas) / len(self.deltas)
+            if self.deltas
+            else 0.0
+        )
+
+    def anomaly_fraction(self, threshold_db: float = 15.0) -> float:
+        """Share of measurements deviating more than ``threshold_db``
+        from the model — candidate propagation faults."""
+        if not self.deltas:
+            return 0.0
+        return sum(1 for d in self.deltas if abs(d) > threshold_db) / len(self.deltas)

@@ -1,0 +1,77 @@
+"""Text heatmap rendering of spatial aggregates.
+
+Rasterizes (cell centroid, value) pairs onto a character grid: the
+terminal equivalent of the paper's coverage/RSSI heatmap overlays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.spatial.geometry import BoundingBox, Point
+from repro.spatial.grid import UniformGrid
+
+#: Intensity ramp, light to dark.
+_RAMP = " .:-=+*#%@"
+
+
+@dataclass
+class HeatmapRenderer:
+    """Renders value fields over a bounding box as ASCII art."""
+
+    area: BoundingBox
+    cols: int = 60
+    rows: int = 20
+
+    def render(self, samples: list[tuple[Point, float]], title: str = "") -> str:
+        """Render mean-value-per-tile as intensity characters.
+
+        Args:
+            samples: (location, value) pairs; values are averaged per tile.
+            title: optional heading line.
+        """
+        grid = UniformGrid(self.area, cols=self.cols, rows=self.rows)
+        for point, value in samples:
+            if self.area.contains(point):
+                grid.insert(point, value)
+
+        means: dict[tuple[int, int], float] = {}
+        for row in range(self.rows):
+            for col in range(self.cols):
+                bucket = grid.bucket(col, row)
+                if bucket:
+                    means[(col, row)] = sum(bucket) / len(bucket)
+        if means:
+            lo = min(means.values())
+            hi = max(means.values())
+        else:
+            lo = hi = 0.0
+        span = (hi - lo) or 1.0
+
+        lines: list[str] = []
+        if title:
+            lines.append(title)
+        # Row 0 is the south edge; render north-up.
+        for row in range(self.rows - 1, -1, -1):
+            chars = []
+            for col in range(self.cols):
+                mean = means.get((col, row))
+                if mean is None:
+                    chars.append(" ")
+                else:
+                    idx = int((mean - lo) / span * (len(_RAMP) - 1))
+                    chars.append(_RAMP[idx])
+            lines.append("".join(chars))
+        lines.append(f"[{lo:.1f} .. {hi:.1f}] over {len(samples)} samples")
+        return "\n".join(lines)
+
+
+def render_heatmap(
+    samples: list[tuple[Point, float]],
+    area: BoundingBox,
+    cols: int = 60,
+    rows: int = 20,
+    title: str = "",
+) -> str:
+    """One-shot convenience wrapper around :class:`HeatmapRenderer`."""
+    return HeatmapRenderer(area=area, cols=cols, rows=rows).render(samples, title=title)

@@ -1,0 +1,76 @@
+"""Template queries from the SPATE-UI query bar (paper §VI-B).
+
+The UI exposes presets — drop calls, downflux/upflux, heatmap
+statistics such as RSSI intensity — each defined here as a SQL string
+parameterized by a temporal window.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.query.sql import Database, QueryResult
+
+#: name -> (description, SQL builder taking (first_ts, last_ts)).
+QUERY_TEMPLATES: dict[str, tuple[str, Callable[[str, str], str]]] = {
+    "drop_calls": (
+        "Dropped calls per cell over the window",
+        lambda first, last: (
+            "SELECT cell_id, COUNT(*) AS drops FROM CDR "
+            f"WHERE drop_flag = '1' AND ts >= '{first}' AND ts <= '{last}' "
+            "GROUP BY cell_id ORDER BY drops DESC"
+        ),
+    ),
+    "downflux_upflux": (
+        "Total download/upload bytes per cell",
+        lambda first, last: (
+            "SELECT cell_id, SUM(downflux) AS down, SUM(upflux) AS up FROM CDR "
+            f"WHERE ts >= '{first}' AND ts <= '{last}' "
+            "GROUP BY cell_id ORDER BY down DESC"
+        ),
+    ),
+    "rssi_heatmap": (
+        "Mean RSSI per cell (heatmap source)",
+        lambda first, last: (
+            "SELECT cellid, AVG(val) AS rssi FROM NMS "
+            f"WHERE kpi = 'rssi_avg' AND ts >= '{first}' AND ts <= '{last}' "
+            "GROUP BY cellid"
+        ),
+    ),
+    "congestion": (
+        "Congestion counter totals per cell",
+        lambda first, last: (
+            "SELECT cellid, SUM(val) AS congestion FROM NMS "
+            f"WHERE kpi = 'congestion' AND ts >= '{first}' AND ts <= '{last}' "
+            "GROUP BY cellid ORDER BY congestion DESC"
+        ),
+    ),
+    "measured_rssi": (
+        "Mean measured RSSI per cell from MR reports (coverage check)",
+        lambda first, last: (
+            "SELECT cellid, AVG(rssi_dbm) AS rssi, COUNT(*) AS reports "
+            f"FROM MR WHERE ts >= '{first}' AND ts <= '{last}' "
+            "GROUP BY cellid ORDER BY rssi"
+        ),
+    ),
+    "busiest_cells": (
+        "Cells by session count",
+        lambda first, last: (
+            "SELECT cell_id, COUNT(*) AS sessions FROM CDR "
+            f"WHERE ts >= '{first}' AND ts <= '{last}' "
+            "GROUP BY cell_id ORDER BY sessions DESC LIMIT 20"
+        ),
+    ),
+}
+
+
+def run_template(
+    db: Database, name: str, first_ts: str, last_ts: str
+) -> QueryResult:
+    """Execute a named template over a timestamp window.
+
+    Raises:
+        KeyError: for an unknown template name.
+    """
+    __, builder = QUERY_TEMPLATES[name]
+    return db.execute(builder(first_ts, last_ts))

@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Spate, SpateConfig
+from repro.telco import TelcoTraceGenerator, TraceConfig
+
+#: Tiny but non-degenerate trace used across integration tests.
+TINY = TraceConfig(scale=0.002, days=2, seed=99)
+
+
+@pytest.fixture(scope="session")
+def tiny_generator() -> TelcoTraceGenerator:
+    """One shared topology/population; snapshot() calls stay cheap."""
+    return TelcoTraceGenerator(TINY)
+
+
+@pytest.fixture(scope="session")
+def tiny_snapshots(tiny_generator):
+    """The tiny trace's first day of snapshots, generated once."""
+    generator = TelcoTraceGenerator(TINY)  # fresh mobility state
+    return [generator.snapshot(epoch) for epoch in range(48)]
+
+
+@pytest.fixture()
+def spate_day(tiny_generator, tiny_snapshots):
+    """A SPATE instance loaded with one day of data (no decay)."""
+    spate = Spate(SpateConfig(codec="gzip-ref"))
+    spate.register_cells(tiny_generator.cells_table())
+    for snapshot in tiny_snapshots:
+        spate.ingest(snapshot)
+    spate.finalize()
+    return spate
+
+
+def sample_rows(n: int = 50) -> tuple[list[str], list[list[str]]]:
+    """Deterministic relational sample for SQL/privacy tests."""
+    columns = ["ts", "user", "cell", "plan", "bytes"]
+    rows = []
+    for i in range(n):
+        rows.append([
+            f"2016011{i % 9}",
+            f"u{i % 7}",
+            f"C{i % 5:03d}",
+            ["prepaid", "postpaid", "business"][i % 3],
+            str((i * 37) % 500),
+        ])
+    return columns, rows

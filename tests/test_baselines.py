@@ -1,0 +1,146 @@
+"""Tests for the RAW and SHAHED baseline frameworks."""
+
+import pytest
+
+from repro.baselines.raw import RawFramework
+from repro.baselines.shahed import ShahedFramework
+from repro.dfs import SimulatedDFS
+from repro.errors import QueryError
+from repro.index.highlights import NumericStats
+from repro.spatial.geometry import BoundingBox
+from repro.telco import TelcoTraceGenerator, TraceConfig
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return TelcoTraceGenerator(TraceConfig(scale=0.002, days=1, seed=23))
+
+
+@pytest.fixture(scope="module")
+def snapshots(generator):
+    fresh = TelcoTraceGenerator(TraceConfig(scale=0.002, days=1, seed=23))
+    return [fresh.snapshot(epoch) for epoch in range(12)]
+
+
+@pytest.fixture()
+def raw(snapshots):
+    framework = RawFramework(SimulatedDFS())
+    for snapshot in snapshots:
+        framework.ingest(snapshot)
+    return framework
+
+
+@pytest.fixture()
+def shahed(generator, snapshots):
+    framework = ShahedFramework(
+        SimulatedDFS(),
+        area=generator.topology.area,
+        cell_locations={c.cell_id: c.centroid for c in generator.topology.cells},
+    )
+    for snapshot in snapshots:
+        framework.ingest(snapshot)
+    return framework
+
+
+class TestRaw:
+    def test_stores_uncompressed(self, raw, snapshots):
+        total_raw = sum(
+            len(t.serialize()) for s in snapshots for t in s.tables.values()
+        )
+        assert raw.stored_logical_bytes == total_raw
+
+    def test_read_snapshot_round_trip(self, raw, snapshots):
+        restored = raw.read_snapshot(3)
+        assert restored.tables["CDR"].rows == snapshots[3].tables["CDR"].rows
+
+    def test_read_table_selective(self, raw, snapshots):
+        table = raw.read_table(3, "NMS")
+        assert table.rows == snapshots[3].tables["NMS"].rows
+        assert raw.read_table(3, "GHOST") is None
+
+    def test_read_unknown_epoch_raises(self, raw):
+        with pytest.raises(QueryError):
+            raw.read_snapshot(999)
+
+    def test_ingested_epochs(self, raw):
+        assert raw.ingested_epochs() == list(range(12))
+
+    def test_read_rows_concatenates(self, raw, snapshots):
+        columns, rows = raw.read_rows("CDR", 0, 11)
+        expected = sum(len(s.tables["CDR"]) for s in snapshots)
+        assert len(rows) == expected
+        assert columns == snapshots[0].tables["CDR"].columns
+
+    def test_read_rows_empty_window(self, raw):
+        columns, rows = raw.read_rows("CDR", 500, 600)
+        assert columns == [] and rows == []
+
+    def test_table_partitions_per_snapshot(self, raw):
+        partitions = raw.table_partitions("CDR", 0, 11)
+        assert len(partitions) == 12
+
+    def test_ingest_stats(self, raw, snapshots):
+        framework = RawFramework(SimulatedDFS())
+        stats = framework.ingest(snapshots[0])
+        assert stats.raw_bytes == stats.stored_bytes > 0
+        assert stats.seconds >= 0
+
+
+class TestShahed:
+    def test_stores_uncompressed_like_raw(self, raw, shahed):
+        assert shahed.stored_logical_bytes == raw.stored_logical_bytes
+
+    def test_builds_temporal_aggregate_nodes(self, shahed):
+        assert len(shahed.epoch_nodes) == 12
+        assert len(shahed.day_nodes) == 1
+        assert len(shahed.month_nodes) == 1
+
+    def test_aggregate_query_full_area(self, shahed, generator, snapshots):
+        area = generator.topology.area
+        stats = shahed.aggregate_query(area, "downflux", 0, 11)
+        # Ground truth from the snapshots themselves.
+        expected = 0
+        for snapshot in snapshots:
+            table = snapshot.tables["CDR"]
+            idx = table.column_index("downflux")
+            expected += sum(
+                int(r[idx]) for r in table.rows if r[idx] and r[idx].isdigit()
+            )
+        assert stats.total == expected
+
+    def test_aggregate_query_epoch_range(self, shahed, generator):
+        area = generator.topology.area
+        narrow = shahed.aggregate_query(area, "downflux", 0, 2)
+        wide = shahed.aggregate_query(area, "downflux", 0, 11)
+        assert narrow.count <= wide.count
+
+    def test_aggregate_query_spatial_subset(self, shahed, generator):
+        area = generator.topology.area
+        west = BoundingBox(area.min_x, area.min_y, area.center.x, area.max_y)
+        subset = shahed.aggregate_query(west, "downflux", 0, 11)
+        full = shahed.aggregate_query(area, "downflux", 0, 11)
+        assert subset.count <= full.count
+
+    def test_unknown_attribute_empty_stats(self, shahed, generator):
+        stats = shahed.aggregate_query(generator.topology.area, "ghost", 0, 11)
+        assert stats.count == 0
+
+    def test_coarse_day_path_matches_per_epoch_sum(self, shahed, generator):
+        """A window covering the whole day must use the day node and give
+        exactly the same answer as the per-epoch path."""
+        area = generator.topology.area
+        coarse = shahed.aggregate_query(area, "downflux", 0, 47)
+        per_epoch = NumericStats()
+        for node in shahed.epoch_nodes.values():
+            per_epoch.merge(node.query(area, "downflux"))
+        assert coarse.total == per_epoch.total
+        assert coarse.count == per_epoch.count
+
+    def test_day_node_aggregates_match_epoch_sum(self, shahed, generator):
+        area = generator.topology.area
+        day = next(iter(shahed.day_nodes.values()))
+        epoch_total = sum(
+            node.query(area, "downflux").total
+            for node in shahed.epoch_nodes.values()
+        )
+        assert day.query(area, "downflux").total == epoch_total

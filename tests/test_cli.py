@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SMALL = ["--scale", "0.002", "--days", "1"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_explore_defaults(self):
+        args = build_parser().parse_args(["explore"])
+        assert args.table == "CDR"
+        assert args.first == 0 and args.last == 47
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "gzip" in out and "columnar" in out
+
+    def test_ingest(self, capsys):
+        assert main(["ingest", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "ingested epochs:   48" in out
+        assert "replication 3" in out
+
+    def test_ingest_render_index(self, capsys):
+        assert main(["ingest", *SMALL, "--render-index"]) == 0
+        assert "year 2016" in capsys.readouterr().out
+
+    def test_explore(self, capsys):
+        assert main(["explore", *SMALL, "--first", "0", "--last", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "records:" in out
+        assert "downflux" in out
+
+    def test_explore_with_box(self, capsys):
+        code = main([
+            "explore", *SMALL, "--first", "0", "--last", "5",
+            "--box", "0,0,50000,30000",
+        ])
+        assert code == 0
+
+    def test_explore_bad_box(self, capsys):
+        code = main([
+            "explore", *SMALL, "--box", "1,2,3",
+        ])
+        assert code == 2
+
+    def test_explore_custom_attr(self, capsys):
+        assert main([
+            "explore", *SMALL, "--attr", "duration_s",
+            "--first", "0", "--last", "3",
+        ]) == 0
+        assert "duration_s" in capsys.readouterr().out
+
+    def test_sql(self, capsys):
+        assert main([
+            "sql", *SMALL,
+            "SELECT COUNT(*) AS n FROM CDR",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("n\n")
+        assert int(out.splitlines()[1]) > 0
+
+    def test_sql_limit(self, capsys):
+        assert main([
+            "sql", *SMALL, "--limit", "2",
+            "SELECT caller_id FROM CDR",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "more rows" in out
+
+    def test_highlights(self, capsys):
+        assert main(["highlights", *SMALL, "--limit", "2"]) == 0
+        assert "highlights in epochs" in capsys.readouterr().out
+
+    def test_bench_codecs(self, capsys):
+        assert main([
+            "bench-codecs", "--scale", "0.002", "--snapshots", "1",
+            "--codecs", "gzip-ref",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "gzip-ref" in out and "ratio" in out

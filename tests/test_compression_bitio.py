@@ -1,0 +1,96 @@
+"""Unit tests for the bit-level reader/writer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compression.bitio import BitReader, BitWriter
+from repro.errors import CorruptStreamError
+
+
+class TestBitWriter:
+    def test_single_bits_pack_lsb_first(self):
+        writer = BitWriter()
+        for bit in (1, 0, 1, 1, 0, 0, 0, 0):
+            writer.write_bit(bit)
+        assert writer.getvalue() == bytes([0b00001101])
+
+    def test_write_bits_crosses_byte_boundary(self):
+        writer = BitWriter()
+        writer.write_bits(0x3FF, 10)  # ten ones
+        data = writer.getvalue()
+        assert data == bytes([0xFF, 0x03])
+
+    def test_partial_byte_padded_with_zeros(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        assert writer.getvalue() == bytes([0b00000101])
+
+    def test_align_to_byte_is_idempotent(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        writer.align_to_byte()
+        writer.align_to_byte()
+        assert writer.getvalue() == bytes([1])
+
+    def test_bit_length_counts_written_bits(self):
+        writer = BitWriter()
+        writer.write_bits(0, 13)
+        assert writer.bit_length == 13
+
+    def test_empty_writer_yields_empty_bytes(self):
+        assert BitWriter().getvalue() == b""
+
+    def test_msb_ordering(self):
+        writer = BitWriter()
+        writer.write_bits_msb(0b110, 3)  # 1 then 1 then 0
+        assert writer.getvalue() == bytes([0b00000011])
+
+
+class TestBitReader:
+    def test_round_trip_bits(self):
+        writer = BitWriter()
+        values = [(5, 3), (0, 1), (1023, 10), (7, 4)]
+        for value, count in values:
+            writer.write_bits(value, count)
+        reader = BitReader(writer.getvalue())
+        for value, count in values:
+            assert reader.read_bits(count) == value
+
+    def test_read_past_end_raises(self):
+        reader = BitReader(b"\x01")
+        reader.read_bits(8)
+        with pytest.raises(CorruptStreamError):
+            reader.read_bit()
+
+    def test_read_bits_zero_count(self):
+        reader = BitReader(b"\xff")
+        assert reader.read_bits(0) == 0
+
+    def test_bits_remaining(self):
+        reader = BitReader(b"\xff\xff")
+        assert reader.bits_remaining == 16
+        reader.read_bits(5)
+        assert reader.bits_remaining == 11
+
+    def test_align_to_byte_discards_partial(self):
+        reader = BitReader(bytes([0xFF, 0x01]))
+        reader.read_bits(3)
+        reader.align_to_byte()
+        assert reader.read_bits(8) == 0x01
+
+    @given(st.lists(st.tuples(st.integers(0, 2**20 - 1), st.integers(1, 20))))
+    def test_property_round_trip(self, pairs):
+        writer = BitWriter()
+        for value, count in pairs:
+            writer.write_bits(value & ((1 << count) - 1), count)
+        reader = BitReader(writer.getvalue())
+        for value, count in pairs:
+            assert reader.read_bits(count) == value & ((1 << count) - 1)
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=100))
+    def test_property_single_bit_round_trip(self, bits):
+        writer = BitWriter()
+        for bit in bits:
+            writer.write_bit(bit)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_bit() for _ in bits] == bits

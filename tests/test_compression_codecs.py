@@ -1,0 +1,179 @@
+"""Cross-codec contract tests: every registered codec must round-trip
+arbitrary payloads, reject corrupt streams, and report honest stats."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import available_codecs, get_codec
+from repro.compression.base import StatsAccumulator
+from repro.errors import CompressionError, CorruptStreamError
+
+FROM_SCRATCH = ["gzip", "7z", "snappy", "zstd"]
+REFERENCE = ["gzip-ref", "7z-ref", "bz2-ref", "identity"]
+ALL = FROM_SCRATCH + REFERENCE
+
+EDGE_CASES = [
+    b"",
+    b"a",
+    b"ab",
+    b"abc",
+    b"abcd",
+    b"\x00" * 1,
+    b"\x00" * 10_000,
+    bytes(range(256)),
+    bytes(range(256)) * 8,
+    b"ab" * 500,
+    "τηλεπικοινωνίες ✓".encode("utf-8"),
+    b"\xff" * 257,
+]
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestCodecContract:
+    def test_registered(self, name):
+        assert name in available_codecs()
+
+    @pytest.mark.parametrize("payload", EDGE_CASES, ids=range(len(EDGE_CASES)))
+    def test_round_trip_edge_cases(self, name, payload):
+        codec = get_codec(name)
+        assert codec.decompress(codec.compress(payload)) == payload
+
+    def test_round_trip_telco_like_text(self, name):
+        rows = "\n".join(
+            f"20160122{i % 24:02d}30|U{i % 50:04d}|C{i % 9:03d}|GSM|OK|0|{i * 7 % 900}"
+            for i in range(400)
+        ).encode()
+        codec = get_codec(name)
+        compressed = codec.compress(rows)
+        assert codec.decompress(compressed) == rows
+
+    def test_measure_reports_consistent_stats(self, name):
+        codec = get_codec(name)
+        payload = b"telco telco telco data data data" * 20
+        stats = codec.measure(payload)
+        assert stats.codec == name
+        assert stats.raw_bytes == len(payload)
+        assert stats.compressed_bytes > 0
+        assert stats.compress_seconds >= 0.0
+        assert stats.decompress_seconds >= 0.0
+
+
+@pytest.mark.parametrize("name", FROM_SCRATCH)
+class TestFromScratchCodecs:
+    def test_compresses_redundant_text(self, name):
+        payload = b"drop_call,cell_0042,2016-01-22,OK\n" * 300
+        codec = get_codec(name)
+        compressed = codec.compress(payload)
+        assert len(compressed) < len(payload) // 3
+
+    def test_bad_magic_rejected(self, name):
+        codec = get_codec(name)
+        with pytest.raises(CorruptStreamError):
+            codec.decompress(b"\x00\x01\x02\x03not a stream")
+
+    def test_truncated_stream_rejected(self, name):
+        codec = get_codec(name)
+        compressed = codec.compress(b"some compressible payload " * 50)
+        with pytest.raises(CorruptStreamError):
+            codec.decompress(compressed[: len(compressed) // 2])
+
+    @given(data=st.binary(max_size=1200))
+    @settings(max_examples=25, deadline=None)
+    def test_property_round_trip(self, name, data):
+        codec = get_codec(name)
+        assert codec.decompress(codec.compress(data)) == data
+
+
+class TestRatioOrdering:
+    """Table I's qualitative ordering: entropy coders beat snappy."""
+
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return (
+            "\n".join(
+                f"201601221530|U{i % 120:05d}|C{i % 40:04d}|voice|2G|OK|0|"
+                f"{(i * 13) % 400}|{(i * 7) % 90}"
+                for i in range(1500)
+            )
+        ).encode()
+
+    def test_snappy_ratio_roughly_half_of_entropy_coders(self, payload):
+        ratios = {}
+        for name in FROM_SCRATCH:
+            codec = get_codec(name)
+            ratios[name] = len(payload) / len(codec.compress(payload))
+        assert ratios["snappy"] < ratios["gzip"]
+        assert ratios["snappy"] < ratios["zstd"]
+        assert ratios["snappy"] < ratios["7z"]
+
+    def test_lzma_family_has_best_ratio(self, payload):
+        sizes = {
+            name: len(get_codec(name).compress(payload))
+            for name in FROM_SCRATCH
+        }
+        assert sizes["7z"] <= sizes["gzip"]
+
+
+class TestRegistry:
+    def test_unknown_codec_raises_with_suggestions(self):
+        with pytest.raises(CompressionError, match="available"):
+            get_codec("nope")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.compression.base import Codec, register_codec
+
+        with pytest.raises(ValueError):
+
+            @register_codec
+            class Duplicate(Codec):  # noqa
+                name = "gzip"
+
+                def compress(self, data):  # pragma: no cover
+                    return data
+
+                def decompress(self, data):  # pragma: no cover
+                    return data
+
+    def test_unnamed_codec_rejected(self):
+        from repro.compression.base import Codec, register_codec
+
+        with pytest.raises(ValueError):
+
+            @register_codec
+            class Nameless(Codec):  # noqa
+                def compress(self, data):  # pragma: no cover
+                    return data
+
+                def decompress(self, data):  # pragma: no cover
+                    return data
+
+    def test_measure_raises_on_lossy_codec(self):
+        from repro.compression.base import Codec
+
+        class Lossy(Codec):
+            name = "lossy-test"
+
+            def compress(self, data):
+                return data[:-1] if data else data
+
+            def decompress(self, data):
+                return data
+
+        with pytest.raises(CompressionError, match="round-trip"):
+            Lossy().measure(b"payload")
+
+
+class TestStatsAccumulator:
+    def test_empty_accumulator_reports_zero(self):
+        acc = StatsAccumulator()
+        assert acc.mean_ratio == 0.0
+        assert acc.mean_compress_seconds == 0.0
+        assert acc.mean_decompress_seconds == 0.0
+
+    def test_averaging(self):
+        codec = get_codec("gzip-ref")
+        acc = StatsAccumulator()
+        for payload in (b"aaaa" * 100, b"bbbb" * 200):
+            acc.add(codec.measure(payload))
+        assert len(acc.samples) == 2
+        assert acc.mean_ratio > 1.0

@@ -1,0 +1,129 @@
+"""Tests for the columnar pre-encodings (RLE / delta / dictionary)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.columnar import (
+    choose_encoding,
+    decode_column,
+    delta_decode,
+    delta_encode,
+    dictionary_decode,
+    dictionary_encode,
+    encode_column,
+    plain_decode,
+    plain_encode,
+    rle_decode,
+    rle_encode,
+)
+from repro.errors import CorruptStreamError
+
+
+class TestRle:
+    def test_round_trip(self):
+        cells = ["a"] * 10 + ["b"] * 3 + ["a"] * 2
+        assert rle_decode(rle_encode(cells)) == cells
+
+    def test_empty(self):
+        assert rle_decode(rle_encode([])) == []
+
+    def test_compresses_constant_column(self):
+        cells = ["OK"] * 10_000
+        assert len(rle_encode(cells)) < 32
+
+    @given(st.lists(st.sampled_from(["x", "y", "zz", ""]), max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_property_round_trip(self, cells):
+        assert rle_decode(rle_encode(cells)) == cells
+
+
+class TestDelta:
+    def test_round_trip(self):
+        cells = ["100", "105", "103", "200", "-5"]
+        assert delta_decode(delta_encode(cells)) == cells
+
+    def test_monotonic_timestamps_compress_well(self):
+        cells = [str(1600000000 + i * 30) for i in range(1000)]
+        assert len(delta_encode(cells)) < 6 * len(cells)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ValueError):
+            delta_encode(["1", "x"])
+
+    @given(st.lists(st.integers(-(2**40), 2**40), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_property_round_trip(self, numbers):
+        cells = [str(n) for n in numbers]
+        assert delta_decode(delta_encode(cells)) == cells
+
+
+class TestDictionary:
+    def test_round_trip(self):
+        cells = ["voice", "data", "voice", "sms", "data", "voice"]
+        assert dictionary_decode(dictionary_encode(cells)) == cells
+
+    def test_low_cardinality_compresses(self):
+        cells = (["GSM"] * 5 + ["LTE"] * 3) * 500
+        assert len(dictionary_encode(cells)) < 6 * len(cells)
+
+    @given(st.lists(st.text(max_size=8), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_property_round_trip(self, cells):
+        assert dictionary_decode(dictionary_encode(cells)) == cells
+
+
+class TestPlain:
+    @given(st.lists(st.text(max_size=20), max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_property_round_trip(self, cells):
+        assert plain_decode(plain_encode(cells)) == cells
+
+
+class TestAutoSelection:
+    def test_constant_column_picks_rle(self):
+        assert choose_encoding(["x"] * 100) == "rle"
+
+    def test_integers_pick_delta(self):
+        assert choose_encoding([str(i) for i in range(100)]) == "delta"
+
+    def test_low_cardinality_text_picks_dict(self):
+        cells = ["voice", "data", "sms"] * 100
+        assert choose_encoding(cells) in ("dict", "rle")
+
+    def test_high_entropy_text_stays_plain(self):
+        cells = [f"user-{i}-{i**2}" for i in range(200)]
+        assert choose_encoding(cells) == "plain"
+
+    def test_empty_column(self):
+        assert choose_encoding([]) == "plain"
+
+    def test_self_describing_round_trip(self):
+        for cells in (
+            ["a"] * 50,
+            [str(i * 3) for i in range(50)],
+            ["p", "q"] * 40,
+            [f"blob{i}{i}" for i in range(50)],
+            [],
+        ):
+            assert decode_column(encode_column(cells)) == cells
+
+    def test_explicit_encoding_honored(self):
+        cells = ["1", "2", "3"]
+        blob = encode_column(cells, encoding="plain")
+        assert decode_column(blob) == cells
+
+    def test_unknown_encoding_id_rejected(self):
+        with pytest.raises(CorruptStreamError):
+            decode_column(bytes([250]) + b"junk")
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(CorruptStreamError):
+            decode_column(b"")
+
+    @given(st.lists(st.one_of(
+        st.text(max_size=10),
+        st.integers(-1000, 1000).map(str),
+    ), max_size=150))
+    @settings(max_examples=50, deadline=None)
+    def test_property_auto_round_trip(self, cells):
+        assert decode_column(encode_column(cells)) == cells

@@ -1,0 +1,141 @@
+"""Tests for differential compression (the paper's future-work feature)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import get_codec
+from repro.compression.differential import (
+    IncrementalArchive,
+    compress_against,
+    decompress_against,
+)
+from repro.errors import CompressionError
+
+
+def make_versions(n: int = 6, rows: int = 80) -> list[bytes]:
+    """Successive payload versions: low *internal* redundancy (random-ish
+    identifiers) but high *cross-version* overlap — only ~10% of lines
+    change per version, the regime where delta encoding pays off."""
+    import random
+
+    rng = random.Random(5)
+    lines = [
+        f"20160120|U{rng.randrange(10**8):08d}|C{rng.randrange(10**6):06d}|"
+        f"{rng.randrange(10**9)}|{rng.choice('abcdefgh')}"
+        for __ in range(rows)
+    ]
+    versions = []
+    for __ in range(n):
+        versions.append(("\n".join(lines)).encode())
+        for target in rng.sample(range(rows), max(1, rows // 10)):
+            lines[target] = (
+                f"20160120|U{rng.randrange(10**8):08d}|"
+                f"C{rng.randrange(10**6):06d}|{rng.randrange(10**9)}|"
+                f"{rng.choice('abcdefgh')}"
+            )
+    return versions
+
+
+class TestDeltaStep:
+    def test_round_trip(self):
+        a, b = make_versions(2)
+        delta = compress_against(b, a)
+        assert decompress_against(delta, a) == b
+
+    def test_delta_smaller_than_standalone(self):
+        a, b = make_versions(2)
+        delta = compress_against(b, a)
+        standalone = get_codec("gzip").compress(b)
+        assert len(delta) < len(standalone)
+
+    def test_wrong_reference_rejected(self):
+        from repro.errors import CorruptStreamError
+
+        a, b = make_versions(2)
+        delta = compress_against(b, a)
+        with pytest.raises(CorruptStreamError):
+            decompress_against(delta, b"completely different reference")
+
+    def test_empty_payload(self):
+        a, __ = make_versions(2)
+        delta = compress_against(b"", a)
+        assert decompress_against(delta, a) == b""
+
+    def test_identical_payload_compresses_tiny(self):
+        a, __ = make_versions(2)
+        delta = compress_against(a, a)
+        assert len(delta) < len(a) // 10
+
+    @given(st.binary(max_size=500), st.binary(max_size=500))
+    @settings(max_examples=25, deadline=None)
+    def test_property_round_trip(self, reference, data):
+        delta = compress_against(data, reference)
+        assert decompress_against(delta, reference) == data
+
+
+class TestIncrementalArchive:
+    def test_append_read_round_trip(self):
+        archive = IncrementalArchive(base_codec_name="gzip-ref", anchor_every=3)
+        versions = make_versions(8)
+        for payload in versions:
+            archive.append(payload)
+        for i, payload in enumerate(versions):
+            assert archive.read(i) == payload
+
+    def test_anchor_cadence(self):
+        archive = IncrementalArchive(base_codec_name="gzip-ref", anchor_every=4)
+        for payload in make_versions(9):
+            archive.append(payload)
+        kinds = [kind for kind, __ in archive.frame_sizes()]
+        assert kinds == ["anchor", "delta", "delta", "delta"] * 2 + ["anchor"]
+
+    def test_beats_per_snapshot_compression(self):
+        archive = IncrementalArchive(base_codec_name="gzip-ref", anchor_every=8)
+        versions = make_versions(8)
+        for payload in versions:
+            archive.append(payload)
+        codec = get_codec("gzip-ref")
+        standalone = sum(len(codec.compress(p)) for p in versions)
+        assert archive.stats().stored_bytes < standalone
+
+    def test_stats_accounting(self):
+        archive = IncrementalArchive(base_codec_name="gzip-ref", anchor_every=2)
+        versions = make_versions(5)
+        for payload in versions:
+            archive.append(payload)
+        stats = archive.stats()
+        assert stats.frames == 5
+        assert stats.anchors == 3
+        assert stats.raw_bytes == sum(len(p) for p in versions)
+        assert stats.ratio > 1.0
+
+    def test_read_out_of_range(self):
+        archive = IncrementalArchive()
+        with pytest.raises(IndexError):
+            archive.read(0)
+
+    def test_invalid_anchor_cadence(self):
+        with pytest.raises(CompressionError):
+            IncrementalArchive(anchor_every=0)
+
+    def test_anchor_every_one_means_no_deltas(self):
+        archive = IncrementalArchive(base_codec_name="gzip-ref", anchor_every=1)
+        for payload in make_versions(4):
+            archive.append(payload)
+        assert all(kind == "anchor" for kind, __ in archive.frame_sizes())
+
+    def test_len(self):
+        archive = IncrementalArchive(base_codec_name="gzip-ref")
+        assert len(archive) == 0
+        archive.append(b"x" * 100)
+        assert len(archive) == 1
+
+    @given(st.lists(st.binary(min_size=0, max_size=300), min_size=1, max_size=8),
+           st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_property_arbitrary_payloads(self, payloads, cadence):
+        archive = IncrementalArchive(base_codec_name="gzip-ref", anchor_every=cadence)
+        for payload in payloads:
+            archive.append(payload)
+        for i, payload in enumerate(payloads):
+            assert archive.read(i) == payload

@@ -1,0 +1,75 @@
+"""Tests for the Shannon-entropy analysis (Figure 4's machinery)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.entropy import (
+    attribute_entropies,
+    byte_entropy,
+    column_entropy,
+    shannon_entropy,
+    theoretical_best_ratio,
+)
+
+
+class TestShannonEntropy:
+    def test_empty_sample(self):
+        assert shannon_entropy([]) == 0.0
+
+    def test_constant_sample_has_zero_entropy(self):
+        assert shannon_entropy(["x"] * 100) == 0.0
+
+    def test_fair_coin_is_one_bit(self):
+        assert shannon_entropy([0, 1] * 500) == pytest.approx(1.0)
+
+    def test_uniform_over_n_is_log2_n(self):
+        values = list(range(16)) * 10
+        assert shannon_entropy(values) == pytest.approx(4.0)
+
+    def test_skew_reduces_entropy(self):
+        skewed = shannon_entropy([0] * 95 + [1] * 5)
+        assert 0.0 < skewed < 1.0
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=500))
+    @settings(max_examples=60, deadline=None)
+    def test_property_bounds(self, values):
+        h = shannon_entropy(values)
+        assert 0.0 <= h <= math.log2(len(set(values))) + 1e-9 if len(set(values)) > 1 else h == 0.0
+
+
+class TestTableEntropy:
+    ROWS = [
+        ["a", "1", ""],
+        ["a", "2", ""],
+        ["a", "3", ""],
+        ["b", "4", ""],
+    ]
+
+    def test_column_entropy(self):
+        assert column_entropy(self.ROWS, 2) == 0.0
+        assert column_entropy(self.ROWS, 1) == pytest.approx(2.0)
+
+    def test_attribute_entropies_length(self):
+        entropies = attribute_entropies(self.ROWS)
+        assert len(entropies) == 3
+
+    def test_empty_table(self):
+        assert attribute_entropies([]) == []
+
+    def test_byte_entropy_of_uniform_bytes(self):
+        assert byte_entropy(bytes(range(256))) == pytest.approx(8.0)
+
+
+class TestTheoreticalBestRatio:
+    def test_constant_table_is_infinitely_compressible(self):
+        rows = [["x", "y"]] * 50
+        assert theoretical_best_ratio(rows) == float("inf")
+
+    def test_ratio_exceeds_one_for_redundant_data(self):
+        rows = [["OK", str(i % 4)] for i in range(200)]
+        assert theoretical_best_ratio(rows) > 1.0
+
+    def test_empty_table(self):
+        assert theoretical_best_ratio([]) == 1.0

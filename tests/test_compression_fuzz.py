@@ -1,0 +1,97 @@
+"""Adversarial decoder tests: corrupt streams must raise
+CorruptStreamError (or round-trip if the corruption missed anything
+load-bearing) — never escape with IndexError/KeyError/etc."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import get_codec
+from repro.errors import CompressionError
+
+CODECS = ["gzip", "7z", "snappy", "zstd", "gzip-ref"]
+
+#: Valid magics so fuzz inputs reach the real decoder paths.
+MAGICS = {
+    "gzip": b"\x1f\x9d",
+    "7z": b"LZM",
+    "snappy": b"SNP",
+    "zstd": b"ZST",
+    "gzip-ref": b"",
+}
+
+
+def _attempt(codec, payload: bytes) -> None:
+    """Decompress must either succeed or raise a CompressionError."""
+    try:
+        codec.decompress(payload)
+    except CompressionError:
+        pass  # CorruptStreamError included — the contract
+    # Any other exception type propagates and fails the test.
+
+
+@pytest.mark.parametrize("name", CODECS)
+class TestGarbageStreams:
+    def test_random_bytes_with_magic(self, name):
+        codec = get_codec(name)
+        rng = random.Random(7)
+        for trial in range(25):
+            garbage = MAGICS[name] + bytes(
+                rng.randrange(256) for __ in range(rng.randrange(1, 200))
+            )
+            _attempt(codec, garbage)
+
+    def test_bit_flips_in_valid_stream(self, name):
+        codec = get_codec(name)
+        payload = b"telco snapshot data " * 40
+        compressed = bytearray(codec.compress(payload))
+        rng = random.Random(13)
+        for trial in range(30):
+            mutated = bytearray(compressed)
+            pos = rng.randrange(len(mutated))
+            mutated[pos] ^= 1 << rng.randrange(8)
+            _attempt(codec, bytes(mutated))
+
+    def test_truncations(self, name):
+        codec = get_codec(name)
+        compressed = codec.compress(b"abcdefgh" * 100)
+        for cut in range(0, len(compressed), max(1, len(compressed) // 20)):
+            _attempt(codec, compressed[:cut])
+
+    @given(data=st.binary(min_size=0, max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_property_arbitrary_prefixed_garbage(self, name, data):
+        codec = get_codec(name)
+        _attempt(codec, MAGICS[name] + data)
+
+
+class TestLengthBombs:
+    """Headers claiming absurd lengths must not hang or allocate wildly."""
+
+    def test_gzip_like_huge_declared_length(self):
+        from repro.compression.varint import encode_varint
+
+        codec = get_codec("gzip")
+        # magic + huge raw_len + empty-ish body -> must fail fast.
+        bomb = b"\x1f\x9d" + encode_varint(2**40) + b"\x00\x00\x00"
+        _attempt(codec, bomb)
+
+    def test_lzma_like_huge_declared_length_fails_fast(self):
+        from repro.compression.varint import encode_varint
+
+        codec = get_codec("7z")
+        bomb = b"LZM" + encode_varint(2**40) + bytes(16)
+        with pytest.raises(CompressionError):
+            codec.decompress(bomb)
+
+    def test_snappy_literal_overrun(self):
+        from repro.compression.varint import encode_varint
+
+        codec = get_codec("snappy")
+        bomb = (
+            b"SNP" + encode_varint(10)
+            + b"\x00" + encode_varint(2**30) + b"xx"
+        )
+        with pytest.raises(CompressionError):
+            codec.decompress(bomb)

@@ -1,0 +1,121 @@
+"""Unit and property tests for canonical Huffman coding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.bitio import BitReader, BitWriter
+from repro.compression.huffman import (
+    HuffmanDecoder,
+    HuffmanEncoder,
+    MAX_CODE_LENGTH,
+    canonical_codes,
+    code_lengths,
+    read_length_table,
+    write_length_table,
+)
+
+
+class TestCodeLengths:
+    def test_empty_frequencies(self):
+        assert code_lengths({}) == {}
+
+    def test_single_symbol_gets_length_one(self):
+        assert code_lengths({42: 100}) == {42: 1}
+
+    def test_two_symbols_get_one_bit_each(self):
+        lengths = code_lengths({0: 10, 1: 1})
+        assert lengths == {0: 1, 1: 1}
+
+    def test_skewed_distribution_gives_short_code_to_frequent(self):
+        lengths = code_lengths({0: 1000, 1: 10, 2: 10, 3: 10})
+        assert lengths[0] < lengths[1]
+
+    def test_kraft_inequality_holds(self):
+        freqs = {i: (i + 1) ** 3 for i in range(40)}
+        lengths = code_lengths(freqs)
+        kraft = sum(2.0 ** -l for l in lengths.values())
+        assert kraft <= 1.0 + 1e-9
+
+    def test_lengths_respect_cap(self):
+        # Fibonacci-like frequencies force deep trees.
+        freqs = {}
+        a, b = 1, 1
+        for i in range(40):
+            freqs[i] = a
+            a, b = b, a + b
+        lengths = code_lengths(freqs)
+        assert max(lengths.values()) <= MAX_CODE_LENGTH
+        kraft = sum(2.0 ** -l for l in lengths.values())
+        assert kraft <= 1.0 + 1e-9
+
+    @given(st.dictionaries(st.integers(0, 255), st.integers(1, 10000), min_size=1))
+    @settings(max_examples=50, deadline=None)
+    def test_property_kraft_and_cap(self, freqs):
+        lengths = code_lengths(freqs)
+        assert set(lengths) == set(freqs)
+        assert max(lengths.values()) <= MAX_CODE_LENGTH
+        assert sum(2.0 ** -l for l in lengths.values()) <= 1.0 + 1e-9
+
+
+class TestCanonicalCodes:
+    def test_codes_are_prefix_free(self):
+        lengths = code_lengths({i: i + 1 for i in range(20)})
+        codes = canonical_codes(lengths)
+        rendered = {
+            format(code, f"0{length}b") for code, length in codes.values()
+        }
+        for a in rendered:
+            for b in rendered:
+                if a != b:
+                    assert not b.startswith(a)
+
+    def test_deterministic_assignment(self):
+        lengths = {5: 2, 3: 2, 7: 1}
+        assert canonical_codes(lengths) == canonical_codes(dict(lengths))
+
+
+class TestEncoderDecoder:
+    def test_round_trip(self):
+        message = [1, 2, 3, 1, 1, 2, 9, 1, 1, 1]
+        freqs = {s: message.count(s) for s in set(message)}
+        lengths = code_lengths(freqs)
+        encoder = HuffmanEncoder(lengths)
+        writer = BitWriter()
+        for symbol in message:
+            encoder.encode_symbol(writer, symbol)
+        reader = BitReader(writer.getvalue())
+        decoder = HuffmanDecoder(lengths)
+        assert [decoder.decode_symbol(reader) for _ in message] == message
+
+    def test_encoded_bits_matches_length(self):
+        lengths = code_lengths({0: 100, 1: 1, 2: 1})
+        encoder = HuffmanEncoder(lengths)
+        assert encoder.encoded_bits(0) == lengths[0]
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=500))
+    @settings(max_examples=50, deadline=None)
+    def test_property_round_trip(self, message):
+        freqs = {s: message.count(s) for s in set(message)}
+        lengths = code_lengths(freqs)
+        encoder = HuffmanEncoder(lengths)
+        writer = BitWriter()
+        for symbol in message:
+            encoder.encode_symbol(writer, symbol)
+        decoder = HuffmanDecoder(lengths)
+        reader = BitReader(writer.getvalue())
+        assert [decoder.decode_symbol(reader) for _ in message] == message
+
+
+class TestLengthTable:
+    def test_round_trip(self):
+        lengths = {0: 3, 5: 1, 17: 7, 31: 15}
+        writer = BitWriter()
+        write_length_table(writer, lengths, 32)
+        reader = BitReader(writer.getvalue())
+        assert read_length_table(reader, 32) == lengths
+
+    def test_absent_symbols_read_back_absent(self):
+        writer = BitWriter()
+        write_length_table(writer, {}, 16)
+        reader = BitReader(writer.getvalue())
+        assert read_length_table(reader, 16) == {}

@@ -1,0 +1,111 @@
+"""Unit and property tests for the LZ77 tokenizer."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.lz77 import MIN_MATCH, Token, reconstruct, tokenize
+
+
+def roundtrip(data: bytes, **kwargs) -> bytes:
+    return reconstruct(iter(tokenize(data, **kwargs)))
+
+
+class TestTokenize:
+    def test_empty_input_yields_no_tokens(self):
+        assert list(tokenize(b"")) == []
+
+    def test_short_input_all_literals(self):
+        tokens = list(tokenize(b"ab"))
+        assert all(not t.is_match for t in tokens)
+        assert bytes(t.literal for t in tokens) == b"ab"
+
+    def test_repetition_produces_matches(self):
+        data = b"abcdabcdabcdabcd"
+        tokens = list(tokenize(data))
+        assert any(t.is_match for t in tokens)
+
+    def test_match_fields(self):
+        data = b"0123456789" * 10
+        for token in tokenize(data):
+            if token.is_match:
+                assert token.length >= MIN_MATCH
+                assert token.distance >= 1
+
+    def test_incompressible_input_round_trips(self):
+        data = bytes(range(256))
+        assert roundtrip(data) == data
+
+    def test_run_of_zeros_round_trips(self):
+        data = b"\x00" * 5000
+        tokens = list(tokenize(data))
+        assert roundtrip(data) == data
+        # RLE-like input should compress to far fewer tokens than bytes.
+        assert len(tokens) < len(data) // 10
+
+    def test_window_limits_distance(self):
+        data = b"UNIQUE01" + b"x" * 300 + b"UNIQUE01"
+        for token in tokenize(data, window_size=64):
+            if token.is_match:
+                assert token.distance <= 64
+
+    def test_dictionary_start_emits_only_payload_tokens(self):
+        dictionary = b"the quick brown fox "
+        payload = b"the quick brown fox jumps"
+        full = dictionary + payload
+        tokens = list(tokenize(full, start=len(dictionary)))
+        assert reconstruct_with_prefix(dictionary, tokens) == payload
+
+    def test_dictionary_enables_cross_boundary_matches(self):
+        dictionary = b"ABCDEFGHIJKLMNOP" * 4
+        payload = b"ABCDEFGHIJKLMNOP"
+        tokens = list(tokenize(dictionary + payload, start=len(dictionary),
+                               window_size=1 << 12))
+        assert any(t.is_match for t in tokens)
+
+    def test_lazy_matching_toggle(self):
+        data = b"aabcaabcaabcabcabcabc"
+        assert roundtrip(data, lazy=True) == data
+        assert roundtrip(data, lazy=False) == data
+
+    @given(st.binary(max_size=2000))
+    @settings(max_examples=60, deadline=None)
+    def test_property_round_trip(self, data):
+        assert roundtrip(data) == data
+
+    @given(
+        st.binary(min_size=1, max_size=60),
+        st.integers(min_value=2, max_value=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_repeated_blocks_round_trip(self, block, repeats):
+        data = block * repeats
+        assert roundtrip(data) == data
+
+
+def reconstruct_with_prefix(prefix: bytes, tokens) -> bytes:
+    out = bytearray(prefix)
+    for token in tokens:
+        if token.is_match:
+            start = len(out) - token.distance
+            for i in range(token.length):
+                out.append(out[start + i])
+        else:
+            out.append(token.literal)
+    return bytes(out[len(prefix):])
+
+
+class TestReconstruct:
+    def test_literal_only(self):
+        tokens = [Token(literal=c) for c in b"hello"]
+        assert reconstruct(iter(tokens)) == b"hello"
+
+    def test_overlapping_match(self):
+        # "aaaa..." style RLE uses distance 1 with long length.
+        tokens = [Token(literal=ord("a")), Token(length=9, distance=1)]
+        assert reconstruct(iter(tokens)) == b"a" * 10
+
+    def test_invalid_distance_raises(self):
+        import pytest
+
+        tokens = [Token(literal=ord("a")), Token(length=4, distance=5)]
+        with pytest.raises(ValueError):
+            reconstruct(iter(tokens))

@@ -1,0 +1,108 @@
+"""Unit and property tests for the adaptive binary range coder."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.rangecoder import (
+    BitModel,
+    PROB_INIT,
+    RangeDecoder,
+    RangeEncoder,
+    new_bit_tree,
+)
+from repro.errors import CorruptStreamError
+
+
+class TestBitModel:
+    def test_initial_probability_is_half(self):
+        assert BitModel().prob == PROB_INIT
+
+    def test_adapts_toward_observed_bit(self):
+        model = BitModel()
+        encoder = RangeEncoder()
+        for _ in range(50):
+            encoder.encode_bit(model, 0)
+        assert model.prob > PROB_INIT  # higher prob == more likely zero
+
+
+class TestRoundTrip:
+    def test_single_model_bits(self):
+        bits = [0, 1, 1, 0, 0, 0, 1, 0] * 25
+        encoder = RangeEncoder()
+        enc_model = BitModel()
+        for bit in bits:
+            encoder.encode_bit(enc_model, bit)
+        data = encoder.finish()
+        decoder = RangeDecoder(data)
+        dec_model = BitModel()
+        assert [decoder.decode_bit(dec_model) for _ in bits] == bits
+
+    def test_direct_bits(self):
+        values = [(0, 1), (1, 1), (255, 8), (12345, 14), (0, 5)]
+        encoder = RangeEncoder()
+        for value, count in values:
+            encoder.encode_direct_bits(value, count)
+        decoder = RangeDecoder(encoder.finish())
+        for value, count in values:
+            assert decoder.decode_direct_bits(count) == value
+
+    def test_bit_tree(self):
+        symbols = [0, 3, 255, 128, 1, 77]
+        encoder = RangeEncoder()
+        enc_tree = new_bit_tree(8)
+        for symbol in symbols:
+            encoder.encode_bit_tree(enc_tree, symbol, 8)
+        decoder = RangeDecoder(encoder.finish())
+        dec_tree = new_bit_tree(8)
+        assert [decoder.decode_bit_tree(dec_tree, 8) for _ in symbols] == symbols
+
+    def test_mixed_stream(self):
+        encoder = RangeEncoder()
+        model = BitModel()
+        tree = new_bit_tree(4)
+        encoder.encode_bit(model, 1)
+        encoder.encode_direct_bits(9, 6)
+        encoder.encode_bit_tree(tree, 13, 4)
+        encoder.encode_bit(model, 0)
+        decoder = RangeDecoder(encoder.finish())
+        d_model = BitModel()
+        d_tree = new_bit_tree(4)
+        assert decoder.decode_bit(d_model) == 1
+        assert decoder.decode_direct_bits(6) == 9
+        assert decoder.decode_bit_tree(d_tree, 4) == 13
+        assert decoder.decode_bit(d_model) == 0
+
+    def test_skewed_bits_compress(self):
+        bits = [0] * 5000 + [1]
+        encoder = RangeEncoder()
+        model = BitModel()
+        for bit in bits:
+            encoder.encode_bit(model, bit)
+        data = encoder.finish()
+        # ~5000 near-certain bits must cost far below 5000/8 bytes.
+        assert len(data) < 200
+
+    def test_too_short_stream_rejected(self):
+        with pytest.raises(CorruptStreamError):
+            RangeDecoder(b"abc")
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=3000))
+    @settings(max_examples=40, deadline=None)
+    def test_property_adaptive_round_trip(self, bits):
+        encoder = RangeEncoder()
+        model = BitModel()
+        for bit in bits:
+            encoder.encode_bit(model, bit)
+        decoder = RangeDecoder(encoder.finish())
+        dec_model = BitModel()
+        assert [decoder.decode_bit(dec_model) for _ in bits] == bits
+
+    @given(st.lists(st.tuples(st.integers(0, 2**16 - 1), st.integers(1, 16))))
+    @settings(max_examples=40, deadline=None)
+    def test_property_direct_bits_round_trip(self, pairs):
+        encoder = RangeEncoder()
+        for value, count in pairs:
+            encoder.encode_direct_bits(value & ((1 << count) - 1), count)
+        decoder = RangeDecoder(encoder.finish())
+        for value, count in pairs:
+            assert decoder.decode_direct_bits(count) == value & ((1 << count) - 1)

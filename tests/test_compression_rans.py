@@ -1,0 +1,130 @@
+"""Unit and property tests for the rANS entropy coder."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.rans import (
+    SCALE,
+    RansTable,
+    decode_with_table,
+    encode_with_table,
+    normalize_frequencies,
+    rans_decode,
+    rans_encode,
+)
+from repro.errors import CorruptStreamError
+
+
+class TestNormalizeFrequencies:
+    def test_sums_to_scale(self):
+        freqs = normalize_frequencies({0: 3, 1: 7, 2: 90})
+        assert sum(freqs.values()) == SCALE
+
+    def test_every_present_symbol_kept(self):
+        counts = {0: 1, 1: 10**9}
+        freqs = normalize_frequencies(counts)
+        assert freqs[0] >= 1
+
+    def test_empty_input(self):
+        assert normalize_frequencies({}) == {}
+
+    def test_zero_counts_dropped(self):
+        freqs = normalize_frequencies({0: 10, 1: 0})
+        assert 1 not in freqs
+
+    def test_single_symbol_takes_whole_scale(self):
+        assert normalize_frequencies({7: 5}) == {7: SCALE}
+
+    def test_too_many_symbols_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_frequencies({i: 1 for i in range(SCALE + 1)})
+
+    @given(st.dictionaries(st.integers(0, 300), st.integers(0, 10**6), min_size=1))
+    @settings(max_examples=50, deadline=None)
+    def test_property_sums_to_scale(self, counts):
+        if not any(counts.values()):
+            return
+        freqs = normalize_frequencies(counts)
+        assert sum(freqs.values()) == SCALE
+        assert all(f >= 1 for f in freqs.values())
+
+
+class TestRansRoundTrip:
+    def test_simple_message(self):
+        message = [0, 1, 0, 0, 2, 0, 1] * 20
+        table = RansTable.from_counts({0: 100, 1: 40, 2: 20})
+        encoded = rans_encode(message, table)
+        assert rans_decode(encoded, table, len(message)) == message
+
+    def test_single_symbol_stream(self):
+        message = [5] * 1000
+        table = RansTable.from_counts({5: 1})
+        encoded = rans_encode(message, table)
+        assert rans_decode(encoded, table, len(message)) == message
+        # A degenerate alphabet compresses to nearly nothing.
+        assert len(encoded) < 16
+
+    def test_empty_message(self):
+        table = RansTable.from_counts({0: 1})
+        assert rans_decode(rans_encode([], table), table, 0) == []
+
+    def test_short_stream_raises(self):
+        table = RansTable.from_counts({0: 1})
+        with pytest.raises(CorruptStreamError):
+            rans_decode(b"\x01", table, 1)
+
+    def test_skewed_distribution_beats_uniform_bytes(self):
+        message = [0] * 950 + [1] * 50
+        table = RansTable.from_counts({0: 950, 1: 50})
+        encoded = rans_encode(message, table)
+        # Entropy is ~0.29 bits/symbol; even with the 4-byte state the
+        # output must be far below one byte per symbol.
+        assert len(encoded) < len(message) // 4
+
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=2000))
+    @settings(max_examples=50, deadline=None)
+    def test_property_round_trip(self, message):
+        counts = {s: message.count(s) for s in set(message)}
+        table = RansTable.from_counts(counts)
+        encoded = rans_encode(message, table)
+        assert rans_decode(encoded, table, len(message)) == message
+
+
+class TestTableSerialization:
+    def test_round_trip(self):
+        table = RansTable.from_counts({3: 10, 7: 90, 250: 5})
+        blob = table.serialize()
+        restored, pos = RansTable.deserialize(blob)
+        assert pos == len(blob)
+        assert restored.freqs == table.freqs
+        assert restored.cumulative == table.cumulative
+
+    def test_bad_sum_rejected(self):
+        from repro.compression.varint import encode_varint
+
+        blob = encode_varint(1) + encode_varint(0) + encode_varint(123)
+        with pytest.raises(CorruptStreamError):
+            RansTable.deserialize(blob)
+
+
+class TestSelfDescribingStream:
+    def test_encode_decode_with_table(self):
+        message = [1, 1, 2, 3, 1, 1, 1, 9, 1]
+        blob = encode_with_table(message)
+        decoded, pos = decode_with_table(blob)
+        assert decoded == message
+        assert pos == len(blob)
+
+    def test_concatenated_streams(self):
+        first = [0, 1, 2] * 10
+        second = [9, 9, 8]
+        blob = encode_with_table(first) + encode_with_table(second)
+        decoded1, pos = decode_with_table(blob)
+        decoded2, end = decode_with_table(blob, pos)
+        assert (decoded1, decoded2) == (first, second)
+        assert end == len(blob)
+
+    def test_truncated_body_rejected(self):
+        blob = encode_with_table([1, 2, 3] * 50)
+        with pytest.raises(CorruptStreamError):
+            decode_with_table(blob[:-3])

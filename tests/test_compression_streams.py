@@ -1,0 +1,126 @@
+"""Tests for the framed streaming compression container."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.streams import (
+    CompressedReader,
+    CompressedWriter,
+    compress_stream,
+    decompress_stream,
+)
+from repro.errors import CorruptStreamError
+
+
+class TestWriterReader:
+    def test_one_shot_round_trip(self):
+        payload = b"stream me " * 1000
+        assert decompress_stream(compress_stream(payload)) == payload
+
+    def test_empty_stream(self):
+        assert decompress_stream(compress_stream(b"")) == b""
+
+    def test_multiple_writes_cross_frames(self):
+        sink = io.BytesIO()
+        with CompressedWriter(sink, codec="gzip-ref", frame_size=64) as writer:
+            for i in range(50):
+                writer.write(f"chunk-{i:04d}|".encode())
+        restored = CompressedReader(io.BytesIO(sink.getvalue())).read()
+        assert restored == b"".join(f"chunk-{i:04d}|".encode() for i in range(50))
+
+    def test_incremental_reads(self):
+        payload = bytes(range(256)) * 40
+        blob = compress_stream(payload, codec="gzip-ref", frame_size=100)
+        reader = CompressedReader(io.BytesIO(blob))
+        out = bytearray()
+        while True:
+            piece = reader.read(37)
+            if not piece:
+                break
+            out += piece
+        assert bytes(out) == payload
+
+    def test_codec_name_travels_in_header(self):
+        blob = compress_stream(b"x" * 100, codec="snappy")
+        reader = CompressedReader(io.BytesIO(blob))
+        assert reader.codec_name == "snappy"
+        assert reader.read() == b"x" * 100
+
+    def test_writer_close_is_idempotent(self):
+        sink = io.BytesIO()
+        writer = CompressedWriter(sink, codec="gzip-ref")
+        writer.write(b"abc")
+        writer.close()
+        size = len(sink.getvalue())
+        writer.close()
+        assert len(sink.getvalue()) == size
+
+    def test_write_after_close_rejected(self):
+        writer = CompressedWriter(io.BytesIO(), codec="gzip-ref")
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.write(b"late")
+
+    def test_invalid_frame_size(self):
+        with pytest.raises(ValueError):
+            CompressedWriter(io.BytesIO(), frame_size=0)
+
+    def test_flush_mid_stream(self):
+        sink = io.BytesIO()
+        writer = CompressedWriter(sink, codec="gzip-ref", frame_size=10_000)
+        writer.write(b"early")
+        writer.flush()
+        after_flush = len(sink.getvalue())
+        writer.write(b"later")
+        writer.close()
+        assert after_flush > 9  # header + one frame already emitted
+        restored = CompressedReader(io.BytesIO(sink.getvalue())).read()
+        assert restored == b"earlylater"
+
+
+class TestCorruption:
+    def test_bad_magic(self):
+        with pytest.raises(CorruptStreamError):
+            CompressedReader(io.BytesIO(b"XXXX rest"))
+
+    def test_truncated_payload(self):
+        blob = compress_stream(b"payload " * 100, codec="gzip-ref")
+        with pytest.raises(CorruptStreamError):
+            CompressedReader(io.BytesIO(blob[: len(blob) - 8])).read()
+
+    def test_missing_terminator_detected(self):
+        blob = compress_stream(b"data" * 50, codec="gzip-ref")
+        # Chop the final empty frame (two zero bytes).
+        with pytest.raises(CorruptStreamError):
+            CompressedReader(io.BytesIO(blob[:-2])).read()
+
+    def test_truncated_header(self):
+        with pytest.raises(CorruptStreamError):
+            CompressedReader(io.BytesIO(b"SPF1"))
+
+
+@pytest.mark.parametrize("codec", ["gzip", "snappy", "zstd", "gzip-ref"])
+class TestAcrossCodecs:
+    def test_round_trip(self, codec):
+        payload = b"telco|stream|data|" * 300
+        blob = compress_stream(payload, codec=codec, frame_size=512)
+        assert decompress_stream(blob) == payload
+
+
+class TestProperties:
+    @given(st.binary(max_size=5000), st.integers(1, 777))
+    @settings(max_examples=30, deadline=None)
+    def test_property_round_trip_any_frame_size(self, payload, frame_size):
+        blob = compress_stream(payload, codec="gzip-ref", frame_size=frame_size)
+        assert decompress_stream(blob) == payload
+
+    @given(st.lists(st.binary(max_size=400), max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_property_write_boundaries_irrelevant(self, chunks):
+        sink = io.BytesIO()
+        with CompressedWriter(sink, codec="gzip-ref", frame_size=128) as writer:
+            for chunk in chunks:
+                writer.write(chunk)
+        assert decompress_stream(sink.getvalue()) == b"".join(chunks)

@@ -1,0 +1,61 @@
+"""Unit tests for the varint codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compression.varint import decode_varint, encode_varint
+from repro.errors import CorruptStreamError
+
+
+class TestEncode:
+    def test_small_values_are_one_byte(self):
+        for value in (0, 1, 127):
+            assert len(encode_varint(value)) == 1
+
+    def test_128_needs_two_bytes(self):
+        assert len(encode_varint(128)) == 2
+
+    def test_specific_encoding(self):
+        assert encode_varint(300) == bytes([0xAC, 0x02])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+
+class TestDecode:
+    def test_round_trip_with_offset(self):
+        data = b"xx" + encode_varint(12345) + b"tail"
+        value, pos = decode_varint(data, 2)
+        assert value == 12345
+        assert data[pos:] == b"tail"
+
+    def test_truncated_raises(self):
+        with pytest.raises(CorruptStreamError):
+            decode_varint(bytes([0x80]))
+
+    def test_empty_raises(self):
+        with pytest.raises(CorruptStreamError):
+            decode_varint(b"")
+
+    def test_overlong_raises(self):
+        with pytest.raises(CorruptStreamError):
+            decode_varint(bytes([0x80] * 10 + [0x01]))
+
+    @given(st.integers(0, 2**63 - 1))
+    def test_property_round_trip(self, value):
+        encoded = encode_varint(value)
+        decoded, pos = decode_varint(encoded)
+        assert decoded == value
+        assert pos == len(encoded)
+
+    @given(st.lists(st.integers(0, 2**40), min_size=1, max_size=20))
+    def test_property_concatenated_stream(self, values):
+        blob = b"".join(encode_varint(v) for v in values)
+        pos = 0
+        out = []
+        for _ in values:
+            value, pos = decode_varint(blob, pos)
+            out.append(value)
+        assert out == values
+        assert pos == len(blob)

@@ -1,0 +1,60 @@
+"""Tests for configuration validation."""
+
+import pytest
+
+from repro.core.config import DecayPolicyConfig, HighlightsConfig, SpateConfig
+from repro.errors import ConfigError
+
+
+class TestHighlightsConfig:
+    def test_defaults_are_valid(self):
+        config = HighlightsConfig()
+        assert config.theta_for_level("day") == config.theta_day
+        assert config.theta_for_level("month") == config.theta_month
+        assert config.theta_for_level("year") == config.theta_year
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ConfigError):
+            HighlightsConfig().theta_for_level("decade")
+
+    def test_theta_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            HighlightsConfig(theta_day=1.5)
+        with pytest.raises(ConfigError):
+            HighlightsConfig(theta_month=-0.1)
+
+    def test_paper_recommends_lower_theta_at_coarser_levels(self):
+        config = HighlightsConfig()
+        assert config.theta_year <= config.theta_month <= config.theta_day
+
+    def test_tracked_attributes_cover_cdr_and_nms(self):
+        tracked = HighlightsConfig().tracked_attributes
+        assert "CDR" in tracked and "NMS" in tracked
+
+
+class TestDecayPolicyConfig:
+    def test_defaults_keep_a_year_of_epochs(self):
+        config = DecayPolicyConfig()
+        assert config.keep_epochs == 48 * 365
+
+    def test_invalid_horizons_rejected(self):
+        with pytest.raises(ConfigError):
+            DecayPolicyConfig(keep_epochs=0)
+        with pytest.raises(ConfigError):
+            DecayPolicyConfig(keep_highlight_days=0)
+
+
+class TestSpateConfig:
+    def test_defaults(self):
+        config = SpateConfig()
+        assert config.codec == "gzip"
+        assert config.replication == 3
+        assert not config.leaf_spatial_index
+
+    def test_invalid_replication_rejected(self):
+        with pytest.raises(ConfigError):
+            SpateConfig(replication=0)
+
+    def test_tiny_block_size_rejected(self):
+        with pytest.raises(ConfigError):
+            SpateConfig(block_size=10)

@@ -1,0 +1,119 @@
+"""Tests for the Table/Snapshot data model and serialization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.snapshot import (
+    EPOCHS_PER_DAY,
+    TRACE_ORIGIN,
+    Snapshot,
+    Table,
+    epoch_to_timestamp,
+    timestamp_to_epoch,
+)
+
+cell_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=12
+)
+
+
+class TestEpochs:
+    def test_origin(self):
+        assert epoch_to_timestamp(0) == TRACE_ORIGIN
+
+    def test_forty_eight_epochs_per_day(self):
+        assert EPOCHS_PER_DAY == 48
+        assert epoch_to_timestamp(48).date() != epoch_to_timestamp(47).date()
+
+    def test_round_trip(self):
+        for epoch in (0, 1, 47, 48, 1000):
+            assert timestamp_to_epoch(epoch_to_timestamp(epoch)) == epoch
+
+    def test_mid_epoch_timestamp_maps_back(self):
+        from datetime import timedelta
+
+        when = epoch_to_timestamp(5) + timedelta(minutes=29)
+        assert timestamp_to_epoch(when) == 5
+
+
+class TestTable:
+    def test_append_validates_arity(self):
+        table = Table(name="T", columns=["a", "b"])
+        table.append(["1", "2"])
+        with pytest.raises(ValueError, match="arity"):
+            table.append(["1"])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Table(name="T", columns=["a", "a"])
+
+    def test_column_access(self):
+        table = Table(name="T", columns=["x", "y"], rows=[["1", "2"], ["3", "4"]])
+        assert table.column_values("y") == ["2", "4"]
+        with pytest.raises(KeyError, match="no column"):
+            table.column_index("z")
+
+    def test_serialize_round_trip(self):
+        table = Table(
+            name="T",
+            columns=["plain", "weird"],
+            rows=[["v", "has|pipe"], ["", "has\nnewline"], ["x", "back\\slash"]],
+        )
+        restored = Table.deserialize("T", table.serialize())
+        assert restored.columns == table.columns
+        assert restored.rows == table.rows
+
+    def test_deserialize_arity_mismatch_rejected(self):
+        payload = b"a|b\nonly_one\n"
+        with pytest.raises(ValueError, match="arity"):
+            Table.deserialize("T", payload)
+
+    def test_empty_table_round_trip(self):
+        table = Table(name="T", columns=["a"])
+        restored = Table.deserialize("T", table.serialize())
+        assert restored.rows == []
+
+    def test_len_and_iter(self):
+        table = Table(name="T", columns=["a"], rows=[["1"], ["2"]])
+        assert len(table) == 2
+        assert list(table) == [["1"], ["2"]]
+
+    @given(st.lists(st.lists(cell_text, min_size=3, max_size=3), max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_property_round_trip_arbitrary_cells(self, rows):
+        table = Table(name="T", columns=["c1", "c2", "c3"], rows=rows)
+        restored = Table.deserialize("T", table.serialize())
+        assert restored.rows == rows
+
+
+class TestSnapshot:
+    def make(self) -> Snapshot:
+        snapshot = Snapshot(epoch=7)
+        snapshot.add_table(Table(name="CDR", columns=["a"], rows=[["1"], ["2"]]))
+        snapshot.add_table(Table(name="NMS", columns=["b", "c"], rows=[["x", "y"]]))
+        return snapshot
+
+    def test_round_trip(self):
+        snapshot = self.make()
+        restored = Snapshot.deserialize(snapshot.serialize())
+        assert restored.epoch == 7
+        assert set(restored.tables) == {"CDR", "NMS"}
+        assert restored.tables["CDR"].rows == [["1"], ["2"]]
+
+    def test_record_count(self):
+        assert self.make().record_count() == 3
+
+    def test_duplicate_table_rejected(self):
+        snapshot = self.make()
+        with pytest.raises(ValueError, match="already has"):
+            snapshot.add_table(Table(name="CDR", columns=["z"]))
+
+    def test_timestamp_property(self):
+        assert self.make().timestamp == epoch_to_timestamp(7)
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError):
+            Snapshot.deserialize(b"#nope 3\n")
+
+    def test_deterministic_serialization(self):
+        assert self.make().serialize() == self.make().serialize()

@@ -1,0 +1,152 @@
+"""Tests for the mini parallel engine (context, dataset, shuffle)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import EngineContext
+from repro.engine.partition import hash_partition, split_partitions
+from repro.errors import EngineError
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    context = EngineContext(parallelism=4)
+    yield context
+    context.shutdown()
+
+
+class TestPartitioning:
+    def test_split_even(self):
+        parts = split_partitions(list(range(8)), 4)
+        assert [len(p) for p in parts] == [2, 2, 2, 2]
+
+    def test_split_uneven(self):
+        parts = split_partitions(list(range(10)), 4)
+        assert [len(p) for p in parts] == [3, 3, 2, 2]
+        assert [x for p in parts for x in p] == list(range(10))
+
+    def test_fewer_items_than_partitions(self):
+        parts = split_partitions([1, 2], 8)
+        assert len(parts) == 2
+
+    def test_empty_input_single_empty_partition(self):
+        assert split_partitions([], 4) == [[]]
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            split_partitions([1], 0)
+
+    def test_hash_partition_stable(self):
+        assert hash_partition("key", 7) == hash_partition("key", 7)
+        assert 0 <= hash_partition("key", 7) < 7
+
+
+class TestNarrowOps(object):
+    def test_map(self, ctx):
+        assert ctx.parallelize([1, 2, 3]).map(lambda x: x * 2).collect() == [2, 4, 6]
+
+    def test_filter(self, ctx):
+        data = ctx.parallelize(range(10)).filter(lambda x: x % 2 == 0)
+        assert data.collect() == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, ctx):
+        data = ctx.parallelize([1, 2]).flat_map(lambda x: [x] * x)
+        assert data.collect() == [1, 2, 2]
+
+    def test_chained_pipeline_is_lazy_then_correct(self, ctx):
+        data = (
+            ctx.parallelize(range(100))
+            .map(lambda x: x + 1)
+            .filter(lambda x: x % 3 == 0)
+            .map(str)
+        )
+        assert data.collect() == [str(x) for x in range(1, 101) if x % 3 == 0]
+
+    def test_count_and_take(self, ctx):
+        data = ctx.parallelize(range(50))
+        assert data.count() == 50
+        assert data.take(5) == [0, 1, 2, 3, 4]
+        assert data.take(100) == list(range(50))
+
+    def test_collect_preserves_order(self, ctx):
+        assert ctx.parallelize(list(range(97))).collect() == list(range(97))
+
+
+class TestActions:
+    def test_reduce(self, ctx):
+        assert ctx.parallelize(range(101)).reduce(lambda a, b: a + b) == 5050
+
+    def test_reduce_empty_raises(self, ctx):
+        with pytest.raises(EngineError):
+            ctx.parallelize([]).reduce(lambda a, b: a + b)
+
+    def test_aggregate(self, ctx):
+        total, count = ctx.parallelize(range(10)).aggregate(
+            (0, 0),
+            lambda acc, x: (acc[0] + x, acc[1] + 1),
+            lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        )
+        assert (total, count) == (45, 10)
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_property_reduce_matches_sum(self, values):
+        with EngineContext(parallelism=3) as local:
+            assert local.parallelize(values).reduce(lambda a, b: a + b) == sum(values)
+
+
+class TestWideOps:
+    def test_reduce_by_key(self, ctx):
+        pairs = [("a", 1), ("b", 2), ("a", 3), ("c", 4), ("b", 5)]
+        result = dict(ctx.parallelize(pairs).reduce_by_key(lambda a, b: a + b).collect())
+        assert result == {"a": 4, "b": 7, "c": 4}
+
+    def test_group_by_key(self, ctx):
+        pairs = [("x", 1), ("y", 2), ("x", 3)]
+        result = dict(ctx.parallelize(pairs).group_by_key().collect())
+        assert sorted(result["x"]) == [1, 3]
+        assert result["y"] == [2]
+
+    def test_map_values(self, ctx):
+        pairs = [("a", 1), ("b", 2)]
+        result = dict(ctx.parallelize(pairs).map_values(lambda v: v * 10).collect())
+        assert result == {"a": 10, "b": 20}
+
+    def test_join(self, ctx):
+        left = ctx.parallelize([("a", 1), ("b", 2), ("a", 3)])
+        right = ctx.parallelize([("a", "x"), ("c", "y")])
+        result = sorted(left.join(right).collect())
+        assert result == [("a", (1, "x")), ("a", (3, "x"))]
+
+    def test_distinct(self, ctx):
+        assert sorted(ctx.parallelize([3, 1, 3, 2, 1]).distinct().collect()) == [1, 2, 3]
+
+    @given(st.lists(st.tuples(st.integers(0, 10), st.integers(-50, 50)), max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_property_reduce_by_key_matches_dict(self, pairs):
+        expected: dict[int, int] = {}
+        for k, v in pairs:
+            expected[k] = expected.get(k, 0) + v
+        with EngineContext(parallelism=3) as local:
+            result = dict(
+                local.parallelize(pairs).reduce_by_key(lambda a, b: a + b).collect()
+            )
+        assert result == expected
+
+
+class TestContext:
+    def test_from_partitions_preserves_layout(self):
+        with EngineContext(parallelism=2) as local:
+            data = local.from_partitions([[1, 2], [3], [4, 5, 6]])
+            assert data.num_partitions == 3
+            assert data.collect() == [1, 2, 3, 4, 5, 6]
+
+    def test_shutdown_rejects_work(self):
+        local = EngineContext(parallelism=2)
+        local.shutdown()
+        with pytest.raises(RuntimeError):
+            local.parallelize([1, 2]).collect()
+
+    def test_invalid_parallelism(self):
+        with pytest.raises(ValueError):
+            EngineContext(parallelism=0)

@@ -1,0 +1,136 @@
+"""Tests for the engine's extra transformations and logistic regression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import EngineContext
+from repro.engine.ml import logistic_regression
+from repro.errors import EngineError
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    context = EngineContext(parallelism=3)
+    yield context
+    context.shutdown()
+
+
+class TestUnionSampleSort:
+    def test_union_concatenates(self, ctx):
+        a = ctx.parallelize([1, 2])
+        b = ctx.parallelize([3])
+        assert a.union(b).collect() == [1, 2, 3]
+
+    def test_union_keeps_duplicates(self, ctx):
+        a = ctx.parallelize([1, 1])
+        assert a.union(a).count() == 4
+
+    def test_sample_fraction_bounds(self, ctx):
+        data = ctx.parallelize(range(100))
+        with pytest.raises(EngineError):
+            data.sample(-0.1)
+        with pytest.raises(EngineError):
+            data.sample(1.5)
+
+    def test_sample_extremes(self, ctx):
+        data = ctx.parallelize(range(200))
+        assert data.sample(0.0).count() == 0
+        assert sorted(data.sample(1.0).collect()) == list(range(200))
+
+    def test_sample_is_roughly_proportional(self, ctx):
+        data = ctx.parallelize(range(2000))
+        count = data.sample(0.3, seed=5).count()
+        assert 400 < count < 800
+
+    def test_sample_deterministic_for_seed(self, ctx):
+        data = ctx.parallelize(range(500))
+        assert data.sample(0.5, seed=9).collect() == data.sample(0.5, seed=9).collect()
+
+    def test_sort_by(self, ctx):
+        data = ctx.parallelize([3, 1, 2])
+        assert data.sort_by(lambda x: x).collect() == [1, 2, 3]
+        assert data.sort_by(lambda x: x, ascending=False).collect() == [3, 2, 1]
+
+    def test_cache_freezes_pipeline(self, ctx):
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return x
+
+        cached = ctx.parallelize([1, 2, 3]).map(spy).cache()
+        cached.collect()
+        cached.collect()
+        assert len(calls) == 3  # map ran once, at cache() time
+
+
+class TestHistogram:
+    def test_basic(self, ctx):
+        edges, counts = ctx.parallelize([0.0, 1.0, 2.0, 3.0]).histogram(3)
+        assert len(edges) == 4
+        assert sum(counts) == 4
+
+    def test_constant_values(self, ctx):
+        edges, counts = ctx.parallelize([5.0] * 10).histogram(4)
+        assert counts == [10]
+
+    def test_invalid_inputs(self, ctx):
+        with pytest.raises(EngineError):
+            ctx.parallelize([1.0]).histogram(0)
+        with pytest.raises(EngineError):
+            ctx.parallelize([]).histogram(3)
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=300),
+           st.integers(1, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_property_counts_sum(self, values, buckets):
+        with EngineContext(parallelism=2) as local:
+            __, counts = local.parallelize(values).histogram(buckets)
+        assert sum(counts) == len(values)
+
+
+class TestLogisticRegression:
+    def test_separates_linearly_separable_data(self, ctx):
+        rng = np.random.default_rng(11)
+        lo = rng.normal(loc=[-2, -2], scale=0.5, size=(150, 2))
+        hi = rng.normal(loc=[2, 2], scale=0.5, size=(150, 2))
+        samples = [(x.tolist(), 0) for x in lo] + [(x.tolist(), 1) for x in hi]
+        model = logistic_regression(ctx.parallelize(samples))
+        assert model.accuracy(samples) > 0.97
+        assert model.n_samples == 300
+
+    def test_probabilities_ordered(self, ctx):
+        samples = [([float(i)], int(i > 5)) for i in range(12)]
+        model = logistic_regression(ctx.parallelize(samples))
+        assert model.predict_proba([0.0]) < model.predict_proba([11.0])
+
+    def test_raw_feature_space_mapping(self, ctx):
+        # Features with wildly different scales; the returned model must
+        # accept *raw* features.
+        rng = np.random.default_rng(3)
+        samples = []
+        for __ in range(300):
+            big = rng.normal(50_000, 10_000)
+            label = int(big > 50_000)
+            samples.append(([big, rng.normal(0, 1)], label))
+        model = logistic_regression(ctx.parallelize(samples))
+        assert model.accuracy(samples) > 0.9
+
+    def test_empty_raises(self, ctx):
+        with pytest.raises(EngineError):
+            logistic_regression(ctx.parallelize([]))
+
+    def test_bad_labels_raise(self, ctx):
+        with pytest.raises(EngineError):
+            logistic_regression(ctx.parallelize([([1.0], 2)]))
+
+    def test_all_one_class(self, ctx):
+        samples = [([float(i)], 1) for i in range(20)]
+        model = logistic_regression(ctx.parallelize(samples))
+        assert model.predict([5.0]) == 1
+
+    def test_loss_is_finite(self, ctx):
+        samples = [([float(i % 3)], i % 2) for i in range(40)]
+        model = logistic_regression(ctx.parallelize(samples), iterations=30)
+        assert np.isfinite(model.final_loss)

@@ -1,0 +1,148 @@
+"""Tests for the ML algorithms against numpy ground truth."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import EngineContext
+from repro.engine.ml import col_stats, kmeans, linear_regression
+from repro.errors import EngineError
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    context = EngineContext(parallelism=4)
+    yield context
+    context.shutdown()
+
+
+class TestColStats:
+    def test_matches_numpy(self, ctx):
+        rng = np.random.default_rng(7)
+        matrix = rng.normal(size=(500, 4)) * 10
+        matrix[::7, 2] = 0.0  # some zeros for the nonzero count
+        stats = col_stats(ctx.parallelize(matrix.tolist()))
+        np.testing.assert_allclose(stats.mean, matrix.mean(axis=0), rtol=1e-9)
+        np.testing.assert_allclose(
+            stats.variance, matrix.var(axis=0, ddof=1), rtol=1e-6
+        )
+        np.testing.assert_allclose(stats.minimum, matrix.min(axis=0))
+        np.testing.assert_allclose(stats.maximum, matrix.max(axis=0))
+        np.testing.assert_allclose(
+            stats.num_nonzeros, (matrix != 0).sum(axis=0)
+        )
+        assert stats.count == 500
+
+    def test_single_row(self, ctx):
+        stats = col_stats(ctx.parallelize([[1.0, 2.0]]))
+        assert stats.count == 1
+        np.testing.assert_allclose(stats.variance, [0.0, 0.0])
+
+    def test_empty_raises(self, ctx):
+        with pytest.raises(EngineError):
+            col_stats(ctx.parallelize([]))
+
+    def test_as_rows_layout(self, ctx):
+        stats = col_stats(ctx.parallelize([[1.0], [3.0]]))
+        rows = dict(stats.as_rows())
+        assert rows["mean"] == [2.0]
+        assert rows["count"] == [2.0]
+
+    @given(st.lists(st.lists(st.floats(-100, 100), min_size=2, max_size=2),
+                    min_size=2, max_size=100))
+    @settings(max_examples=25, deadline=None)
+    def test_property_mean_matches_numpy(self, rows):
+        matrix = np.asarray(rows)
+        with EngineContext(parallelism=3) as local:
+            stats = col_stats(local.parallelize(rows))
+        np.testing.assert_allclose(stats.mean, matrix.mean(axis=0), atol=1e-8)
+
+
+class TestKMeans:
+    def make_blobs(self, ctx, centers, n=60, spread=0.5, seed=3):
+        rng = np.random.default_rng(seed)
+        points = []
+        for cx, cy in centers:
+            points.extend(
+                (rng.normal(cx, spread), rng.normal(cy, spread)) for __ in range(n)
+            )
+        return ctx.parallelize([list(p) for p in points])
+
+    def test_recovers_well_separated_clusters(self, ctx):
+        centers = [(0, 0), (50, 50), (0, 50)]
+        model = kmeans(self.make_blobs(ctx, centers), k=3, seed=1)
+        assert model.converged
+        found = sorted((round(c[0], -1), round(c[1], -1)) for c in model.centroids)
+        assert found == sorted(centers)
+
+    def test_predict_assigns_nearest(self, ctx):
+        model = kmeans(self.make_blobs(ctx, [(0, 0), (100, 100)]), k=2, seed=5)
+        near_origin = model.predict([1.0, -1.0])
+        near_far = model.predict([99.0, 101.0])
+        assert near_origin != near_far
+
+    def test_inertia_decreases_with_more_clusters(self, ctx):
+        data = self.make_blobs(ctx, [(0, 0), (30, 30), (60, 0)], seed=11)
+        small = kmeans(data, k=1, seed=2)
+        large = kmeans(data, k=3, seed=2)
+        assert large.inertia < small.inertia
+
+    def test_k_larger_than_data_raises(self, ctx):
+        with pytest.raises(EngineError):
+            kmeans(ctx.parallelize([[1.0, 2.0]]), k=5)
+
+    def test_invalid_k(self, ctx):
+        with pytest.raises(EngineError):
+            kmeans(ctx.parallelize([[1.0]]), k=0)
+
+    def test_empty_raises(self, ctx):
+        with pytest.raises(EngineError):
+            kmeans(ctx.parallelize([]), k=1)
+
+    def test_duplicate_points_handled(self, ctx):
+        data = ctx.parallelize([[1.0, 1.0]] * 20 + [[2.0, 2.0]] * 20)
+        model = kmeans(data, k=2, seed=4)
+        assert model.k == 2
+
+    def test_deterministic_for_seed(self, ctx):
+        data = self.make_blobs(ctx, [(0, 0), (10, 10)], seed=9)
+        m1 = kmeans(data, k=2, seed=42)
+        m2 = kmeans(data, k=2, seed=42)
+        np.testing.assert_allclose(m1.centroids, m2.centroids)
+
+
+class TestLinearRegression:
+    def test_recovers_known_coefficients(self, ctx):
+        rng = np.random.default_rng(17)
+        X = rng.normal(size=(400, 3))
+        true_w = np.array([2.0, -1.5, 0.5])
+        y = X @ true_w + 4.0 + rng.normal(scale=0.01, size=400)
+        data = ctx.parallelize([(x.tolist(), float(t)) for x, t in zip(X, y)])
+        model = linear_regression(data)
+        np.testing.assert_allclose(model.weights, true_w, atol=0.02)
+        assert model.intercept == pytest.approx(4.0, abs=0.02)
+        assert model.r_squared > 0.99
+        assert model.n_samples == 400
+
+    def test_predict(self, ctx):
+        data = ctx.parallelize([([float(i)], 2.0 * i + 1.0) for i in range(20)])
+        model = linear_regression(data)
+        assert model.predict([10.0]) == pytest.approx(21.0, abs=1e-6)
+
+    def test_noise_lowers_r_squared(self, ctx):
+        rng = np.random.default_rng(3)
+        data = ctx.parallelize(
+            [([float(i)], float(rng.normal())) for i in range(200)]
+        )
+        model = linear_regression(data)
+        assert model.r_squared < 0.2
+
+    def test_empty_raises(self, ctx):
+        with pytest.raises(EngineError):
+            linear_regression(ctx.parallelize([]))
+
+    def test_constant_feature_is_stable(self, ctx):
+        # Degenerate design: ridge term keeps the solve well-posed.
+        data = ctx.parallelize([([1.0, 5.0], 3.0)] * 50)
+        model = linear_regression(data)
+        assert model.predict([1.0, 5.0]) == pytest.approx(3.0, abs=1e-3)

@@ -1,0 +1,112 @@
+"""Tests for the shared evaluation harness."""
+
+import pytest
+
+from repro.evaluation import build_frameworks, format_table, ingest_trace
+from repro.evaluation.harness import bench_codec, bench_scale
+from repro.telco import TelcoTraceGenerator, TraceConfig
+
+
+class TestEnvKnobs:
+    def test_bench_scale_default(self, monkeypatch):
+        monkeypatch.delenv("SPATE_BENCH_SCALE", raising=False)
+        assert bench_scale(0.123) == 0.123
+
+    def test_bench_scale_override(self, monkeypatch):
+        monkeypatch.setenv("SPATE_BENCH_SCALE", "0.05")
+        assert bench_scale() == 0.05
+
+    def test_bench_scale_garbage_falls_back(self, monkeypatch):
+        monkeypatch.setenv("SPATE_BENCH_SCALE", "not-a-number")
+        assert bench_scale(0.5) == 0.5
+
+    def test_bench_codec_override(self, monkeypatch):
+        monkeypatch.setenv("SPATE_BENCH_CODEC", "snappy")
+        assert bench_codec() == "snappy"
+
+    def test_bench_codec_default(self, monkeypatch):
+        monkeypatch.delenv("SPATE_BENCH_CODEC", raising=False)
+        assert bench_codec() == "gzip-ref"
+
+
+@pytest.fixture(scope="module")
+def harness_run():
+    generator = TelcoTraceGenerator(TraceConfig(scale=0.002, days=1, seed=79))
+    setup = build_frameworks(generator, codec="gzip-ref", model_io=True)
+    runs = ingest_trace(setup)
+    return setup, runs
+
+
+class TestSetup:
+    def test_three_frameworks(self, harness_run):
+        setup, __ = harness_run
+        assert set(setup.frameworks) == {"RAW", "SHAHED", "SPATE"}
+
+    def test_separate_filesystems(self, harness_run):
+        setup, __ = harness_run
+        filesystems = {id(fw.dfs) for fw in setup.frameworks.values()}
+        assert len(filesystems) == 3
+
+    def test_io_model_attached_by_default(self, harness_run):
+        setup, __ = harness_run
+        for framework in setup.frameworks.values():
+            assert framework.dfs.io_model is not None
+            assert framework.modeled_io_seconds() > 0.0
+
+    def test_model_io_false_disables_model(self):
+        generator = TelcoTraceGenerator(TraceConfig(scale=0.002, days=1, seed=79))
+        setup = build_frameworks(generator, codec="gzip-ref", model_io=False)
+        for framework in setup.frameworks.values():
+            assert framework.dfs.io_model is None
+
+    def test_cell_locations_and_clusters(self, harness_run):
+        setup, __ = harness_run
+        locations = setup.cell_locations
+        clusters = setup.cell_clusters()
+        assert set(locations) == set(clusters)
+        assert all(c.startswith(("BSC", "RNC", "MME")) for c in clusters.values())
+
+
+class TestRuns:
+    def test_every_framework_has_all_reports(self, harness_run):
+        __, runs = harness_run
+        for run in runs.values():
+            assert len(run.reports) == 48
+
+    def test_mean_ingest_subset_filter(self, harness_run):
+        __, runs = harness_run
+        run = runs["SPATE"]
+        subset = run.mean_ingest_seconds(epochs={0, 1, 2})
+        assert subset > 0
+        assert run.mean_ingest_seconds(epochs=set()) == 0.0
+
+    def test_stored_bytes_by_groups_everything(self, harness_run):
+        from repro.telco.workload import day_period_of_epoch
+
+        __, runs = harness_run
+        run = runs["RAW"]
+        grouped = run.stored_bytes_by(day_period_of_epoch)
+        assert sum(grouped.values()) == sum(r.stored_bytes for r in run.reports)
+
+    def test_spate_is_smallest(self, harness_run):
+        __, runs = harness_run
+        assert (
+            runs["SPATE"].stored_bytes()
+            < runs["RAW"].stored_bytes()
+            == runs["SHAHED"].stored_bytes()
+        )
+
+
+class TestFormatTable:
+    def test_nan_for_missing_cells(self):
+        text = format_table("T", ["a", "b"], {"X": {"a": 1.0}})
+        assert "nan" in text
+
+    def test_precision(self):
+        text = format_table("T", ["a"], {"X": {"a": 1.23456}}, precision=2)
+        assert "1.23" in text
+        assert "1.2346" not in text
+
+    def test_empty_rows(self):
+        text = format_table("T", [], {"X": {}})
+        assert text.startswith("T")

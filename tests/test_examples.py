@@ -1,0 +1,60 @@
+"""Smoke tests: every example script must run to completion.
+
+These execute the real example mains (the repository's documentation
+promises they are runnable); they are the slowest tests in the suite.
+"""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart",
+    "city_traffic_dashboard",
+    "privacy_sharing",
+    "analytics_pipeline",
+    "decay_capacity_planning",
+    "traffic_mapping",
+    "emergency_response",
+    "churn_prediction",
+]
+
+EXPECTED_MARKERS = {
+    "quickstart": "Temporal index:",
+    "city_traffic_dashboard": "Ad-hoc SPATE-SQL:",
+    "privacy_sharing": "Mondrian",
+    "analytics_pipeline": "T8 regression",
+    "decay_capacity_planning": "aggregates survive",
+    "traffic_mapping": "Traffic map",
+    "emergency_response": "Drop-rate heatmap",
+    "churn_prediction": "test accuracy",
+}
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    assert path.exists(), f"missing example {path}"
+    buffer = io.StringIO()
+    argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        with redirect_stdout(buffer):
+            runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = argv
+    output = buffer.getvalue()
+    assert EXPECTED_MARKERS[name] in output, (
+        f"{name} output missing marker {EXPECTED_MARKERS[name]!r}"
+    )
+
+
+def test_every_example_is_covered():
+    on_disk = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES)

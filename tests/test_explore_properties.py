@@ -1,0 +1,88 @@
+"""Property tests: exploration answers must equal a manual scan."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.spatial.geometry import BoundingBox
+
+
+def manual_aggregate(spate, table, attribute, box, first, last):
+    """Ground truth computed with a plain scan of decompressed storage."""
+    cells = None
+    if box is not None:
+        cells = {
+            cell_id
+            for cell_id, point in spate.cell_locations.items()
+            if box.contains(point)
+        }
+    columns, rows = spate.read_rows(table, first, last)
+    if not columns:
+        return 0, 0
+    from repro.index.highlights import CELL_COLUMN
+
+    attr_idx = columns.index(attribute)
+    cell_idx = columns.index(CELL_COLUMN[table])
+    count = 0
+    total = 0
+    for row in rows:
+        if cells is not None and row[cell_idx] not in cells:
+            continue
+        value = row[attr_idx]
+        if value and (value.lstrip("-")).isdigit():
+            count += 1
+            total += int(value)
+    return count, total
+
+
+class TestExploreMatchesManualScan:
+    @given(
+        first=st.integers(0, 40),
+        span=st.integers(0, 7),
+    )
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_property_temporal_windows(self, spate_day, first, span):
+        last = min(first + span, 47)
+        result = spate_day.explore("CDR", ("downflux",), None, first, last)
+        stats = result.aggregate("downflux")
+        count, total = manual_aggregate(
+            spate_day, "CDR", "downflux", None, first, last
+        )
+        assert stats.count == count
+        assert stats.total == total
+
+    @given(
+        fx=st.floats(0.0, 0.7),
+        fy=st.floats(0.0, 0.7),
+        fw=st.floats(0.1, 0.3),
+    )
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_property_spatial_boxes(self, spate_day, fx, fy, fw):
+        area = spate_day.area
+        box = BoundingBox(
+            area.min_x + fx * area.width,
+            area.min_y + fy * area.height,
+            min(area.min_x + (fx + fw) * area.width, area.max_x),
+            min(area.min_y + (fy + fw) * area.height, area.max_y),
+        )
+        result = spate_day.explore("CDR", ("upflux",), box, 0, 20)
+        stats = result.aggregate("upflux")
+        count, total = manual_aggregate(spate_day, "CDR", "upflux", box, 0, 20)
+        assert stats.count == count
+        assert stats.total == total
+
+    @given(first=st.integers(0, 30))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_property_nms_attribute(self, spate_day, first):
+        result = spate_day.explore("NMS", ("val",), None, first, first + 5)
+        count, total = manual_aggregate(
+            spate_day, "NMS", "val", None, first, first + 5
+        )
+        assert result.aggregate("val").count == count
+        assert result.aggregate("val").total == total
+
+    def test_record_count_equals_scan(self, spate_day):
+        result = spate_day.explore("CDR", ("downflux",), None, 3, 9)
+        __, rows = spate_day.read_rows("CDR", 3, 9)
+        assert len(result.records) == len(rows)

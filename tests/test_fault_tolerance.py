@@ -1,0 +1,127 @@
+"""Fault-tolerance integration: SPATE over a degraded DFS, plus a
+stateful property test of the filesystem itself."""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core import Spate, SpateConfig
+from repro.dfs import SimulatedDFS
+from repro.errors import BlockLostError, FileExistsInDFSError
+from repro.telco import TelcoTraceGenerator, TraceConfig
+
+
+class TestSpateUnderFailures:
+    @pytest.fixture()
+    def spate(self):
+        generator = TelcoTraceGenerator(TraceConfig(scale=0.002, days=1, seed=73))
+        instance = Spate(SpateConfig(codec="gzip-ref", replication=3))
+        instance.register_cells(generator.cells_table())
+        for epoch in range(8):
+            instance.ingest(generator.snapshot(epoch))
+        instance.finalize()
+        return instance
+
+    def test_single_node_failure_is_transparent(self, spate):
+        baseline = spate.read_snapshot(3).serialize()
+        spate.dfs.kill_datanode("dn00")
+        assert spate.read_snapshot(3).serialize() == baseline
+        result = spate.explore("CDR", ("downflux",), None, 0, 7)
+        assert result.snapshots_read == 8
+
+    def test_ingest_continues_with_reduced_cluster(self, spate):
+        spate.dfs.kill_datanode("dn01")
+        generator = TelcoTraceGenerator(TraceConfig(scale=0.002, days=1, seed=73))
+        for __ in range(9):
+            generator.population.step_mobility()
+        stats = spate.ingest(generator.snapshot(8))
+        assert stats.stored_bytes > 0
+        assert spate.read_snapshot(8) is not None
+
+    def test_re_replication_restores_redundancy(self, spate):
+        spate.dfs.kill_datanode("dn00")
+        spate.dfs.re_replicate()
+        # Now a *second* failure is still survivable.
+        spate.dfs.kill_datanode("dn01")
+        assert spate.read_snapshot(5) is not None
+
+    def test_two_failures_without_repair_still_survive_replication_three(self, spate):
+        spate.dfs.kill_datanode("dn00")
+        spate.dfs.kill_datanode("dn01")
+        # Replication 3 on 4 nodes: every block has a live replica.
+        for epoch in range(8):
+            assert spate.read_snapshot(epoch) is not None
+
+    def test_total_loss_raises_block_lost(self, spate):
+        for node_id in list(spate.dfs.datanodes):
+            spate.dfs.kill_datanode(node_id)
+        with pytest.raises(BlockLostError):
+            spate.read_snapshot(0)
+
+
+class DfsStateMachine(RuleBasedStateMachine):
+    """Random write/delete/kill/restart/re-replicate sequences must never
+    lose a file while at least one replica's node lives."""
+
+    def __init__(self):
+        super().__init__()
+        self.dfs = SimulatedDFS(datanodes=4, block_size=64, default_replication=3)
+        self.model: dict[str, bytes] = {}
+        self.counter = 0
+
+    paths = Bundle("paths")
+
+    @rule(target=paths, payload=st.binary(max_size=300))
+    def write(self, payload):
+        path = f"/f{self.counter}"
+        self.counter += 1
+        try:
+            self.dfs.write_file(path, payload)
+        except FileExistsInDFSError:  # pragma: no cover - unique paths
+            raise AssertionError("unique path collided")
+        self.model[path] = payload
+        return path
+
+    @rule(path=paths)
+    def delete(self, path):
+        if path in self.model:
+            self.dfs.delete_file(path)
+            del self.model[path]
+
+    @rule(node=st.sampled_from(["dn00", "dn01"]))
+    def kill(self, node):
+        # At most two nodes (dn00/dn01) ever fail: with replication 3,
+        # every block keeps at least one live replica, so readability
+        # is a true invariant of these traces.
+        self.dfs.kill_datanode(node)
+
+    @rule(node=st.sampled_from(["dn00", "dn01"]))
+    def restart(self, node):
+        self.dfs.restart_datanode(node)
+
+    @rule()
+    def repair(self):
+        self.dfs.re_replicate()
+
+    @invariant()
+    def all_live_files_readable(self):
+        for path, payload in self.model.items():
+            assert self.dfs.read_file(path) == payload
+
+    @invariant()
+    def logical_bytes_match_model(self):
+        assert self.dfs.stats().logical_bytes == sum(
+            len(p) for p in self.model.values()
+        )
+
+
+TestDfsStateMachine = DfsStateMachine.TestCase
+TestDfsStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

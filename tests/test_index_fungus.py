@@ -1,0 +1,107 @@
+"""Tests for the Evict Grouped Individuals fungus (partial decay)."""
+
+import pytest
+
+from repro.core import Spate, SpateConfig
+from repro.errors import IndexError_
+from repro.index.fungus import EvictGroupedIndividuals, busiest_cells
+from repro.telco import TelcoTraceGenerator, TraceConfig
+
+
+@pytest.fixture()
+def loaded_spate():
+    generator = TelcoTraceGenerator(TraceConfig(scale=0.004, days=1, seed=71))
+    spate = Spate(SpateConfig(codec="gzip-ref"))
+    spate.register_cells(generator.cells_table())
+    for epoch in range(16, 28):  # busy daytime epochs
+        spate.ingest(generator.snapshot(epoch))
+    spate.finalize()
+    return spate
+
+
+class TestBusiestCells:
+    def test_returns_top_fraction(self, loaded_spate):
+        all_cells = busiest_cells(loaded_spate.index, "CDR", 1.0)
+        top = busiest_cells(loaded_spate.index, "CDR", 0.25)
+        assert 0 < len(top) <= len(all_cells)
+        assert top <= all_cells
+
+    def test_invalid_fraction(self, loaded_spate):
+        with pytest.raises(IndexError_):
+            busiest_cells(loaded_spate.index, "CDR", 0.0)
+        with pytest.raises(IndexError_):
+            busiest_cells(loaded_spate.index, "CDR", 1.5)
+
+    def test_empty_index(self):
+        from repro.index.temporal import TemporalIndex
+
+        assert busiest_cells(TemporalIndex(), "CDR", 0.5) == set()
+
+
+class TestGroupedDecay:
+    def test_reclaims_bytes_and_drops_records(self, loaded_spate):
+        spate = loaded_spate
+        before_bytes = spate.storage_stats().logical_bytes
+        report = spate.decay_groups(older_than_epoch=22, keep_fraction=0.2)
+        after_bytes = spate.storage_stats().logical_bytes
+        assert report.leaves_rewritten > 0
+        assert report.records_dropped > 0
+        assert after_bytes < before_bytes
+        assert report.bytes_reclaimed == report.bytes_before - report.bytes_after
+
+    def test_kept_cells_fully_preserved(self, loaded_spate):
+        spate = loaded_spate
+        report = spate.decay_groups(older_than_epoch=22, keep_fraction=0.2)
+        kept = report.kept_cells
+        # Records of retained cells survive in thinned snapshots...
+        columns, rows = spate.read_rows("CDR", 16, 21)
+        cell_idx = columns.index("cell_id")
+        assert rows, "thinned leaves must still be scannable"
+        assert {row[cell_idx] for row in rows} <= kept
+
+    def test_recent_leaves_untouched(self, loaded_spate):
+        spate = loaded_spate
+        before = spate.read_snapshot(25).serialize()
+        spate.decay_groups(older_than_epoch=22, keep_fraction=0.2)
+        assert spate.read_snapshot(25).serialize() == before
+
+    def test_idempotent(self, loaded_spate):
+        spate = loaded_spate
+        spate.decay_groups(older_than_epoch=22, keep_fraction=0.2)
+        second = spate.decay_groups(older_than_epoch=22, keep_fraction=0.2)
+        assert second.records_dropped == 0
+
+    def test_empty_keep_set_rejected(self, loaded_spate):
+        fungus = EvictGroupedIndividuals(
+            dfs=loaded_spate.dfs,
+            index=loaded_spate.index,
+            codec=loaded_spate.codec,
+        )
+        with pytest.raises(IndexError_):
+            fungus.run(22, set())
+
+    def test_leaf_metadata_updated(self, loaded_spate):
+        spate = loaded_spate
+        leaf = spate.index.leaves()[0]
+        before_bytes = leaf.compressed_bytes
+        before_records = leaf.record_count
+        spate.decay_groups(older_than_epoch=22, keep_fraction=0.1)
+        assert leaf.compressed_bytes < before_bytes
+        assert leaf.record_count < before_records
+
+    def test_exploration_still_works_after_group_decay(self, loaded_spate):
+        spate = loaded_spate
+        spate.decay_groups(older_than_epoch=22, keep_fraction=0.2)
+        result = spate.explore("CDR", ("downflux",), None, 16, 27)
+        assert result.snapshots_read == 12
+        # The thinned portion yields fewer records, not errors.
+        assert len(result.records) > 0
+
+    def test_summaries_unaffected_by_group_decay(self, loaded_spate):
+        """Aggregates computed at ingest time keep full-population truth
+        even after the raw records of cold cells are gone."""
+        spate = loaded_spate
+        day = spate.index.day_nodes()[0]
+        count_before = day.summary.record_counts["CDR"]
+        spate.decay_groups(older_than_epoch=28, keep_fraction=0.1)
+        assert day.summary.record_counts["CDR"] == count_before

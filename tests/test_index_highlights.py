@@ -1,0 +1,221 @@
+"""Tests for the highlights module: summaries, merging, detection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import HighlightsConfig
+from repro.core.snapshot import Snapshot, Table
+from repro.index.highlights import (
+    AttributeSummary,
+    CategoricalStats,
+    HighlightSummary,
+    NumericStats,
+    summarize_snapshot,
+)
+
+
+def make_snapshot(epoch: int = 0, drop_flags=None) -> Snapshot:
+    drop_flags = drop_flags or (["0"] * 19 + ["1"])
+    snapshot = Snapshot(epoch=epoch)
+    cdr = Table(
+        name="CDR",
+        columns=["ts", "cell_id", "drop_flag", "downflux", "result",
+                 "call_type", "upflux", "duration_s"],
+    )
+    for i, flag in enumerate(drop_flags):
+        cdr.append([
+            "201601180000",
+            f"C{i % 3:03d}",
+            flag,
+            str(100 * (i + 1)),
+            "OK" if i else "FAIL",
+            "voice",
+            str(10 * i),
+            str(60),
+        ])
+    snapshot.add_table(cdr)
+    return snapshot
+
+
+class TestNumericStats:
+    def test_streaming_accumulation(self):
+        stats = NumericStats()
+        for value in (5, -3, 10, 0):
+            stats.add(value)
+        assert stats.count == 4
+        assert stats.total == 12
+        assert stats.minimum == -3
+        assert stats.maximum == 10
+        assert stats.mean == 3.0
+
+    def test_empty_mean_is_zero(self):
+        assert NumericStats().mean == 0.0
+
+    def test_merge(self):
+        a = NumericStats()
+        b = NumericStats()
+        for v in (1, 2):
+            a.add(v)
+        for v in (10, -5):
+            b.add(v)
+        a.merge(b)
+        assert (a.count, a.total, a.minimum, a.maximum) == (4, 8, -5, 10)
+
+    def test_merge_with_empty_is_identity(self):
+        a = NumericStats()
+        a.add(7)
+        before = (a.count, a.total, a.minimum, a.maximum)
+        a.merge(NumericStats())
+        assert (a.count, a.total, a.minimum, a.maximum) == before
+
+    def test_copy_is_independent(self):
+        a = NumericStats()
+        a.add(1)
+        b = a.copy()
+        b.add(100)
+        assert a.count == 1 and b.count == 2
+
+    @given(st.lists(st.integers(-10**6, 10**6), min_size=1),
+           st.lists(st.integers(-10**6, 10**6), min_size=1))
+    @settings(max_examples=50, deadline=None)
+    def test_property_merge_equals_combined(self, xs, ys):
+        merged = NumericStats()
+        for v in xs:
+            merged.add(v)
+        other = NumericStats()
+        for v in ys:
+            other.add(v)
+        merged.merge(other)
+        combined = NumericStats()
+        for v in xs + ys:
+            combined.add(v)
+        assert merged == combined
+
+
+class TestAttributeSummary:
+    def test_numeric_detection(self):
+        summary = AttributeSummary()
+        summary.add("42")
+        summary.add("-7")
+        assert summary.numeric is not None
+        assert summary.numeric.count == 2
+
+    def test_categorical_only_for_text(self):
+        summary = AttributeSummary()
+        summary.add("voice")
+        assert summary.numeric is None
+        assert summary.categorical.counts["voice"] == 1
+
+    def test_empty_values_not_counted_as_numeric(self):
+        summary = AttributeSummary()
+        summary.add("")
+        assert summary.numeric is None
+        assert summary.categorical.counts[""] == 1
+
+    def test_distinct_cap_enforced_on_merge(self):
+        a = AttributeSummary(max_distinct=10)
+        b = AttributeSummary(max_distinct=10)
+        for i in range(8):
+            a.add(f"v{i}")
+        for i in range(8, 16):
+            b.add(f"v{i}")
+        a.merge(b)
+        assert len(a.categorical.counts) <= 10
+
+    def test_merge_combines_numeric(self):
+        a = AttributeSummary()
+        b = AttributeSummary()
+        a.add("1")
+        b.add("9")
+        a.merge(b)
+        assert a.numeric.count == 2 and a.numeric.maximum == 9
+
+
+class TestSummarizeSnapshot:
+    CONFIG = HighlightsConfig()
+
+    def test_record_counts(self):
+        summary = summarize_snapshot(make_snapshot(), self.CONFIG)
+        assert summary.record_counts["CDR"] == 20
+
+    def test_tracked_attributes_present(self):
+        summary = summarize_snapshot(make_snapshot(), self.CONFIG)
+        attrs = summary.attributes["CDR"]
+        assert "drop_flag" in attrs and "downflux" in attrs
+
+    def test_per_cell_numeric_stats(self):
+        summary = summarize_snapshot(make_snapshot(), self.CONFIG)
+        cells = summary.per_cell["CDR"]
+        assert set(cells) == {"C000", "C001", "C002"}
+        total = sum(s["downflux"].count for s in cells.values())
+        assert total == 20
+
+    def test_cell_stats_aggregation(self):
+        summary = summarize_snapshot(make_snapshot(), self.CONFIG)
+        stats = summary.cell_stats("CDR", {"C000", "C001"}, "downflux")
+        all_stats = summary.cell_stats("CDR", {"C000", "C001", "C002"}, "downflux")
+        assert stats.count < all_stats.count == 20
+
+    def test_untracked_table_ignored(self):
+        snapshot = make_snapshot()
+        snapshot.add_table(Table(name="MISC", columns=["z"], rows=[["1"]]))
+        summary = summarize_snapshot(snapshot, self.CONFIG)
+        assert "MISC" not in summary.attributes
+
+
+class TestHighlightDetection:
+    def test_rare_value_detected(self):
+        summary = summarize_snapshot(make_snapshot(), HighlightsConfig())
+        highlights = summary.detect_highlights(theta=0.10)
+        rare = [h for h in highlights if h.attribute == "drop_flag" and h.value == "1"]
+        assert len(rare) == 1
+        assert rare[0].frequency == 1
+        assert rare[0].rate == pytest.approx(1 / 20)
+
+    def test_frequent_value_not_a_highlight(self):
+        summary = summarize_snapshot(make_snapshot(), HighlightsConfig())
+        highlights = summary.detect_highlights(theta=0.10)
+        assert not any(
+            h.attribute == "drop_flag" and h.value == "0" for h in highlights
+        )
+
+    def test_theta_zero_detects_nothing(self):
+        summary = summarize_snapshot(make_snapshot(), HighlightsConfig())
+        assert summary.detect_highlights(theta=0.0) == []
+
+    def test_highlight_kind_tagging(self):
+        summary = summarize_snapshot(make_snapshot(), HighlightsConfig())
+        highlights = summary.detect_highlights(theta=0.10)
+        kinds = {h.value: h.kind for h in highlights}
+        assert kinds.get("FAIL") == "categorical"
+        assert all(
+            kind == "numeric" for value, kind in kinds.items() if value.isdigit()
+        )
+
+
+class TestSummaryMerge:
+    def test_merge_accumulates_counts(self):
+        config = HighlightsConfig()
+        day = HighlightSummary(level="day", period="2016-01-18")
+        for epoch in range(3):
+            day.merge(summarize_snapshot(make_snapshot(epoch), config))
+        assert day.record_counts["CDR"] == 60
+
+    def test_merge_preserves_per_cell_breakdown(self):
+        config = HighlightsConfig()
+        day = HighlightSummary(level="day", period="2016-01-18")
+        day.merge(summarize_snapshot(make_snapshot(0), config))
+        day.merge(summarize_snapshot(make_snapshot(1), config))
+        assert day.cell_stats("CDR", {"C000"}, "downflux").count > 0
+
+    def test_merge_into_empty_copies(self):
+        config = HighlightsConfig()
+        source = summarize_snapshot(make_snapshot(), config)
+        target = HighlightSummary(level="day", period="x")
+        target.merge(source)
+        # Mutating the source afterwards must not affect the target.
+        source.attributes["CDR"]["downflux"].add("999999")
+        assert (
+            target.attributes["CDR"]["downflux"].numeric.count
+            != source.attributes["CDR"]["downflux"].numeric.count
+        )

@@ -1,0 +1,195 @@
+"""Tests for the incremence (ingest/rollup) and decay modules."""
+
+import pytest
+
+from repro.compression import get_codec
+from repro.core.config import DecayPolicyConfig, SpateConfig
+from repro.core.snapshot import EPOCHS_PER_DAY, Snapshot, Table
+from repro.dfs import SimulatedDFS
+from repro.index.decay import DecayModule, EvictOldestIndividuals, describe_policy
+from repro.index.incremence import IncremenceModule
+from repro.index.temporal import TemporalIndex
+
+
+def snapshot_for(epoch: int) -> Snapshot:
+    snap = Snapshot(epoch=epoch)
+    cdr = Table(
+        name="CDR",
+        columns=["ts", "cell_id", "drop_flag", "downflux", "result",
+                 "call_type", "upflux", "duration_s"],
+    )
+    for i in range(10):
+        cdr.append([
+            str(epoch), f"C{i % 2:03d}", "0", str(i * 10), "OK",
+            "voice", "0", "30",
+        ])
+    snap.add_table(cdr)
+    return snap
+
+
+def build(config: SpateConfig | None = None):
+    config = config or SpateConfig(codec="gzip-ref")
+    dfs = SimulatedDFS()
+    index = TemporalIndex()
+    module = IncremenceModule(
+        dfs=dfs, index=index, codec=get_codec(config.codec), config=config
+    )
+    return dfs, index, module, config
+
+
+class TestIncremence:
+    def test_ingest_writes_compressed_file(self):
+        dfs, index, module, __ = build()
+        report = module.ingest(snapshot_for(0))
+        assert report.compressed_bytes < report.raw_bytes
+        assert dfs.exists(module.leaf_path(0, "CDR"))
+        assert index.leaf_count() == 1
+
+    def test_report_has_stage_timings(self):
+        __, __, module, __ = build()
+        report = module.ingest(snapshot_for(0))
+        assert report.total_seconds >= 0
+        assert report.ratio > 1.0
+
+    def test_day_summary_accumulates_during_day(self):
+        __, index, module, __ = build()
+        for epoch in range(5):
+            module.ingest(snapshot_for(epoch))
+        day = index.day_nodes()[0]
+        assert day.summary is not None
+        assert day.summary.record_counts["CDR"] == 50
+        assert not day.finalized
+
+    def test_day_finalized_on_boundary(self):
+        __, index, module, __ = build()
+        for epoch in range(EPOCHS_PER_DAY + 1):
+            module.ingest(snapshot_for(epoch))
+        days = index.day_nodes()
+        assert days[0].finalized
+        assert not days[1].finalized
+
+    def test_month_rollup_receives_day_summary(self):
+        __, index, module, __ = build()
+        for epoch in range(EPOCHS_PER_DAY + 1):
+            module.ingest(snapshot_for(epoch))
+        month = index.month_nodes()[0]
+        assert month.summary is not None
+        assert month.summary.record_counts["CDR"] == EPOCHS_PER_DAY * 10
+
+    def test_finalize_closes_trailing_periods(self):
+        __, index, module, __ = build()
+        for epoch in range(5):
+            module.ingest(snapshot_for(epoch))
+        module.finalize()
+        assert index.day_nodes()[0].finalized
+        assert index.month_nodes()[0].finalized
+        assert index.years[0].finalized
+        assert index.root_summary.record_counts.get("CDR") == 50
+
+    def test_finalize_is_idempotent(self):
+        __, index, module, __ = build()
+        module.ingest(snapshot_for(0))
+        module.finalize()
+        module.finalize()
+        assert index.root_summary.record_counts["CDR"] == 10
+
+    def test_highlights_detected_at_finalize(self):
+        __, index, module, __ = build()
+        snap = snapshot_for(0)
+        snap.tables["CDR"].rows[0][2] = "1"  # one rare drop flag
+        module.ingest(snap)
+        # More clean snapshots push the "1" rate below theta_day (5%).
+        for epoch in range(1, 4):
+            module.ingest(snapshot_for(epoch))
+        module.finalize()
+        day = index.day_nodes()[0]
+        assert any(h.value == "1" and h.attribute == "drop_flag"
+                   for h in day.summary.highlights)
+
+
+class TestDecay:
+    def make_loaded(self, keep_epochs: int, days: int = 3):
+        config = SpateConfig(
+            codec="gzip-ref",
+            decay=DecayPolicyConfig(keep_epochs=keep_epochs),
+        )
+        dfs, index, module, __ = build(config)
+        decay = DecayModule(dfs=dfs, index=index, config=config.decay)
+        for epoch in range(days * EPOCHS_PER_DAY):
+            module.ingest(snapshot_for(epoch))
+        return dfs, index, decay
+
+    def test_evicts_leaves_beyond_horizon(self):
+        dfs, index, decay = self.make_loaded(keep_epochs=EPOCHS_PER_DAY)
+        report = decay.run()
+        assert report.leaves_evicted == 2 * EPOCHS_PER_DAY
+        assert index.leaf_count() == EPOCHS_PER_DAY
+        # Evicted files are gone from the DFS.
+        for path in report.evicted_paths:
+            assert not dfs.exists(path)
+
+    def test_reclaims_bytes(self):
+        dfs, __, decay = self.make_loaded(keep_epochs=EPOCHS_PER_DAY)
+        before = dfs.stats().logical_bytes
+        report = decay.run()
+        after = dfs.stats().logical_bytes
+        assert report.bytes_reclaimed == before - after > 0
+
+    def test_idempotent_at_fixed_frontier(self):
+        __, __, decay = self.make_loaded(keep_epochs=EPOCHS_PER_DAY)
+        decay.run()
+        second = decay.run()
+        assert second.leaves_evicted == 0
+        assert second.bytes_reclaimed == 0
+
+    def test_disabled_policy_evicts_nothing(self):
+        config = SpateConfig(
+            codec="gzip-ref",
+            decay=DecayPolicyConfig(enabled=False, keep_epochs=1),
+        )
+        dfs, index, module, __ = build(config)
+        decay = DecayModule(dfs=dfs, index=index, config=config.decay)
+        for epoch in range(10):
+            module.ingest(snapshot_for(epoch))
+        assert decay.run().leaves_evicted == 0
+        assert index.leaf_count() == 10
+
+    def test_summaries_survive_leaf_decay(self):
+        __, index, decay = self.make_loaded(keep_epochs=EPOCHS_PER_DAY)
+        decay.run()
+        decayed_day = index.day_nodes()[0]
+        assert decayed_day.live_leaves() == []
+        assert decayed_day.summary is not None
+
+    def test_day_summary_horizon(self):
+        config = SpateConfig(
+            codec="gzip-ref",
+            decay=DecayPolicyConfig(
+                keep_epochs=1, keep_highlight_days=1,
+                keep_highlight_months_days=10_000,
+            ),
+        )
+        dfs, index, module, __ = build(config)
+        decay = DecayModule(dfs=dfs, index=index, config=config.decay)
+        for epoch in range(3 * EPOCHS_PER_DAY):
+            module.ingest(snapshot_for(epoch))
+        report = decay.run()
+        assert report.day_summaries_evicted >= 1
+        assert index.day_nodes()[0].summary is None
+        # Month summary still intact.
+        assert index.month_nodes()[0].summary is not None
+
+    def test_policy_horizons(self):
+        policy = EvictOldestIndividuals(DecayPolicyConfig(keep_epochs=10))
+        assert policy.leaf_horizon_epoch(100) == 91
+
+    def test_describe_policy(self):
+        text = describe_policy(DecayPolicyConfig())
+        assert "Evict Oldest Individuals" in text
+
+    def test_empty_index_decay_is_noop(self):
+        config = SpateConfig(codec="gzip-ref")
+        dfs, index, module, __ = build(config)
+        decay = DecayModule(dfs=dfs, index=index, config=config.decay)
+        report = decay.run()
+        assert report.leaves_evicted == 0

@@ -1,0 +1,79 @@
+"""Property tests for the temporal index over random epoch sequences."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.snapshot import EPOCHS_PER_DAY, epoch_to_timestamp
+from repro.index.temporal import SnapshotLeaf, TemporalIndex
+
+
+def make_leaf(epoch: int) -> SnapshotLeaf:
+    return SnapshotLeaf(
+        epoch=epoch,
+        table_paths={"CDR": f"/p/{epoch}"},
+        raw_bytes=100,
+        compressed_bytes=10,
+        record_count=1,
+    )
+
+
+#: Strictly-increasing epoch sequences spanning up to ~3 years, so month
+#: and year boundaries get exercised.
+epoch_sequences = st.lists(
+    st.integers(0, 3 * 365 * EPOCHS_PER_DAY), min_size=1, max_size=60,
+    unique=True,
+).map(sorted)
+
+
+class TestTemporalIndexProperties:
+    @given(epochs=epoch_sequences)
+    @settings(max_examples=60, deadline=None)
+    def test_every_leaf_lands_in_its_calendar_node(self, epochs):
+        index = TemporalIndex()
+        for epoch in epochs:
+            index.insert_leaf(make_leaf(epoch))
+        for day in index.day_nodes():
+            for leaf in day.leaves:
+                when = epoch_to_timestamp(leaf.epoch)
+                assert when.date() == day.day
+        for year in index.years:
+            for month in year.months:
+                assert month.year == year.year
+                for day in month.days:
+                    assert (day.day.year, day.day.month) == (
+                        month.year, month.month
+                    )
+
+    @given(epochs=epoch_sequences)
+    @settings(max_examples=60, deadline=None)
+    def test_leaf_count_and_storage(self, epochs):
+        index = TemporalIndex()
+        for epoch in epochs:
+            index.insert_leaf(make_leaf(epoch))
+        assert index.leaf_count() == len(epochs)
+        assert index.storage_bytes() == 10 * len(epochs)
+        assert [l.epoch for l in index.leaves()] == epochs
+        assert index.frontier_epoch == epochs[-1]
+
+    @given(epochs=epoch_sequences)
+    @settings(max_examples=60, deadline=None)
+    def test_nodes_are_chronologically_ordered(self, epochs):
+        index = TemporalIndex()
+        for epoch in epochs:
+            index.insert_leaf(make_leaf(epoch))
+        day_keys = [d.key for d in index.day_nodes()]
+        assert day_keys == sorted(day_keys)
+        month_keys = [m.key for m in index.month_nodes()]
+        assert month_keys == sorted(month_keys)
+        year_keys = [y.key for y in index.years]
+        assert year_keys == sorted(year_keys)
+
+    @given(epochs=epoch_sequences, lo=st.integers(0, 52560), hi=st.integers(0, 52560))
+    @settings(max_examples=60, deadline=None)
+    def test_leaves_in_epochs_is_exact_range_filter(self, epochs, lo, hi):
+        if lo > hi:
+            lo, hi = hi, lo
+        index = TemporalIndex()
+        for epoch in epochs:
+            index.insert_leaf(make_leaf(epoch))
+        found = {l.epoch for l in index.leaves_in_epochs(lo, hi)}
+        assert found == {e for e in epochs if lo <= e <= hi}

@@ -1,0 +1,136 @@
+"""Tests for the multi-resolution temporal index tree."""
+
+import pytest
+
+from repro.core.snapshot import EPOCHS_PER_DAY
+from repro.errors import OutOfOrderSnapshotError
+from repro.index.temporal import SnapshotLeaf, TemporalIndex, epochs_of_day
+
+
+def leaf(epoch: int) -> SnapshotLeaf:
+    return SnapshotLeaf(
+        epoch=epoch,
+        table_paths={"CDR": f"/p/{epoch}/CDR"},
+        raw_bytes=1000,
+        compressed_bytes=100,
+        record_count=10,
+    )
+
+
+class TestInsertion:
+    def test_first_leaf_creates_all_levels(self):
+        index = TemporalIndex()
+        assert index.insert_leaf(leaf(0)) == (True, True, True)
+        assert len(index.years) == 1
+        assert len(index.years[0].months) == 1
+        assert len(index.day_nodes()) == 1
+
+    def test_same_day_appends_to_rightmost(self):
+        index = TemporalIndex()
+        index.insert_leaf(leaf(0))
+        assert index.insert_leaf(leaf(1)) == (False, False, False)
+        assert len(index.day_nodes()) == 1
+        assert len(index.day_nodes()[0].leaves) == 2
+
+    def test_day_boundary_creates_day_node(self):
+        index = TemporalIndex()
+        index.insert_leaf(leaf(EPOCHS_PER_DAY - 1))
+        assert index.insert_leaf(leaf(EPOCHS_PER_DAY)) == (True, False, False)
+        assert len(index.day_nodes()) == 2
+
+    def test_month_boundary(self):
+        index = TemporalIndex()
+        # 2016-01-31 is day 13 of the trace (origin Jan 18).
+        index.insert_leaf(leaf(13 * EPOCHS_PER_DAY))
+        new_day, new_month, new_year = index.insert_leaf(leaf(14 * EPOCHS_PER_DAY))
+        assert (new_day, new_month, new_year) == (True, True, False)
+        assert [m.key for m in index.month_nodes()] == ["2016-01", "2016-02"]
+
+    def test_year_boundary(self):
+        index = TemporalIndex()
+        # Trace origin is 2016-01-18; day 349 is 2017-01-01.
+        index.insert_leaf(leaf(348 * EPOCHS_PER_DAY))
+        flags = index.insert_leaf(leaf(349 * EPOCHS_PER_DAY))
+        assert flags == (True, True, True)
+        assert [y.key for y in index.years] == ["2016", "2017"]
+
+    def test_out_of_order_rejected(self):
+        index = TemporalIndex()
+        index.insert_leaf(leaf(5))
+        with pytest.raises(OutOfOrderSnapshotError):
+            index.insert_leaf(leaf(5))
+        with pytest.raises(OutOfOrderSnapshotError):
+            index.insert_leaf(leaf(3))
+
+    def test_gaps_allowed(self):
+        index = TemporalIndex()
+        index.insert_leaf(leaf(0))
+        index.insert_leaf(leaf(100))
+        assert index.frontier_epoch == 100
+
+
+class TestNavigation:
+    @pytest.fixture()
+    def populated(self) -> TemporalIndex:
+        index = TemporalIndex()
+        for epoch in range(3 * EPOCHS_PER_DAY):
+            index.insert_leaf(leaf(epoch))
+        return index
+
+    def test_day_nodes_in_order(self, populated):
+        keys = [d.key for d in populated.day_nodes()]
+        assert keys == ["2016-01-18", "2016-01-19", "2016-01-20"]
+
+    def test_find_day(self, populated):
+        assert populated.find_day("2016-01-19") is not None
+        assert populated.find_day("2099-01-01") is None
+
+    def test_find_month_and_year(self, populated):
+        assert populated.find_month("2016-01") is not None
+        assert populated.find_month("2016-02") is None
+        assert populated.find_year("2016") is not None
+        assert populated.find_year("2015") is None
+
+    def test_leaves_in_epochs(self, populated):
+        leaves = populated.leaves_in_epochs(10, 20)
+        assert [l.epoch for l in leaves] == list(range(10, 21))
+
+    def test_leaves_in_epochs_skips_decayed(self, populated):
+        populated.day_nodes()[0].leaves[15].decayed = True
+        leaves = populated.leaves_in_epochs(10, 20)
+        assert 15 not in [l.epoch for l in leaves]
+
+    def test_storage_accounting(self, populated):
+        assert populated.storage_bytes() == 100 * 3 * EPOCHS_PER_DAY
+        assert populated.leaf_count() == 3 * EPOCHS_PER_DAY
+        populated.day_nodes()[0].leaves[0].decayed = True
+        assert populated.leaf_count() == 3 * EPOCHS_PER_DAY - 1
+
+    def test_render_mentions_structure(self, populated):
+        rendered = populated.render()
+        assert "year 2016" in rendered
+        assert "month 2016-01" in rendered
+        assert "day 2016-01-18" in rendered
+
+    def test_epochs_of_day(self):
+        first, last = epochs_of_day("2016-01-18")
+        assert (first, last) == (0, 47)
+        first, last = epochs_of_day("2016-01-20")
+        assert (first, last) == (96, 143)
+
+
+class TestCoveringNodeSummary:
+    def test_root_summary_for_empty_index(self):
+        index = TemporalIndex()
+        summary = index.covering_node_summary(0, 10)
+        assert summary is index.root_summary
+
+    def test_day_level_when_window_within_day(self):
+        from repro.index.highlights import HighlightSummary
+
+        index = TemporalIndex()
+        for epoch in range(EPOCHS_PER_DAY):
+            index.insert_leaf(leaf(epoch))
+        day = index.day_nodes()[0]
+        day.summary = HighlightSummary(level="day", period=day.key)
+        assert index.covering_node_summary(3, 10) is day.summary

@@ -1,0 +1,171 @@
+"""End-to-end integration tests across the full SPATE stack."""
+
+import pytest
+
+from repro.core import Spate, SpateConfig
+from repro.core.config import DecayPolicyConfig, HighlightsConfig
+from repro.core.snapshot import EPOCHS_PER_DAY
+from repro.evaluation import build_frameworks, format_table, ingest_trace
+from repro.query.sql import Database
+from repro.telco import TelcoTraceGenerator, TraceConfig
+
+
+class TestFullPipeline:
+    def test_ingest_explore_equivalence_with_raw(self, tiny_generator, tiny_snapshots, spate_day):
+        """SPATE's compressed path returns exactly the data RAW stores."""
+        from repro.baselines.raw import RawFramework
+        from repro.dfs import SimulatedDFS
+
+        raw = RawFramework(SimulatedDFS())
+        for snapshot in tiny_snapshots:
+            raw.ingest(snapshot)
+        for epoch in (0, 13, 47):
+            assert (
+                spate_day.read_snapshot(epoch).serialize()
+                == raw.read_snapshot(epoch).serialize()
+            )
+
+    def test_storage_savings_order_of_magnitude_direction(self, tiny_snapshots, tiny_generator):
+        setup = build_frameworks(tiny_generator, codec="gzip-ref", model_io=False)
+        for snapshot in tiny_snapshots:
+            for framework in setup.frameworks.values():
+                framework.ingest(snapshot)
+        spate_bytes = setup.frameworks["SPATE"].stored_logical_bytes
+        raw_bytes = setup.frameworks["RAW"].stored_logical_bytes
+        assert spate_bytes * 3 < raw_bytes  # compression clearly wins
+
+    def test_replication_triples_physical_bytes(self, spate_day):
+        stats = spate_day.storage_stats()
+        assert stats.physical_bytes == 3 * stats.logical_bytes
+
+    def test_sql_over_spate_matches_direct_scan(self, spate_day):
+        db = Database()
+        db.register_framework(spate_day, ["CDR"], 0, 10)
+        sql_count = db.execute("SELECT COUNT(*) FROM CDR").rows[0][0]
+        __, rows = spate_day.read_rows("CDR", 0, 10)
+        assert sql_count == len(rows)
+
+    def test_leaf_spatial_index_option(self, tiny_generator):
+        config = SpateConfig(codec="gzip-ref", leaf_spatial_index=True)
+        spate = Spate(config)
+        spate.register_cells(tiny_generator.cells_table())
+        generator = TelcoTraceGenerator(TraceConfig(scale=0.002, days=1, seed=99))
+        snapshot = generator.snapshot(0)
+        spate.ingest(snapshot)
+        tree = spate.leaf_rtree(0)
+        assert tree is not None
+        assert len(tree) > 0
+        assert spate.leaf_rtree(999) is None
+
+    def test_last_ingest_report_exposed(self, spate_day):
+        report = spate_day.last_ingest_report
+        assert report is not None
+        assert report.compressed_bytes < report.raw_bytes
+
+    def test_from_scratch_codec_full_cycle(self, tiny_generator):
+        """The whole pipeline also runs on the from-scratch gzip codec."""
+        spate = Spate(SpateConfig(codec="gzip"))
+        spate.register_cells(tiny_generator.cells_table())
+        generator = TelcoTraceGenerator(TraceConfig(scale=0.002, days=1, seed=99))
+        for epoch in range(3):
+            spate.ingest(generator.snapshot(epoch))
+        spate.finalize()
+        result = spate.explore("CDR", ("downflux",), None, 0, 2)
+        assert result.snapshots_read == 3
+
+
+class TestDecayLifecycle:
+    def test_storage_bounded_under_decay(self, tiny_generator):
+        config = SpateConfig(
+            codec="gzip-ref",
+            decay=DecayPolicyConfig(keep_epochs=EPOCHS_PER_DAY // 2),
+        )
+        spate = Spate(config)
+        spate.register_cells(tiny_generator.cells_table())
+        generator = TelcoTraceGenerator(TraceConfig(scale=0.002, days=2, seed=99))
+        sizes = []
+        for snapshot in generator.generate():
+            spate.ingest(snapshot)
+            sizes.append(spate.storage_stats().logical_bytes)
+        # Once the horizon is reached, storage stops growing linearly:
+        # the last size must be close to the size at the horizon.
+        assert sizes[-1] < sizes[EPOCHS_PER_DAY // 2] * 2.5
+
+    def test_decayed_and_live_answers_are_consistent(self, tiny_generator):
+        """The decayed aggregate must equal the pre-decay exact aggregate."""
+        generator = TelcoTraceGenerator(TraceConfig(scale=0.002, days=1, seed=99))
+        snapshots = [generator.snapshot(e) for e in range(EPOCHS_PER_DAY)]
+
+        full = Spate(SpateConfig(codec="gzip-ref"))
+        full.register_cells(tiny_generator.cells_table())
+        for snapshot in snapshots:
+            full.ingest(snapshot)
+        full.finalize()
+        exact = full.explore("CDR", ("downflux",), None, 0, 47).aggregate("downflux")
+
+        # Now re-run and force decay of everything, then query summaries.
+        full.decay._config = DecayPolicyConfig(keep_epochs=1)
+        full.decay._policy = type(full.decay._policy)(full.decay._config)
+        full.run_decay()
+        decayed = full.explore("CDR", ("downflux",), None, 0, 47).aggregate("downflux")
+
+        assert decayed.count == exact.count
+        assert decayed.total == exact.total
+        assert decayed.minimum == exact.minimum
+        assert decayed.maximum == exact.maximum
+
+
+class TestHighlightsThetaLevels:
+    def test_lower_theta_finds_fewer_highlights(self, tiny_generator):
+        generator = TelcoTraceGenerator(TraceConfig(scale=0.002, days=1, seed=99))
+        snapshots = [generator.snapshot(e) for e in range(10)]
+
+        def run(theta: float) -> int:
+            config = SpateConfig(
+                codec="gzip-ref",
+                highlights=HighlightsConfig(theta_day=theta),
+            )
+            spate = Spate(config)
+            spate.register_cells(tiny_generator.cells_table())
+            for snapshot in snapshots:
+                spate.ingest(snapshot)
+            spate.finalize()
+            return len(spate.highlights(0, 9))
+
+        assert run(0.001) <= run(0.05) <= run(0.5)
+
+
+class TestEvaluationHarness:
+    def test_ingest_trace_produces_reports_for_all(self, tiny_generator, tiny_snapshots):
+        setup = build_frameworks(tiny_generator, codec="gzip-ref", model_io=False)
+        runs = ingest_trace(setup, snapshots=tiny_snapshots[:6])
+        assert set(runs) == {"RAW", "SHAHED", "SPATE"}
+        for run in runs.values():
+            assert len(run.reports) == 6
+            assert run.mean_ingest_seconds() > 0
+
+    def test_day_period_buckets(self, tiny_generator, tiny_snapshots):
+        setup = build_frameworks(tiny_generator, codec="gzip-ref", model_io=False)
+        runs = ingest_trace(setup, snapshots=tiny_snapshots)
+        periods = runs["SPATE"].by_day_period()
+        assert set(periods) == {"morning", "afternoon", "evening", "night"}
+
+    def test_weekday_buckets(self, tiny_generator, tiny_snapshots):
+        setup = build_frameworks(tiny_generator, codec="gzip-ref", model_io=False)
+        runs = ingest_trace(setup, snapshots=tiny_snapshots)
+        weekdays = runs["RAW"].by_weekday()
+        assert "Mon" in weekdays
+
+    def test_format_table_renders(self):
+        text = format_table(
+            "Fig X",
+            ["a", "b"],
+            {"RAW": {"a": 1.0, "b": 2.0}, "SPATE": {"a": 0.5, "b": 0.7}},
+            unit="sec",
+        )
+        assert "Fig X" in text and "RAW" in text and "sec" in text
+
+    def test_cell_clusters_mapping(self, tiny_generator):
+        setup = build_frameworks(tiny_generator, codec="gzip-ref", model_io=False)
+        clusters = setup.cell_clusters()
+        assert len(clusters) == len(tiny_generator.topology.cells)

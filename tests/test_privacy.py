@@ -1,0 +1,249 @@
+"""Tests for the k-anonymity privacy substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AnonymityUnsatisfiableError, PrivacyError
+from repro.privacy import (
+    default_cdr_hierarchies,
+    discernibility_metric,
+    equivalence_classes,
+    full_domain_anonymize,
+    generalization_information_loss,
+    is_k_anonymous,
+    mondrian_anonymize,
+)
+from repro.privacy.hierarchy import (
+    SUPPRESSED,
+    IntervalHierarchy,
+    PrefixHierarchy,
+    ValueMapHierarchy,
+)
+from repro.privacy.metrics import suppression_ratio
+
+
+class TestHierarchies:
+    def test_value_map_levels(self):
+        h = ValueMapHierarchy(levels=[{"a": "letter", "b": "letter"}], name="t")
+        assert h.generalize("a", 0) == "a"
+        assert h.generalize("a", 1) == "letter"
+        assert h.generalize("a", 2) == SUPPRESSED
+
+    def test_value_map_unknown_value_suppressed(self):
+        h = ValueMapHierarchy(levels=[{"a": "x"}], name="t")
+        assert h.generalize("unknown", 1) == SUPPRESSED
+
+    def test_value_map_invalid_level(self):
+        h = ValueMapHierarchy(levels=[{}], name="t")
+        with pytest.raises(ValueError):
+            h.generalize("a", 99)
+
+    def test_interval_hierarchy(self):
+        h = IntervalHierarchy(base_width=10, factor=5, levels=2)
+        assert h.generalize("37", 0) == "37"
+        assert h.generalize("37", 1) == "[30-40)"
+        assert h.generalize("37", 2) == "[0-50)"
+        assert h.generalize("37", 3) == SUPPRESSED
+
+    def test_interval_non_numeric_suppressed(self):
+        h = IntervalHierarchy()
+        assert h.generalize("abc", 1) == SUPPRESSED
+
+    def test_interval_invalid_params(self):
+        with pytest.raises(ValueError):
+            IntervalHierarchy(base_width=0)
+
+    def test_prefix_hierarchy(self):
+        h = PrefixHierarchy(chop_per_level=2, levels=2)
+        assert h.generalize("C01234", 1) == "C012**"
+        assert h.generalize("C01234", 2) == "C0****"
+        assert h.generalize("C01234", 3) == SUPPRESSED
+
+    def test_prefix_short_value_fully_suppressed(self):
+        h = PrefixHierarchy(chop_per_level=4, levels=2)
+        assert h.generalize("ab", 1) == SUPPRESSED
+
+    def test_default_cdr_hierarchies_cover_quasi_identifiers(self):
+        from repro.telco.schema import CDR_QUASI_IDENTIFIERS
+
+        hierarchies = default_cdr_hierarchies()
+        assert set(CDR_QUASI_IDENTIFIERS) <= set(hierarchies)
+
+
+def toy_table(n: int = 60):
+    columns = ["cell_id", "plan_type", "tech", "call_type", "payload"]
+    rows = []
+    for i in range(n):
+        rows.append([
+            f"C{i % 4:04d}",
+            ["prepaid", "postpaid", "business", "iot"][i % 4],
+            ["2G", "3G", "4G"][i % 3],
+            ["voice", "sms", "data"][i % 3],
+            str(i),
+        ])
+    return columns, rows
+
+
+class TestFullDomain:
+    QUASI = ["cell_id", "plan_type", "tech", "call_type"]
+
+    def test_result_is_k_anonymous(self):
+        columns, rows = toy_table()
+        result = full_domain_anonymize(
+            rows, columns, self.QUASI, default_cdr_hierarchies(), k=5
+        )
+        idx = [columns.index(q) for q in self.QUASI]
+        assert is_k_anonymous(result.rows, idx, 5)
+
+    def test_non_quasi_columns_untouched(self):
+        columns, rows = toy_table()
+        result = full_domain_anonymize(
+            rows, columns, self.QUASI, default_cdr_hierarchies(), k=3
+        )
+        payload_idx = columns.index("payload")
+        released_payloads = {r[payload_idx] for r in result.rows}
+        original_payloads = {r[payload_idx] for r in rows}
+        assert released_payloads <= original_payloads
+
+    def test_k_one_returns_data_unchanged(self):
+        columns, rows = toy_table()
+        result = full_domain_anonymize(
+            rows, columns, self.QUASI, default_cdr_hierarchies(), k=1
+        )
+        assert result.rows == rows
+        assert all(level == 0 for level in result.levels.values())
+
+    def test_higher_k_needs_at_least_as_much_generalization(self):
+        columns, rows = toy_table()
+        low = full_domain_anonymize(
+            rows, columns, self.QUASI, default_cdr_hierarchies(), k=2
+        )
+        high = full_domain_anonymize(
+            rows, columns, self.QUASI, default_cdr_hierarchies(), k=15
+        )
+        assert sum(high.levels.values()) >= sum(low.levels.values())
+
+    def test_unsatisfiable_raises(self):
+        columns = ["cell_id", "x"]
+        rows = [["C0001", "1"]]
+        with pytest.raises(AnonymityUnsatisfiableError):
+            full_domain_anonymize(
+                rows, columns, ["cell_id"], default_cdr_hierarchies(),
+                k=5, max_suppression=0.0,
+            )
+
+    def test_unknown_quasi_column_raises(self):
+        columns, rows = toy_table()
+        with pytest.raises(PrivacyError):
+            full_domain_anonymize(
+                rows, columns, ["ghost"], default_cdr_hierarchies(), k=2
+            )
+
+    def test_invalid_k_raises(self):
+        columns, rows = toy_table()
+        with pytest.raises(PrivacyError):
+            full_domain_anonymize(
+                rows, columns, self.QUASI, default_cdr_hierarchies(), k=0
+            )
+
+    def test_empty_input(self):
+        columns, __ = toy_table()
+        result = full_domain_anonymize(
+            [], columns, self.QUASI, default_cdr_hierarchies(), k=5
+        )
+        assert result.rows == []
+
+    def test_suppression_budget_respected(self):
+        columns, rows = toy_table(40)
+        rows.append(["CXXXX", "prepaid", "2G", "voice", "odd"])  # unique row
+        result = full_domain_anonymize(
+            rows, columns, self.QUASI, default_cdr_hierarchies(),
+            k=2, max_suppression=0.10,
+        )
+        assert result.suppressed_rows <= len(rows) * 0.10
+
+    @given(st.integers(2, 8), st.integers(30, 120))
+    @settings(max_examples=20, deadline=None)
+    def test_property_always_k_anonymous(self, k, n):
+        columns, rows = toy_table(n)
+        try:
+            result = full_domain_anonymize(
+                rows, columns, self.QUASI, default_cdr_hierarchies(), k=k
+            )
+        except AnonymityUnsatisfiableError:
+            return
+        idx = [columns.index(q) for q in self.QUASI]
+        assert is_k_anonymous(result.rows, idx, k)
+
+
+class TestMondrian:
+    def test_partitions_have_k_rows(self):
+        columns = ["a", "b"]
+        rows = [[str(i), str(100 - i)] for i in range(57)]
+        result = mondrian_anonymize(rows, columns, ["a", "b"], k=5)
+        idx = [0, 1]
+        classes = equivalence_classes(result.rows, idx)
+        assert min(classes.values()) >= 5
+        assert result.released_rows == 57
+
+    def test_too_few_rows_raises(self):
+        with pytest.raises(AnonymityUnsatisfiableError):
+            mondrian_anonymize([["1"]], ["a"], ["a"], k=5)
+
+    def test_range_recoding_format(self):
+        columns = ["v"]
+        rows = [[str(i)] for i in range(10)]
+        result = mondrian_anonymize(rows, columns, ["v"], k=5)
+        values = {r[0] for r in result.rows}
+        assert all("-" in v or v.isdigit() for v in values)
+
+    def test_identical_values_stay_exact(self):
+        rows = [["7"]] * 10
+        result = mondrian_anonymize(rows, ["v"], ["v"], k=3)
+        assert {r[0] for r in result.rows} == {"7"}
+
+    @given(st.lists(st.integers(0, 1000), min_size=10, max_size=150),
+           st.integers(2, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_property_classes_at_least_k(self, values, k):
+        columns = ["v"]
+        rows = [[str(v)] for v in values]
+        result = mondrian_anonymize(rows, columns, ["v"], k=k)
+        classes = equivalence_classes(result.rows, [0])
+        assert min(classes.values()) >= k
+        assert result.released_rows == len(rows)
+
+
+class TestMetrics:
+    def test_equivalence_classes(self):
+        rows = [["a", "1"], ["a", "2"], ["b", "3"]]
+        classes = equivalence_classes(rows, [0])
+        assert classes == {("a",): 2, ("b",): 1}
+
+    def test_discernibility(self):
+        rows = [["a"], ["a"], ["b"]]
+        assert discernibility_metric(rows, [0]) == 4 + 1
+
+    def test_information_loss_bounds(self):
+        hierarchies = default_cdr_hierarchies()
+        zero = generalization_information_loss(
+            {name: 0 for name in hierarchies}, hierarchies
+        )
+        full = generalization_information_loss(
+            {name: h.height for name, h in hierarchies.items()}, hierarchies
+        )
+        assert zero == 0.0
+        assert full == 1.0
+
+    def test_information_loss_skips_mondrian_sentinel(self):
+        hierarchies = default_cdr_hierarchies()
+        assert generalization_information_loss(
+            {"cell_id": -1}, hierarchies
+        ) == 0.0
+
+    def test_suppression_ratio(self):
+        assert suppression_ratio(90, 10) == pytest.approx(0.1)
+        assert suppression_ratio(0, 0) == 0.0
+
+    def test_is_k_anonymous_empty(self):
+        assert is_k_anonymous([], [0], 5)

@@ -1,0 +1,148 @@
+"""Tests for l-diversity."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AnonymityUnsatisfiableError, PrivacyError
+from repro.privacy import (
+    default_cdr_hierarchies,
+    is_entropy_l_diverse,
+    is_k_anonymous,
+    is_l_diverse,
+    l_diverse_anonymize,
+)
+
+
+def toy_table(n: int = 60):
+    columns = ["cell_id", "plan_type", "tech", "call_type", "disease"]
+    rows = []
+    sensitive = ["flu", "cold", "ok", "ok", "ok"]
+    for i in range(n):
+        rows.append([
+            f"C{i % 4:04d}",
+            ["prepaid", "postpaid", "business", "iot"][i % 4],
+            ["2G", "3G", "4G"][i % 3],
+            ["voice", "sms", "data"][i % 3],
+            sensitive[i % 5],
+        ])
+    return columns, rows
+
+
+QUASI = ["cell_id", "plan_type", "tech", "call_type"]
+
+
+class TestChecks:
+    def test_empty_is_diverse(self):
+        assert is_l_diverse([], [0], 1, 5)
+        assert is_entropy_l_diverse([], [0], 1, 5)
+
+    def test_homogeneous_class_fails(self):
+        rows = [["q", "flu"], ["q", "flu"], ["q", "flu"]]
+        assert is_l_diverse(rows, [0], 1, 1)
+        assert not is_l_diverse(rows, [0], 1, 2)
+
+    def test_distinct_diversity_counts_values(self):
+        rows = [["q", "flu"], ["q", "cold"], ["q", "flu"]]
+        assert is_l_diverse(rows, [0], 1, 2)
+        assert not is_l_diverse(rows, [0], 1, 3)
+
+    def test_entropy_stricter_than_distinct_for_skew(self):
+        # 99 "ok" + 1 "flu": distinct 2-diverse but entropy far below log 2.
+        rows = [["q", "ok"]] * 99 + [["q", "flu"]]
+        assert is_l_diverse(rows, [0], 1, 2)
+        assert not is_entropy_l_diverse(rows, [0], 1, 2)
+
+    def test_entropy_passes_for_balanced_classes(self):
+        rows = [["q", "a"], ["q", "b"]] * 10
+        assert is_entropy_l_diverse(rows, [0], 1, 2)
+
+
+class TestAnonymizer:
+    def test_result_satisfies_both_properties(self):
+        columns, rows = toy_table()
+        result = l_diverse_anonymize(
+            rows, columns, QUASI, "disease", default_cdr_hierarchies(),
+            k=3, l=2,
+        )
+        idx = [columns.index(q) for q in QUASI]
+        sens = columns.index("disease")
+        assert is_k_anonymous(result.rows, idx, 3)
+        assert is_l_diverse(result.rows, idx, sens, 2)
+
+    def test_l_one_reduces_to_k_anonymity(self):
+        from repro.privacy import full_domain_anonymize
+
+        columns, rows = toy_table()
+        with_l = l_diverse_anonymize(
+            rows, columns, QUASI, "disease", default_cdr_hierarchies(),
+            k=4, l=1,
+        )
+        plain = full_domain_anonymize(
+            rows, columns, QUASI, default_cdr_hierarchies(), k=4
+        )
+        assert with_l.levels == plain.levels
+
+    def test_higher_l_generalizes_at_least_as_much(self):
+        columns, rows = toy_table(120)
+        low = l_diverse_anonymize(
+            rows, columns, QUASI, "disease", default_cdr_hierarchies(),
+            k=2, l=1,
+        )
+        high = l_diverse_anonymize(
+            rows, columns, QUASI, "disease", default_cdr_hierarchies(),
+            k=2, l=3,
+        )
+        total_low = sum(low.levels.values()) - low.suppressed_rows / len(rows)
+        assert sum(high.levels.values()) >= sum(low.levels.values()) or (
+            high.suppressed_rows >= low.suppressed_rows
+        )
+
+    def test_unsatisfiable_l(self):
+        columns, rows = toy_table()
+        # Only 3 distinct sensitive values exist; l=4 is impossible.
+        with pytest.raises(AnonymityUnsatisfiableError):
+            l_diverse_anonymize(
+                rows, columns, QUASI, "disease", default_cdr_hierarchies(),
+                k=2, l=4, max_suppression=0.0,
+            )
+
+    def test_sensitive_in_quasi_rejected(self):
+        columns, rows = toy_table()
+        with pytest.raises(PrivacyError):
+            l_diverse_anonymize(
+                rows, columns, QUASI + ["disease"], "disease",
+                default_cdr_hierarchies(), k=2, l=2,
+            )
+
+    def test_invalid_parameters(self):
+        columns, rows = toy_table()
+        with pytest.raises(PrivacyError):
+            l_diverse_anonymize(
+                rows, columns, QUASI, "disease",
+                default_cdr_hierarchies(), k=0, l=2,
+            )
+
+    def test_empty_input(self):
+        columns, __ = toy_table()
+        result = l_diverse_anonymize(
+            [], columns, QUASI, "disease", default_cdr_hierarchies(), k=3, l=2
+        )
+        assert result.rows == []
+
+    @given(st.integers(2, 5), st.integers(1, 3), st.integers(40, 120))
+    @settings(max_examples=15, deadline=None)
+    def test_property_released_set_satisfies_constraints(self, k, l, n):
+        columns, rows = toy_table(n)
+        try:
+            result = l_diverse_anonymize(
+                rows, columns, QUASI, "disease",
+                default_cdr_hierarchies(), k=k, l=l, max_suppression=0.2,
+            )
+        except AnonymityUnsatisfiableError:
+            return
+        idx = [columns.index(q) for q in QUASI]
+        sens = columns.index("disease")
+        assert is_k_anonymous(result.rows, idx, k)
+        assert is_l_diverse(result.rows, idx, sens, l)

@@ -1,0 +1,127 @@
+"""Tests for the T1-T8 evaluation tasks across all three frameworks."""
+
+import pytest
+
+from repro.engine import EngineContext
+from repro.errors import QueryError
+from repro.evaluation import build_frameworks, ingest_trace
+from repro.query import tasks
+from repro.telco import TelcoTraceGenerator, TraceConfig
+
+
+@pytest.fixture(scope="module")
+def setup():
+    generator = TelcoTraceGenerator(TraceConfig(scale=0.002, days=1, seed=17))
+    evaluation = build_frameworks(generator, codec="gzip-ref", model_io=False)
+    ingest_trace(evaluation)
+    return evaluation
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    context = EngineContext(parallelism=2)
+    yield context
+    context.shutdown()
+
+
+FRAMEWORKS = ["RAW", "SHAHED", "SPATE"]
+
+
+@pytest.mark.parametrize("name", FRAMEWORKS)
+class TestTasksAcrossFrameworks:
+    def test_t1_returns_single_snapshot_fluxes(self, setup, name):
+        result = tasks.t1_equality(setup.frameworks[name], epoch=10)
+        assert result.task == "T1"
+        assert result.row_count == len(result.payload) > 0
+        columns, rows = setup.frameworks[name].read_rows("CDR", 10, 10)
+        assert result.row_count == len(rows)
+
+    def test_t2_range_covers_window(self, setup, name):
+        result = tasks.t2_range(setup.frameworks[name], 0, 9)
+        single = tasks.t1_equality(setup.frameworks[name], 5)
+        assert result.row_count >= single.row_count
+
+    def test_t3_aggregate_groups_by_cell(self, setup, name):
+        result = tasks.t3_aggregate(
+            setup.frameworks[name], 0, 20, setup.cell_clusters()
+        )
+        assert result.row_count == len(result.payload)
+        assert all(isinstance(v, int) for v in result.payload.values())
+        assert result.detail["clusters"]
+
+    def test_t4_join_finds_movers(self, setup, name):
+        result = tasks.t4_join(setup.frameworks[name], 0, 20, 40)
+        assert result.task == "T4"
+        # Mobility model guarantees some subscribers change cells.
+        assert result.row_count > 0
+        for user, old_cell, new_cell in result.payload:
+            assert old_cell != new_cell
+
+    def test_t5_privacy_returns_k_anonymous_set(self, setup, name):
+        result = tasks.t5_privacy(setup.frameworks[name], 0, 5, k=3)
+        anonymized = result.payload
+        assert anonymized.k == 3
+        from repro.privacy import is_k_anonymous
+
+        idx = [anonymized.columns.index(q) for q in
+               ("cell_id", "plan_type", "tech", "call_type")]
+        assert is_k_anonymous(anonymized.rows, idx, 3)
+
+    def test_t6_statistics(self, setup, name, ctx):
+        result = tasks.t6_statistics(setup.frameworks[name], 0, 20, ctx)
+        stats = result.payload
+        assert stats.count == result.row_count > 0
+        assert len(stats.mean) == 3
+
+    def test_t7_clustering(self, setup, name, ctx):
+        result = tasks.t7_clustering(setup.frameworks[name], 0, 20, ctx, k=2)
+        assert result.payload.k == 2
+        assert result.detail["inertia"] >= 0
+
+    def test_t8_regression(self, setup, name, ctx):
+        result = tasks.t8_regression(setup.frameworks[name], 0, 20, ctx)
+        assert result.payload.n_samples == result.row_count > 0
+        assert -1.0 <= result.detail["r2"] <= 1.0
+
+
+class TestTaskEquivalenceAcrossFrameworks:
+    """All frameworks store the same data, so answers must agree."""
+
+    def test_t1_identical_everywhere(self, setup):
+        results = {
+            name: tasks.t1_equality(setup.frameworks[name], 7).payload
+            for name in FRAMEWORKS
+        }
+        assert results["RAW"] == results["SHAHED"] == results["SPATE"]
+
+    def test_t3_identical_everywhere(self, setup):
+        results = {
+            name: tasks.t3_aggregate(setup.frameworks[name], 0, 30).payload
+            for name in FRAMEWORKS
+        }
+        assert results["RAW"] == results["SHAHED"] == results["SPATE"]
+
+    def test_t4_identical_everywhere(self, setup):
+        results = {
+            name: tasks.t4_join(setup.frameworks[name], 0, 15, 30).payload
+            for name in FRAMEWORKS
+        }
+        assert results["RAW"] == results["SHAHED"] == results["SPATE"]
+
+
+class TestTaskValidation:
+    def test_t4_window_ordering_enforced(self, setup):
+        with pytest.raises(QueryError):
+            tasks.t4_join(setup.frameworks["RAW"], 10, 5, 20)
+
+    def test_empty_window_yields_empty_results(self, setup):
+        result = tasks.t1_equality(setup.frameworks["RAW"], 40_000)
+        assert result.row_count == 0
+
+    def test_heavy_task_empty_window_raises(self, setup, ctx):
+        with pytest.raises(QueryError):
+            tasks.t6_statistics(setup.frameworks["RAW"], 40_000, 40_001, ctx)
+
+    def test_task_registries(self):
+        assert tasks.SIMPLE_TASKS == ("T1", "T2", "T3", "T4", "T5")
+        assert tasks.HEAVY_TASKS == ("T6", "T7", "T8")

@@ -1,0 +1,110 @@
+"""Tests for geometry primitives."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spatial.geometry import BoundingBox, Point
+
+coords = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def boxes():
+    return st.tuples(coords, coords, coords, coords).map(
+        lambda t: BoundingBox(
+            min(t[0], t[2]), min(t[1], t[3]), max(t[0], t[2]), max(t[1], t[3])
+        )
+    )
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_symmetric(self):
+        a, b = Point(1, 2), Point(-4, 7)
+        assert a.distance_to(b) == b.distance_to(a)
+
+
+class TestBoundingBox:
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(10, 0, 0, 10)
+
+    def test_degenerate_point_box_is_valid(self):
+        box = BoundingBox(5, 5, 5, 5)
+        assert box.contains(Point(5, 5))
+        assert box.area == 0.0
+
+    def test_contains_is_inclusive(self):
+        box = BoundingBox(0, 0, 10, 10)
+        for point in (Point(0, 0), Point(10, 10), Point(0, 10), Point(5, 5)):
+            assert box.contains(point)
+        assert not box.contains(Point(10.001, 5))
+
+    def test_from_points(self):
+        box = BoundingBox.from_points([Point(1, 5), Point(-2, 3), Point(4, 4)])
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-2, 3, 4, 5)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox.from_points([])
+
+    def test_around(self):
+        box = BoundingBox.around(Point(10, 20), 3)
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (7, 17, 13, 23)
+
+    def test_around_asymmetric(self):
+        box = BoundingBox.around(Point(0, 0), 2, 5)
+        assert box.width == 4 and box.height == 10
+
+    def test_intersects_touching_counts(self):
+        a = BoundingBox(0, 0, 5, 5)
+        b = BoundingBox(5, 5, 9, 9)
+        assert a.intersects(b)
+        assert b.intersects(a)
+
+    def test_disjoint(self):
+        a = BoundingBox(0, 0, 1, 1)
+        b = BoundingBox(2, 2, 3, 3)
+        assert not a.intersects(b)
+
+    def test_contains_box(self):
+        outer = BoundingBox(0, 0, 10, 10)
+        inner = BoundingBox(2, 2, 8, 8)
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+
+    def test_union_covers_both(self):
+        a = BoundingBox(0, 0, 1, 1)
+        b = BoundingBox(5, -3, 6, 0)
+        union = a.union(b)
+        assert union.contains_box(a) and union.contains_box(b)
+
+    def test_enlargement_zero_for_contained(self):
+        outer = BoundingBox(0, 0, 10, 10)
+        inner = BoundingBox(1, 1, 2, 2)
+        assert outer.enlargement(inner) == 0.0
+
+    def test_expand_to(self):
+        box = BoundingBox(0, 0, 1, 1).expand_to(Point(5, -2))
+        assert box.contains(Point(5, -2))
+        assert box.contains(Point(0, 0))
+
+    @given(boxes(), boxes())
+    @settings(max_examples=80, deadline=None)
+    def test_property_intersection_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(boxes(), boxes())
+    @settings(max_examples=80, deadline=None)
+    def test_property_union_contains_operands(self, a, b):
+        union = a.union(b)
+        assert union.contains_box(a)
+        assert union.contains_box(b)
+
+    @given(boxes(), coords, coords)
+    @settings(max_examples=80, deadline=None)
+    def test_property_center_inside(self, box, __, ___):
+        assert box.contains(box.center)

@@ -1,0 +1,175 @@
+"""Tests for the R-tree, quadtree and grid against brute force."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spatial.geometry import BoundingBox, Point
+from repro.spatial.grid import UniformGrid
+from repro.spatial.quadtree import QuadTree
+from repro.spatial.rtree import RTree
+
+AREA = BoundingBox(0, 0, 1000, 1000)
+
+
+def random_points(n: int, seed: int = 7) -> list[Point]:
+    rng = random.Random(seed)
+    return [Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for __ in range(n)]
+
+
+def brute_force(points: list[Point], box: BoundingBox) -> set[int]:
+    return {i for i, p in enumerate(points) if box.contains(p)}
+
+
+class TestRTree:
+    def test_empty_tree_query(self):
+        tree = RTree()
+        assert tree.query(AREA) == []
+        assert len(tree) == 0
+
+    def test_insert_and_query_single(self):
+        tree = RTree()
+        tree.insert_point(Point(10, 10), "payload")
+        assert tree.query(BoundingBox(0, 0, 20, 20)) == ["payload"]
+        assert tree.query(BoundingBox(50, 50, 60, 60)) == []
+
+    def test_min_fanout_enforced(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=3)
+
+    def test_matches_brute_force(self):
+        points = random_points(400)
+        tree = RTree(max_entries=8)
+        for i, point in enumerate(points):
+            tree.insert_point(point, i)
+        for seed in range(20):
+            rng = random.Random(seed)
+            x0, y0 = rng.uniform(0, 900), rng.uniform(0, 900)
+            box = BoundingBox(x0, y0, x0 + rng.uniform(10, 300), y0 + rng.uniform(10, 300))
+            assert set(tree.query(box)) == brute_force(points, box)
+
+    def test_query_count_matches_query(self):
+        points = random_points(100, seed=3)
+        tree = RTree()
+        for i, point in enumerate(points):
+            tree.insert_point(point, i)
+        box = BoundingBox(100, 100, 600, 600)
+        assert tree.query_count(box) == len(tree.query(box))
+
+    def test_items_enumerates_everything(self):
+        tree = RTree()
+        for i, point in enumerate(random_points(50)):
+            tree.insert_point(point, i)
+        assert sorted(payload for __, payload in tree.items()) == list(range(50))
+
+    def test_tree_is_balanced(self):
+        tree = RTree(max_entries=4)
+        for i, point in enumerate(random_points(300, seed=1)):
+            tree.insert_point(point, i)
+        # 300 entries with fanout 4 must stay logarithmic, not linear.
+        assert tree.depth <= 8
+
+    def test_box_entries(self):
+        tree = RTree()
+        tree.insert(BoundingBox(0, 0, 10, 10), "big")
+        tree.insert(BoundingBox(2, 2, 3, 3), "small")
+        assert set(tree.query(BoundingBox(1, 1, 4, 4))) == {"big", "small"}
+
+    @given(st.lists(st.tuples(st.floats(0, 1000), st.floats(0, 1000)),
+                    min_size=1, max_size=150))
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_brute_force(self, raw):
+        points = [Point(x, y) for x, y in raw]
+        tree = RTree(max_entries=6)
+        for i, point in enumerate(points):
+            tree.insert_point(point, i)
+        box = BoundingBox(250, 250, 750, 750)
+        assert set(tree.query(box)) == brute_force(points, box)
+
+
+class TestQuadTree:
+    def test_insert_outside_area_rejected(self):
+        tree = QuadTree(AREA)
+        with pytest.raises(ValueError):
+            tree.insert(Point(-1, 0))
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            QuadTree(AREA, capacity=0)
+
+    def test_matches_brute_force(self):
+        points = random_points(400, seed=11)
+        tree = QuadTree(AREA, capacity=8)
+        for i, point in enumerate(points):
+            tree.insert(point, i)
+        for seed in range(20):
+            rng = random.Random(seed + 100)
+            x0, y0 = rng.uniform(0, 900), rng.uniform(0, 900)
+            box = BoundingBox(x0, y0, x0 + rng.uniform(10, 300), y0 + rng.uniform(10, 300))
+            assert set(tree.query(box)) == brute_force(points, box)
+
+    def test_duplicates_do_not_recurse_forever(self):
+        tree = QuadTree(AREA, capacity=2, max_depth=6)
+        for i in range(100):
+            tree.insert(Point(500, 500), i)
+        assert len(tree) == 100
+        assert tree.depth <= 6
+
+    def test_leaf_tiles_partition_area(self):
+        tree = QuadTree(AREA, capacity=4)
+        for point in random_points(200, seed=5):
+            tree.insert(point)
+        total = sum(tile.area for tile in tree.leaf_tiles())
+        assert total == pytest.approx(AREA.area)
+
+    def test_len_counts_inserts(self):
+        tree = QuadTree(AREA)
+        for i, point in enumerate(random_points(37)):
+            tree.insert(point, i)
+        assert len(tree) == 37
+
+
+class TestUniformGrid:
+    def test_tile_of_corners(self):
+        grid = UniformGrid(AREA, cols=10, rows=10)
+        assert grid.tile_of(Point(0, 0)) == (0, 0)
+        assert grid.tile_of(Point(1000, 1000)) == (9, 9)  # max edge folds in
+
+    def test_tile_of_outside_raises(self):
+        grid = UniformGrid(AREA)
+        with pytest.raises(ValueError):
+            grid.tile_of(Point(1001, 0))
+
+    def test_tile_bounds_cover_point(self):
+        grid = UniformGrid(AREA, cols=8, rows=8)
+        point = Point(333, 777)
+        col, row = grid.tile_of(point)
+        assert grid.tile_bounds(col, row).contains(point)
+
+    def test_query_superset_of_exact(self):
+        grid = UniformGrid(AREA, cols=16, rows=16)
+        points = random_points(300, seed=13)
+        for i, point in enumerate(points):
+            grid.insert(point, i)
+        box = BoundingBox(100, 100, 400, 420)
+        coarse = set(grid.query(box))
+        assert brute_force(points, box) <= coarse
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            UniformGrid(AREA, cols=0)
+        with pytest.raises(ValueError):
+            UniformGrid(BoundingBox(0, 0, 0, 10))
+
+    def test_bucket_contents(self):
+        grid = UniformGrid(AREA, cols=2, rows=2)
+        grid.insert(Point(100, 100), "sw")
+        grid.insert(Point(900, 900), "ne")
+        assert grid.bucket(0, 0) == ["sw"]
+        assert grid.bucket(1, 1) == ["ne"]
+        assert grid.bucket(0, 1) == []
+
+    def test_tiles_intersecting_disjoint_box(self):
+        grid = UniformGrid(AREA)
+        assert list(grid.tiles_intersecting(BoundingBox(2000, 2000, 3000, 3000))) == []

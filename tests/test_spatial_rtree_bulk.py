@@ -1,0 +1,138 @@
+"""Tests for R-tree STR bulk loading and deletion."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spatial.geometry import BoundingBox, Point
+from repro.spatial.rtree import RTree
+
+
+def point_entries(n: int, seed: int = 3):
+    rng = random.Random(seed)
+    entries = []
+    for i in range(n):
+        x, y = rng.uniform(0, 1000), rng.uniform(0, 1000)
+        entries.append((BoundingBox(x, y, x, y), i))
+    return entries
+
+
+def brute(entries, box):
+    return {p for b, p in entries if box.intersects(b)}
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = RTree.bulk_load([])
+        assert len(tree) == 0
+        assert tree.query(BoundingBox(0, 0, 10, 10)) == []
+
+    def test_single_entry(self):
+        tree = RTree.bulk_load([(BoundingBox(1, 1, 2, 2), "x")])
+        assert tree.query(BoundingBox(0, 0, 3, 3)) == ["x"]
+
+    def test_matches_brute_force(self):
+        entries = point_entries(500)
+        tree = RTree.bulk_load(entries, max_entries=8)
+        for seed in range(15):
+            rng = random.Random(seed)
+            x0, y0 = rng.uniform(0, 800), rng.uniform(0, 800)
+            box = BoundingBox(x0, y0, x0 + 150, y0 + 150)
+            assert set(tree.query(box)) == brute(entries, box)
+
+    def test_len_matches(self):
+        entries = point_entries(123)
+        assert len(RTree.bulk_load(entries)) == 123
+
+    def test_packed_tree_is_shallower_than_incremental(self):
+        entries = point_entries(600, seed=9)
+        packed = RTree.bulk_load(entries, max_entries=8)
+        incremental = RTree(max_entries=8)
+        for box, payload in entries:
+            incremental.insert(box, payload)
+        assert packed.depth <= incremental.depth
+
+    def test_insert_after_bulk_load(self):
+        entries = point_entries(60)
+        tree = RTree.bulk_load(entries)
+        tree.insert_point(Point(5, 5), "new")
+        assert "new" in tree.query(BoundingBox(0, 0, 10, 10))
+        assert len(tree) == 61
+
+    @given(st.lists(st.tuples(st.floats(0, 100), st.floats(0, 100)),
+                    max_size=120))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_brute(self, raw):
+        entries = [
+            (BoundingBox(x, y, x, y), i) for i, (x, y) in enumerate(raw)
+        ]
+        tree = RTree.bulk_load(entries, max_entries=5)
+        box = BoundingBox(25, 25, 75, 75)
+        assert set(tree.query(box)) == brute(entries, box)
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        tree = RTree()
+        box = BoundingBox(1, 1, 1, 1)
+        tree.insert(box, "a")
+        assert tree.delete(box, "a")
+        assert len(tree) == 0
+        assert tree.query(BoundingBox(0, 0, 2, 2)) == []
+
+    def test_delete_missing_returns_false(self):
+        tree = RTree()
+        tree.insert(BoundingBox(1, 1, 1, 1), "a")
+        assert not tree.delete(BoundingBox(1, 1, 1, 1), "b")
+        assert not tree.delete(BoundingBox(9, 9, 9, 9), "a")
+        assert len(tree) == 1
+
+    def test_delete_many_keeps_queries_exact(self):
+        entries = point_entries(300, seed=17)
+        tree = RTree(max_entries=6)
+        for box, payload in entries:
+            tree.insert(box, payload)
+        rng = random.Random(1)
+        removed = set()
+        for box, payload in rng.sample(entries, 150):
+            assert tree.delete(box, payload)
+            removed.add(payload)
+        remaining = [(b, p) for b, p in entries if p not in removed]
+        assert len(tree) == 150
+        probe = BoundingBox(200, 200, 700, 700)
+        assert set(tree.query(probe)) == brute(remaining, probe)
+
+    def test_delete_everything_then_reuse(self):
+        entries = point_entries(80, seed=21)
+        tree = RTree(max_entries=4)
+        for box, payload in entries:
+            tree.insert(box, payload)
+        for box, payload in entries:
+            assert tree.delete(box, payload)
+        assert len(tree) == 0
+        tree.insert_point(Point(1, 2), "again")
+        assert tree.query(BoundingBox(0, 0, 5, 5)) == ["again"]
+
+    def test_delete_from_bulk_loaded_tree(self):
+        entries = point_entries(200, seed=23)
+        tree = RTree.bulk_load(entries, max_entries=8)
+        box, payload = entries[50]
+        assert tree.delete(box, payload)
+        assert payload not in tree.query(box)
+        assert len(tree) == 199
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_property_insert_delete_consistency(self, data):
+        n = data.draw(st.integers(5, 60))
+        entries = point_entries(n, seed=data.draw(st.integers(0, 100)))
+        tree = RTree(max_entries=4)
+        for box, payload in entries:
+            tree.insert(box, payload)
+        k = data.draw(st.integers(0, n))
+        for box, payload in entries[:k]:
+            assert tree.delete(box, payload)
+        survivors = entries[k:]
+        whole = BoundingBox(0, 0, 1000, 1000)
+        assert set(tree.query(whole)) == {p for __, p in survivors}

@@ -1,0 +1,94 @@
+"""Tests for CASE WHEN expressions."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.query.sql import Database, parse_sql
+from repro.query.sql.ast import CaseExpression
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.register_table(
+        "T", ["v", "kind"],
+        [[str(i), "a" if i % 2 else "b"] for i in range(10)],
+    )
+    return database
+
+
+class TestParsing:
+    def test_searched_case(self):
+        stmt = parse_sql("SELECT CASE WHEN v > 1 THEN 'x' END FROM T")
+        expr = stmt.items[0].expression
+        assert isinstance(expr, CaseExpression)
+        assert len(expr.branches) == 1
+        assert expr.default is None
+
+    def test_simple_case_rewritten_to_equality(self):
+        stmt = parse_sql("SELECT CASE v WHEN 1 THEN 'one' ELSE 'x' END FROM T")
+        expr = stmt.items[0].expression
+        condition, __ = expr.branches[0]
+        assert str(condition) == "(v = 1)"
+
+    def test_case_requires_when(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT CASE ELSE 1 END FROM T")
+
+    def test_case_requires_end(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT CASE WHEN v > 1 THEN 2 FROM T")
+
+    def test_str_rendering(self):
+        stmt = parse_sql("SELECT CASE WHEN v > 1 THEN 2 ELSE 3 END FROM T")
+        assert "CASE WHEN" in str(stmt.items[0].expression)
+
+
+class TestEvaluation:
+    def test_first_matching_branch_wins(self, db):
+        result = db.execute(
+            "SELECT CASE WHEN v < 3 THEN 'low' WHEN v < 100 THEN 'rest' END "
+            "AS band FROM T WHERE v = 1"
+        )
+        assert result.rows == [["low"]]
+
+    def test_else_branch(self, db):
+        result = db.execute(
+            "SELECT CASE WHEN v > 100 THEN 'big' ELSE 'small' END FROM T LIMIT 1"
+        )
+        assert result.rows == [["small"]]
+
+    def test_no_match_no_else_is_null(self, db):
+        result = db.execute(
+            "SELECT CASE WHEN v > 100 THEN 'big' END AS c FROM T LIMIT 1"
+        )
+        assert result.rows == [[None]]
+
+    def test_case_inside_aggregate(self, db):
+        result = db.execute(
+            "SELECT SUM(CASE WHEN kind = 'a' THEN 1 ELSE 0 END) AS odd, "
+            "SUM(CASE WHEN kind = 'b' THEN 1 ELSE 0 END) AS even FROM T"
+        )
+        assert result.rows == [[5, 5]]
+
+    def test_case_in_where(self, db):
+        result = db.execute(
+            "SELECT v FROM T WHERE CASE WHEN kind = 'a' THEN v ELSE 0 END > 5"
+        )
+        assert sorted(result.column("v")) == ["7", "9"]
+
+    def test_case_in_group_by(self, db):
+        result = db.execute(
+            "SELECT CASE WHEN v < 5 THEN 'lo' ELSE 'hi' END AS band, COUNT(*) "
+            "FROM T GROUP BY CASE WHEN v < 5 THEN 'lo' ELSE 'hi' END "
+            "ORDER BY band"
+        )
+        assert result.rows == [["hi", 5], ["lo", 5]]
+
+    def test_case_pushed_down_through_join(self, db):
+        db.register_table("U", ["kind", "label"], [["a", "odd"], ["b", "even"]])
+        plan = db.explain(
+            "SELECT T.v FROM T JOIN U ON T.kind = U.kind "
+            "WHERE CASE WHEN T.v < 5 THEN 1 ELSE 0 END = 1"
+        )
+        assert "Scan T" in plan and "pushed" in plan

@@ -1,0 +1,314 @@
+"""Tests for SQL execution semantics."""
+
+import pytest
+
+from repro.errors import QueryError, SqlPlanError
+from repro.query.sql import Database
+
+
+def sample_rows(n: int = 50) -> tuple[list[str], list[list[str]]]:
+    """Deterministic relational sample."""
+    columns = ["ts", "user", "cell", "plan", "bytes"]
+    rows = []
+    for i in range(n):
+        rows.append([
+            f"2016011{i % 9}",
+            f"u{i % 7}",
+            f"C{i % 5:03d}",
+            ["prepaid", "postpaid", "business"][i % 3],
+            str((i * 37) % 500),
+        ])
+    return columns, rows
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    columns, rows = sample_rows(30)
+    database.register_table("T", columns, rows)
+    database.register_table(
+        "CELLS",
+        ["cell", "region"],
+        [["C000", "north"], ["C001", "north"], ["C002", "south"],
+         ["C003", "south"], ["C004", "west"]],
+    )
+    return database
+
+
+class TestProjectionAndFilter:
+    def test_select_star(self, db):
+        result = db.execute("SELECT * FROM T")
+        assert len(result) == 30
+        assert result.columns == ["ts", "user", "cell", "plan", "bytes"]
+
+    def test_projection_order_and_alias(self, db):
+        result = db.execute("SELECT bytes AS b, user FROM T LIMIT 1")
+        assert result.columns == ["b", "user"]
+
+    def test_where_equality(self, db):
+        result = db.execute("SELECT user FROM T WHERE cell = 'C001'")
+        assert len(result) == 6
+
+    def test_numeric_comparison_coerces_strings(self, db):
+        result = db.execute("SELECT bytes FROM T WHERE bytes > 400")
+        assert all(int(b) > 400 for b in result.column("bytes"))
+
+    def test_arithmetic_projection(self, db):
+        result = db.execute("SELECT bytes + 1 AS b1 FROM T WHERE bytes = 0")
+        assert result.rows[0][0] == 1
+
+    def test_division_by_zero_yields_null(self, db):
+        result = db.execute("SELECT 1 / 0 AS x FROM T LIMIT 1")
+        assert result.rows[0][0] is None
+
+    def test_between_inclusive(self, db):
+        result = db.execute("SELECT bytes FROM T WHERE bytes BETWEEN 0 AND 37")
+        values = sorted(int(v) for v in result.column("bytes"))
+        assert values[0] == 0 and values[-1] == 37
+
+    def test_in_list(self, db):
+        result = db.execute("SELECT user FROM T WHERE user IN ('u0', 'u1')")
+        assert set(result.column("user")) == {"u0", "u1"}
+
+    def test_not_in(self, db):
+        result = db.execute("SELECT DISTINCT user FROM T WHERE user NOT IN ('u0')")
+        assert "u0" not in result.column("user")
+
+    def test_like(self, db):
+        result = db.execute("SELECT DISTINCT cell FROM T WHERE cell LIKE 'C00_'")
+        assert len(result) == 5
+
+    def test_comparison_with_null_is_false(self, db):
+        database = Database()
+        database.register_table("N", ["a"], [[""], ["5"]])
+        result = database.execute("SELECT a FROM N WHERE a > 0")
+        assert result.rows == [["5"]]
+
+    def test_is_null_on_empty_string(self, db):
+        database = Database()
+        database.register_table("N", ["a"], [[""], ["x"]])
+        assert len(database.execute("SELECT a FROM N WHERE a IS NULL")) == 1
+        assert len(database.execute("SELECT a FROM N WHERE a IS NOT NULL")) == 1
+
+
+class TestAggregation:
+    def test_count_star(self, db):
+        assert db.execute("SELECT COUNT(*) FROM T").rows == [[30]]
+
+    def test_aggregates_ignore_nulls(self):
+        database = Database()
+        database.register_table("N", ["v"], [["1"], [""], ["3"]])
+        result = database.execute("SELECT COUNT(v), SUM(v), AVG(v) FROM N")
+        assert result.rows == [[2, 4, 2.0]]
+
+    def test_group_by_with_having(self, db):
+        result = db.execute(
+            "SELECT cell, COUNT(*) AS n FROM T GROUP BY cell HAVING n >= 6"
+        )
+        assert all(n >= 6 for __, n in result.rows)
+
+    def test_group_by_sum(self, db):
+        result = db.execute("SELECT plan, SUM(bytes) AS total FROM T GROUP BY plan")
+        assert len(result) == 3
+        grand = sum(int(r[-1]) for __, rows in [(0, sample_rows(30)[1])] for r in rows)
+        assert sum(r[1] for r in result.rows) == grand
+
+    def test_min_max(self, db):
+        result = db.execute("SELECT MIN(bytes), MAX(bytes) FROM T")
+        __, rows = sample_rows(30)
+        values = [int(r[4]) for r in rows]
+        assert result.rows == [[str(min(values)), str(max(values))]] or result.rows == [[min(values), max(values)]]
+
+    def test_count_distinct(self, db):
+        result = db.execute("SELECT COUNT(DISTINCT user) FROM T")
+        assert result.rows == [[7]]
+
+    def test_aggregate_without_group_on_empty(self):
+        database = Database()
+        database.register_table("E", ["v"], [])
+        result = database.execute("SELECT COUNT(*), SUM(v) FROM E")
+        assert result.rows == [[0, None]]
+
+    def test_aggregate_outside_group_context_raises(self, db):
+        with pytest.raises(SqlPlanError):
+            db.execute("SELECT user FROM T WHERE SUM(bytes) > 5")
+
+    def test_star_with_group_by_rejected(self, db):
+        with pytest.raises(SqlPlanError):
+            db.execute("SELECT * FROM T GROUP BY cell")
+
+    def test_group_key_projection(self, db):
+        result = db.execute("SELECT plan FROM T GROUP BY plan ORDER BY plan")
+        assert result.column("plan") == ["business", "postpaid", "prepaid"]
+
+
+class TestJoins:
+    def test_inner_join(self, db):
+        result = db.execute(
+            "SELECT t.user, c.region FROM T t JOIN CELLS c ON t.cell = c.cell"
+        )
+        assert len(result) == 30
+        assert set(result.column("c.region")) == {"north", "south", "west"}
+
+    def test_left_join_preserves_unmatched(self):
+        database = Database()
+        database.register_table("L", ["k"], [["a"], ["b"]])
+        database.register_table("R", ["k", "v"], [["a", "1"]])
+        result = database.execute(
+            "SELECT L.k, R.v FROM L LEFT JOIN R ON L.k = R.k"
+        )
+        assert sorted(result.rows) == [["a", "1"], ["b", None]]
+
+    def test_cross_join_cardinality(self):
+        database = Database()
+        database.register_table("A", ["x"], [["1"], ["2"]])
+        database.register_table("B", ["y"], [["p"], ["q"], ["r"]])
+        assert len(database.execute("SELECT * FROM A, B")) == 6
+
+    def test_self_join_with_aliases(self, db):
+        result = db.execute(
+            "SELECT a.user FROM T a JOIN T b ON a.user = b.user "
+            "WHERE a.cell != b.cell LIMIT 5"
+        )
+        assert len(result) == 5
+
+    def test_non_equi_join_condition(self):
+        database = Database()
+        database.register_table("A", ["x"], [["1"], ["5"]])
+        database.register_table("B", ["y"], [["3"]])
+        result = database.execute("SELECT * FROM A JOIN B ON A.x < B.y")
+        assert result.rows == [["1", "3"]]
+
+    def test_ambiguous_column_raises(self, db):
+        with pytest.raises(SqlPlanError, match="ambiguous"):
+            db.execute("SELECT cell FROM T a JOIN T b ON a.user = b.user")
+
+    def test_unknown_table_raises(self, db):
+        with pytest.raises(SqlPlanError, match="unknown table"):
+            db.execute("SELECT * FROM GHOST")
+
+    def test_unknown_column_raises(self, db):
+        with pytest.raises(SqlPlanError, match="unknown column"):
+            db.execute("SELECT nope FROM T")
+
+
+class TestSubqueries:
+    def test_from_subquery(self, db):
+        result = db.execute(
+            "SELECT sub.user FROM (SELECT user, bytes FROM T WHERE bytes > 300) sub"
+        )
+        assert len(result) > 0
+
+    def test_in_subquery(self, db):
+        result = db.execute(
+            "SELECT DISTINCT user FROM T "
+            "WHERE cell IN (SELECT cell FROM CELLS WHERE region = 'north')"
+        )
+        assert len(result) > 0
+
+    def test_scalar_subquery_comparison(self, db):
+        result = db.execute(
+            "SELECT bytes FROM T WHERE bytes = (SELECT MAX(bytes) FROM T)"
+        )
+        assert len(result) >= 1
+
+    def test_scalar_subquery_multiple_rows_raises(self, db):
+        with pytest.raises(QueryError):
+            db.execute("SELECT user FROM T WHERE bytes = (SELECT bytes FROM T)")
+
+    def test_in_subquery_multi_column_raises(self, db):
+        with pytest.raises(SqlPlanError):
+            db.execute("SELECT user FROM T WHERE cell IN (SELECT cell, region FROM CELLS)")
+
+
+class TestOrderingAndLimits:
+    def test_order_by_numeric(self, db):
+        result = db.execute("SELECT bytes FROM T ORDER BY bytes")
+        values = [int(v) for v in result.column("bytes")]
+        assert values == sorted(values)
+
+    def test_order_by_desc(self, db):
+        result = db.execute("SELECT bytes FROM T ORDER BY bytes DESC LIMIT 3")
+        values = [int(v) for v in result.column("bytes")]
+        assert values == sorted(values, reverse=True)
+
+    def test_order_by_ordinal(self, db):
+        result = db.execute("SELECT user, bytes FROM T ORDER BY 2 DESC LIMIT 1")
+        __, rows = sample_rows(30)
+        assert int(result.rows[0][1]) == max(int(r[4]) for r in rows)
+
+    def test_order_by_alias(self, db):
+        result = db.execute(
+            "SELECT cell, COUNT(*) AS n FROM T GROUP BY cell ORDER BY n DESC"
+        )
+        counts = [r[1] for r in result.rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_order_by_expression_over_base(self, db):
+        result = db.execute("SELECT user FROM T ORDER BY bytes DESC LIMIT 1")
+        assert len(result) == 1
+
+    def test_limit_zero(self, db):
+        assert len(db.execute("SELECT * FROM T LIMIT 0")) == 0
+
+    def test_distinct_then_order(self, db):
+        result = db.execute("SELECT DISTINCT plan FROM T ORDER BY plan")
+        assert result.column("plan") == ["business", "postpaid", "prepaid"]
+
+    def test_order_by_ordinal_out_of_range(self, db):
+        with pytest.raises(SqlPlanError):
+            db.execute("SELECT user FROM T ORDER BY 5")
+
+
+class TestScalarFunctions:
+    def test_upper_lower_length(self, db):
+        result = db.execute(
+            "SELECT UPPER(plan), LOWER(plan), LENGTH(plan) FROM T LIMIT 1"
+        )
+        plan = db.execute("SELECT plan FROM T LIMIT 1").rows[0][0]
+        assert result.rows[0] == [plan.upper(), plan.lower(), len(plan)]
+
+    def test_substr(self, db):
+        result = db.execute("SELECT SUBSTR(cell, 1, 1) AS c FROM T LIMIT 1")
+        assert result.rows[0][0] == "C"
+
+    def test_abs_round(self, db):
+        result = db.execute("SELECT ABS(0 - 5), ROUND(3.7) FROM T LIMIT 1")
+        assert result.rows[0] == [5, 4]
+
+    def test_coalesce(self):
+        database = Database()
+        database.register_table("N", ["a", "b"], [["", "fallback"]])
+        result = database.execute("SELECT COALESCE(a, b) FROM N")
+        assert result.rows == [["fallback"]]
+
+    def test_unknown_function_raises(self, db):
+        with pytest.raises(SqlPlanError, match="unknown function"):
+            db.execute("SELECT FROBNICATE(user) FROM T")
+
+
+class TestResultApi:
+    def test_to_dicts(self, db):
+        dicts = db.execute("SELECT user, bytes FROM T LIMIT 2").to_dicts()
+        assert set(dicts[0]) == {"user", "bytes"}
+
+    def test_missing_column_raises(self, db):
+        result = db.execute("SELECT user FROM T LIMIT 1")
+        with pytest.raises(QueryError):
+            result.column("ghost")
+
+    def test_lazy_table_loader_called(self):
+        calls = []
+
+        def loader():
+            calls.append(1)
+            return [["1"]]
+
+        database = Database()
+        database.register_lazy_table("L", ["v"], loader)
+        database.execute("SELECT v FROM L")
+        database.execute("SELECT v FROM L")
+        assert len(calls) == 2  # reloaded per scan, like real storage
+
+    def test_table_names(self, db):
+        assert db.table_names() == ["CELLS", "T"]

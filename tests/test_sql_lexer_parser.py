@@ -1,0 +1,241 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.query.sql.ast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    FunctionCall,
+    InList,
+    IsNull,
+    Join,
+    Like,
+    Literal,
+    ScalarSubquery,
+    Star,
+    SubqueryRef,
+    TableRef,
+    UnaryOp,
+    contains_aggregate,
+)
+from repro.query.sql.lexer import tokenize_sql
+from repro.query.sql.parser import parse_sql
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize_sql("select FROM Where")
+        assert [t.kind for t in tokens[:3]] == ["keyword"] * 3
+        assert [t.value for t in tokens[:3]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize_sql("myTable")
+        assert tokens[0].kind == "identifier"
+        assert tokens[0].value == "myTable"
+
+    def test_strings_both_quote_styles(self):
+        tokens = tokenize_sql("'abc' \"def\"")
+        assert [t.value for t in tokens[:2]] == ["abc", "def"]
+        assert all(t.kind == "string" for t in tokens[:2])
+
+    def test_numbers(self):
+        tokens = tokenize_sql("42 3.14 .5")
+        assert [t.value for t in tokens[:3]] == ["42", "3.14", ".5"]
+
+    def test_qualified_name_not_a_float(self):
+        tokens = tokenize_sql("t1.col")
+        kinds = [(t.kind, t.value) for t in tokens[:3]]
+        assert kinds == [("identifier", "t1"), ("op", "."), ("identifier", "col")]
+
+    def test_two_char_operators(self):
+        tokens = tokenize_sql("<= >= <> !=")
+        assert [t.value for t in tokens[:4]] == ["<=", ">=", "<>", "!="]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated"):
+            tokenize_sql("SELECT 'oops")
+
+    def test_illegal_character_raises(self):
+        with pytest.raises(SqlSyntaxError, match="illegal"):
+            tokenize_sql("SELECT @")
+
+    def test_eof_token_terminates(self):
+        tokens = tokenize_sql("x")
+        assert tokens[-1].kind == "eof"
+
+
+class TestParserBasics:
+    def test_minimal_select(self):
+        stmt = parse_sql("SELECT a FROM t")
+        assert len(stmt.items) == 1
+        assert isinstance(stmt.items[0].expression, ColumnRef)
+        assert isinstance(stmt.from_item, TableRef)
+        assert stmt.from_item.name == "t"
+
+    def test_star(self):
+        stmt = parse_sql("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expression, Star)
+
+    def test_qualified_star(self):
+        stmt = parse_sql("SELECT t.* FROM t")
+        assert stmt.items[0].expression == Star(table="t")
+
+    def test_aliases(self):
+        stmt = parse_sql("SELECT a AS x, b y FROM t AS u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.from_item.alias == "u"
+
+    def test_where_precedence_or_over_and(self):
+        stmt = parse_sql("SELECT a FROM t WHERE p = 1 AND q = 2 OR r = 3")
+        assert isinstance(stmt.where, BinaryOp)
+        assert stmt.where.op == "OR"
+        assert stmt.where.left.op == "AND"
+
+    def test_arithmetic_precedence(self):
+        stmt = parse_sql("SELECT a + b * c FROM t")
+        expr = stmt.items[0].expression
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        stmt = parse_sql("SELECT (a + b) * c FROM t")
+        assert stmt.items[0].expression.op == "*"
+
+    def test_unary_minus_and_not(self):
+        stmt = parse_sql("SELECT a FROM t WHERE NOT -a > 5")
+        assert isinstance(stmt.where, UnaryOp)
+        assert stmt.where.op == "NOT"
+
+    def test_group_by_having_order_limit(self):
+        stmt = parse_sql(
+            "SELECT cell, COUNT(*) FROM t GROUP BY cell "
+            "HAVING COUNT(*) > 2 ORDER BY cell DESC LIMIT 10"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].ascending is False
+        assert stmt.limit == 10
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct
+
+    def test_count_star_and_distinct(self):
+        stmt = parse_sql("SELECT COUNT(*), COUNT(DISTINCT a) FROM t")
+        first = stmt.items[0].expression
+        second = stmt.items[1].expression
+        assert isinstance(first, FunctionCall) and isinstance(first.args[0], Star)
+        assert second.distinct
+
+    def test_trailing_semicolon(self):
+        assert parse_sql("SELECT a FROM t;") is not None
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT a FROM t extra stuff here ,")
+
+    def test_missing_from_table_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT a FROM")
+
+    def test_select_without_from(self):
+        stmt = parse_sql("SELECT 1 + 2")
+        assert stmt.from_item is None
+
+
+class TestParserPredicates:
+    def test_between(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a BETWEEN 1 AND 10")
+        assert isinstance(stmt.where, Between)
+        assert not stmt.where.negated
+
+    def test_not_between(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a NOT BETWEEN 1 AND 10")
+        assert stmt.where.negated
+
+    def test_in_list(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a IN (1, 2, 3)")
+        assert isinstance(stmt.where, InList)
+        assert len(stmt.where.items) == 3
+
+    def test_in_subquery(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a IN (SELECT b FROM u)")
+        assert stmt.where.subquery is not None
+
+    def test_like(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a LIKE 'C%'")
+        assert isinstance(stmt.where, Like)
+
+    def test_like_requires_string(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT a FROM t WHERE a LIKE 5")
+
+    def test_is_null_and_is_not_null(self):
+        null = parse_sql("SELECT a FROM t WHERE a IS NULL").where
+        not_null = parse_sql("SELECT a FROM t WHERE a IS NOT NULL").where
+        assert isinstance(null, IsNull) and not null.negated
+        assert not_null.negated
+
+    def test_scalar_subquery(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a = (SELECT MAX(b) FROM u)")
+        assert isinstance(stmt.where.right, ScalarSubquery)
+
+
+class TestParserJoins:
+    def test_inner_join(self):
+        stmt = parse_sql("SELECT * FROM a JOIN b ON a.x = b.y")
+        assert isinstance(stmt.from_item, Join)
+        assert stmt.from_item.kind == "inner"
+
+    def test_explicit_inner_keyword(self):
+        stmt = parse_sql("SELECT * FROM a INNER JOIN b ON a.x = b.y")
+        assert stmt.from_item.kind == "inner"
+
+    def test_left_join(self):
+        stmt = parse_sql("SELECT * FROM a LEFT JOIN b ON a.x = b.y")
+        assert stmt.from_item.kind == "left"
+
+    def test_left_outer_join(self):
+        stmt = parse_sql("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y")
+        assert stmt.from_item.kind == "left"
+
+    def test_cross_join_via_comma(self):
+        stmt = parse_sql("SELECT * FROM a, b")
+        assert stmt.from_item.kind == "cross"
+        assert stmt.from_item.condition is None
+
+    def test_join_requires_on(self):
+        with pytest.raises(SqlSyntaxError, match="ON"):
+            parse_sql("SELECT * FROM a JOIN b")
+
+    def test_chained_joins(self):
+        stmt = parse_sql(
+            "SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y"
+        )
+        outer = stmt.from_item
+        assert isinstance(outer, Join)
+        assert isinstance(outer.left, Join)
+
+    def test_from_subquery(self):
+        stmt = parse_sql("SELECT * FROM (SELECT a FROM t) sub")
+        assert isinstance(stmt.from_item, SubqueryRef)
+        assert stmt.from_item.alias == "sub"
+
+    def test_from_subquery_requires_alias(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT * FROM (SELECT a FROM t)")
+
+
+class TestContainsAggregate:
+    def test_detects_nested_aggregate(self):
+        stmt = parse_sql("SELECT SUM(a) + 1 FROM t")
+        assert contains_aggregate(stmt.items[0].expression)
+
+    def test_plain_expression(self):
+        stmt = parse_sql("SELECT a + 1 FROM t")
+        assert not contains_aggregate(stmt.items[0].expression)
+
+    def test_literal(self):
+        assert not contains_aggregate(Literal(5))

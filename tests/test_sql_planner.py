@@ -1,0 +1,131 @@
+"""Tests for predicate pushdown and EXPLAIN."""
+
+import pytest
+
+from repro.query.sql import Database
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.register_table(
+        "CDR",
+        ["ts", "user", "cell", "bytes"],
+        [[str(i), f"u{i % 3}", f"c{i % 2}", str(i * 10)] for i in range(30)],
+    )
+    database.register_table(
+        "CELLS",
+        ["cell", "region"],
+        [["c0", "north"], ["c1", "south"]],
+    )
+    return database
+
+
+JOIN_SQL = (
+    "SELECT CDR.user, CELLS.region FROM CDR JOIN CELLS "
+    "ON CDR.cell = CELLS.cell WHERE bytes > 100 AND region = 'north'"
+)
+
+
+class TestPushdownCorrectness:
+    def test_join_with_pushdown_matches_manual(self, db):
+        joined = db.execute(JOIN_SQL)
+        # Same answer computed without the join path.
+        manual = db.execute(
+            "SELECT user FROM CDR WHERE bytes > 100 AND cell = 'c0'"
+        )
+        assert sorted(r[0] for r in joined.rows) == sorted(
+            r[0] for r in manual.rows
+        )
+        assert all(r[1] == "north" for r in joined.rows)
+
+    def test_cross_join_with_filters(self, db):
+        result = db.execute(
+            "SELECT CDR.user FROM CDR, CELLS "
+            "WHERE CDR.cell = CELLS.cell AND CELLS.region = 'south' "
+            "AND CDR.bytes < 50"
+        )
+        manual = db.execute(
+            "SELECT user FROM CDR WHERE cell = 'c1' AND bytes < 50"
+        )
+        assert sorted(result.rows) == sorted(manual.rows)
+
+    def test_left_join_does_not_push_into_right(self, db):
+        # The filter mentions the right side; with a LEFT JOIN it must
+        # apply after NULL-extension, eliminating unmatched rows only
+        # via the final filter — classic pushdown trap.
+        database = Database()
+        database.register_table("L", ["k"], [["a"], ["b"]])
+        database.register_table("R", ["k", "v"], [["a", "10"]])
+        result = database.execute(
+            "SELECT L.k FROM L LEFT JOIN R ON L.k = R.k WHERE v > 5"
+        )
+        assert result.rows == [["a"]]
+
+    def test_or_predicates_not_split(self, db):
+        result = db.execute(
+            "SELECT COUNT(*) FROM CDR JOIN CELLS ON CDR.cell = CELLS.cell "
+            "WHERE bytes > 250 OR region = 'south'"
+        )
+        manual = db.execute(
+            "SELECT COUNT(*) FROM CDR WHERE bytes > 250 OR cell = 'c1'"
+        )
+        assert result.rows == manual.rows
+
+    def test_ambiguous_conjunct_stays_above_join(self, db):
+        # "cell" exists on both sides: not pushable, must still work at
+        # the top (where it is genuinely ambiguous -> error).
+        from repro.errors import SqlPlanError
+
+        with pytest.raises(SqlPlanError, match="ambiguous"):
+            db.execute(
+                "SELECT CDR.user FROM CDR JOIN CELLS "
+                "ON CDR.cell = CELLS.cell WHERE cell = 'c0'"
+            )
+
+
+class TestExplain:
+    def test_scan_with_pushed_predicates(self, db):
+        plan = db.explain(JOIN_SQL)
+        assert "HashJoin" in plan
+        assert "Scan CDR pushed: [(bytes > 100)]" in plan
+        assert "Scan CELLS pushed: [(region = 'north')]" in plan
+
+    def test_nested_loop_join_detected(self, db):
+        plan = db.explain(
+            "SELECT * FROM CDR JOIN CELLS ON CDR.bytes > CELLS.cell"
+        )
+        assert "NestedLoopJoin" in plan
+
+    def test_cross_join_label(self, db):
+        assert "CrossJoin" in db.explain("SELECT * FROM CDR, CELLS")
+
+    def test_aggregate_stage(self, db):
+        plan = db.explain(
+            "SELECT cell, COUNT(*) AS n FROM CDR GROUP BY cell "
+            "HAVING n > 2 ORDER BY n DESC LIMIT 3"
+        )
+        assert "HashAggregate [keys: cell]" in plan
+        assert "Having" in plan
+        assert "Sort [n DESC]" in plan
+        assert "Limit [3]" in plan
+
+    def test_plain_projection(self, db):
+        plan = db.explain("SELECT user FROM CDR")
+        assert plan.splitlines()[0] == "Project [user]"
+        assert "Scan CDR" in plan
+
+    def test_distinct_stage(self, db):
+        assert "Distinct" in db.explain("SELECT DISTINCT user FROM CDR")
+
+    def test_subquery_scan(self, db):
+        plan = db.explain(
+            "SELECT * FROM (SELECT user FROM CDR) sub WHERE user = 'u1'"
+        )
+        assert "Subquery AS sub" in plan
+
+    def test_explain_does_not_execute_base_query(self, db):
+        calls = []
+        db.register_lazy_table("LAZY", ["x"], lambda: calls.append(1) or [["1"]])
+        db.explain("SELECT x FROM LAZY WHERE x = '1'")
+        assert calls == []  # plan only; no scan

@@ -1,0 +1,95 @@
+"""Tests for UNION / UNION ALL."""
+
+import pytest
+
+from repro.errors import SqlPlanError, SqlSyntaxError
+from repro.query.sql import Database, parse_sql
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.register_table("A", ["v"], [["1"], ["2"], ["2"]])
+    database.register_table("B", ["w"], [["2"], ["3"]])
+    database.register_table("C", ["x", "y"], [["1", "2"]])
+    return database
+
+
+class TestParsing:
+    def test_union_chain_recorded(self):
+        stmt = parse_sql("SELECT v FROM A UNION SELECT w FROM B")
+        assert len(stmt.unions) == 1
+        assert stmt.unions[0][1] is False  # set semantics
+
+    def test_union_all_flag(self):
+        stmt = parse_sql("SELECT v FROM A UNION ALL SELECT w FROM B")
+        assert stmt.unions[0][1] is True
+
+    def test_trailing_order_limit_bind_to_chain(self):
+        stmt = parse_sql(
+            "SELECT v FROM A UNION SELECT w FROM B ORDER BY v LIMIT 2"
+        )
+        assert stmt.limit == 2
+        assert stmt.order_by
+        assert stmt.unions[0][0].limit is None
+
+    def test_missing_second_select_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT v FROM A UNION")
+
+
+class TestExecution:
+    def test_union_dedups(self, db):
+        result = db.execute("SELECT v FROM A UNION SELECT w FROM B")
+        assert sorted(result.rows) == [["1"], ["2"], ["3"]]
+
+    def test_union_all_keeps_duplicates(self, db):
+        result = db.execute("SELECT v FROM A UNION ALL SELECT w FROM B")
+        assert len(result) == 5
+
+    def test_mixed_chain_dedups_whole(self, db):
+        result = db.execute(
+            "SELECT v FROM A UNION ALL SELECT w FROM B UNION SELECT v FROM A"
+        )
+        assert sorted(result.rows) == [["1"], ["2"], ["3"]]
+
+    def test_column_count_mismatch_raises(self, db):
+        with pytest.raises(SqlPlanError, match="columns"):
+            db.execute("SELECT v FROM A UNION SELECT x, y FROM C")
+
+    def test_columns_named_after_head(self, db):
+        result = db.execute("SELECT v FROM A UNION SELECT w FROM B")
+        assert result.columns == ["v"]
+
+    def test_order_by_head_column(self, db):
+        result = db.execute(
+            "SELECT v FROM A UNION SELECT w FROM B ORDER BY v DESC"
+        )
+        assert result.rows == [["3"], ["2"], ["1"]]
+
+    def test_order_by_ordinal(self, db):
+        result = db.execute(
+            "SELECT v FROM A UNION SELECT w FROM B ORDER BY 1"
+        )
+        assert result.rows == [["1"], ["2"], ["3"]]
+
+    def test_order_by_unknown_column_raises(self, db):
+        with pytest.raises(SqlPlanError):
+            db.execute("SELECT v FROM A UNION SELECT w FROM B ORDER BY ghost")
+
+    def test_limit_applies_after_union(self, db):
+        result = db.execute(
+            "SELECT v FROM A UNION ALL SELECT w FROM B LIMIT 4"
+        )
+        assert len(result) == 4
+
+    def test_union_with_aggregates_per_branch(self, db):
+        result = db.execute(
+            "SELECT COUNT(*) FROM A UNION ALL SELECT COUNT(*) FROM B"
+        )
+        assert sorted(r[0] for r in result.rows) == [2, 3]
+
+    def test_union_numeric_dedup_across_forms(self, db):
+        # "2" (string cell) and 2 (computed) dedup via numeric normalization.
+        result = db.execute("SELECT v FROM A UNION SELECT 1 + 1")
+        assert sorted(str(r[0]) for r in result.rows) == ["1", "2"]

@@ -1,0 +1,267 @@
+"""Tests for the telco substrate: topology, users, workload, generator."""
+
+import pytest
+
+from repro.core.snapshot import EPOCHS_PER_DAY
+from repro.compression.entropy import attribute_entropies
+from repro.telco import (
+    DAY_PERIODS,
+    WEEKDAYS,
+    NetworkTopology,
+    RadioTech,
+    TelcoTraceGenerator,
+    TraceConfig,
+    day_period_of_epoch,
+    load_multiplier,
+    weekday_of_epoch,
+)
+from repro.telco.schema import (
+    CDR_COLUMNS,
+    CDR_SCHEMA,
+    CELL_COLUMNS,
+    NMS_COLUMNS,
+)
+from repro.telco.users import UserPopulation
+from repro.telco.workload import (
+    day_period_of_hour,
+    diurnal_factor,
+    epochs_of_day_period,
+    epochs_of_weekday,
+)
+
+
+class TestSchema:
+    def test_cdr_has_about_200_attributes(self):
+        assert 190 <= len(CDR_COLUMNS) <= 210
+
+    def test_nms_has_8_attributes(self):
+        assert len(NMS_COLUMNS) == 8
+
+    def test_cell_has_10_attributes(self):
+        assert len(CELL_COLUMNS) == 10
+
+    def test_no_duplicate_column_names(self):
+        assert len(set(CDR_COLUMNS)) == len(CDR_COLUMNS)
+
+    def test_filler_specs_sample_strings(self):
+        import random
+
+        rng = random.Random(0)
+        for spec in CDR_SCHEMA[14:]:
+            value = spec.sample(rng)
+            assert isinstance(value, str)
+
+    def test_core_specs_refuse_to_sample(self):
+        import random
+
+        with pytest.raises(ValueError):
+            CDR_SCHEMA[0].sample(random.Random(0))
+
+
+class TestTopology:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return NetworkTopology.build(n_antennas=100, seed=5)
+
+    def test_antenna_count(self, topo):
+        assert len(topo.antennas) == 100
+
+    def test_cells_per_antenna_ratio(self, topo):
+        # Sector weights average ~2.75 cells per antenna (paper: 3660/1192 ~ 3.07).
+        ratio = len(topo.cells) / len(topo.antennas)
+        assert 2.0 <= ratio <= 4.0
+
+    def test_all_cells_inside_area(self, topo):
+        for cell in topo.cells:
+            assert topo.area.contains(cell.centroid)
+
+    def test_cell_lookup(self, topo):
+        cell = topo.cells[0]
+        assert topo.cell(cell.cell_id) is cell
+        with pytest.raises(KeyError):
+            topo.cell("C99999")
+
+    def test_controllers_match_tech(self, topo):
+        by_id = {c.controller_id: c for c in topo.controllers}
+        for antenna in topo.antennas:
+            controller = by_id[antenna.controller_id]
+            assert controller.tech == antenna.tech
+
+    def test_deterministic_for_seed(self):
+        a = NetworkTopology.build(n_antennas=30, seed=9)
+        b = NetworkTopology.build(n_antennas=30, seed=9)
+        assert [c.cell_id for c in a.cells] == [c.cell_id for c in b.cells]
+        assert a.cells[0].centroid == b.cells[0].centroid
+
+    def test_radio_tech_names(self):
+        assert RadioTech.GSM.base_station_kind == "BTS"
+        assert RadioTech.UMTS.controller_kind == "RNC"
+        assert RadioTech.LTE.base_station_kind == "eNodeB"
+
+    def test_cells_in_box(self, topo):
+        found = topo.cells_in(topo.area)
+        assert len(found) == len(topo.cells)
+
+
+class TestUsers:
+    @pytest.fixture(scope="class")
+    def population(self):
+        topo = NetworkTopology.build(n_antennas=40, seed=2)
+        return UserPopulation(topo, n_users=500, seed=2)
+
+    def test_population_size(self, population):
+        assert len(population.subscribers) == 500
+
+    def test_sample_active_weighted(self, population):
+        sample = population.sample_active(100)
+        assert len(sample) == 100
+
+    def test_mobility_moves_some_users(self, population):
+        before = [s.current_cell_index for s in population.subscribers]
+        population.step_mobility()
+        after = [s.current_cell_index for s in population.subscribers]
+        moved = sum(1 for b, a in zip(before, after) if b != a)
+        assert moved > 0
+
+    def test_empty_topology_rejected(self):
+        topo = NetworkTopology.build(n_antennas=10, seed=1)
+        topo.cells = []
+        with pytest.raises(ValueError):
+            UserPopulation(topo, n_users=10)
+
+
+class TestWorkload:
+    def test_day_periods_cover_every_hour(self):
+        for hour in range(24):
+            assert day_period_of_hour(hour) in DAY_PERIODS
+
+    def test_paper_boundaries(self):
+        assert day_period_of_hour(5) == "morning"
+        assert day_period_of_hour(11) == "morning"
+        assert day_period_of_hour(12) == "afternoon"
+        assert day_period_of_hour(17) == "evening"
+        assert day_period_of_hour(21) == "night"
+        assert day_period_of_hour(4) == "night"
+
+    def test_invalid_hour(self):
+        with pytest.raises(ValueError):
+            day_period_of_hour(24)
+
+    def test_weekday_of_epoch_origin_is_monday(self):
+        assert weekday_of_epoch(0) == "Mon"
+        assert weekday_of_epoch(EPOCHS_PER_DAY) == "Tue"
+
+    def test_epochs_of_day_period_partition(self):
+        total = sum(len(epochs_of_day_period(p)) for p in DAY_PERIODS)
+        assert total == 7 * EPOCHS_PER_DAY
+
+    def test_epochs_of_weekday_partition(self):
+        total = sum(len(epochs_of_weekday(w)) for w in WEEKDAYS)
+        assert total == 7 * EPOCHS_PER_DAY
+
+    def test_unknown_keys_raise(self):
+        with pytest.raises(KeyError):
+            epochs_of_day_period("brunch")
+        with pytest.raises(KeyError):
+            epochs_of_weekday("Funday")
+
+    def test_diurnal_peak_and_trough(self):
+        assert diurnal_factor(19.0) > diurnal_factor(3.0)
+
+    def test_load_multiplier_positive(self):
+        for epoch in range(0, 7 * EPOCHS_PER_DAY, 7):
+            assert load_multiplier(epoch) > 0
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def gen(self):
+        return TelcoTraceGenerator(TraceConfig(scale=0.003, days=7, seed=4))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TraceConfig(scale=0)
+        with pytest.raises(ValueError):
+            TraceConfig(days=0)
+
+    def test_scaled_counts(self):
+        config = TraceConfig(scale=0.01)
+        assert config.n_users == 3000
+        assert config.n_antennas == 11
+        assert config.cdr_per_epoch > 0
+        assert config.nms_per_epoch > config.cdr_per_epoch
+
+    def test_snapshot_tables_and_schema(self, gen):
+        from repro.telco.schema import MR_COLUMNS
+
+        snap = gen.snapshot(10)
+        assert set(snap.tables) == {"CDR", "NMS", "MR"}
+        assert snap.tables["CDR"].columns == CDR_COLUMNS
+        assert snap.tables["NMS"].columns == NMS_COLUMNS
+        assert snap.tables["MR"].columns == MR_COLUMNS
+
+    def test_mr_reports_tied_to_sessions(self, gen):
+        snap = gen.snapshot(12)
+        cdr = snap.tables["CDR"]
+        mr = snap.tables["MR"]
+        # 1-3 reports per session.
+        assert len(cdr) <= len(mr) <= 3 * len(cdr)
+        cdr_users = set(cdr.column_values("caller_id"))
+        assert set(mr.column_values("user_id")) <= cdr_users
+
+    def test_mr_rssi_physically_plausible(self, gen):
+        from repro.telco.radio import NOISE_FLOOR_DBM
+
+        mr = gen.snapshot(13).tables["MR"]
+        for value in mr.column_values("rssi_dbm"):
+            assert NOISE_FLOOR_DBM <= int(value) <= 25
+
+    def test_cells_table_schema(self, gen):
+        cells = gen.cells_table()
+        assert cells.columns == CELL_COLUMNS
+        assert len(cells) == len(gen.topology.cells)
+
+    def test_cdr_cells_exist_in_topology(self, gen):
+        snap = gen.snapshot(11)
+        known = {c.cell_id for c in gen.topology.cells}
+        cell_idx = snap.tables["CDR"].column_index("cell_id")
+        assert all(row[cell_idx] in known for row in snap.tables["CDR"].rows)
+
+    def test_determinism(self):
+        a = TelcoTraceGenerator(TraceConfig(scale=0.003, seed=8)).snapshot(5)
+        b = TelcoTraceGenerator(TraceConfig(scale=0.003, seed=8)).snapshot(5)
+        assert a.serialize() == b.serialize()
+
+    def test_different_seeds_differ(self):
+        a = TelcoTraceGenerator(TraceConfig(scale=0.003, seed=8)).snapshot(5)
+        b = TelcoTraceGenerator(TraceConfig(scale=0.003, seed=9)).snapshot(5)
+        assert a.serialize() != b.serialize()
+
+    def test_load_varies_by_time_of_day(self, gen):
+        night = gen.snapshot(6)  # 03:00
+        evening = gen.snapshot(38)  # 19:00
+        assert len(evening.tables["CDR"]) > len(night.tables["CDR"])
+
+    def test_entropy_profile_matches_figure4(self, gen):
+        snap = gen.snapshot(20)
+        cdr_entropy = attribute_entropies(snap.tables["CDR"].rows)
+        below_one = sum(1 for e in cdr_entropy if e < 1.0)
+        # Figure 4 (left): most CDR attributes below 1 bit.
+        assert below_one > len(cdr_entropy) * 0.6
+        nms_entropy = attribute_entropies(snap.tables["NMS"].rows)
+        # Figure 4 (centre): NMS counters are low-entropy (quantized).
+        assert max(nms_entropy[2:]) < 7.0
+
+    def test_generate_defaults_to_whole_trace(self):
+        gen = TelcoTraceGenerator(TraceConfig(scale=0.003, days=1, seed=3))
+        snapshots = list(gen.generate())
+        assert len(snapshots) == EPOCHS_PER_DAY
+        assert [s.epoch for s in snapshots] == list(range(EPOCHS_PER_DAY))
+
+    def test_record_ids_are_unique(self, gen):
+        snap_a = gen.snapshot(30)
+        snap_b = gen.snapshot(31)
+        idx = snap_a.tables["CDR"].column_index("record_id")
+        ids = [r[idx] for r in snap_a.tables["CDR"].rows]
+        ids += [r[idx] for r in snap_b.tables["CDR"].rows]
+        assert len(ids) == len(set(ids))

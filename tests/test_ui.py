@@ -1,0 +1,100 @@
+"""Tests for the UI layer: heatmap rendering and query templates."""
+
+import pytest
+
+from repro.query.sql import Database
+from repro.spatial.geometry import BoundingBox, Point
+from repro.ui import QUERY_TEMPLATES, HeatmapRenderer, render_heatmap, run_template
+
+AREA = BoundingBox(0, 0, 100, 100)
+
+
+class TestHeatmap:
+    def test_dimensions(self):
+        rendered = render_heatmap(
+            [(Point(10, 10), 1.0)], AREA, cols=20, rows=5
+        )
+        lines = rendered.split("\n")
+        assert len(lines) == 6  # 5 rows + footer
+        assert all(len(line) == 20 for line in lines[:5])
+
+    def test_title_line(self):
+        rendered = render_heatmap([], AREA, title="Coverage")
+        assert rendered.startswith("Coverage\n")
+
+    def test_empty_samples_render(self):
+        rendered = render_heatmap([], AREA, cols=10, rows=3)
+        assert "[0.0 .. 0.0]" in rendered
+
+    def test_hot_tile_gets_darker_glyph(self):
+        ramp = " .:-=+*#%@"
+        rendered = HeatmapRenderer(AREA, cols=10, rows=10).render(
+            [(Point(5, 5), 0.0), (Point(95, 95), 100.0)]
+        )
+        grid_lines = rendered.split("\n")[:-1]
+        # North-up rendering: the hot NE sample is on the first line.
+        assert "@" in grid_lines[0]
+        assert any(ch == ramp[0] or ch == " " for ch in grid_lines[-1])
+
+    def test_samples_outside_area_ignored(self):
+        rendered = render_heatmap(
+            [(Point(500, 500), 9.0)], AREA, cols=5, rows=5
+        )
+        assert "[0.0 .. 0.0]" in rendered
+
+    def test_mean_per_tile(self):
+        renderer = HeatmapRenderer(AREA, cols=1, rows=1)
+        rendered = renderer.render([(Point(1, 1), 2.0), (Point(2, 2), 4.0)])
+        assert "[3.0 .. 3.0]" in rendered
+
+
+class TestTemplates:
+    @pytest.fixture()
+    def db(self):
+        database = Database()
+        database.register_table(
+            "CDR",
+            ["ts", "cell_id", "drop_flag", "downflux", "upflux"],
+            [
+                ["201601180030", "C001", "1", "100", "10"],
+                ["201601180030", "C001", "0", "200", "20"],
+                ["201601180100", "C002", "1", "300", "30"],
+                ["201601190000", "C001", "1", "999", "99"],  # out of window
+            ],
+        )
+        database.register_table(
+            "NMS",
+            ["ts", "cellid", "kpi", "val"],
+            [
+                ["201601180030", "C001", "rssi_avg", "70"],
+                ["201601180030", "C002", "congestion", "5"],
+            ],
+        )
+        return database
+
+    def test_registry_entries_well_formed(self):
+        for name, (description, builder) in QUERY_TEMPLATES.items():
+            assert description
+            sql = builder("201601180000", "201601182359")
+            assert sql.upper().startswith("SELECT")
+
+    def test_drop_calls_template(self, db):
+        result = run_template(db, "drop_calls", "201601180000", "201601182359")
+        assert dict(result.rows) == {"C001": 1, "C002": 1}
+
+    def test_downflux_template_sums(self, db):
+        result = run_template(db, "downflux_upflux", "201601180000", "201601182359")
+        by_cell = {r[0]: (r[1], r[2]) for r in result.rows}
+        assert by_cell["C001"] == (300, 30)
+
+    def test_rssi_template(self, db):
+        result = run_template(db, "rssi_heatmap", "201601180000", "201601182359")
+        assert result.rows == [["C001", 70.0]]
+
+    def test_busiest_cells_template(self, db):
+        result = run_template(db, "busiest_cells", "201601180000", "201601182359")
+        assert result.rows[0][0] == "C001"
+
+    def test_unknown_template_raises(self, db):
+        with pytest.raises(KeyError):
+            run_template(db, "nonexistent", "0", "1")

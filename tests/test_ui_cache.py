@@ -1,0 +1,106 @@
+"""Tests for the UI exploration cache (zoom-in answering)."""
+
+import pytest
+
+from repro.spatial.geometry import BoundingBox
+from repro.ui.cache import CachedExplorer
+
+
+@pytest.fixture()
+def explorer(spate_day):
+    return CachedExplorer(spate_day, capacity=4)
+
+
+class TestCacheBasics:
+    def test_first_query_misses(self, explorer):
+        explorer.explore("CDR", ("downflux",), None, 0, 20)
+        assert explorer.misses == 1
+        assert explorer.hits == 0
+        assert explorer.size == 1
+
+    def test_exact_repeat_hits(self, explorer):
+        explorer.explore("CDR", ("downflux",), None, 0, 20)
+        repeat = explorer.explore("CDR", ("downflux",), None, 0, 20)
+        assert explorer.hits == 1
+        assert repeat.snapshots_read > 0  # cached object returned as-is
+
+    def test_invalid_capacity(self, spate_day):
+        with pytest.raises(ValueError):
+            CachedExplorer(spate_day, capacity=0)
+
+    def test_invalidate(self, explorer):
+        explorer.explore("CDR", ("downflux",), None, 0, 5)
+        explorer.invalidate()
+        assert explorer.size == 0
+        explorer.explore("CDR", ("downflux",), None, 0, 5)
+        assert explorer.misses == 2
+
+    def test_lru_eviction(self, explorer):
+        for i in range(6):
+            explorer.explore("CDR", (f"downflux",), None, i, i)  # same key!
+        assert explorer.size == 1
+        # Different attribute tuples are distinct keys.
+        explorer.explore("CDR", ("upflux",), None, 0, 1)
+        explorer.explore("NMS", ("val",), None, 0, 1)
+        assert explorer.size == 3
+
+
+class TestZoomIn:
+    def test_narrowed_window_served_from_cache(self, explorer, spate_day):
+        whole = explorer.explore("CDR", ("downflux",), None, 0, 47)
+        zoomed = explorer.explore("CDR", ("downflux",), None, 10, 20)
+        assert explorer.hits == 1
+        assert zoomed.snapshots_read == 0  # no storage access
+        assert zoomed.resolution_by_day == {"*": "cache"}
+        # Equivalence with a direct (uncached) evaluation.
+        direct = spate_day.explore("CDR", ("downflux",), None, 10, 20)
+        assert len(zoomed.records) == len(direct.records)
+        assert zoomed.aggregate("downflux").total == direct.aggregate("downflux").total
+        assert zoomed.aggregate("downflux").count == direct.aggregate("downflux").count
+
+    def test_zoom_preserves_epoch_bounds(self, explorer):
+        explorer.explore("CDR", ("downflux",), None, 0, 47)
+        zoomed = explorer.explore("CDR", ("downflux",), None, 5, 7)
+        epochs = {int(r[0]) for r in zoomed.records}
+        assert epochs <= set(range(5, 8))
+
+    def test_wider_window_misses(self, explorer):
+        explorer.explore("CDR", ("downflux",), None, 10, 20)
+        explorer.explore("CDR", ("downflux",), None, 0, 47)
+        assert explorer.hits == 0
+        assert explorer.misses == 2
+
+    def test_different_box_misses(self, explorer, spate_day):
+        area = spate_day.area
+        west = BoundingBox(area.min_x, area.min_y, area.center.x, area.max_y)
+        explorer.explore("CDR", ("downflux",), None, 0, 47)
+        explorer.explore("CDR", ("downflux",), west, 5, 10)
+        assert explorer.hits == 0
+
+    def test_same_box_zoom_hits(self, explorer, spate_day):
+        area = spate_day.area
+        west = BoundingBox(area.min_x, area.min_y, area.center.x, area.max_y)
+        explorer.explore("CDR", ("downflux",), west, 0, 47)
+        zoomed = explorer.explore("CDR", ("downflux",), west, 12, 14)
+        assert explorer.hits == 1
+        direct = spate_day.explore("CDR", ("downflux",), west, 12, 14)
+        assert zoomed.aggregate("downflux").total == direct.aggregate("downflux").total
+
+    def test_decayed_results_not_narrowed(self, tiny_generator, tiny_snapshots):
+        from repro.core import Spate, SpateConfig
+        from repro.core.config import DecayPolicyConfig
+
+        spate = Spate(SpateConfig(
+            codec="gzip-ref", decay=DecayPolicyConfig(keep_epochs=6)
+        ))
+        spate.register_cells(tiny_generator.cells_table())
+        for snapshot in tiny_snapshots:
+            spate.ingest(snapshot)
+        spate.finalize()
+        explorer = CachedExplorer(spate)
+        whole = explorer.explore("CDR", ("downflux",), None, 0, 47)
+        assert whole.used_decayed_data
+        explorer.explore("CDR", ("downflux",), None, 5, 10)
+        # Zoom into a summary-backed result must re-query, not narrow.
+        assert explorer.hits == 0
+        assert explorer.misses == 2

@@ -1,0 +1,131 @@
+"""Tests for the radio model and the coverage prediction layer."""
+
+import random
+
+import pytest
+
+from repro.spatial.geometry import Point
+from repro.telco import NetworkTopology, RadioTech, TelcoTraceGenerator, TraceConfig
+from repro.telco.radio import (
+    NOISE_FLOOR_DBM,
+    received_power_dbm,
+    usable,
+)
+from repro.ui import CoverageModel
+
+
+class TestRadioModel:
+    def test_power_decays_with_distance(self):
+        near = received_power_dbm(50, RadioTech.GSM)
+        far = received_power_dbm(2000, RadioTech.GSM)
+        assert near > far
+
+    def test_floor_clamped(self):
+        assert received_power_dbm(1e9, RadioTech.LTE) == NOISE_FLOOR_DBM
+
+    def test_zero_distance_clamped(self):
+        assert received_power_dbm(0, RadioTech.GSM) == received_power_dbm(
+            1, RadioTech.GSM
+        )
+
+    def test_lte_decays_faster_than_gsm(self):
+        gsm = received_power_dbm(1500, RadioTech.GSM)
+        lte = received_power_dbm(1500, RadioTech.LTE)
+        assert gsm > lte
+
+    def test_shadowing_shifts_power(self):
+        base = received_power_dbm(100, RadioTech.UMTS)
+        assert received_power_dbm(100, RadioTech.UMTS, shadowing_db=6.0) == base + 6.0
+
+    def test_usable_threshold(self):
+        assert usable(-90.0)
+        assert not usable(NOISE_FLOOR_DBM)
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return NetworkTopology.build(n_antennas=30, area_km=(30, 20), seed=61)
+
+
+@pytest.fixture(scope="module")
+def model(topology):
+    return CoverageModel(topology, cols=24, rows=12)
+
+
+class TestCoverageModel:
+    def test_grid_fully_populated(self, model):
+        assert len(model._grid) == 24 * 12
+
+    def test_prediction_near_antenna_is_strong(self, model, topology):
+        antenna = topology.antennas[0]
+        rssi = model.predicted_rssi(antenna.location)
+        assert rssi > -100
+
+    def test_prediction_outside_area_is_floor(self, model):
+        assert model.predicted_rssi(Point(-1e6, -1e6)) == NOISE_FLOOR_DBM
+
+    def test_coverage_fraction_bounds(self, model):
+        assert 0.0 <= model.coverage_fraction() <= 1.0
+        # Everything clears the noise floor itself.
+        assert model.coverage_fraction(threshold_dbm=NOISE_FLOOR_DBM) == 1.0
+
+    def test_render_produces_heatmap(self, model):
+        rendered = model.render()
+        assert "Predicted coverage" in rendered
+        assert len(rendered.splitlines()) == 12 + 2  # title + rows + footer
+
+    def test_comparison_with_consistent_measurements(self, model, topology):
+        # Synthesize measurements with the same physics (no shadowing):
+        # deltas should be small on average.
+        rng = random.Random(2)
+        measurements = []
+        for antenna in topology.antennas[:10]:
+            for __ in range(5):
+                dx, dy = rng.uniform(-200, 200), rng.uniform(-200, 200)
+                point = Point(antenna.location.x + dx, antenna.location.y + dy)
+                if not topology.area.contains(point):
+                    continue
+                measured = received_power_dbm(
+                    antenna.location.distance_to(point), antenna.tech
+                )
+                measurements.append((point, measured))
+        comparison = model.compare_with_measurements(measurements)
+        assert comparison.count == len(measurements)
+        assert comparison.mean_abs_delta_db < 25.0
+
+    def test_anomaly_fraction_detects_faults(self, model, topology):
+        # Inject measurements 40 dB below prediction (a broken antenna).
+        faulty = [
+            (antenna.location, model.predicted_rssi(antenna.location) - 40.0)
+            for antenna in topology.antennas[:5]
+        ]
+        comparison = model.compare_with_measurements(faulty)
+        assert comparison.anomaly_fraction(threshold_db=15.0) == 1.0
+
+    def test_empty_comparison(self, model):
+        comparison = model.compare_with_measurements([])
+        assert comparison.count == 0
+        assert comparison.mean_delta_db == 0.0
+        assert comparison.anomaly_fraction() == 0.0
+
+
+class TestEndToEndWithMr:
+    def test_mr_measurements_agree_with_model(self):
+        """Stored MR records, decoded and compared against the coverage
+        model, deviate only by the generator's shadowing noise."""
+        generator = TelcoTraceGenerator(TraceConfig(scale=0.005, days=1, seed=67))
+        snapshot = generator.snapshot(20)
+        mr = snapshot.tables["MR"]
+        cells = {c.cell_id: c for c in generator.topology.cells}
+        model = CoverageModel(generator.topology, cols=24, rows=12)
+        measurements = []
+        for row in mr.rows:
+            cell = cells[row[mr.column_index("cellid")]]
+            measurements.append(
+                (cell.centroid, float(row[mr.column_index("rssi_dbm")]))
+            )
+        comparison = model.compare_with_measurements(measurements)
+        assert comparison.count > 0
+        # Shadowing sigma is 4 dB; tile quantization adds more, but the
+        # mean absolute delta stays far below a propagation fault.
+        assert comparison.mean_abs_delta_db < 30.0
