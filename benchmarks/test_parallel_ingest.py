@@ -1,0 +1,81 @@
+"""Parallel-ingest bench: serial vs pooled executors on one day of trace.
+
+The paper's constraint is absolute — ingest must finish well inside the
+30-minute epoch (§V-A) — so what matters is the wall-clock of the
+serialize+compress stage.  This bench ingests the same seeded trace
+through each executor backend, records the wall-clock and the
+compress-stage speedup estimate, and asserts the backends stored
+byte-identical leaves (the pipeline's core invariant).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import Spate, SpateConfig
+from repro.core.config import DecayPolicyConfig
+from repro.engine.executor import default_workers
+from repro.telco import TelcoTraceGenerator, TraceConfig
+
+from conftest import report
+
+SCALE = 0.02
+EPOCHS = 48
+
+
+def _run_backend(executor: str) -> tuple[Spate, float]:
+    generator = TelcoTraceGenerator(TraceConfig(scale=SCALE, days=1, seed=2017))
+    spate = Spate(SpateConfig(
+        codec="gzip-ref",
+        executor=executor,
+        decay=DecayPolicyConfig(enabled=False),
+    ))
+    spate.register_cells(generator.cells_table())
+    snapshots = [generator.snapshot(epoch) for epoch in range(EPOCHS)]
+    start = time.perf_counter()
+    for snapshot in snapshots:
+        spate.ingest(snapshot)
+    wall = time.perf_counter() - start
+    spate.finalize()
+    return spate, wall
+
+
+def _dfs_contents(spate: Spate) -> dict[str, bytes]:
+    return {path: spate.dfs.read_file(path) for path in spate.dfs.list_dir("/spate")}
+
+
+def test_parallel_ingest_report(benchmark):
+    # benchmark wrapper keeps this report alive under --benchmark-only
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    results: dict[str, tuple[Spate, float]] = {}
+    for executor in ("serial", "thread"):
+        results[executor] = _run_backend(executor)
+
+    serial_spate, serial_wall = results["serial"]
+    thread_spate, thread_wall = results["thread"]
+
+    # The pipeline's core invariant: backends store byte-identical leaves.
+    assert _dfs_contents(serial_spate) == _dfs_contents(thread_spate)
+
+    lines = [
+        f"Parallel ingest: one day, scale={SCALE}, codec=gzip-ref, "
+        f"{default_workers()} worker(s)",
+        f"{'backend':>10} {'wall(s)':>9} {'compress(s)':>12} {'speedup':>8}",
+    ]
+    for executor, (spate, wall) in results.items():
+        metrics = spate.metrics
+        lines.append(
+            f"{executor:>10} {wall:>9.3f} "
+            f"{metrics.compress_wall_seconds:>12.3f} "
+            f"{metrics.parallel_speedup:>8.2f}x"
+        )
+    lines.append(
+        f"thread/serial wall ratio: {thread_wall / serial_wall:.2f}x "
+        "(<1 means the pool wins on this host)"
+    )
+    report("parallel_ingest", "\n".join(lines))
+
+    # Both paths must sit far inside the 30-minute epoch budget.
+    assert serial_wall < 30 * 60
+    assert thread_wall < 30 * 60

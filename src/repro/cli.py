@@ -10,12 +10,14 @@ Commands:
     explore       run a Q(a, b, w) exploration query
     sql           run a SQL statement over the ingested tables
     highlights    list detected rare-event highlights
+    metrics       ingest + query a trace, print the warehouse metrics
     bench-codecs  Table-I style codec microbenchmark
 
 Examples:
     python -m repro.cli ingest --scale 0.01 --days 1 --codec gzip
     python -m repro.cli explore --attr downflux --first 0 --last 47
     python -m repro.cli sql "SELECT call_type, COUNT(*) FROM CDR GROUP BY call_type"
+    python -m repro.cli metrics --executor thread
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from repro.compression import available_codecs, get_codec
 from repro.compression.base import StatsAccumulator
 from repro.core import Spate, SpateConfig
 from repro.core.layout import LAYOUTS
+from repro.engine.executor import EXECUTOR_BACKENDS
 from repro.spatial.geometry import BoundingBox
 from repro.telco import TelcoTraceGenerator, TraceConfig
 from repro.ui import QUERY_TEMPLATES
@@ -41,13 +44,24 @@ def _add_trace_args(parser: argparse.ArgumentParser) -> None:
                         help=f"storage codec ({', '.join(available_codecs())})")
     parser.add_argument("--layout", default="row", choices=LAYOUTS,
                         help="physical table layout")
+    parser.add_argument("--executor", default="auto", choices=EXECUTOR_BACKENDS,
+                        help="ingest pipeline backend (stored bytes are "
+                             "identical across backends)")
+    parser.add_argument("--leaf-cache-bytes", type=int,
+                        default=SpateConfig().leaf_cache_bytes,
+                        help="decompressed leaf cache capacity (0 disables)")
 
 
 def _build_spate(args: argparse.Namespace) -> tuple[Spate, TelcoTraceGenerator]:
     generator = TelcoTraceGenerator(
         TraceConfig(scale=args.scale, days=args.days, seed=args.seed)
     )
-    spate = Spate(SpateConfig(codec=args.codec, layout=args.layout))
+    spate = Spate(SpateConfig(
+        codec=args.codec,
+        layout=args.layout,
+        executor=args.executor,
+        leaf_cache_bytes=args.leaf_cache_bytes,
+    ))
     spate.register_cells(generator.cells_table())
     for snapshot in generator.generate():
         spate.ingest(snapshot)
@@ -63,7 +77,7 @@ def cmd_info(args: argparse.Namespace) -> int:
     config = TraceConfig()
     print(f"trace defaults: scale={config.scale} days={config.days} "
           f"seed={config.seed}")
-    print(f"paper scale 1.0 = ~1.7M CDR + ~21M NMS records per week")
+    print("paper scale 1.0 = ~1.7M CDR + ~21M NMS records per week")
     return 0
 
 
@@ -150,6 +164,19 @@ def cmd_highlights(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """``metrics``: ingest a trace, run one whole-window exploration to
+    exercise the read path, then print the warehouse counters."""
+    spate, __ = _build_spate(args)
+    last = spate.index.frontier_epoch
+    if last >= 0:
+        spate.explore("CDR", ("downflux", "upflux"), None, 0, last)
+        if args.reread:
+            spate.explore("CDR", ("downflux", "upflux"), None, 0, last)
+    print(spate.metrics.summary())
+    return 0
+
+
 def cmd_bench_codecs(args: argparse.Namespace) -> int:
     """``bench-codecs``: Table-I style microbenchmark over snapshots."""
     generator = TelcoTraceGenerator(
@@ -212,6 +239,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--last", type=int, default=47)
     p.add_argument("--limit", type=int, default=20)
     p.set_defaults(func=cmd_highlights)
+
+    p = sub.add_parser("metrics", help="print warehouse metrics")
+    _add_trace_args(p)
+    p.add_argument("--reread", action="store_true",
+                   help="run the exploration twice to show cache hits")
+    p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser("bench-codecs", help="Table-I microbenchmark")
     p.add_argument("--scale", type=float, default=0.004)

@@ -8,11 +8,14 @@ with a :class:`repro.core.config.SpateConfig`, feed it snapshots from
 """
 
 from repro.core.config import DecayPolicyConfig, HighlightsConfig, SpateConfig
+from repro.core.leaf_cache import LeafCache, LeafCacheStats
 from repro.core.snapshot import Snapshot, Table, epoch_to_timestamp, timestamp_to_epoch
 
 __all__ = [
     "DecayPolicyConfig",
     "HighlightsConfig",
+    "LeafCache",
+    "LeafCacheStats",
     "SpateConfig",
     "Snapshot",
     "Table",

@@ -86,6 +86,13 @@ class SpateConfig:
             scaled down by default for in-process experiments).
         leaf_spatial_index: attach a per-snapshot R-tree (paper argues
             against it; kept for the ablation).
+        executor: ingest-pipeline backend ("serial" / "thread" /
+            "process"; "auto" picks per host).  All backends store
+            byte-identical leaves — only wall-clock changes.
+        executor_workers: pooled-backend worker count (None = core
+            count, capped at 8).
+        leaf_cache_bytes: capacity of the decompressed-leaf LRU cache
+            on the read path; 0 disables caching.
         highlights: highlights-module settings.
         decay: decaying-module settings.
     """
@@ -95,6 +102,9 @@ class SpateConfig:
     replication: int = 3
     block_size: int = 4 * 1024 * 1024
     leaf_spatial_index: bool = False
+    executor: str = "auto"
+    executor_workers: int | None = None
+    leaf_cache_bytes: int = 16 * 1024 * 1024
     highlights: HighlightsConfig = field(default_factory=HighlightsConfig)
     decay: DecayPolicyConfig = field(default_factory=DecayPolicyConfig)
 
@@ -103,6 +113,17 @@ class SpateConfig:
             raise ConfigError("replication must be at least 1")
         if self.block_size < 1024:
             raise ConfigError("block_size must be at least 1 KiB")
+        from repro.engine.executor import EXECUTOR_BACKENDS
+
+        if self.executor not in EXECUTOR_BACKENDS:
+            raise ConfigError(
+                f"unknown executor {self.executor!r}; "
+                f"choose from {EXECUTOR_BACKENDS}"
+            )
+        if self.executor_workers is not None and self.executor_workers < 1:
+            raise ConfigError("executor_workers must be positive")
+        if self.leaf_cache_bytes < 0:
+            raise ConfigError("leaf_cache_bytes must be non-negative")
         from repro.core.layout import validate_layout
 
         validate_layout(self.layout)

@@ -52,7 +52,23 @@ def deserialize_table(name: str, data: bytes, layout: str = ROW_LAYOUT) -> Table
     raise ConfigError(f"unknown layout {layout!r}")
 
 
-def _serialize_columnar(table: Table) -> bytes:
+def columnar_column_cells(table: Table) -> list[list[str]]:
+    """Per-column cell lists in column order — the independent encode
+    units the parallel ingest pipeline fans out."""
+    return [
+        [row[position] for row in table.rows]
+        for position in range(len(table.columns))
+    ]
+
+
+def assemble_columnar(table: Table, encoded_columns: list[bytes]) -> bytes:
+    """Join pre-encoded columns (from :func:`repro.compression.columnar.
+    encode_column`, in column order) into the columnar blob.
+
+    ``assemble_columnar(t, [encode_column(c) for c in
+    columnar_column_cells(t)])`` is byte-identical to the serial
+    serializer, whatever executor produced the encoded columns.
+    """
     out = bytearray(_COLUMNAR_MAGIC)
     out += encode_varint(len(table.columns))
     out += encode_varint(len(table.rows))
@@ -60,12 +76,16 @@ def _serialize_columnar(table: Table) -> bytes:
         raw = column.encode("utf-8")
         out += encode_varint(len(raw))
         out += raw
-    for position in range(len(table.columns)):
-        cells = [row[position] for row in table.rows]
-        encoded = encode_column(cells)
+    for encoded in encoded_columns:
         out += encode_varint(len(encoded))
         out += encoded
     return bytes(out)
+
+
+def _serialize_columnar(table: Table) -> bytes:
+    return assemble_columnar(
+        table, [encode_column(cells) for cells in columnar_column_cells(table)]
+    )
 
 
 def _deserialize_columnar(name: str, data: bytes) -> Table:

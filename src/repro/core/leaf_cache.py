@@ -1,0 +1,132 @@
+"""Byte-bounded LRU cache of decompressed leaf tables.
+
+Exploration queries repeatedly decompress the same recent snapshots
+(dashboards poll sliding windows; the T1-T8 task mix re-reads hot
+epochs).  Caching the *decompressed* tables trades RAM for the
+decompress + deserialize cost on every re-read — the same lever
+WarpFlow-scale exploration systems pull by keeping hot partitions
+resident across queries.
+
+Entries are keyed by ``(epoch, table_name)`` and charged the size of
+their decompressed payload, so the capacity is a real byte budget
+rather than an entry count.  The cache must be invalidated whenever a
+leaf's stored bytes change: full decay eviction and grouped-decay
+rewrites both call :meth:`LeafCache.invalidate_epoch`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.snapshot import Table
+
+
+@dataclass(frozen=True)
+class LeafCacheStats:
+    """Point-in-time counters for one cache instance."""
+
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+    entries: int
+    current_bytes: int
+    capacity_bytes: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LeafCache:
+    """LRU over decompressed leaf tables with a byte-capacity bound."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("cache capacity must be non-negative")
+        self.capacity_bytes = capacity_bytes
+        #: (epoch, table) -> (table, charged bytes); insertion order = LRU order.
+        self._entries: OrderedDict[tuple[int, str], tuple[Table, int]] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def current_bytes(self) -> int:
+        """Bytes currently charged against the capacity."""
+        return self._bytes
+
+    def has(self, epoch: int, table: str) -> bool:
+        """True when the entry is resident (does not touch LRU order)."""
+        return (epoch, table) in self._entries
+
+    def get(self, epoch: int, table: str) -> Table | None:
+        """Return the cached table and refresh its recency, or None."""
+        key = (epoch, table)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[0]
+
+    def put(self, epoch: int, table_name: str, table: Table, nbytes: int) -> int:
+        """Insert (or refresh) an entry charged ``nbytes``.
+
+        Oversized payloads (larger than the whole capacity) are not
+        cached — they would only flush everything else.
+
+        Returns:
+            The number of entries evicted to make room.
+        """
+        if self.capacity_bytes <= 0 or nbytes > self.capacity_bytes:
+            return 0
+        key = (epoch, table_name)
+        previous = self._entries.pop(key, None)
+        if previous is not None:
+            self._bytes -= previous[1]
+        self._entries[key] = (table, nbytes)
+        self._bytes += nbytes
+        evicted = 0
+        while self._bytes > self.capacity_bytes:
+            __, (___, cost) = self._entries.popitem(last=False)
+            self._bytes -= cost
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    def invalidate_epoch(self, epoch: int) -> int:
+        """Drop every table cached for ``epoch`` (decay/rewrite hook)."""
+        stale = [key for key in self._entries if key[0] == epoch]
+        for key in stale:
+            __, cost = self._entries.pop(key)
+            self._bytes -= cost
+        self.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are retained)."""
+        self.invalidations += len(self._entries)
+        self._entries.clear()
+        self._bytes = 0
+
+    def stats(self) -> LeafCacheStats:
+        """Snapshot of the cache's counters and occupancy."""
+        return LeafCacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            invalidations=self.invalidations,
+            entries=len(self._entries),
+            current_bytes=self._bytes,
+            capacity_bytes=self.capacity_bytes,
+        )

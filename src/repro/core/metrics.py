@@ -29,6 +29,21 @@ class WarehouseMetrics:
     leaves_evicted: int = 0
     bytes_reclaimed: int = 0
 
+    #: Ingest-pipeline executor instrumentation.
+    executor_backend: str = ""
+    executor_tasks: int = 0
+    executor_queue_depth_max: int = 0
+    compress_wall_seconds: float = 0.0
+    compress_task_seconds: float = 0.0
+
+    #: Leaf-cache (decompressed read cache) counters.
+    leaf_cache_hits: int = 0
+    leaf_cache_misses: int = 0
+    leaf_cache_evictions: int = 0
+    leaf_cache_invalidations: int = 0
+    #: Current cache occupancy gauge, refreshed on every put/invalidate.
+    leaf_cache_bytes: int = 0
+
     #: max ingest time seen, to compare against the epoch budget.
     worst_ingest_seconds: float = 0.0
     _ratio_samples: list[float] = field(default_factory=list, repr=False)
@@ -68,6 +83,37 @@ class WarehouseMetrics:
         self.leaves_evicted += leaves_evicted
         self.bytes_reclaimed += bytes_reclaimed
 
+    def on_executor_run(
+        self,
+        backend: str,
+        tasks: int,
+        wall_seconds: float,
+        task_seconds: float,
+        queue_depth: int,
+    ) -> None:
+        """Record one ingest fan-out through the executor backend."""
+        self.executor_backend = backend
+        self.executor_tasks += tasks
+        self.compress_wall_seconds += wall_seconds
+        self.compress_task_seconds += task_seconds
+        if queue_depth > self.executor_queue_depth_max:
+            self.executor_queue_depth_max = queue_depth
+
+    def on_leaf_cache(self, hit: bool) -> None:
+        """Record one leaf-cache lookup."""
+        if hit:
+            self.leaf_cache_hits += 1
+        else:
+            self.leaf_cache_misses += 1
+
+    def on_leaf_cache_change(
+        self, evictions: int, invalidations: int, current_bytes: int
+    ) -> None:
+        """Record cache churn and refresh the occupancy gauge."""
+        self.leaf_cache_evictions += evictions
+        self.leaf_cache_invalidations += invalidations
+        self.leaf_cache_bytes = current_bytes
+
     # ------------------------------------------------------------------
     # Derived views
     # ------------------------------------------------------------------
@@ -85,6 +131,19 @@ class WarehouseMetrics:
         if not self.snapshots_ingested:
             return 0.0
         return self.ingest_seconds_total / self.snapshots_ingested
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Compress-stage speedup: serial-equivalent work / wall time."""
+        if self.compress_wall_seconds <= 0.0 or self.compress_task_seconds <= 0.0:
+            return 1.0
+        return self.compress_task_seconds / self.compress_wall_seconds
+
+    @property
+    def leaf_cache_hit_rate(self) -> float:
+        """Fraction of leaf reads served from the decompressed cache."""
+        total = self.leaf_cache_hits + self.leaf_cache_misses
+        return self.leaf_cache_hits / total if total else 0.0
 
     def epoch_budget_headroom(self, epoch_seconds: float = 30 * 60) -> float:
         """How many times the worst ingest fits in one epoch."""
@@ -111,4 +170,23 @@ class WarehouseMetrics:
             f"{self.leaves_evicted} leaves evicted, "
             f"{self.bytes_reclaimed:,} bytes reclaimed",
         ]
+        if self.executor_backend:
+            lines.append(
+                f"  ingest executor:       {self.executor_backend} "
+                f"({self.executor_tasks} tasks, "
+                f"max queue depth {self.executor_queue_depth_max})"
+            )
+            lines.append(
+                f"  compress stage:        wall {self.compress_wall_seconds:.3f} s, "
+                f"work {self.compress_task_seconds:.3f} s "
+                f"(speedup {self.parallel_speedup:.2f}x)"
+            )
+        lines.append(
+            f"  leaf cache:            {self.leaf_cache_hits} hits / "
+            f"{self.leaf_cache_misses} misses "
+            f"({self.leaf_cache_hit_rate:.0%} hit rate), "
+            f"{self.leaf_cache_evictions} evictions, "
+            f"{self.leaf_cache_invalidations} invalidations, "
+            f"{self.leaf_cache_bytes:,} bytes resident"
+        )
         return "\n".join(lines)

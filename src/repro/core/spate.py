@@ -25,9 +25,11 @@ from __future__ import annotations
 from repro.baselines.base import Framework, IngestStats
 from repro.compression.base import get_codec
 from repro.core.config import SpateConfig
+from repro.core.leaf_cache import LeafCache
 from repro.core.metrics import WarehouseMetrics
 from repro.core.snapshot import Snapshot, Table
 from repro.dfs.filesystem import SimulatedDFS
+from repro.engine.executor import get_executor
 from repro.errors import DecayedDataError, QueryError
 from repro.index.decay import DecayModule, DecayReport
 from repro.index.highlights import Highlight
@@ -56,8 +58,20 @@ class Spate(Framework):
         super().__init__(dfs)
         self.codec = get_codec(self.config.codec)
         self.index = TemporalIndex()
+        self.executor = get_executor(
+            self.config.executor, self.config.executor_workers
+        )
+        self.leaf_cache: LeafCache | None = (
+            LeafCache(self.config.leaf_cache_bytes)
+            if self.config.leaf_cache_bytes > 0
+            else None
+        )
         self.incremence = IncremenceModule(
-            dfs=self.dfs, index=self.index, codec=self.codec, config=self.config
+            dfs=self.dfs,
+            index=self.index,
+            codec=self.codec,
+            config=self.config,
+            executor=self.executor,
         )
         self.decay = DecayModule(
             dfs=self.dfs, index=self.index, config=self.config.decay
@@ -106,11 +120,19 @@ class Spate(Framework):
                 self.metrics.on_decay(
                     decay_report.leaves_evicted, decay_report.bytes_reclaimed
                 )
+                self._invalidate_cached_epochs(decay_report.evicted_epochs)
         self._epoch_tables[snapshot.epoch] = {
             name: self.incremence.leaf_path(snapshot.epoch, name)
             for name in snapshot.tables
         }
         seconds = report.total_seconds + (self.dfs.modeled_io_seconds - io_before)
+        self.metrics.on_executor_run(
+            backend=report.executor,
+            tasks=report.parallel_tasks,
+            wall_seconds=report.compress_seconds,
+            task_seconds=report.task_seconds,
+            queue_depth=report.queue_depth,
+        )
         self.metrics.on_ingest(
             records=snapshot.record_count(),
             raw_bytes=report.raw_bytes,
@@ -209,6 +231,7 @@ class Spate(Framework):
         report = self.decay.run()
         if report.leaves_evicted:
             self.metrics.on_decay(report.leaves_evicted, report.bytes_reclaimed)
+            self._invalidate_cached_epochs(report.evicted_epochs)
         return report
 
     def decay_groups(
@@ -235,6 +258,7 @@ class Spate(Framework):
         report = fungus.run(older_than_epoch, keep)
         if report.bytes_reclaimed:
             self.metrics.on_decay(0, report.bytes_reclaimed)
+        self._invalidate_cached_epochs(report.rewritten_epochs)
         return report
 
     def render_index(self) -> str:
@@ -266,20 +290,38 @@ class Spate(Framework):
     def _read_leaf_table(self, leaf: SnapshotLeaf, table: str) -> Table | None:
         from repro.core.layout import deserialize_table
 
+        if self.leaf_cache is not None:
+            cached = self.leaf_cache.get(leaf.epoch, table)
+            if cached is not None:
+                self.metrics.on_leaf_cache(hit=True)
+                return cached
         path = leaf.table_paths.get(table)
         if path is None:
             return None
-        return deserialize_table(
-            table,
-            self.codec.decompress(self.dfs.read_file(path)),
-            self.config.layout,
-        )
+        payload = self.codec.decompress(self.dfs.read_file(path))
+        loaded = deserialize_table(table, payload, self.config.layout)
+        if self.leaf_cache is not None:
+            self.metrics.on_leaf_cache(hit=False)
+            evicted = self.leaf_cache.put(leaf.epoch, table, loaded, len(payload))
+            self.metrics.on_leaf_cache_change(
+                evicted, 0, self.leaf_cache.current_bytes
+            )
+        return loaded
 
     def _find_leaf(self, epoch: int) -> SnapshotLeaf | None:
-        for leaf in self.index.leaves():
-            if leaf.epoch == epoch:
-                return leaf
-        return None
+        return self.index.find_leaf(epoch)
+
+    def _invalidate_cached_epochs(self, epochs: list[int]) -> None:
+        """Drop cached tables for leaves that decay purged or rewrote."""
+        if self.leaf_cache is None or not epochs:
+            return
+        dropped = 0
+        for epoch in epochs:
+            dropped += self.leaf_cache.invalidate_epoch(epoch)
+        if dropped:
+            self.metrics.on_leaf_cache_change(
+                0, dropped, self.leaf_cache.current_bytes
+            )
 
     def _build_leaf_rtree(self, snapshot: Snapshot) -> None:
         """Optional per-leaf spatial index over the snapshot's records."""

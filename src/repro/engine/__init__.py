@@ -6,9 +6,31 @@ reduce, reduceByKey, join, collect) executed over partitions by a
 thread pool, plus :mod:`repro.engine.ml` with from-scratch k-means,
 linear regression and multivariate column statistics mirroring Spark
 MLlib's ``KMeans``, ``LinearRegression`` and ``Statistics.colStats``.
+
+:mod:`repro.engine.executor` holds the pluggable serial/thread/process
+backends the ingest pipeline fans snapshot compression out through.
 """
 
 from repro.engine.context import EngineContext
 from repro.engine.dataset import ParallelDataset
+from repro.engine.executor import (
+    EXECUTOR_BACKENDS,
+    ExecutorBackend,
+    ExecutorRun,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_executor,
+)
 
-__all__ = ["EngineContext", "ParallelDataset"]
+__all__ = [
+    "EngineContext",
+    "ParallelDataset",
+    "EXECUTOR_BACKENDS",
+    "ExecutorBackend",
+    "ExecutorRun",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "get_executor",
+]

@@ -221,7 +221,9 @@ class ParallelDataset:
         """Materialize the pipeline once; downstream actions reuse it."""
         return ParallelDataset(self._context, self._materialize())
 
-    def histogram(self, buckets: int, value_of: Callable[[Any], float] = float) -> tuple[list[float], list[int]]:
+    def histogram(
+        self, buckets: int, value_of: Callable[[Any], float] = float
+    ) -> tuple[list[float], list[int]]:
         """Equal-width histogram of numeric values.
 
         Returns:

@@ -1,0 +1,210 @@
+"""Pluggable execution backends for the ingest pipeline.
+
+The paper's operational constraint is that each 30-minute snapshot must
+be compressed, stored and indexed well inside the epoch budget (§V-A,
+Figures 7/9).  Compression is the dominant CPU cost and is trivially
+chunkable — per table, and per column for the columnar layout — so the
+:class:`~repro.index.incremence.IncremenceModule` fans its work units
+out through one of these backends:
+
+- ``serial``: plain in-process loop (the reference behaviour);
+- ``thread``: a shared :class:`~concurrent.futures.ThreadPoolExecutor`
+  (the stdlib codecs release the GIL while deflating);
+- ``process``: a shared :class:`~concurrent.futures.ProcessPoolExecutor`
+  for pure-Python codecs that hold the GIL;
+- ``auto``: resolves to ``thread`` on multi-core hosts, ``serial``
+  otherwise.
+
+All backends preserve input order, so downstream DFS writes and index
+appends happen in exactly the serial sequence and stored bytes are
+byte-identical across backends.  Pools are shared per (kind, workers)
+pair and torn down at interpreter exit, so creating many framework
+instances (as the test suite does) never leaks worker threads.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import ConfigError
+
+#: Backend names accepted by ``SpateConfig.executor``.
+EXECUTOR_BACKENDS = ("auto", "serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ExecutorRun:
+    """Timing of one fan-out over a batch of tasks."""
+
+    backend: str
+    tasks: int
+    #: Wall-clock time of the whole batch.
+    wall_seconds: float
+    #: Sum of per-task durations (the serial-equivalent work).
+    task_seconds: float
+    #: Tasks that had to wait behind the worker pool at submit time.
+    queue_depth: int
+
+    @property
+    def speedup(self) -> float:
+        """Parallel speedup estimate: serial-equivalent work / wall time."""
+        if self.wall_seconds <= 0.0:
+            return 1.0
+        return self.task_seconds / self.wall_seconds
+
+    def merged(self, other: "ExecutorRun") -> "ExecutorRun":
+        """Combine two fan-outs of the same backend into one report."""
+        return ExecutorRun(
+            backend=self.backend,
+            tasks=self.tasks + other.tasks,
+            wall_seconds=self.wall_seconds + other.wall_seconds,
+            task_seconds=self.task_seconds + other.task_seconds,
+            queue_depth=max(self.queue_depth, other.queue_depth),
+        )
+
+
+def _timed_task(call: tuple[Callable[[Any], Any], Any]) -> tuple[Any, float]:
+    """Run one task and clock it (module-level: process backends pickle it)."""
+    fn, item = call
+    start = time.perf_counter()
+    result = fn(item)
+    return result, time.perf_counter() - start
+
+
+class ExecutorBackend(ABC):
+    """Order-preserving map over a batch of independent tasks."""
+
+    name: str = ""
+    workers: int = 1
+
+    @abstractmethod
+    def _map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        """Apply ``fn`` to every item, preserving order."""
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        """Apply ``fn`` to every item, preserving input order.
+
+        For the ``process`` backend, ``fn`` and the items must be
+        picklable (use module-level functions).
+        """
+        return self._map(fn, list(items))
+
+    def run(
+        self, fn: Callable[[Any], Any], items: Iterable[Any]
+    ) -> tuple[list[Any], ExecutorRun]:
+        """Like :meth:`map`, plus an :class:`ExecutorRun` timing report."""
+        batch = list(items)
+        start = time.perf_counter()
+        timed = self._map(_timed_task, [(fn, item) for item in batch])
+        wall = time.perf_counter() - start
+        return [result for result, __ in timed], ExecutorRun(
+            backend=self.name,
+            tasks=len(batch),
+            wall_seconds=wall,
+            task_seconds=sum(seconds for __, seconds in timed),
+            queue_depth=max(0, len(batch) - self.workers),
+        )
+
+
+class SerialBackend(ExecutorBackend):
+    """The reference backend: a plain loop on the calling thread."""
+
+    name = "serial"
+    workers = 1
+
+    def _map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        return [fn(item) for item in items]
+
+
+# Pools are shared per (kind, workers): many short-lived framework
+# instances reuse one pool instead of each spawning workers.
+_SHARED_POOLS: dict[tuple[str, int], Executor] = {}
+
+
+def _shared_pool(kind: str, workers: int) -> Executor:
+    pool = _SHARED_POOLS.get((kind, workers))
+    if pool is None:
+        if kind == "thread":
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="spate-ingest"
+            )
+        else:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        _SHARED_POOLS[(kind, workers)] = pool
+    return pool
+
+
+def shutdown_shared_pools() -> None:
+    """Tear down every shared worker pool (idempotent)."""
+    while _SHARED_POOLS:
+        __, pool = _SHARED_POOLS.popitem()
+        pool.shutdown(wait=True)
+
+
+atexit.register(shutdown_shared_pools)
+
+
+class _PooledBackend(ExecutorBackend):
+    """Common plumbing for the thread/process backends."""
+
+    _pool_kind = ""
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = workers or default_workers()
+        if self.workers < 1:
+            raise ConfigError("executor workers must be positive")
+
+    def _map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(_shared_pool(self._pool_kind, self.workers).map(fn, items))
+
+
+class ThreadBackend(_PooledBackend):
+    """Shared thread pool — best when the codec releases the GIL."""
+
+    name = "thread"
+    _pool_kind = "thread"
+
+
+class ProcessBackend(_PooledBackend):
+    """Shared process pool — sidesteps the GIL for pure-Python codecs."""
+
+    name = "process"
+    _pool_kind = "process"
+
+
+def default_workers() -> int:
+    """Worker count for pooled backends: the core count, capped at 8."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def resolve_backend(name: str) -> str:
+    """Resolve ``auto`` to a concrete backend for this host."""
+    if name == "auto":
+        return "thread" if (os.cpu_count() or 1) > 1 else "serial"
+    return name
+
+
+def get_executor(name: str = "auto", workers: int | None = None) -> ExecutorBackend:
+    """Construct a backend by name (``auto`` resolves per host).
+
+    Raises:
+        ConfigError: for unknown backend names.
+    """
+    resolved = resolve_backend(name)
+    if resolved == "serial":
+        return SerialBackend()
+    if resolved == "thread":
+        return ThreadBackend(workers)
+    if resolved == "process":
+        return ProcessBackend(workers)
+    raise ConfigError(
+        f"unknown executor backend {name!r}; choose from {EXECUTOR_BACKENDS}"
+    )

@@ -31,6 +31,8 @@ class DecayReport:
     day_summaries_evicted: int = 0
     month_summaries_evicted: int = 0
     evicted_paths: list[str] = field(default_factory=list)
+    #: Epochs whose leaves were purged — read caches must drop them.
+    evicted_epochs: list[int] = field(default_factory=list)
 
 
 class DecayPolicy(ABC):
@@ -115,6 +117,7 @@ class DecayModule:
                 report.bytes_reclaimed += leaf.compressed_bytes
                 leaf.decayed = True
                 report.leaves_evicted += 1
+                report.evicted_epochs.append(leaf.epoch)
             if day.summary is not None and day_last_epoch < day_horizon:
                 day.summary = None
                 report.day_summaries_evicted += 1

@@ -35,6 +35,8 @@ class GroupDecayReport:
     bytes_before: int = 0
     bytes_after: int = 0
     kept_cells: set[str] = field(default_factory=set)
+    #: Epochs whose leaves were rewritten — read caches must drop them.
+    rewritten_epochs: list[int] = field(default_factory=list)
 
     @property
     def bytes_reclaimed(self) -> int:
@@ -132,6 +134,7 @@ class EvictGroupedIndividuals:
             report.leaves_rewritten += 1
             report.bytes_before += leaf.compressed_bytes
             report.bytes_after += new_total
+            report.rewritten_epochs.append(leaf.epoch)
             leaf.compressed_bytes = new_total
             leaf.record_count = new_records
 

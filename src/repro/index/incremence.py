@@ -14,10 +14,18 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.compression.base import Codec
+from repro.compression.base import Codec, get_codec
+from repro.compression.columnar import encode_column
 from repro.core.config import SpateConfig
-from repro.core.snapshot import Snapshot
+from repro.core.layout import (
+    COLUMNAR_LAYOUT,
+    assemble_columnar,
+    columnar_column_cells,
+    serialize_table,
+)
+from repro.core.snapshot import Snapshot, Table
 from repro.dfs.filesystem import SimulatedDFS
+from repro.engine.executor import ExecutorBackend, ExecutorRun, SerialBackend
 from repro.index.highlights import HighlightSummary, summarize_snapshot
 from repro.index.temporal import DayNode, MonthNode, SnapshotLeaf, TemporalIndex, YearNode
 
@@ -32,6 +40,14 @@ class IngestReport:
     compress_seconds: float
     store_seconds: float
     index_seconds: float
+    #: Executor backend that ran the serialize/compress fan-out.
+    executor: str = "serial"
+    #: Tasks fanned out (tables, plus columns for the columnar layout).
+    parallel_tasks: int = 0
+    #: Serial-equivalent work: sum of per-task durations.
+    task_seconds: float = 0.0
+    #: Worst task backlog behind the worker pool during the fan-out.
+    queue_depth: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -42,6 +58,27 @@ class IngestReport:
     def ratio(self) -> float:
         """Compression ratio (raw bytes / stored bytes)."""
         return self.raw_bytes / self.compressed_bytes if self.compressed_bytes else 0.0
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Compress-stage speedup vs running its tasks back to back."""
+        if self.compress_seconds <= 0.0 or self.task_seconds <= 0.0:
+            return 1.0
+        return self.task_seconds / self.compress_seconds
+
+
+def _pack_table_task(args: tuple[str, str, Table]) -> tuple[int, bytes]:
+    """Serialize + compress one table (module-level so process backends
+    can pickle it; the codec is rebuilt by name inside the worker)."""
+    codec_name, layout, table = args
+    payload = serialize_table(table, layout)
+    return len(payload), get_codec(codec_name).compress(payload)
+
+
+def _compress_payload_task(args: tuple[str, bytes]) -> bytes:
+    """Compress one pre-serialized payload in a worker."""
+    codec_name, payload = args
+    return get_codec(codec_name).compress(payload)
 
 
 class IncremenceModule:
@@ -54,24 +91,26 @@ class IncremenceModule:
         codec: Codec,
         config: SpateConfig,
         path_prefix: str = "/spate/snapshots",
+        executor: ExecutorBackend | None = None,
     ) -> None:
         self._dfs = dfs
         self._index = index
         self._codec = codec
         self._config = config
         self._prefix = path_prefix
+        self._executor = executor or SerialBackend()
 
     def ingest(self, snapshot: Snapshot) -> IngestReport:
-        """Ingest one snapshot; returns the per-stage timing report."""
-        t0 = time.perf_counter()
-        from repro.core.layout import serialize_table
+        """Ingest one snapshot; returns the per-stage timing report.
 
-        compressed_tables: dict[str, bytes] = {}
-        raw_bytes = 0
-        for name, table in snapshot.tables.items():
-            payload = serialize_table(table, self._config.layout)
-            raw_bytes += len(payload)
-            compressed_tables[name] = self._codec.compress(payload)
+        Serialization and compression fan out through the configured
+        executor backend; DFS writes and the index append below stay in
+        the serial table order, so the stored leaf is byte-identical
+        whichever backend ran.
+        """
+        t0 = time.perf_counter()
+        names = list(snapshot.tables)
+        compressed_tables, raw_bytes, run = self._pack_tables(snapshot, names)
         t1 = time.perf_counter()
 
         table_paths: dict[str, str] = {}
@@ -116,7 +155,54 @@ class IncremenceModule:
             compress_seconds=t1 - t0,
             store_seconds=t2 - t1,
             index_seconds=t3 - t2,
+            executor=self._executor.name,
+            parallel_tasks=run.tasks,
+            task_seconds=run.task_seconds,
+            queue_depth=run.queue_depth,
         )
+
+    def _pack_tables(
+        self, snapshot: Snapshot, names: list[str]
+    ) -> tuple[dict[str, bytes], int, ExecutorRun]:
+        """Serialize + compress every table through the executor.
+
+        Row layout fans out one task per table.  Columnar layout first
+        fans out one encode task per column (across all tables), then
+        one compress task per assembled table — finer units keep wide
+        tables from serializing the whole stage.
+        """
+        codec_name = self._config.codec
+        if self._config.layout == COLUMNAR_LAYOUT and names:
+            per_table_cells = [
+                columnar_column_cells(snapshot.tables[name]) for name in names
+            ]
+            flat_cells = [cells for table in per_table_cells for cells in table]
+            encoded_flat, encode_run = self._executor.run(encode_column, flat_cells)
+            payloads: dict[str, bytes] = {}
+            position = 0
+            for name, table_cells in zip(names, per_table_cells):
+                count = len(table_cells)
+                payloads[name] = assemble_columnar(
+                    snapshot.tables[name],
+                    encoded_flat[position : position + count],
+                )
+                position += count
+            compressed_list, compress_run = self._executor.run(
+                _compress_payload_task,
+                [(codec_name, payloads[name]) for name in names],
+            )
+            raw_bytes = sum(len(payloads[name]) for name in names)
+            run = encode_run.merged(compress_run)
+            return dict(zip(names, compressed_list)), raw_bytes, run
+        packed, run = self._executor.run(
+            _pack_table_task,
+            [(codec_name, self._config.layout, snapshot.tables[name]) for name in names],
+        )
+        raw_bytes = sum(size for size, __ in packed)
+        compressed_tables = {
+            name: compressed for name, (__, compressed) in zip(names, packed)
+        }
+        return compressed_tables, raw_bytes, run
 
     def finalize(self) -> None:
         """Close out the trailing (incomplete) day/month/year at end of

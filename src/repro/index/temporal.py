@@ -97,6 +97,12 @@ class TemporalIndex:
         self.years: list[YearNode] = []
         self.root_summary = HighlightSummary(level="root", period="all")
         self._frontier_epoch = -1
+        # O(1) lookup maps maintained by insert_leaf (leaves are never
+        # removed from the tree — decay only marks them).
+        self._leaf_by_epoch: dict[int, SnapshotLeaf] = {}
+        self._day_by_key: dict[str, DayNode] = {}
+        self._month_by_key: dict[str, MonthNode] = {}
+        self._year_by_key: dict[str, YearNode] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -124,18 +130,22 @@ class TemporalIndex:
         new_year = not self.years or self.years[-1].year != when.year
         if new_year:
             self.years.append(YearNode(year=when.year))
+            self._year_by_key[self.years[-1].key] = self.years[-1]
         year_node = self.years[-1]
 
         new_month = not year_node.months or year_node.months[-1].month != when.month
         if new_month:
             year_node.months.append(MonthNode(year=when.year, month=when.month))
+            self._month_by_key[year_node.months[-1].key] = year_node.months[-1]
         month_node = year_node.months[-1]
 
         day_key = when.date()
         new_day = not month_node.days or month_node.days[-1].day != day_key
         if new_day:
             month_node.days.append(DayNode(day=day_key))
+            self._day_by_key[month_node.days[-1].key] = month_node.days[-1]
         month_node.days[-1].leaves.append(leaf)
+        self._leaf_by_epoch[leaf.epoch] = leaf
 
         return new_day, new_month, new_year
 
@@ -157,25 +167,20 @@ class TemporalIndex:
         return [month for year in self.years for month in year.months]
 
     def find_day(self, key: str) -> DayNode | None:
-        """Day node by "YYYY-MM-DD" key."""
-        for day in self.day_nodes():
-            if day.key == key:
-                return day
-        return None
+        """Day node by "YYYY-MM-DD" key (O(1))."""
+        return self._day_by_key.get(key)
 
     def find_month(self, key: str) -> MonthNode | None:
-        """Month node by "YYYY-MM" key, or None."""
-        for month in self.month_nodes():
-            if month.key == key:
-                return month
-        return None
+        """Month node by "YYYY-MM" key, or None (O(1))."""
+        return self._month_by_key.get(key)
 
     def find_year(self, key: str) -> YearNode | None:
-        """Year node by "YYYY" key, or None."""
-        for year in self.years:
-            if year.key == key:
-                return year
-        return None
+        """Year node by "YYYY" key, or None (O(1))."""
+        return self._year_by_key.get(key)
+
+    def find_leaf(self, epoch: int) -> SnapshotLeaf | None:
+        """Leaf by epoch (O(1); includes decayed placeholders)."""
+        return self._leaf_by_epoch.get(epoch)
 
     def leaves(self) -> list[SnapshotLeaf]:
         """Every leaf (including decayed placeholders), oldest first."""
@@ -220,11 +225,13 @@ class TemporalIndex:
 
     def storage_bytes(self) -> int:
         """Compressed bytes referenced by live leaves."""
-        return sum(l.compressed_bytes for l in self.leaves() if not l.decayed)
+        return sum(
+            leaf.compressed_bytes for leaf in self.leaves() if not leaf.decayed
+        )
 
     def leaf_count(self) -> int:
         """Number of live (non-decayed) leaves."""
-        return sum(1 for l in self.leaves() if not l.decayed)
+        return sum(1 for leaf in self.leaves() if not leaf.decayed)
 
     def render(self, max_leaves_per_day: int = 3) -> str:
         """ASCII rendering of the tree (Figure 5's structure)."""

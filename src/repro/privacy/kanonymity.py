@@ -142,7 +142,9 @@ def mondrian_anonymize(
         for idx in quasi_indexes:
             values = sorted(numeric(row, idx) for row in part)
             lo, hi = values[0], values[-1]
-            summary[idx] = _format_value(lo) if lo == hi else f"{_format_value(lo)}-{_format_value(hi)}"
+            summary[idx] = (
+                _format_value(lo) if lo == hi else f"{_format_value(lo)}-{_format_value(hi)}"
+            )
         for row in part:
             copy = list(row)
             for idx, text in summary.items():

@@ -159,11 +159,15 @@ class ExplorationEngine:
         return result
 
     def highlights_in_window(self, first_epoch: int, last_epoch: int) -> list[Highlight]:
-        """All detected highlights from nodes overlapping the window."""
+        """All detected highlights from nodes overlapping the window.
+
+        Walks only the window's day keys via the index's O(1) day
+        lookup, so cost scales with the window rather than the history.
+        """
         out: list[Highlight] = []
-        day_keys = set(self._day_keys(first_epoch, last_epoch))
-        for day in self._index.day_nodes():
-            if day.key in day_keys and day.summary is not None:
+        for day_key in self._day_keys(first_epoch, last_epoch):
+            day = self._index.find_day(day_key)
+            if day is not None and day.summary is not None:
                 out.extend(day.summary.highlights)
         return out
 

@@ -507,7 +507,7 @@ class Database:
         scope = _Scope(fields=left_scope.fields + right_scope.fields)
 
         if join.kind == "cross":
-            rows = [l + r for l in left_rows for r in right_rows]
+            rows = [lrow + r for lrow in left_rows for r in right_rows]
             return scope, rows
 
         equi = self._equi_join_keys(join.condition, left_scope, right_scope)
@@ -517,31 +517,31 @@ class Database:
             index: dict[Any, list[list[Any]]] = {}
             for r in right_rows:
                 index.setdefault(_null_safe(r[right_idx]), []).append(r)
-            for l in left_rows:
-                matches = index.get(_null_safe(l[left_idx]), [])
+            for lrow in left_rows:
+                matches = index.get(_null_safe(lrow[left_idx]), [])
                 matched = False
                 for r in matches:
-                    combined = l + r
+                    combined = lrow + r
                     if join.condition is None or _truthy(
                         self._eval(join.condition, combined, scope)
                     ):
                         out.append(combined)
                         matched = True
                 if not matched and join.kind == "left":
-                    out.append(l + [None] * len(right_scope.fields))
+                    out.append(lrow + [None] * len(right_scope.fields))
             return scope, out
 
-        for l in left_rows:
+        for lrow in left_rows:
             matched = False
             for r in right_rows:
-                combined = l + r
+                combined = lrow + r
                 if join.condition is None or _truthy(
                     self._eval(join.condition, combined, scope)
                 ):
                     out.append(combined)
                     matched = True
             if not matched and join.kind == "left":
-                out.append(l + [None] * len(right_scope.fields))
+                out.append(lrow + [None] * len(right_scope.fields))
         return scope, out
 
     @staticmethod

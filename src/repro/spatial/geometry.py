@@ -51,7 +51,9 @@ class BoundingBox:
         )
 
     @classmethod
-    def around(cls, center: Point, half_width: float, half_height: float | None = None) -> "BoundingBox":
+    def around(
+        cls, center: Point, half_width: float, half_height: float | None = None
+    ) -> "BoundingBox":
         """Box centred on ``center`` with the given half-extents."""
         if half_height is None:
             half_height = half_width

@@ -71,9 +71,13 @@ class UniformGrid:
         if not self.area.intersects(box):
             return
         lo_col = max(0, int((box.min_x - self.area.min_x) / self.area.width * self.cols))
-        hi_col = min(self.cols - 1, int((box.max_x - self.area.min_x) / self.area.width * self.cols))
+        hi_col = min(
+            self.cols - 1, int((box.max_x - self.area.min_x) / self.area.width * self.cols)
+        )
         lo_row = max(0, int((box.min_y - self.area.min_y) / self.area.height * self.rows))
-        hi_row = min(self.rows - 1, int((box.max_y - self.area.min_y) / self.area.height * self.rows))
+        hi_row = min(
+            self.rows - 1, int((box.max_y - self.area.min_y) / self.area.height * self.rows)
+        )
         for row in range(lo_row, hi_row + 1):
             for col in range(lo_col, hi_col + 1):
                 yield col, row

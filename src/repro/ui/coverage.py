@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.spatial.geometry import BoundingBox, Point
+from repro.spatial.geometry import Point
 from repro.telco.network import NetworkTopology
 from repro.telco.radio import NOISE_FLOOR_DBM, received_power_dbm
 from repro.ui.heatmap import HeatmapRenderer

@@ -85,6 +85,32 @@ class TestCommands:
         assert main(["highlights", *SMALL, "--limit", "2"]) == 0
         assert "highlights in epochs" in capsys.readouterr().out
 
+    def test_explore_with_thread_executor(self, capsys):
+        code = main([
+            "explore", *SMALL, "--executor", "thread",
+            "--first", "0", "--last", "3",
+        ])
+        assert code == 0
+        assert "records:" in capsys.readouterr().out
+
+    def test_metrics(self, capsys):
+        assert main(["metrics", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "SPATE warehouse metrics" in out
+        assert "leaf cache" in out
+        assert "ingest executor" in out
+
+    def test_metrics_reread_hits_cache(self, capsys):
+        assert main(["metrics", *SMALL, "--reread"]) == 0
+        out = capsys.readouterr().out
+        cache_line = next(line for line in out.splitlines() if "leaf cache" in line)
+        hits = int(cache_line.split()[2])
+        assert hits > 0
+
+    def test_metrics_executor_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["metrics", "--executor", "gpu"])
+
     def test_bench_codecs(self, capsys):
         assert main([
             "bench-codecs", "--scale", "0.002", "--snapshots", "1",

@@ -1,0 +1,148 @@
+"""Tests for the decompressed-leaf LRU cache and its invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LeafCache, Spate, SpateConfig, Table
+from repro.core.config import DecayPolicyConfig
+from repro.telco import TelcoTraceGenerator, TraceConfig
+
+
+def _table(name: str = "T", rows: int = 1) -> Table:
+    return Table(name=name, columns=["a"], rows=[["x"]] * rows)
+
+
+class TestLeafCacheUnit:
+    def test_get_miss_then_hit(self):
+        cache = LeafCache(1000)
+        assert cache.get(0, "CDR") is None
+        cache.put(0, "CDR", _table("CDR"), 100)
+        assert cache.get(0, "CDR") is not None
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_byte_accounting(self):
+        cache = LeafCache(1000)
+        cache.put(0, "A", _table("A"), 300)
+        cache.put(0, "B", _table("B"), 200)
+        assert cache.current_bytes == 500
+        cache.invalidate_epoch(0)
+        assert cache.current_bytes == 0 and len(cache) == 0
+
+    def test_reinsert_replaces_charge(self):
+        cache = LeafCache(1000)
+        cache.put(0, "A", _table("A"), 300)
+        cache.put(0, "A", _table("A"), 500)
+        assert cache.current_bytes == 500 and len(cache) == 1
+
+    def test_lru_eviction_order(self):
+        cache = LeafCache(600)
+        cache.put(0, "A", _table("A"), 300)
+        cache.put(1, "B", _table("B"), 300)
+        cache.get(0, "A")  # refresh A: B becomes the LRU entry
+        evicted = cache.put(2, "C", _table("C"), 300)
+        assert evicted == 1
+        assert cache.has(0, "A") and cache.has(2, "C")
+        assert not cache.has(1, "B")
+        assert cache.evictions == 1
+
+    def test_oversized_payload_not_cached(self):
+        cache = LeafCache(100)
+        assert cache.put(0, "A", _table("A"), 1000) == 0
+        assert len(cache) == 0 and cache.current_bytes == 0
+
+    def test_zero_capacity_disables_storage(self):
+        cache = LeafCache(0)
+        cache.put(0, "A", _table("A"), 1)
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LeafCache(-1)
+
+    def test_stats_snapshot(self):
+        cache = LeafCache(600)
+        cache.put(0, "A", _table("A"), 300)
+        cache.get(0, "A")
+        cache.get(9, "Z")
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.entries == 1 and stats.current_bytes == 300
+        assert stats.hit_rate == pytest.approx(0.5)
+
+
+def _build_spate(**config_kwargs) -> tuple[Spate, TelcoTraceGenerator]:
+    generator = TelcoTraceGenerator(TraceConfig(scale=0.002, days=1, seed=11))
+    spate = Spate(SpateConfig(codec="gzip-ref", executor="serial", **config_kwargs))
+    spate.register_cells(generator.cells_table())
+    return spate, generator
+
+
+class TestLeafCacheIntegration:
+    def test_second_read_is_a_hit(self):
+        spate, generator = _build_spate(
+            decay=DecayPolicyConfig(enabled=False)
+        )
+        spate.ingest(generator.snapshot(0))
+        spate.read_table(0, "CDR")
+        spate.read_table(0, "CDR")
+        assert spate.metrics.leaf_cache_hits == 1
+        assert spate.metrics.leaf_cache_misses == 1
+        assert spate.metrics.leaf_cache_bytes > 0
+
+    def test_cached_read_returns_same_rows(self):
+        spate, generator = _build_spate(decay=DecayPolicyConfig(enabled=False))
+        spate.ingest(generator.snapshot(0))
+        first = spate.read_table(0, "CDR")
+        second = spate.read_table(0, "CDR")
+        assert first is second  # served from cache
+        assert first.rows == second.rows
+
+    def test_cache_disabled_by_config(self):
+        spate, generator = _build_spate(
+            leaf_cache_bytes=0, decay=DecayPolicyConfig(enabled=False)
+        )
+        spate.ingest(generator.snapshot(0))
+        assert spate.leaf_cache is None
+        spate.read_table(0, "CDR")
+        spate.read_table(0, "CDR")
+        assert spate.metrics.leaf_cache_hits == 0
+
+    def test_run_decay_invalidates_cached_epochs(self):
+        spate, generator = _build_spate(
+            decay=DecayPolicyConfig(enabled=True, keep_epochs=2)
+        )
+        spate.ingest(generator.snapshot(0))
+        spate.read_table(0, "CDR")
+        assert spate.leaf_cache.has(0, "CDR")
+        for epoch in range(1, 4):
+            spate.ingest(generator.snapshot(epoch))
+        # keep_epochs=2 with frontier 3 evicts epochs 0 and 1.
+        assert not spate.leaf_cache.has(0, "CDR")
+        assert spate.metrics.leaf_cache_invalidations >= 1
+
+    def test_decay_groups_invalidate_rewritten_leaves(self):
+        spate, generator = _build_spate(decay=DecayPolicyConfig(enabled=False))
+        for epoch in range(3):
+            spate.ingest(generator.snapshot(epoch))
+        spate.finalize()
+        before = spate.read_table(0, "CDR")
+        report = spate.decay_groups(older_than_epoch=2, keep_fraction=0.1)
+        assert report.leaves_rewritten >= 1
+        assert 0 in report.rewritten_epochs
+        after = spate.read_table(0, "CDR")
+        # The rewrite dropped records; a stale cache would return `before`.
+        assert after is not before
+        assert len(after.rows) < len(before.rows)
+
+    def test_explore_uses_cache_across_queries(self):
+        spate, generator = _build_spate(decay=DecayPolicyConfig(enabled=False))
+        for epoch in range(4):
+            spate.ingest(generator.snapshot(epoch))
+        spate.finalize()
+        spate.explore("CDR", ("downflux",), None, 0, 3)
+        misses_after_first = spate.metrics.leaf_cache_misses
+        spate.explore("CDR", ("downflux",), None, 0, 3)
+        assert spate.metrics.leaf_cache_misses == misses_after_first
+        assert spate.metrics.leaf_cache_hits >= 4
+        assert "leaf cache" in spate.metrics.summary()
