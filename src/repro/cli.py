@@ -11,6 +11,7 @@ Commands:
     sql           run a SQL statement over the ingested tables
     highlights    list detected rare-event highlights
     metrics       ingest + query a trace, print the warehouse metrics
+    chaos         ingest under injected storage faults, heal, verify
     bench-codecs  Table-I style codec microbenchmark
 
 Examples:
@@ -18,6 +19,7 @@ Examples:
     python -m repro.cli explore --attr downflux --first 0 --last 47
     python -m repro.cli sql "SELECT call_type, COUNT(*) FROM CDR GROUP BY call_type"
     python -m repro.cli metrics --executor thread
+    python -m repro.cli chaos --days 7 --corruption-rate 0.05 --crash-rate 0.02
 """
 
 from __future__ import annotations
@@ -177,6 +179,116 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``chaos``: ingest a trace while a seeded fault injector crashes
+    datanodes, corrupts replicas and fails writes; then heal and verify
+    the warehouse recovered.  Exit code 0 only when the namespace holds
+    no phantom files, every file reads back checksum-clean, and heal
+    restored the requested replication factor."""
+    from repro.core import FaultToleranceConfig
+    from repro.errors import SpateError, StorageError
+
+    generator = TelcoTraceGenerator(
+        TraceConfig(scale=args.scale, days=args.days, seed=args.seed)
+    )
+    spate = Spate(SpateConfig(
+        codec=args.codec,
+        layout=args.layout,
+        executor=args.executor,
+        leaf_cache_bytes=args.leaf_cache_bytes,
+        faults=FaultToleranceConfig(
+            enabled=True,
+            seed=args.fault_seed,
+            crash_rate=args.crash_rate,
+            restart_rate=args.restart_rate,
+            corruption_rate=args.corruption_rate,
+            write_failure_rate=args.write_failure_rate,
+            max_write_retries=args.max_write_retries,
+            heal_interval_epochs=args.heal_interval,
+        ),
+    ))
+    spate.register_cells(generator.cells_table())
+    attempted = ingested = failed = 0
+    for snapshot in generator.generate():
+        attempted += 1
+        try:
+            spate.ingest(snapshot)
+            ingested += 1
+        except StorageError:
+            # The atomic write path rolled the snapshot back; the
+            # stream moves on, exactly like a dropped ingest cycle.
+            failed += 1
+    spate.finalize()
+
+    # Recovery: bring crashed nodes back, then one final heal pass.
+    for node_id, node in spate.dfs.datanodes.items():
+        if not node.alive:
+            spate.dfs.restart_datanode(node_id)
+    heal = spate.heal()
+    fsck = spate.dfs.fsck()
+
+    # Phantom check: the namespace must hold exactly the files the
+    # index points at — nothing extra, nothing missing.
+    expected = {
+        path
+        for leaf in spate.index.leaves()
+        if not leaf.decayed
+        for path in leaf.table_paths.values()
+    }
+    actual = set(spate.dfs.list_dir("/spate/snapshots"))
+    phantoms = sorted(actual - expected)
+    missing = sorted(expected - actual)
+    unreadable = []
+    for path in sorted(expected & actual):
+        try:
+            spate.dfs.read_file(path)
+        except SpateError:
+            unreadable.append(path)
+
+    injector = spate.fault_injector
+    recovered = (
+        not phantoms
+        and not missing
+        and not unreadable
+        and heal.under_replicated_after == 0
+        and fsck.healthy
+    )
+    lines = [
+        "SPATE chaos run",
+        f"  trace:                 scale={args.scale} days={args.days} "
+        f"codec={args.codec} fault-seed={args.fault_seed}",
+        f"  snapshots:             {ingested}/{attempted} ingested "
+        f"({failed} failed writes rolled back cleanly)",
+        f"  faults injected:       {injector.crashes_injected} crashes, "
+        f"{injector.restarts_injected} restarts, "
+        f"{injector.corruptions_injected} corruptions, "
+        f"{injector.write_failures_injected} transient write failures",
+        f"  recovery:              {spate.dfs.fault_stats.write_retries} write retries, "
+        f"{spate.dfs.fault_stats.writes_rolled_back} writes rolled back, "
+        f"{spate.dfs.fault_stats.read_failovers} read failovers, "
+        f"{spate.dfs.fault_stats.corrupt_replicas_dropped} corrupt replicas dropped",
+        f"  re-replication:        {spate.dfs.fault_stats.re_replicated_copies} "
+        f"replicas re-created, "
+        f"{spate.dfs.fault_stats.excess_replicas_trimmed} excess trimmed, "
+        f"{spate.dfs.fault_stats.heal_passes} heal passes",
+        f"  namespace:             {len(actual)} files "
+        f"({len(phantoms)} phantom, {len(missing)} missing, "
+        f"{len(unreadable)} unreadable)",
+        f"  cluster health:        {fsck.blocks} blocks, "
+        f"{fsck.live_valid_replicas} valid replicas, "
+        f"{fsck.corrupt_replicas} corrupt, "
+        f"{fsck.under_replicated_blocks} under-replicated, "
+        f"{fsck.lost_blocks} lost",
+        f"  verdict:               {'RECOVERED' if recovered else 'DEGRADED'}",
+    ]
+    report = "\n".join(lines)
+    print(report)
+    if args.report_file:
+        with open(args.report_file, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 0 if recovered else 1
+
+
 def cmd_bench_codecs(args: argparse.Namespace) -> int:
     """``bench-codecs``: Table-I style microbenchmark over snapshots."""
     generator = TelcoTraceGenerator(
@@ -245,6 +357,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--reread", action="store_true",
                    help="run the exploration twice to show cache hits")
     p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser("chaos", help="fault-injection drill + recovery report")
+    _add_trace_args(p)
+    p.add_argument("--fault-seed", type=int, default=7,
+                   help="fault injector RNG seed (reproducible chaos)")
+    p.add_argument("--crash-rate", type=float, default=0.02,
+                   help="per-write datanode crash probability")
+    p.add_argument("--restart-rate", type=float, default=0.2,
+                   help="per-write, per-dead-node restart probability")
+    p.add_argument("--corruption-rate", type=float, default=0.05,
+                   help="per-write silent replica corruption probability")
+    p.add_argument("--write-failure-rate", type=float, default=0.05,
+                   help="per-replica-store transient failure probability")
+    p.add_argument("--max-write-retries", type=int, default=3,
+                   help="transient-failure retries before rollback")
+    p.add_argument("--heal-interval", type=int, default=8,
+                   help="ingests between automatic heal passes")
+    p.add_argument("--report-file", default=None,
+                   help="also write the recovery report to this file")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("bench-codecs", help="Table-I microbenchmark")
     p.add_argument("--scale", type=float, default=0.004)

@@ -7,12 +7,18 @@ with a :class:`repro.core.config.SpateConfig`, feed it snapshots from
 :mod:`repro.query.sql`.
 """
 
-from repro.core.config import DecayPolicyConfig, HighlightsConfig, SpateConfig
+from repro.core.config import (
+    DecayPolicyConfig,
+    FaultToleranceConfig,
+    HighlightsConfig,
+    SpateConfig,
+)
 from repro.core.leaf_cache import LeafCache, LeafCacheStats
 from repro.core.snapshot import Snapshot, Table, epoch_to_timestamp, timestamp_to_epoch
 
 __all__ = [
     "DecayPolicyConfig",
+    "FaultToleranceConfig",
     "HighlightsConfig",
     "LeafCache",
     "LeafCacheStats",

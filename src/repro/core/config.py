@@ -72,6 +72,49 @@ class DecayPolicyConfig:
 
 
 @dataclass(frozen=True)
+class FaultToleranceConfig:
+    """Storage fault-injection and self-healing settings.
+
+    When ``enabled``, the facade attaches a seeded
+    :class:`~repro.dfs.faults.FaultInjector` to the DFS (datanode
+    crashes/restarts, silent block corruption, transient write
+    failures) and runs a background-style :meth:`~repro.dfs.filesystem.
+    SimulatedDFS.heal` pass — corruption scrub + re-replication — every
+    ``heal_interval_epochs`` ingests.  All faults derive from ``seed``,
+    so a chaos run is exactly reproducible.
+    """
+
+    enabled: bool = False
+    seed: int = 2017
+    #: Per-write probability of crashing one live datanode.
+    crash_rate: float = 0.0
+    #: Per-write, per-dead-node probability of a restart.
+    restart_rate: float = 0.0
+    #: Per-write probability of silently corrupting one stored replica.
+    corruption_rate: float = 0.0
+    #: Per-replica-store probability of a transient write failure.
+    write_failure_rate: float = 0.0
+    #: Transient-failure retries per replica store before rollback.
+    max_write_retries: int = 3
+    #: Crash injection pauses while this many nodes are already down.
+    max_dead_nodes: int = 1
+    #: Ingests between automatic heal passes (0 = only heal on demand).
+    heal_interval_epochs: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("crash_rate", "restart_rate", "corruption_rate", "write_failure_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+        if self.max_write_retries < 0:
+            raise ConfigError("max_write_retries must be non-negative")
+        if self.max_dead_nodes < 0:
+            raise ConfigError("max_dead_nodes must be non-negative")
+        if self.heal_interval_epochs < 0:
+            raise ConfigError("heal_interval_epochs must be non-negative")
+
+
+@dataclass(frozen=True)
 class SpateConfig:
     """Top-level framework configuration.
 
@@ -95,6 +138,7 @@ class SpateConfig:
             on the read path; 0 disables caching.
         highlights: highlights-module settings.
         decay: decaying-module settings.
+        faults: storage fault-injection / self-healing settings.
     """
 
     codec: str = "gzip"
@@ -107,6 +151,7 @@ class SpateConfig:
     leaf_cache_bytes: int = 16 * 1024 * 1024
     highlights: HighlightsConfig = field(default_factory=HighlightsConfig)
     decay: DecayPolicyConfig = field(default_factory=DecayPolicyConfig)
+    faults: FaultToleranceConfig = field(default_factory=FaultToleranceConfig)
 
     def __post_init__(self) -> None:
         if self.replication < 1:

@@ -88,12 +88,15 @@ class LeafCache:
         Returns:
             The number of entries evicted to make room.
         """
-        if self.capacity_bytes <= 0 or nbytes > self.capacity_bytes:
-            return 0
         key = (epoch, table_name)
         previous = self._entries.pop(key, None)
         if previous is not None:
             self._bytes -= previous[1]
+        if self.capacity_bytes <= 0 or nbytes > self.capacity_bytes:
+            # Not cacheable — but the stale previous entry (e.g. a leaf
+            # rewritten larger by the fungus) must still be dropped, or
+            # it would keep serving pre-rewrite rows.
+            return 0
         self._entries[key] = (table, nbytes)
         self._bytes += nbytes
         evicted = 0

@@ -44,6 +44,25 @@ class WarehouseMetrics:
     #: Current cache occupancy gauge, refreshed on every put/invalidate.
     leaf_cache_bytes: int = 0
 
+    #: Storage fault-tolerance counters (mirrors of the DFS's
+    #: FaultStats, refreshed via :meth:`sync_storage_faults`).
+    dfs_write_retries: int = 0
+    dfs_write_failures: int = 0
+    dfs_writes_rolled_back: int = 0
+    dfs_checksum_failures: int = 0
+    dfs_read_failovers: int = 0
+    dfs_corrupt_replicas_dropped: int = 0
+    dfs_re_replicated_copies: int = 0
+    dfs_excess_replicas_trimmed: int = 0
+    heal_passes: int = 0
+    #: Current under-replicated gauge from the most recent heal pass.
+    under_replicated_blocks: int = 0
+    #: Injected-fault counters (what the chaos harness broke on purpose).
+    faults_crashes_injected: int = 0
+    faults_restarts_injected: int = 0
+    faults_corruptions_injected: int = 0
+    faults_write_failures_injected: int = 0
+
     #: max ingest time seen, to compare against the epoch budget.
     worst_ingest_seconds: float = 0.0
     _ratio_samples: list[float] = field(default_factory=list, repr=False)
@@ -113,6 +132,30 @@ class WarehouseMetrics:
         self.leaf_cache_evictions += evictions
         self.leaf_cache_invalidations += invalidations
         self.leaf_cache_bytes = current_bytes
+
+    def sync_storage_faults(self, fault_stats, injector=None) -> None:
+        """Mirror the DFS's cumulative fault counters (and the
+        injector's, when a chaos run attached one).  The DFS owns the
+        running totals, so this *sets* rather than adds."""
+        self.dfs_write_retries = fault_stats.write_retries
+        self.dfs_write_failures = fault_stats.write_failures
+        self.dfs_writes_rolled_back = fault_stats.writes_rolled_back
+        self.dfs_checksum_failures = fault_stats.checksum_failures
+        self.dfs_read_failovers = fault_stats.read_failovers
+        self.dfs_corrupt_replicas_dropped = fault_stats.corrupt_replicas_dropped
+        self.dfs_re_replicated_copies = fault_stats.re_replicated_copies
+        self.dfs_excess_replicas_trimmed = fault_stats.excess_replicas_trimmed
+        self.heal_passes = fault_stats.heal_passes
+        if injector is not None:
+            self.faults_crashes_injected = injector.crashes_injected
+            self.faults_restarts_injected = injector.restarts_injected
+            self.faults_corruptions_injected = injector.corruptions_injected
+            self.faults_write_failures_injected = injector.write_failures_injected
+
+    def on_heal(self, report) -> None:
+        """Record one heal pass's outcome (the pass counter itself is
+        mirrored from the DFS by :meth:`sync_storage_faults`)."""
+        self.under_replicated_blocks = report.under_replicated_after
 
     # ------------------------------------------------------------------
     # Derived views
@@ -189,4 +232,38 @@ class WarehouseMetrics:
             f"{self.leaf_cache_invalidations} invalidations, "
             f"{self.leaf_cache_bytes:,} bytes resident"
         )
+        if self._any_storage_faults():
+            lines.append(
+                f"  storage faults:        {self.faults_crashes_injected} crashes / "
+                f"{self.faults_restarts_injected} restarts / "
+                f"{self.faults_corruptions_injected} corruptions / "
+                f"{self.faults_write_failures_injected} write faults injected"
+            )
+            lines.append(
+                f"  storage recovery:      {self.dfs_write_retries} write retries "
+                f"({self.dfs_write_failures} exhausted, "
+                f"{self.dfs_writes_rolled_back} writes rolled back), "
+                f"{self.dfs_read_failovers} read failovers, "
+                f"{self.dfs_corrupt_replicas_dropped} corrupt replicas dropped"
+            )
+            lines.append(
+                f"  replication repair:    {self.heal_passes} heal passes, "
+                f"{self.dfs_re_replicated_copies} replicas re-created, "
+                f"{self.dfs_excess_replicas_trimmed} excess trimmed, "
+                f"{self.under_replicated_blocks} blocks under-replicated now"
+            )
         return "\n".join(lines)
+
+    def _any_storage_faults(self) -> bool:
+        """True when any fault was injected or absorbed this run."""
+        return any((
+            self.faults_crashes_injected,
+            self.faults_restarts_injected,
+            self.faults_corruptions_injected,
+            self.faults_write_failures_injected,
+            self.dfs_write_retries,
+            self.dfs_writes_rolled_back,
+            self.dfs_checksum_failures,
+            self.dfs_re_replicated_copies,
+            self.heal_passes,
+        ))

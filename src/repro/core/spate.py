@@ -28,7 +28,8 @@ from repro.core.config import SpateConfig
 from repro.core.leaf_cache import LeafCache
 from repro.core.metrics import WarehouseMetrics
 from repro.core.snapshot import Snapshot, Table
-from repro.dfs.filesystem import SimulatedDFS
+from repro.dfs.faults import FaultInjector
+from repro.dfs.filesystem import HealReport, SimulatedDFS
 from repro.engine.executor import get_executor
 from repro.errors import DecayedDataError, QueryError
 from repro.index.decay import DecayModule, DecayReport
@@ -51,10 +52,26 @@ class Spate(Framework):
         dfs: SimulatedDFS | None = None,
     ) -> None:
         self.config = config or SpateConfig()
-        dfs = dfs or SimulatedDFS(
-            block_size=self.config.block_size,
-            default_replication=self.config.replication,
-        )
+        self.fault_injector: FaultInjector | None = None
+        if dfs is None:
+            faults = self.config.faults
+            if faults.enabled:
+                self.fault_injector = FaultInjector(
+                    seed=faults.seed,
+                    crash_rate=faults.crash_rate,
+                    restart_rate=faults.restart_rate,
+                    corruption_rate=faults.corruption_rate,
+                    write_failure_rate=faults.write_failure_rate,
+                    max_dead_nodes=faults.max_dead_nodes,
+                )
+            dfs = SimulatedDFS(
+                block_size=self.config.block_size,
+                default_replication=self.config.replication,
+                fault_injector=self.fault_injector,
+                max_write_retries=faults.max_write_retries,
+            )
+        else:
+            self.fault_injector = dfs.fault_injector
         super().__init__(dfs)
         self.codec = get_codec(self.config.codec)
         self.index = TemporalIndex()
@@ -125,6 +142,15 @@ class Spate(Framework):
             name: self.incremence.leaf_path(snapshot.epoch, name)
             for name in snapshot.tables
         }
+        faults = self.config.faults
+        ingested_so_far = self.metrics.snapshots_ingested + 1  # counting this one
+        if (
+            faults.enabled
+            and faults.heal_interval_epochs
+            and ingested_so_far % faults.heal_interval_epochs == 0
+        ):
+            self.metrics.on_heal(self.dfs.heal())
+        self.metrics.sync_storage_faults(self.dfs.fault_stats, self.fault_injector)
         seconds = report.total_seconds + (self.dfs.modeled_io_seconds - io_before)
         self.metrics.on_executor_run(
             backend=report.executor,
@@ -225,6 +251,16 @@ class Spate(Framework):
     def highlights(self, first_epoch: int, last_epoch: int) -> list[Highlight]:
         """Detected highlights overlapping the window."""
         return self._engine().highlights_in_window(first_epoch, last_epoch)
+
+    def heal(self) -> HealReport:
+        """Force a storage repair pass: scrub corrupt replicas and
+        re-replicate under-replicated blocks back to the requested
+        factor (normally run every ``faults.heal_interval_epochs``
+        ingests when fault tolerance is enabled)."""
+        report = self.dfs.heal()
+        self.metrics.on_heal(report)
+        self.metrics.sync_storage_faults(self.dfs.fault_stats, self.fault_injector)
+        return report
 
     def run_decay(self) -> DecayReport:
         """Force a decay pass (normally run on every ingest)."""

@@ -3,22 +3,37 @@
 The paper stores snapshots on HDFS v2.5.2 with a 64 MB block size and
 replication factor 3.  This package provides the same contract in
 process: a :class:`~repro.dfs.filesystem.SimulatedDFS` with a namenode
-holding the namespace and block map, datanodes holding block payloads,
-rack-aware-ish placement, re-replication after datanode failures, and
-byte accounting (both logical file size and physical replicated usage —
-the quantity Figures 8 and 10 plot).
+holding the namespace and block map, datanodes holding checksummed
+block payloads, rack-aware-ish placement, atomic (stage-then-commit)
+writes, corruption scrubbing and re-replication after datanode
+failures, a seeded :class:`~repro.dfs.faults.FaultInjector` for chaos
+testing, and byte accounting (both logical file size and physical
+replicated usage — the quantity Figures 8 and 10 plot).
 """
 
-from repro.dfs.block import Block, BlockId
+from repro.dfs.block import Block, BlockId, block_checksum
 from repro.dfs.datanode import DataNode
+from repro.dfs.faults import FaultInjector
 from repro.dfs.namenode import FileMeta, NameNode
-from repro.dfs.filesystem import DfsStats, IoCostModel, SimulatedDFS
+from repro.dfs.filesystem import (
+    DfsStats,
+    FaultStats,
+    FsckReport,
+    HealReport,
+    IoCostModel,
+    SimulatedDFS,
+)
 
 __all__ = [
     "Block",
     "BlockId",
+    "block_checksum",
     "DataNode",
+    "FaultInjector",
+    "FaultStats",
     "FileMeta",
+    "FsckReport",
+    "HealReport",
     "NameNode",
     "SimulatedDFS",
     "DfsStats",

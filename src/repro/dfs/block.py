@@ -2,18 +2,35 @@
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 #: Opaque block identifier (monotonically assigned by the namenode).
 BlockId = int
 
 
+def block_checksum(data: bytes) -> int:
+    """CRC32 of a block payload (HDFS checksums per 512-byte chunk; one
+    CRC per block is enough to *detect* corruption in the simulator)."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
 @dataclass(frozen=True)
 class Block:
-    """A fixed-maximum-size chunk of file data."""
+    """A fixed-maximum-size chunk of file data.
+
+    The checksum is computed once at block creation and travels with
+    every replica, so a datanode can verify its stored payload on read
+    without trusting its own (possibly corrupted) copy.
+    """
 
     block_id: BlockId
     data: bytes
+    checksum: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.checksum is None:
+            object.__setattr__(self, "checksum", block_checksum(self.data))
 
     @property
     def size(self) -> int:

@@ -1,26 +1,32 @@
-"""Datanode: stores block replicas and reports usage."""
+"""Datanode: stores checksummed block replicas and reports usage."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.dfs.block import Block, BlockId
-from repro.errors import StorageError
+from repro.dfs.block import Block, BlockId, block_checksum
+from repro.errors import ChecksumError, StorageError
 
 
 @dataclass
 class DataNode:
-    """One storage node in the simulated cluster."""
+    """One storage node in the simulated cluster.
+
+    Each replica is stored as ``(payload, expected_crc32)``; the
+    checksum is fixed at write time, so silent payload corruption (bit
+    rot, a misdirected write — injected here via :meth:`corrupt_block`)
+    is detected the next time the replica is read or scrubbed.
+    """
 
     node_id: str
     capacity: int | None = None  # bytes; None = unbounded
     alive: bool = True
-    _blocks: dict[BlockId, bytes] = field(default_factory=dict, repr=False)
+    _blocks: dict[BlockId, tuple[bytes, int]] = field(default_factory=dict, repr=False)
 
     @property
     def used_bytes(self) -> int:
         """Physical bytes stored on this node."""
-        return sum(len(b) for b in self._blocks.values())
+        return sum(len(data) for data, __ in self._blocks.values())
 
     @property
     def block_count(self) -> int:
@@ -34,7 +40,7 @@ class DataNode:
         return self.capacity - self.used_bytes
 
     def store(self, block: Block) -> None:
-        """Accept a block replica.
+        """Accept a block replica (payload + checksum).
 
         Raises:
             StorageError: if the node is dead or out of capacity.
@@ -43,22 +49,50 @@ class DataNode:
             raise StorageError(f"datanode {self.node_id} is down")
         if self.capacity is not None and self.used_bytes + block.size > self.capacity:
             raise StorageError(f"datanode {self.node_id} is full")
-        self._blocks[block.block_id] = block.data
+        self._blocks[block.block_id] = (block.data, block.checksum)
 
-    def read(self, block_id: BlockId) -> bytes:
-        """Serve a block replica.
+    def read(self, block_id: BlockId, verify: bool = True) -> bytes:
+        """Serve a block replica, verifying its checksum by default.
 
         Raises:
             StorageError: if the node is dead or lacks the replica.
+            ChecksumError: if the stored payload fails verification.
         """
         if not self.alive:
             raise StorageError(f"datanode {self.node_id} is down")
         try:
-            return self._blocks[block_id]
+            data, expected = self._blocks[block_id]
         except KeyError:
             raise StorageError(
                 f"datanode {self.node_id} has no replica of block {block_id}"
             ) from None
+        if verify and block_checksum(data) != expected:
+            raise ChecksumError(
+                f"datanode {self.node_id}: block {block_id} replica is corrupt"
+            )
+        return data
+
+    def replica_is_valid(self, block_id: BlockId) -> bool:
+        """True when a resident replica's payload matches its checksum
+        (used by the scrub pass; does not raise, dead nodes included)."""
+        entry = self._blocks.get(block_id)
+        if entry is None:
+            return False
+        data, expected = entry
+        return block_checksum(data) == expected
+
+    def corrupt_block(self, block_id: BlockId, offset: int = 0) -> bool:
+        """Flip one payload byte without touching the stored checksum —
+        the fault-injection hook for silent corruption.  Returns False
+        when the replica is absent or empty."""
+        entry = self._blocks.get(block_id)
+        if entry is None or not entry[0]:
+            return False
+        data, expected = entry
+        offset %= len(data)
+        flipped = data[:offset] + bytes([data[offset] ^ 0xFF]) + data[offset + 1 :]
+        self._blocks[block_id] = (flipped, expected)
+        return True
 
     def drop(self, block_id: BlockId) -> None:
         """Delete a replica if present (idempotent)."""
@@ -67,6 +101,10 @@ class DataNode:
     def has_block(self, block_id: BlockId) -> bool:
         """True when this node holds a replica of the block."""
         return block_id in self._blocks
+
+    def block_ids(self) -> list[BlockId]:
+        """Every block id with a replica resident on this node."""
+        return list(self._blocks)
 
     def fail(self) -> None:
         """Simulate a crash: replicas become unreachable (not erased —

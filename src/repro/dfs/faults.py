@@ -1,0 +1,138 @@
+"""Seeded fault injection for the simulated DFS.
+
+The paper's testbed rides on HDFS (64 MB blocks, replication 3)
+precisely because datanodes fail and disks rot; reproducing only the
+happy path would leave the failure envelope untested.  The
+:class:`FaultInjector` deliberately breaks a :class:`~repro.dfs.
+filesystem.SimulatedDFS` with three independent, seeded fault
+processes:
+
+- **datanode crashes** (``crash_rate`` per write operation), bounded by
+  ``max_dead_nodes`` so the cluster never loses every replica holder at
+  once — the scenario replication 3 is provisioned for;
+- **node restarts** (``restart_rate`` per dead node per write), so
+  crashed nodes return with their stale block reports, exercising
+  re-registration and re-replication back to the *requested* factor;
+- **silent block corruption** (``corruption_rate`` per write), flipping
+  a payload byte under an unchanged checksum on a random live replica —
+  detected on read/scrub, never trusted;
+- **transient replica-write failures** (``write_failure_rate`` per
+  replica store), which the filesystem absorbs with bounded
+  retry/backoff before declaring the write failed.
+
+All randomness comes from one ``random.Random(seed)``, so a chaos run
+is exactly reproducible: same seed, same faults, same recovery.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError, TransientWriteError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dfs.filesystem import SimulatedDFS
+
+
+class FaultInjector:
+    """Deterministic fault process attached to one ``SimulatedDFS``."""
+
+    def __init__(
+        self,
+        seed: int = 2017,
+        crash_rate: float = 0.0,
+        restart_rate: float = 0.0,
+        corruption_rate: float = 0.0,
+        write_failure_rate: float = 0.0,
+        max_dead_nodes: int = 1,
+    ) -> None:
+        """
+        Args:
+            seed: RNG seed; every injected fault derives from it.
+            crash_rate: per-write probability of killing one live node.
+            restart_rate: per-write, per-dead-node restart probability.
+            corruption_rate: per-write probability of corrupting one
+                randomly chosen resident replica on a live node.
+            write_failure_rate: per-replica-store probability of a
+                :class:`~repro.errors.TransientWriteError`.
+            max_dead_nodes: crash injection stops while this many nodes
+                are already down (keeps at least one replica reachable
+                on the paper's 4-node / replication-3 layout).
+        """
+        for name, rate in (
+            ("crash_rate", crash_rate),
+            ("restart_rate", restart_rate),
+            ("corruption_rate", corruption_rate),
+            ("write_failure_rate", write_failure_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {rate}")
+        if max_dead_nodes < 0:
+            raise ConfigError("max_dead_nodes must be non-negative")
+        self.crash_rate = crash_rate
+        self.restart_rate = restart_rate
+        self.corruption_rate = corruption_rate
+        self.write_failure_rate = write_failure_rate
+        self.max_dead_nodes = max_dead_nodes
+        self._rng = random.Random(seed)
+        #: Injection counters (what was *broken*; the filesystem's
+        #: FaultStats counts what was *recovered*).
+        self.crashes_injected = 0
+        self.restarts_injected = 0
+        self.corruptions_injected = 0
+        self.write_failures_injected = 0
+
+    # ------------------------------------------------------------------
+    # Hooks called by SimulatedDFS
+    # ------------------------------------------------------------------
+
+    def on_write(self, dfs: SimulatedDFS) -> None:
+        """Fault step run at the start of every ``write_file``: maybe
+        restart dead nodes, maybe crash a live one, maybe corrupt one
+        stored replica.  Crashes never happen mid-write, so a single
+        write sees a stable node set (matching HDFS pipeline setup)."""
+        dead = [n for n in dfs.datanodes.values() if not n.alive]
+        for node in dead:
+            if self.restart_rate and self._rng.random() < self.restart_rate:
+                dfs.restart_datanode(node.node_id)
+                self.restarts_injected += 1
+        if self.crash_rate and self._rng.random() < self.crash_rate:
+            live = [n for n in dfs.datanodes.values() if n.alive]
+            dead_count = len(dfs.datanodes) - len(live)
+            if dead_count < self.max_dead_nodes and len(live) > 1:
+                victim = self._rng.choice(sorted(live, key=lambda n: n.node_id))
+                dfs.kill_datanode(victim.node_id)
+                self.crashes_injected += 1
+        if self.corruption_rate and self._rng.random() < self.corruption_rate:
+            if self._corrupt_random_replica(dfs):
+                self.corruptions_injected += 1
+
+    def maybe_fail_store(self, node_id: str) -> None:
+        """Roll the transient-write fault for one replica store.
+
+        Raises:
+            TransientWriteError: with probability ``write_failure_rate``.
+        """
+        if self.write_failure_rate and self._rng.random() < self.write_failure_rate:
+            self.write_failures_injected += 1
+            raise TransientWriteError(
+                f"injected transient write failure on datanode {node_id}"
+            )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _corrupt_random_replica(self, dfs: SimulatedDFS) -> bool:
+        """Flip a byte in one randomly chosen resident replica."""
+        candidates: list[tuple[str, int]] = []
+        for node in sorted(dfs.datanodes.values(), key=lambda n: n.node_id):
+            if not node.alive:
+                continue
+            candidates.extend((node.node_id, bid) for bid in node.block_ids())
+        if not candidates:
+            return False
+        node_id, block_id = self._rng.choice(candidates)
+        offset = self._rng.randrange(1 << 16)
+        return dfs.datanodes[node_id].corrupt_block(block_id, offset)

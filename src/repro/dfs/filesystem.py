@@ -1,12 +1,17 @@
 """SimulatedDFS: the client-facing replicated filesystem facade.
 
-Write path: split the payload into blocks, place each replica on the
-emptiest live datanodes, register locations with the namenode.  Read
-path: fetch each block from any live replica.  Failure handling: a
-killed datanode leaves blocks under-replicated; :meth:`SimulatedDFS.
-re_replicate` restores the target factor from surviving replicas, and a
-read raises :class:`~repro.errors.BlockLostError` only when *every*
-replica is gone — the behaviour the paper's replication-3 testbed buys.
+Write path (crash-consistent): split the payload into blocks, *stage*
+every replica on the emptiest live datanodes, and only then commit the
+namespace entry and block locations — any failure mid-write rolls the
+staged replicas back, so the namespace never holds a phantom partial
+file.  Read path: fetch each block from any live replica, verifying its
+CRC32; a corrupt replica is quarantined (dropped + location removed)
+and the read fails over to the next copy.  Failure handling: a killed
+datanode leaves blocks under-replicated; :meth:`SimulatedDFS.heal`
+combines a corruption scrub with :meth:`SimulatedDFS.re_replicate` to
+restore the *requested* factor, and a read raises :class:`~repro.
+errors.BlockLostError` only when every replica is gone or corrupt — the
+behaviour the paper's replication-3 testbed buys.
 """
 
 from __future__ import annotations
@@ -15,8 +20,16 @@ from dataclasses import dataclass
 
 from repro.dfs.block import Block, split_into_blocks
 from repro.dfs.datanode import DataNode
-from repro.dfs.namenode import NameNode
-from repro.errors import BlockLostError, ReplicationError, StorageError
+from repro.dfs.faults import FaultInjector
+from repro.dfs.namenode import NameNode, normalize_path
+from repro.errors import (
+    BlockLostError,
+    ChecksumError,
+    FileExistsInDFSError,
+    ReplicationError,
+    StorageError,
+    TransientWriteError,
+)
 
 
 @dataclass(frozen=True)
@@ -28,6 +41,54 @@ class DfsStats:
     file_count: int
     block_count: int
     live_datanodes: int
+
+
+@dataclass
+class FaultStats:
+    """What the filesystem absorbed and repaired (the recovery side of
+    the ledger; :class:`~repro.dfs.faults.FaultInjector` counts what was
+    deliberately broken)."""
+
+    write_retries: int = 0
+    write_failures: int = 0
+    writes_rolled_back: int = 0
+    checksum_failures: int = 0
+    read_failovers: int = 0
+    corrupt_replicas_dropped: int = 0
+    re_replicated_copies: int = 0
+    excess_replicas_trimmed: int = 0
+    heal_passes: int = 0
+
+
+@dataclass(frozen=True)
+class HealReport:
+    """Outcome of one scrub + re-replicate + trim pass."""
+
+    corrupt_replicas_dropped: int
+    replicas_created: int
+    replicas_trimmed: int
+    under_replicated_after: int
+
+
+@dataclass(frozen=True)
+class FsckReport:
+    """Read-only cluster health check (no repairs performed)."""
+
+    files: int
+    blocks: int
+    live_valid_replicas: int
+    corrupt_replicas: int
+    under_replicated_blocks: int
+    lost_blocks: int
+
+    @property
+    def healthy(self) -> bool:
+        """True when no block is corrupt, lost, or under-replicated."""
+        return (
+            self.corrupt_replicas == 0
+            and self.lost_blocks == 0
+            and self.under_replicated_blocks == 0
+        )
 
 
 @dataclass(frozen=True)
@@ -63,6 +124,10 @@ class IoCostModel:
 class SimulatedDFS:
     """An in-process HDFS-like filesystem."""
 
+    #: Base backoff charged (as modeled seconds) per write retry;
+    #: doubles with each attempt, mirroring HDFS client retry policy.
+    write_retry_backoff_s = 0.001
+
     def __init__(
         self,
         datanodes: int = 4,
@@ -70,6 +135,8 @@ class SimulatedDFS:
         default_replication: int = 3,
         node_capacity: int | None = None,
         io_model: IoCostModel | None = None,
+        fault_injector: FaultInjector | None = None,
+        max_write_retries: int = 3,
     ) -> None:
         """
         Args:
@@ -80,14 +147,24 @@ class SimulatedDFS:
             io_model: when given, every read/write accrues modeled I/O
                 seconds in :attr:`modeled_io_seconds` (see
                 :class:`IoCostModel`); None disables the model.
+            fault_injector: optional seeded fault process (crashes,
+                corruption, transient write failures) consulted on
+                every write; None runs the happy path only.
+            max_write_retries: transient-failure retries per replica
+                store before the write is rolled back.
         """
         if datanodes < 1:
             raise StorageError("cluster needs at least one datanode")
         if default_replication < 1:
             raise StorageError("replication must be at least 1")
+        if max_write_retries < 0:
+            raise StorageError("max_write_retries must be non-negative")
         self.block_size = block_size
         self.default_replication = default_replication
         self.io_model = io_model
+        self.fault_injector = fault_injector
+        self.max_write_retries = max_write_retries
+        self.fault_stats = FaultStats()
         #: Accumulated modeled I/O time; callers diff this around an
         #: operation to charge it to a measurement.
         self.modeled_io_seconds = 0.0
@@ -102,37 +179,69 @@ class SimulatedDFS:
     # ------------------------------------------------------------------
 
     def write_file(self, path: str, data: bytes, replication: int | None = None) -> None:
-        """Create ``path`` with ``data``.
+        """Create ``path`` with ``data``, atomically.
+
+        All block replicas are staged on datanodes first; the namespace
+        entry and block locations are committed only after every
+        replica landed.  Any failure mid-write (node down/full,
+        transient failures past the retry budget) drops the staged
+        replicas and releases the allocated block ids, so the namespace
+        never exposes a partial file.
+
+        The file's metadata records the *requested* replication target
+        even when fewer nodes are live at write time, so
+        :meth:`re_replicate` restores the full factor once crashed
+        nodes return.
 
         Raises:
             FileExistsInDFSError: if the path exists.
-            ReplicationError: if fewer live nodes than replicas requested.
+            ReplicationError: if no live datanode can take a replica.
+            StorageError: if staging failed (after rollback).
         """
         replication = replication or self.default_replication
+        if self.fault_injector is not None:
+            self.fault_injector.on_write(self)
+        if self.namenode.exists(path):
+            raise FileExistsInDFSError(normalize_path(path))
         live = self._live_nodes()
         effective = min(replication, len(live))
         if effective == 0:
             raise ReplicationError("no live datanodes")
-        meta = self.namenode.create_file(path, replication=effective)
+        placements: list[tuple[Block, list[DataNode]]] = []
+        try:
+            for chunk in split_into_blocks(data, self.block_size):
+                block = Block(block_id=self.namenode.allocate_block(), data=chunk)
+                placed: list[DataNode] = []
+                placements.append((block, placed))
+                for node in self._pick_targets(effective):
+                    self._store_with_retry(node, block)
+                    placed.append(node)
+        except StorageError:
+            self._rollback(placements)
+            raise
+        # Commit point: the namespace entry is registered last, so a
+        # reader can never observe a half-written file.
+        meta = self.namenode.create_file(path, replication=replication)
         meta.size = len(data)
         if self.io_model is not None:
             self.modeled_io_seconds += self.io_model.write_seconds(
                 len(data), effective
             )
-        for chunk in split_into_blocks(data, self.block_size):
-            block_id = self.namenode.allocate_block()
-            block = Block(block_id=block_id, data=chunk)
-            for node in self._pick_targets(effective):
-                node.store(block)
-                self.namenode.add_location(block_id, node.node_id)
-            meta.blocks.append(block_id)
+        for block, placed in placements:
+            for node in placed:
+                self.namenode.add_location(block.block_id, node.node_id)
+            meta.blocks.append(block.block_id)
 
     def read_file(self, path: str) -> bytes:
         """Read the full contents of ``path``.
 
+        Every block's CRC32 is verified; a corrupt replica is dropped
+        (and its location forgotten) and the read fails over to the
+        next copy.
+
         Raises:
             FileNotFoundInDFSError: for unknown paths.
-            BlockLostError: when a block has no live replica.
+            BlockLostError: when a block has no live, valid replica.
         """
         meta = self.namenode.lookup(path)
         out = bytearray()
@@ -187,22 +296,18 @@ class SimulatedDFS:
     def re_replicate(self) -> int:
         """Restore the replication target for under-replicated blocks.
 
-        Copies from any surviving live replica to live nodes lacking
-        one.  Returns the number of new replicas created.  Blocks with
-        zero live replicas are skipped (they surface as
-        :class:`~repro.errors.BlockLostError` on read).
+        Copies from any surviving live replica that passes checksum
+        verification (corrupt sources are quarantined, never copied) to
+        live nodes lacking one.  Returns the number of new replicas
+        created.  Blocks with zero live valid replicas are skipped
+        (they surface as :class:`~repro.errors.BlockLostError` on read).
         """
         live_ids = {n.node_id for n in self._live_nodes()}
         created = 0
         for block_id, missing in self.namenode.under_replicated(live_ids):
-            sources = [
-                self.datanodes[nid]
-                for nid in self.namenode.locations(block_id)
-                if nid in live_ids and self.datanodes[nid].has_block(block_id)
-            ]
-            if not sources:
+            data = self._read_valid_replica(block_id, live_ids)
+            if data is None:
                 continue
-            data = sources[0].read(block_id)
             holders = self.namenode.locations(block_id)
             targets = [
                 node
@@ -215,7 +320,97 @@ class SimulatedDFS:
                 node.store(Block(block_id=block_id, data=data))
                 self.namenode.add_location(block_id, node.node_id)
                 created += 1
+        self.fault_stats.re_replicated_copies += created
         return created
+
+    def scrub(self) -> int:
+        """Verify every resident replica on live nodes against its
+        checksum; quarantine (drop + forget) corrupt ones.  Returns the
+        number of replicas dropped."""
+        dropped = 0
+        for node in self.datanodes.values():
+            if not node.alive:
+                continue
+            for block_id in node.block_ids():
+                if not node.replica_is_valid(block_id):
+                    node.drop(block_id)
+                    self.namenode.remove_location(block_id, node.node_id)
+                    self.fault_stats.checksum_failures += 1
+                    self.fault_stats.corrupt_replicas_dropped += 1
+                    dropped += 1
+        return dropped
+
+    def trim_excess_replicas(self) -> int:
+        """Drop replicas beyond a file's target (a restarted node
+        re-registering copies that were already re-replicated while it
+        was down), fullest nodes first.  Returns the number dropped."""
+        live_ids = {n.node_id for n in self._live_nodes()}
+        trimmed = 0
+        for block_id, excess in self.namenode.over_replicated(live_ids):
+            holders = [
+                self.datanodes[nid]
+                for nid in self.namenode.locations(block_id)
+                if nid in live_ids
+                and self.datanodes[nid].has_block(block_id)
+                and self.datanodes[nid].replica_is_valid(block_id)
+            ]
+            holders.sort(key=lambda n: (-n.used_bytes, n.node_id))
+            for node in holders[: min(excess, max(0, len(holders) - 1))]:
+                node.drop(block_id)
+                self.namenode.remove_location(block_id, node.node_id)
+                trimmed += 1
+        self.fault_stats.excess_replicas_trimmed += trimmed
+        return trimmed
+
+    def heal(self) -> HealReport:
+        """Background-style repair pass: scrub corrupt replicas,
+        re-replicate under-replicated blocks back toward each file's
+        *requested* factor, and trim excess copies left by restarted
+        nodes.  Returns what was repaired and how many blocks remain
+        under-replicated (nonzero only while nodes stay down)."""
+        dropped = self.scrub()
+        created = self.re_replicate()
+        trimmed = self.trim_excess_replicas()
+        self.fault_stats.heal_passes += 1
+        live_ids = {n.node_id for n in self._live_nodes()}
+        remaining = len(self.namenode.under_replicated(live_ids))
+        return HealReport(
+            corrupt_replicas_dropped=dropped,
+            replicas_created=created,
+            replicas_trimmed=trimmed,
+            under_replicated_after=remaining,
+        )
+
+    def fsck(self) -> FsckReport:
+        """Read-only health check over the whole namespace: counts live
+        valid replicas, corrupt replicas, under-replicated blocks and
+        lost blocks (no live valid replica).  Performs no repairs."""
+        live_ids = {n.node_id for n in self._live_nodes()}
+        blocks = valid_total = corrupt = lost = 0
+        files = self.namenode.files()
+        for meta in files:
+            for block_id in meta.blocks:
+                blocks += 1
+                valid = 0
+                for node_id in self.namenode.locations(block_id):
+                    node = self.datanodes.get(node_id)
+                    if node is None or not node.alive or not node.has_block(block_id):
+                        continue
+                    if node.replica_is_valid(block_id):
+                        valid += 1
+                    else:
+                        corrupt += 1
+                valid_total += valid
+                if valid == 0:
+                    lost += 1
+        return FsckReport(
+            files=len(files),
+            blocks=blocks,
+            live_valid_replicas=valid_total,
+            corrupt_replicas=corrupt,
+            under_replicated_blocks=len(self.namenode.under_replicated(live_ids)),
+            lost_blocks=lost,
+        )
 
     # ------------------------------------------------------------------
     # Internals
@@ -239,11 +434,67 @@ class SimulatedDFS:
             )
         return live[:count]
 
-    def _read_block(self, block_id: int, path: str) -> bytes:
-        for node_id in self.namenode.locations(block_id):
-            node = self.datanodes.get(node_id)
-            if node is not None and node.alive and node.has_block(block_id):
+    def _store_with_retry(self, node: DataNode, block: Block) -> None:
+        """Store one replica, absorbing transient failures with bounded
+        exponential backoff (charged as modeled time — the simulator
+        never really sleeps)."""
+        attempt = 0
+        while True:
+            try:
+                if self.fault_injector is not None:
+                    self.fault_injector.maybe_fail_store(node.node_id)
+                node.store(block)
+                return
+            except TransientWriteError:
+                attempt += 1
+                if attempt > self.max_write_retries:
+                    self.fault_stats.write_failures += 1
+                    raise
+                self.fault_stats.write_retries += 1
+                self.modeled_io_seconds += (
+                    self.write_retry_backoff_s * (2 ** (attempt - 1))
+                )
+
+    def _rollback(self, placements: list[tuple[Block, list[DataNode]]]) -> None:
+        """Undo a failed write: drop staged replicas, release block ids."""
+        for block, placed in placements:
+            for node in placed:
+                node.drop(block.block_id)
+            self.namenode.release_block(block.block_id)
+        self.fault_stats.writes_rolled_back += 1
+
+    def _read_valid_replica(self, block_id: int, live_ids: set[str]) -> bytes | None:
+        """First checksum-valid live replica's payload, quarantining any
+        corrupt copies encountered on the way; None when all are gone."""
+        for node_id in sorted(self.namenode.locations(block_id)):
+            if node_id not in live_ids:
+                continue
+            node = self.datanodes[node_id]
+            if not node.has_block(block_id):
+                continue
+            try:
                 return node.read(block_id)
+            except ChecksumError:
+                self.fault_stats.checksum_failures += 1
+                self.fault_stats.corrupt_replicas_dropped += 1
+                node.drop(block_id)
+                self.namenode.remove_location(block_id, node_id)
+        return None
+
+    def _read_block(self, block_id: int, path: str) -> bytes:
+        for node_id in sorted(self.namenode.locations(block_id)):
+            node = self.datanodes.get(node_id)
+            if node is None or not node.alive or not node.has_block(block_id):
+                continue
+            try:
+                return node.read(block_id)
+            except ChecksumError:
+                # Quarantine the corrupt replica and fail over.
+                self.fault_stats.checksum_failures += 1
+                self.fault_stats.read_failovers += 1
+                self.fault_stats.corrupt_replicas_dropped += 1
+                node.drop(block_id)
+                self.namenode.remove_location(block_id, node_id)
         raise BlockLostError(
-            f"block {block_id} of {path!r} has no live replica"
+            f"block {block_id} of {path!r} has no live valid replica"
         )

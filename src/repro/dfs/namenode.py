@@ -101,6 +101,11 @@ class NameNode:
         self._locations[block_id] = set()
         return block_id
 
+    def release_block(self, block_id: BlockId) -> None:
+        """Discard an allocated block that will never be committed (the
+        rollback path of an atomic write; idempotent)."""
+        self._locations.pop(block_id, None)
+
     def add_location(self, block_id: BlockId, node_id: str) -> None:
         """Register ``node_id`` as holding a replica of the block."""
         self._locations.setdefault(block_id, set()).add(node_id)
@@ -129,6 +134,22 @@ class NameNode:
                 live = len(self._locations.get(block_id, set()) & live_nodes)
                 if live < meta.replication:
                     out.append((block_id, meta.replication - live))
+        return out
+
+    def over_replicated(self, live_nodes: set[str]) -> list[tuple[BlockId, int]]:
+        """Blocks whose live replica count exceeds their file's target
+        (a restarted node re-registering replicas that were already
+        re-replicated elsewhere).
+
+        Returns:
+            ``(block_id, excess_count)`` pairs.
+        """
+        out: list[tuple[BlockId, int]] = []
+        for meta in self._files.values():
+            for block_id in meta.blocks:
+                live = len(self._locations.get(block_id, set()) & live_nodes)
+                if live > meta.replication:
+                    out.append((block_id, live - meta.replication))
         return out
 
 

@@ -44,6 +44,14 @@ class BlockLostError(StorageError):
     """Every replica of a block is on a failed datanode."""
 
 
+class ChecksumError(StorageError):
+    """A stored block replica failed its CRC32 verification."""
+
+
+class TransientWriteError(StorageError):
+    """A replica write failed transiently (retryable, bounded backoff)."""
+
+
 class IndexError_(SpateError):
     """The temporal index rejected an operation (renamed to avoid builtin)."""
 

@@ -26,6 +26,7 @@ from repro.core.layout import (
 from repro.core.snapshot import Snapshot, Table
 from repro.dfs.filesystem import SimulatedDFS
 from repro.engine.executor import ExecutorBackend, ExecutorRun, SerialBackend
+from repro.errors import StorageError
 from repro.index.highlights import HighlightSummary, summarize_snapshot
 from repro.index.temporal import DayNode, MonthNode, SnapshotLeaf, TemporalIndex, YearNode
 
@@ -115,13 +116,22 @@ class IncremenceModule:
 
         table_paths: dict[str, str] = {}
         compressed_bytes = 0
-        for name, compressed in compressed_tables.items():
-            path = self.leaf_path(snapshot.epoch, name)
-            self._dfs.write_file(
-                path, compressed, replication=self._config.replication
-            )
-            table_paths[name] = path
-            compressed_bytes += len(compressed)
+        try:
+            for name, compressed in compressed_tables.items():
+                path = self.leaf_path(snapshot.epoch, name)
+                self._dfs.write_file(
+                    path, compressed, replication=self._config.replication
+                )
+                table_paths[name] = path
+                compressed_bytes += len(compressed)
+        except StorageError:
+            # Snapshot-level atomicity: a failed table write (already
+            # rolled back by the DFS) must not leave sibling tables of
+            # the same epoch behind — the leaf was never indexed, so
+            # those files would be phantoms in the namespace.
+            for path in table_paths.values():
+                self._dfs.delete_file(path)
+            raise
         t2 = time.perf_counter()
 
         leaf = SnapshotLeaf(

@@ -187,12 +187,27 @@ class TemporalIndex:
         return [leaf for day in self.day_nodes() for leaf in day.leaves]
 
     def leaves_in_epochs(self, first: int, last: int) -> list[SnapshotLeaf]:
-        """Live leaves with ``first <= epoch <= last``."""
-        return [
-            leaf
-            for leaf in self.leaves()
-            if first <= leaf.epoch <= last and not leaf.decayed
-        ]
+        """Live leaves with ``first <= epoch <= last``.
+
+        Walks only the window's day nodes via the O(1) day-key map, so
+        query cost scales with the window size, not the whole history.
+        """
+        first = max(first, 0)
+        last = min(last, self._frontier_epoch)
+        if first > last:
+            return []
+        out: list[SnapshotLeaf] = []
+        for day_index in range(first // EPOCHS_PER_DAY, last // EPOCHS_PER_DAY + 1):
+            key = epoch_to_timestamp(day_index * EPOCHS_PER_DAY).strftime("%Y-%m-%d")
+            day = self._day_by_key.get(key)
+            if day is None:
+                continue
+            out.extend(
+                leaf
+                for leaf in day.leaves
+                if first <= leaf.epoch <= last and not leaf.decayed
+            )
+        return out
 
     @property
     def frontier_epoch(self) -> int:

@@ -212,13 +212,14 @@ class ExplorationEngine:
             if table is None:
                 continue
             if not result.columns:
-                result.columns = ["epoch"] + [
-                    a for a in query.attributes if a in table.columns
-                ]
+                # Columns come from the *query*, not from whichever leaf
+                # happened to be scanned first: later leaves may expose a
+                # different table schema (e.g. after a fungus rewrite),
+                # and every record must keep the same width.
+                result.columns = ["epoch", *query.attributes]
             attr_idx = [
-                (a, table.column_index(a))
+                (a, table.column_index(a) if a in table.columns else None)
                 for a in query.attributes
-                if a in table.columns
             ]
             cell_col = CELL_COLUMN.get(query.table)
             cell_idx = (
@@ -229,9 +230,13 @@ class ExplorationEngine:
             for row in table.rows:
                 if cell_idx is not None and row[cell_idx] not in cells:
                     continue
-                record = [str(leaf.epoch)] + [row[idx] for __, idx in attr_idx]
+                record = [str(leaf.epoch)] + [
+                    row[idx] if idx is not None else "" for __, idx in attr_idx
+                ]
                 result.records.append(record)
                 for name, idx in attr_idx:
+                    if idx is None:
+                        continue
                     value = row[idx]
                     if value and _is_int(value):
                         stats = result.aggregates.get(name)

@@ -100,6 +100,20 @@ class TestNavigation:
         leaves = populated.leaves_in_epochs(10, 20)
         assert 15 not in [l.epoch for l in leaves]
 
+    def test_leaves_in_epochs_clamps_window(self, populated):
+        # Windows reaching past history on either side clamp instead of
+        # scanning (or faulting on) nonexistent days.
+        leaves = populated.leaves_in_epochs(-100, 10 * EPOCHS_PER_DAY)
+        assert len(leaves) == 3 * EPOCHS_PER_DAY
+        assert populated.leaves_in_epochs(50, 40) == []
+
+    def test_leaves_in_epochs_skips_gap_days(self):
+        index = TemporalIndex()
+        index.insert_leaf(leaf(0))
+        index.insert_leaf(leaf(5 * EPOCHS_PER_DAY))  # days 1-4 never ingested
+        leaves = index.leaves_in_epochs(0, 6 * EPOCHS_PER_DAY)
+        assert [l.epoch for l in leaves] == [0, 5 * EPOCHS_PER_DAY]
+
     def test_storage_accounting(self, populated):
         assert populated.storage_bytes() == 100 * 3 * EPOCHS_PER_DAY
         assert populated.leaf_count() == 3 * EPOCHS_PER_DAY

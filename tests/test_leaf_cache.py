@@ -46,6 +46,15 @@ class TestLeafCacheUnit:
         assert not cache.has(1, "B")
         assert cache.evictions == 1
 
+    def test_oversized_refresh_drops_stale_entry(self):
+        # A fungus-rewritten leaf that grew past the cap must not keep
+        # serving its pre-rewrite rows from the cache.
+        cache = LeafCache(400)
+        cache.put(0, "A", _table("A", rows=1), 300)
+        cache.put(0, "A", _table("A", rows=2), 500)  # oversized refresh
+        assert cache.get(0, "A") is None
+        assert cache.current_bytes == 0 and len(cache) == 0
+
     def test_oversized_payload_not_cached(self):
         cache = LeafCache(100)
         assert cache.put(0, "A", _table("A"), 1000) == 0

@@ -6,7 +6,8 @@ from repro.core import Spate, SpateConfig
 from repro.core.config import DecayPolicyConfig
 from repro.core.snapshot import EPOCHS_PER_DAY
 from repro.errors import QueryError
-from repro.query.explore import ExplorationQuery
+from repro.index.temporal import SnapshotLeaf, TemporalIndex
+from repro.query.explore import ExplorationEngine, ExplorationQuery
 from repro.spatial.geometry import BoundingBox
 from repro.telco import TelcoTraceGenerator, TraceConfig
 
@@ -123,6 +124,65 @@ class TestDecayedExploration:
         whole = decayed_spate.explore("CDR", ("downflux",), None, 0, 23)
         boxed = decayed_spate.explore("CDR", ("downflux",), west, 0, 23)
         assert boxed.aggregate("downflux").count <= whole.aggregate("downflux").count
+
+
+class TestScanDaySchemaDrift:
+    """Leaves of one day can expose different table schemas (e.g. after
+    a fungus rewrite drops columns).  Record width must stay uniform."""
+
+    @staticmethod
+    def _leaf(epoch: int) -> SnapshotLeaf:
+        return SnapshotLeaf(
+            epoch=epoch, table_paths={}, raw_bytes=0,
+            compressed_bytes=0, record_count=1,
+        )
+
+    def _engine(self) -> ExplorationEngine:
+        from repro.core import Table
+
+        index = TemporalIndex()
+        index.insert_leaf(self._leaf(0))
+        index.insert_leaf(self._leaf(1))
+        tables = {
+            0: Table(
+                name="CDR",
+                columns=["caller_id", "downflux"],
+                rows=[["c1", "10"]],
+            ),
+            # Same day, narrower schema: downflux is gone.
+            1: Table(name="CDR", columns=["caller_id"], rows=[["c2"]]),
+        }
+        return ExplorationEngine(
+            index=index,
+            read_leaf_table=lambda leaf, name: tables[leaf.epoch],
+            cell_locations={},
+        )
+
+    def test_records_keep_uniform_width(self):
+        engine = self._engine()
+        result = engine.evaluate(
+            ExplorationQuery(
+                table="CDR", attributes=("downflux",), box=None,
+                first_epoch=0, last_epoch=1,
+            )
+        )
+        assert result.columns == ["epoch", "downflux"]
+        assert all(len(r) == len(result.columns) for r in result.records)
+        # The leaf missing the attribute pads with "" instead of
+        # shifting values or changing the row width.
+        assert result.records == [["0", "10"], ["1", ""]]
+        assert result.aggregate("downflux").count == 1
+
+    def test_columns_come_from_query_not_first_leaf(self):
+        engine = self._engine()
+        result = engine.evaluate(
+            ExplorationQuery(
+                table="CDR", attributes=("caller_id", "upflux"), box=None,
+                first_epoch=0, last_epoch=1,
+            )
+        )
+        assert result.columns == ["epoch", "caller_id", "upflux"]
+        assert all(len(r) == 3 for r in result.records)
 
 
 class TestCoarseMode:
