@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from repro.core.snapshot import Snapshot, Table
 from repro.dfs.filesystem import DfsStats, SimulatedDFS
-from repro.errors import QueryError
+from repro.errors import QueryError, StorageError
 
 
 @dataclass(frozen=True)
@@ -36,6 +36,9 @@ class Framework(ABC):
         self.dfs = dfs
         #: epoch -> table name -> DFS path.
         self._epoch_tables: dict[int, dict[str, str]] = {}
+        #: Coverage of the most recent ``read_rows`` scan:
+        #: ``{"epochs_served": [...], "epochs_skipped": {epoch: reason}}``.
+        self.last_scan_coverage: dict = {"epochs_served": [], "epochs_skipped": {}}
 
     @abstractmethod
     def ingest(self, snapshot: Snapshot) -> IngestStats:
@@ -75,9 +78,18 @@ class Framework(ABC):
         return sorted(self._epoch_tables)
 
     def read_rows(
-        self, table: str, first_epoch: int, last_epoch: int
+        self,
+        table: str,
+        first_epoch: int,
+        last_epoch: int,
+        partial_ok: bool = False,
     ) -> tuple[list[str], list[list[str]]]:
         """Scan one table across an epoch range.
+
+        With ``partial_ok``, epochs whose leaves cannot be read
+        (quarantined after a crash, blocks lost) are skipped instead of
+        raising; :attr:`last_scan_coverage` records exactly which
+        epochs were served vs skipped, and why.
 
         Returns:
             ``(columns, rows)``; columns come from the first snapshot in
@@ -85,10 +97,19 @@ class Framework(ABC):
         """
         columns: list[str] = []
         rows: list[list[str]] = []
+        coverage: dict = {"epochs_served": [], "epochs_skipped": {}}
+        self.last_scan_coverage = coverage
         for epoch in self.ingested_epochs():
             if epoch < first_epoch or epoch > last_epoch:
                 continue
-            found = self.read_table(epoch, table)
+            try:
+                found = self.read_table(epoch, table)
+            except StorageError as exc:
+                if not partial_ok:
+                    raise
+                coverage["epochs_skipped"][epoch] = str(exc)
+                continue
+            coverage["epochs_served"].append(epoch)
             if found is None:
                 continue
             if not columns:

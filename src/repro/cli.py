@@ -12,6 +12,9 @@ Commands:
     highlights    list detected rare-event highlights
     metrics       ingest + query a trace, print the warehouse metrics
     chaos         ingest under injected storage faults, heal, verify
+    recover       kill a durable warehouse mid-trace, reopen, verify
+    checkpoint    ingest a durable trace and report checkpoint/WAL state
+    fsck          storage health check; exit code reflects the verdict
     bench-codecs  Table-I style codec microbenchmark
 
 Examples:
@@ -20,6 +23,8 @@ Examples:
     python -m repro.cli sql "SELECT call_type, COUNT(*) FROM CDR GROUP BY call_type"
     python -m repro.cli metrics --executor thread
     python -m repro.cli chaos --days 7 --corruption-rate 0.05 --crash-rate 0.02
+    python -m repro.cli chaos --kill-at-epoch 30 --report-file chaos.txt
+    python -m repro.cli recover --kill-at-epoch 20 --verify
 """
 
 from __future__ import annotations
@@ -52,6 +57,30 @@ def _add_trace_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--leaf-cache-bytes", type=int,
                         default=SpateConfig().leaf_cache_bytes,
                         help="decompressed leaf cache capacity (0 disables)")
+
+
+def _add_durability_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--wal-sync", default="always", choices=("always", "epoch"),
+                        help="WAL sync policy (always = per record, "
+                             "epoch = one segment per ingest cycle)")
+    parser.add_argument("--checkpoint-interval", type=int, default=16,
+                        help="epochs between automatic metadata checkpoints")
+
+
+def _durable_config(args: argparse.Namespace) -> SpateConfig:
+    from repro.core import DurabilityConfig
+
+    return SpateConfig(
+        codec=args.codec,
+        layout=args.layout,
+        executor=args.executor,
+        leaf_cache_bytes=args.leaf_cache_bytes,
+        durability=DurabilityConfig(
+            enabled=True,
+            wal_sync=args.wal_sync,
+            checkpoint_interval_epochs=args.checkpoint_interval,
+        ),
+    )
 
 
 def _build_spate(args: argparse.Namespace) -> tuple[Spate, TelcoTraceGenerator]:
@@ -182,20 +211,30 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 def cmd_chaos(args: argparse.Namespace) -> int:
     """``chaos``: ingest a trace while a seeded fault injector crashes
     datanodes, corrupts replicas and fails writes; then heal and verify
-    the warehouse recovered.  Exit code 0 only when the namespace holds
-    no phantom files, every file reads back checksum-clean, and heal
-    restored the requested replication factor."""
-    from repro.core import FaultToleranceConfig
-    from repro.errors import SpateError, StorageError
+    the warehouse recovered.  With ``--kill-at-epoch N`` the warehouse
+    runs with metadata durability on, is killed (its process memory
+    discarded) just before epoch N, reopened with :meth:`Spate.open`,
+    and must resume the stream from the recovered frontier.  Exit code
+    0 only when the namespace holds no phantom files, every file reads
+    back checksum-clean, and heal restored the requested replication
+    factor."""
+    from repro.core import DurabilityConfig, FaultToleranceConfig
+    from repro.errors import RecoveryError, SpateError, StorageError
 
     generator = TelcoTraceGenerator(
         TraceConfig(scale=args.scale, days=args.days, seed=args.seed)
     )
-    spate = Spate(SpateConfig(
+    kill_at = args.kill_at_epoch
+    config = SpateConfig(
         codec=args.codec,
         layout=args.layout,
         executor=args.executor,
         leaf_cache_bytes=args.leaf_cache_bytes,
+        durability=DurabilityConfig(
+            enabled=kill_at is not None,
+            wal_sync=args.wal_sync,
+            checkpoint_interval_epochs=args.checkpoint_interval,
+        ),
         faults=FaultToleranceConfig(
             enabled=True,
             seed=args.fault_seed,
@@ -206,19 +245,66 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             max_write_retries=args.max_write_retries,
             heal_interval_epochs=args.heal_interval,
         ),
-    ))
+    )
+    spate = Spate(config)
+    dfs = spate.dfs
+    injector = spate.fault_injector
     spate.register_cells(generator.cells_table())
+    snapshots = list(generator.generate())
     attempted = ingested = failed = 0
-    for snapshot in generator.generate():
-        attempted += 1
+
+    def ingest_phase(warehouse, stream):
+        nonlocal attempted, ingested, failed
+        for snapshot in stream:
+            attempted += 1
+            try:
+                warehouse.ingest(snapshot)
+                ingested += 1
+            except StorageError:
+                # The atomic write path rolled the snapshot back; the
+                # stream moves on, exactly like a dropped ingest cycle.
+                failed += 1
+
+    # Per-phase fault accounting: delta of the injector's counters
+    # across each phase boundary, so a long run can attribute faults to
+    # the stage that absorbed them.
+    phase_faults: list[tuple[str, dict[str, int]]] = []
+    baseline = injector.snapshot()
+    recovery_lines: list[str] = []
+    recovered_ok = True
+    if kill_at is None:
+        ingest_phase(spate, snapshots)
+    else:
+        ingest_phase(spate, (s for s in snapshots if s.epoch < kill_at))
+        phase_faults.append(("ingest (pre-kill)", injector.delta_since(baseline)))
+        baseline = injector.snapshot()
+        # The kill: every in-memory structure is discarded; only what
+        # the DFS holds (data + WAL + checkpoints) survives.
+        del spate
         try:
-            spate.ingest(snapshot)
-            ingested += 1
-        except StorageError:
-            # The atomic write path rolled the snapshot back; the
-            # stream moves on, exactly like a dropped ingest cycle.
-            failed += 1
+            spate = Spate.open(config, dfs=dfs)
+        except (RecoveryError, StorageError) as exc:
+            print(f"recovery failed: {exc}", file=sys.stderr)
+            return 1
+        rec = spate.last_recovery_report
+        resume_from = spate.index.frontier_epoch + 1
+        recovered_ok = rec is not None and rec.fsck_healthy
+        recovery_lines = [
+            f"  killed at epoch:       {kill_at} (frontier recovered to "
+            f"{spate.index.frontier_epoch}, resuming at {resume_from})",
+            f"  recovery:              checkpoint v{rec.checkpoint_version}, "
+            f"{rec.wal_records_replayed} WAL records replayed, "
+            f"{rec.orphan_files_removed} orphans removed, "
+            f"{rec.leaves_quarantined} leaves quarantined",
+        ]
+        phase_faults.append(("recovery", injector.delta_since(baseline)))
+        baseline = injector.snapshot()
+        ingest_phase(spate, (s for s in snapshots if s.epoch >= resume_from))
     spate.finalize()
+    phase_faults.append(
+        ("ingest" if kill_at is None else "ingest (resumed)",
+         injector.delta_since(baseline))
+    )
 
     # Recovery: bring crashed nodes back, then one final heal pass.
     for node_id, node in spate.dfs.datanodes.items():
@@ -245,9 +331,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         except SpateError:
             unreadable.append(path)
 
-    injector = spate.fault_injector
     recovered = (
-        not phantoms
+        recovered_ok
+        and not phantoms
         and not missing
         and not unreadable
         and heal.under_replicated_after == 0
@@ -263,7 +349,15 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         f"{injector.restarts_injected} restarts, "
         f"{injector.corruptions_injected} corruptions, "
         f"{injector.write_failures_injected} transient write failures",
-        f"  recovery:              {spate.dfs.fault_stats.write_retries} write retries, "
+    ]
+    for phase_name, delta in phase_faults:
+        lines.append(
+            f"    during {phase_name + ':':<16} "
+            + ", ".join(f"{count} {name}" for name, count in delta.items())
+        )
+    lines += recovery_lines
+    lines += [
+        f"  repairs:               {spate.dfs.fault_stats.write_retries} write retries, "
         f"{spate.dfs.fault_stats.writes_rolled_back} writes rolled back, "
         f"{spate.dfs.fault_stats.read_failovers} read failovers, "
         f"{spate.dfs.fault_stats.corrupt_replicas_dropped} corrupt replicas dropped",
@@ -282,11 +376,140 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         f"  verdict:               {'RECOVERED' if recovered else 'DEGRADED'}",
     ]
     report = "\n".join(lines)
+    if spate.last_recovery_report is not None:
+        report += "\n\n" + spate.last_recovery_report.summary()
     print(report)
     if args.report_file:
         with open(args.report_file, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")
     return 0 if recovered else 1
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    """``recover``: kill-and-recover drill for the metadata layer.
+
+    Ingests a trace with durability on, discards the process state just
+    before ``--kill-at-epoch``, reopens the warehouse from its WAL +
+    checkpoints with :meth:`Spate.open`, and resumes the stream.  With
+    ``--verify`` an uninterrupted run of the same trace is built on a
+    second cluster and the recovered warehouse must match it exactly
+    (index dump and exploration answers).  Exit 0 on success.
+    """
+    from repro.core.checkpoint import encode_index
+    from repro.dfs.filesystem import SimulatedDFS
+    from repro.errors import RecoveryError, StorageError
+
+    generator = TelcoTraceGenerator(
+        TraceConfig(scale=args.scale, days=args.days, seed=args.seed)
+    )
+    cells = generator.cells_table()
+    snapshots = list(generator.generate())
+    total = len(snapshots)
+    kill_at = args.kill_at_epoch if args.kill_at_epoch is not None else total // 2
+    if not 0 < kill_at <= total:
+        print(f"--kill-at-epoch must be in [1, {total}]", file=sys.stderr)
+        return 2
+    config = _durable_config(args)
+
+    spate = Spate(config)
+    dfs = spate.dfs
+    spate.register_cells(cells)
+    for snapshot in snapshots[:kill_at]:
+        spate.ingest(snapshot)
+    del spate  # the crash: in-memory metadata is gone
+
+    try:
+        spate = Spate.open(config, dfs=dfs)
+    except (RecoveryError, StorageError) as exc:
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        return 1
+    report = spate.last_recovery_report
+    print(report.summary())
+    resume_from = spate.index.frontier_epoch + 1
+    for snapshot in snapshots:
+        if snapshot.epoch >= resume_from:
+            spate.ingest(snapshot)
+    spate.finalize()
+    print(f"resumed at epoch {resume_from}, finished at frontier "
+          f"{spate.index.frontier_epoch}")
+    if args.report_file:
+        with open(args.report_file, "w", encoding="utf-8") as handle:
+            handle.write(report.summary() + "\n")
+
+    ok = report.fsck_healthy and resume_from == kill_at
+    if args.verify:
+        truth = Spate(config, dfs=SimulatedDFS(
+            block_size=config.block_size,
+            default_replication=config.replication,
+        ))
+        truth.register_cells(cells)
+        for snapshot in snapshots:
+            truth.ingest(snapshot)
+        truth.finalize()
+        index_match = encode_index(truth.index) == encode_index(spate.index)
+        last = truth.index.frontier_epoch
+        left = truth.explore("CDR", ("downflux", "upflux"), None, 0, last)
+        right = spate.explore("CDR", ("downflux", "upflux"), None, 0, last)
+        answers_match = (
+            left.records == right.records
+            and [h.to_dict() for h in left.highlights]
+            == [h.to_dict() for h in right.highlights]
+        )
+        print(f"verify: index {'identical' if index_match else 'MISMATCH'}, "
+              f"answers {'identical' if answers_match else 'MISMATCH'} "
+              f"vs uninterrupted run")
+        ok = ok and index_match and answers_match
+    return 0 if ok else 1
+
+
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    """``checkpoint``: ingest a durable trace, force a final checkpoint
+    and print the committed metadata state (version, WAL watermark,
+    segment truncation)."""
+    generator = TelcoTraceGenerator(
+        TraceConfig(scale=args.scale, days=args.days, seed=args.seed)
+    )
+    spate = Spate(_durable_config(args))
+    spate.register_cells(generator.cells_table())
+    for snapshot in generator.generate():
+        spate.ingest(snapshot)
+    info = spate.checkpoint()
+    print(f"checkpoint version:   {info.version}")
+    print(f"checkpoint path:      {info.path}")
+    print(f"WAL watermark:        seq {info.wal_seq}")
+    print(f"payload bytes:        {info.payload_bytes:,} (compressed)")
+    print(f"WAL segments on DFS:  {len(spate.wal.segment_paths())}")
+    print(f"WAL records appended: {spate.wal.records_appended}")
+    loaded = spate.checkpoints.load_latest()
+    print(f"reads back clean:     {loaded is not None and loaded[1].version == info.version}")
+    return 0
+
+
+def cmd_fsck(args: argparse.Namespace) -> int:
+    """``fsck``: ingest a trace, then audit every block of every file.
+    ``--corrupt-replicas N`` damages N replicas first (to demonstrate a
+    degraded verdict).  Exit code 0 only when the cluster is healthy:
+    no corrupt, under-replicated or lost blocks."""
+    spate, __ = _build_spate(args)
+    if args.corrupt_replicas:
+        damaged = 0
+        for path in spate.dfs.list_dir("/spate/snapshots"):
+            if damaged >= args.corrupt_replicas:
+                break
+            block_id = spate.dfs.namenode.lookup(path).blocks[0]
+            for node_id in sorted(spate.dfs.namenode.locations(block_id)):
+                if spate.dfs.datanodes[node_id].corrupt_block(block_id):
+                    damaged += 1
+                    break
+    fsck = spate.dfs.fsck()
+    print(f"files:            {len(spate.dfs.list_dir('/'))}")
+    print(f"blocks:           {fsck.blocks}")
+    print(f"valid replicas:   {fsck.live_valid_replicas}")
+    print(f"corrupt replicas: {fsck.corrupt_replicas}")
+    print(f"under-replicated: {fsck.under_replicated_blocks}")
+    print(f"lost blocks:      {fsck.lost_blocks}")
+    print(f"verdict:          {'HEALTHY' if fsck.healthy else 'DEGRADED'}")
+    return 0 if fsck.healthy else 1
 
 
 def cmd_bench_codecs(args: argparse.Namespace) -> int:
@@ -376,7 +599,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ingests between automatic heal passes")
     p.add_argument("--report-file", default=None,
                    help="also write the recovery report to this file")
+    p.add_argument("--kill-at-epoch", type=int, default=None,
+                   help="run with durability on, kill the warehouse just "
+                        "before this epoch and recover via Spate.open")
+    _add_durability_args(p)
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser("recover", help="kill-and-recover drill (WAL + checkpoint)")
+    _add_trace_args(p)
+    _add_durability_args(p)
+    p.add_argument("--kill-at-epoch", type=int, default=None,
+                   help="epoch to kill at (default: mid-trace)")
+    p.add_argument("--verify", action="store_true",
+                   help="compare the recovered warehouse against an "
+                        "uninterrupted run of the same trace")
+    p.add_argument("--report-file", default=None,
+                   help="also write the recovery report to this file")
+    p.set_defaults(func=cmd_recover)
+
+    p = sub.add_parser("checkpoint", help="report committed metadata state")
+    _add_trace_args(p)
+    _add_durability_args(p)
+    p.set_defaults(func=cmd_checkpoint)
+
+    p = sub.add_parser("fsck", help="storage audit; exit 0 iff healthy")
+    _add_trace_args(p)
+    p.add_argument("--corrupt-replicas", type=int, default=0,
+                   help="damage this many replicas before the audit "
+                        "(demonstrates the degraded verdict)")
+    p.set_defaults(func=cmd_fsck)
 
     p = sub.add_parser("bench-codecs", help="Table-I microbenchmark")
     p.add_argument("--scale", type=float, default=0.004)

@@ -9,6 +9,7 @@ with a :class:`repro.core.config.SpateConfig`, feed it snapshots from
 
 from repro.core.config import (
     DecayPolicyConfig,
+    DurabilityConfig,
     FaultToleranceConfig,
     HighlightsConfig,
     SpateConfig,
@@ -17,11 +18,14 @@ from repro.core.leaf_cache import LeafCache, LeafCacheStats
 from repro.core.snapshot import Snapshot, Table, epoch_to_timestamp, timestamp_to_epoch
 
 __all__ = [
+    "CheckpointManager",
     "DecayPolicyConfig",
+    "DurabilityConfig",
     "FaultToleranceConfig",
     "HighlightsConfig",
     "LeafCache",
     "LeafCacheStats",
+    "RecoveryReport",
     "SpateConfig",
     "Snapshot",
     "Table",
@@ -30,12 +34,19 @@ __all__ = [
     "timestamp_to_epoch",
 ]
 
+#: Heavy symbols resolved lazily, keeping `repro.core.snapshot`
+#: importable in isolation (Spate pulls in the index/dfs/query stack).
+_LAZY = {
+    "Spate": ("repro.core.spate", "Spate"),
+    "CheckpointManager": ("repro.core.checkpoint", "CheckpointManager"),
+    "RecoveryReport": ("repro.core.recovery", "RecoveryReport"),
+}
+
 
 def __getattr__(name: str):
-    # Lazy import: Spate pulls in the index/dfs/query stack, which would
-    # otherwise make `repro.core.snapshot` unimportable in isolation.
-    if name == "Spate":
-        from repro.core.spate import Spate
+    target = _LAZY.get(name)
+    if target is not None:
+        import importlib
 
-        return Spate
+        return getattr(importlib.import_module(target[0]), target[1])
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,268 @@
+"""Checkpoints of the warehouse metadata, with atomic manifest swap.
+
+A checkpoint is a full snapshot of the indexing layer — the temporal
+index tree (leaves, summaries, finalized flags), the root summary, the
+registered cell locations and the stream-finalized flag — tagged with
+the WAL sequence number it covers.  Recovery = latest checkpoint + WAL
+replay of everything after its watermark, which bounds replay work to
+one checkpoint interval.
+
+Commit protocol (no rename primitive exists on the DFS, so the swap
+rides on the namespace's atomic create):
+
+1. write ``/spate/meta/checkpoint-<version>.ckpt`` (zlib-compressed
+   JSON; the DFS replicates and checksums its blocks like any file);
+2. write ``/spate/meta/manifest-<version>`` pointing at it — the
+   *namespace commit* of this manifest file is the commit point;
+3. garbage-collect older manifests and checkpoints.
+
+A crash between any two steps leaves either the old manifest current
+(steps 1-2) or harmless garbage (step 3): :meth:`CheckpointManager.
+load_latest` walks manifests newest-first and falls back past any that
+is unreadable or points at a checkpoint that no longer verifies.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+
+from repro.dfs.filesystem import SimulatedDFS
+from repro.errors import StorageError
+from repro.index.highlights import HighlightSummary
+from repro.index.temporal import DayNode, MonthNode, SnapshotLeaf, TemporalIndex, YearNode
+
+META_PREFIX = "/spate/meta"
+
+CHECKPOINT_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """Identity of one committed checkpoint."""
+
+    version: int
+    path: str
+    wal_seq: int
+    payload_bytes: int
+
+
+class CheckpointManager:
+    """Writes and loads versioned metadata checkpoints on one DFS."""
+
+    def __init__(
+        self,
+        dfs: SimulatedDFS,
+        replication: int = 3,
+        prefix: str = META_PREFIX,
+    ) -> None:
+        self._dfs = dfs
+        self._replication = replication
+        self._prefix = prefix
+        self.checkpoints_written = 0
+        self.bytes_written = 0
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def write(self, state: dict, wal_seq: int) -> CheckpointInfo:
+        """Commit a new checkpoint covering the WAL through ``wal_seq``.
+
+        Raises:
+            StorageError: when either write fails; the previous
+                checkpoint stays current.
+        """
+        version = self._latest_version() + 1
+        # Keys are deliberately NOT sorted: summary dicts depend on
+        # insertion order (highlight detection iterates them), so the
+        # round-trip has to preserve it.
+        body = json.dumps(
+            {"format": CHECKPOINT_FORMAT, "wal_seq": wal_seq, "state": state},
+            separators=(",", ":"),
+        ).encode("utf-8")
+        payload = zlib.compress(body, 6)
+        path = f"{self._prefix}/checkpoint-{version:08d}.ckpt"
+        self._dfs.write_file(path, payload, replication=self._replication)
+        manifest = json.dumps(
+            {
+                "version": version,
+                "checkpoint": path,
+                "wal_seq": wal_seq,
+                "crc": zlib.crc32(payload) & 0xFFFFFFFF,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        # Commit point: the manifest's namespace entry appears atomically.
+        self._dfs.write_file(
+            f"{self._prefix}/manifest-{version:08d}",
+            manifest,
+            replication=self._replication,
+        )
+        self.checkpoints_written += 1
+        self.bytes_written += len(payload)
+        self._collect_garbage(keep_version=version)
+        return CheckpointInfo(
+            version=version, path=path, wal_seq=wal_seq, payload_bytes=len(payload)
+        )
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def load_latest(self) -> tuple[dict, CheckpointInfo] | None:
+        """Newest checkpoint that reads back clean, or None.
+
+        Walks manifests newest-first; an unreadable manifest or a
+        checkpoint failing its CRC/format check falls back to the next
+        older version (the swap's crash window leaves at most one bad
+        head).
+        """
+        for manifest_path in sorted(self._manifest_paths(), reverse=True):
+            try:
+                manifest = json.loads(self._dfs.read_file(manifest_path))
+                payload = self._dfs.read_file(manifest["checkpoint"])
+                if (zlib.crc32(payload) & 0xFFFFFFFF) != manifest["crc"]:
+                    continue
+                wrapper = json.loads(zlib.decompress(payload))
+                if wrapper.get("format") != CHECKPOINT_FORMAT:
+                    continue
+            except (StorageError, ValueError, KeyError):
+                continue
+            info = CheckpointInfo(
+                version=manifest["version"],
+                path=manifest["checkpoint"],
+                wal_seq=wrapper["wal_seq"],
+                payload_bytes=len(payload),
+            )
+            return wrapper["state"], info
+        return None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _manifest_paths(self) -> list[str]:
+        return [
+            path
+            for path in self._dfs.list_dir(self._prefix)
+            if path.rsplit("/", 1)[-1].startswith("manifest-")
+        ]
+
+    def _latest_version(self) -> int:
+        versions = [
+            int(path.rsplit("-", 1)[-1]) for path in self._manifest_paths()
+        ]
+        return max(versions, default=0)
+
+    def _collect_garbage(self, keep_version: int) -> None:
+        """Drop superseded manifests/checkpoints (best effort)."""
+        keep_manifest = f"manifest-{keep_version:08d}"
+        keep_checkpoint = f"checkpoint-{keep_version:08d}.ckpt"
+        for path in self._dfs.list_dir(self._prefix):
+            name = path.rsplit("/", 1)[-1]
+            if name in (keep_manifest, keep_checkpoint):
+                continue
+            try:
+                self._dfs.delete_file(path)
+            except StorageError:  # pragma: no cover - GC is best effort
+                pass
+
+
+# ----------------------------------------------------------------------
+# Index tree (de)serialization
+# ----------------------------------------------------------------------
+
+def encode_index(index: TemporalIndex) -> dict:
+    """JSON-safe dump of the whole temporal index (round-trips exactly,
+    which also makes it the canonical form for index equality checks)."""
+    return {
+        "frontier": index.frontier_epoch,
+        "root": index.root_summary.to_dict(),
+        "years": [_encode_year(year) for year in index.years],
+    }
+
+
+def decode_index(data: dict) -> TemporalIndex:
+    """Invert :func:`encode_index`.
+
+    Leaves are re-inserted in epoch order, so the tree shape and the
+    O(1) lookup maps are rebuilt by the index's own insertion path;
+    summaries and finalized flags are then patched onto the nodes.
+    """
+    index = TemporalIndex()
+    for year in data["years"]:
+        for month in year["months"]:
+            for day in month["days"]:
+                for leaf in day["leaves"]:
+                    index.insert_leaf(_decode_leaf(leaf))
+    index.root_summary = HighlightSummary.from_dict(data["root"])
+    for year_data in data["years"]:
+        year = index.find_year(f"{year_data['year']:04d}")
+        _patch_node(year, year_data)
+        for month_data in year_data["months"]:
+            month = index.find_month(
+                f"{month_data['year']:04d}-{month_data['month']:02d}"
+            )
+            _patch_node(month, month_data)
+            for day_data in month_data["days"]:
+                _patch_node(index.find_day(day_data["day"]), day_data)
+    return index
+
+
+def _encode_year(year: YearNode) -> dict:
+    return {
+        "year": year.year,
+        "finalized": year.finalized,
+        "summary": year.summary.to_dict() if year.summary else None,
+        "months": [_encode_month(month) for month in year.months],
+    }
+
+
+def _encode_month(month: MonthNode) -> dict:
+    return {
+        "year": month.year,
+        "month": month.month,
+        "finalized": month.finalized,
+        "summary": month.summary.to_dict() if month.summary else None,
+        "days": [_encode_day(day) for day in month.days],
+    }
+
+
+def _encode_day(day: DayNode) -> dict:
+    return {
+        "day": day.key,
+        "finalized": day.finalized,
+        "summary": day.summary.to_dict() if day.summary else None,
+        "leaves": [_encode_leaf(leaf) for leaf in day.leaves],
+    }
+
+
+def _encode_leaf(leaf: SnapshotLeaf) -> dict:
+    return {
+        "epoch": leaf.epoch,
+        "paths": dict(leaf.table_paths),
+        "raw": leaf.raw_bytes,
+        "stored": leaf.compressed_bytes,
+        "records": leaf.record_count,
+        "decayed": leaf.decayed,
+    }
+
+
+def _decode_leaf(data: dict) -> SnapshotLeaf:
+    return SnapshotLeaf(
+        epoch=data["epoch"],
+        table_paths=dict(data["paths"]),
+        raw_bytes=data["raw"],
+        compressed_bytes=data["stored"],
+        record_count=data["records"],
+        decayed=data["decayed"],
+    )
+
+
+def _patch_node(node, data: dict) -> None:
+    node.finalized = data["finalized"]
+    node.summary = (
+        HighlightSummary.from_dict(data["summary"]) if data["summary"] else None
+    )

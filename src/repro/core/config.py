@@ -115,6 +115,40 @@ class FaultToleranceConfig:
 
 
 @dataclass(frozen=True)
+class DurabilityConfig:
+    """Metadata durability settings (WAL + checkpoints).
+
+    When ``enabled``, every index mutation is appended to a checksummed
+    write-ahead log stored through the DFS, and the whole indexing
+    layer is checkpointed every ``checkpoint_interval_epochs`` ingests
+    (manifest-swap commit).  ``Spate.open`` then reconstructs the exact
+    pre-crash warehouse as checkpoint + WAL replay.
+    """
+
+    enabled: bool = False
+    #: "always" = one durable segment per record (lose nothing);
+    #: "epoch" = buffer and flush once per ingest cycle (lose at most
+    #: the in-flight epoch, whose files recovery removes as orphans).
+    wal_sync: str = "always"
+    #: Ingests between automatic checkpoints (0 = only on demand).
+    checkpoint_interval_epochs: int = 16
+    #: Replication factor for WAL segments and checkpoint/manifest
+    #: files (metadata is small; replicate it at least as widely as
+    #: the data it describes).
+    metadata_replication: int = 3
+
+    def __post_init__(self) -> None:
+        if self.wal_sync not in ("always", "epoch"):
+            raise ConfigError(
+                f"wal_sync must be 'always' or 'epoch', got {self.wal_sync!r}"
+            )
+        if self.checkpoint_interval_epochs < 0:
+            raise ConfigError("checkpoint_interval_epochs must be non-negative")
+        if self.metadata_replication < 1:
+            raise ConfigError("metadata_replication must be at least 1")
+
+
+@dataclass(frozen=True)
 class SpateConfig:
     """Top-level framework configuration.
 
@@ -136,9 +170,14 @@ class SpateConfig:
             count, capped at 8).
         leaf_cache_bytes: capacity of the decompressed-leaf LRU cache
             on the read path; 0 disables caching.
+        query_deadline_ms: default per-query time budget in modeled
+            milliseconds; 0 = unlimited.  A query that hits its
+            deadline raises in strict mode and returns a partial
+            answer (with a coverage report) under ``partial_ok``.
         highlights: highlights-module settings.
         decay: decaying-module settings.
         faults: storage fault-injection / self-healing settings.
+        durability: metadata WAL + checkpoint settings.
     """
 
     codec: str = "gzip"
@@ -149,13 +188,17 @@ class SpateConfig:
     executor: str = "auto"
     executor_workers: int | None = None
     leaf_cache_bytes: int = 16 * 1024 * 1024
+    query_deadline_ms: int = 0
     highlights: HighlightsConfig = field(default_factory=HighlightsConfig)
     decay: DecayPolicyConfig = field(default_factory=DecayPolicyConfig)
     faults: FaultToleranceConfig = field(default_factory=FaultToleranceConfig)
+    durability: DurabilityConfig = field(default_factory=DurabilityConfig)
 
     def __post_init__(self) -> None:
         if self.replication < 1:
             raise ConfigError("replication must be at least 1")
+        if self.query_deadline_ms < 0:
+            raise ConfigError("query_deadline_ms must be non-negative")
         if self.block_size < 1024:
             raise ConfigError("block_size must be at least 1 KiB")
         from repro.engine.executor import EXECUTOR_BACKENDS

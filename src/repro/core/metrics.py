@@ -63,6 +63,22 @@ class WarehouseMetrics:
     faults_corruptions_injected: int = 0
     faults_write_failures_injected: int = 0
 
+    #: Metadata durability counters (WAL + checkpoint + recovery).
+    wal_records_appended: int = 0
+    wal_segments_written: int = 0
+    wal_bytes_written: int = 0
+    wal_flush_failures: int = 0
+    checkpoints_written: int = 0
+    recoveries: int = 0
+    wal_records_replayed: int = 0
+    leaves_quarantined: int = 0
+    orphan_files_removed: int = 0
+
+    #: Degraded-query counters (partial_ok / deadline paths).
+    partial_queries: int = 0
+    epochs_skipped_degraded: int = 0
+    deadline_expirations: int = 0
+
     #: max ingest time seen, to compare against the epoch budget.
     worst_ingest_seconds: float = 0.0
     _ratio_samples: list[float] = field(default_factory=list, repr=False)
@@ -157,6 +173,31 @@ class WarehouseMetrics:
         mirrored from the DFS by :meth:`sync_storage_faults`)."""
         self.under_replicated_blocks = report.under_replicated_after
 
+    def sync_durability(self, wal, checkpoints) -> None:
+        """Mirror the WAL's and checkpoint manager's running totals."""
+        if wal is not None:
+            self.wal_records_appended = wal.records_appended
+            self.wal_segments_written = wal.segments_written
+            self.wal_bytes_written = wal.bytes_written
+        if checkpoints is not None:
+            self.checkpoints_written = checkpoints.checkpoints_written
+
+    def on_recovery(
+        self, records_replayed: int, quarantined: int, orphans_removed: int
+    ) -> None:
+        """Record one crash-recovery pass."""
+        self.recoveries += 1
+        self.wal_records_replayed += records_replayed
+        self.leaves_quarantined = quarantined
+        self.orphan_files_removed += orphans_removed
+
+    def on_degraded_query(self, epochs_skipped: int, deadline_hit: bool) -> None:
+        """Record one query answered in ``partial_ok`` mode."""
+        self.partial_queries += 1
+        self.epochs_skipped_degraded += epochs_skipped
+        if deadline_hit:
+            self.deadline_expirations += 1
+
     # ------------------------------------------------------------------
     # Derived views
     # ------------------------------------------------------------------
@@ -232,6 +273,27 @@ class WarehouseMetrics:
             f"{self.leaf_cache_invalidations} invalidations, "
             f"{self.leaf_cache_bytes:,} bytes resident"
         )
+        if self.wal_records_appended or self.recoveries:
+            lines.append(
+                f"  metadata durability:   {self.wal_records_appended} WAL records "
+                f"in {self.wal_segments_written} segments "
+                f"({self.wal_bytes_written:,} bytes, "
+                f"{self.wal_flush_failures} flush failures), "
+                f"{self.checkpoints_written} checkpoints"
+            )
+        if self.recoveries:
+            lines.append(
+                f"  recovery:              {self.recoveries} passes, "
+                f"{self.wal_records_replayed} WAL records replayed, "
+                f"{self.leaves_quarantined} leaves quarantined, "
+                f"{self.orphan_files_removed} orphan files removed"
+            )
+        if self.partial_queries or self.deadline_expirations:
+            lines.append(
+                f"  degraded queries:      {self.partial_queries} partial answers, "
+                f"{self.epochs_skipped_degraded} epochs skipped, "
+                f"{self.deadline_expirations} deadline expirations"
+            )
         if self._any_storage_faults():
             lines.append(
                 f"  storage faults:        {self.faults_crashes_injected} crashes / "

@@ -1,0 +1,282 @@
+"""Crash recovery for the warehouse metadata.
+
+Reconstructs a :class:`~repro.core.spate.Spate` instance's indexing
+layer from durable state on the DFS: the newest valid checkpoint is
+decoded, then every WAL record past its watermark is re-applied in
+sequence order (``cells`` / ``ingest`` / ``decay`` / ``fungus`` /
+``finalize``), landing the warehouse at the exact pre-crash frontier.
+
+After replay the pass cleans up the crash's debris:
+
+- **catch-up decay** — an eviction the dying process executed but never
+  logged is re-derived (the policy is deterministic in the frontier);
+- **orphan removal** — data files written for an epoch whose WAL record
+  never became durable are deleted (they were never indexed);
+- **leaf verification** — every live leaf's blocks are checked for at
+  least one live valid replica; damaged leaves are *quarantined*, which
+  strict reads refuse and ``partial_ok`` queries skip (a later
+  ``heal()`` + :meth:`~repro.core.spate.Spate.verify_leaves` can lift
+  the quarantine);
+- **re-checkpoint** — the recovered state is committed as a fresh
+  checkpoint and the old log (including any unreadable tail) is
+  discarded, so the next crash replays only new history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import RecoveryError, StorageError
+from repro.index.highlights import HighlightSummary
+from repro.index.temporal import SnapshotLeaf
+from repro.index.wal import WalRecord
+from repro.spatial.geometry import BoundingBox, Point
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.spate import Spate
+
+
+@dataclass
+class RecoveryReport:
+    """Everything one recovery pass found, replayed, and repaired."""
+
+    checkpoint_version: int = 0
+    checkpoint_path: str = ""
+    checkpoint_wal_seq: int = 0
+    wal_records_replayed: int = 0
+    wal_segments_read: int = 0
+    wal_truncated: bool = False
+    wal_truncation_reason: str = ""
+    replayed_by_type: dict[str, int] = field(default_factory=dict)
+    frontier_epoch: int = -1
+    leaves_total: int = 0
+    leaves_live: int = 0
+    leaves_decayed: int = 0
+    leaves_quarantined: int = 0
+    quarantine_reasons: dict[int, str] = field(default_factory=dict)
+    orphan_files_removed: int = 0
+    catchup_decay_evictions: int = 0
+    finalized: bool = False
+    fsck_healthy: bool = True
+    fsck_lost_blocks: int = 0
+    new_checkpoint_version: int = 0
+
+    def summary(self) -> str:
+        """Multi-line human-readable recovery report."""
+        by_type = ", ".join(
+            f"{count} {name}" for name, count in sorted(self.replayed_by_type.items())
+        )
+        lines = [
+            "SPATE recovery report",
+            (
+                f"  checkpoint:          version {self.checkpoint_version} "
+                f"(WAL watermark {self.checkpoint_wal_seq})"
+                if self.checkpoint_version
+                else "  checkpoint:          none found (cold start from WAL)"
+            ),
+            f"  WAL replayed:        {self.wal_records_replayed} records from "
+            f"{self.wal_segments_read} segments"
+            + (f" ({by_type})" if by_type else ""),
+        ]
+        if self.wal_truncated:
+            lines.append(
+                f"  WAL truncated:       {self.wal_truncation_reason}"
+            )
+        lines.append(
+            f"  recovered index:     frontier epoch {self.frontier_epoch}, "
+            f"{self.leaves_total} leaves ({self.leaves_live} live, "
+            f"{self.leaves_decayed} decayed), "
+            f"finalized={'yes' if self.finalized else 'no'}"
+        )
+        lines.append(
+            f"  cleanup:             {self.orphan_files_removed} orphan files "
+            f"removed, {self.catchup_decay_evictions} catch-up decay evictions"
+        )
+        if self.leaves_quarantined:
+            lines.append(
+                f"  quarantined leaves:  {self.leaves_quarantined}"
+            )
+            for epoch in sorted(self.quarantine_reasons):
+                lines.append(
+                    f"    epoch {epoch}: {self.quarantine_reasons[epoch]}"
+                )
+        else:
+            lines.append("  quarantined leaves:  0 (all live leaves verified)")
+        lines.append(
+            f"  storage fsck:        "
+            f"{'healthy' if self.fsck_healthy else 'DEGRADED'} "
+            f"({self.fsck_lost_blocks} lost blocks)"
+        )
+        lines.append(
+            f"  re-checkpointed as:  version {self.new_checkpoint_version}"
+        )
+        return "\n".join(lines)
+
+
+def run_recovery(spate: Spate) -> RecoveryReport:
+    """Reconstruct ``spate``'s metadata from checkpoint + WAL.
+
+    The instance must be freshly constructed (nothing ingested) with
+    durability enabled; it shares the DFS holding the durable state.
+
+    Raises:
+        RecoveryError: when durability is disabled on the instance.
+    """
+    wal, checkpoints = spate.wal, spate.checkpoints
+    if wal is None or checkpoints is None:
+        raise RecoveryError(
+            "cannot recover: durability is disabled "
+            "(set SpateConfig.durability.enabled)"
+        )
+    report = RecoveryReport()
+
+    after_seq = 0
+    loaded = checkpoints.load_latest()
+    if loaded is not None:
+        state, info = loaded
+        report.checkpoint_version = info.version
+        report.checkpoint_path = info.path
+        report.checkpoint_wal_seq = info.wal_seq
+        after_seq = info.wal_seq
+        from repro.core.checkpoint import decode_index
+
+        spate._install_index(decode_index(state["index"]))
+        _install_cells(spate, state.get("cells", {}))
+        spate._finalized = bool(state.get("finalized"))
+
+    replay = wal.replay(after_seq)
+    report.wal_segments_read = replay.segments_read
+    report.wal_truncated = replay.truncated
+    report.wal_truncation_reason = replay.truncation_reason
+    applied_max = after_seq
+    for record in replay.records:
+        _apply_record(spate, record)
+        applied_max = max(applied_max, record.seq)
+        report.wal_records_replayed += 1
+        report.replayed_by_type[record.type] = (
+            report.replayed_by_type.get(record.type, 0) + 1
+        )
+
+    # Rebuild the epoch -> table-path map the Framework base keeps.
+    for leaf in spate.index.leaves():
+        spate._epoch_tables[leaf.epoch] = dict(leaf.table_paths)
+
+    # Catch-up decay: an eviction executed but not yet logged when the
+    # process died is re-derived here — the policy is deterministic in
+    # the frontier, and already-deleted files are skipped.
+    if spate.config.decay.enabled:
+        catchup = spate.decay.run()
+        report.catchup_decay_evictions = catchup.leaves_evicted
+
+    report.orphan_files_removed = _remove_orphans(spate)
+    count, reasons = spate.verify_leaves()
+    report.leaves_quarantined = count
+    report.quarantine_reasons = reasons
+
+    fsck = spate.dfs.fsck()
+    report.fsck_healthy = fsck.healthy
+    report.fsck_lost_blocks = fsck.lost_blocks
+
+    leaves = list(spate.index.leaves())
+    report.frontier_epoch = spate.index.frontier_epoch
+    report.leaves_total = len(leaves)
+    report.leaves_decayed = sum(1 for leaf in leaves if leaf.decayed)
+    report.leaves_live = report.leaves_total - report.leaves_decayed
+    report.finalized = spate._finalized
+
+    # The old log — including any unreadable tail whose records are now
+    # lost by definition — is superseded by a fresh checkpoint of the
+    # recovered state, so the next crash replays only new history.
+    for path in wal.segment_paths():
+        try:
+            spate.dfs.delete_file(path)
+        except StorageError:  # pragma: no cover - cleanup is best effort
+            pass
+    wal.position_after(applied_max)
+    info = spate.checkpoint()
+    report.new_checkpoint_version = info.version
+
+    spate.metrics.on_recovery(
+        records_replayed=report.wal_records_replayed,
+        quarantined=report.leaves_quarantined,
+        orphans_removed=report.orphan_files_removed,
+    )
+    spate.metrics.sync_durability(wal, checkpoints)
+    spate.last_recovery_report = report
+    return report
+
+
+# ----------------------------------------------------------------------
+# Record application
+# ----------------------------------------------------------------------
+
+def _apply_record(spate: Spate, record: WalRecord) -> None:
+    """Re-apply one logged mutation to the in-memory state."""
+    data = record.data
+    if record.type == "cells":
+        _install_cells(spate, data["cells"])
+    elif record.type == "ingest":
+        leaf = SnapshotLeaf(
+            epoch=data["epoch"],
+            table_paths=dict(data["paths"]),
+            raw_bytes=data["raw"],
+            compressed_bytes=data["stored"],
+            record_count=data["records"],
+        )
+        spate.incremence.index_leaf(
+            leaf, HighlightSummary.from_dict(data["summary"])
+        )
+    elif record.type == "decay":
+        for epoch in data["epochs"]:
+            leaf = spate.index.find_leaf(epoch)
+            if leaf is not None:
+                leaf.decayed = True
+        for key in data["day_keys"]:
+            day = spate.index.find_day(key)
+            if day is not None:
+                day.summary = None
+        for key in data["month_keys"]:
+            month = spate.index.find_month(key)
+            if month is not None:
+                month.summary = None
+    elif record.type == "fungus":
+        for epoch_text, (stored, records) in data["sizes"].items():
+            leaf = spate.index.find_leaf(int(epoch_text))
+            if leaf is not None:
+                leaf.compressed_bytes = stored
+                leaf.record_count = records
+    elif record.type == "finalize":
+        spate.incremence.finalize()
+        spate._finalized = True
+    # Unknown types are ignored: a newer writer's record that this
+    # reader cannot interpret must not abort recovery of what it can.
+
+
+def _install_cells(spate: Spate, cells: dict) -> None:
+    spate.cell_locations = {
+        cell_id: Point(float(x), float(y)) for cell_id, (x, y) in cells.items()
+    }
+    if spate.cell_locations:
+        spate.area = BoundingBox.from_points(list(spate.cell_locations.values()))
+    spate._explorer = None
+
+
+def _remove_orphans(spate: Spate) -> int:
+    """Delete snapshot files no live leaf references (written by an
+    ingest whose WAL record never became durable, or left behind by an
+    unlogged decay)."""
+    referenced: set[str] = set()
+    for leaf in spate.index.leaves():
+        if not leaf.decayed:
+            referenced.update(leaf.table_paths.values())
+    removed = 0
+    for path in spate.dfs.list_dir(spate.incremence.path_prefix):
+        if path in referenced:
+            continue
+        try:
+            spate.dfs.delete_file(path)
+            removed += 1
+        except StorageError:  # pragma: no cover - cleanup is best effort
+            pass
+    return removed

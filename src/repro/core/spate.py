@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from repro.baselines.base import Framework, IngestStats
 from repro.compression.base import get_codec
+from repro.core.checkpoint import CheckpointInfo, CheckpointManager, encode_index
 from repro.core.config import SpateConfig
 from repro.core.leaf_cache import LeafCache
 from repro.core.metrics import WarehouseMetrics
@@ -31,11 +32,17 @@ from repro.core.snapshot import Snapshot, Table
 from repro.dfs.faults import FaultInjector
 from repro.dfs.filesystem import HealReport, SimulatedDFS
 from repro.engine.executor import get_executor
-from repro.errors import DecayedDataError, QueryError
+from repro.errors import (
+    DecayedDataError,
+    LeafQuarantinedError,
+    QueryError,
+    StorageError,
+)
 from repro.index.decay import DecayModule, DecayReport
-from repro.index.highlights import Highlight
+from repro.index.highlights import Highlight, HighlightSummary
 from repro.index.incremence import IncremenceModule, IngestReport
 from repro.index.temporal import SnapshotLeaf, TemporalIndex
+from repro.index.wal import IndexWal
 from repro.query.explore import ExplorationEngine, ExplorationQuery, ExplorationResult
 from repro.spatial.geometry import BoundingBox, Point
 from repro.spatial.rtree import RTree
@@ -99,6 +106,39 @@ class Spate(Framework):
         self._explorer: ExplorationEngine | None = None
         self._last_ingest_report: IngestReport | None = None
         self.metrics = WarehouseMetrics()
+        self._finalized = False
+        self._epochs_since_checkpoint = 0
+        self.last_recovery_report = None
+        durability = self.config.durability
+        self.wal: IndexWal | None = None
+        self.checkpoints: CheckpointManager | None = None
+        if durability.enabled:
+            self.wal = IndexWal(
+                self.dfs,
+                replication=durability.metadata_replication,
+                sync=durability.wal_sync,
+            )
+            self.checkpoints = CheckpointManager(
+                self.dfs, replication=durability.metadata_replication
+            )
+
+    @classmethod
+    def open(
+        cls,
+        config: SpateConfig | None = None,
+        dfs: SimulatedDFS | None = None,
+    ) -> "Spate":
+        """Open a warehouse from durable state: construct an instance on
+        ``dfs`` and reconstruct its metadata as newest checkpoint + WAL
+        replay.  Ingest resumes at the exact recovered frontier epoch;
+        the recovery report is left on ``last_recovery_report``.
+
+        Raises:
+            RecoveryError: when ``config.durability`` is disabled.
+        """
+        spate = cls(config=config, dfs=dfs)
+        spate.recover()
+        return spate
 
     # ------------------------------------------------------------------
     # Setup
@@ -119,20 +159,44 @@ class Spate(Framework):
             points = list(self.cell_locations.values())
             self.area = BoundingBox.from_points(points)
         self._explorer = None  # rebuild with the new locations
+        if self.wal is not None:
+            self.wal.append(
+                "cells",
+                {
+                    "cells": {
+                        cell_id: [point.x, point.y]
+                        for cell_id, point in self.cell_locations.items()
+                    }
+                },
+            )
+            self._flush_wal()
 
     # ------------------------------------------------------------------
     # Framework interface
     # ------------------------------------------------------------------
 
     def ingest(self, snapshot: Snapshot) -> IngestStats:
-        """Compress, store, index and (optionally) decay for one epoch."""
+        """Compress, store, index and (optionally) decay for one epoch.
+
+        Raises:
+            QueryError: if the stream was already finalized — late
+                appends would silently miss the closed-out rollups.
+        """
+        if self._finalized:
+            raise QueryError(
+                f"cannot ingest epoch {snapshot.epoch}: the stream is "
+                "finalized (rollups are closed; open a new warehouse)"
+            )
         io_before = self.dfs.modeled_io_seconds
-        report = self.incremence.ingest(snapshot)
+        report = self.incremence.ingest(
+            snapshot, on_stored=self._log_ingest if self.wal is not None else None
+        )
         self._last_ingest_report = report
         if self.config.leaf_spatial_index:
             self._build_leaf_rtree(snapshot)
         if self.config.decay.enabled:
             decay_report = self.decay.run()
+            self._log_decay(decay_report)
             if decay_report.leaves_evicted:
                 self.metrics.on_decay(
                     decay_report.leaves_evicted, decay_report.bytes_reclaimed
@@ -165,6 +229,18 @@ class Spate(Framework):
             stored_bytes=report.compressed_bytes,
             seconds=seconds,
         )
+        if self.wal is not None:
+            self._flush_wal()
+            interval = self.config.durability.checkpoint_interval_epochs
+            self._epochs_since_checkpoint += 1
+            if interval and self._epochs_since_checkpoint >= interval:
+                try:
+                    self.checkpoint()
+                except StorageError:
+                    # The previous checkpoint stays current; the WAL
+                    # still covers everything, so retry next interval.
+                    self._epochs_since_checkpoint = interval
+            self.metrics.sync_durability(self.wal, self.checkpoints)
         return IngestStats(
             epoch=snapshot.epoch,
             seconds=seconds,
@@ -212,8 +288,35 @@ class Spate(Framework):
         return [leaf.epoch for leaf in self.index.leaves() if not leaf.decayed]
 
     def finalize(self) -> None:
-        """Close the stream: finalize trailing day/month/year summaries."""
+        """Close the stream: finalize trailing day/month/year summaries.
+
+        Idempotence guard: finalization is a one-way door — a second
+        call (or one on a warehouse recovered as already-finalized)
+        raises instead of silently re-merging summaries upward, and
+        later ``ingest`` calls are refused.
+
+        Raises:
+            QueryError: if the stream was already finalized.
+        """
+        if self._finalized:
+            raise QueryError(
+                "finalize() was already called on this warehouse "
+                "(possibly before a crash); the stream is closed"
+            )
         self.incremence.finalize()
+        self._finalized = True
+        if self.wal is not None:
+            self.wal.append("finalize", {})
+            self._flush_wal()
+            try:
+                self.checkpoint()
+            except StorageError:
+                pass  # WAL already carries the finalize record
+
+    @property
+    def finalized(self) -> bool:
+        """True once the stream has been closed by :meth:`finalize`."""
+        return self._finalized
 
     # ------------------------------------------------------------------
     # Exploration API
@@ -227,12 +330,19 @@ class Spate(Framework):
         first_epoch: int,
         last_epoch: int,
         coarse: bool = False,
+        partial_ok: bool = False,
+        deadline_ms: int | None = None,
     ) -> ExplorationResult:
         """Run Q(a, b, w).
 
         Args:
             coarse: use the paper's single-covering-node prefetch mode
                 instead of the per-day finest-resolution walk.
+            partial_ok: degrade instead of failing — skip quarantined or
+                unreadable leaves and stop at the deadline, itemising
+                skipped epochs in ``result.coverage``.
+            deadline_ms: per-query wall-clock budget; None falls back to
+                ``config.query_deadline_ms`` (0 = unlimited).
         """
         query = ExplorationQuery(
             table=table,
@@ -241,11 +351,21 @@ class Spate(Framework):
             first_epoch=first_epoch,
             last_epoch=last_epoch,
         )
+        if deadline_ms is None:
+            deadline_ms = self.config.query_deadline_ms
+        deadline_s = deadline_ms / 1000.0 if deadline_ms else None
         engine = self._engine()
         result = (
-            engine.evaluate_coarse(query) if coarse else engine.evaluate(query)
+            engine.evaluate_coarse(query)
+            if coarse
+            else engine.evaluate(query, partial_ok=partial_ok, deadline_s=deadline_s)
         )
         self.metrics.on_explore(result.snapshots_read, result.used_decayed_data)
+        if partial_ok and not result.coverage.complete:
+            self.metrics.on_degraded_query(
+                epochs_skipped=len(result.coverage.epochs_skipped),
+                deadline_hit=result.coverage.deadline_hit,
+            )
         return result
 
     def highlights(self, first_epoch: int, last_epoch: int) -> list[Highlight]:
@@ -265,6 +385,9 @@ class Spate(Framework):
     def run_decay(self) -> DecayReport:
         """Force a decay pass (normally run on every ingest)."""
         report = self.decay.run()
+        self._log_decay(report)
+        if self.wal is not None:
+            self._flush_wal()
         if report.leaves_evicted:
             self.metrics.on_decay(report.leaves_evicted, report.bytes_reclaimed)
             self._invalidate_cached_epochs(report.evicted_epochs)
@@ -292,10 +415,156 @@ class Spate(Framework):
             layout=self.config.layout,
         )
         report = fungus.run(older_than_epoch, keep)
+        if self.wal is not None and report.rewritten_sizes:
+            self.wal.append(
+                "fungus",
+                {
+                    "sizes": {
+                        str(epoch): [stored, records]
+                        for epoch, (stored, records) in report.rewritten_sizes.items()
+                    }
+                },
+            )
+            self._flush_wal()
         if report.bytes_reclaimed:
             self.metrics.on_decay(0, report.bytes_reclaimed)
         self._invalidate_cached_epochs(report.rewritten_epochs)
         return report
+
+    # ------------------------------------------------------------------
+    # Durability: checkpoints and crash recovery
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> CheckpointInfo:
+        """Commit a checkpoint of the whole indexing layer and truncate
+        the WAL through its watermark.
+
+        Raises:
+            QueryError: when durability is disabled.
+            StorageError: when the flush or checkpoint write fails (the
+                previous checkpoint stays current).
+        """
+        if self.wal is None or self.checkpoints is None:
+            raise QueryError(
+                "checkpointing requires SpateConfig.durability.enabled"
+            )
+        self.wal.flush()  # the watermark may only cover durable records
+        state = {
+            "index": encode_index(self.index),
+            "cells": {
+                cell_id: [point.x, point.y]
+                for cell_id, point in self.cell_locations.items()
+            },
+            "finalized": self._finalized,
+        }
+        info = self.checkpoints.write(state, wal_seq=self.wal.last_seq)
+        self.wal.truncate_through(info.wal_seq)
+        self._epochs_since_checkpoint = 0
+        self.metrics.sync_durability(self.wal, self.checkpoints)
+        return info
+
+    def recover(self):
+        """Reconstruct this (freshly constructed) instance's metadata
+        from the DFS: newest checkpoint + WAL replay, then orphan
+        cleanup, leaf verification, and a fresh checkpoint.  Returns the
+        :class:`~repro.core.recovery.RecoveryReport`.
+        """
+        from repro.core.recovery import run_recovery
+
+        return run_recovery(self)
+
+    def verify_leaves(self) -> tuple[int, dict[int, str]]:
+        """Check every live leaf's blocks for at least one live valid
+        replica, updating each leaf's ``quarantined`` flag both ways —
+        so a pass after :meth:`heal` lifts quarantines that repair
+        resolved.  Returns ``(quarantined_count, {epoch: reason})``.
+        """
+        reasons: dict[int, str] = {}
+        for leaf in self.index.leaves():
+            if leaf.decayed:
+                leaf.quarantined = False
+                continue
+            damage = self._leaf_damage(leaf)
+            leaf.quarantined = damage is not None
+            if damage is not None:
+                reasons[leaf.epoch] = damage
+        self.metrics.leaves_quarantined = len(reasons)
+        return len(reasons), reasons
+
+    def _leaf_damage(self, leaf: SnapshotLeaf) -> str | None:
+        """Why this leaf cannot be read (None when it can)."""
+        for __, path in sorted(leaf.table_paths.items()):
+            if not self.dfs.exists(path):
+                return f"missing file {path}"
+            meta = self.dfs.namenode.lookup(path)
+            for block_id in meta.blocks:
+                if not self._block_has_valid_replica(block_id):
+                    return (
+                        f"block {block_id} of {path} has no live valid replica"
+                    )
+        return None
+
+    def _block_has_valid_replica(self, block_id: int) -> bool:
+        for node_id in self.dfs.namenode.locations(block_id):
+            node = self.dfs.datanodes.get(node_id)
+            if (
+                node is not None
+                and node.alive
+                and node.has_block(block_id)
+                and node.replica_is_valid(block_id)
+            ):
+                return True
+        return False
+
+    def _install_index(self, index: TemporalIndex) -> None:
+        """Swap in a recovered index, rebinding every module that holds
+        a reference to the old one."""
+        self.index = index
+        self.incremence = IncremenceModule(
+            dfs=self.dfs,
+            index=self.index,
+            codec=self.codec,
+            config=self.config,
+            executor=self.executor,
+        )
+        self.decay = DecayModule(
+            dfs=self.dfs, index=self.index, config=self.config.decay
+        )
+        self._explorer = None
+
+    def _log_ingest(self, leaf: SnapshotLeaf, summary: HighlightSummary) -> None:
+        """WAL hook between "files durable" and "index mutated"."""
+        self.wal.append(
+            "ingest",
+            {
+                "epoch": leaf.epoch,
+                "paths": dict(leaf.table_paths),
+                "raw": leaf.raw_bytes,
+                "stored": leaf.compressed_bytes,
+                "records": leaf.record_count,
+                "summary": summary.to_dict(),
+            },
+        )
+
+    def _log_decay(self, report: DecayReport) -> None:
+        if self.wal is None or not report.mutated:
+            return
+        self.wal.append(
+            "decay",
+            {
+                "epochs": list(report.evicted_epochs),
+                "day_keys": list(report.evicted_day_keys),
+                "month_keys": list(report.evicted_month_keys),
+            },
+        )
+
+    def _flush_wal(self) -> None:
+        """Flush buffered WAL records; a failed flush keeps the buffer
+        for retry (counted, so operators see the durability lag)."""
+        try:
+            self.wal.flush()
+        except StorageError:
+            self.metrics.wal_flush_failures += 1
 
     def render_index(self) -> str:
         """ASCII view of the temporal index (Figure 5)."""
@@ -326,6 +595,12 @@ class Spate(Framework):
     def _read_leaf_table(self, leaf: SnapshotLeaf, table: str) -> Table | None:
         from repro.core.layout import deserialize_table
 
+        if leaf.quarantined:
+            raise LeafQuarantinedError(
+                f"epoch {leaf.epoch} is quarantined: its blocks had no "
+                "live valid replica at recovery (heal + verify_leaves "
+                "to re-check, or query with partial_ok)"
+            )
         if self.leaf_cache is not None:
             cached = self.leaf_cache.get(leaf.epoch, table)
             if cached is not None:

@@ -77,11 +77,33 @@ class FaultInjector:
         self.max_dead_nodes = max_dead_nodes
         self._rng = random.Random(seed)
         #: Injection counters (what was *broken*; the filesystem's
-        #: FaultStats counts what was *recovered*).
+        #: FaultStats counts what was *recovered*).  They accumulate for
+        #: the injector's whole lifetime — multi-phase chaos runs must
+        #: use :meth:`snapshot` / :meth:`delta_since` for per-phase (or
+        #: per-heal-cycle) numbers rather than reading the raw totals.
         self.crashes_injected = 0
         self.restarts_injected = 0
         self.corruptions_injected = 0
         self.write_failures_injected = 0
+
+    # ------------------------------------------------------------------
+    # Counter accounting
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, int]:
+        """Point-in-time copy of the injection counters."""
+        return {
+            "crashes": self.crashes_injected,
+            "restarts": self.restarts_injected,
+            "corruptions": self.corruptions_injected,
+            "write_failures": self.write_failures_injected,
+        }
+
+    def delta_since(self, baseline: dict[str, int]) -> dict[str, int]:
+        """Counters accumulated since a :meth:`snapshot` baseline —
+        the per-cycle numbers a long chaos run should report."""
+        current = self.snapshot()
+        return {name: current[name] - baseline.get(name, 0) for name in current}
 
     # ------------------------------------------------------------------
     # Hooks called by SimulatedDFS

@@ -52,6 +52,15 @@ class TransientWriteError(StorageError):
     """A replica write failed transiently (retryable, bounded backoff)."""
 
 
+class LeafQuarantinedError(StorageError):
+    """A snapshot leaf's blocks were found unrecoverable at recovery
+    time; strict queries refuse it, ``partial_ok`` queries skip it."""
+
+
+class RecoveryError(StorageError):
+    """Warehouse metadata could not be recovered from durable state."""
+
+
 class IndexError_(SpateError):
     """The temporal index rejected an operation (renamed to avoid builtin)."""
 
@@ -66,6 +75,11 @@ class OutOfOrderSnapshotError(IndexError_):
 
 class QueryError(SpateError):
     """A data-exploration or SQL query is invalid or failed to execute."""
+
+
+class QueryDeadlineError(QueryError):
+    """A query exceeded its time budget in strict mode (``partial_ok``
+    queries return a partial answer with a coverage report instead)."""
 
 
 class SqlSyntaxError(QueryError):

@@ -21,8 +21,12 @@ from repro.index.highlights import (
 from repro.index.temporal import DayNode, MonthNode, SnapshotLeaf, TemporalIndex, YearNode
 from repro.index.incremence import IncremenceModule
 from repro.index.decay import DecayModule, EvictOldestIndividuals
+from repro.index.wal import IndexWal, WalRecord, WalReplay
 
 __all__ = [
+    "IndexWal",
+    "WalRecord",
+    "WalReplay",
     "AttributeSummary",
     "CategoricalStats",
     "Highlight",

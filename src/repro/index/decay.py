@@ -33,6 +33,19 @@ class DecayReport:
     evicted_paths: list[str] = field(default_factory=list)
     #: Epochs whose leaves were purged — read caches must drop them.
     evicted_epochs: list[int] = field(default_factory=list)
+    #: Period keys of dropped summaries — the WAL logs these so replay
+    #: re-applies the exact evictions without re-running the policy.
+    evicted_day_keys: list[str] = field(default_factory=list)
+    evicted_month_keys: list[str] = field(default_factory=list)
+
+    @property
+    def mutated(self) -> bool:
+        """True when the pass changed any index state."""
+        return bool(
+            self.leaves_evicted
+            or self.day_summaries_evicted
+            or self.month_summaries_evicted
+        )
 
 
 class DecayPolicy(ABC):
@@ -121,6 +134,7 @@ class DecayModule:
             if day.summary is not None and day_last_epoch < day_horizon:
                 day.summary = None
                 report.day_summaries_evicted += 1
+                report.evicted_day_keys.append(day.key)
 
         for month in self._index.month_nodes():
             if month.summary is None or not month.days:
@@ -129,6 +143,7 @@ class DecayModule:
             if month_last_epoch < month_horizon:
                 month.summary = None
                 report.month_summaries_evicted += 1
+                report.evicted_month_keys.append(month.key)
 
         return report
 

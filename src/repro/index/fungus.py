@@ -37,6 +37,10 @@ class GroupDecayReport:
     kept_cells: set[str] = field(default_factory=set)
     #: Epochs whose leaves were rewritten — read caches must drop them.
     rewritten_epochs: list[int] = field(default_factory=list)
+    #: epoch -> (compressed_bytes, record_count) after the rewrite; the
+    #: WAL logs these so replay patches leaf metadata without touching
+    #: the (already rewritten) files.
+    rewritten_sizes: dict[int, tuple[int, int]] = field(default_factory=dict)
 
     @property
     def bytes_reclaimed(self) -> int:
@@ -135,6 +139,7 @@ class EvictGroupedIndividuals:
             report.bytes_before += leaf.compressed_bytes
             report.bytes_after += new_total
             report.rewritten_epochs.append(leaf.epoch)
+            report.rewritten_sizes[leaf.epoch] = (new_total, new_records)
             leaf.compressed_bytes = new_total
             leaf.record_count = new_records
 

@@ -68,6 +68,15 @@ class NumericStats:
         """Deep-enough copy: mutating the clone leaves this intact."""
         return NumericStats(self.count, self.total, self.minimum, self.maximum)
 
+    def to_dict(self) -> dict:
+        """JSON-safe form for the WAL / checkpoint."""
+        return {"c": self.count, "t": self.total, "lo": self.minimum, "hi": self.maximum}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NumericStats":
+        """Invert :meth:`to_dict`."""
+        return cls(count=data["c"], total=data["t"], minimum=data["lo"], maximum=data["hi"])
+
 
 @dataclass
 class CategoricalStats:
@@ -136,6 +145,23 @@ class AttributeSummary:
             max_distinct=self.max_distinct,
         )
 
+    def to_dict(self) -> dict:
+        """JSON-safe form for the WAL / checkpoint."""
+        return {
+            "num": self.numeric.to_dict() if self.numeric else None,
+            "cat": dict(self.categorical.counts),
+            "max": self.max_distinct,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AttributeSummary":
+        """Invert :meth:`to_dict`."""
+        return cls(
+            numeric=NumericStats.from_dict(data["num"]) if data["num"] else None,
+            categorical=CategoricalStats(counts=Counter(data["cat"])),
+            max_distinct=data["max"],
+        )
+
 
 @dataclass(frozen=True)
 class Highlight:
@@ -158,6 +184,24 @@ class Highlight:
     def rate(self) -> float:
         """Occurrence frequency as a fraction of the total."""
         return self.frequency / self.total if self.total else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-safe form for the WAL / checkpoint."""
+        return {
+            "table": self.table,
+            "attribute": self.attribute,
+            "kind": self.kind,
+            "value": self.value,
+            "frequency": self.frequency,
+            "total": self.total,
+            "level": self.level,
+            "period": self.period,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Highlight":
+        """Invert :meth:`to_dict`."""
+        return cls(**data)
 
 
 @dataclass
@@ -221,6 +265,53 @@ class HighlightSummary:
                         )
         self.highlights = found
         return found
+
+    def to_dict(self) -> dict:
+        """JSON-safe form for the WAL / checkpoint (round-trips exactly)."""
+        return {
+            "level": self.level,
+            "period": self.period,
+            "counts": dict(self.record_counts),
+            "attrs": {
+                table: {name: summary.to_dict() for name, summary in attrs.items()}
+                for table, attrs in self.attributes.items()
+            },
+            "cells": {
+                table: {
+                    cell_id: {name: stats.to_dict() for name, stats in attrs.items()}
+                    for cell_id, attrs in cells.items()
+                }
+                for table, cells in self.per_cell.items()
+            },
+            "highlights": [h.to_dict() for h in self.highlights],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HighlightSummary":
+        """Invert :meth:`to_dict`."""
+        return cls(
+            level=data["level"],
+            period=data["period"],
+            record_counts=dict(data["counts"]),
+            attributes={
+                table: {
+                    name: AttributeSummary.from_dict(summary)
+                    for name, summary in attrs.items()
+                }
+                for table, attrs in data["attrs"].items()
+            },
+            per_cell={
+                table: {
+                    cell_id: {
+                        name: NumericStats.from_dict(stats)
+                        for name, stats in attrs.items()
+                    }
+                    for cell_id, attrs in cells.items()
+                }
+                for table, cells in data["cells"].items()
+            },
+            highlights=[Highlight.from_dict(h) for h in data["highlights"]],
+        )
 
     def cell_stats(self, table: str, cell_ids: set[str], attribute: str) -> NumericStats:
         """Aggregate one numeric attribute over a set of cells."""

@@ -101,13 +101,20 @@ class IncremenceModule:
         self._prefix = path_prefix
         self._executor = executor or SerialBackend()
 
-    def ingest(self, snapshot: Snapshot) -> IngestReport:
+    def ingest(self, snapshot: Snapshot, on_stored=None) -> IngestReport:
         """Ingest one snapshot; returns the per-stage timing report.
 
         Serialization and compression fan out through the configured
         executor backend; DFS writes and the index append below stay in
         the serial table order, so the stored leaf is byte-identical
         whichever backend ran.
+
+        Args:
+            on_stored: optional ``(leaf, summary)`` callback invoked
+                after the data files are durable but *before* the
+                in-memory index mutates — the WAL hook.  If it raises,
+                the stored files are rolled back and nothing was
+                indexed, so memory never runs ahead of the log.
         """
         t0 = time.perf_counter()
         names = list(snapshot.tables)
@@ -141,21 +148,16 @@ class IncremenceModule:
             compressed_bytes=compressed_bytes,
             record_count=snapshot.record_count(),
         )
-        new_day, new_month, new_year = self._index.insert_leaf(leaf)
-        # A new period boundary means the previous period is complete:
-        # finalize bottom-up (day before month before year).
-        if new_day:
-            self._finalize_completed_day()
-        if new_month:
-            self._finalize_completed_month()
-        if new_year:
-            self._finalize_completed_year()
-
         snapshot_summary = summarize_snapshot(snapshot, self._config.highlights)
-        current_day = self._current_day()
-        if current_day.summary is None:
-            current_day.summary = HighlightSummary(level="day", period=current_day.key)
-        current_day.summary.merge(snapshot_summary)
+        if on_stored is not None:
+            try:
+                on_stored(leaf, snapshot_summary)
+            except Exception:
+                for path in table_paths.values():
+                    if self._dfs.exists(path):
+                        self._dfs.delete_file(path)
+                raise
+        self.index_leaf(leaf, snapshot_summary)
         t3 = time.perf_counter()
 
         return IngestReport(
@@ -214,6 +216,30 @@ class IncremenceModule:
         }
         return compressed_tables, raw_bytes, run
 
+    def index_leaf(self, leaf: SnapshotLeaf, summary: HighlightSummary) -> None:
+        """Apply one stored snapshot to the index: append the leaf on
+        the right-most path, finalize any period the new epoch closed,
+        and fold the snapshot's summary into the pending day.
+
+        This is ``ingest`` minus packing and storage — exactly the part
+        WAL replay re-executes from a logged ``ingest`` record (the
+        summary is logged too, because the data files of a
+        since-decayed leaf can no longer be re-read to rebuild it).
+        """
+        new_day, new_month, new_year = self._index.insert_leaf(leaf)
+        # A new period boundary means the previous period is complete:
+        # finalize bottom-up (day before month before year).
+        if new_day:
+            self._finalize_completed_day()
+        if new_month:
+            self._finalize_completed_month()
+        if new_year:
+            self._finalize_completed_year()
+        current_day = self._current_day()
+        if current_day.summary is None:
+            current_day.summary = HighlightSummary(level="day", period=current_day.key)
+        current_day.summary.merge(summary)
+
     def finalize(self) -> None:
         """Close out the trailing (incomplete) day/month/year at end of
         stream so their summaries are queryable."""
@@ -226,6 +252,11 @@ class IncremenceModule:
         for year in self._index.years:
             if not year.finalized:
                 self._finalize_year(year)
+
+    @property
+    def path_prefix(self) -> str:
+        """DFS directory all snapshot files live under."""
+        return self._prefix
 
     def leaf_path(self, epoch: int, table: str) -> str:
         """DFS path for one snapshot table's compressed payload."""

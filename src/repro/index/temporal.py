@@ -33,6 +33,9 @@ class SnapshotLeaf:
     compressed_bytes: int
     record_count: int
     decayed: bool = False
+    #: Set by recovery when the leaf's blocks have no live valid
+    #: replica: strict reads refuse it, ``partial_ok`` queries skip it.
+    quarantined: bool = False
 
     @property
     def day_key(self) -> str:

@@ -1,0 +1,249 @@
+"""Write-ahead log for the warehouse metadata (the indexing layer).
+
+The temporal index, highlights cube, fungus state and incremence
+frontier live in process memory; without a durable record of how they
+were built, a crash between epochs orphans every DFS block the index
+points at.  The :class:`IndexWal` closes that gap: each index mutation
+(ingest / decay / fungus rewrite / finalize / cell registration) is
+appended as a checksummed record, and recovery replays the records on
+top of the latest checkpoint to reconstruct the exact pre-crash state.
+
+Records are stored *through* the :class:`~repro.dfs.filesystem.
+SimulatedDFS`, so the storage layer's replication, CRC failover and
+fault injection apply to metadata exactly as they do to snapshot data.
+Because DFS files are immutable, the log is a sequence of numbered
+segment files (``/spate/wal/seg-<first-seq>.wal``), each holding one or
+more newline-delimited JSON records wrapped with a per-record CRC32:
+
+    {"crc": <crc32 of the record JSON>, "rec": {"seq": n, "type": ...,
+     "data": {...}}}
+
+Sync policy (``DurabilityConfig.wal_sync``):
+
+- ``"always"`` — every append writes its own segment immediately; no
+  acknowledged mutation is ever lost.
+- ``"epoch"`` — records buffer in memory and flush as one segment per
+  ingest cycle; a crash can lose at most the in-flight epoch (whose
+  data files recovery then removes as orphans).
+
+Replay stops at the first record that fails its CRC or lives in an
+unreadable segment: everything after it depends on state the log can no
+longer prove, so recovery reports the log as truncated there.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+
+from repro.dfs.filesystem import SimulatedDFS
+from repro.errors import StorageError
+
+#: Known record types, in the order the facade emits them.
+RECORD_TYPES = ("cells", "ingest", "decay", "fungus", "finalize")
+
+WAL_PREFIX = "/spate/wal"
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One logged metadata mutation."""
+
+    seq: int
+    type: str
+    data: dict
+
+    def encode(self) -> str:
+        """One CRC-wrapped JSON line (no trailing newline).
+
+        Keys are *not* sorted: summary dicts rely on insertion order
+        (highlight detection iterates them), so the round-trip must
+        preserve it byte for byte.
+        """
+        body = json.dumps(
+            {"seq": self.seq, "type": self.type, "data": self.data},
+            separators=(",", ":"),
+        )
+        crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+        return json.dumps({"crc": crc, "rec": json.loads(body)},
+                          separators=(",", ":"))
+
+    @classmethod
+    def decode(cls, line: str) -> "WalRecord":
+        """Parse and CRC-verify one line.
+
+        Raises:
+            ValueError: on malformed JSON or a CRC mismatch (a torn or
+                corrupted record).
+        """
+        wrapper = json.loads(line)
+        body = json.dumps(wrapper["rec"], separators=(",", ":"))
+        crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+        if crc != wrapper["crc"]:
+            raise ValueError(f"WAL record CRC mismatch (expected {wrapper['crc']}, got {crc})")
+        rec = wrapper["rec"]
+        return cls(seq=rec["seq"], type=rec["type"], data=rec["data"])
+
+
+@dataclass
+class WalReplay:
+    """Outcome of reading the log back."""
+
+    records: list[WalRecord] = field(default_factory=list)
+    segments_read: int = 0
+    #: True when replay stopped early at a corrupt/unreadable record.
+    truncated: bool = False
+    truncation_reason: str = ""
+
+
+class IndexWal:
+    """Appends and replays metadata mutation records over one DFS."""
+
+    def __init__(
+        self,
+        dfs: SimulatedDFS,
+        replication: int = 3,
+        sync: str = "always",
+        prefix: str = WAL_PREFIX,
+    ) -> None:
+        self._dfs = dfs
+        self._replication = replication
+        self._sync = sync
+        self._prefix = prefix
+        self._next_seq = 1
+        self._pending: list[WalRecord] = []
+        self.records_appended = 0
+        self.segments_written = 0
+        self.bytes_written = 0
+
+    # ------------------------------------------------------------------
+    # Writer
+    # ------------------------------------------------------------------
+
+    @property
+    def last_seq(self) -> int:
+        """Highest sequence number handed out so far."""
+        return self._next_seq - 1
+
+    @property
+    def pending_records(self) -> int:
+        """Records buffered but not yet flushed to the DFS."""
+        return len(self._pending)
+
+    def append(self, record_type: str, data: dict) -> int:
+        """Log one mutation; returns its sequence number.
+
+        Under ``sync="always"`` the record is written (and therefore
+        replicated) before this returns; under ``sync="epoch"`` it
+        buffers until the next :meth:`flush`.
+
+        Raises:
+            StorageError: when the immediate write fails (the caller
+                must treat the mutation as not durable).
+        """
+        record = WalRecord(seq=self._next_seq, type=record_type, data=data)
+        self._next_seq += 1
+        self._pending.append(record)
+        self.records_appended += 1
+        if self._sync == "always":
+            self.flush()
+        return record.seq
+
+    def flush(self) -> None:
+        """Write every buffered record as one segment.
+
+        On failure the buffer is kept intact so the next flush retries —
+        the in-memory index may run ahead of the durable log, but the log
+        never applies records out of order.
+        """
+        if not self._pending:
+            return
+        payload = ("\n".join(r.encode() for r in self._pending) + "\n").encode("utf-8")
+        path = self._segment_path(self._pending[0].seq)
+        self._dfs.write_file(path, payload, replication=self._replication)
+        self.segments_written += 1
+        self.bytes_written += len(payload)
+        self._pending.clear()
+
+    def position_after(self, seq: int) -> None:
+        """Resume appending after ``seq`` (used once recovery replayed
+        the existing log)."""
+        self._next_seq = max(self._next_seq, seq + 1)
+
+    # ------------------------------------------------------------------
+    # Reader / maintenance
+    # ------------------------------------------------------------------
+
+    def segment_paths(self) -> list[str]:
+        """Existing segment files, in append (= sequence) order."""
+        return self._dfs.list_dir(self._prefix)
+
+    def replay(self, after_seq: int = 0) -> WalReplay:
+        """Read the log back, yielding records with ``seq > after_seq``.
+
+        Stops (and flags the result truncated) at the first unreadable
+        segment or CRC-failing record: later records cannot be applied
+        without the missing prefix.
+        """
+        replay = WalReplay()
+        paths = self.segment_paths()
+        first_seqs = [self._segment_first_seq(p) for p in paths]
+        for position, path in enumerate(paths):
+            if position + 1 < len(paths) and first_seqs[position + 1] <= after_seq + 1:
+                # Every record here is <= after_seq: already covered by
+                # the checkpoint, no need to read (or be able to read) it.
+                continue
+            try:
+                payload = self._dfs.read_file(path)
+            except StorageError as exc:
+                replay.truncated = True
+                replay.truncation_reason = f"segment {path} unreadable: {exc}"
+                return replay
+            replay.segments_read += 1
+            for line in payload.decode("utf-8").splitlines():
+                if not line:
+                    continue
+                try:
+                    record = WalRecord.decode(line)
+                except (ValueError, KeyError, TypeError) as exc:
+                    replay.truncated = True
+                    replay.truncation_reason = f"corrupt record in {path}: {exc}"
+                    return replay
+                if record.seq > after_seq:
+                    replay.records.append(record)
+        return replay
+
+    def truncate_through(self, seq: int) -> int:
+        """Delete segments whose records are all covered by a checkpoint
+        at ``seq``.  Returns the number of segments removed.
+
+        A segment is named by its first record's sequence number, so a
+        segment may be dropped once the *next* segment starts at or
+        below ``seq + 1`` (every record in it is then <= seq).
+        """
+        paths = self.segment_paths()
+        first_seqs = [self._segment_first_seq(p) for p in paths]
+        removed = 0
+        for position, path in enumerate(paths):
+            next_first = (
+                first_seqs[position + 1]
+                if position + 1 < len(paths)
+                else self._next_seq - len(self._pending)
+            )
+            if next_first <= seq + 1 and first_seqs[position] <= seq:
+                self._dfs.delete_file(path)
+                removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _segment_path(self, first_seq: int) -> str:
+        return f"{self._prefix}/seg-{first_seq:012d}.wal"
+
+    @staticmethod
+    def _segment_first_seq(path: str) -> int:
+        stem = path.rsplit("/", 1)[-1]
+        return int(stem[len("seg-"):-len(".wal")])

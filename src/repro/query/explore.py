@@ -10,14 +10,21 @@ each day in the window, uses the finest resolution still available:
 
 This is decay-aware exploration: old windows still answer, at
 progressively coarser granularity, without the raw data.
+
+Degraded mode: ``evaluate(..., partial_ok=True)`` keeps answering when
+parts of the window are unreadable (quarantined leaves after a crash,
+lost blocks) or when a per-query deadline expires mid-scan — skipped
+epochs are itemised, with reasons, in the result's
+:class:`CoverageReport`.  Strict mode (the default) raises instead.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.core.snapshot import EPOCHS_PER_DAY
-from repro.errors import QueryError
+from repro.errors import QueryDeadlineError, QueryError, StorageError
 from repro.index.highlights import CELL_COLUMN, Highlight, NumericStats
 from repro.index.temporal import TemporalIndex
 from repro.spatial.geometry import BoundingBox, Point
@@ -43,6 +50,58 @@ class ExplorationQuery:
 
 
 @dataclass
+class CoverageReport:
+    """What a query actually touched — the degraded-mode contract.
+
+    A strict, fully-served query reports every in-window live epoch in
+    ``epochs_served`` and nothing in ``epochs_skipped``; a ``partial_ok``
+    answer itemises exactly which epochs were left out and why
+    (``"quarantined"``, ``"unreadable: ..."``, ``"deadline"``).
+    """
+
+    #: Epochs whose snapshot leaves were decompressed and scanned.
+    epochs_served: list[int] = field(default_factory=list)
+    #: Days answered from summaries (day key -> resolution used); the
+    #: normal decay fallback, not a degradation.
+    summary_days: dict[str, str] = field(default_factory=dict)
+    #: Epochs that should have been scanned but were not: epoch -> reason.
+    epochs_skipped: dict[int, str] = field(default_factory=dict)
+    #: True when the per-query deadline expired before the scan finished.
+    deadline_hit: bool = False
+
+    @property
+    def complete(self) -> bool:
+        """True when nothing in the window was skipped."""
+        return not self.epochs_skipped and not self.deadline_hit
+
+    def describe(self) -> str:
+        """One-line human-readable coverage statement."""
+        if self.complete:
+            return f"complete ({len(self.epochs_served)} epochs served)"
+        reasons: dict[str, int] = {}
+        for reason in self.epochs_skipped.values():
+            key = reason.split(":", 1)[0]
+            reasons[key] = reasons.get(key, 0) + 1
+        parts = [f"{count} {reason}" for reason, count in sorted(reasons.items())]
+        if self.deadline_hit and "deadline" not in reasons:
+            parts.append("deadline expired")
+        return (
+            f"partial ({len(self.epochs_served)} epochs served, "
+            f"skipped: {', '.join(parts) if parts else 'none'})"
+        )
+
+
+class _Deadline:
+    """Monotonic per-query time budget (None = unlimited)."""
+
+    def __init__(self, seconds: float | None) -> None:
+        self._expires = None if seconds is None else time.monotonic() + seconds
+
+    def expired(self) -> bool:
+        return self._expires is not None and time.monotonic() >= self._expires
+
+
+@dataclass
 class ExplorationResult:
     """Answer to an exploration query."""
 
@@ -54,6 +113,8 @@ class ExplorationResult:
     #: day key -> resolution used ("snapshots" / "day" / "month" / "year" / "root").
     resolution_by_day: dict[str, str] = field(default_factory=dict)
     snapshots_read: int = 0
+    #: Exactly what was served vs skipped (degraded-query contract).
+    coverage: CoverageReport = field(default_factory=CoverageReport)
 
     @property
     def used_decayed_data(self) -> bool:
@@ -86,15 +147,47 @@ class ExplorationEngine:
         self._read_leaf_table = read_leaf_table
         self._cell_locations = cell_locations
 
-    def evaluate(self, query: ExplorationQuery) -> ExplorationResult:
-        """Run Q(a, b, w) at the finest available resolution per day."""
+    def evaluate(
+        self,
+        query: ExplorationQuery,
+        partial_ok: bool = False,
+        deadline_s: float | None = None,
+    ) -> ExplorationResult:
+        """Run Q(a, b, w) at the finest available resolution per day.
+
+        Args:
+            partial_ok: degrade instead of failing — skip quarantined or
+                unreadable leaves (and stop at the deadline), recording
+                every skipped epoch and its reason in the result's
+                :class:`CoverageReport`.
+            deadline_s: per-query wall-clock budget in seconds
+                (None = unlimited).
+
+        Raises:
+            LeafQuarantinedError: in strict mode, when the window needs
+                a leaf that recovery quarantined.
+            StorageError: in strict mode, when a leaf read fails.
+            QueryDeadlineError: in strict mode, when ``deadline_s``
+                expires before the scan completes.
+        """
         result = ExplorationResult(query=query)
         cells = self._cells_in_box(query.box)
+        deadline = _Deadline(deadline_s)
         consumed_months: set[str] = set()
         consumed_years: set[str] = set()
         used_root = False
 
-        for day_key in self._day_keys(query.first_epoch, query.last_epoch):
+        day_keys = self._day_keys(query.first_epoch, query.last_epoch)
+        for position, day_key in enumerate(day_keys):
+            if deadline.expired():
+                if not partial_ok:
+                    raise QueryDeadlineError(
+                        f"query exceeded its {deadline_s * 1000:.0f} ms deadline "
+                        f"at day {day_key}"
+                    )
+                self._skip_rest(day_keys[position:], query, result, "deadline")
+                result.coverage.deadline_hit = True
+                break
             day = self._index.find_day(day_key)
             decayed_in_window = day is not None and any(
                 leaf.decayed
@@ -107,7 +200,7 @@ class ExplorationEngine:
                 and not (decayed_in_window and day.summary is not None)
             ):
                 # Fully live portion: exact records from the snapshots.
-                self._scan_day(day, query, cells, result)
+                self._scan_day(day, query, cells, result, partial_ok, deadline)
                 result.resolution_by_day[day_key] = "snapshots"
                 continue
             if day is not None and day.summary is not None:
@@ -116,11 +209,12 @@ class ExplorationEngine:
                 # the paper's "retrieve a larger period" behaviour.
                 self._fold_summary(day.summary, query, cells, result)
                 result.resolution_by_day[day_key] = "day"
+                result.coverage.summary_days[day_key] = "day"
                 continue
             if day is not None and day.live_leaves():
                 # Partially decayed day with no summary yet: best effort
                 # from whatever snapshots survive.
-                self._scan_day(day, query, cells, result)
+                self._scan_day(day, query, cells, result, partial_ok, deadline)
                 result.resolution_by_day[day_key] = "snapshots"
                 continue
             month_key = day_key[:7]
@@ -130,6 +224,7 @@ class ExplorationEngine:
                     consumed_months.add(month_key)
                     self._fold_summary(month.summary, query, cells, result)
                 result.resolution_by_day[day_key] = "month"
+                result.coverage.summary_days[day_key] = "month"
                 continue
             year_key = day_key[:4]
             year = self._index.find_year(year_key)
@@ -138,11 +233,13 @@ class ExplorationEngine:
                     consumed_years.add(year_key)
                     self._fold_summary(year.summary, query, cells, result)
                 result.resolution_by_day[day_key] = "year"
+                result.coverage.summary_days[day_key] = "year"
                 continue
             if not used_root:
                 used_root = True
                 self._fold_summary(self._index.root_summary, query, cells, result)
             result.resolution_by_day[day_key] = "root"
+            result.coverage.summary_days[day_key] = "root"
 
         return result
 
@@ -196,19 +293,59 @@ class ExplorationEngine:
             )
         return keys
 
+    def _skip_rest(
+        self,
+        day_keys: list[str],
+        query: ExplorationQuery,
+        result: ExplorationResult,
+        reason: str,
+    ) -> None:
+        """Record every not-yet-scanned in-window leaf epoch as skipped."""
+        for day_key in day_keys:
+            day = self._index.find_day(day_key)
+            if day is None:
+                continue
+            for leaf in day.live_leaves():
+                if (
+                    query.first_epoch <= leaf.epoch <= query.last_epoch
+                    and leaf.epoch not in result.coverage.epochs_skipped
+                ):
+                    result.coverage.epochs_skipped[leaf.epoch] = reason
+
     def _scan_day(
         self,
         day,
         query: ExplorationQuery,
         cells: set[str] | None,
         result: ExplorationResult,
+        partial_ok: bool = False,
+        deadline: _Deadline | None = None,
     ) -> None:
         """Exact path: decompress the day's in-window leaves and filter."""
+        coverage = result.coverage
         for leaf in day.live_leaves():
             if leaf.epoch < query.first_epoch or leaf.epoch > query.last_epoch:
                 continue
-            table = self._read_leaf_table(leaf, query.table)
+            if deadline is not None and deadline.expired():
+                if not partial_ok:
+                    raise QueryDeadlineError(
+                        f"query deadline expired at epoch {leaf.epoch}"
+                    )
+                coverage.epochs_skipped[leaf.epoch] = "deadline"
+                coverage.deadline_hit = True
+                continue
+            if getattr(leaf, "quarantined", False) and partial_ok:
+                coverage.epochs_skipped[leaf.epoch] = "quarantined"
+                continue
+            try:
+                table = self._read_leaf_table(leaf, query.table)
+            except StorageError as exc:
+                if not partial_ok:
+                    raise
+                coverage.epochs_skipped[leaf.epoch] = f"unreadable: {exc}"
+                continue
             result.snapshots_read += 1
+            coverage.epochs_served.append(leaf.epoch)
             if table is None:
                 continue
             if not result.columns:

@@ -16,10 +16,11 @@ paper's workloads.  Correlated subqueries are not supported.
 from __future__ import annotations
 
 import re
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from repro.errors import QueryError, SqlPlanError
+from repro.errors import QueryDeadlineError, QueryError, SqlPlanError
 from repro.query.sql.ast import (
     AGGREGATE_FUNCTIONS,
     Between,
@@ -106,6 +107,10 @@ class Database:
 
     def __init__(self) -> None:
         self._tables: dict[str, tuple[list[str], Callable[[], list[list[str]]]]] = {}
+        #: table name -> coverage of the framework scan that fed it
+        #: (populated by ``register_framework(..., partial_ok=True)``).
+        self.scan_coverage: dict[str, dict] = {}
+        self._deadline_expires: float | None = None
 
     def register_table(
         self, name: str, columns: list[str], rows: list[list[str]]
@@ -122,11 +127,26 @@ class Database:
         self._tables[name.upper()] = (list(columns), loader)
 
     def register_framework(
-        self, framework, tables: list[str], first_epoch: int, last_epoch: int
+        self,
+        framework,
+        tables: list[str],
+        first_epoch: int,
+        last_epoch: int,
+        partial_ok: bool = False,
     ) -> None:
-        """Expose a framework's stored tables over an epoch window."""
+        """Expose a framework's stored tables over an epoch window.
+
+        With ``partial_ok``, unreadable epochs are skipped rather than
+        failing registration; per-table scan coverage (epochs served /
+        skipped with reasons) lands in :attr:`scan_coverage`.
+        """
         for table in tables:
-            columns, rows = framework.read_rows(table, first_epoch, last_epoch)
+            columns, rows = framework.read_rows(
+                table, first_epoch, last_epoch, partial_ok=partial_ok
+            )
+            self.scan_coverage[table.upper()] = dict(
+                getattr(framework, "last_scan_coverage", {}) or {}
+            )
             if columns:
                 self.register_table(table, columns, rows)
 
@@ -134,10 +154,33 @@ class Database:
         """Registered table names, sorted."""
         return sorted(self._tables)
 
-    def execute(self, sql: str | SelectStatement) -> QueryResult:
-        """Parse (if needed) and run a SELECT statement."""
+    def execute(
+        self, sql: str | SelectStatement, deadline_ms: int | None = None
+    ) -> QueryResult:
+        """Parse (if needed) and run a SELECT statement.
+
+        Args:
+            deadline_ms: optional wall-clock budget; the executor checks
+                it at stage boundaries (scan/join, aggregation, sort)
+                and raises :class:`~repro.errors.QueryDeadlineError`
+                when exceeded.
+        """
         statement = parse_sql(sql) if isinstance(sql, str) else sql
-        return self._execute_select(statement)
+        if deadline_ms is not None and deadline_ms > 0:
+            self._deadline_expires = time.monotonic() + deadline_ms / 1000.0
+        try:
+            return self._execute_select(statement)
+        finally:
+            self._deadline_expires = None
+
+    def _check_deadline(self, stage: str) -> None:
+        if (
+            self._deadline_expires is not None
+            and time.monotonic() >= self._deadline_expires
+        ):
+            raise QueryDeadlineError(
+                f"SQL query exceeded its deadline during {stage}"
+            )
 
     def explain(self, sql: str | SelectStatement) -> str:
         """Describe the execution plan without running the query.
@@ -307,10 +350,12 @@ class Database:
             scope, rows, leftover = self._execute_from_filtered(
                 stmt.from_item, pushable
             )
+            self._check_deadline("scan/join")
             for predicate in leftover + blocked:
                 rows = [
                     r for r in rows if _truthy(self._eval(predicate, r, scope))
                 ]
+            self._check_deadline("filter")
         else:
             scope, rows = _Scope(), [[]]
             if stmt.where is not None:
@@ -326,6 +371,7 @@ class Database:
             out_columns, out_rows = self._grouped_projection(stmt, scope, rows)
         else:
             out_columns, out_rows = self._plain_projection(stmt.items, scope, rows)
+        self._check_deadline("aggregation/projection")
 
         if stmt.distinct:
             seen: set[tuple] = set()
@@ -338,6 +384,7 @@ class Database:
             out_rows = deduped
 
         if stmt.order_by:
+            self._check_deadline("sort")
             out_rows = self._order(stmt, scope, out_columns, out_rows, rows, grouped)
 
         if stmt.limit is not None:

@@ -35,11 +35,15 @@ class TestSpateUnderFailures:
         result = spate.explore("CDR", ("downflux",), None, 0, 7)
         assert result.snapshots_read == 8
 
-    def test_ingest_continues_with_reduced_cluster(self, spate):
-        spate.dfs.kill_datanode("dn01")
+    def test_ingest_continues_with_reduced_cluster(self):
+        # Fresh, *unfinalized* warehouse: a finalized stream rejects
+        # late appends (rollups are closed).
         generator = TelcoTraceGenerator(TraceConfig(scale=0.002, days=1, seed=73))
-        for __ in range(9):
-            generator.population.step_mobility()
+        spate = Spate(SpateConfig(codec="gzip-ref", replication=3))
+        spate.register_cells(generator.cells_table())
+        for epoch in range(8):
+            spate.ingest(generator.snapshot(epoch))
+        spate.dfs.kill_datanode("dn01")
         stats = spate.ingest(generator.snapshot(8))
         assert stats.stored_bytes > 0
         assert spate.read_snapshot(8) is not None
