@@ -1,0 +1,136 @@
+"""Parallel, pruned query bench: week-scale window scans.
+
+Ingests one week of trace with the from-scratch ``7z`` codec (pure
+Python, so its decode cost is real and the process backend can sidestep
+the GIL), then scans the full window through each executor backend and
+through the summary-pruning path:
+
+- serial vs thread/process wall-clock with 4 workers (the ``>= 2x``
+  speedup assertion is gated on the host actually having >= 4 cores —
+  on a single-core runner the ratio is recorded but cannot be met);
+- leaf-prune rate and bytes-decompressed savings for a selective
+  predicate the day summaries can disprove;
+- byte-identity of every backend's and the pruned path's answers.
+
+The reproduced numbers land in ``benchmarks/results/parallel_query.txt``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+
+from repro.core import Spate, SpateConfig
+from repro.core.config import DecayPolicyConfig
+from repro.engine.executor import get_executor
+from repro.query.sql.planner import ScanPredicate
+from repro.telco import TelcoTraceGenerator, TraceConfig
+
+from conftest import report
+
+SCALE = 0.002
+DAYS = 7
+EPOCHS = 48 * DAYS
+CODEC = "7z"
+WORKERS = 4
+
+
+def _build_week() -> Spate:
+    generator = TelcoTraceGenerator(TraceConfig(scale=SCALE, days=DAYS, seed=2017))
+    spate = Spate(SpateConfig(
+        codec=CODEC,
+        executor="process",
+        leaf_cache_bytes=0,  # cold scans: measure decode, not the cache
+        decay=DecayPolicyConfig(enabled=False),
+    ))
+    spate.register_cells(generator.cells_table())
+    for epoch in range(EPOCHS):
+        spate.ingest(generator.snapshot(epoch))
+    spate.finalize()
+    return spate
+
+
+def _scan(spate: Spate, backend: str, predicates=None, columns=None):
+    spate.config = dataclasses.replace(spate.config, executor=backend)
+    spate.executor = get_executor(backend, workers=WORKERS)
+    start = time.perf_counter()
+    out_columns, rows = spate.read_rows(
+        "CDR", 0, EPOCHS - 1, predicates=predicates, columns=columns
+    )
+    wall = time.perf_counter() - start
+    return wall, out_columns, rows, spate.last_scan_stats
+
+
+def test_parallel_query_report(benchmark):
+    # benchmark wrapper keeps this report alive under --benchmark-only
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    spate = _build_week()
+    cores = os.cpu_count() or 1
+
+    walls: dict[str, float] = {}
+    answers: dict[str, tuple] = {}
+    stats_by_backend = {}
+    for backend in ("serial", "thread", "process"):
+        wall, out_columns, rows, stats = _scan(spate, backend)
+        walls[backend] = wall
+        answers[backend] = (out_columns, rows)
+        stats_by_backend[backend] = stats
+
+    # Core invariant: every backend returns byte-identical answers.
+    assert answers["thread"] == answers["serial"]
+    assert answers["process"] == answers["serial"]
+    total_rows = len(answers["serial"][1])
+    assert total_rows > 0
+
+    # Pruning: a predicate the day summaries disprove skips every leaf
+    # without reading a byte; the full scan's decode bytes are the
+    # savings baseline.
+    full_bytes = stats_by_backend["serial"].bytes_decompressed
+    assert full_bytes > 0
+    selective = [ScanPredicate("duration_s", ">=", 10**6)]
+    pruned_wall, __, pruned_rows, pruned_stats = _scan(
+        spate, "process", predicates=selective, columns=["duration_s"]
+    )
+    assert pruned_rows == []
+    assert pruned_stats.leaves_pruned == EPOCHS
+    assert pruned_stats.prune_rate == 1.0
+    assert pruned_stats.bytes_decompressed == 0
+
+    best = min("thread", "process", key=walls.get)
+    speedup = walls["serial"] / walls[best] if walls[best] else 0.0
+
+    lines = [
+        f"Parallel query: one week ({EPOCHS} epochs), scale={SCALE}, "
+        f"codec={CODEC}, {WORKERS} workers, {cores} core(s), "
+        f"{total_rows} CDR rows",
+        f"{'backend':>10} {'wall(s)':>9} {'decode(s)':>10} {'speedup':>8}",
+    ]
+    for backend in ("serial", "thread", "process"):
+        stats = stats_by_backend[backend]
+        lines.append(
+            f"{backend:>10} {walls[backend]:>9.3f} "
+            f"{stats.wall_seconds:>10.3f} "
+            f"{walls['serial'] / walls[backend]:>7.2f}x"
+        )
+    lines += [
+        f"best parallel backend: {best} at {speedup:.2f}x "
+        "(>=2x expected with 4 workers on a >=4-core host)",
+        f"selective predicate duration_s >= 10^6: "
+        f"{pruned_stats.leaves_pruned}/{EPOCHS} leaves pruned "
+        f"(rate {pruned_stats.prune_rate:.2f}), "
+        f"{full_bytes} -> {pruned_stats.bytes_decompressed} bytes "
+        f"decompressed, wall {pruned_wall * 1000:.1f} ms",
+    ]
+    if cores >= WORKERS:
+        assert speedup >= 2.0, lines
+    else:
+        lines.append(
+            f"speedup assertion skipped: host has {cores} core(s) < "
+            f"{WORKERS} workers"
+        )
+    report("parallel_query", "\n".join(lines))
+
+    # Every scan must stay far inside interactive budgets even serially.
+    assert walls["serial"] < 60

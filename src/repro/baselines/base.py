@@ -83,6 +83,8 @@ class Framework(ABC):
         first_epoch: int,
         last_epoch: int,
         partial_ok: bool = False,
+        predicates=None,
+        columns=None,
     ) -> tuple[list[str], list[list[str]]]:
         """Scan one table across an epoch range.
 
@@ -91,10 +93,16 @@ class Framework(ABC):
         raising; :attr:`last_scan_coverage` records exactly which
         epochs were served vs skipped, and why.
 
+        ``predicates`` and ``columns`` are optional pushdown hints
+        (pruning filters / projected columns).  The base implementation
+        ignores them — they are hints, never contracts: a framework
+        without summaries simply scans everything.
+
         Returns:
             ``(columns, rows)``; columns come from the first snapshot in
             range holding the table.  Empty when nothing matches.
         """
+        del predicates, columns  # hints; baselines scan everything
         columns: list[str] = []
         rows: list[list[str]] = []
         coverage: dict = {"epochs_served": [], "epochs_skipped": {}}
@@ -116,6 +124,25 @@ class Framework(ABC):
                 columns = list(found.columns)
             rows.extend(found.rows)
         return columns, rows
+
+    def table_columns(
+        self, table: str, first_epoch: int, last_epoch: int
+    ) -> list[str]:
+        """Schema of ``table`` over the range, without materializing rows.
+
+        Reads snapshots in range until one holds the table (usually the
+        first), so lazy registration can learn the schema cheaply.
+        """
+        for epoch in self.ingested_epochs():
+            if epoch < first_epoch or epoch > last_epoch:
+                continue
+            try:
+                found = self.read_table(epoch, table)
+            except StorageError:
+                continue
+            if found is not None:
+                return list(found.columns)
+        return []
 
     def table_partitions(
         self, table: str, first_epoch: int, last_epoch: int

@@ -9,6 +9,7 @@ Commands:
     ingest        ingest a trace into SPATE and report storage/ingestion
     explore       run a Q(a, b, w) exploration query
     sql           run a SQL statement over the ingested tables
+    explain       EXPLAIN ANALYZE a SQL statement (timings + scan stats)
     highlights    list detected rare-event highlights
     metrics       ingest + query a trace, print the warehouse metrics
     chaos         ingest under injected storage faults, heal, verify
@@ -21,6 +22,7 @@ Examples:
     python -m repro.cli ingest --scale 0.01 --days 1 --codec gzip
     python -m repro.cli explore --attr downflux --first 0 --last 47
     python -m repro.cli sql "SELECT call_type, COUNT(*) FROM CDR GROUP BY call_type"
+    python -m repro.cli explain "SELECT COUNT(*) FROM CDR WHERE duration_s >= 1000"
     python -m repro.cli metrics --executor thread
     python -m repro.cli chaos --days 7 --corruption-rate 0.05 --crash-rate 0.02
     python -m repro.cli chaos --kill-at-epoch 30 --report-file chaos.txt
@@ -156,13 +158,14 @@ def cmd_explore(args: argparse.Namespace) -> int:
 
 
 def cmd_sql(args: argparse.Namespace) -> int:
-    """``sql``: execute a SELECT over the ingested tables."""
-    from repro.query.sql import Database
+    """``sql``: execute a SELECT over the ingested tables.
 
+    Tables are registered as lazy warehouse scans, so each query's
+    WHERE predicates prune leaves via day summaries and (on the
+    columnar layout) only referenced columns are decoded.
+    """
     spate, __ = _build_spate(args)
-    db = Database()
-    last = spate.index.frontier_epoch
-    db.register_framework(spate, ["CDR", "NMS"], 0, last)
+    db = spate.sql_database()
     db.register_table("CELL", *_cells_as_rows(spate))
     result = db.execute(args.statement)
     print("\t".join(result.columns))
@@ -170,6 +173,18 @@ def cmd_sql(args: argparse.Namespace) -> int:
         print("\t".join(str(c) for c in row))
     if len(result.rows) > args.limit:
         print(f"... {len(result.rows) - args.limit} more rows")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """``explain``: EXPLAIN ANALYZE — run the SQL statement, print its
+    plan annotated with actual stage timings and read-path scan stats
+    (leaves pruned, cache hits, bytes decompressed, decode speedup)."""
+    spate, __ = _build_spate(args)
+    db = spate.sql_database()
+    db.register_table("CELL", *_cells_as_rows(spate))
+    __, report = db.explain_analyze(args.statement)
+    print(report)
     return 0
 
 
@@ -567,6 +582,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("statement", help="the SELECT statement")
     p.add_argument("--limit", type=int, default=20)
     p.set_defaults(func=cmd_sql)
+
+    p = sub.add_parser("explain",
+                       help="EXPLAIN ANALYZE a SQL statement (plan + "
+                            "actual timings + scan stats)")
+    _add_trace_args(p)
+    p.add_argument("statement", help="the SELECT statement")
+    p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser("highlights", help="list detected highlights")
     _add_trace_args(p)

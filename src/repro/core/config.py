@@ -174,6 +174,14 @@ class SpateConfig:
             milliseconds; 0 = unlimited.  A query that hits its
             deadline raises in strict mode and returns a partial
             answer (with a coverage report) under ``partial_ok``.
+        query_pruning: let the read path skip leaves whose day summary
+            disproves the query's filter and decode only the projected
+            columns.  Pruning is conservative (summaries survive decay
+            and fungus as supersets of their leaves), so answers are
+            byte-identical with it on or off.
+        query_cache_entries: capacity of the query-result cache
+            (complete results keyed on query + index version; any
+            ingest/decay/fungus/recovery invalidates).  0 disables it.
         highlights: highlights-module settings.
         decay: decaying-module settings.
         faults: storage fault-injection / self-healing settings.
@@ -189,6 +197,8 @@ class SpateConfig:
     executor_workers: int | None = None
     leaf_cache_bytes: int = 16 * 1024 * 1024
     query_deadline_ms: int = 0
+    query_pruning: bool = True
+    query_cache_entries: int = 0
     highlights: HighlightsConfig = field(default_factory=HighlightsConfig)
     decay: DecayPolicyConfig = field(default_factory=DecayPolicyConfig)
     faults: FaultToleranceConfig = field(default_factory=FaultToleranceConfig)
@@ -212,6 +222,8 @@ class SpateConfig:
             raise ConfigError("executor_workers must be positive")
         if self.leaf_cache_bytes < 0:
             raise ConfigError("leaf_cache_bytes must be non-negative")
+        if self.query_cache_entries < 0:
+            raise ConfigError("query_cache_entries must be non-negative")
         from repro.core.layout import validate_layout
 
         validate_layout(self.layout)

@@ -43,12 +43,26 @@ def serialize_table(table: Table, layout: str = ROW_LAYOUT) -> bytes:
     raise ConfigError(f"unknown layout {layout!r}")
 
 
-def deserialize_table(name: str, data: bytes, layout: str = ROW_LAYOUT) -> Table:
-    """Invert :func:`serialize_table`."""
+def deserialize_table(
+    name: str,
+    data: bytes,
+    layout: str = ROW_LAYOUT,
+    columns: tuple[str, ...] | None = None,
+) -> Table:
+    """Invert :func:`serialize_table`.
+
+    Args:
+        columns: optional projection — decode only these columns.  The
+            returned table keeps the *full* stored schema and row width
+            (unselected cells are empty strings), so projected and full
+            decodes are interchangeable for readers that only touch the
+            selected columns.  Only the columnar layout can skip work;
+            the row layout always parses everything.
+    """
     if layout == ROW_LAYOUT:
         return Table.deserialize(name, data)
     if layout == COLUMNAR_LAYOUT:
-        return _deserialize_columnar(name, data)
+        return _deserialize_columnar(name, data, columns)
     raise ConfigError(f"unknown layout {layout!r}")
 
 
@@ -88,7 +102,9 @@ def _serialize_columnar(table: Table) -> bytes:
     )
 
 
-def _deserialize_columnar(name: str, data: bytes) -> Table:
+def _deserialize_columnar(
+    name: str, data: bytes, projection: tuple[str, ...] | None = None
+) -> Table:
     if data[: len(_COLUMNAR_MAGIC)] != _COLUMNAR_MAGIC:
         raise CorruptStreamError("bad columnar table magic")
     pos = len(_COLUMNAR_MAGIC)
@@ -99,9 +115,17 @@ def _deserialize_columnar(name: str, data: bytes) -> Table:
         length, pos = decode_varint(data, pos)
         columns.append(data[pos : pos + length].decode("utf-8"))
         pos += length
+    wanted = None if projection is None else set(projection)
     column_values: list[list[str]] = []
-    for __ in range(n_columns):
+    blanks = [""] * n_rows
+    for position in range(n_columns):
         length, pos = decode_varint(data, pos)
+        if wanted is not None and columns[position] not in wanted:
+            # Projection pushdown: the varint length lets the decoder
+            # hop over unselected columns without decoding their cells.
+            pos += length
+            column_values.append(blanks)
+            continue
         cells = decode_column(data[pos : pos + length])
         pos += length
         if len(cells) != n_rows:

@@ -79,6 +79,19 @@ class WarehouseMetrics:
     epochs_skipped_degraded: int = 0
     deadline_expirations: int = 0
 
+    #: Read-path counters (parallel, pruned leaf scans).
+    query_leaves_scanned: int = 0
+    query_leaves_pruned: int = 0
+    query_scan_cache_hits: int = 0
+    query_bytes_decompressed: int = 0
+    query_scan_wall_seconds: float = 0.0
+    query_scan_task_seconds: float = 0.0
+    query_scan_backend: str = ""
+    #: Query-result cache counters (complete results keyed on query +
+    #: index version).
+    query_cache_hits: int = 0
+    query_cache_misses: int = 0
+
     #: max ingest time seen, to compare against the epoch budget.
     worst_ingest_seconds: float = 0.0
     _ratio_samples: list[float] = field(default_factory=list, repr=False)
@@ -198,6 +211,24 @@ class WarehouseMetrics:
         if deadline_hit:
             self.deadline_expirations += 1
 
+    def on_query_scan(self, stats) -> None:
+        """Fold one query's :class:`~repro.query.leafscan.ScanStats` in."""
+        self.query_leaves_scanned += stats.leaves_scanned
+        self.query_leaves_pruned += stats.leaves_pruned
+        self.query_scan_cache_hits += stats.cache_hits
+        self.query_bytes_decompressed += stats.bytes_decompressed
+        self.query_scan_wall_seconds += stats.wall_seconds
+        self.query_scan_task_seconds += stats.task_seconds
+        if stats.backend:
+            self.query_scan_backend = stats.backend
+
+    def on_query_cache(self, hit: bool) -> None:
+        """Record one query-result cache lookup."""
+        if hit:
+            self.query_cache_hits += 1
+        else:
+            self.query_cache_misses += 1
+
     # ------------------------------------------------------------------
     # Derived views
     # ------------------------------------------------------------------
@@ -228,6 +259,19 @@ class WarehouseMetrics:
         """Fraction of leaf reads served from the decompressed cache."""
         total = self.leaf_cache_hits + self.leaf_cache_misses
         return self.leaf_cache_hits / total if total else 0.0
+
+    @property
+    def query_prune_rate(self) -> float:
+        """Fraction of candidate leaves queries skipped via summaries."""
+        total = self.query_leaves_scanned + self.query_leaves_pruned
+        return self.query_leaves_pruned / total if total else 0.0
+
+    @property
+    def query_scan_speedup(self) -> float:
+        """Decode-stage speedup across all query scans so far."""
+        if self.query_scan_wall_seconds <= 0.0:
+            return 1.0
+        return self.query_scan_task_seconds / self.query_scan_wall_seconds
 
     def epoch_budget_headroom(self, epoch_seconds: float = 30 * 60) -> float:
         """How many times the worst ingest fits in one epoch."""
@@ -273,6 +317,23 @@ class WarehouseMetrics:
             f"{self.leaf_cache_invalidations} invalidations, "
             f"{self.leaf_cache_bytes:,} bytes resident"
         )
+        if self.query_leaves_scanned or self.query_leaves_pruned:
+            backend = (
+                f", {self.query_scan_backend} decode" if self.query_scan_backend else ""
+            )
+            lines.append(
+                f"  query read path:       {self.query_leaves_scanned} leaves scanned "
+                f"({self.query_scan_cache_hits} from cache), "
+                f"{self.query_leaves_pruned} pruned "
+                f"({self.query_prune_rate:.0%}), "
+                f"{self.query_bytes_decompressed:,} bytes decompressed "
+                f"(speedup {self.query_scan_speedup:.2f}x{backend})"
+            )
+        if self.query_cache_hits or self.query_cache_misses:
+            lines.append(
+                f"  query result cache:    {self.query_cache_hits} hits / "
+                f"{self.query_cache_misses} misses"
+            )
         if self.wal_records_appended or self.recoveries:
             lines.append(
                 f"  metadata durability:   {self.wal_records_appended} WAL records "

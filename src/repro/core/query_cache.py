@@ -1,0 +1,72 @@
+"""Query-result cache keyed on (query, index version).
+
+The warehouse bumps its *index version* on every mutation that could
+change an answer — ingest, finalize, decay, fungus rewrites, recovery,
+cell registration.  A cached result is only served while the version it
+was computed under is still current, so invalidation is implicit and
+exact: one integer compare, no dependency tracking.
+
+Only *complete* results are cacheable (partial answers depend on the
+deadline and fault state at evaluation time).  Entries are deep-copied
+on both insert and lookup so callers can mutate what they get back.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import OrderedDict
+from typing import Any, Hashable
+
+
+class QueryResultCache:
+    """A small LRU of fully-served query results.
+
+    Capacity is counted in entries, not bytes: query results are
+    already bounded by the window the user asked for, and the point of
+    this cache is dashboards re-issuing the same handful of queries
+    between ingests.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = max(0, capacity)
+        self._entries: OrderedDict[tuple[Hashable, int], Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self._capacity > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable, version: int) -> Any | None:
+        """Return a copy of the cached result, or None on miss.
+
+        A miss also evicts any stale entry for the same key (it can
+        never be served again — versions only grow).
+        """
+        if not self.enabled:
+            return None
+        slot = (key, version)
+        entry = self._entries.get(slot)
+        if entry is None:
+            self.misses += 1
+            for stale in [k for k in self._entries if k[0] == key]:
+                del self._entries[stale]
+            return None
+        self.hits += 1
+        self._entries.move_to_end(slot)
+        return copy.deepcopy(entry)
+
+    def put(self, key: Hashable, version: int, result: Any) -> None:
+        """Cache a complete result computed under ``version``."""
+        if not self.enabled:
+            return
+        self._entries[(key, version)] = copy.deepcopy(result)
+        self._entries.move_to_end((key, version))
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -259,7 +259,6 @@ def _install_cells(spate: Spate, cells: dict) -> None:
     }
     if spate.cell_locations:
         spate.area = BoundingBox.from_points(list(spate.cell_locations.values()))
-    spate._explorer = None
 
 
 def _remove_orphans(spate: Spate) -> int:

@@ -28,6 +28,7 @@ from repro.core.checkpoint import CheckpointInfo, CheckpointManager, encode_inde
 from repro.core.config import SpateConfig
 from repro.core.leaf_cache import LeafCache
 from repro.core.metrics import WarehouseMetrics
+from repro.core.query_cache import QueryResultCache
 from repro.core.snapshot import Snapshot, Table
 from repro.dfs.faults import FaultInjector
 from repro.dfs.filesystem import HealReport, SimulatedDFS
@@ -44,6 +45,7 @@ from repro.index.incremence import IncremenceModule, IngestReport
 from repro.index.temporal import SnapshotLeaf, TemporalIndex
 from repro.index.wal import IndexWal
 from repro.query.explore import ExplorationEngine, ExplorationQuery, ExplorationResult
+from repro.query.leafscan import ScanContext, ScanStats, decode_leaf_task
 from repro.spatial.geometry import BoundingBox, Point
 from repro.spatial.rtree import RTree
 
@@ -103,9 +105,15 @@ class Spate(Framework):
         self.cell_locations: dict[str, Point] = {}
         self.area: BoundingBox | None = None
         self._leaf_spatial: dict[int, RTree] = {}
-        self._explorer: ExplorationEngine | None = None
         self._last_ingest_report: IngestReport | None = None
         self.metrics = WarehouseMetrics()
+        #: Monotonic version of the indexed state; any mutation that can
+        #: change a query answer bumps it, implicitly invalidating the
+        #: query-result cache (entries are keyed on it).
+        self.index_version = 0
+        self.query_cache = QueryResultCache(self.config.query_cache_entries)
+        #: Read-path stats of the most recent ``read_rows`` scan.
+        self.last_scan_stats = ScanStats()
         self._finalized = False
         self._epochs_since_checkpoint = 0
         self.last_recovery_report = None
@@ -158,7 +166,7 @@ class Spate(Framework):
         if self.cell_locations:
             points = list(self.cell_locations.values())
             self.area = BoundingBox.from_points(points)
-        self._explorer = None  # rebuild with the new locations
+        self._bump_index_version()
         if self.wal is not None:
             self.wal.append(
                 "cells",
@@ -241,6 +249,7 @@ class Spate(Framework):
                     # still covers everything, so retry next interval.
                     self._epochs_since_checkpoint = interval
             self.metrics.sync_durability(self.wal, self.checkpoints)
+        self._bump_index_version()
         return IngestStats(
             epoch=snapshot.epoch,
             seconds=seconds,
@@ -287,6 +296,117 @@ class Spate(Framework):
         """Live (non-decayed) epochs — decayed leaves can't be scanned."""
         return [leaf.epoch for leaf in self.index.leaves() if not leaf.decayed]
 
+    def read_rows(
+        self,
+        table: str,
+        first_epoch: int,
+        last_epoch: int,
+        partial_ok: bool = False,
+        predicates=None,
+        columns=None,
+    ) -> tuple[list[str], list[list[str]]]:
+        """Scan one table across an epoch range — the SQL table scan.
+
+        Extends the base contract with a parallel decode stage and two
+        pushdown hints: ``predicates`` (a list of
+        :class:`~repro.query.sql.planner.ScanPredicate`; a leaf whose
+        day summary disproves one is skipped unread — sound because
+        summaries survive decay and fungus as supersets of their
+        leaves, and the SQL executor re-applies every predicate
+        row-wise anyway) and ``columns`` (the referenced-column set; on
+        the columnar layout only these are decoded, the rest stay blank
+        in the full-width rows).  A pruned leaf is never touched, so
+        its quarantine state is irrelevant to it.  Returned rows match
+        the serial, unpruned base scan exactly on every column a hint
+        allowed the caller to reference.
+        """
+        from repro.query.sql.planner import disproved_by_summary
+
+        ctx = self._scan_context()
+        coverage: dict = {
+            "epochs_served": [],
+            "epochs_skipped": {},
+            "epochs_pruned": [],
+        }
+        self.last_scan_coverage = coverage
+        stats = ScanStats()
+        self.last_scan_stats = stats
+        predicates = list(predicates or [])
+        proj = ctx.projection(tuple(columns)) if columns is not None else None
+
+        # Gatekeeping on the calling thread (DFS and the leaf cache are
+        # not thread-safe); plan entries fold in this epoch order.
+        plan: list[tuple[int, str, object]] = []
+        tasks: list[tuple] = []
+        for leaf in self.index.leaves():
+            if leaf.decayed or not (first_epoch <= leaf.epoch <= last_epoch):
+                continue
+            if ctx.pruning and predicates:
+                day = self.index.find_day(leaf.day_key)
+                summary = day.summary if day is not None else None
+                if summary is not None and disproved_by_summary(
+                    summary, table, predicates
+                ):
+                    coverage["epochs_pruned"].append(leaf.epoch)
+                    stats.leaves_pruned += 1
+                    continue
+            if leaf.quarantined:
+                exc = self._quarantine_error(leaf)
+                if not partial_ok:
+                    raise exc
+                coverage["epochs_skipped"][leaf.epoch] = str(exc)
+                continue
+            cached = self._scan_cache_get(leaf.epoch, table)
+            if cached is not None:
+                stats.cache_hits += 1
+                plan.append((leaf.epoch, "table", cached))
+                continue
+            path = leaf.table_paths.get(table)
+            if path is None:
+                plan.append((leaf.epoch, "absent", None))
+                continue
+            try:
+                blob = self.dfs.read_file(path)
+            except StorageError as exc:
+                if not partial_ok:
+                    raise
+                coverage["epochs_skipped"][leaf.epoch] = str(exc)
+                continue
+            plan.append((leaf.epoch, "task", len(tasks)))
+            tasks.append(ctx.decode_task(table, blob, proj))
+
+        decoded, run, __ = ctx.executor.run_chunked(
+            decode_leaf_task, tasks, ctx.chunk_size
+        )
+        stats.on_run(run)
+
+        out_columns: list[str] = []
+        rows: list[list[str]] = []
+        for epoch, kind, payload in plan:
+            if kind == "task":
+                loaded, nbytes = decoded[payload]
+                stats.bytes_decompressed += nbytes
+                if proj is None:
+                    # Projected decodes are partial tables; only full
+                    # decodes may enter the shared leaf cache.
+                    self._scan_cache_put(epoch, table, loaded, nbytes)
+            else:
+                loaded = payload  # cache hit, or None for "absent"
+            coverage["epochs_served"].append(epoch)
+            if loaded is None:
+                continue
+            stats.leaves_scanned += 1
+            if not out_columns:
+                out_columns = list(loaded.columns)
+            rows.extend(loaded.rows)
+
+        if not out_columns and coverage["epochs_pruned"]:
+            # Everything in range was pruned: recover the schema with
+            # one probe read so callers still see real column names.
+            out_columns = self.table_columns(table, first_epoch, last_epoch)
+        self.metrics.on_query_scan(stats)
+        return out_columns, rows
+
     def finalize(self) -> None:
         """Close the stream: finalize trailing day/month/year summaries.
 
@@ -305,6 +425,7 @@ class Spate(Framework):
             )
         self.incremence.finalize()
         self._finalized = True
+        self._bump_index_version()
         if self.wal is not None:
             self.wal.append("finalize", {})
             self._flush_wal()
@@ -351,6 +472,16 @@ class Spate(Framework):
             first_epoch=first_epoch,
             last_epoch=last_epoch,
         )
+        cache_key = None
+        if self.query_cache.enabled:
+            cache_key = ("explore", table, tuple(attributes), repr(box),
+                         first_epoch, last_epoch, coarse)
+            cached = self.query_cache.get(cache_key, self.index_version)
+            if cached is not None:
+                self.metrics.on_query_cache(hit=True)
+                self.metrics.on_explore(0, cached.used_decayed_data)
+                return cached
+            self.metrics.on_query_cache(hit=False)
         if deadline_ms is None:
             deadline_ms = self.config.query_deadline_ms
         deadline_s = deadline_ms / 1000.0 if deadline_ms else None
@@ -361,16 +492,108 @@ class Spate(Framework):
             else engine.evaluate(query, partial_ok=partial_ok, deadline_s=deadline_s)
         )
         self.metrics.on_explore(result.snapshots_read, result.used_decayed_data)
+        self.metrics.on_query_scan(result.scan_stats)
         if partial_ok and not result.coverage.complete:
             self.metrics.on_degraded_query(
                 epochs_skipped=len(result.coverage.epochs_skipped),
                 deadline_hit=result.coverage.deadline_hit,
             )
+        if cache_key is not None and result.coverage.complete:
+            # Partial answers depend on the fault and deadline state at
+            # evaluation time; only complete results are reusable.
+            self.query_cache.put(cache_key, self.index_version, result)
         return result
 
     def highlights(self, first_epoch: int, last_epoch: int) -> list[Highlight]:
         """Detected highlights overlapping the window."""
         return self._engine().highlights_in_window(first_epoch, last_epoch)
+
+    # ------------------------------------------------------------------
+    # SQL API
+    # ------------------------------------------------------------------
+
+    def sql_database(
+        self,
+        first_epoch: int | None = None,
+        last_epoch: int | None = None,
+        partial_ok: bool = False,
+        tables: list[str] | None = None,
+    ):
+        """A :class:`~repro.query.sql.executor.Database` whose tables
+        scan this warehouse lazily, with predicate and projection
+        pushdown per query.  Defaults to every stored table over the
+        whole ingested history."""
+        from repro.query.sql.executor import Database
+
+        first = 0 if first_epoch is None else first_epoch
+        last = (
+            self.index.frontier_epoch if last_epoch is None else last_epoch
+        )
+        names = tables or sorted(
+            {
+                name
+                for leaf in self.index.leaves()
+                if not leaf.decayed
+                for name in leaf.table_paths
+            }
+        )
+        db = Database()
+        db.register_framework_scan(
+            self, list(names), first, last, partial_ok=partial_ok
+        )
+        return db
+
+    def sql(
+        self,
+        query: str,
+        first_epoch: int | None = None,
+        last_epoch: int | None = None,
+        deadline_ms: int | None = None,
+        partial_ok: bool = False,
+    ):
+        """Run one SQL SELECT over the warehouse's stored tables.
+
+        Results are served from the query-result cache when an
+        identical query ran against the identical index version (any
+        ingest / decay / fungus / recovery invalidates); only complete
+        scans (nothing skipped) are cached.
+        """
+        first = 0 if first_epoch is None else first_epoch
+        last = self.index.frontier_epoch if last_epoch is None else last_epoch
+        cache_key = None
+        if self.query_cache.enabled and isinstance(query, str):
+            cache_key = ("sql", query, first, last, partial_ok)
+            cached = self.query_cache.get(cache_key, self.index_version)
+            if cached is not None:
+                self.metrics.on_query_cache(hit=True)
+                return cached
+            self.metrics.on_query_cache(hit=False)
+        db = self.sql_database(first, last, partial_ok=partial_ok)
+        if deadline_ms is None:
+            deadline_ms = self.config.query_deadline_ms or None
+        result = db.execute(query, deadline_ms=deadline_ms)
+        if cache_key is not None and all(
+            not coverage.get("epochs_skipped")
+            for coverage in db.scan_coverage.values()
+        ):
+            self.query_cache.put(cache_key, self.index_version, result)
+        return result
+
+    def explain(
+        self,
+        query: str,
+        first_epoch: int | None = None,
+        last_epoch: int | None = None,
+        deadline_ms: int | None = None,
+        partial_ok: bool = False,
+    ) -> str:
+        """EXPLAIN ANALYZE: run the query and return its plan annotated
+        with actual stage timings and read-path scan statistics."""
+        db = self.sql_database(first_epoch, last_epoch, partial_ok=partial_ok)
+        if deadline_ms is None:
+            deadline_ms = self.config.query_deadline_ms or None
+        __, report = db.explain_analyze(query, deadline_ms=deadline_ms)
+        return report
 
     def heal(self) -> HealReport:
         """Force a storage repair pass: scrub corrupt replicas and
@@ -380,6 +603,7 @@ class Spate(Framework):
         report = self.dfs.heal()
         self.metrics.on_heal(report)
         self.metrics.sync_storage_faults(self.dfs.fault_stats, self.fault_injector)
+        self._bump_index_version()
         return report
 
     def run_decay(self) -> DecayReport:
@@ -391,6 +615,8 @@ class Spate(Framework):
         if report.leaves_evicted:
             self.metrics.on_decay(report.leaves_evicted, report.bytes_reclaimed)
             self._invalidate_cached_epochs(report.evicted_epochs)
+        if report.mutated:
+            self._bump_index_version()
         return report
 
     def decay_groups(
@@ -429,6 +655,7 @@ class Spate(Framework):
         if report.bytes_reclaimed:
             self.metrics.on_decay(0, report.bytes_reclaimed)
         self._invalidate_cached_epochs(report.rewritten_epochs)
+        self._bump_index_version()
         return report
 
     # ------------------------------------------------------------------
@@ -471,7 +698,9 @@ class Spate(Framework):
         """
         from repro.core.recovery import run_recovery
 
-        return run_recovery(self)
+        report = run_recovery(self)
+        self._bump_index_version()
+        return report
 
     def verify_leaves(self) -> tuple[int, dict[int, str]]:
         """Check every live leaf's blocks for at least one live valid
@@ -489,6 +718,7 @@ class Spate(Framework):
             if damage is not None:
                 reasons[leaf.epoch] = damage
         self.metrics.leaves_quarantined = len(reasons)
+        self._bump_index_version()
         return len(reasons), reasons
 
     def _leaf_damage(self, leaf: SnapshotLeaf) -> str | None:
@@ -530,7 +760,7 @@ class Spate(Framework):
         self.decay = DecayModule(
             dfs=self.dfs, index=self.index, config=self.config.decay
         )
-        self._explorer = None
+        self._bump_index_version()
 
     def _log_ingest(self, leaf: SnapshotLeaf, summary: HighlightSummary) -> None:
         """WAL hook between "files durable" and "index mutated"."""
@@ -584,23 +814,63 @@ class Spate(Framework):
     # ------------------------------------------------------------------
 
     def _engine(self) -> ExplorationEngine:
-        if self._explorer is None:
-            self._explorer = ExplorationEngine(
-                index=self.index,
-                read_leaf_table=self._read_leaf_table,
-                cell_locations=self.cell_locations,
-            )
-        return self._explorer
+        # Built fresh per query: it is cheap, and the scan context must
+        # track live config (tests reassign ``spate.config``).
+        return ExplorationEngine(
+            index=self.index,
+            read_leaf_table=self._read_leaf_table,
+            cell_locations=self.cell_locations,
+            scan_context=self._scan_context(),
+        )
+
+    def _scan_context(self) -> ScanContext:
+        """The parallel-scan view of this warehouse for the read path."""
+        return ScanContext(
+            executor=self.executor,
+            codec_name=self.config.codec,
+            layout=self.config.layout,
+            pruning=self.config.query_pruning,
+            read_payload=self.dfs.read_file,
+            cache_get=self._scan_cache_get,
+            cache_put=self._scan_cache_put,
+        )
+
+    def _scan_cache_get(self, epoch: int, table: str) -> Table | None:
+        if self.leaf_cache is None:
+            return None
+        cached = self.leaf_cache.get(epoch, table)
+        if cached is not None:
+            self.metrics.on_leaf_cache(hit=True)
+        return cached
+
+    def _scan_cache_put(
+        self, epoch: int, table: str, loaded: Table, nbytes: int
+    ) -> None:
+        if self.leaf_cache is None:
+            return
+        self.metrics.on_leaf_cache(hit=False)
+        evicted = self.leaf_cache.put(epoch, table, loaded, nbytes)
+        self.metrics.on_leaf_cache_change(
+            evicted, 0, self.leaf_cache.current_bytes
+        )
+
+    def _bump_index_version(self) -> None:
+        """Invalidate cached query results: the indexed state changed."""
+        self.index_version += 1
+
+    @staticmethod
+    def _quarantine_error(leaf: SnapshotLeaf) -> LeafQuarantinedError:
+        return LeafQuarantinedError(
+            f"epoch {leaf.epoch} is quarantined: its blocks had no "
+            "live valid replica at recovery (heal + verify_leaves "
+            "to re-check, or query with partial_ok)"
+        )
 
     def _read_leaf_table(self, leaf: SnapshotLeaf, table: str) -> Table | None:
         from repro.core.layout import deserialize_table
 
         if leaf.quarantined:
-            raise LeafQuarantinedError(
-                f"epoch {leaf.epoch} is quarantined: its blocks had no "
-                "live valid replica at recovery (heal + verify_leaves "
-                "to re-check, or query with partial_ok)"
-            )
+            raise self._quarantine_error(leaf)
         if self.leaf_cache is not None:
             cached = self.leaf_cache.get(leaf.epoch, table)
             if cached is not None:

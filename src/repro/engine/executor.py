@@ -111,6 +111,39 @@ class ExecutorBackend(ABC):
             queue_depth=max(0, len(batch) - self.workers),
         )
 
+    def run_chunked(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        chunk_size: int,
+        should_stop: Callable[[], bool] | None = None,
+    ) -> tuple[list[Any], ExecutorRun, int]:
+        """Order-preserving :meth:`run` in chunks with a stop check.
+
+        ``should_stop`` is consulted before each chunk (a query deadline,
+        typically).  Once it returns true no further work is *submitted*
+        — already-running chunks finish on their pool, so nothing leaks —
+        and the caller learns how many leading items completed.
+
+        Returns:
+            ``(results, run, completed)`` where ``results`` holds the
+            first ``completed`` items' outputs in input order.
+        """
+        batch = list(items)
+        chunk_size = max(1, chunk_size)
+        results: list[Any] = []
+        merged = ExecutorRun(
+            backend=self.name, tasks=0, wall_seconds=0.0,
+            task_seconds=0.0, queue_depth=0,
+        )
+        for start in range(0, len(batch), chunk_size):
+            if should_stop is not None and should_stop():
+                break
+            chunk_results, run = self.run(fn, batch[start : start + chunk_size])
+            results.extend(chunk_results)
+            merged = merged.merged(run)
+        return results, merged, len(results)
+
 
 class SerialBackend(ExecutorBackend):
     """The reference backend: a plain loop on the calling thread."""

@@ -214,12 +214,20 @@ class HighlightSummary:
     attributes: dict[str, dict[str, AttributeSummary]] = field(default_factory=dict)
     #: table -> cell_id -> attribute -> NumericStats (spatial drill-down).
     per_cell: dict[str, dict[str, dict[str, NumericStats]]] = field(default_factory=dict)
+    #: table -> rows that carried a cell id.  Pruning may trust the
+    #: per-cell key set as exhaustive only when this equals the table's
+    #: record count (a table without a cell column has covered == 0).
+    cell_covered_rows: dict[str, int] = field(default_factory=dict)
     highlights: list[Highlight] = field(default_factory=list)
 
     def merge(self, other: "HighlightSummary") -> None:
         """Fold ``other`` (a finer-resolution summary) into this node."""
         for table, count in other.record_counts.items():
             self.record_counts[table] = self.record_counts.get(table, 0) + count
+        for table, count in other.cell_covered_rows.items():
+            self.cell_covered_rows[table] = (
+                self.cell_covered_rows.get(table, 0) + count
+            )
         for table, attrs in other.attributes.items():
             mine = self.attributes.setdefault(table, {})
             for name, summary in attrs.items():
@@ -283,6 +291,7 @@ class HighlightSummary:
                 }
                 for table, cells in self.per_cell.items()
             },
+            "cellrows": dict(self.cell_covered_rows),
             "highlights": [h.to_dict() for h in self.highlights],
         }
 
@@ -310,6 +319,9 @@ class HighlightSummary:
                 }
                 for table, cells in data["cells"].items()
             },
+            # Summaries logged before this field existed load with no
+            # coverage counts, which simply disables cell pruning there.
+            cell_covered_rows=dict(data.get("cellrows", {})),
             highlights=[Highlight.from_dict(h) for h in data["highlights"]],
         )
 
@@ -321,6 +333,65 @@ class HighlightSummary:
             if stats is not None:
                 combined.merge(stats)
         return combined
+
+    # ------------------------------------------------------------------
+    # Conservative pruning (the query engine's partition-skip oracle)
+    # ------------------------------------------------------------------
+    #
+    # Both predicates answer "can this node's data be skipped?" and must
+    # only ever say yes when *no* stored row could match.  Decay and
+    # fungus rewrites shrink leaves without touching summaries, so a
+    # summary is always a superset of what remains on disk — stale
+    # counts/bounds can only make these checks *less* willing to prune,
+    # never wrongly skip a surviving row.
+
+    def excludes_cells(self, table: str, cells: set[str]) -> bool:
+        """True when no row of ``table`` can fall in ``cells``.
+
+        Requires every summarized row to have carried a cell id
+        (``cell_covered_rows == record_counts``): a table without a cell
+        column is not spatially filtered by the scan, so its rows always
+        match and must never be pruned.
+        """
+        rows = self.record_counts.get(table)
+        if rows is None:
+            return False  # table untracked here: no evidence either way
+        if rows == 0:
+            return True
+        if self.cell_covered_rows.get(table, 0) != rows:
+            return False
+        return cells.isdisjoint(self.per_cell.get(table, {}))
+
+    def disproves_predicate(self, table: str, column: str, op: str, value) -> bool:
+        """True when min/max bounds prove ``column <op> value`` matches
+        no row of ``table``.
+
+        Bounds only describe rows whose value parsed as an integer, so
+        they are trusted only when *every* row did
+        (``numeric.count == record_counts``) — otherwise a non-numeric
+        value could still satisfy the predicate under the SQL engine's
+        string-comparison fallback.
+        """
+        rows = self.record_counts.get(table)
+        if rows is None:
+            return False
+        if rows == 0:
+            return True
+        attr = self.attributes.get(table, {}).get(column)
+        if attr is None or attr.numeric is None or attr.numeric.count != rows:
+            return False
+        low, high = attr.numeric.minimum, attr.numeric.maximum
+        if op == "=":
+            return value < low or value > high
+        if op == "<":
+            return low >= value
+        if op == "<=":
+            return low > value
+        if op == ">":
+            return high <= value
+        if op == ">=":
+            return high < value
+        return False
 
 
 def summarize_snapshot(
@@ -346,6 +417,8 @@ def summarize_snapshot(
         for name in present:
             attr_summaries.setdefault(name, AttributeSummary())
         cells = summary.per_cell.setdefault(table_name, {})
+        if cell_idx is not None:
+            summary.cell_covered_rows[table_name] = len(table)
         for row in table.rows:
             cell_id = row[cell_idx] if cell_idx is not None else None
             cell_attrs = cells.setdefault(cell_id, {}) if cell_id is not None else None

@@ -24,9 +24,15 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.snapshot import EPOCHS_PER_DAY
-from repro.errors import QueryDeadlineError, QueryError, StorageError
+from repro.errors import (
+    LeafQuarantinedError,
+    QueryDeadlineError,
+    QueryError,
+    StorageError,
+)
 from repro.index.highlights import CELL_COLUMN, Highlight, NumericStats
 from repro.index.temporal import TemporalIndex
+from repro.query.leafscan import ScanContext, ScanStats, decode_leaf_task
 from repro.spatial.geometry import BoundingBox, Point
 
 
@@ -66,6 +72,10 @@ class CoverageReport:
     summary_days: dict[str, str] = field(default_factory=dict)
     #: Epochs that should have been scanned but were not: epoch -> reason.
     epochs_skipped: dict[int, str] = field(default_factory=dict)
+    #: Epochs proven irrelevant by their day summary and skipped without
+    #: decompression.  Pruning never changes the answer, so pruned
+    #: epochs do not make a query incomplete.
+    epochs_pruned: list[int] = field(default_factory=list)
     #: True when the per-query deadline expired before the scan finished.
     deadline_hit: bool = False
 
@@ -115,6 +125,8 @@ class ExplorationResult:
     snapshots_read: int = 0
     #: Exactly what was served vs skipped (degraded-query contract).
     coverage: CoverageReport = field(default_factory=CoverageReport)
+    #: Read-path instrumentation (leaves scanned/pruned, decode timing).
+    scan_stats: ScanStats = field(default_factory=ScanStats)
 
     @property
     def used_decayed_data(self) -> bool:
@@ -134,6 +146,7 @@ class ExplorationEngine:
         index: TemporalIndex,
         read_leaf_table,
         cell_locations: dict[str, Point],
+        scan_context: ScanContext | None = None,
     ) -> None:
         """
         Args:
@@ -142,10 +155,15 @@ class ExplorationEngine:
                 Table | None`` that loads and decompresses one table of
                 one leaf from storage.
             cell_locations: cell id -> centroid, for the spatial filter.
+            scan_context: when provided, snapshot scans fan leaf decodes
+                out through its executor and prune whole days whose
+                summary disproves the spatial filter; None keeps the
+                serial read-one-leaf-at-a-time reference path.
         """
         self._index = index
         self._read_leaf_table = read_leaf_table
         self._cell_locations = cell_locations
+        self._scan = scan_context
 
     def evaluate(
         self,
@@ -322,6 +340,11 @@ class ExplorationEngine:
         deadline: _Deadline | None = None,
     ) -> None:
         """Exact path: decompress the day's in-window leaves and filter."""
+        if self._scan is not None:
+            self._scan_day_parallel(
+                day, query, cells, result, partial_ok, deadline
+            )
+            return
         coverage = result.coverage
         for leaf in day.live_leaves():
             if leaf.epoch < query.first_epoch or leaf.epoch > query.last_epoch:
@@ -348,38 +371,190 @@ class ExplorationEngine:
             coverage.epochs_served.append(leaf.epoch)
             if table is None:
                 continue
-            if not result.columns:
-                # Columns come from the *query*, not from whichever leaf
-                # happened to be scanned first: later leaves may expose a
-                # different table schema (e.g. after a fungus rewrite),
-                # and every record must keep the same width.
-                result.columns = ["epoch", *query.attributes]
-            attr_idx = [
-                (a, table.column_index(a) if a in table.columns else None)
-                for a in query.attributes
+            result.scan_stats.leaves_scanned += 1
+            self._fold_leaf_table(result, query, cells, leaf.epoch, table)
+
+    def _fold_leaf_table(
+        self,
+        result: ExplorationResult,
+        query: ExplorationQuery,
+        cells: set[str] | None,
+        epoch: int,
+        table,
+    ) -> None:
+        """Merge one decoded leaf table into the result (both scan paths
+        share this fold, which is what keeps them byte-identical)."""
+        if not result.columns:
+            # Columns come from the *query*, not from whichever leaf
+            # happened to be scanned first: later leaves may expose a
+            # different table schema (e.g. after a fungus rewrite),
+            # and every record must keep the same width.
+            result.columns = ["epoch", *query.attributes]
+        attr_idx = [
+            (a, table.column_index(a) if a in table.columns else None)
+            for a in query.attributes
+        ]
+        cell_col = CELL_COLUMN.get(query.table)
+        cell_idx = (
+            table.column_index(cell_col)
+            if cells is not None and cell_col in table.columns
+            else None
+        )
+        for row in table.rows:
+            if cell_idx is not None and row[cell_idx] not in cells:
+                continue
+            record = [str(epoch)] + [
+                row[idx] if idx is not None else "" for __, idx in attr_idx
             ]
-            cell_col = CELL_COLUMN.get(query.table)
-            cell_idx = (
-                table.column_index(cell_col)
-                if cells is not None and cell_col in table.columns
-                else None
-            )
-            for row in table.rows:
-                if cell_idx is not None and row[cell_idx] not in cells:
+            result.records.append(record)
+            for name, idx in attr_idx:
+                if idx is None:
                     continue
-                record = [str(leaf.epoch)] + [
-                    row[idx] if idx is not None else "" for __, idx in attr_idx
-                ]
-                result.records.append(record)
-                for name, idx in attr_idx:
-                    if idx is None:
-                        continue
-                    value = row[idx]
-                    if value and _is_int(value):
-                        stats = result.aggregates.get(name)
-                        if stats is None:
-                            stats = result.aggregates[name] = NumericStats()
-                        stats.add(int(value))
+                value = row[idx]
+                if value and _is_int(value):
+                    stats = result.aggregates.get(name)
+                    if stats is None:
+                        stats = result.aggregates[name] = NumericStats()
+                    stats.add(int(value))
+
+    def _scan_day_parallel(
+        self,
+        day,
+        query: ExplorationQuery,
+        cells: set[str] | None,
+        result: ExplorationResult,
+        partial_ok: bool,
+        deadline: _Deadline | None,
+    ) -> None:
+        """Scan a day's leaves with pruning and a parallel decode stage.
+
+        Three phases, all merged in epoch order so the answer is
+        byte-identical to the serial scan:
+
+        1. day-level pruning — if the day summary proves no row can
+           match the spatial filter, every leaf is skipped unread;
+        2. a main-thread gatekeeping pass that applies the exact serial
+           per-leaf policy (deadline, quarantine, cache, DFS read) and
+           collects decode tasks;
+        3. a chunked executor fan-out over the decode tasks, re-checking
+           the deadline between chunks, followed by the epoch-order fold.
+        """
+        ctx = self._scan
+        coverage = result.coverage
+        stats = result.scan_stats
+        leaves = [
+            leaf
+            for leaf in day.live_leaves()
+            if query.first_epoch <= leaf.epoch <= query.last_epoch
+        ]
+        if not leaves:
+            return
+
+        if (
+            ctx.pruning
+            and cells is not None
+            and day.summary is not None
+            and day.summary.excludes_cells(query.table, cells)
+        ):
+            # The summary covers every leaf of the day (decay and fungus
+            # only ever shrink leaves under it), so disproof at day level
+            # is disproof for each in-window leaf.
+            for leaf in leaves:
+                if not result.columns and leaf.table_paths.get(query.table):
+                    result.columns = ["epoch", *query.attributes]
+                coverage.epochs_pruned.append(leaf.epoch)
+                stats.leaves_pruned += 1
+            return
+
+        cell_col = CELL_COLUMN.get(query.table)
+        wanted = (
+            (*query.attributes, cell_col)
+            if cells is not None and cell_col is not None
+            else query.attributes
+        )
+        proj = ctx.projection(wanted)
+
+        # Phase 2: gatekeeping on the main thread (DFS and the leaf
+        # cache are not thread-safe).  Each entry is folded later in
+        # this same order.
+        plan: list[tuple[object, str, object]] = []
+        tasks: list[tuple] = []
+        for leaf in leaves:
+            if deadline is not None and deadline.expired():
+                if not partial_ok:
+                    raise QueryDeadlineError(
+                        f"query deadline expired at epoch {leaf.epoch}"
+                    )
+                coverage.epochs_skipped[leaf.epoch] = "deadline"
+                coverage.deadline_hit = True
+                plan.append((leaf, "skipped", None))
+                continue
+            if getattr(leaf, "quarantined", False):
+                if not partial_ok:
+                    raise LeafQuarantinedError(
+                        f"epoch {leaf.epoch} is quarantined: its blocks had "
+                        "no live valid replica at recovery (heal + "
+                        "verify_leaves to re-check, or query with partial_ok)"
+                    )
+                coverage.epochs_skipped[leaf.epoch] = "quarantined"
+                plan.append((leaf, "skipped", None))
+                continue
+            path = leaf.table_paths.get(query.table)
+            if path is None:
+                plan.append((leaf, "absent", None))
+                continue
+            cached = ctx.cache_get(leaf.epoch, query.table)
+            if cached is not None:
+                stats.cache_hits += 1
+                plan.append((leaf, "table", cached))
+                continue
+            try:
+                blob = ctx.read_payload(path)
+            except StorageError as exc:
+                if not partial_ok:
+                    raise
+                coverage.epochs_skipped[leaf.epoch] = f"unreadable: {exc}"
+                plan.append((leaf, "skipped", None))
+                continue
+            plan.append((leaf, "task", len(tasks)))
+            tasks.append(ctx.decode_task(query.table, blob, proj))
+
+        # Phase 3: parallel decode.  run_chunked stops submitting once
+        # the deadline expires, so tasks past the cutoff never run.
+        decoded, run, completed = ctx.executor.run_chunked(
+            decode_leaf_task,
+            tasks,
+            ctx.chunk_size,
+            should_stop=deadline.expired if deadline is not None else None,
+        )
+        stats.on_run(run)
+
+        for leaf, kind, payload in plan:
+            if kind == "skipped":
+                continue
+            if kind == "task":
+                if payload >= completed:
+                    if not partial_ok:
+                        raise QueryDeadlineError(
+                            f"query deadline expired at epoch {leaf.epoch}"
+                        )
+                    coverage.epochs_skipped[leaf.epoch] = "deadline"
+                    coverage.deadline_hit = True
+                    continue
+                table, nbytes = decoded[payload]
+                stats.bytes_decompressed += nbytes
+                if proj is None:
+                    # Projected decodes are partial tables; only full
+                    # decodes may populate the shared leaf cache.
+                    ctx.cache_put(leaf.epoch, query.table, table, nbytes)
+            else:
+                table = payload  # "table" (cache hit) or "absent" (None)
+            result.snapshots_read += 1
+            coverage.epochs_served.append(leaf.epoch)
+            if table is None:
+                continue
+            stats.leaves_scanned += 1
+            self._fold_leaf_table(result, query, cells, leaf.epoch, table)
 
     def _fold_summary(
         self,

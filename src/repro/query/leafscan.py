@@ -1,0 +1,150 @@
+"""Shared machinery for the parallel, pruned leaf-scan read path.
+
+Both read paths — ``explore.evaluate``'s per-day snapshot scan and the
+SQL table scan (``Spate.read_rows``) — fan the expensive part of a leaf
+read (decompress + deserialize) out through the configured executor
+backend.  The split of responsibilities is deliberate:
+
+- the **main thread** does everything that touches shared mutable state:
+  DFS reads (the simulated DFS and its fault injector are not
+  thread-safe), leaf-cache lookups/inserts, coverage bookkeeping, and
+  the deterministic epoch-order merge;
+- **workers** run :func:`decode_leaf_task`, a pure function over bytes,
+  so the same code serves the thread and process backends (the task
+  tuple pickles cleanly).
+
+Because the fan-out only reorders *when* leaves are decoded — never the
+order their rows are merged — answers are byte-identical to the serial
+scan, whatever backend ran the decode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.snapshot import Table
+
+
+@dataclass
+class ScanStats:
+    """Per-query read-path instrumentation (surfaced by EXPLAIN ANALYZE
+    and folded into :class:`~repro.core.metrics.WarehouseMetrics`)."""
+
+    #: Leaves whose rows were actually merged (decoded or cache-served).
+    leaves_scanned: int = 0
+    #: Leaves skipped because a summary disproved the filter.
+    leaves_pruned: int = 0
+    #: Scanned leaves served from the decompressed-leaf cache.
+    cache_hits: int = 0
+    #: Decompressed payload bytes produced by this query's decodes.
+    bytes_decompressed: int = 0
+    #: Wall-clock of the decode fan-out vs its serial-equivalent work.
+    wall_seconds: float = 0.0
+    task_seconds: float = 0.0
+    backend: str = ""
+
+    def merge(self, other: "ScanStats") -> None:
+        """Fold another scan's counters into this one."""
+        self.leaves_scanned += other.leaves_scanned
+        self.leaves_pruned += other.leaves_pruned
+        self.cache_hits += other.cache_hits
+        self.bytes_decompressed += other.bytes_decompressed
+        self.wall_seconds += other.wall_seconds
+        self.task_seconds += other.task_seconds
+        if other.backend:
+            self.backend = other.backend
+
+    def on_run(self, run) -> None:
+        """Fold one :class:`~repro.engine.executor.ExecutorRun` in."""
+        self.wall_seconds += run.wall_seconds
+        self.task_seconds += run.task_seconds
+        if run.backend:
+            self.backend = run.backend
+
+    @property
+    def prune_rate(self) -> float:
+        """Fraction of candidate leaves skipped without decompression."""
+        total = self.leaves_scanned + self.leaves_pruned
+        return self.leaves_pruned / total if total else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Decode-stage speedup: serial-equivalent work / wall time."""
+        if self.wall_seconds <= 0.0:
+            return 1.0
+        return self.task_seconds / self.wall_seconds
+
+    def describe(self) -> str:
+        """One-line human-readable scan report."""
+        return (
+            f"{self.leaves_scanned} leaves scanned "
+            f"({self.cache_hits} from cache), "
+            f"{self.leaves_pruned} pruned ({self.prune_rate:.0%}), "
+            f"{self.bytes_decompressed:,} bytes decompressed, "
+            f"decode wall {self.wall_seconds * 1000:.1f} ms "
+            f"(speedup {self.speedup:.2f}x"
+            + (f", {self.backend}" if self.backend else "")
+            + ")"
+        )
+
+
+@dataclass
+class ScanContext:
+    """Everything a scan needs from the warehouse, with the not-thread-
+    safe pieces wrapped as main-thread callables."""
+
+    executor: object  # ExecutorBackend
+    codec_name: str
+    layout: str
+    #: Master switch for summary pruning *and* projection pushdown.
+    pruning: bool
+    #: ``(path) -> bytes`` — raw DFS read, main thread only.
+    read_payload: Callable[[str], bytes]
+    #: ``(epoch, table) -> Table | None`` — leaf-cache probe (None when
+    #: caching is off or the entry is absent); counts hits.
+    cache_get: Callable[[int, str], Optional[Table]]
+    #: ``(epoch, table, loaded, nbytes)`` — leaf-cache insert; counts
+    #: misses and evictions.  Callers must skip it for projected
+    #: decodes, which are not full tables.
+    cache_put: Callable[[int, str, Table, int], None]
+    #: Decode tasks submitted per executor round; the deadline is
+    #: re-checked between rounds.
+    chunk_size: int = 8
+
+    def decode_task(
+        self, table: str, blob: bytes, columns: tuple[str, ...] | None
+    ) -> tuple[str, str, str, bytes, tuple[str, ...] | None]:
+        """Build one picklable work unit for :func:`decode_leaf_task`."""
+        return (self.codec_name, self.layout, table, blob, columns)
+
+    def projection(self, columns) -> tuple[str, ...] | None:
+        """The column subset to decode, or None for a full decode.
+
+        Projection is only worth requesting for the columnar layout
+        (row-layout decodes can't skip columns) and only when pruning
+        pushdown is enabled — one switch governs both optimisations.
+        """
+        from repro.core.layout import COLUMNAR_LAYOUT
+
+        if not self.pruning or columns is None or self.layout != COLUMNAR_LAYOUT:
+            return None
+        return tuple(sorted(set(columns)))
+
+
+def decode_leaf_task(
+    task: tuple[str, str, str, bytes, tuple[str, ...] | None],
+) -> tuple[Table, int]:
+    """Decompress + deserialize one leaf table (runs on any backend).
+
+    Pure function over bytes: resolves its codec by name so the task
+    tuple pickles for the process backend.  Returns the table and the
+    decompressed payload size (the leaf cache charges by it).
+    """
+    from repro.compression.base import get_codec
+    from repro.core.layout import deserialize_table
+
+    codec_name, layout, table_name, blob, columns = task
+    payload = get_codec(codec_name).decompress(blob)
+    loaded = deserialize_table(table_name, payload, layout, columns=columns)
+    return loaded, len(payload)

@@ -46,6 +46,22 @@ from repro.query.sql.ast import (
     contains_aggregate,
 )
 from repro.query.sql.parser import parse_sql
+from repro.query.sql.planner import (
+    collect_column_names,
+    extract_scan_predicates,
+    scan_table_bindings,
+)
+
+
+@dataclass(frozen=True)
+class _ScanSource:
+    """A framework-backed table registered for query-time scanning."""
+
+    framework: Any
+    table: str
+    first_epoch: int
+    last_epoch: int
+    partial_ok: bool
 
 
 @dataclass
@@ -110,7 +126,15 @@ class Database:
         #: table name -> coverage of the framework scan that fed it
         #: (populated by ``register_framework(..., partial_ok=True)``).
         self.scan_coverage: dict[str, dict] = {}
+        #: table name -> read-path stats of its last framework scan
+        #: (populated by tables registered via
+        #: :meth:`register_framework_scan`).
+        self.scan_stats: dict[str, Any] = {}
         self._deadline_expires: float | None = None
+        self._scans: dict[str, _ScanSource] = {}
+        #: per-query pushdown hints: table -> (predicates, columns).
+        self._scan_hints: dict[str, tuple[list, Optional[set[str]]]] = {}
+        self._stage_marks: list[tuple[str, float]] | None = None
 
     def register_table(
         self, name: str, columns: list[str], rows: list[list[str]]
@@ -150,6 +174,56 @@ class Database:
             if columns:
                 self.register_table(table, columns, rows)
 
+    def register_framework_scan(
+        self,
+        framework,
+        tables: list[str],
+        first_epoch: int,
+        last_epoch: int,
+        partial_ok: bool = False,
+    ) -> None:
+        """Lazy variant of :meth:`register_framework`.
+
+        Rows load at *query* time instead of registration time, which
+        lets the executor push each statement's scan hints — simple
+        WHERE predicates and the set of referenced columns — into the
+        framework scan, where they prune whole leaves via day summaries
+        and skip decoding unused columns.  Pushed predicates are still
+        re-applied row-wise by the executor, so the hints only have to
+        be conservative.
+        """
+        for table in tables:
+            columns = framework.table_columns(table, first_epoch, last_epoch)
+            if not columns:
+                continue
+            upper = table.upper()
+            source = _ScanSource(
+                framework, table, first_epoch, last_epoch, partial_ok
+            )
+            self._scans[upper] = source
+
+            def loader(source=source, upper=upper):
+                predicates, projected = self._scan_hints.get(
+                    upper, ([], None)
+                )
+                __, rows = source.framework.read_rows(
+                    source.table,
+                    source.first_epoch,
+                    source.last_epoch,
+                    partial_ok=source.partial_ok,
+                    predicates=predicates,
+                    columns=projected,
+                )
+                self.scan_coverage[upper] = dict(
+                    getattr(source.framework, "last_scan_coverage", {}) or {}
+                )
+                stats = getattr(source.framework, "last_scan_stats", None)
+                if stats is not None:
+                    self.scan_stats[upper] = stats
+                return rows
+
+            self._tables[upper] = (list(columns), loader)
+
     def table_names(self) -> list[str]:
         """Registered table names, sorted."""
         return sorted(self._tables)
@@ -166,14 +240,49 @@ class Database:
                 when exceeded.
         """
         statement = parse_sql(sql) if isinstance(sql, str) else sql
+        self._plan_scan_hints(statement)
         if deadline_ms is not None and deadline_ms > 0:
             self._deadline_expires = time.monotonic() + deadline_ms / 1000.0
         try:
             return self._execute_select(statement)
         finally:
             self._deadline_expires = None
+            self._scan_hints = {}
+
+    def _plan_scan_hints(self, stmt: SelectStatement) -> None:
+        """Derive per-table pushdown hints for scan-registered tables.
+
+        Predicates are pushed for a table only when the whole statement
+        (including unions and subqueries) references it exactly once —
+        the scan loader runs once per reference, and a predicate from
+        one reference must not prune another's rows.  The projected
+        column set is global, so it is always safe to share.
+        """
+        self._scan_hints = {}
+        if not self._scans:
+            return
+        from repro.query.sql.planner import all_select_statements
+
+        selects = all_select_statements(stmt)
+        columns = collect_column_names(stmt)
+        counts: dict[str, int] = {}
+        predicates: dict[str, list] = {}
+        for select in selects:
+            for table in scan_table_bindings(select.from_item).values():
+                counts[table] = counts.get(table, 0) + 1
+            for table, found in extract_scan_predicates(select).items():
+                predicates.setdefault(table, []).extend(found)
+        for upper in self._scans:
+            pushed = (
+                predicates.get(upper, [])
+                if counts.get(upper, 0) == 1
+                else []
+            )
+            self._scan_hints[upper] = (pushed, columns)
 
     def _check_deadline(self, stage: str) -> None:
+        if self._stage_marks is not None:
+            self._stage_marks.append((stage, time.perf_counter()))
         if (
             self._deadline_expires is not None
             and time.monotonic() >= self._deadline_expires
@@ -248,6 +357,45 @@ class Database:
                     len(lines), f"  Filter (post-join) [{predicate}]"
                 )
         return "\n".join(lines)
+
+    def explain_analyze(
+        self, sql: str | SelectStatement, deadline_ms: int | None = None
+    ) -> tuple[QueryResult, str]:
+        """Run the query and report the plan with actual execution data.
+
+        Returns the result plus a report combining :meth:`explain`'s
+        plan with per-stage wall-clock timings and, for tables
+        registered via :meth:`register_framework_scan`, the scan's
+        read-path stats (leaves pruned, cache hits, bytes decompressed,
+        decode parallelism).
+        """
+        stmt = parse_sql(sql) if isinstance(sql, str) else sql
+        self._stage_marks = [("start", time.perf_counter())]
+        try:
+            result = self.execute(stmt, deadline_ms)
+            self._stage_marks.append(("finish", time.perf_counter()))
+            marks = self._stage_marks
+        finally:
+            self._stage_marks = None
+        lines = [self.explain(stmt), "", f"Actual: {len(result.rows)} rows"]
+        prev_at = marks[0][1]
+        for stage, at in marks[1:]:
+            label = "output" if stage == "finish" else stage
+            lines.append(f"  stage {label}: +{(at - prev_at) * 1000:.2f} ms")
+            prev_at = at
+        total = marks[-1][1] - marks[0][1]
+        lines.append(f"  total: {total * 1000:.2f} ms")
+        for table in sorted(self.scan_stats):
+            stats = self.scan_stats[table]
+            lines.append(f"  scan {table}: {stats.describe()}")
+        for table in sorted(self.scan_coverage):
+            coverage = self.scan_coverage[table]
+            pruned = coverage.get("epochs_pruned")
+            if pruned:
+                lines.append(
+                    f"  scan {table}: {len(pruned)} epochs pruned by summary"
+                )
+        return result, "\n".join(lines)
 
     def _explain_from(
         self,

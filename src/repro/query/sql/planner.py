@@ -1,0 +1,317 @@
+"""Static planning helpers for scan-level pushdown.
+
+The SQL executor applies every WHERE conjunct row-wise, so scan-level
+pruning only needs to be *conservative*: a leaf may be skipped when its
+day summary proves that no row in it can satisfy some conjunct that
+will be ANDed over the output anyway.  These helpers derive, from a
+parsed statement, the two hints a :class:`~repro.core.spate.Spate` scan
+can exploit:
+
+- :func:`extract_scan_predicates` — simple ``column op literal``
+  conjuncts attributable to one scan table, checkable against a
+  summary's per-attribute :class:`~repro.index.highlights.NumericStats`
+  (or its per-cell map, for equality on the table's cell column);
+- :func:`collect_column_names` — the set of columns the statement can
+  ever touch, so the columnar decoder can hop over the rest (``None``
+  when a ``*`` anywhere makes the set unbounded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.index.highlights import CELL_COLUMN
+from repro.query.sql.ast import (
+    Between,
+    BinaryOp,
+    CaseExpression,
+    ColumnRef,
+    Expression,
+    FromItem,
+    FunctionCall,
+    InList,
+    IsNull,
+    Join,
+    Like,
+    Literal,
+    ScalarSubquery,
+    SelectStatement,
+    Star,
+    SubqueryRef,
+    TableRef,
+    UnaryOp,
+)
+
+#: Comparison operators a summary can disprove via min/max bounds.
+_RANGE_OPS = ("=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class ScanPredicate:
+    """One pushable ``column op value`` filter on a scan table."""
+
+    column: str
+    op: str
+    value: object  # int | float | str (strings only matter for cells)
+
+
+def disproved_by_summary(summary, table: str, predicates) -> bool:
+    """True when ``summary`` proves no row can pass every predicate.
+
+    Summaries are supersets of the leaves below them (decay and fungus
+    only shrink leaves), so disproof here is sound for each leaf.
+    """
+    for predicate in predicates:
+        value = predicate.value
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            if summary.disproves_predicate(
+                table, predicate.column, predicate.op, value
+            ):
+                return True
+        elif (
+            predicate.op == "="
+            and predicate.column == CELL_COLUMN.get(table)
+            and summary.excludes_cells(table, {str(value)})
+        ):
+            return True
+    return False
+
+
+def all_select_statements(stmt: SelectStatement) -> list[SelectStatement]:
+    """The statement plus every nested SELECT (union branches, FROM
+    subqueries, IN / scalar subqueries) — each is a separate scan
+    context for pushdown purposes."""
+    out = [stmt]
+    for branch, __ in stmt.unions:
+        out.extend(all_select_statements(branch))
+    out.extend(_selects_in_from(stmt.from_item))
+    for expr in [i.expression for i in stmt.items] + [
+        stmt.where,
+        stmt.having,
+        *stmt.group_by,
+        *[o.expression for o in stmt.order_by],
+    ]:
+        if expr is not None:
+            out.extend(_selects_in_expr(expr))
+    return out
+
+
+def _selects_in_from(item: Optional[FromItem]) -> list[SelectStatement]:
+    if isinstance(item, SubqueryRef):
+        return all_select_statements(item.select)
+    if isinstance(item, Join):
+        out = _selects_in_from(item.left) + _selects_in_from(item.right)
+        if item.condition is not None:
+            out.extend(_selects_in_expr(item.condition))
+        return out
+    return []
+
+
+def _selects_in_expr(expr: Expression) -> list[SelectStatement]:
+    if isinstance(expr, ScalarSubquery):
+        return all_select_statements(expr.select)
+    if isinstance(expr, InList):
+        out = _selects_in_expr(expr.operand)
+        if expr.subquery is not None:
+            out.extend(all_select_statements(expr.subquery))
+        for item in expr.items:
+            out.extend(_selects_in_expr(item))
+        return out
+    if isinstance(expr, BinaryOp):
+        return _selects_in_expr(expr.left) + _selects_in_expr(expr.right)
+    if isinstance(expr, UnaryOp):
+        return _selects_in_expr(expr.operand)
+    if isinstance(expr, Between):
+        return (
+            _selects_in_expr(expr.operand)
+            + _selects_in_expr(expr.low)
+            + _selects_in_expr(expr.high)
+        )
+    if isinstance(expr, (Like, IsNull)):
+        return _selects_in_expr(expr.operand)
+    if isinstance(expr, FunctionCall):
+        return [s for a in expr.args for s in _selects_in_expr(a)]
+    if isinstance(expr, CaseExpression):
+        parts = [e for pair in expr.branches for e in pair]
+        if expr.default is not None:
+            parts.append(expr.default)
+        return [s for e in parts for s in _selects_in_expr(e)]
+    return []
+
+
+def scan_table_bindings(item: Optional[FromItem]) -> dict[str, str]:
+    """Map binding name -> upper-cased table name for every base-table
+    reference in a FROM tree (subqueries are opaque)."""
+    out: dict[str, str] = {}
+    if isinstance(item, TableRef):
+        out[item.binding] = item.name.upper()
+    elif isinstance(item, Join):
+        out.update(scan_table_bindings(item.left))
+        out.update(scan_table_bindings(item.right))
+    return out
+
+
+def extract_scan_predicates(
+    stmt: SelectStatement,
+) -> dict[str, list[ScanPredicate]]:
+    """Pushable predicates per scanned table (upper-cased name).
+
+    Only top-level WHERE conjuncts of the shape ``column op literal``
+    qualify: anything under an OR, involving two columns, or built from
+    functions cannot prune a whole leaf soundly.  A bare (unqualified)
+    column is attributed to a table only when the FROM clause is that
+    single table — with a join in play it could bind to either side.
+    """
+    bindings = scan_table_bindings(stmt.from_item)
+    sole_binding = (
+        next(iter(bindings)) if len(bindings) == 1 else None
+    )
+    out: dict[str, list[ScanPredicate]] = {}
+    for conjunct in _conjuncts(stmt.where):
+        parsed = _simple_comparison(conjunct)
+        if parsed is None:
+            continue
+        ref, op, value = parsed
+        binding = ref.table if ref.table is not None else sole_binding
+        table = bindings.get(binding) if binding is not None else None
+        if table is None:
+            continue
+        out.setdefault(table, []).append(
+            ScanPredicate(column=ref.name, op=op, value=value)
+        )
+    return out
+
+
+def _conjuncts(expr: Optional[Expression]) -> list[Expression]:
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+
+
+def _simple_comparison(expr: Expression):
+    """Decompose ``column op literal`` (either orientation), else None."""
+    if not isinstance(expr, BinaryOp) or expr.op not in _RANGE_OPS:
+        return None
+    left, right = expr.left, expr.right
+    if isinstance(left, ColumnRef) and isinstance(right, Literal):
+        return left, expr.op, right.value
+    if isinstance(left, Literal) and isinstance(right, ColumnRef):
+        return right, _FLIPPED[expr.op], left.value
+    return None
+
+
+def collect_column_names(stmt: SelectStatement) -> Optional[set[str]]:
+    """Every column name the statement may read, or None when a ``*``
+    (anywhere, including subqueries and unions) makes it unbounded.
+
+    The set is a global over-approximation across all tables — safe for
+    projection pushdown because a projected decode keeps the full
+    stored schema and row width, merely skipping the decode of columns
+    outside the set.
+    """
+    names: set[str] = set()
+    if _collect_stmt(stmt, names):
+        return names
+    return None
+
+
+def _collect_stmt(stmt: SelectStatement, names: set[str]) -> bool:
+    for item in stmt.items:
+        if not _collect_expr(item.expression, names):
+            return False
+    if stmt.from_item is not None and not _collect_from(stmt.from_item, names):
+        return False
+    for expr in (stmt.where, stmt.having):
+        if expr is not None and not _collect_expr(expr, names):
+            return False
+    for key in stmt.group_by:
+        if not _collect_expr(key, names):
+            return False
+    for order in stmt.order_by:
+        if not _collect_expr(order.expression, names):
+            return False
+    for branch, __ in stmt.unions:
+        if not _collect_stmt(branch, names):
+            return False
+    return True
+
+
+def _collect_from(item: FromItem, names: set[str]) -> bool:
+    if isinstance(item, TableRef):
+        return True
+    if isinstance(item, SubqueryRef):
+        return _collect_stmt(item.select, names)
+    if isinstance(item, Join):
+        if item.condition is not None and not _collect_expr(
+            item.condition, names
+        ):
+            return False
+        return _collect_from(item.left, names) and _collect_from(
+            item.right, names
+        )
+    return False
+
+
+def _collect_expr(expr: Expression, names: set[str]) -> bool:
+    if isinstance(expr, Star):
+        return False
+    if isinstance(expr, ColumnRef):
+        names.add(expr.name)
+        return True
+    if isinstance(expr, Literal):
+        return True
+    if isinstance(expr, BinaryOp):
+        return _collect_expr(expr.left, names) and _collect_expr(
+            expr.right, names
+        )
+    if isinstance(expr, UnaryOp):
+        return _collect_expr(expr.operand, names)
+    if isinstance(expr, Between):
+        return all(
+            _collect_expr(e, names)
+            for e in (expr.operand, expr.low, expr.high)
+        )
+    if isinstance(expr, InList):
+        if not _collect_expr(expr.operand, names):
+            return False
+        if expr.subquery is not None and not _collect_stmt(
+            expr.subquery, names
+        ):
+            return False
+        return all(_collect_expr(i, names) for i in expr.items)
+    if isinstance(expr, (Like, IsNull)):
+        return _collect_expr(expr.operand, names)
+    if isinstance(expr, FunctionCall):
+        # COUNT(*) reads no particular column; a bare Star argument is
+        # row-existence, not a schema-wide projection.
+        return all(
+            _collect_expr(a, names)
+            for a in expr.args
+            if not isinstance(a, Star)
+        )
+    if isinstance(expr, CaseExpression):
+        parts = [e for pair in expr.branches for e in pair]
+        if expr.default is not None:
+            parts.append(expr.default)
+        return all(_collect_expr(e, names) for e in parts)
+    if isinstance(expr, ScalarSubquery):
+        return _collect_stmt(expr.select, names)
+    return True
+
+
+__all__ = [
+    "ScanPredicate",
+    "all_select_statements",
+    "collect_column_names",
+    "disproved_by_summary",
+    "extract_scan_predicates",
+    "scan_table_bindings",
+]

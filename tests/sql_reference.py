@@ -1,0 +1,277 @@
+"""Naive reference SQL engine for the differential harness.
+
+The fuzzer does not generate SQL text directly: it generates a
+constrained :class:`QuerySpec`, which this module can both *render* to
+SQL (fed to the production ``Database.execute`` against the warehouse
+scan path, with predicate pushdown and parallel decode active) and
+*evaluate* directly over plainly materialized rows with the obvious
+nested-loop / dict-of-lists algorithms.  Any divergence between the two
+answers is a bug in the production path.
+
+The evaluator mirrors the production engine's documented coercion
+rules — ``""`` and ``None`` are NULL, comparisons are numeric when both
+sides coerce to numbers and lexicographic otherwise, NULL comparisons
+are false, aggregates drop NULLs — but shares none of its code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# ----------------------------------------------------------------------
+# Query specs
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Filter:
+    """One WHERE conjunct: ``column op literal``."""
+
+    table: str
+    column: str
+    op: str  # =, !=, <, <=, >, >=
+    value: object  # int or str literal
+
+
+@dataclass(frozen=True)
+class Agg:
+    """One aggregate select item; ``column=None`` means ``COUNT(*)``."""
+
+    func: str  # COUNT, SUM, AVG, MIN, MAX
+    column: str | None = None
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """Equi-join of the base table with one other table."""
+
+    table: str
+    left_column: str
+    right_column: str
+    kind: str = "inner"  # inner | left
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A constrained SELECT: filters, optional join/grouping/limit."""
+
+    table: str
+    select: tuple[tuple[str, str], ...] = ()  # (table, column) projections
+    aggs: tuple[Agg, ...] = ()
+    filters: tuple[Filter, ...] = ()
+    join: JoinSpec | None = None
+    group_by: tuple[str, ...] = ()  # base-table columns
+    limit: int | None = None
+
+
+# ----------------------------------------------------------------------
+# Rendering to SQL
+# ----------------------------------------------------------------------
+
+
+def _ref(spec: QuerySpec, table: str, column: str) -> str:
+    """Qualified only when a join makes bare names ambiguous."""
+    return f"{table}.{column}" if spec.join is not None else column
+
+
+def _literal(value: object) -> str:
+    if isinstance(value, int):
+        return str(value)
+    return "'" + str(value).replace("'", "''") + "'"
+
+
+def render_sql(spec: QuerySpec) -> str:
+    """Spec -> SELECT text; every output column gets an explicit alias."""
+    items: list[str] = []
+    for i, (table, column) in enumerate(spec.select):
+        items.append(f"{_ref(spec, table, column)} AS c{i}")
+    for i, agg in enumerate(spec.aggs):
+        arg = "*" if agg.column is None else _ref(spec, spec.table, agg.column)
+        items.append(f"{agg.func}({arg}) AS a{i}")
+
+    sql = f"SELECT {', '.join(items)} FROM {spec.table}"
+    if spec.join is not None:
+        keyword = "LEFT JOIN" if spec.join.kind == "left" else "JOIN"
+        sql += (
+            f" {keyword} {spec.join.table} ON "
+            f"{spec.table}.{spec.join.left_column} = "
+            f"{spec.join.table}.{spec.join.right_column}"
+        )
+    if spec.filters:
+        conjuncts = [
+            f"{_ref(spec, f.table, f.column)} {f.op} {_literal(f.value)}"
+            for f in spec.filters
+        ]
+        sql += " WHERE " + " AND ".join(conjuncts)
+    if spec.group_by:
+        sql += " GROUP BY " + ", ".join(
+            _ref(spec, spec.table, c) for c in spec.group_by
+        )
+    if spec.limit is not None:
+        sql += f" LIMIT {spec.limit}"
+    return sql
+
+
+# ----------------------------------------------------------------------
+# Naive evaluation
+# ----------------------------------------------------------------------
+
+
+def _is_null(value) -> bool:
+    return value is None or value == ""
+
+
+def _number(value):
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, str):
+        try:
+            return int(value)
+        except ValueError:
+            try:
+                return float(value)
+            except ValueError:
+                return None
+    return None
+
+
+def _compare(left, right) -> int:
+    ln, rn = _number(left), _number(right)
+    if ln is not None and rn is not None:
+        return (ln > rn) - (ln < rn)
+    ls, rs = str(left), str(right)
+    return (ls > rs) - (ls < rs)
+
+
+def _matches(value, op: str, literal) -> bool:
+    if _is_null(value) or _is_null(literal):
+        return False
+    cmp = _compare(value, literal)
+    return {
+        "=": cmp == 0,
+        "!=": cmp != 0,
+        "<": cmp < 0,
+        "<=": cmp <= 0,
+        ">": cmp > 0,
+        ">=": cmp >= 0,
+    }[op]
+
+
+def _join_key(value):
+    number = _number(value)
+    return number if number is not None else value
+
+
+def _aggregate(agg: Agg, rows: list[list], idx: int | None):
+    if agg.func == "COUNT" and agg.column is None:
+        return len(rows)
+    values = [row[idx] for row in rows if not _is_null(row[idx])]
+    if agg.func == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if agg.func in ("SUM", "AVG"):
+        numbers = [n for n in (_number(v) for v in values) if n is not None]
+        if not numbers:
+            return None
+        total = sum(numbers)
+        return total if agg.func == "SUM" else total / len(numbers)
+    best = values[0]
+    for value in values[1:]:
+        cmp = _compare(value, best)
+        if (agg.func == "MIN" and cmp < 0) or (agg.func == "MAX" and cmp > 0):
+            best = value
+    return best
+
+
+@dataclass
+class _Relation:
+    """Rows plus a (table, column) -> index resolver."""
+
+    fields: list[tuple[str, str]]
+    rows: list[list]
+    index: dict[tuple[str, str], int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.index = {f: i for i, f in enumerate(self.fields)}
+
+    def at(self, table: str, column: str) -> int:
+        return self.index[(table, column)]
+
+
+def evaluate(
+    spec: QuerySpec, tables: dict[str, tuple[list[str], list[list[str]]]]
+) -> tuple[list[str], list[list]]:
+    """Evaluate ``spec`` over materialized ``tables`` (name -> cols, rows).
+
+    Returns ``(columns, rows)`` in the same order the production engine
+    produces: scan order for plain queries (rows are fed in scan order),
+    group-signature order for grouped ones.
+    """
+    base_columns, base_rows = tables[spec.table]
+    rel = _Relation(
+        fields=[(spec.table, c) for c in base_columns],
+        rows=[list(r) for r in base_rows],
+    )
+
+    if spec.join is not None:
+        right_columns, right_rows = tables[spec.join.table]
+        right_fields = [(spec.join.table, c) for c in right_columns]
+        right_at = {f: i for i, f in enumerate(right_fields)}
+        left_idx = rel.at(spec.table, spec.join.left_column)
+        right_idx = right_at[(spec.join.table, spec.join.right_column)]
+        bucket: dict[object, list[list]] = {}
+        for row in right_rows:
+            bucket.setdefault(_join_key(row[right_idx]), []).append(list(row))
+        joined: list[list] = []
+        for lrow in rel.rows:
+            matched = False
+            for rrow in bucket.get(_join_key(lrow[left_idx]), []):
+                if _matches(lrow[left_idx], "=", rrow[right_idx]):
+                    joined.append(lrow + rrow)
+                    matched = True
+            if not matched and spec.join.kind == "left":
+                joined.append(lrow + [None] * len(right_fields))
+        rel = _Relation(fields=rel.fields + right_fields, rows=joined)
+
+    for flt in spec.filters:
+        idx = rel.at(flt.table, flt.column)
+        rel.rows = [r for r in rel.rows if _matches(r[idx], flt.op, flt.value)]
+
+    columns = [f"c{i}" for i in range(len(spec.select))] + [
+        f"a{i}" for i in range(len(spec.aggs))
+    ]
+
+    if spec.group_by or spec.aggs:
+        key_idx = [rel.at(spec.table, c) for c in spec.group_by]
+        groups: dict[tuple, list[list]] = {}
+        if spec.group_by:
+            for row in rel.rows:
+                groups.setdefault(
+                    tuple(row[i] for i in key_idx), []
+                ).append(row)
+        else:
+            groups[()] = rel.rows
+        out: list[list] = []
+        for sig in sorted(groups):
+            group_rows = groups[sig]
+            row: list = []
+            for table, column in spec.select:
+                row.append(group_rows[0][rel.at(table, column)])
+            for agg in spec.aggs:
+                idx = (
+                    None
+                    if agg.column is None
+                    else rel.at(spec.table, agg.column)
+                )
+                row.append(_aggregate(agg, group_rows, idx))
+            out.append(row)
+    else:
+        pick = [rel.at(table, column) for table, column in spec.select]
+        out = [[row[i] for i in pick] for row in rel.rows]
+
+    if spec.limit is not None:
+        out = out[: spec.limit]
+    return columns, out

@@ -1,0 +1,251 @@
+"""Parallel, pruned query execution must be invisible in the answers.
+
+Three contracts from the read-path redesign:
+
+- **identity** — fanning leaf decodes out over any executor backend and
+  pruning leaves via day summaries must leave exploration answers
+  byte-identical to the serial, unpruned reference path;
+- **deadlines** — ``deadline_ms`` + ``partial_ok`` still cancel cleanly
+  under a parallel scan: skipped epochs are itemized exactly and no
+  worker threads leak beyond the shared pool;
+- **decay safety** — pruning stays sound after decay and fungus rewrite
+  leaves underneath their (now superset) day summaries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import threading
+import types
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro.query.explore as explore_mod
+from repro.engine.executor import get_executor
+from repro.errors import QueryDeadlineError
+from repro.spatial.geometry import BoundingBox
+
+PARALLEL_BACKENDS = ["thread", "process"]
+ALL_BACKENDS = ["serial", *PARALLEL_BACKENDS]
+
+
+def configure(spate, backend: str, pruning: bool):
+    """Point an existing warehouse at another executor / pruning mode."""
+    spate.config = dataclasses.replace(
+        spate.config, executor=backend, query_pruning=pruning
+    )
+    spate.executor = get_executor(backend, workers=2)
+    return spate
+
+
+def answer(result):
+    """Everything a caller can observe from an exploration answer."""
+    return (
+        result.columns,
+        result.records,
+        {
+            attr: (s.count, s.total, s.minimum, s.maximum)
+            for attr, s in sorted(result.aggregates.items())
+        },
+    )
+
+
+def centered_box(area, fx: float, fy: float, fw: float) -> BoundingBox:
+    return BoundingBox(
+        area.min_x + fx * area.width,
+        area.min_y + fy * area.height,
+        min(area.min_x + (fx + fw) * area.width, area.max_x),
+        min(area.min_y + (fy + fw) * area.height, area.max_y),
+    )
+
+
+class TestParallelPrunedIdentity:
+    """Parallel + pruned answers equal the serial unpruned reference."""
+
+    @given(
+        fx=st.floats(0.0, 0.8),
+        fy=st.floats(0.0, 0.8),
+        fw=st.floats(0.05, 0.4),
+        first=st.integers(0, 40),
+        span=st.integers(0, 10),
+    )
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_property_box_queries_identical_across_backends(
+        self, spate_day, fx, fy, fw, first, span
+    ):
+        last = min(first + span, 47)
+        box = centered_box(spate_day.area, fx, fy, fw)
+
+        configure(spate_day, "serial", pruning=False)
+        reference = spate_day.explore("CDR", ("downflux",), box, first, last)
+        assert not reference.coverage.epochs_pruned
+
+        for backend in ALL_BACKENDS:
+            configure(spate_day, backend, pruning=True)
+            result = spate_day.explore("CDR", ("downflux",), box, first, last)
+            assert answer(result) == answer(reference), backend
+            assert result.coverage.complete
+            served = set(result.coverage.epochs_served)
+            pruned = set(result.coverage.epochs_pruned)
+            assert not served & pruned
+            assert served | pruned == set(reference.coverage.epochs_served)
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_full_window_scan_identical(self, spate_day, backend):
+        configure(spate_day, "serial", pruning=False)
+        reference = spate_day.explore("CDR", ("upflux", "duration_s"), None, 0, 47)
+        configure(spate_day, backend, pruning=True)
+        result = spate_day.explore("CDR", ("upflux", "duration_s"), None, 0, 47)
+        assert answer(result) == answer(reference)
+        assert result.scan_stats.backend == backend
+
+    def test_scan_stats_account_for_every_leaf(self, spate_day):
+        configure(spate_day, "thread", pruning=True)
+        box = centered_box(spate_day.area, 0.0, 0.0, 0.25)
+        result = spate_day.explore("CDR", ("downflux",), box, 0, 47)
+        stats = result.scan_stats
+        assert stats.leaves_scanned + stats.leaves_pruned == 48
+        if stats.leaves_scanned:
+            assert stats.bytes_decompressed > 0 or stats.cache_hits > 0
+
+
+class TestDeadlineUnderParallelScan:
+    """deadline_ms + partial_ok cancellation with a fanned-out decode."""
+
+    @pytest.fixture()
+    def ticking_clock(self, monkeypatch):
+        """Deterministic monotonic clock: one second per observation."""
+        ticks = itertools.count(start=0.0, step=1.0)
+        fake = types.SimpleNamespace(monotonic=lambda: next(ticks))
+        monkeypatch.setattr(explore_mod, "time", fake)
+        return fake
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_partial_deadline_itemizes_exactly(
+        self, spate_day, ticking_clock, backend
+    ):
+        configure(spate_day, backend, pruning=True)
+        result = spate_day.explore(
+            "CDR", ("downflux",), None, 0, 47,
+            deadline_ms=10_000, partial_ok=True,
+        )
+        coverage = result.coverage
+        assert coverage.deadline_hit
+        assert not coverage.complete
+        served = set(coverage.epochs_served)
+        skipped = set(coverage.epochs_skipped)
+        assert skipped, "the ticking clock must expire mid-scan"
+        assert set(coverage.epochs_skipped.values()) == {"deadline"}
+        assert not served & skipped
+        assert served | skipped == set(range(48))
+        # The partial answer is a prefix: every served record belongs to
+        # an epoch before every skipped one (epoch-order gatekeeping).
+        if served and skipped:
+            assert max(served) < min(skipped)
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_strict_deadline_raises(self, spate_day, ticking_clock, backend):
+        configure(spate_day, backend, pruning=True)
+        with pytest.raises(QueryDeadlineError):
+            spate_day.explore(
+                "CDR", ("downflux",), None, 0, 47, deadline_ms=10_000
+            )
+
+    def test_no_worker_threads_leak(self, spate_day, ticking_clock):
+        configure(spate_day, "thread", pruning=True)
+        spate_day.explore(  # warm the shared pool
+            "CDR", ("downflux",), None, 0, 5, partial_ok=True
+        )
+        before = threading.active_count()
+        for _ in range(5):
+            spate_day.explore(
+                "CDR", ("downflux",), None, 0, 47,
+                deadline_ms=10_000, partial_ok=True,
+            )
+        # Pools are shared per (kind, workers): repeated cancelled
+        # queries must reuse the same two workers, never stack new ones.
+        assert threading.active_count() <= before
+
+    def test_deadline_answer_is_a_served_prefix_of_full_answer(
+        self, spate_day, monkeypatch
+    ):
+        # Scan tick budgets until one expires mid-decode (after the
+        # gatekeeping pass but before the last chunk), so part of the
+        # window is served and the rest is cancelled.
+        configure(spate_day, "thread", pruning=True)
+        partial = None
+        for budget_ms in range(48_000, 60_000, 1_000):
+            ticks = itertools.count(start=0.0, step=1.0)
+            fake = types.SimpleNamespace(monotonic=lambda: next(ticks))
+            monkeypatch.setattr(explore_mod, "time", fake)
+            candidate = spate_day.explore(
+                "CDR", ("downflux",), None, 0, 47,
+                deadline_ms=budget_ms, partial_ok=True,
+            )
+            if 0 < len(candidate.coverage.epochs_served) < 48:
+                partial = candidate
+                break
+        assert partial is not None, "no budget expired mid-decode"
+        served = partial.coverage.epochs_served
+        configure(spate_day, "serial", pruning=False)
+        full = spate_day.explore(
+            "CDR", ("downflux",), None, min(served), max(served)
+        )
+        assert answer(partial) == answer(full)
+
+
+class TestPruningIsDecaySafe:
+    """Summaries outlive decay/fungus as supersets: pruning stays sound."""
+
+    @pytest.fixture()
+    def decayed(self, spate_day):
+        report = spate_day.decay_groups(older_than_epoch=30, keep_fraction=0.2)
+        assert report.leaves_rewritten > 0
+        return spate_day
+
+    @given(
+        fx=st.floats(0.0, 0.7),
+        fy=st.floats(0.0, 0.7),
+        fw=st.floats(0.1, 0.3),
+    )
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_property_box_pruning_after_fungus(self, decayed, fx, fy, fw):
+        box = centered_box(decayed.area, fx, fy, fw)
+        configure(decayed, "serial", pruning=False)
+        reference = decayed.explore("CDR", ("downflux",), box, 0, 47)
+        configure(decayed, "thread", pruning=True)
+        result = decayed.explore("CDR", ("downflux",), box, 0, 47)
+        assert answer(result) == answer(reference)
+
+    def test_sql_predicate_pruning_after_fungus(self, decayed):
+        sql = (
+            "SELECT call_type, COUNT(*) AS n, SUM(duration_s) AS total "
+            "FROM CDR WHERE duration_s >= 300 GROUP BY call_type"
+        )
+        configure(decayed, "serial", pruning=False)
+        reference = decayed.sql(sql)
+        configure(decayed, "thread", pruning=True)
+        result = decayed.sql(sql)
+        assert result.columns == reference.columns
+        assert result.rows == reference.rows
+
+    def test_index_version_invalidates_query_cache_on_decay(self, spate_day):
+        spate_day.config = dataclasses.replace(
+            spate_day.config, query_cache_entries=8
+        )
+        from repro.core.query_cache import QueryResultCache
+
+        spate_day.query_cache = QueryResultCache(8)
+        first = spate_day.explore("CDR", ("downflux",), None, 0, 47)
+        again = spate_day.explore("CDR", ("downflux",), None, 0, 47)
+        assert answer(again) == answer(first)
+        assert spate_day.query_cache.hits == 1
+
+        spate_day.decay_groups(older_than_epoch=30, keep_fraction=0.2)
+        after = spate_day.explore("CDR", ("downflux",), None, 0, 47)
+        assert spate_day.query_cache.hits == 1  # stale entry not served
+        assert len(after.records) <= len(first.records)
