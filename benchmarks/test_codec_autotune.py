@@ -1,0 +1,92 @@
+"""Compression tuning: adaptive per-leaf codec selection vs statics.
+
+Table I fixes one codec for the warehouse; the autotune selector
+instead picks per table payload.  Over a seeded trace the adaptive
+warehouse must store no more than the best static candidate within a
+2% tolerance (it usually stores *less*, because different tables favour
+different codecs), and a background recompaction pass can only shrink
+it further.  The per-codec comparison is persisted as the
+``codec_autotune`` results artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Spate, SpateConfig
+from repro.core.config import AutotuneConfig
+from repro.dfs.filesystem import SimulatedDFS
+from repro.telco import TelcoTraceGenerator, TraceConfig
+
+from conftest import report
+
+CANDIDATES = ("gzip-ref", "bz2-ref", "7z-ref")
+EPOCHS = 12
+TOLERANCE = 1.02
+
+
+def _leaf_bytes(spate: Spate) -> int:
+    return sum(
+        leaf.compressed_bytes
+        for leaf in spate.index.leaves()
+        if not leaf.decayed
+    )
+
+
+@pytest.fixture(scope="module")
+def tuning_run():
+    generator = TelcoTraceGenerator(TraceConfig(scale=0.002, days=1, seed=11))
+    cells = generator.cells_table()
+    snapshots = [generator.snapshot(epoch) for epoch in range(EPOCHS)]
+
+    def build(codec: str) -> Spate:
+        spate = Spate(
+            SpateConfig(
+                codec=codec,
+                autotune=AutotuneConfig(
+                    candidates=CANDIDATES, recompact_after_epochs=4
+                ),
+            ),
+            dfs=SimulatedDFS(block_size=1 << 20, default_replication=3),
+        )
+        spate.register_cells(cells)
+        for snapshot in snapshots:
+            spate.ingest(snapshot)
+        spate.finalize()
+        return spate
+
+    auto = build("auto")
+    static_bytes = {name: _leaf_bytes(build(name)) for name in CANDIDATES}
+    return auto, static_bytes
+
+
+def test_autotune_beats_best_static_within_tolerance(benchmark, tuning_run):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    auto, static_bytes = tuning_run
+    auto_bytes = _leaf_bytes(auto)
+    recompaction = auto.recompact()
+    recompacted_bytes = _leaf_bytes(auto)
+    best = min(static_bytes, key=lambda name: static_bytes[name])
+
+    lines = [
+        "Compression tuning: leaf bytes per codec choice "
+        f"(scale=0.002, {EPOCHS} epochs)",
+        f"{'codec':<14} {'leaf bytes':>12}",
+    ]
+    for name in sorted(static_bytes, key=lambda name: static_bytes[name]):
+        marker = "  <- best static" if name == best else ""
+        lines.append(f"{name:<14} {static_bytes[name]:>12,}{marker}")
+    lines.append(f"{'auto':<14} {auto_bytes:>12,}")
+    lines.append(
+        f"{'auto+recompact':<14} {recompacted_bytes:>12,}  "
+        f"({recompaction.describe()})"
+    )
+    lines.append(
+        f"auto / best static = {auto_bytes / static_bytes[best]:.4f} "
+        f"(tolerance {TOLERANCE:.2f})"
+    )
+    lines.append(auto.codec_selector.report.describe())
+    report("codec_autotune", "\n".join(lines))
+
+    assert auto_bytes <= static_bytes[best] * TOLERANCE
+    assert recompacted_bytes <= auto_bytes

@@ -17,6 +17,8 @@ Commands:
     checkpoint    ingest a durable trace and report checkpoint/WAL state
     fsck          storage health check; exit code reflects the verdict
     bench-codecs  Table-I style codec microbenchmark
+    tune          ingest with codec=auto, print the per-codec autotune report
+    recompact     run the background densest-codec rewrite over aged leaves
 
 Examples:
     python -m repro.cli ingest --scale 0.01 --days 1 --codec gzip
@@ -27,6 +29,8 @@ Examples:
     python -m repro.cli chaos --days 7 --corruption-rate 0.05 --crash-rate 0.02
     python -m repro.cli chaos --kill-at-epoch 30 --report-file chaos.txt
     python -m repro.cli recover --kill-at-epoch 20 --verify
+    python -m repro.cli tune --compare --train-dicts
+    python -m repro.cli recompact --codec auto --recompact-after 8
 """
 
 from __future__ import annotations
@@ -37,6 +41,7 @@ import sys
 from repro.compression import available_codecs, get_codec
 from repro.compression.base import StatsAccumulator
 from repro.core import Spate, SpateConfig
+from repro.core.config import AUTO_CODEC, AutotuneConfig
 from repro.core.layout import LAYOUTS
 from repro.engine.executor import EXECUTOR_BACKENDS
 from repro.spatial.geometry import BoundingBox
@@ -548,6 +553,113 @@ def cmd_bench_codecs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _leaf_bytes(spate: Spate) -> int:
+    """Compressed bytes held by live snapshot leaves (the part the
+    codec choice controls; summaries/WAL are codec-independent)."""
+    return sum(
+        leaf.compressed_bytes
+        for leaf in spate.index.leaves()
+        if not leaf.decayed
+    )
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    """``tune``: ingest a trace with ``codec="auto"`` and print the
+    autotune report — per-candidate mean ratio, compress/decompress
+    latency and win counts.  With ``--compare`` the same trace is also
+    ingested once per static candidate, so the report shows auto's
+    stored bytes against the best fixed choice."""
+    candidates = tuple(args.candidates or AutotuneConfig().candidates)
+    generator = TelcoTraceGenerator(
+        TraceConfig(scale=args.scale, days=args.days, seed=args.seed)
+    )
+    cells = generator.cells_table()
+    snapshots = list(generator.generate())
+
+    def build(codec: str, autotune: AutotuneConfig) -> Spate:
+        warehouse = Spate(SpateConfig(
+            codec=codec,
+            layout=args.layout,
+            executor=args.executor,
+            leaf_cache_bytes=args.leaf_cache_bytes,
+            autotune=autotune,
+        ))
+        warehouse.register_cells(cells)
+        for snapshot in snapshots:
+            warehouse.ingest(snapshot)
+        warehouse.finalize()
+        return warehouse
+
+    autotune = AutotuneConfig(
+        candidates=candidates,
+        sample_bytes=args.sample_bytes,
+        latency_weight=args.latency_weight,
+        train_dictionaries=args.train_dicts,
+    )
+    spate = build(AUTO_CODEC, autotune)
+    auto_bytes = _leaf_bytes(spate)
+    lines = [
+        spate.codec_selector.report.describe(),
+        f"{'auto':<12} leaf bytes: {auto_bytes:,}",
+    ]
+    if args.compare:
+        totals = {
+            name: _leaf_bytes(build(name, autotune)) for name in candidates
+        }
+        best = min(totals, key=lambda name: totals[name])
+        for name in sorted(totals, key=lambda name: totals[name]):
+            marker = "  <- best static" if name == best else ""
+            lines.append(f"{name:<12} leaf bytes: {totals[name]:,}{marker}")
+        lines.append(
+            f"auto / best static: {auto_bytes / max(totals[best], 1):.4f}x"
+        )
+    report = "\n".join(lines)
+    print(report)
+    if args.report_file:
+        with open(args.report_file, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+def cmd_recompact(args: argparse.Namespace) -> int:
+    """``recompact``: ingest a trace, run the background densest-codec
+    rewrite over leaves older than ``--recompact-after`` epochs, print
+    the pass report, and verify the whole-window exploration answer is
+    byte-identical before and after.  Exit 0 only when it is."""
+    generator = TelcoTraceGenerator(
+        TraceConfig(scale=args.scale, days=args.days, seed=args.seed)
+    )
+    spate = Spate(SpateConfig(
+        codec=args.codec,
+        layout=args.layout,
+        executor=args.executor,
+        leaf_cache_bytes=args.leaf_cache_bytes,
+        autotune=AutotuneConfig(
+            candidates=tuple(args.candidates or AutotuneConfig().candidates),
+            recompact_after_epochs=args.recompact_after,
+        ),
+    ))
+    spate.register_cells(generator.cells_table())
+    for snapshot in generator.generate():
+        spate.ingest(snapshot)
+    spate.finalize()
+    last = spate.index.frontier_epoch
+    before = spate.explore("CDR", ("downflux", "upflux"), None, 0, last)
+    report = spate.recompact(max_leaves=args.max_leaves)
+    after = spate.explore("CDR", ("downflux", "upflux"), None, 0, last)
+    identical = before.records == after.records
+    lines = [
+        report.describe(),
+        f"answers identical after recompaction: {identical}",
+    ]
+    text = "\n".join(lines)
+    print(text)
+    if args.report_file:
+        with open(args.report_file, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return 0 if identical else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -657,6 +769,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--snapshots", type=int, default=4)
     p.add_argument("--codecs", nargs="*", default=None)
     p.set_defaults(func=cmd_bench_codecs)
+
+    defaults = AutotuneConfig()
+    p = sub.add_parser("tune", help="per-codec autotune report (codec=auto)")
+    p.add_argument("--scale", type=float, default=0.005)
+    p.add_argument("--days", type=int, default=1)
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument("--layout", default="row", choices=LAYOUTS)
+    p.add_argument("--executor", default="auto", choices=EXECUTOR_BACKENDS)
+    p.add_argument("--leaf-cache-bytes", type=int,
+                   default=SpateConfig().leaf_cache_bytes)
+    p.add_argument("--candidates", nargs="*", default=None,
+                   help=f"codecs the selector scores "
+                        f"(default: {' '.join(defaults.candidates)})")
+    p.add_argument("--sample-bytes", type=int, default=defaults.sample_bytes,
+                   help="per-payload scoring sample cap")
+    p.add_argument("--latency-weight", type=float,
+                   default=defaults.latency_weight,
+                   help="bicriteria latency weight (0 = densest wins)")
+    p.add_argument("--train-dicts", action="store_true",
+                   help="train shared zstd dictionaries per table")
+    p.add_argument("--compare", action="store_true",
+                   help="also ingest once per static candidate and "
+                        "compare stored leaf bytes against auto")
+    p.add_argument("--report-file", default=None,
+                   help="also write the report to this file")
+    p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser("recompact",
+                       help="densest-codec rewrite of aged leaves")
+    _add_trace_args(p)
+    p.add_argument("--candidates", nargs="*", default=None,
+                   help="codecs the rewrite may choose from")
+    p.add_argument("--recompact-after", type=int, default=8,
+                   help="age threshold in epochs behind the frontier")
+    p.add_argument("--max-leaves", type=int, default=None,
+                   help="cap on leaves considered this pass")
+    p.add_argument("--report-file", default=None,
+                   help="also write the pass report to this file")
+    p.set_defaults(func=cmd_recompact)
 
     return parser
 

@@ -1,0 +1,352 @@
+"""Adaptive per-leaf codec selection (``SpateConfig.codec="auto"``).
+
+The paper's Table I fixes one codec for the life of the warehouse, yet
+its own Figure 4 argument — codec choice follows the data's entropy
+profile — cuts the other way: the profile differs per table and drifts
+per snapshot.  Following the bicriteria view of Farruggia et al., the
+:class:`CodecSelector` samples every table payload at ingest, scores
+each candidate codec's compress/decompress round trip on the sample,
+and picks the minimum of
+
+    score = compressed_bytes / sampled_bytes
+          + latency_weight * round_trip_microseconds / sampled_bytes
+
+so ``latency_weight = 0`` degenerates to densest-wins (the mode the
+Table I reproduction and the recompaction pass use) while positive
+weights buy ingest/read speed with stored bytes.
+
+The winning codec name (and shared-dictionary id, when one was used)
+is stamped into the leaf metadata, making every stored payload
+self-describing: the read path resolves the decompressor from the leaf
+tag instead of trusting the warehouse-wide config string — which is
+what fixes the reopen-with-a-different-codec corruption bug by
+construction.
+
+Shared dictionaries reuse the zstd trainer: a rolling window of payload
+samples per table feeds :meth:`ZstdDictionary.train`; trained
+dictionaries are persisted on the DFS by the :class:`DictionaryStore`
+and referenced by id from leaf metadata, so a reopened warehouse can
+decode dictionary-compressed leaves without retraining.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.compression.base import Codec, CodecStats, StatsAccumulator, get_codec
+from repro.compression.zstd import ZstdCodec, ZstdDictionary
+from repro.core.config import AutotuneConfig
+from repro.errors import CompressionError, StorageError
+
+#: DFS directory trained dictionaries persist under (outside the
+#: checkpoint manager's GC prefix and the snapshot orphan sweep).
+DICT_PREFIX = "/spate/dicts"
+
+#: Codec that understands trained dictionaries.
+_DICT_CODEC = "zstd"
+
+
+def resolve_codec(name: str, dict_blob: bytes | None = None) -> Codec:
+    """Build the decode-capable codec for a leaf tag.
+
+    Pure function over (name, dictionary bytes) so executor workers can
+    rebuild codecs from a pickled task tuple, dictionary included.
+    """
+    if dict_blob:
+        if name != _DICT_CODEC:
+            raise CompressionError(
+                f"codec {name!r} does not support shared dictionaries"
+            )
+        return ZstdCodec(dictionary=ZstdDictionary(dict_blob))
+    return get_codec(name)
+
+
+def pack_payload_task(args: tuple[str, bytes | None, bytes]) -> bytes:
+    """Compress one payload with a (codec, dictionary) choice — the
+    picklable work unit the auto-mode ingest fan-out runs."""
+    codec_name, dict_blob, payload = args
+    return resolve_codec(codec_name, dict_blob).compress(payload)
+
+
+def serialize_payload_task(args: tuple[str, str, object]) -> bytes:
+    """Serialize one table in a worker (auto mode splits serialize from
+    compress so the selector can sample the payload in between)."""
+    from repro.core.layout import serialize_table
+
+    __name, layout, table = args
+    return serialize_table(table, layout)
+
+
+@dataclass(frozen=True)
+class CodecScore:
+    """One candidate's bicriteria measurement on one sampled payload."""
+
+    label: str
+    codec: str
+    dict_id: int | None
+    stats: CodecStats
+    score: float
+
+
+@dataclass(frozen=True)
+class CodecChoice:
+    """The selector's verdict for one table payload."""
+
+    codec: str
+    dict_id: int | None
+    scores: tuple[CodecScore, ...]
+
+    @property
+    def label(self) -> str:
+        """Display label (codec name, ``+dict`` when trained)."""
+        return f"{self.codec}+dict" if self.dict_id is not None else self.codec
+
+
+class DictionaryStore:
+    """Persists trained shared dictionaries on the DFS.
+
+    Files are named ``<table>-<seq>-<dict_id>.dict`` so both the owning
+    table and recency survive restarts; lookups by id scan the prefix
+    once and cache.
+    """
+
+    def __init__(self, dfs, replication: int = 3, prefix: str = DICT_PREFIX) -> None:
+        self._dfs = dfs
+        self._replication = replication
+        self._prefix = prefix
+        self._by_id: dict[int, ZstdDictionary] = {}
+        self._latest: dict[str, int] = {}
+        self._scanned = False
+
+    def put(self, table: str, dictionary: ZstdDictionary) -> int:
+        """Persist a trained dictionary; returns its id.
+
+        Raises:
+            StorageError: when the DFS write fails (callers degrade to
+                dictionary-less compression).
+        """
+        self._scan()
+        dict_id = dictionary.dict_id
+        if dict_id not in self._by_id:
+            seq = sum(
+                1 for owner in self._table_of_path() if owner == table
+            ) + 1
+            path = f"{self._prefix}/{table}-{seq:04d}-{dict_id:08x}.dict"
+            self._dfs.write_file(
+                path, dictionary.data, replication=self._replication
+            )
+            self._by_id[dict_id] = dictionary
+        self._latest[table] = dict_id
+        return dict_id
+
+    def get(self, dict_id: int) -> ZstdDictionary:
+        """Load a dictionary by id (cache, then DFS scan).
+
+        Raises:
+            CompressionError: when no persisted dictionary has that id.
+        """
+        cached = self._by_id.get(dict_id)
+        if cached is not None:
+            return cached
+        self._scan(force=True)
+        cached = self._by_id.get(dict_id)
+        if cached is None:
+            raise CompressionError(
+                f"no persisted dictionary with id {dict_id:#x} under "
+                f"{self._prefix} (was the warehouse copied without it?)"
+            )
+        return cached
+
+    def latest_for(self, table: str) -> int | None:
+        """Most recently trained dictionary id for ``table``, if any."""
+        self._scan()
+        return self._latest.get(table)
+
+    def _table_of_path(self) -> list[str]:
+        owners = []
+        for path in self._dfs.list_dir(self._prefix):
+            name = path.rsplit("/", 1)[-1]
+            if name.endswith(".dict"):
+                owners.append(name[: -len(".dict")].rsplit("-", 2)[0])
+        return owners
+
+    def _scan(self, force: bool = False) -> None:
+        """Index the persisted dictionaries (idempotent after first use)."""
+        if self._scanned and not force:
+            return
+        self._scanned = True
+        newest: dict[str, tuple[int, int]] = {}
+        for path in self._dfs.list_dir(self._prefix):
+            name = path.rsplit("/", 1)[-1]
+            if not name.endswith(".dict"):
+                continue
+            try:
+                table, seq_text, id_text = name[: -len(".dict")].rsplit("-", 2)
+                seq, dict_id = int(seq_text), int(id_text, 16)
+                data = self._dfs.read_file(path)
+            except (ValueError, StorageError):
+                continue  # unreadable or foreign file: skip, don't fail reads
+            dictionary = ZstdDictionary(data)
+            if dictionary.dict_id != dict_id:
+                continue  # truncated/corrupt payload must not poison reads
+            self._by_id[dict_id] = dictionary
+            if table not in newest or seq > newest[table][0]:
+                newest[table] = (seq, dict_id)
+        for table, (__, dict_id) in newest.items():
+            self._latest.setdefault(table, dict_id)
+
+
+@dataclass
+class SelectorReport:
+    """Aggregate autotune telemetry: what was scored and what won."""
+
+    #: label -> accumulated round-trip stats across sampled payloads.
+    by_label: dict[str, StatsAccumulator] = field(default_factory=dict)
+    #: label -> times it won the bicriteria score.
+    selections: dict[str, int] = field(default_factory=dict)
+    sampled_bytes: int = 0
+    payloads_scored: int = 0
+    dictionaries_trained: int = 0
+
+    def describe(self) -> str:
+        """Per-codec ratio/latency table plus selection counts."""
+        lines = [
+            f"{'codec':<12} {'mean ratio':>10} {'comp ms':>9} "
+            f"{'decomp ms':>9} {'wins':>5}"
+        ]
+        for label in sorted(self.by_label):
+            acc = self.by_label[label]
+            lines.append(
+                f"{label:<12} {acc.mean_ratio:>10.3f} "
+                f"{acc.mean_compress_seconds * 1000:>9.3f} "
+                f"{acc.mean_decompress_seconds * 1000:>9.3f} "
+                f"{self.selections.get(label, 0):>5}"
+            )
+        lines.append(
+            f"scored {self.payloads_scored} payloads "
+            f"({self.sampled_bytes:,} sampled bytes), "
+            f"{self.dictionaries_trained} dictionaries trained"
+        )
+        return "\n".join(lines)
+
+
+class CodecSelector:
+    """Scores candidate codecs per payload and tracks the telemetry."""
+
+    def __init__(
+        self,
+        config: AutotuneConfig,
+        dict_store: DictionaryStore | None = None,
+    ) -> None:
+        self._config = config
+        self._store = dict_store if config.train_dictionaries else None
+        self._windows: dict[str, deque[bytes]] = {}
+        self.report = SelectorReport()
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+
+    def choose(self, table: str, payload: bytes) -> CodecChoice:
+        """Score every candidate on a sample of ``payload`` and return
+        the bicriteria winner (ties break toward candidate order)."""
+        sample = payload[: self._config.sample_bytes]
+        scores: list[CodecScore] = []
+        best: CodecScore | None = None
+        for label, name, dict_id, codec in self._candidates(table):
+            try:
+                stats = codec.measure(sample)
+            except CompressionError:  # pragma: no cover - defensive
+                continue  # a candidate that cannot round-trip never wins
+            scored = CodecScore(
+                label=label,
+                codec=name,
+                dict_id=dict_id,
+                stats=stats,
+                score=self.score(stats),
+            )
+            scores.append(scored)
+            self.report.by_label.setdefault(label, StatsAccumulator()).add(stats)
+            if best is None or scored.score < best.score:
+                best = scored
+        if best is None:
+            raise CompressionError(
+                "no autotune candidate codec could compress the payload"
+            )
+        self.report.payloads_scored += 1
+        self.report.sampled_bytes += len(sample)
+        self.report.selections[best.label] = (
+            self.report.selections.get(best.label, 0) + 1
+        )
+        return CodecChoice(
+            codec=best.codec, dict_id=best.dict_id, scores=tuple(scores)
+        )
+
+    def score(self, stats: CodecStats) -> float:
+        """The bicriteria objective for one measurement (lower wins)."""
+        raw = max(stats.raw_bytes, 1)
+        density = stats.compressed_bytes / raw
+        latency_us = (stats.compress_seconds + stats.decompress_seconds) * 1e6
+        return density + self._config.latency_weight * latency_us / raw
+
+    def dict_blob(self, dict_id: int | None) -> bytes | None:
+        """Dictionary bytes for a choice (None when dict-less)."""
+        if dict_id is None or self._store is None:
+            return None
+        return self._store.get(dict_id).data
+
+    # ------------------------------------------------------------------
+    # Dictionary training
+    # ------------------------------------------------------------------
+
+    def observe(self, table: str, payload: bytes) -> None:
+        """Feed one payload sample into the table's rolling training
+        window; train + persist a dictionary once the window fills."""
+        if self._store is None or _DICT_CODEC not in self._config.candidates:
+            return
+        window = self._windows.setdefault(
+            table, deque(maxlen=self._config.dictionary_window)
+        )
+        window.append(payload[: 4 * self._config.sample_bytes])
+        if (
+            len(window) < self._config.dictionary_window
+            or self._store.latest_for(table) is not None
+        ):
+            return
+        trained = ZstdDictionary.train(
+            list(window), max_size=self._config.dictionary_max_bytes
+        )
+        if not trained.data:
+            return  # nothing repeated enough to be worth a preamble
+        try:
+            self._store.put(table, trained)
+        except StorageError:
+            return  # degrade to dictionary-less compression this round
+        self.report.dictionaries_trained += 1
+
+    # ------------------------------------------------------------------
+    # Candidate enumeration (recompaction reuses it)
+    # ------------------------------------------------------------------
+
+    def candidates_for(self, table: str) -> list[tuple[str, str, int | None, Codec]]:
+        """(label, codec_name, dict_id, codec) per scoring candidate."""
+        return self._candidates(table)
+
+    def _candidates(self, table: str):
+        out = []
+        for name in self._config.candidates:
+            out.append((name, name, None, get_codec(name)))
+            if name == _DICT_CODEC and self._store is not None:
+                dict_id = self._store.latest_for(table)
+                if dict_id is not None:
+                    dictionary = self._store.get(dict_id)
+                    out.append(
+                        (
+                            f"{name}+dict",
+                            name,
+                            dict_id,
+                            ZstdCodec(dictionary=dictionary),
+                        )
+                    )
+        return out

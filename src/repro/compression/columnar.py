@@ -17,6 +17,18 @@ from repro.errors import CorruptStreamError
 
 _SEP = b"\x00"
 
+#: Declared-cell-count ceiling: far above any 30-minute snapshot, low
+#: enough that a corrupt header cannot drive a multi-GB allocation.
+MAX_COLUMN_CELLS = 1 << 27
+
+
+def _check_total(total: int) -> int:
+    if total > MAX_COLUMN_CELLS:
+        raise CorruptStreamError(
+            f"column declares {total} cells (cap {MAX_COLUMN_CELLS})"
+        )
+    return total
+
 
 def _encode_str(value: str) -> bytes:
     raw = value.encode("utf-8")
@@ -49,13 +61,16 @@ def rle_encode(cells: list[str]) -> bytes:
 def rle_decode(data: bytes) -> list[str]:
     """Invert :func:`rle_encode`."""
     total, pos = decode_varint(data, 0)
+    _check_total(total)
     cells: list[str] = []
     while len(cells) < total:
         run, pos = decode_varint(data, pos)
+        if run > total - len(cells):
+            # Checked before the allocation so a corrupt run length can
+            # never materialise more cells than the header declared.
+            raise CorruptStreamError("RLE runs exceed declared cell count")
         value, pos = _decode_str(data, pos)
         cells.extend([value] * run)
-    if len(cells) != total:
-        raise CorruptStreamError("RLE runs exceed declared cell count")
     return cells
 
 
@@ -78,6 +93,7 @@ def delta_encode(cells: list[str]) -> bytes:
 def delta_decode(data: bytes) -> list[str]:
     """Invert :func:`delta_encode`."""
     total, pos = decode_varint(data, 0)
+    _check_total(total)
     cells: list[str] = []
     prev = 0
     for __ in range(total):
@@ -109,7 +125,9 @@ def dictionary_encode(cells: list[str]) -> bytes:
 def dictionary_decode(data: bytes) -> list[str]:
     """Invert :func:`dictionary_encode`."""
     total, pos = decode_varint(data, 0)
+    _check_total(total)
     table_size, pos = decode_varint(data, pos)
+    _check_total(table_size)
     table: list[str] = []
     for __ in range(table_size):
         value, pos = _decode_str(data, pos)
@@ -134,6 +152,7 @@ def plain_encode(cells: list[str]) -> bytes:
 def plain_decode(data: bytes) -> list[str]:
     """Invert :func:`plain_encode`."""
     total, pos = decode_varint(data, 0)
+    _check_total(total)
     cells: list[str] = []
     for __ in range(total):
         value, pos = _decode_str(data, pos)
@@ -155,7 +174,9 @@ def choose_encoding(cells: list[str]) -> str:
     """Pick the cheapest encoding for a column by simple heuristics.
 
     Long runs favour RLE; small distinct sets favour dictionary;
-    integer columns favour delta; everything else stays plain.
+    integer columns favour delta; everything else stays plain.  The
+    heuristics only *nominate*; :func:`encode_column` still falls back
+    to plain whenever the nominated transform comes out larger.
     """
     if not cells:
         return "plain"
@@ -172,40 +193,99 @@ def choose_encoding(cells: list[str]) -> str:
     return "plain"
 
 
+def _plain_size(cells: list[str]) -> int:
+    """Encoded size of the plain transform, without building it."""
+    size = len(encode_varint(len(cells)))
+    for cell in cells:
+        raw_len = len(cell.encode("utf-8"))
+        size += len(encode_varint(raw_len)) + raw_len
+    return size
+
+
 def encode_column(cells: list[str], encoding: str | None = None) -> bytes:
     """Encode one column, auto-selecting the transform unless given.
 
     The chosen encoding id is stored in the first byte so decoding is
-    self-describing.
+    self-describing.  Auto-selection never returns a transform larger
+    than plain: heuristic mis-picks (tiny columns where the dictionary
+    table overhead dominates, alternating values, adversarial runs) are
+    re-encoded plain.
     """
     name = encoding or choose_encoding(cells)
     encode, __ = _ENCODINGS[name]
-    return bytes([_ENCODING_IDS[name]]) + encode(cells)
+    out = bytes([_ENCODING_IDS[name]]) + encode(cells)
+    if encoding is None and name != "plain" and len(out) - 1 > _plain_size(cells):
+        out = bytes([_ENCODING_IDS["plain"]]) + plain_encode(cells)
+    return out
 
 
-def decode_column(data: bytes) -> list[str]:
-    """Invert :func:`encode_column`."""
+def decode_column(data: bytes, expected_cells: int | None = None) -> list[str]:
+    """Invert :func:`encode_column`.
+
+    Args:
+        expected_cells: when the caller knows the row count (the
+            columnar layout header does), a mismatching declared cell
+            count is rejected up front — before a corrupt header can
+            drive a huge allocation.
+
+    Raises:
+        CorruptStreamError: on any truncated or malformed payload; no
+            other exception type escapes.
+    """
     if not data:
         raise CorruptStreamError("empty column payload")
     name = _ID_ENCODINGS.get(data[0])
     if name is None:
         raise CorruptStreamError(f"unknown column encoding id {data[0]}")
     __, decode = _ENCODINGS[name]
-    return decode(data[1:])
+    body = data[1:]
+    if expected_cells is not None:
+        declared, __pos = decode_varint(body, 0)
+        if declared != expected_cells:
+            raise CorruptStreamError(
+                f"column declares {declared} cells, expected {expected_cells}"
+            )
+    try:
+        return decode(body)
+    except CorruptStreamError:
+        raise
+    except (ValueError, KeyError, IndexError, OverflowError) as exc:
+        # Decoders work on attacker-controllable bytes; whatever slips
+        # past the explicit checks (bad UTF-8, malformed ints, slice
+        # misses) must still surface as a corrupt stream, never as a
+        # stray stdlib exception inside the query engine.
+        raise CorruptStreamError(f"malformed {name} column: {exc}") from exc
+
+
+#: Delta encoding must survive the 64-bit zigzag varint round trip;
+#: bounding cell magnitude keeps every diff within it.
+_DELTA_BOUND = 1 << 62
 
 
 def _all_ints(cells: list[str]) -> bool:
+    """True when every cell is a *canonical* bounded integer literal.
+
+    Canonical matters: delta round-trips through ``int``, so "007",
+    "-0" or non-ASCII digits would come back re-normalised — silent
+    corruption, not compression.
+    """
     for cell in cells:
         if not cell:
             return False
         body = cell[1:] if cell[0] == "-" else cell
-        if not body.isdigit():
+        if not (body.isdigit() and body.isascii()):
+            return False
+        value = int(cell)
+        if str(value) != cell or not -_DELTA_BOUND < value < _DELTA_BOUND:
             return False
     return True
 
 
 def _zigzag(value: int) -> int:
-    return (value << 1) ^ (value >> 63) if value < 0 else value << 1
+    # Arbitrary-precision form: Python ints are unbounded, so the
+    # C-style ``(v << 1) ^ (v >> 63)`` trick mis-folds values beyond 64
+    # bits instead of wrapping like it would in C.
+    return ((-value) << 1) - 1 if value < 0 else value << 1
 
 
 def _unzigzag(value: int) -> int:

@@ -240,7 +240,7 @@ def _encode_day(day: DayNode) -> dict:
 
 
 def _encode_leaf(leaf: SnapshotLeaf) -> dict:
-    return {
+    out = {
         "epoch": leaf.epoch,
         "paths": dict(leaf.table_paths),
         "raw": leaf.raw_bytes,
@@ -248,9 +248,17 @@ def _encode_leaf(leaf: SnapshotLeaf) -> dict:
         "records": leaf.record_count,
         "decayed": leaf.decayed,
     }
+    if leaf.table_codecs:
+        out["codecs"] = dict(leaf.table_codecs)
+    if leaf.table_dicts:
+        out["dicts"] = dict(leaf.table_dicts)
+    return out
 
 
 def _decode_leaf(data: dict) -> SnapshotLeaf:
+    # "codecs"/"dicts" are absent in checkpoints written before codec
+    # tagging; such leaves decode as untagged and recovery's migration
+    # shim stamps them with the warehouse's recorded creation codec.
     return SnapshotLeaf(
         epoch=data["epoch"],
         table_paths=dict(data["paths"]),
@@ -258,6 +266,11 @@ def _decode_leaf(data: dict) -> SnapshotLeaf:
         compressed_bytes=data["stored"],
         record_count=data["records"],
         decayed=data["decayed"],
+        table_codecs=dict(data.get("codecs") or {}),
+        table_dicts={
+            table: int(dict_id)
+            for table, dict_id in (data.get("dicts") or {}).items()
+        },
     )
 
 

@@ -114,6 +114,68 @@ class FaultToleranceConfig:
             raise ConfigError("heal_interval_epochs must be non-negative")
 
 
+#: Sentinel codec name enabling per-leaf adaptive codec selection.
+AUTO_CODEC = "auto"
+
+
+@dataclass(frozen=True)
+class AutotuneConfig:
+    """Adaptive per-leaf codec selection (``SpateConfig.codec="auto"``).
+
+    At ingest the selector samples each table payload, scores every
+    candidate codec on a bicriteria objective — compressed bytes
+    weighted against compress+decompress latency (Farruggia et al.) —
+    and stamps the winner into the leaf metadata, so the read path
+    decodes self-describingly.  A rolling window of payload samples per
+    table feeds the zstd dictionary trainer; trained dictionaries are
+    persisted on the DFS and referenced by id from leaf metadata.
+    """
+
+    #: Codec names the selector scores.  Defaults to the stdlib-backed
+    #: reference codecs (C-speed) plus the from-scratch zstd, whose
+    #: trained dictionaries are the density play on small leaves.
+    candidates: tuple[str, ...] = ("gzip-ref", "bz2-ref", "7z-ref")
+    #: Per-payload sample cap for scoring, bytes (payloads at or below
+    #: the cap are scored exactly).
+    sample_bytes: int = 16 * 1024
+    #: Latency term weight in the bicriteria score: 0.0 picks purely by
+    #: density; larger values trade stored bytes for codec speed.  The
+    #: units are "equivalent compressed bytes per microsecond of
+    #: round-trip latency per sampled byte".
+    latency_weight: float = 0.0
+    #: Codec used where no per-leaf choice applies (summaries, untagged
+    #: fallback when no warehouse metadata survives).
+    fallback_codec: str = "gzip-ref"
+    #: Train shared zstd dictionaries from the per-table sample window.
+    train_dictionaries: bool = False
+    #: Rolling window of recent payload samples kept per table; a
+    #: dictionary is trained once the window fills.
+    dictionary_window: int = 8
+    #: Trained dictionary size cap, bytes.
+    dictionary_max_bytes: int = 16 * 1024
+    #: Recompaction age threshold: leaves at least this many epochs
+    #: behind the frontier are eligible for a densest-codec rewrite.
+    recompact_after_epochs: int = 48
+
+    def __post_init__(self) -> None:
+        if not self.candidates:
+            raise ConfigError("autotune.candidates must not be empty")
+        if AUTO_CODEC in self.candidates:
+            raise ConfigError("autotune.candidates cannot include 'auto'")
+        if self.fallback_codec == AUTO_CODEC:
+            raise ConfigError("autotune.fallback_codec cannot be 'auto'")
+        if self.sample_bytes < 256:
+            raise ConfigError("autotune.sample_bytes must be at least 256")
+        if self.latency_weight < 0.0:
+            raise ConfigError("autotune.latency_weight must be non-negative")
+        if self.dictionary_window < 2:
+            raise ConfigError("autotune.dictionary_window must be at least 2")
+        if self.dictionary_max_bytes < 1024:
+            raise ConfigError("autotune.dictionary_max_bytes must be >= 1 KiB")
+        if self.recompact_after_epochs < 1:
+            raise ConfigError("autotune.recompact_after_epochs must be >= 1")
+
+
 @dataclass(frozen=True)
 class DurabilityConfig:
     """Metadata durability settings (WAL + checkpoints).
@@ -154,7 +216,8 @@ class SpateConfig:
 
     Attributes:
         codec: registered codec name for the storage layer (paper
-            default: GZIP).
+            default: GZIP), or ``"auto"`` for adaptive per-leaf codec
+            selection governed by ``autotune``.
         layout: physical table layout before compression — "row" (the
             paper's text files) or "columnar" (typed per-column
             encodings; ~1.3x denser on the telco schema).
@@ -186,6 +249,8 @@ class SpateConfig:
         decay: decaying-module settings.
         faults: storage fault-injection / self-healing settings.
         durability: metadata WAL + checkpoint settings.
+        autotune: adaptive codec selection / dictionary / recompaction
+            settings (active when ``codec="auto"``).
     """
 
     codec: str = "gzip"
@@ -203,6 +268,18 @@ class SpateConfig:
     decay: DecayPolicyConfig = field(default_factory=DecayPolicyConfig)
     faults: FaultToleranceConfig = field(default_factory=FaultToleranceConfig)
     durability: DurabilityConfig = field(default_factory=DurabilityConfig)
+    autotune: AutotuneConfig = field(default_factory=AutotuneConfig)
+
+    @property
+    def autotune_enabled(self) -> bool:
+        """True when per-leaf adaptive codec selection is on."""
+        return self.codec == AUTO_CODEC
+
+    @property
+    def static_codec(self) -> str:
+        """The codec for contexts that need one fixed name: the
+        configured codec, or the autotune fallback under ``auto``."""
+        return self.autotune.fallback_codec if self.autotune_enabled else self.codec
 
     def __post_init__(self) -> None:
         if self.replication < 1:

@@ -15,7 +15,7 @@ Both round-trip exactly; the layout ablation bench and the
 
 from __future__ import annotations
 
-from repro.compression.columnar import decode_column, encode_column
+from repro.compression.columnar import MAX_COLUMN_CELLS, decode_column, encode_column
 from repro.compression.varint import decode_varint, encode_varint
 from repro.core.snapshot import Table
 from repro.errors import ConfigError, CorruptStreamError
@@ -59,10 +59,20 @@ def deserialize_table(
             selected columns.  Only the columnar layout can skip work;
             the row layout always parses everything.
     """
-    if layout == ROW_LAYOUT:
-        return Table.deserialize(name, data)
-    if layout == COLUMNAR_LAYOUT:
-        return _deserialize_columnar(name, data, columns)
+    try:
+        if layout == ROW_LAYOUT:
+            return Table.deserialize(name, data)
+        if layout == COLUMNAR_LAYOUT:
+            return _deserialize_columnar(name, data, columns)
+    except CorruptStreamError:
+        raise
+    except (ValueError, KeyError, IndexError, OverflowError) as exc:
+        # The payload came off storage and through a codec; whatever is
+        # malformed about it is a corrupt stream to the query engine,
+        # not a stray stdlib exception.
+        raise CorruptStreamError(
+            f"malformed {layout} payload for table {name!r}: {exc}"
+        ) from exc
     raise ConfigError(f"unknown layout {layout!r}")
 
 
@@ -110,23 +120,35 @@ def _deserialize_columnar(
     pos = len(_COLUMNAR_MAGIC)
     n_columns, pos = decode_varint(data, pos)
     n_rows, pos = decode_varint(data, pos)
+    if n_columns > len(data) - pos:
+        # Every column costs at least one header byte.
+        raise CorruptStreamError(f"columnar header declares {n_columns} columns")
+    if n_rows > MAX_COLUMN_CELLS:
+        raise CorruptStreamError(
+            f"columnar header declares {n_rows} rows (cap {MAX_COLUMN_CELLS})"
+        )
     columns: list[str] = []
     for __ in range(n_columns):
         length, pos = decode_varint(data, pos)
-        columns.append(data[pos : pos + length].decode("utf-8"))
+        raw = data[pos : pos + length]
+        if len(raw) != length:
+            raise CorruptStreamError("truncated columnar column name")
+        columns.append(raw.decode("utf-8"))
         pos += length
     wanted = None if projection is None else set(projection)
     column_values: list[list[str]] = []
     blanks = [""] * n_rows
     for position in range(n_columns):
         length, pos = decode_varint(data, pos)
+        if length > len(data) - pos:
+            raise CorruptStreamError("truncated columnar column payload")
         if wanted is not None and columns[position] not in wanted:
             # Projection pushdown: the varint length lets the decoder
             # hop over unselected columns without decoding their cells.
             pos += length
             column_values.append(blanks)
             continue
-        cells = decode_column(data[pos : pos + length])
+        cells = decode_column(data[pos : pos + length], expected_cells=n_rows)
         pos += length
         if len(cells) != n_rows:
             raise CorruptStreamError(

@@ -92,6 +92,19 @@ class WarehouseMetrics:
     query_cache_hits: int = 0
     query_cache_misses: int = 0
 
+    #: Adaptive codec selection (codec="auto") counters, mirrored from
+    #: the selector's telemetry via :meth:`sync_autotune`.
+    autotune_payloads_scored: int = 0
+    autotune_dictionaries_trained: int = 0
+    #: codec label -> times it won the bicriteria score.
+    autotune_selections: dict[str, int] = field(default_factory=dict)
+
+    #: Background recompaction (aged leaves re-encoded densest).
+    recompaction_passes: int = 0
+    recompaction_leaves_rewritten: int = 0
+    recompaction_tables_rewritten: int = 0
+    recompaction_bytes_reclaimed: int = 0
+
     #: max ingest time seen, to compare against the epoch budget.
     worst_ingest_seconds: float = 0.0
     _ratio_samples: list[float] = field(default_factory=list, repr=False)
@@ -229,6 +242,23 @@ class WarehouseMetrics:
         else:
             self.query_cache_misses += 1
 
+    def sync_autotune(self, report) -> None:
+        """Mirror the codec selector's running telemetry (a
+        :class:`~repro.compression.autotune.SelectorReport`; the
+        selector owns the totals, so this *sets* rather than adds)."""
+        self.autotune_payloads_scored = report.payloads_scored
+        self.autotune_dictionaries_trained = report.dictionaries_trained
+        self.autotune_selections = dict(report.selections)
+
+    def on_recompaction(
+        self, leaves: int, tables: int, bytes_reclaimed: int
+    ) -> None:
+        """Record one recompaction pass that rewrote something."""
+        self.recompaction_passes += 1
+        self.recompaction_leaves_rewritten += leaves
+        self.recompaction_tables_rewritten += tables
+        self.recompaction_bytes_reclaimed += bytes_reclaimed
+
     # ------------------------------------------------------------------
     # Derived views
     # ------------------------------------------------------------------
@@ -333,6 +363,24 @@ class WarehouseMetrics:
             lines.append(
                 f"  query result cache:    {self.query_cache_hits} hits / "
                 f"{self.query_cache_misses} misses"
+            )
+        if self.autotune_payloads_scored:
+            wins = ", ".join(
+                f"{label} x{count}"
+                for label, count in sorted(self.autotune_selections.items())
+            )
+            lines.append(
+                f"  codec autotune:        {self.autotune_payloads_scored} "
+                f"payloads scored, {self.autotune_dictionaries_trained} "
+                f"dictionaries trained"
+                + (f" (wins: {wins})" if wins else "")
+            )
+        if self.recompaction_passes:
+            lines.append(
+                f"  recompaction:          {self.recompaction_passes} passes, "
+                f"{self.recompaction_leaves_rewritten} leaves "
+                f"({self.recompaction_tables_rewritten} tables) rewritten, "
+                f"{self.recompaction_bytes_reclaimed:,} bytes reclaimed"
             )
         if self.wal_records_appended or self.recoveries:
             lines.append(

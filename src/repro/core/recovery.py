@@ -4,7 +4,8 @@ Reconstructs a :class:`~repro.core.spate.Spate` instance's indexing
 layer from durable state on the DFS: the newest valid checkpoint is
 decoded, then every WAL record past its watermark is re-applied in
 sequence order (``cells`` / ``ingest`` / ``decay`` / ``fungus`` /
-``finalize``), landing the warehouse at the exact pre-crash frontier.
+``recompact`` / ``finalize``), landing the warehouse at the exact
+pre-crash frontier.
 
 After replay the pass cleans up the crash's debris:
 
@@ -27,7 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.errors import RecoveryError, StorageError
+from repro.core.config import AUTO_CODEC
+from repro.errors import ConfigError, RecoveryError, StorageError
 from repro.index.highlights import HighlightSummary
 from repro.index.temporal import SnapshotLeaf
 from repro.index.wal import WalRecord
@@ -57,6 +59,10 @@ class RecoveryReport:
     quarantine_reasons: dict[int, str] = field(default_factory=dict)
     orphan_files_removed: int = 0
     catchup_decay_evictions: int = 0
+    #: Untagged legacy leaves stamped with the warehouse's recorded
+    #: creation codec by the migration shim.
+    leaves_migrated: int = 0
+    migrated_codec: str = ""
     finalized: bool = False
     fsck_healthy: bool = True
     fsck_lost_blocks: int = 0
@@ -93,6 +99,12 @@ class RecoveryReport:
             f"  cleanup:             {self.orphan_files_removed} orphan files "
             f"removed, {self.catchup_decay_evictions} catch-up decay evictions"
         )
+        if self.leaves_migrated:
+            lines.append(
+                f"  codec migration:     {self.leaves_migrated} untagged "
+                f"leaves stamped with creation codec "
+                f"{self.migrated_codec!r}"
+            )
         if self.leaves_quarantined:
             lines.append(
                 f"  quarantined leaves:  {self.leaves_quarantined}"
@@ -162,6 +174,11 @@ def run_recovery(spate: Spate) -> RecoveryReport:
     for leaf in spate.index.leaves():
         spate._epoch_tables[leaf.epoch] = dict(leaf.table_paths)
 
+    # Migration shim: leaves recorded before per-leaf codec tagging
+    # carry no tags; stamp them from the warehouse's recorded creation
+    # codec, or fail fast when the configuration contradicts it.
+    _migrate_untagged_leaves(spate, report)
+
     # Catch-up decay: an eviction executed but not yet logged when the
     # process died is re-derived here — the policy is deterministic in
     # the frontier, and already-deleted files are skipped.
@@ -223,6 +240,13 @@ def _apply_record(spate: Spate, record: WalRecord) -> None:
             raw_bytes=data["raw"],
             compressed_bytes=data["stored"],
             record_count=data["records"],
+            # Absent in records logged before codec tagging existed;
+            # the migration shim stamps such leaves after replay.
+            table_codecs=dict(data.get("codecs") or {}),
+            table_dicts={
+                table: int(dict_id)
+                for table, dict_id in (data.get("dicts") or {}).items()
+            },
         )
         spate.incremence.index_leaf(
             leaf, HighlightSummary.from_dict(data["summary"])
@@ -246,11 +270,85 @@ def _apply_record(spate: Spate, record: WalRecord) -> None:
             if leaf is not None:
                 leaf.compressed_bytes = stored
                 leaf.record_count = records
+    elif record.type == "recompact":
+        # Patch sizes, tags and paths onto the already-rewritten files;
+        # the files themselves were durable before the record was.
+        for epoch_text, info in data["leaves"].items():
+            leaf = spate.index.find_leaf(int(epoch_text))
+            if leaf is None:
+                continue
+            leaf.compressed_bytes = info["stored"]
+            leaf.table_codecs = dict(info.get("codecs") or {})
+            leaf.table_dicts = {
+                table: int(dict_id)
+                for table, dict_id in (info.get("dicts") or {}).items()
+            }
+            if info.get("paths"):
+                leaf.table_paths = dict(info["paths"])
     elif record.type == "finalize":
         spate.incremence.finalize()
         spate._finalized = True
     # Unknown types are ignored: a newer writer's record that this
     # reader cannot interpret must not abort recovery of what it can.
+
+
+def _migrate_untagged_leaves(spate: Spate, report: RecoveryReport) -> None:
+    """Stamp legacy (pre-tagging) leaves with the creation codec.
+
+    A leaf with no per-table codec tag can only be decoded by knowing
+    what the warehouse was written with.  The creation record at
+    ``/spate/warehouse.json`` is the trusted source; the *configured*
+    codec is only acceptable when it matches (or when no record exists
+    and the config is static — the pre-tagging status quo, where the
+    caller's word was all there ever was).
+
+    Raises:
+        ConfigError: when the configured codec contradicts the recorded
+            creation codec (reopen-with-wrong-codec would mis-decode
+            every untagged leaf), or when ``codec="auto"`` meets
+            untagged leaves with no recorded creation codec to migrate
+            from.
+    """
+    untagged = [
+        leaf
+        for leaf in spate.index.leaves()
+        if not leaf.decayed
+        and any(table not in leaf.table_codecs for table in leaf.table_paths)
+    ]
+    if not untagged:
+        return
+    meta = spate.stored_warehouse_meta() or {}
+    stored = meta.get("static_codec") or meta.get("codec")
+    if stored == AUTO_CODEC:
+        stored = None
+    if stored is not None:
+        if not spate.config.autotune_enabled and spate.config.codec != stored:
+            raise ConfigError(
+                f"this warehouse was created with codec {stored!r} but is "
+                f"being opened with codec {spate.config.codec!r}, and "
+                f"{len(untagged)} legacy leaves carry no per-table codec "
+                "tag — their payloads would mis-decode.  Reopen with the "
+                "original codec (or codec='auto', which reads tagged and "
+                "migrated leaves self-describingly)"
+            )
+        codec_name = stored
+    else:
+        if spate.config.autotune_enabled:
+            raise ConfigError(
+                "this warehouse predates codec tagging and has no recorded "
+                "creation codec, so codec='auto' cannot tell how its "
+                f"{len(untagged)} untagged leaves were written.  Open it "
+                "once with the original static codec to migrate the tags, "
+                "then switch to 'auto'"
+            )
+        codec_name = spate.config.codec
+    for leaf in untagged:
+        for table in leaf.table_paths:
+            leaf.table_codecs.setdefault(table, codec_name)
+    report.leaves_migrated = len(untagged)
+    report.migrated_codec = codec_name
+    # The re-checkpoint at the end of recovery persists the stamped
+    # tags, so the migration runs exactly once per legacy warehouse.
 
 
 def _install_cells(spate: Spate, cells: dict) -> None:

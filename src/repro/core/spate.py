@@ -22,8 +22,15 @@ Typical use::
 
 from __future__ import annotations
 
+import json
+
 from repro.baselines.base import Framework, IngestStats
-from repro.compression.base import get_codec
+from repro.compression.autotune import (
+    CodecSelector,
+    DictionaryStore,
+    resolve_codec,
+)
+from repro.compression.base import Codec, get_codec
 from repro.core.checkpoint import CheckpointInfo, CheckpointManager, encode_index
 from repro.core.config import SpateConfig
 from repro.core.leaf_cache import LeafCache
@@ -40,6 +47,7 @@ from repro.errors import (
     StorageError,
 )
 from repro.index.decay import DecayModule, DecayReport
+from repro.index.recompact import RecompactionModule, RecompactionReport
 from repro.index.highlights import Highlight, HighlightSummary
 from repro.index.incremence import IncremenceModule, IngestReport
 from repro.index.temporal import SnapshotLeaf, TemporalIndex
@@ -82,7 +90,17 @@ class Spate(Framework):
         else:
             self.fault_injector = dfs.fault_injector
         super().__init__(dfs)
-        self.codec = get_codec(self.config.codec)
+        # In auto mode this is the *fallback* codec; each leaf's tagged
+        # codec (stamped at ingest) is authoritative on the read path.
+        self.codec = get_codec(self.config.static_codec)
+        self.dict_store = DictionaryStore(
+            self.dfs, replication=self.config.replication
+        )
+        self.codec_selector: CodecSelector | None = (
+            CodecSelector(self.config.autotune, self.dict_store)
+            if self.config.autotune_enabled
+            else None
+        )
         self.index = TemporalIndex()
         self.executor = get_executor(
             self.config.executor, self.config.executor_workers
@@ -98,6 +116,7 @@ class Spate(Framework):
             codec=self.codec,
             config=self.config,
             executor=self.executor,
+            selector=self.codec_selector,
         )
         self.decay = DecayModule(
             dfs=self.dfs, index=self.index, config=self.config.decay
@@ -129,6 +148,48 @@ class Spate(Framework):
             self.checkpoints = CheckpointManager(
                 self.dfs, replication=durability.metadata_replication
             )
+        self._write_warehouse_meta_if_fresh()
+
+    #: Immutable creation-time warehouse facts (codec, layout) — what
+    #: recovery's migration shim trusts when it meets leaves recorded
+    #: before per-leaf codec tagging existed.
+    WAREHOUSE_META_PATH = "/spate/warehouse.json"
+
+    def _write_warehouse_meta_if_fresh(self) -> None:
+        """Record the creation codec/layout, only on a fresh warehouse.
+
+        A non-empty ``/spate`` namespace means this instance is opening
+        existing state — possibly under a *different* configured codec,
+        which is exactly the situation the recorded value must survive
+        to detect; stamping the new config over it would destroy the
+        evidence.
+        """
+        try:
+            if self.dfs.list_dir("/spate"):
+                return
+            body = json.dumps(
+                {
+                    "codec": self.config.codec,
+                    "static_codec": self.config.static_codec,
+                    "layout": self.config.layout,
+                },
+                sort_keys=True,
+            ).encode("utf-8")
+            self.dfs.write_file(
+                self.WAREHOUSE_META_PATH, body, replication=self.config.replication
+            )
+        except StorageError:
+            # Best effort: every new leaf is codec-tagged anyway; only
+            # the legacy-migration hint is lost.
+            pass
+
+    def stored_warehouse_meta(self) -> dict | None:
+        """The creation-time warehouse record, or None when absent
+        (pre-tagging warehouse) or unreadable."""
+        try:
+            return json.loads(self.dfs.read_file(self.WAREHOUSE_META_PATH))
+        except (StorageError, ValueError):
+            return None
 
     @classmethod
     def open(
@@ -210,10 +271,12 @@ class Spate(Framework):
                     decay_report.leaves_evicted, decay_report.bytes_reclaimed
                 )
                 self._invalidate_cached_epochs(decay_report.evicted_epochs)
-        self._epoch_tables[snapshot.epoch] = {
-            name: self.incremence.leaf_path(snapshot.epoch, name)
-            for name in snapshot.tables
-        }
+        stored_leaf = self.index.find_leaf(snapshot.epoch)
+        if stored_leaf is not None:
+            # The leaf's recorded paths are authoritative — in auto mode
+            # each table's extension names its chosen codec, so the
+            # paths cannot be recomputed from config alone.
+            self._epoch_tables[snapshot.epoch] = dict(stored_leaf.table_paths)
         faults = self.config.faults
         ingested_so_far = self.metrics.snapshots_ingested + 1  # counting this one
         if (
@@ -237,6 +300,8 @@ class Spate(Framework):
             stored_bytes=report.compressed_bytes,
             seconds=seconds,
         )
+        if self.codec_selector is not None:
+            self.metrics.sync_autotune(self.codec_selector.report)
         if self.wal is not None:
             self._flush_wal()
             interval = self.config.durability.checkpoint_interval_epochs
@@ -373,7 +438,7 @@ class Spate(Framework):
                 coverage["epochs_skipped"][leaf.epoch] = str(exc)
                 continue
             plan.append((leaf.epoch, "task", len(tasks)))
-            tasks.append(ctx.decode_task(table, blob, proj))
+            tasks.append(ctx.decode_task(table, blob, proj, epoch=leaf.epoch))
 
         decoded, run, __ = ctx.executor.run_chunked(
             decode_leaf_task, tasks, ctx.chunk_size
@@ -639,6 +704,7 @@ class Spate(Framework):
             index=self.index,
             codec=self.codec,
             layout=self.config.layout,
+            codec_for=self._codec_for_leaf,
         )
         report = fungus.run(older_than_epoch, keep)
         if self.wal is not None and report.rewritten_sizes:
@@ -656,6 +722,57 @@ class Spate(Framework):
             self.metrics.on_decay(0, report.bytes_reclaimed)
         self._invalidate_cached_epochs(report.rewritten_epochs)
         self._bump_index_version()
+        return report
+
+    def recompact(self, max_leaves: int | None = None) -> RecompactionReport:
+        """Run one background recompaction pass: rewrite live leaves
+        older than ``autotune.recompact_after_epochs`` to the densest
+        candidate codec (full-payload comparison, lossless).
+
+        Works in any codec mode — leaves are codec-tagged at ingest
+        either way — and is WAL-logged like decay/fungus: superseded
+        files are deleted only after the ``recompact`` record is
+        durable, so a crash on either side leaves every leaf readable.
+        """
+        selector = self.codec_selector or CodecSelector(
+            self.config.autotune, self.dict_store
+        )
+        module = RecompactionModule(
+            dfs=self.dfs,
+            index=self.index,
+            config=self.config,
+            selector=selector,
+            codec_for=self._codec_for_leaf,
+        )
+        report = module.run(max_leaves=max_leaves)
+        if self.wal is not None and report.rewritten_leaves:
+            self.wal.append(
+                "recompact",
+                {
+                    "leaves": {
+                        str(epoch): info
+                        for epoch, info in report.rewritten_leaves.items()
+                    }
+                },
+            )
+            self._flush_wal()
+        for path in report.replaced_paths:
+            try:
+                self.dfs.delete_file(path)
+            except StorageError:  # pragma: no cover - cleanup is best effort
+                pass  # recovery's orphan sweep collects it
+        if report.mutated:
+            for epoch in report.rewritten_epochs:
+                leaf = self._find_leaf(epoch)
+                if leaf is not None:
+                    self._epoch_tables[epoch] = dict(leaf.table_paths)
+            self.metrics.on_recompaction(
+                leaves=report.leaves_rewritten,
+                tables=report.tables_rewritten,
+                bytes_reclaimed=report.bytes_reclaimed,
+            )
+            self._invalidate_cached_epochs(report.rewritten_epochs)
+            self._bump_index_version()
         return report
 
     # ------------------------------------------------------------------
@@ -756,6 +873,7 @@ class Spate(Framework):
             codec=self.codec,
             config=self.config,
             executor=self.executor,
+            selector=self.codec_selector,
         )
         self.decay = DecayModule(
             dfs=self.dfs, index=self.index, config=self.config.decay
@@ -764,17 +882,19 @@ class Spate(Framework):
 
     def _log_ingest(self, leaf: SnapshotLeaf, summary: HighlightSummary) -> None:
         """WAL hook between "files durable" and "index mutated"."""
-        self.wal.append(
-            "ingest",
-            {
-                "epoch": leaf.epoch,
-                "paths": dict(leaf.table_paths),
-                "raw": leaf.raw_bytes,
-                "stored": leaf.compressed_bytes,
-                "records": leaf.record_count,
-                "summary": summary.to_dict(),
-            },
-        )
+        record = {
+            "epoch": leaf.epoch,
+            "paths": dict(leaf.table_paths),
+            "raw": leaf.raw_bytes,
+            "stored": leaf.compressed_bytes,
+            "records": leaf.record_count,
+            "summary": summary.to_dict(),
+        }
+        if leaf.table_codecs:
+            record["codecs"] = dict(leaf.table_codecs)
+        if leaf.table_dicts:
+            record["dicts"] = dict(leaf.table_dicts)
+        self.wal.append("ingest", record)
 
     def _log_decay(self, report: DecayReport) -> None:
         if self.wal is None or not report.mutated:
@@ -827,12 +947,13 @@ class Spate(Framework):
         """The parallel-scan view of this warehouse for the read path."""
         return ScanContext(
             executor=self.executor,
-            codec_name=self.config.codec,
+            codec_name=self.config.static_codec,
             layout=self.config.layout,
             pruning=self.config.query_pruning,
             read_payload=self.dfs.read_file,
             cache_get=self._scan_cache_get,
             cache_put=self._scan_cache_put,
+            codec_of=self._leaf_codec_info,
         )
 
     def _scan_cache_get(self, epoch: int, table: str) -> Table | None:
@@ -866,6 +987,26 @@ class Spate(Framework):
             "to re-check, or query with partial_ok)"
         )
 
+    def _leaf_codec_info(
+        self, epoch: int, table: str
+    ) -> tuple[str, bytes | None]:
+        """(codec name, dictionary bytes) to decode one leaf table —
+        the leaf's self-describing tag when present, the configured
+        static codec for untagged legacy leaves."""
+        leaf = self._find_leaf(epoch)
+        name = leaf.codec_for(table) if leaf is not None else None
+        if name is None:
+            return self.config.static_codec, None
+        dict_id = leaf.table_dicts.get(table)
+        if dict_id is None:
+            return name, None
+        return name, self.dict_store.get(dict_id).data
+
+    def _codec_for_leaf(self, leaf: SnapshotLeaf, table: str) -> Codec:
+        """Decode-capable codec for one leaf table (fungus/recompaction
+        hand the leaf itself rather than an epoch)."""
+        return resolve_codec(*self._leaf_codec_info(leaf.epoch, table))
+
     def _read_leaf_table(self, leaf: SnapshotLeaf, table: str) -> Table | None:
         from repro.core.layout import deserialize_table
 
@@ -879,7 +1020,8 @@ class Spate(Framework):
         path = leaf.table_paths.get(table)
         if path is None:
             return None
-        payload = self.codec.decompress(self.dfs.read_file(path))
+        codec = self._codec_for_leaf(leaf, table)
+        payload = codec.decompress(self.dfs.read_file(path))
         loaded = deserialize_table(table, payload, self.config.layout)
         if self.leaf_cache is not None:
             self.metrics.on_leaf_cache(hit=False)

@@ -16,6 +16,7 @@ urban cells carry most operational value.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from repro.compression.base import Codec
 from repro.core.layout import deserialize_table, serialize_table
@@ -57,11 +58,20 @@ class EvictGroupedIndividuals:
         index: TemporalIndex,
         codec: Codec,
         layout: str = "row",
+        codec_for: Optional[Callable[[SnapshotLeaf, str], Codec]] = None,
     ) -> None:
         self._dfs = dfs
         self._index = index
         self._codec = codec
         self._layout = layout
+        #: Per-leaf codec resolver (leaf tags differ per table in auto
+        #: mode); None falls back to the warehouse-wide codec.
+        self._codec_for = codec_for
+
+    def _leaf_codec(self, leaf: SnapshotLeaf, table: str) -> Codec:
+        if self._codec_for is not None:
+            return self._codec_for(leaf, table)
+        return self._codec
 
     def run(
         self,
@@ -107,8 +117,9 @@ class EvictGroupedIndividuals:
                 continue
             compressed = self._dfs.read_file(path)
             cell_column = CELL_COLUMN.get(table_name)
+            codec = self._leaf_codec(leaf, table_name)
             table = deserialize_table(
-                table_name, self._codec.decompress(compressed), self._layout
+                table_name, codec.decompress(compressed), self._layout
             )
             if cell_column is None or cell_column not in table.columns:
                 new_total += len(compressed)
@@ -124,9 +135,9 @@ class EvictGroupedIndividuals:
             thinned = Table(
                 name=table_name, columns=list(table.columns), rows=kept_rows
             )
-            payload = self._codec.compress(
-                serialize_table(thinned, self._layout)
-            )
+            # Re-compress with the leaf's own codec so the rewrite
+            # keeps the self-describing tag truthful.
+            payload = codec.compress(serialize_table(thinned, self._layout))
             replication = self._dfs.namenode.lookup(path).replication
             self._dfs.delete_file(path)
             self._dfs.write_file(path, payload, replication=replication)

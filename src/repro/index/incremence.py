@@ -14,6 +14,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro.compression.autotune import CodecSelector, pack_payload_task
 from repro.compression.base import Codec, get_codec
 from repro.compression.columnar import encode_column
 from repro.core.config import SpateConfig
@@ -76,10 +77,12 @@ def _pack_table_task(args: tuple[str, str, Table]) -> tuple[int, bytes]:
     return len(payload), get_codec(codec_name).compress(payload)
 
 
-def _compress_payload_task(args: tuple[str, bytes]) -> bytes:
-    """Compress one pre-serialized payload in a worker."""
-    codec_name, payload = args
-    return get_codec(codec_name).compress(payload)
+def _serialize_table_task(args: tuple[str, Table]) -> bytes:
+    """Serialize one table in a worker.  Auto mode splits serialization
+    from compression so the codec selector can sample the payload on
+    the main thread in between."""
+    layout, table = args
+    return serialize_table(table, layout)
 
 
 class IncremenceModule:
@@ -93,6 +96,7 @@ class IncremenceModule:
         config: SpateConfig,
         path_prefix: str = "/spate/snapshots",
         executor: ExecutorBackend | None = None,
+        selector: CodecSelector | None = None,
     ) -> None:
         self._dfs = dfs
         self._index = index
@@ -100,6 +104,8 @@ class IncremenceModule:
         self._config = config
         self._prefix = path_prefix
         self._executor = executor or SerialBackend()
+        #: Per-payload codec selector; set iff ``config.codec == "auto"``.
+        self._selector = selector
 
     def ingest(self, snapshot: Snapshot, on_stored=None) -> IngestReport:
         """Ingest one snapshot; returns the per-stage timing report.
@@ -118,14 +124,16 @@ class IncremenceModule:
         """
         t0 = time.perf_counter()
         names = list(snapshot.tables)
-        compressed_tables, raw_bytes, run = self._pack_tables(snapshot, names)
+        compressed_tables, raw_bytes, run, codecs, dicts = self._pack_tables(
+            snapshot, names
+        )
         t1 = time.perf_counter()
 
         table_paths: dict[str, str] = {}
         compressed_bytes = 0
         try:
             for name, compressed in compressed_tables.items():
-                path = self.leaf_path(snapshot.epoch, name)
+                path = self.leaf_path(snapshot.epoch, name, codecs.get(name))
                 self._dfs.write_file(
                     path, compressed, replication=self._config.replication
                 )
@@ -147,6 +155,8 @@ class IncremenceModule:
             raw_bytes=raw_bytes,
             compressed_bytes=compressed_bytes,
             record_count=snapshot.record_count(),
+            table_codecs=codecs,
+            table_dicts=dicts,
         )
         snapshot_summary = summarize_snapshot(snapshot, self._config.highlights)
         if on_stored is not None:
@@ -175,22 +185,29 @@ class IncremenceModule:
 
     def _pack_tables(
         self, snapshot: Snapshot, names: list[str]
-    ) -> tuple[dict[str, bytes], int, ExecutorRun]:
+    ) -> tuple[dict[str, bytes], int, ExecutorRun, dict[str, str], dict[str, int]]:
         """Serialize + compress every table through the executor.
 
         Row layout fans out one task per table.  Columnar layout first
         fans out one encode task per column (across all tables), then
         one compress task per assembled table — finer units keep wide
-        tables from serializing the whole stage.
+        tables from serializing the whole stage.  In auto mode the row
+        layout also splits serialization from compression, because the
+        codec selector must sample each serialized payload in between.
+
+        Returns ``(compressed, raw_bytes, run, codecs, dicts)`` where
+        ``codecs``/``dicts`` are the per-table codec names and shared-
+        dictionary ids the leaf is tagged with.
         """
-        codec_name = self._config.codec
+        codec_name = self._config.static_codec
+        payloads: dict[str, bytes] | None = None
         if self._config.layout == COLUMNAR_LAYOUT and names:
             per_table_cells = [
                 columnar_column_cells(snapshot.tables[name]) for name in names
             ]
             flat_cells = [cells for table in per_table_cells for cells in table]
-            encoded_flat, encode_run = self._executor.run(encode_column, flat_cells)
-            payloads: dict[str, bytes] = {}
+            encoded_flat, stage_run = self._executor.run(encode_column, flat_cells)
+            payloads = {}
             position = 0
             for name, table_cells in zip(names, per_table_cells):
                 count = len(table_cells)
@@ -199,22 +216,49 @@ class IncremenceModule:
                     encoded_flat[position : position + count],
                 )
                 position += count
-            compressed_list, compress_run = self._executor.run(
-                _compress_payload_task,
-                [(codec_name, payloads[name]) for name in names],
+        elif self._selector is not None and names:
+            serialized, stage_run = self._executor.run(
+                _serialize_table_task,
+                [(self._config.layout, snapshot.tables[name]) for name in names],
             )
-            raw_bytes = sum(len(payloads[name]) for name in names)
-            run = encode_run.merged(compress_run)
-            return dict(zip(names, compressed_list)), raw_bytes, run
-        packed, run = self._executor.run(
-            _pack_table_task,
-            [(codec_name, self._config.layout, snapshot.tables[name]) for name in names],
-        )
-        raw_bytes = sum(size for size, __ in packed)
-        compressed_tables = {
-            name: compressed for name, (__, compressed) in zip(names, packed)
-        }
-        return compressed_tables, raw_bytes, run
+            payloads = dict(zip(names, serialized))
+        if payloads is None:
+            # Static codec, row layout: the fused serialize+compress task.
+            packed, run = self._executor.run(
+                _pack_table_task,
+                [
+                    (codec_name, self._config.layout, snapshot.tables[name])
+                    for name in names
+                ],
+            )
+            raw_bytes = sum(size for size, __ in packed)
+            compressed_tables = {
+                name: compressed for name, (__, compressed) in zip(names, packed)
+            }
+            codecs = {name: codec_name for name in names}
+            return compressed_tables, raw_bytes, run, codecs, {}
+
+        codecs: dict[str, str] = {}
+        dicts: dict[str, int] = {}
+        tasks: list[tuple[str, bytes | None, bytes]] = []
+        for name in names:
+            payload = payloads[name]
+            if self._selector is not None:
+                self._selector.observe(name, payload)
+                choice = self._selector.choose(name, payload)
+                codecs[name] = choice.codec
+                if choice.dict_id is not None:
+                    dicts[name] = choice.dict_id
+                tasks.append(
+                    (choice.codec, self._selector.dict_blob(choice.dict_id), payload)
+                )
+            else:
+                codecs[name] = codec_name
+                tasks.append((codec_name, None, payload))
+        compressed_list, compress_run = self._executor.run(pack_payload_task, tasks)
+        raw_bytes = sum(len(payloads[name]) for name in names)
+        run = stage_run.merged(compress_run) if names else compress_run
+        return dict(zip(names, compressed_list)), raw_bytes, run, codecs, dicts
 
     def index_leaf(self, leaf: SnapshotLeaf, summary: HighlightSummary) -> None:
         """Apply one stored snapshot to the index: append the leaf on
@@ -258,9 +302,16 @@ class IncremenceModule:
         """DFS directory all snapshot files live under."""
         return self._prefix
 
-    def leaf_path(self, epoch: int, table: str) -> str:
-        """DFS path for one snapshot table's compressed payload."""
-        return f"{self._prefix}/epoch-{epoch:08d}/{table}.{self._config.codec}"
+    def leaf_path(self, epoch: int, table: str, codec: str | None = None) -> str:
+        """DFS path for one snapshot table's compressed payload.
+
+        The extension records the codec the file was written with (the
+        leaf tag, not the path, is authoritative for decoding — but a
+        truthful extension keeps ``spate ls`` and the DFS namespace
+        legible in auto mode).
+        """
+        extension = codec or self._config.static_codec
+        return f"{self._prefix}/epoch-{epoch:08d}/{table}.{extension}"
 
     # ------------------------------------------------------------------
     # Period finalization

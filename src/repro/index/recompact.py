@@ -1,0 +1,210 @@
+"""Background recompaction: rewrite aged warm leaves to the densest codec.
+
+A sibling of the decay module and the grouped-individuals fungus in the
+"cold data gets cheaper" family, but lossless: where decay evicts and
+the fungus thins, recompaction only *re-encodes*.  Leaves older than
+``AutotuneConfig.recompact_after_epochs`` are out of the ingest hot
+path, so the latency half of the bicriteria trade no longer buys
+anything — this pass re-compresses each of their tables with every
+candidate codec (full payload, not a sample: this is a background job)
+and keeps the strictly smallest result, updating the leaf's
+self-describing codec tag.
+
+Crash-consistency is stricter than decay/fungus because a recompaction
+changes the *codec* of the bytes on disk — an in-place rewrite would
+open a window where the durable tag and the durable bytes disagree,
+which is exactly the mismatch bug the tags exist to kill.  So a
+re-encoded table is written to a *new* path (its extension names the
+new codec) while the old file stays put; the caller WAL-logs the new
+sizes/tags/paths as one ``recompact`` record and only then deletes the
+superseded files (``report.replaced_paths``).  A crash on either side
+of the log append therefore leaves a fully readable leaf: before, the
+metadata still points at the old files (the new ones are unreferenced
+and swept by recovery's orphan removal); after, it points at the new
+files (and the stale old ones are the orphans).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.compression.autotune import CodecSelector
+from repro.compression.base import Codec
+from repro.core.config import SpateConfig
+from repro.dfs.filesystem import SimulatedDFS
+from repro.errors import StorageError
+from repro.index.temporal import SnapshotLeaf, TemporalIndex
+
+
+@dataclass
+class RecompactionReport:
+    """Outcome of one recompaction pass."""
+
+    leaves_considered: int = 0
+    leaves_rewritten: int = 0
+    tables_rewritten: int = 0
+    bytes_before: int = 0
+    bytes_after: int = 0
+    #: Epochs whose leaves were rewritten — read caches must drop them.
+    rewritten_epochs: list[int] = field(default_factory=list)
+    #: epoch -> {"stored", "codecs", "dicts", "paths"} for the WAL
+    #: record, so replay patches leaf metadata without re-reading files.
+    rewritten_leaves: dict[int, dict] = field(default_factory=dict)
+    #: Superseded files — delete these only *after* the ``recompact``
+    #: WAL record is durable (they are what recovery falls back to).
+    replaced_paths: list[str] = field(default_factory=list)
+    #: Tables whose densest candidate was no smaller than what is
+    #: already stored (left untouched).
+    tables_kept: int = 0
+
+    @property
+    def bytes_reclaimed(self) -> int:
+        """Bytes freed by the pass (once replaced files are deleted)."""
+        return self.bytes_before - self.bytes_after
+
+    @property
+    def mutated(self) -> bool:
+        """True when any leaf changed (callers must invalidate caches)."""
+        return bool(self.rewritten_epochs)
+
+    def describe(self) -> str:
+        """One-line human-readable pass report."""
+        return (
+            f"{self.leaves_rewritten}/{self.leaves_considered} aged leaves "
+            f"rewritten ({self.tables_rewritten} tables, "
+            f"{self.tables_kept} already densest), "
+            f"{self.bytes_reclaimed:,} bytes reclaimed "
+            f"({self.bytes_before:,} -> {self.bytes_after:,})"
+        )
+
+
+class RecompactionModule:
+    """Re-encodes aged live leaves with the densest candidate codec."""
+
+    def __init__(
+        self,
+        dfs: SimulatedDFS,
+        index: TemporalIndex,
+        config: SpateConfig,
+        selector: CodecSelector,
+        codec_for: Callable[[SnapshotLeaf, str], Codec],
+    ) -> None:
+        self._dfs = dfs
+        self._index = index
+        self._config = config
+        self._selector = selector
+        self._codec_for = codec_for
+
+    def run(self, max_leaves: int | None = None) -> RecompactionReport:
+        """Recompact every live leaf older than the warm horizon.
+
+        Args:
+            max_leaves: optional cap per pass, so the background job can
+                amortise a large backlog across ingest cycles.
+
+        Idempotent: a leaf already stored at its densest candidate is
+        re-read but never rewritten, so a second pass is a no-op.
+        """
+        report = RecompactionReport()
+        cutoff = (
+            self._index.frontier_epoch
+            - self._config.autotune.recompact_after_epochs
+        )
+        for leaf in self._index.leaves():
+            if leaf.decayed or leaf.quarantined or leaf.epoch > cutoff:
+                continue
+            if max_leaves is not None and report.leaves_considered >= max_leaves:
+                break
+            report.leaves_considered += 1
+            try:
+                self._recompact_leaf(leaf, report)
+            except StorageError:
+                # An unreadable or unwritable table leaves the whole
+                # leaf on its old files; heal + a later pass retries.
+                continue
+        return report
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _recompact_leaf(self, leaf: SnapshotLeaf, report: RecompactionReport) -> None:
+        winners: dict[str, tuple[bytes, str, int | None]] = {}
+        total_after = 0
+        for table_name, path in sorted(leaf.table_paths.items()):
+            if not self._dfs.exists(path):
+                continue
+            stored = self._dfs.read_file(path)
+            payload = self._codec_for(leaf, table_name).decompress(stored)
+            best_name, best_dict, best_blob = self._densest(table_name, payload)
+            if len(best_blob) < len(stored):
+                winners[table_name] = (best_blob, best_name, best_dict)
+                total_after += len(best_blob)
+            else:
+                report.tables_kept += 1
+                total_after += len(stored)
+        if not winners:
+            return
+        # Phase 1: write every new file before mutating any metadata, so
+        # a failed write leaves the leaf wholly on its old files (the
+        # already-written new ones are unreferenced orphans).
+        planned: list[tuple[str, str, str, int | None]] = []
+        replaced: list[str] = []
+        for table_name, (blob, codec_name, dict_id) in winners.items():
+            old_path = leaf.table_paths[table_name]
+            new_path = self._rewrite_path(old_path, table_name, codec_name)
+            replication = self._dfs.namenode.lookup(old_path).replication
+            if new_path == old_path:
+                # Same codec name (a dictionary change): in-place swap —
+                # the tag keeps naming the right codec either way.
+                self._dfs.delete_file(old_path)
+            else:
+                if self._dfs.exists(new_path):
+                    # Debris of a crashed earlier pass; supersede it.
+                    self._dfs.delete_file(new_path)
+                replaced.append(old_path)
+            self._dfs.write_file(new_path, blob, replication=replication)
+            planned.append((table_name, new_path, codec_name, dict_id))
+        # Phase 2: all writes durable — apply the metadata mutations.
+        for table_name, new_path, codec_name, dict_id in planned:
+            leaf.table_paths[table_name] = new_path
+            leaf.table_codecs[table_name] = codec_name
+            if dict_id is not None:
+                leaf.table_dicts[table_name] = dict_id
+            else:
+                leaf.table_dicts.pop(table_name, None)
+            report.tables_rewritten += 1
+        report.replaced_paths.extend(replaced)
+        total_before = leaf.compressed_bytes
+        leaf.compressed_bytes = total_after
+        report.leaves_rewritten += 1
+        report.bytes_before += total_before
+        report.bytes_after += total_after
+        report.rewritten_epochs.append(leaf.epoch)
+        report.rewritten_leaves[leaf.epoch] = {
+            "stored": total_after,
+            "codecs": dict(leaf.table_codecs),
+            "dicts": dict(leaf.table_dicts),
+            "paths": dict(leaf.table_paths),
+        }
+
+    @staticmethod
+    def _rewrite_path(old_path: str, table: str, codec_name: str) -> str:
+        """Sibling path whose extension names the new codec."""
+        directory = old_path.rsplit("/", 1)[0]
+        return f"{directory}/{table}.{codec_name}"
+
+    def _densest(
+        self, table: str, payload: bytes
+    ) -> tuple[str, int | None, bytes]:
+        """Fully compress ``payload`` with every candidate; smallest
+        wins (ties break toward candidate order).  Latency is ignored by
+        construction — aged leaves are read rarely and written once."""
+        best: tuple[str, int | None, bytes] | None = None
+        for __, name, dict_id, codec in self._selector.candidates_for(table):
+            blob = codec.compress(payload)
+            if best is None or len(blob) < len(best[2]):
+                best = (name, dict_id, blob)
+        assert best is not None  # AutotuneConfig forbids empty candidates
+        return best

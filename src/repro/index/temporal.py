@@ -36,11 +36,23 @@ class SnapshotLeaf:
     #: Set by recovery when the leaf's blocks have no live valid
     #: replica: strict reads refuse it, ``partial_ok`` queries skip it.
     quarantined: bool = False
+    #: Per-table codec names this leaf's payloads were written with —
+    #: the self-describing tag the read path resolves decompressors
+    #: from.  Empty for legacy leaves recorded before codec tagging;
+    #: recovery migrates those to the warehouse's creation codec.
+    table_codecs: dict[str, str] = field(default_factory=dict)
+    #: Per-table shared-dictionary ids (only tables whose codec was
+    #: trained with a persisted dictionary appear here).
+    table_dicts: dict[str, int] = field(default_factory=dict)
 
     @property
     def day_key(self) -> str:
         """Calendar day (YYYY-MM-DD) this leaf belongs to."""
         return epoch_to_timestamp(self.epoch).strftime("%Y-%m-%d")
+
+    def codec_for(self, table: str) -> str | None:
+        """Tagged codec name for ``table`` (None = untagged legacy)."""
+        return self.table_codecs.get(table)
 
 
 @dataclass

@@ -41,7 +41,7 @@ from repro.dfs.filesystem import SimulatedDFS
 from repro.errors import StorageError
 
 #: Known record types, in the order the facade emits them.
-RECORD_TYPES = ("cells", "ingest", "decay", "fungus", "finalize")
+RECORD_TYPES = ("cells", "ingest", "decay", "fungus", "recompact", "finalize")
 
 WAL_PREFIX = "/spate/wal"
 

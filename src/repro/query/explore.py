@@ -517,7 +517,7 @@ class ExplorationEngine:
                 plan.append((leaf, "skipped", None))
                 continue
             plan.append((leaf, "task", len(tasks)))
-            tasks.append(ctx.decode_task(query.table, blob, proj))
+            tasks.append(ctx.decode_task(query.table, blob, proj, epoch=leaf.epoch))
 
         # Phase 3: parallel decode.  run_chunked stops submitting once
         # the deadline expires, so tasks past the cutoff never run.

@@ -111,12 +111,26 @@ class ScanContext:
     #: Decode tasks submitted per executor round; the deadline is
     #: re-checked between rounds.
     chunk_size: int = 8
+    #: ``(epoch, table) -> (codec_name, dict_blob)`` — per-leaf codec
+    #: resolution from the leaf's self-describing tag (main thread: it
+    #: walks the index and may read a dictionary off the DFS).  None
+    #: falls back to the warehouse-wide ``codec_name`` for every leaf.
+    codec_of: Optional[Callable[[int, str], tuple[str, Optional[bytes]]]] = None
 
     def decode_task(
-        self, table: str, blob: bytes, columns: tuple[str, ...] | None
-    ) -> tuple[str, str, str, bytes, tuple[str, ...] | None]:
-        """Build one picklable work unit for :func:`decode_leaf_task`."""
-        return (self.codec_name, self.layout, table, blob, columns)
+        self, table: str, blob: bytes, columns: tuple[str, ...] | None, epoch: int | None = None
+    ) -> tuple[str, Optional[bytes], str, str, bytes, tuple[str, ...] | None]:
+        """Build one picklable work unit for :func:`decode_leaf_task`.
+
+        When the caller passes the leaf's ``epoch`` and the context has
+        a per-leaf resolver, the task carries that leaf's tagged codec
+        (and shared-dictionary bytes); otherwise the warehouse-wide
+        codec is assumed, as before codec tagging existed.
+        """
+        codec_name, dict_blob = self.codec_name, None
+        if self.codec_of is not None and epoch is not None:
+            codec_name, dict_blob = self.codec_of(epoch, table)
+        return (codec_name, dict_blob, self.layout, table, blob, columns)
 
     def projection(self, columns) -> tuple[str, ...] | None:
         """The column subset to decode, or None for a full decode.
@@ -133,18 +147,19 @@ class ScanContext:
 
 
 def decode_leaf_task(
-    task: tuple[str, str, str, bytes, tuple[str, ...] | None],
+    task: tuple[str, Optional[bytes], str, str, bytes, tuple[str, ...] | None],
 ) -> tuple[Table, int]:
     """Decompress + deserialize one leaf table (runs on any backend).
 
-    Pure function over bytes: resolves its codec by name so the task
-    tuple pickles for the process backend.  Returns the table and the
-    decompressed payload size (the leaf cache charges by it).
+    Pure function over bytes: resolves its codec by name (plus the
+    leaf's shared-dictionary bytes, when its tag references one) so the
+    task tuple pickles for the process backend.  Returns the table and
+    the decompressed payload size (the leaf cache charges by it).
     """
-    from repro.compression.base import get_codec
+    from repro.compression.autotune import resolve_codec
     from repro.core.layout import deserialize_table
 
-    codec_name, layout, table_name, blob, columns = task
-    payload = get_codec(codec_name).decompress(blob)
+    codec_name, dict_blob, layout, table_name, blob, columns = task
+    payload = resolve_codec(codec_name, dict_blob).decompress(blob)
     loaded = deserialize_table(table_name, payload, layout, columns=columns)
     return loaded, len(payload)

@@ -1,0 +1,367 @@
+"""Adaptive codec selection: selector units, dictionary store,
+recompaction, and the headline property — query answers are
+byte-identical whether leaves are stored under ``codec="auto"``, any
+static codec, or after a background recompaction pass."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.autotune import (
+    CodecSelector,
+    DictionaryStore,
+    resolve_codec,
+)
+from repro.compression.base import CodecStats
+from repro.compression.zstd import ZstdDictionary
+from repro.core import DurabilityConfig, Spate, SpateConfig
+from repro.core.config import AutotuneConfig, DecayPolicyConfig
+from repro.dfs.filesystem import SimulatedDFS
+from repro.errors import CompressionError
+from repro.telco import TelcoTraceGenerator, TraceConfig
+
+EPOCHS = 12
+CANDIDATES = ("gzip-ref", "bz2-ref", "7z-ref")
+
+
+def _dfs() -> SimulatedDFS:
+    return SimulatedDFS(block_size=1 << 20, default_replication=3)
+
+
+def _build(codec: str, snapshots, cells, **kwargs) -> Spate:
+    config = SpateConfig(
+        codec=codec,
+        autotune=AutotuneConfig(candidates=CANDIDATES, **kwargs),
+    )
+    spate = Spate(config, dfs=_dfs())
+    spate.register_cells(cells)
+    for snapshot in snapshots:
+        spate.ingest(snapshot)
+    spate.finalize()
+    return spate
+
+
+@pytest.fixture(scope="module")
+def trace():
+    generator = TelcoTraceGenerator(TraceConfig(scale=0.002, days=1, seed=42))
+    cells = generator.cells_table()
+    return cells, [generator.snapshot(epoch) for epoch in range(EPOCHS)]
+
+
+@pytest.fixture(scope="module")
+def warehouses(trace):
+    """auto + every static candidate over the same snapshots; the auto
+    warehouse is additionally recompacted (answers must not move)."""
+    cells, snapshots = trace
+    built = {"auto": _build("auto", snapshots, cells, recompact_after_epochs=4)}
+    for name in CANDIDATES:
+        built[name] = _build(name, snapshots, cells)
+    built["auto"].recompact()
+    return built
+
+
+# ----------------------------------------------------------------------
+# CodecSelector
+# ----------------------------------------------------------------------
+
+
+class TestCodecSelector:
+    def test_densest_wins_with_zero_latency_weight(self):
+        selector = CodecSelector(
+            AutotuneConfig(candidates=CANDIDATES, latency_weight=0.0)
+        )
+        payload = (b"cdr,2016,call,ok," * 600)[: 8 * 1024]
+        choice = selector.choose("CDR", payload)
+        sizes = {s.label: s.stats.compressed_bytes for s in choice.scores}
+        assert sizes[choice.label] == min(sizes.values())
+
+    def test_score_formula(self):
+        selector = CodecSelector(
+            AutotuneConfig(candidates=CANDIDATES, latency_weight=0.5)
+        )
+        stats = CodecStats(
+            codec="x",
+            raw_bytes=1000,
+            compressed_bytes=250,
+            compress_seconds=0.001,
+            decompress_seconds=0.001,
+        )
+        # density 0.25 + 0.5 * 2000us / 1000 bytes = 1.25
+        assert selector.score(stats) == pytest.approx(0.25 + 0.5 * 2.0)
+
+    def test_report_accumulates(self):
+        selector = CodecSelector(AutotuneConfig(candidates=CANDIDATES))
+        payload = b"telco " * 2000
+        for __ in range(3):
+            selector.choose("NMS", payload)
+        report = selector.report
+        assert report.payloads_scored == 3
+        assert sum(report.selections.values()) == 3
+        assert set(report.by_label) == set(CANDIDATES)
+        assert "wins" in report.describe()
+
+    def test_sample_cap_respected(self):
+        selector = CodecSelector(
+            AutotuneConfig(candidates=("gzip-ref",), sample_bytes=1024)
+        )
+        selector.choose("CDR", b"z" * (1 << 20))
+        assert selector.report.sampled_bytes == 1024
+
+    def test_dictionary_training_and_candidates(self):
+        store = DictionaryStore(_dfs())
+        selector = CodecSelector(
+            AutotuneConfig(
+                candidates=("gzip-ref", "zstd"),
+                train_dictionaries=True,
+                dictionary_window=2,
+            ),
+            store,
+        )
+        payload = b"shared-telco-preamble|" * 400
+        selector.observe("CDR", payload)
+        assert selector.report.dictionaries_trained == 0  # window not full
+        selector.observe("CDR", payload)
+        assert selector.report.dictionaries_trained == 1
+        labels = [c[0] for c in selector.candidates_for("CDR")]
+        assert "zstd+dict" in labels
+        # The trained dictionary round-trips through the stored blob.
+        dict_id = store.latest_for("CDR")
+        codec = resolve_codec("zstd", selector.dict_blob(dict_id))
+        assert codec.decompress(codec.compress(payload)) == payload
+
+    def test_no_training_without_zstd_candidate(self):
+        selector = CodecSelector(
+            AutotuneConfig(
+                candidates=("gzip-ref",),
+                train_dictionaries=True,
+                dictionary_window=2,
+            ),
+            DictionaryStore(_dfs()),
+        )
+        for __ in range(4):
+            selector.observe("CDR", b"abc" * 1000)
+        assert selector.report.dictionaries_trained == 0
+
+
+# ----------------------------------------------------------------------
+# DictionaryStore
+# ----------------------------------------------------------------------
+
+
+class TestDictionaryStore:
+    def test_put_get_latest(self):
+        dfs = _dfs()
+        store = DictionaryStore(dfs)
+        trained = ZstdDictionary.train([b"common-phrase " * 50] * 4)
+        dict_id = store.put("CDR", trained)
+        assert store.get(dict_id).data == trained.data
+        assert store.latest_for("CDR") == dict_id
+        assert store.latest_for("NMS") is None
+
+    def test_survives_reopen(self):
+        dfs = _dfs()
+        trained = ZstdDictionary.train([b"persist-me " * 60] * 4)
+        dict_id = DictionaryStore(dfs).put("NMS", trained)
+        fresh = DictionaryStore(dfs)
+        assert fresh.get(dict_id).data == trained.data
+        assert fresh.latest_for("NMS") == dict_id
+
+    def test_put_is_idempotent(self):
+        dfs = _dfs()
+        store = DictionaryStore(dfs)
+        trained = ZstdDictionary.train([b"dup " * 100] * 4)
+        assert store.put("CDR", trained) == store.put("CDR", trained)
+        assert len(dfs.list_dir("/spate/dicts")) == 1
+
+    def test_corrupt_and_foreign_files_are_skipped(self):
+        dfs = _dfs()
+        dfs.write_file("/spate/dicts/CDR-0001-deadbeef.dict", b"not a dict")
+        dfs.write_file("/spate/dicts/README.txt", b"unrelated")
+        store = DictionaryStore(dfs)
+        assert store.latest_for("CDR") is None
+        with pytest.raises(CompressionError):
+            store.get(0xDEADBEEF)
+
+
+# ----------------------------------------------------------------------
+# Self-describing leaves
+# ----------------------------------------------------------------------
+
+
+class TestLeafTags:
+    def test_every_live_leaf_is_tagged(self, warehouses):
+        for name, spate in warehouses.items():
+            for leaf in spate.index.leaves():
+                if leaf.decayed:
+                    continue
+                for table in leaf.table_paths:
+                    codec = leaf.codec_for(table)
+                    assert codec is not None, (name, leaf.epoch, table)
+                    if name != "auto":
+                        assert codec == name
+
+    def test_auto_paths_match_tags(self, warehouses):
+        for leaf in warehouses["auto"].index.leaves():
+            if leaf.decayed:
+                continue
+            for table, path in leaf.table_paths.items():
+                assert path.endswith("." + leaf.codec_for(table))
+
+
+# ----------------------------------------------------------------------
+# The headline property: answers never depend on the codec
+# ----------------------------------------------------------------------
+
+
+class TestAnswersCodecIndependent:
+    @given(
+        first=st.integers(min_value=0, max_value=EPOCHS - 1),
+        span=st.integers(min_value=0, max_value=EPOCHS - 1),
+        table=st.sampled_from(["CDR", "NMS", "MR"]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_explore_identical(self, warehouses, first, span, table):
+        last = min(first + span, EPOCHS - 1)
+        attrs = {"CDR": ("downflux", "upflux"), "NMS": ("kpi",), "MR": ("rssi_dbm",)}
+        reference = None
+        for spate in warehouses.values():
+            result = spate.explore(table, attrs[table], None, first, last)
+            answer = (result.records, [h.to_dict() for h in result.highlights])
+            if reference is None:
+                reference = answer
+            else:
+                assert answer == reference
+
+    def test_sql_identical(self, warehouses):
+        reference = None
+        for spate in warehouses.values():
+            db = spate.sql_database()
+            rows = db.execute(
+                "SELECT call_type, COUNT(*) FROM CDR GROUP BY call_type"
+            ).rows
+            if reference is None:
+                reference = rows
+            else:
+                assert rows == reference
+
+
+# ----------------------------------------------------------------------
+# Recompaction
+# ----------------------------------------------------------------------
+
+
+class TestRecompaction:
+    def test_pass_reclaims_and_preserves_answers(self, trace):
+        cells, snapshots = trace
+        spate = _build("gzip-ref", snapshots, cells, recompact_after_epochs=2)
+        before = spate.explore("CDR", ("downflux", "upflux"), None, 0, EPOCHS - 1)
+        report = spate.recompact()
+        assert report.leaves_considered > 0
+        assert report.bytes_after <= report.bytes_before
+        after = spate.explore("CDR", ("downflux", "upflux"), None, 0, EPOCHS - 1)
+        assert after.records == before.records
+        # gzip-ref is never the densest of the candidate set here, so
+        # the static warehouse must actually get rewritten.
+        assert report.tables_rewritten > 0
+        for epoch in report.rewritten_epochs:
+            leaf = spate.index.find_leaf(epoch)
+            for table in leaf.table_paths:
+                assert leaf.codec_for(table) in CANDIDATES
+
+    def test_second_pass_is_noop(self, trace):
+        cells, snapshots = trace
+        spate = _build("auto", snapshots, cells, recompact_after_epochs=2)
+        spate.recompact()
+        again = spate.recompact()
+        assert not again.mutated
+        assert again.tables_rewritten == 0
+
+    def test_max_leaves_caps_the_pass(self, trace):
+        cells, snapshots = trace
+        spate = _build("gzip-ref", snapshots, cells, recompact_after_epochs=2)
+        report = spate.recompact(max_leaves=3)
+        assert report.leaves_considered == 3
+
+    def test_replaced_files_are_deleted(self, trace):
+        cells, snapshots = trace
+        spate = _build("gzip-ref", snapshots, cells, recompact_after_epochs=2)
+        report = spate.recompact()
+        assert report.replaced_paths
+        for path in report.replaced_paths:
+            assert not spate.dfs.exists(path)
+        # The namespace holds exactly what the index points at.
+        expected = {
+            path
+            for leaf in spate.index.leaves()
+            if not leaf.decayed
+            for path in leaf.table_paths.values()
+        }
+        assert set(spate.dfs.list_dir("/spate/snapshots")) == expected
+
+    def test_interleaved_with_decay(self, trace):
+        """Recompact mid-stream, keep ingesting past the decay horizon:
+        answers still match a never-recompacted static warehouse."""
+        cells, snapshots = trace
+
+        def build(codec, recompact_mid):
+            config = SpateConfig(
+                codec=codec,
+                decay=DecayPolicyConfig(keep_epochs=6),
+                autotune=AutotuneConfig(
+                    candidates=CANDIDATES, recompact_after_epochs=2
+                ),
+            )
+            spate = Spate(config, dfs=_dfs())
+            spate.register_cells(cells)
+            for snapshot in snapshots[: EPOCHS // 2]:
+                spate.ingest(snapshot)
+            if recompact_mid:
+                spate.recompact()
+            for snapshot in snapshots[EPOCHS // 2 :]:
+                spate.ingest(snapshot)
+            spate.finalize()
+            if recompact_mid:
+                spate.recompact()
+            return spate
+
+        recompacted = build("auto", True)
+        plain = build("gzip-ref", False)
+        left = recompacted.explore("CDR", ("downflux",), None, 0, EPOCHS - 1)
+        right = plain.explore("CDR", ("downflux",), None, 0, EPOCHS - 1)
+        assert left.records == right.records
+        assert left.used_decayed_data and right.used_decayed_data
+
+    def test_survives_kill_and_recovery(self, trace):
+        """The recompact WAL record replays: after a crash the reopened
+        warehouse sees the new tags/paths and answers are unchanged."""
+        cells, snapshots = trace
+        config = SpateConfig(
+            codec="gzip-ref",
+            durability=DurabilityConfig(enabled=True),
+            autotune=AutotuneConfig(
+                candidates=CANDIDATES, recompact_after_epochs=2
+            ),
+        )
+        spate = Spate(config, dfs=_dfs())
+        dfs = spate.dfs
+        spate.register_cells(cells)
+        for snapshot in snapshots:
+            spate.ingest(snapshot)
+        report = spate.recompact()
+        assert report.mutated
+        tags = {
+            leaf.epoch: dict(leaf.table_codecs)
+            for leaf in spate.index.leaves()
+            if not leaf.decayed
+        }
+        before = spate.explore("CDR", ("downflux", "upflux"), None, 0, EPOCHS - 1)
+        del spate  # crash: only the DFS survives
+
+        reopened = Spate.open(config, dfs=dfs)
+        for epoch, expected in tags.items():
+            assert dict(reopened.index.find_leaf(epoch).table_codecs) == expected
+        after = reopened.explore(
+            "CDR", ("downflux", "upflux"), None, 0, EPOCHS - 1
+        )
+        assert after.records == before.records

@@ -1,0 +1,154 @@
+"""The reopen-with-a-different-codec bug, killed two ways.
+
+Tagged leaves (anything written since tags exist) are self-describing:
+the configured codec is irrelevant to reads, so reopening under any
+codec returns the original answers.  Untagged legacy leaves can't
+self-describe, so `Spate.open` consults the warehouse creation record
+(`/spate/warehouse.json`): a matching static config migrates the tags
+in place; a mismatching one — previously silent corruption — now fails
+fast with ConfigError."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DurabilityConfig, Spate, SpateConfig
+from repro.dfs.filesystem import SimulatedDFS
+from repro.errors import ConfigError
+from repro.telco import TelcoTraceGenerator, TraceConfig
+
+EPOCHS = 6
+
+
+def _config(codec: str) -> SpateConfig:
+    return SpateConfig(codec=codec, durability=DurabilityConfig(enabled=True))
+
+
+def _build(codec: str):
+    generator = TelcoTraceGenerator(TraceConfig(scale=0.002, days=1, seed=7))
+    spate = Spate(_config(codec), dfs=SimulatedDFS(
+        block_size=1 << 20, default_replication=3
+    ))
+    spate.register_cells(generator.cells_table())
+    for epoch in range(EPOCHS):
+        spate.ingest(generator.snapshot(epoch))
+    return spate
+
+
+def _answers(spate: Spate):
+    result = spate.explore("CDR", ("downflux", "upflux"), None, 0, EPOCHS - 1)
+    return result.records
+
+
+def _strip_tags(spate: Spate) -> None:
+    """Simulate a pre-tagging legacy warehouse: erase every leaf's codec
+    tags and checkpoint the stripped state so recovery sees it."""
+    for leaf in spate.index.leaves():
+        leaf.table_codecs.clear()
+        leaf.table_dicts.clear()
+    spate.checkpoint()
+
+
+class TestTaggedLeavesSelfDescribe:
+    def test_reopen_with_wrong_codec_reads_correctly(self):
+        spate = _build("gzip-ref")
+        expected = _answers(spate)
+        dfs = spate.dfs
+        del spate
+
+        reopened = Spate.open(_config("bz2-ref"), dfs=dfs)
+        assert _answers(reopened) == expected
+        # New ingests under the new config are tagged with the new
+        # codec and coexist with the old leaves in one warehouse.
+        generator = TelcoTraceGenerator(TraceConfig(scale=0.002, days=1, seed=7))
+        for epoch in range(EPOCHS):
+            __ = generator.snapshot(epoch)  # advance mobility state
+        reopened.ingest(generator.snapshot(EPOCHS))
+        leaf = reopened.index.find_leaf(EPOCHS)
+        assert set(leaf.table_codecs.values()) == {"bz2-ref"}
+
+    def test_reopen_as_auto_reads_correctly(self):
+        spate = _build("7z-ref")
+        expected = _answers(spate)
+        dfs = spate.dfs
+        del spate
+        reopened = Spate.open(_config("auto"), dfs=dfs)
+        assert _answers(reopened) == expected
+
+
+class TestWarehouseCreationRecord:
+    def test_written_once_at_creation(self):
+        spate = _build("gzip-ref")
+        meta = spate.stored_warehouse_meta()
+        assert meta is not None and meta["static_codec"] == "gzip-ref"
+        dfs = spate.dfs
+        del spate
+        # A reopen under another codec must not overwrite the record.
+        reopened = Spate.open(_config("bz2-ref"), dfs=dfs)
+        assert reopened.stored_warehouse_meta()["static_codec"] == "gzip-ref"
+
+
+class TestUntaggedLegacyLeaves:
+    def test_wrong_codec_fails_fast(self):
+        spate = _build("gzip-ref")
+        _strip_tags(spate)
+        dfs = spate.dfs
+        del spate
+        with pytest.raises(ConfigError):
+            Spate.open(_config("bz2-ref"), dfs=dfs)
+
+    def test_matching_codec_migrates_tags(self):
+        spate = _build("gzip-ref")
+        expected = _answers(spate)
+        _strip_tags(spate)
+        dfs = spate.dfs
+        del spate
+
+        reopened = Spate.open(_config("gzip-ref"), dfs=dfs)
+        report = reopened.last_recovery_report
+        assert report.leaves_migrated == EPOCHS
+        assert report.migrated_codec == "gzip-ref"
+        assert "codec migration" in report.summary()
+        for leaf in reopened.index.leaves():
+            for table in leaf.table_paths:
+                assert leaf.codec_for(table) == "gzip-ref"
+        assert _answers(reopened) == expected
+        # The migration is persisted: a second reopen has nothing to do.
+        dfs = reopened.dfs
+        del reopened
+        again = Spate.open(_config("gzip-ref"), dfs=dfs)
+        assert again.last_recovery_report.leaves_migrated == 0
+
+    def test_auto_config_migrates_via_creation_record(self):
+        """codec="auto" has no single static codec to assume, but the
+        creation record names the original; migration uses it."""
+        spate = _build("gzip-ref")
+        expected = _answers(spate)
+        _strip_tags(spate)
+        dfs = spate.dfs
+        del spate
+        reopened = Spate.open(_config("auto"), dfs=dfs)
+        assert reopened.last_recovery_report.leaves_migrated == EPOCHS
+        assert _answers(reopened) == expected
+
+    def test_no_record_and_auto_fails_fast(self):
+        spate = _build("gzip-ref")
+        _strip_tags(spate)
+        dfs = spate.dfs
+        dfs.delete_file(Spate.WAREHOUSE_META_PATH)
+        del spate
+        with pytest.raises(ConfigError):
+            Spate.open(_config("auto"), dfs=dfs)
+
+    def test_no_record_static_config_is_assumed(self):
+        """Without a creation record the configured static codec is the
+        only evidence there is; opening with the right one works."""
+        spate = _build("gzip-ref")
+        expected = _answers(spate)
+        _strip_tags(spate)
+        dfs = spate.dfs
+        dfs.delete_file(Spate.WAREHOUSE_META_PATH)
+        del spate
+        reopened = Spate.open(_config("gzip-ref"), dfs=dfs)
+        assert reopened.last_recovery_report.leaves_migrated == EPOCHS
+        assert _answers(reopened) == expected

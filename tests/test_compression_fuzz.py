@@ -95,3 +95,208 @@ class TestLengthBombs:
         )
         with pytest.raises(CompressionError):
             codec.decompress(bomb)
+
+
+class TestColumnarStreams:
+    """Columnar transform decoders under the same contract: corrupt
+    inputs raise CorruptStreamError, never IndexError/ValueError/etc."""
+
+    def _attempt_column(self, payload: bytes, expected=None) -> None:
+        from repro.compression.columnar import decode_column
+
+        try:
+            decode_column(payload, expected_cells=expected)
+        except CompressionError:
+            pass
+
+    def test_random_garbage(self):
+        rng = random.Random(29)
+        for trial in range(60):
+            garbage = bytes(
+                rng.randrange(256) for __ in range(rng.randrange(0, 80))
+            )
+            self._attempt_column(garbage)
+
+    def test_bit_flips_in_valid_columns(self):
+        from repro.compression.columnar import encode_column
+
+        columns = [
+            ["voice"] * 40 + ["sms"] * 20,          # rle/dict
+            [str(i * 7) for i in range(60)],        # delta
+            [f"cell-{i}" for i in range(60)],       # plain-ish
+        ]
+        rng = random.Random(31)
+        for cells in columns:
+            blob = bytearray(encode_column(cells))
+            for trial in range(40):
+                mutated = bytearray(blob)
+                pos = rng.randrange(len(mutated))
+                mutated[pos] ^= 1 << rng.randrange(8)
+                self._attempt_column(bytes(mutated), expected=len(cells))
+
+    def test_truncations(self):
+        from repro.compression.columnar import encode_column
+
+        blob = encode_column([str(i % 9) for i in range(200)])
+        for cut in range(len(blob)):
+            self._attempt_column(blob[:cut], expected=200)
+
+    def test_cell_count_mismatch_rejected(self):
+        from repro.compression.columnar import encode_column
+
+        blob = encode_column(["a", "b", "c"])
+        with pytest.raises(CompressionError):
+            from repro.compression.columnar import decode_column
+
+            decode_column(blob, expected_cells=4)
+
+    def test_declared_cell_bomb(self):
+        from repro.compression.varint import encode_varint
+
+        # plain encoding id 0 + absurd cell count, then nothing.
+        self._attempt_column(b"\x00" + encode_varint(2**40))
+
+    @given(
+        cells=st.lists(
+            st.text(
+                alphabet=st.characters(codec="utf-8", max_codepoint=0x2FF),
+                max_size=12,
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_round_trip_and_never_larger_than_plain(self, cells):
+        from repro.compression.columnar import (
+            decode_column,
+            encode_column,
+        )
+
+        auto = encode_column(cells)
+        assert decode_column(auto, expected_cells=len(cells)) == cells
+        plain = encode_column(cells, encoding="plain")
+        assert len(auto) <= len(plain)
+        for encoding in ("plain", "rle", "dict", "delta"):
+            if encoding == "delta" and not all(
+                c.lstrip("-").isdigit() and str(int(c)) == c for c in cells if True
+            ):
+                continue
+            forced = encode_column(cells, encoding=encoding)
+            assert decode_column(forced, expected_cells=len(cells)) == cells
+
+    def test_choose_encoding_adversarial_columns(self):
+        from repro.compression.columnar import choose_encoding, encode_column
+
+        adversarial = [
+            ["a", "b"] * 50,                  # alternating: RLE would lose
+            ["x"],                            # single cell
+            ["1", "", "3"],                   # empty cell breaks int runs
+            ["9" * 400, "1"],                 # huge ints
+            [str(2**80), str(-(2**80))],      # beyond any fixed-width delta
+            ["00", "0", "-0"],                # non-canonical integers
+            ["same"] * 3 + ["diff"] * 97,     # run then churn
+        ]
+        for cells in adversarial:
+            name = choose_encoding(cells)
+            auto = encode_column(cells)
+            plain = encode_column(cells, encoding="plain")
+            assert len(auto) <= len(plain), (cells, name)
+            from repro.compression.columnar import decode_column
+
+            assert decode_column(auto, expected_cells=len(cells)) == cells
+
+
+class TestColumnarTables:
+    """Whole-table columnar payloads through deserialize_table."""
+
+    def _table(self):
+        from repro.core.snapshot import Table
+
+        return Table(
+            name="CDR",
+            columns=["caller", "callee", "duration_s"],
+            rows=[[f"u{i % 5}", f"u{(i + 1) % 7}", str(i * 3)] for i in range(50)],
+        )
+
+    def _attempt_table(self, payload: bytes) -> None:
+        from repro.core.layout import deserialize_table
+        from repro.errors import SpateError
+
+        try:
+            deserialize_table("CDR", payload, "columnar")
+        except SpateError:
+            pass
+
+    def test_bit_flips(self):
+        from repro.core.layout import serialize_table
+
+        blob = bytearray(serialize_table(self._table(), "columnar"))
+        rng = random.Random(37)
+        for trial in range(80):
+            mutated = bytearray(blob)
+            pos = rng.randrange(len(mutated))
+            mutated[pos] ^= 1 << rng.randrange(8)
+            self._attempt_table(bytes(mutated))
+
+    def test_truncations(self):
+        from repro.core.layout import serialize_table
+
+        blob = serialize_table(self._table(), "columnar")
+        for cut in range(0, len(blob), max(1, len(blob) // 50)):
+            self._attempt_table(blob[:cut])
+
+    @given(data=st.binary(min_size=0, max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_property_garbage_tables(self, data):
+        self._attempt_table(data)
+
+
+class TestDictionaryStreams:
+    """zstd streams compressed against a trained shared dictionary."""
+
+    def _codecs(self):
+        from repro.compression.zstd import ZstdCodec, ZstdDictionary
+
+        samples = [b"telco-shared-preamble|%d|" % i * 30 for i in range(6)]
+        trained = ZstdDictionary.train(samples)
+        other = ZstdDictionary.train([b"completely different corpus " * 40])
+        return (
+            ZstdCodec(dictionary=trained),
+            ZstdCodec(dictionary=other),
+            ZstdCodec(),
+        )
+
+    def test_round_trip_and_wrong_dictionary_rejected(self):
+        with_dict, wrong_dict, plain = self._codecs()
+        payload = b"telco-shared-preamble|42|" * 50
+        blob = with_dict.compress(payload)
+        assert with_dict.decompress(blob) == payload
+        with pytest.raises(CompressionError):
+            wrong_dict.decompress(blob)
+        with pytest.raises(CompressionError):
+            plain.decompress(blob)
+        # The reverse is fine: the stream's flag byte says no dictionary
+        # is needed, so a dict-configured codec decodes it without one.
+        assert with_dict.decompress(plain.compress(payload)) == payload
+
+    def test_bit_flips(self):
+        with_dict, __, __unused = self._codecs()
+        blob = bytearray(with_dict.compress(b"shared window data " * 60))
+        rng = random.Random(41)
+        for trial in range(40):
+            mutated = bytearray(blob)
+            pos = rng.randrange(len(mutated))
+            mutated[pos] ^= 1 << rng.randrange(8)
+            _attempt(with_dict, bytes(mutated))
+
+    def test_truncations(self):
+        with_dict, __, __unused = self._codecs()
+        blob = with_dict.compress(b"truncate me " * 80)
+        for cut in range(0, len(blob), max(1, len(blob) // 30)):
+            _attempt(with_dict, blob[:cut])
+
+    @given(data=st.binary(min_size=0, max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_property_garbage_dict_streams(self, data):
+        with_dict, __, __unused = self._codecs()
+        _attempt(with_dict, b"ZST" + data)
