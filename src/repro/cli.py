@@ -19,6 +19,8 @@ Commands:
     bench-codecs  Table-I style codec microbenchmark
     tune          ingest with codec=auto, print the per-codec autotune report
     recompact     run the background densest-codec rewrite over aged leaves
+    serve         run the JSON-lines TCP query server over a loaded trace
+    loadtest      replay a diurnal query workload against a live server
 
 Examples:
     python -m repro.cli ingest --scale 0.01 --days 1 --codec gzip
@@ -31,6 +33,9 @@ Examples:
     python -m repro.cli recover --kill-at-epoch 20 --verify
     python -m repro.cli tune --compare --train-dicts
     python -m repro.cli recompact --codec auto --recompact-after 8
+    python -m repro.cli serve --scale 0.005 --port 7717
+    python -m repro.cli loadtest --scale 0.001 --duration 30s \
+        --bench-file BENCH_serving.json --require-zero-failures
 """
 
 from __future__ import annotations
@@ -660,6 +665,94 @@ def cmd_recompact(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def _server_config(args: argparse.Namespace):
+    from repro.server import ServerConfig
+
+    return ServerConfig(
+        max_concurrent_queries=args.max_concurrent,
+        max_queued_queries=args.max_queued,
+        ingest_queue_depth=args.ingest_queue_depth,
+    )
+
+
+def _add_server_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--max-concurrent", type=int, default=8,
+                        help="reader pool width / global admission cap")
+    parser.add_argument("--max-queued", type=int, default=64,
+                        help="global waiting room; beyond it requests are shed")
+    parser.add_argument("--ingest-queue-depth", type=int, default=4,
+                        help="bounded ingest queue (backpressure threshold)")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: ingest a trace, then run the JSON-lines TCP query
+    server over it until interrupted.  One JSON request per line
+    (ops: explore, sql, explore_stream, metrics, ping); see
+    :mod:`repro.server.tcp` for the protocol."""
+    import asyncio
+
+    from repro.server.service import SpateService
+    from repro.server.tcp import start_tcp_server
+
+    spate, __ = _build_spate(args)
+    print(f"warehouse ready: {len(spate.ingested_epochs())} epochs ingested")
+
+    async def run() -> None:
+        async with SpateService(spate, _server_config(args)) as service:
+            server = await start_tcp_server(service, args.host, args.port)
+            host, port = server.sockets[0].getsockname()[:2]
+            print(f"serving on {host}:{port} (Ctrl-C to stop)")
+            async with server:
+                await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nserver stopped")
+    return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """``loadtest``: replay a diurnal query workload against a live
+    in-process server (ingest streams concurrently with the queries)
+    and report latency percentiles.  Exit code reflects the gates:
+    ``--require-zero-failures`` and ``--max-p99-ms`` turn SLO misses
+    into a nonzero exit for CI."""
+    from repro.server import WorkloadConfig, simulate
+    from repro.server.simulate import parse_duration
+
+    duration_s = None
+    if args.duration is not None:
+        duration_s = parse_duration(args.duration)
+    config = WorkloadConfig(
+        scale=args.scale,
+        seed=args.seed,
+        epochs=args.epochs,
+        queries_per_epoch=args.queries_per_epoch,
+        deadline_ms=args.deadline_ms,
+        duration_s=duration_s,
+        client_threads=args.client_threads,
+        server=_server_config(args),
+        codec=args.codec,
+    )
+    report = simulate(config, bench_file=args.bench_file)
+    print(report.describe())
+    if args.bench_file:
+        print(f"results written to {args.bench_file}")
+    exit_code = 0
+    if args.require_zero_failures and report.failed:
+        print(f"GATE FAILED: {report.failed} failed requests (wanted 0)",
+              file=sys.stderr)
+        exit_code = 1
+    if args.max_p99_ms is not None:
+        p99 = report.latency_percentiles()["p99"]
+        if p99 > args.max_p99_ms:
+            print(f"GATE FAILED: p99 {p99:.1f} ms exceeds the "
+                  f"{args.max_p99_ms:.1f} ms bound", file=sys.stderr)
+            exit_code = 1
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -808,6 +901,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--report-file", default=None,
                    help="also write the pass report to this file")
     p.set_defaults(func=cmd_recompact)
+
+    p = sub.add_parser("serve", help="JSON-lines TCP query server")
+    _add_trace_args(p)
+    _add_server_args(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7717,
+                   help="TCP port (0 = pick a free one)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("loadtest",
+                       help="diurnal workload replay against a live server")
+    p.add_argument("--scale", type=float, default=0.002,
+                   help="trace scale (1.0 = the paper's 5 GB week)")
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument("--codec", default="gzip-ref")
+    p.add_argument("--epochs", type=int, default=48,
+                   help="epochs to stream (48 = one day)")
+    p.add_argument("--queries-per-epoch", type=float, default=4.0,
+                   help="mean query rate before the diurnal multiplier")
+    p.add_argument("--deadline-ms", type=int, default=15_000,
+                   help="per-request deadline (partial answers past it)")
+    p.add_argument("--duration", default=None,
+                   help="wall-clock cap, e.g. 30s / 2m (default: no cap)")
+    p.add_argument("--client-threads", type=int, default=8,
+                   help="concurrent client threads")
+    _add_server_args(p)
+    p.add_argument("--bench-file", default=None,
+                   help="write BENCH_serving.json-style results here")
+    p.add_argument("--max-p99-ms", type=float, default=None,
+                   help="fail (exit 1) when p99 latency exceeds this")
+    p.add_argument("--require-zero-failures", action="store_true",
+                   help="fail (exit 1) on any failed request")
+    p.set_defaults(func=cmd_loadtest)
 
     return parser
 

@@ -12,10 +12,16 @@ their decompressed payload, so the capacity is a real byte budget
 rather than an entry count.  The cache must be invalidated whenever a
 leaf's stored bytes change: full decay eviction and grouped-decay
 rewrites both call :meth:`LeafCache.invalidate_epoch`.
+
+Thread safety: the serving layer shares one cache between many reader
+threads, so every operation (including counter updates — LRU reorder
+and byte accounting corrupt silently under races) runs under one
+per-instance lock.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -51,33 +57,38 @@ class LeafCache:
         #: (epoch, table) -> (table, charged bytes); insertion order = LRU order.
         self._entries: OrderedDict[tuple[int, str], tuple[Table, int]] = OrderedDict()
         self._bytes = 0
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def current_bytes(self) -> int:
         """Bytes currently charged against the capacity."""
-        return self._bytes
+        with self._lock:
+            return self._bytes
 
     def has(self, epoch: int, table: str) -> bool:
         """True when the entry is resident (does not touch LRU order)."""
-        return (epoch, table) in self._entries
+        with self._lock:
+            return (epoch, table) in self._entries
 
     def get(self, epoch: int, table: str) -> Table | None:
         """Return the cached table and refresh its recency, or None."""
         key = (epoch, table)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry[0]
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[0]
 
     def put(self, epoch: int, table_name: str, table: Table, nbytes: int) -> int:
         """Insert (or refresh) an entry charged ``nbytes``.
@@ -89,47 +100,51 @@ class LeafCache:
             The number of entries evicted to make room.
         """
         key = (epoch, table_name)
-        previous = self._entries.pop(key, None)
-        if previous is not None:
-            self._bytes -= previous[1]
-        if self.capacity_bytes <= 0 or nbytes > self.capacity_bytes:
-            # Not cacheable — but the stale previous entry (e.g. a leaf
-            # rewritten larger by the fungus) must still be dropped, or
-            # it would keep serving pre-rewrite rows.
-            return 0
-        self._entries[key] = (table, nbytes)
-        self._bytes += nbytes
-        evicted = 0
-        while self._bytes > self.capacity_bytes:
-            __, (___, cost) = self._entries.popitem(last=False)
-            self._bytes -= cost
-            evicted += 1
-        self.evictions += evicted
-        return evicted
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._bytes -= previous[1]
+            if self.capacity_bytes <= 0 or nbytes > self.capacity_bytes:
+                # Not cacheable — but the stale previous entry (e.g. a leaf
+                # rewritten larger by the fungus) must still be dropped, or
+                # it would keep serving pre-rewrite rows.
+                return 0
+            self._entries[key] = (table, nbytes)
+            self._bytes += nbytes
+            evicted = 0
+            while self._bytes > self.capacity_bytes:
+                __, (___, cost) = self._entries.popitem(last=False)
+                self._bytes -= cost
+                evicted += 1
+            self.evictions += evicted
+            return evicted
 
     def invalidate_epoch(self, epoch: int) -> int:
         """Drop every table cached for ``epoch`` (decay/rewrite hook)."""
-        stale = [key for key in self._entries if key[0] == epoch]
-        for key in stale:
-            __, cost = self._entries.pop(key)
-            self._bytes -= cost
-        self.invalidations += len(stale)
-        return len(stale)
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == epoch]
+            for key in stale:
+                __, cost = self._entries.pop(key)
+                self._bytes -= cost
+            self.invalidations += len(stale)
+            return len(stale)
 
     def clear(self) -> None:
         """Drop every entry (counters are retained)."""
-        self.invalidations += len(self._entries)
-        self._entries.clear()
-        self._bytes = 0
+        with self._lock:
+            self.invalidations += len(self._entries)
+            self._entries.clear()
+            self._bytes = 0
 
     def stats(self) -> LeafCacheStats:
-        """Snapshot of the cache's counters and occupancy."""
-        return LeafCacheStats(
-            hits=self.hits,
-            misses=self.misses,
-            evictions=self.evictions,
-            invalidations=self.invalidations,
-            entries=len(self._entries),
-            current_bytes=self._bytes,
-            capacity_bytes=self.capacity_bytes,
-        )
+        """Consistent snapshot of the cache's counters and occupancy."""
+        with self._lock:
+            return LeafCacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                invalidations=self.invalidations,
+                entries=len(self._entries),
+                current_bytes=self._bytes,
+                capacity_bytes=self.capacity_bytes,
+            )

@@ -4,11 +4,37 @@ A lightweight counter/gauge registry the facade updates on every
 ingest, query, and decay pass — the observability surface an operator
 of the paper's system would watch (ingest lag vs the 30-minute budget,
 compression ratio trend, decay reclamation, query mix).
+
+Thread safety: the serving layer updates one registry from many reader
+threads plus the ingest worker, so every update hook runs under a
+per-instance lock (unguarded ``+=`` on counters loses increments under
+contention).  Reads of individual counters stay lock-free — they are
+single attribute loads, and a summary that is one increment stale is
+fine.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+
+#: Latency reservoir cap: enough for any bench run while bounding RAM.
+_LATENCY_SAMPLE_CAP = 200_000
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) by linear interpolation, 0.0 when
+    there are no samples."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
 
 
 @dataclass
@@ -105,9 +131,26 @@ class WarehouseMetrics:
     recompaction_tables_rewritten: int = 0
     recompaction_bytes_reclaimed: int = 0
 
+    #: Serving-layer counters (the async front-end in ``repro.server``).
+    requests_admitted: int = 0
+    requests_rejected: int = 0
+    requests_shed: int = 0
+    requests_completed: int = 0
+    requests_failed: int = 0
+    #: Ingest-session queue instrumentation (bounded queue backpressure).
+    ingest_queue_depth_max: int = 0
+    ingest_appends: int = 0
+    ingest_sheds: int = 0
+    #: tenant id -> queries admitted for it.
+    tenant_queries: dict[str, int] = field(default_factory=dict)
+    _latency_samples_ms: list[float] = field(default_factory=list, repr=False)
+
     #: max ingest time seen, to compare against the epoch budget.
     worst_ingest_seconds: float = 0.0
     _ratio_samples: list[float] = field(default_factory=list, repr=False)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Update hooks (called by the facade)
@@ -121,28 +164,31 @@ class WarehouseMetrics:
         seconds: float,
     ) -> None:
         """Record one ingested snapshot's sizes and timing."""
-        self.snapshots_ingested += 1
-        self.records_ingested += records
-        self.raw_bytes_ingested += raw_bytes
-        self.stored_bytes_written += stored_bytes
-        self.ingest_seconds_total += seconds
-        if seconds > self.worst_ingest_seconds:
-            self.worst_ingest_seconds = seconds
-        if stored_bytes:
-            self._ratio_samples.append(raw_bytes / stored_bytes)
+        with self._lock:
+            self.snapshots_ingested += 1
+            self.records_ingested += records
+            self.raw_bytes_ingested += raw_bytes
+            self.stored_bytes_written += stored_bytes
+            self.ingest_seconds_total += seconds
+            if seconds > self.worst_ingest_seconds:
+                self.worst_ingest_seconds = seconds
+            if stored_bytes:
+                self._ratio_samples.append(raw_bytes / stored_bytes)
 
     def on_explore(self, snapshots_read: int, used_decayed: bool) -> None:
         """Record one exploration query's storage touch."""
-        self.exploration_queries += 1
-        self.snapshots_decompressed += snapshots_read
-        if used_decayed:
-            self.decayed_answers += 1
+        with self._lock:
+            self.exploration_queries += 1
+            self.snapshots_decompressed += snapshots_read
+            if used_decayed:
+                self.decayed_answers += 1
 
     def on_decay(self, leaves_evicted: int, bytes_reclaimed: int) -> None:
         """Record one decay pass's evictions."""
-        self.decay_passes += 1
-        self.leaves_evicted += leaves_evicted
-        self.bytes_reclaimed += bytes_reclaimed
+        with self._lock:
+            self.decay_passes += 1
+            self.leaves_evicted += leaves_evicted
+            self.bytes_reclaimed += bytes_reclaimed
 
     def on_executor_run(
         self,
@@ -153,111 +199,169 @@ class WarehouseMetrics:
         queue_depth: int,
     ) -> None:
         """Record one ingest fan-out through the executor backend."""
-        self.executor_backend = backend
-        self.executor_tasks += tasks
-        self.compress_wall_seconds += wall_seconds
-        self.compress_task_seconds += task_seconds
-        if queue_depth > self.executor_queue_depth_max:
-            self.executor_queue_depth_max = queue_depth
+        with self._lock:
+            self.executor_backend = backend
+            self.executor_tasks += tasks
+            self.compress_wall_seconds += wall_seconds
+            self.compress_task_seconds += task_seconds
+            if queue_depth > self.executor_queue_depth_max:
+                self.executor_queue_depth_max = queue_depth
 
     def on_leaf_cache(self, hit: bool) -> None:
         """Record one leaf-cache lookup."""
-        if hit:
-            self.leaf_cache_hits += 1
-        else:
-            self.leaf_cache_misses += 1
+        with self._lock:
+            if hit:
+                self.leaf_cache_hits += 1
+            else:
+                self.leaf_cache_misses += 1
 
     def on_leaf_cache_change(
         self, evictions: int, invalidations: int, current_bytes: int
     ) -> None:
         """Record cache churn and refresh the occupancy gauge."""
-        self.leaf_cache_evictions += evictions
-        self.leaf_cache_invalidations += invalidations
-        self.leaf_cache_bytes = current_bytes
+        with self._lock:
+            self.leaf_cache_evictions += evictions
+            self.leaf_cache_invalidations += invalidations
+            self.leaf_cache_bytes = current_bytes
 
     def sync_storage_faults(self, fault_stats, injector=None) -> None:
         """Mirror the DFS's cumulative fault counters (and the
         injector's, when a chaos run attached one).  The DFS owns the
         running totals, so this *sets* rather than adds."""
-        self.dfs_write_retries = fault_stats.write_retries
-        self.dfs_write_failures = fault_stats.write_failures
-        self.dfs_writes_rolled_back = fault_stats.writes_rolled_back
-        self.dfs_checksum_failures = fault_stats.checksum_failures
-        self.dfs_read_failovers = fault_stats.read_failovers
-        self.dfs_corrupt_replicas_dropped = fault_stats.corrupt_replicas_dropped
-        self.dfs_re_replicated_copies = fault_stats.re_replicated_copies
-        self.dfs_excess_replicas_trimmed = fault_stats.excess_replicas_trimmed
-        self.heal_passes = fault_stats.heal_passes
-        if injector is not None:
-            self.faults_crashes_injected = injector.crashes_injected
-            self.faults_restarts_injected = injector.restarts_injected
-            self.faults_corruptions_injected = injector.corruptions_injected
-            self.faults_write_failures_injected = injector.write_failures_injected
+        with self._lock:
+            self.dfs_write_retries = fault_stats.write_retries
+            self.dfs_write_failures = fault_stats.write_failures
+            self.dfs_writes_rolled_back = fault_stats.writes_rolled_back
+            self.dfs_checksum_failures = fault_stats.checksum_failures
+            self.dfs_read_failovers = fault_stats.read_failovers
+            self.dfs_corrupt_replicas_dropped = fault_stats.corrupt_replicas_dropped
+            self.dfs_re_replicated_copies = fault_stats.re_replicated_copies
+            self.dfs_excess_replicas_trimmed = fault_stats.excess_replicas_trimmed
+            self.heal_passes = fault_stats.heal_passes
+            if injector is not None:
+                self.faults_crashes_injected = injector.crashes_injected
+                self.faults_restarts_injected = injector.restarts_injected
+                self.faults_corruptions_injected = injector.corruptions_injected
+                self.faults_write_failures_injected = injector.write_failures_injected
 
     def on_heal(self, report) -> None:
         """Record one heal pass's outcome (the pass counter itself is
         mirrored from the DFS by :meth:`sync_storage_faults`)."""
-        self.under_replicated_blocks = report.under_replicated_after
+        with self._lock:
+            self.under_replicated_blocks = report.under_replicated_after
 
     def sync_durability(self, wal, checkpoints) -> None:
         """Mirror the WAL's and checkpoint manager's running totals."""
-        if wal is not None:
-            self.wal_records_appended = wal.records_appended
-            self.wal_segments_written = wal.segments_written
-            self.wal_bytes_written = wal.bytes_written
-        if checkpoints is not None:
-            self.checkpoints_written = checkpoints.checkpoints_written
+        with self._lock:
+            if wal is not None:
+                self.wal_records_appended = wal.records_appended
+                self.wal_segments_written = wal.segments_written
+                self.wal_bytes_written = wal.bytes_written
+            if checkpoints is not None:
+                self.checkpoints_written = checkpoints.checkpoints_written
 
     def on_recovery(
         self, records_replayed: int, quarantined: int, orphans_removed: int
     ) -> None:
         """Record one crash-recovery pass."""
-        self.recoveries += 1
-        self.wal_records_replayed += records_replayed
-        self.leaves_quarantined = quarantined
-        self.orphan_files_removed += orphans_removed
+        with self._lock:
+            self.recoveries += 1
+            self.wal_records_replayed += records_replayed
+            self.leaves_quarantined = quarantined
+            self.orphan_files_removed += orphans_removed
 
     def on_degraded_query(self, epochs_skipped: int, deadline_hit: bool) -> None:
         """Record one query answered in ``partial_ok`` mode."""
-        self.partial_queries += 1
-        self.epochs_skipped_degraded += epochs_skipped
-        if deadline_hit:
-            self.deadline_expirations += 1
+        with self._lock:
+            self.partial_queries += 1
+            self.epochs_skipped_degraded += epochs_skipped
+            if deadline_hit:
+                self.deadline_expirations += 1
 
     def on_query_scan(self, stats) -> None:
         """Fold one query's :class:`~repro.query.leafscan.ScanStats` in."""
-        self.query_leaves_scanned += stats.leaves_scanned
-        self.query_leaves_pruned += stats.leaves_pruned
-        self.query_scan_cache_hits += stats.cache_hits
-        self.query_bytes_decompressed += stats.bytes_decompressed
-        self.query_scan_wall_seconds += stats.wall_seconds
-        self.query_scan_task_seconds += stats.task_seconds
-        if stats.backend:
-            self.query_scan_backend = stats.backend
+        with self._lock:
+            self.query_leaves_scanned += stats.leaves_scanned
+            self.query_leaves_pruned += stats.leaves_pruned
+            self.query_scan_cache_hits += stats.cache_hits
+            self.query_bytes_decompressed += stats.bytes_decompressed
+            self.query_scan_wall_seconds += stats.wall_seconds
+            self.query_scan_task_seconds += stats.task_seconds
+            if stats.backend:
+                self.query_scan_backend = stats.backend
 
     def on_query_cache(self, hit: bool) -> None:
         """Record one query-result cache lookup."""
-        if hit:
-            self.query_cache_hits += 1
-        else:
-            self.query_cache_misses += 1
+        with self._lock:
+            if hit:
+                self.query_cache_hits += 1
+            else:
+                self.query_cache_misses += 1
 
     def sync_autotune(self, report) -> None:
         """Mirror the codec selector's running telemetry (a
         :class:`~repro.compression.autotune.SelectorReport`; the
         selector owns the totals, so this *sets* rather than adds)."""
-        self.autotune_payloads_scored = report.payloads_scored
-        self.autotune_dictionaries_trained = report.dictionaries_trained
-        self.autotune_selections = dict(report.selections)
+        with self._lock:
+            self.autotune_payloads_scored = report.payloads_scored
+            self.autotune_dictionaries_trained = report.dictionaries_trained
+            self.autotune_selections = dict(report.selections)
 
     def on_recompaction(
         self, leaves: int, tables: int, bytes_reclaimed: int
     ) -> None:
         """Record one recompaction pass that rewrote something."""
-        self.recompaction_passes += 1
-        self.recompaction_leaves_rewritten += leaves
-        self.recompaction_tables_rewritten += tables
-        self.recompaction_bytes_reclaimed += bytes_reclaimed
+        with self._lock:
+            self.recompaction_passes += 1
+            self.recompaction_leaves_rewritten += leaves
+            self.recompaction_tables_rewritten += tables
+            self.recompaction_bytes_reclaimed += bytes_reclaimed
+
+    # ------------------------------------------------------------------
+    # Serving-layer hooks (called by repro.server)
+    # ------------------------------------------------------------------
+
+    def on_request_admitted(self, tenant: str) -> None:
+        """Record one query request passing admission control."""
+        with self._lock:
+            self.requests_admitted += 1
+            self.tenant_queries[tenant] = self.tenant_queries.get(tenant, 0) + 1
+
+    def on_request_rejected(self, shed: bool = False) -> None:
+        """Record one rejection: ``shed`` for global-overload sheds,
+        otherwise a per-tenant quota rejection."""
+        with self._lock:
+            if shed:
+                self.requests_shed += 1
+            else:
+                self.requests_rejected += 1
+
+    def on_request_done(self, latency_ms: float, ok: bool) -> None:
+        """Record one admitted request finishing (either way)."""
+        with self._lock:
+            if ok:
+                self.requests_completed += 1
+            else:
+                self.requests_failed += 1
+            if len(self._latency_samples_ms) < _LATENCY_SAMPLE_CAP:
+                self._latency_samples_ms.append(latency_ms)
+
+    def on_ingest_enqueued(self, queue_depth: int) -> None:
+        """Record one snapshot entering the serving-layer ingest queue."""
+        with self._lock:
+            self.ingest_appends += 1
+            if queue_depth > self.ingest_queue_depth_max:
+                self.ingest_queue_depth_max = queue_depth
+
+    def on_ingest_shed(self) -> None:
+        """Record one snapshot refused by ingest-queue backpressure."""
+        with self._lock:
+            self.ingest_sheds += 1
+
+    def query_latency_ms(self, q: float) -> float:
+        """The ``q``-th percentile of served-request latency, ms."""
+        with self._lock:
+            return percentile(self._latency_samples_ms, q)
 
     # ------------------------------------------------------------------
     # Derived views
@@ -402,6 +506,31 @@ class WarehouseMetrics:
                 f"  degraded queries:      {self.partial_queries} partial answers, "
                 f"{self.epochs_skipped_degraded} epochs skipped, "
                 f"{self.deadline_expirations} deadline expirations"
+            )
+        if self.requests_admitted or self.requests_rejected or self.requests_shed:
+            lines.append(
+                f"  serving admission:     {self.requests_admitted} admitted, "
+                f"{self.requests_rejected} quota-rejected, "
+                f"{self.requests_shed} shed, "
+                f"{self.requests_completed} completed / "
+                f"{self.requests_failed} failed"
+            )
+            lines.append(
+                f"  serving latency:       p50 {self.query_latency_ms(50):.1f} ms / "
+                f"p95 {self.query_latency_ms(95):.1f} ms / "
+                f"p99 {self.query_latency_ms(99):.1f} ms"
+            )
+            tenants = ", ".join(
+                f"{tenant}={count}"
+                for tenant, count in sorted(self.tenant_queries.items())
+            )
+            if tenants:
+                lines.append(f"  per-tenant queries:    {tenants}")
+        if self.ingest_appends or self.ingest_sheds:
+            lines.append(
+                f"  serving ingest queue:  {self.ingest_appends} appends, "
+                f"{self.ingest_sheds} shed (queue full), "
+                f"high-water depth {self.ingest_queue_depth_max}"
             )
         if self._any_storage_faults():
             lines.append(

@@ -9,11 +9,17 @@ exact: one integer compare, no dependency tracking.
 Only *complete* results are cacheable (partial answers depend on the
 deadline and fault state at evaluation time).  Entries are deep-copied
 on both insert and lookup so callers can mutate what they get back.
+
+Thread safety: one instance is shared by every reader thread of the
+serving layer, so lookups and inserts run under a per-instance lock
+(the deep copies happen inside it — a concurrent eviction mid-copy
+would hand back a half-built result).
 """
 
 from __future__ import annotations
 
 import copy
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable
 
@@ -30,6 +36,7 @@ class QueryResultCache:
     def __init__(self, capacity: int) -> None:
         self._capacity = max(0, capacity)
         self._entries: OrderedDict[tuple[Hashable, int], Any] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
@@ -38,7 +45,8 @@ class QueryResultCache:
         return self._capacity > 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: Hashable, version: int) -> Any | None:
         """Return a copy of the cached result, or None on miss.
@@ -49,24 +57,27 @@ class QueryResultCache:
         if not self.enabled:
             return None
         slot = (key, version)
-        entry = self._entries.get(slot)
-        if entry is None:
-            self.misses += 1
-            for stale in [k for k in self._entries if k[0] == key]:
-                del self._entries[stale]
-            return None
-        self.hits += 1
-        self._entries.move_to_end(slot)
-        return copy.deepcopy(entry)
+        with self._lock:
+            entry = self._entries.get(slot)
+            if entry is None:
+                self.misses += 1
+                for stale in [k for k in self._entries if k[0] == key]:
+                    del self._entries[stale]
+                return None
+            self.hits += 1
+            self._entries.move_to_end(slot)
+            return copy.deepcopy(entry)
 
     def put(self, key: Hashable, version: int, result: Any) -> None:
         """Cache a complete result computed under ``version``."""
         if not self.enabled:
             return
-        self._entries[(key, version)] = copy.deepcopy(result)
-        self._entries.move_to_end((key, version))
-        while len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[(key, version)] = copy.deepcopy(result)
+            self._entries.move_to_end((key, version))
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,123 @@
+"""A reentrant readers-writer lock for the serving layer.
+
+The warehouse was born single-threaded: the DFS, the temporal index and
+the incremence module all assume one mutator at a time.  The serving
+front-end (:mod:`repro.server`) runs many reader threads against one
+ingest stream, so :class:`~repro.core.spate.Spate` brackets its public
+API with this lock — queries share a read lock, mutations (ingest,
+decay, recovery, ...) take the write lock exclusively.
+
+Semantics:
+
+- many concurrent readers, one writer, writer excludes readers;
+- *writer preference*: new first-time readers queue behind a waiting
+  writer, so a steady query stream cannot starve ingest;
+- reentrant both ways: a thread may re-acquire a lock mode it already
+  holds (``sql`` read-locks, then its table scans read-lock again), and
+  a writer may take the read lock (write implies read) — the two cases
+  that would otherwise self-deadlock under writer preference;
+- read-to-write *upgrade* is refused loudly (it deadlocks as soon as
+  two readers try it simultaneously).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class ReadWriteLock:
+    """Reentrant, writer-preferring readers-writer lock."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        #: thread ident -> read re-entry depth.
+        self._readers: dict[int, int] = {}
+        self._writer: int | None = None
+        self._writer_depth = 0
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me or self._readers.get(me):
+                # Reentrant (or writer-held) read: must not queue behind
+                # a waiting writer, or the thread deadlocks on itself.
+                self._readers[me] = self._readers.get(me, 0) + 1
+                return
+            while self._writer is not None or self._writers_waiting:
+                self._cond.wait()
+            self._readers[me] = 1
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            depth = self._readers.get(me, 0)
+            if depth <= 0:
+                raise RuntimeError("release_read without a matching acquire")
+            if depth == 1:
+                del self._readers[me]
+                if not self._readers:
+                    self._cond.notify_all()
+            else:
+                self._readers[me] = depth - 1
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                return
+            if self._readers.get(me):
+                raise RuntimeError(
+                    "cannot upgrade a read lock to a write lock "
+                    "(release the read lock first)"
+                )
+            self._writers_waiting += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = me
+            self._writer_depth = 1
+
+    def release_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise RuntimeError("release_write by a non-owning thread")
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Context managers
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def read_locked(self):
+        """``with lock.read_locked():`` — shared access."""
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        """``with lock.write_locked():`` — exclusive access."""
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()

@@ -22,6 +22,7 @@ Typical use::
 
 from __future__ import annotations
 
+import functools
 import json
 
 from repro.baselines.base import Framework, IngestStats
@@ -36,6 +37,7 @@ from repro.core.config import SpateConfig
 from repro.core.leaf_cache import LeafCache
 from repro.core.metrics import WarehouseMetrics
 from repro.core.query_cache import QueryResultCache
+from repro.core.rwlock import ReadWriteLock
 from repro.core.snapshot import Snapshot, Table
 from repro.dfs.faults import FaultInjector
 from repro.dfs.filesystem import HealReport, SimulatedDFS
@@ -58,6 +60,32 @@ from repro.spatial.geometry import BoundingBox, Point
 from repro.spatial.rtree import RTree
 
 
+def _reads(method):
+    """Bracket a query-path method with the shared read lock.
+
+    Reentrant by design: ``sql`` read-locks and its table scans
+    (``read_rows``) read-lock again on the same thread.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._state_lock.read_locked():
+            return method(self, *args, **kwargs)
+
+    return wrapper
+
+
+def _writes(method):
+    """Bracket a mutating method with the exclusive write lock."""
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._state_lock.write_locked():
+            return method(self, *args, **kwargs)
+
+    return wrapper
+
+
 class Spate(Framework):
     """The SPATE telco big-data exploration framework."""
 
@@ -69,6 +97,11 @@ class Spate(Framework):
         dfs: SimulatedDFS | None = None,
     ) -> None:
         self.config = config or SpateConfig()
+        #: Readers-writer lock bracketing the public API: queries share
+        #: the read side, mutations (ingest/decay/recovery/...) take the
+        #: write side.  This is what lets the serving layer run explore
+        #: and SQL from many threads against one live ingest stream.
+        self._state_lock = ReadWriteLock()
         self.fault_injector: FaultInjector | None = None
         if dfs is None:
             faults = self.config.faults
@@ -213,6 +246,7 @@ class Spate(Framework):
     # Setup
     # ------------------------------------------------------------------
 
+    @_writes
     def register_cells(self, cells: Table) -> None:
         """Load the CELL relation so records gain spatial meaning.
 
@@ -244,6 +278,7 @@ class Spate(Framework):
     # Framework interface
     # ------------------------------------------------------------------
 
+    @_writes
     def ingest(self, snapshot: Snapshot) -> IngestStats:
         """Compress, store, index and (optionally) decay for one epoch.
 
@@ -322,6 +357,7 @@ class Spate(Framework):
             stored_bytes=report.compressed_bytes,
         )
 
+    @_reads
     def read_table(self, epoch: int, table: str) -> Table | None:
         """Decompress one table of one stored snapshot.
 
@@ -332,6 +368,7 @@ class Spate(Framework):
         leaf = self._require_leaf(epoch)
         return self._read_leaf_table(leaf, table)
 
+    @_reads
     def read_snapshot(self, epoch: int) -> Snapshot:
         """Decompress one stored snapshot (all tables).
 
@@ -357,10 +394,12 @@ class Spate(Framework):
             )
         return leaf
 
+    @_reads
     def ingested_epochs(self) -> list[int]:
         """Live (non-decayed) epochs — decayed leaves can't be scanned."""
         return [leaf.epoch for leaf in self.index.leaves() if not leaf.decayed]
 
+    @_reads
     def read_rows(
         self,
         table: str,
@@ -472,6 +511,7 @@ class Spate(Framework):
         self.metrics.on_query_scan(stats)
         return out_columns, rows
 
+    @_writes
     def finalize(self) -> None:
         """Close the stream: finalize trailing day/month/year summaries.
 
@@ -508,6 +548,7 @@ class Spate(Framework):
     # Exploration API
     # ------------------------------------------------------------------
 
+    @_reads
     def explore(
         self,
         table: str,
@@ -569,6 +610,7 @@ class Spate(Framework):
             self.query_cache.put(cache_key, self.index_version, result)
         return result
 
+    @_reads
     def highlights(self, first_epoch: int, last_epoch: int) -> list[Highlight]:
         """Detected highlights overlapping the window."""
         return self._engine().highlights_in_window(first_epoch, last_epoch)
@@ -577,6 +619,7 @@ class Spate(Framework):
     # SQL API
     # ------------------------------------------------------------------
 
+    @_reads
     def sql_database(
         self,
         first_epoch: int | None = None,
@@ -608,6 +651,7 @@ class Spate(Framework):
         )
         return db
 
+    @_reads
     def sql(
         self,
         query: str,
@@ -644,6 +688,7 @@ class Spate(Framework):
             self.query_cache.put(cache_key, self.index_version, result)
         return result
 
+    @_reads
     def explain(
         self,
         query: str,
@@ -660,6 +705,7 @@ class Spate(Framework):
         __, report = db.explain_analyze(query, deadline_ms=deadline_ms)
         return report
 
+    @_writes
     def heal(self) -> HealReport:
         """Force a storage repair pass: scrub corrupt replicas and
         re-replicate under-replicated blocks back to the requested
@@ -671,6 +717,7 @@ class Spate(Framework):
         self._bump_index_version()
         return report
 
+    @_writes
     def run_decay(self) -> DecayReport:
         """Force a decay pass (normally run on every ingest)."""
         report = self.decay.run()
@@ -684,6 +731,7 @@ class Spate(Framework):
             self._bump_index_version()
         return report
 
+    @_writes
     def decay_groups(
         self, older_than_epoch: int, keep_fraction: float = 0.25
     ):
@@ -724,6 +772,7 @@ class Spate(Framework):
         self._bump_index_version()
         return report
 
+    @_writes
     def recompact(self, max_leaves: int | None = None) -> RecompactionReport:
         """Run one background recompaction pass: rewrite live leaves
         older than ``autotune.recompact_after_epochs`` to the densest
@@ -779,6 +828,7 @@ class Spate(Framework):
     # Durability: checkpoints and crash recovery
     # ------------------------------------------------------------------
 
+    @_writes
     def checkpoint(self) -> CheckpointInfo:
         """Commit a checkpoint of the whole indexing layer and truncate
         the WAL through its watermark.
@@ -807,6 +857,7 @@ class Spate(Framework):
         self.metrics.sync_durability(self.wal, self.checkpoints)
         return info
 
+    @_writes
     def recover(self):
         """Reconstruct this (freshly constructed) instance's metadata
         from the DFS: newest checkpoint + WAL replay, then orphan
@@ -819,6 +870,7 @@ class Spate(Framework):
         self._bump_index_version()
         return report
 
+    @_writes
     def verify_leaves(self) -> tuple[int, dict[int, str]]:
         """Check every live leaf's blocks for at least one live valid
         replica, updating each leaf's ``quarantined`` flag both ways —
@@ -916,6 +968,7 @@ class Spate(Framework):
         except StorageError:
             self.metrics.wal_flush_failures += 1
 
+    @_reads
     def render_index(self) -> str:
         """ASCII view of the temporal index (Figure 5)."""
         return self.index.render()

@@ -16,6 +16,7 @@ behaviour the paper's replication-3 testbed buys.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.dfs.block import Block, split_into_blocks
@@ -168,6 +169,11 @@ class SimulatedDFS:
         #: Accumulated modeled I/O time; callers diff this around an
         #: operation to charge it to a measurement.
         self.modeled_io_seconds = 0.0
+        #: Guards the accounting shared by concurrent readers (modeled
+        #: I/O seconds, fault counters, corrupt-replica quarantine).
+        #: Structural mutations (writes, heal, recovery) are already
+        #: serialized by the warehouse's write lock.
+        self._accounting_lock = threading.Lock()
         self.namenode = NameNode()
         self.datanodes: dict[str, DataNode] = {
             f"dn{i:02d}": DataNode(node_id=f"dn{i:02d}", capacity=node_capacity)
@@ -224,9 +230,9 @@ class SimulatedDFS:
         meta = self.namenode.create_file(path, replication=replication)
         meta.size = len(data)
         if self.io_model is not None:
-            self.modeled_io_seconds += self.io_model.write_seconds(
-                len(data), effective
-            )
+            seconds = self.io_model.write_seconds(len(data), effective)
+            with self._accounting_lock:
+                self.modeled_io_seconds += seconds
         for block, placed in placements:
             for node in placed:
                 self.namenode.add_location(block.block_id, node.node_id)
@@ -248,7 +254,9 @@ class SimulatedDFS:
         for block_id in meta.blocks:
             out += self._read_block(block_id, path)
         if self.io_model is not None:
-            self.modeled_io_seconds += self.io_model.read_seconds(len(out))
+            seconds = self.io_model.read_seconds(len(out))
+            with self._accounting_lock:
+                self.modeled_io_seconds += seconds
         return bytes(out)
 
     def delete_file(self, path: str) -> None:
@@ -451,9 +459,10 @@ class SimulatedDFS:
                     self.fault_stats.write_failures += 1
                     raise
                 self.fault_stats.write_retries += 1
-                self.modeled_io_seconds += (
-                    self.write_retry_backoff_s * (2 ** (attempt - 1))
-                )
+                with self._accounting_lock:
+                    self.modeled_io_seconds += (
+                        self.write_retry_backoff_s * (2 ** (attempt - 1))
+                    )
 
     def _rollback(self, placements: list[tuple[Block, list[DataNode]]]) -> None:
         """Undo a failed write: drop staged replicas, release block ids."""
@@ -490,11 +499,12 @@ class SimulatedDFS:
                 return node.read(block_id)
             except ChecksumError:
                 # Quarantine the corrupt replica and fail over.
-                self.fault_stats.checksum_failures += 1
-                self.fault_stats.read_failovers += 1
-                self.fault_stats.corrupt_replicas_dropped += 1
-                node.drop(block_id)
-                self.namenode.remove_location(block_id, node_id)
+                with self._accounting_lock:
+                    self.fault_stats.checksum_failures += 1
+                    self.fault_stats.read_failovers += 1
+                    self.fault_stats.corrupt_replicas_dropped += 1
+                    node.drop(block_id)
+                    self.namenode.remove_location(block_id, node_id)
         raise BlockLostError(
             f"block {block_id} of {path!r} has no live valid replica"
         )

@@ -90,6 +90,30 @@ class SqlPlanError(QueryError):
     """The parsed SQL statement could not be planned (unknown table/column)."""
 
 
+class ServingError(SpateError):
+    """The serving front-end (``repro.server``) refused a request."""
+
+
+class AdmissionError(ServingError):
+    """A request failed admission control (quota or overload)."""
+
+
+class QuotaExceededError(AdmissionError):
+    """The tenant's queued-request quota is exhausted."""
+
+
+class ServerOverloadedError(AdmissionError):
+    """The global waiting queue is full; the request was shed."""
+
+
+class IngestBackpressureError(ServingError):
+    """The bounded ingest queue is full and the append chose not to wait."""
+
+
+class SessionClosedError(ServingError):
+    """An append/query was submitted to a closed session or service."""
+
+
 class PrivacyError(SpateError):
     """A privacy-sanitization request could not be satisfied."""
 

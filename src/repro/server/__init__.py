@@ -1,0 +1,51 @@
+"""Spate-as-a-service: the concurrent async serving layer.
+
+Turns the single-process warehouse library into a long-running
+multi-tenant front-end, modeled on WarpFlow's interactive query service
+(PAPERS.md): one live streaming ingest session feeds the 30-minute
+snapshot pipeline while concurrent readers run explore/SQL queries on a
+thread pool, with admission control (per-tenant quotas + priorities),
+backpressure on the bounded ingest queue, per-request deadlines, and
+streaming partial answers via the CoverageReport machinery.
+
+Layering:
+
+- :mod:`repro.server.admission` — quotas, priorities, the controller;
+- :mod:`repro.server.protocol`  — request/response dataclasses + JSON;
+- :mod:`repro.server.service`   — the asyncio :class:`SpateService`
+  (ingest worker, reader pool) and the thread-hosted
+  :class:`SpateServer` synchronous facade;
+- :mod:`repro.server.tcp`       — JSON-lines TCP front-end;
+- :mod:`repro.server.simulate`  — diurnal workload replay emitting
+  ``BENCH_serving.json`` latency percentiles.
+"""
+
+from repro.server.admission import AdmissionController, TenantQuota
+from repro.server.protocol import QueryRequest, QueryResponse
+from repro.server.service import (
+    IngestSession,
+    ServerConfig,
+    SpateServer,
+    SpateService,
+)
+from repro.server.simulate import (
+    SimulationReport,
+    WorkloadConfig,
+    run_simulation,
+    simulate,
+)
+
+__all__ = [
+    "AdmissionController",
+    "TenantQuota",
+    "QueryRequest",
+    "QueryResponse",
+    "IngestSession",
+    "ServerConfig",
+    "SpateServer",
+    "SpateService",
+    "SimulationReport",
+    "WorkloadConfig",
+    "run_simulation",
+    "simulate",
+]

@@ -1,0 +1,209 @@
+"""Admission control for the serving layer.
+
+Two levels of protection sit in front of the reader pool:
+
+- a **global** concurrency cap (``max_concurrent``) matching the pool,
+  with a bounded priority-ordered waiting room (``max_queued``) —
+  anything beyond it is *shed* with
+  :class:`~repro.errors.ServerOverloadedError` rather than queued into
+  unbounded latency;
+- **per-tenant quotas** (:class:`TenantQuota`): a tenant may hold at
+  most ``max_concurrent`` running slots and ``max_queued`` waiting
+  slots; beyond that the request is rejected with
+  :class:`~repro.errors.QuotaExceededError` while other tenants are
+  unaffected — one chatty dashboard cannot starve the fleet.
+
+Waiters are granted in priority order (larger ``priority`` first,
+FIFO within a priority).  The controller is a single-event-loop
+object: all state transitions happen on the service's loop, so no
+locking is needed here — the thread-safe surface is
+:class:`~repro.core.metrics.WarehouseMetrics`, which it feeds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from dataclasses import dataclass
+
+from repro.errors import QuotaExceededError, ServerOverloadedError
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits.
+
+    Attributes:
+        max_concurrent: running queries the tenant may hold at once.
+        max_queued: requests the tenant may have waiting for a slot.
+        priority: larger wins when slots free up (FIFO within a level).
+    """
+
+    max_concurrent: int = 4
+    max_queued: int = 16
+    priority: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent < 1:
+            raise ValueError("max_concurrent must be at least 1")
+        if self.max_queued < 0:
+            raise ValueError("max_queued must be non-negative")
+
+
+class AdmissionController:
+    """Priority admission over a global cap with per-tenant quotas."""
+
+    def __init__(
+        self,
+        max_concurrent: int = 8,
+        max_queued: int = 64,
+        default_quota: TenantQuota | None = None,
+        quotas: dict[str, TenantQuota] | None = None,
+        metrics=None,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be at least 1")
+        if max_queued < 0:
+            raise ValueError("max_queued must be non-negative")
+        self.max_concurrent = max_concurrent
+        self.max_queued = max_queued
+        self._default_quota = default_quota or TenantQuota()
+        self._quotas = dict(quotas or {})
+        self._metrics = metrics
+        #: tenant -> running count.
+        self._running: dict[str, int] = {}
+        self._running_total = 0
+        #: Min-heap of (-priority, seq, tenant, future); cancelled
+        #: futures stay in the heap as tombstones and are skipped.
+        self._waiting: list[tuple[int, int, str, asyncio.Future]] = []
+        self._waiting_by_tenant: dict[str, int] = {}
+        self._waiting_total = 0
+        self._seq = 0
+        #: Worst waiting-room depth seen (the queue-depth high-water).
+        self.queue_depth_high_water = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        """The tenant's quota (the default when none is registered)."""
+        return self._quotas.get(tenant, self._default_quota)
+
+    @property
+    def running_total(self) -> int:
+        """Queries currently holding a slot."""
+        return self._running_total
+
+    @property
+    def waiting_total(self) -> int:
+        """Requests currently parked in the waiting room."""
+        return self._waiting_total
+
+    def snapshot(self) -> dict:
+        """Point-in-time admission state for status endpoints."""
+        return {
+            "running": self._running_total,
+            "waiting": self._waiting_total,
+            "queue_depth_high_water": self.queue_depth_high_water,
+            "running_by_tenant": dict(self._running),
+        }
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def _can_run(self, tenant: str) -> bool:
+        return (
+            self._running_total < self.max_concurrent
+            and self._running.get(tenant, 0) < self.quota_for(tenant).max_concurrent
+        )
+
+    def _start(self, tenant: str) -> None:
+        self._running[tenant] = self._running.get(tenant, 0) + 1
+        self._running_total += 1
+        if self._metrics is not None:
+            self._metrics.on_request_admitted(tenant)
+
+    async def admit(self, tenant: str) -> None:
+        """Wait for (or immediately take) a running slot.
+
+        Raises:
+            ServerOverloadedError: global waiting room full (shed).
+            QuotaExceededError: the tenant's waiting quota is full.
+        """
+        quota = self.quota_for(tenant)
+        if self._waiting_total == 0 and self._can_run(tenant):
+            self._start(tenant)
+            return
+        if self._waiting_total >= self.max_queued:
+            if self._metrics is not None:
+                self._metrics.on_request_rejected(shed=True)
+            raise ServerOverloadedError(
+                f"server overloaded: {self._waiting_total} requests already "
+                f"waiting (cap {self.max_queued}); request shed"
+            )
+        if self._waiting_by_tenant.get(tenant, 0) >= quota.max_queued:
+            if self._metrics is not None:
+                self._metrics.on_request_rejected(shed=False)
+            raise QuotaExceededError(
+                f"tenant {tenant!r} has {quota.max_queued} requests queued "
+                "already; slow down or raise the quota"
+            )
+        future = asyncio.get_running_loop().create_future()
+        heapq.heappush(self._waiting, (-quota.priority, self._seq, tenant, future))
+        self._seq += 1
+        self._waiting_by_tenant[tenant] = self._waiting_by_tenant.get(tenant, 0) + 1
+        self._waiting_total += 1
+        self._dispatch()
+        if not future.done() and self._waiting_total > self.queue_depth_high_water:
+            self.queue_depth_high_water = self._waiting_total
+        try:
+            await future
+        except asyncio.CancelledError:
+            if future.done() and not future.cancelled():
+                # Granted between cancellation and wake-up: give it back.
+                self.release(tenant)
+            else:
+                # Still queued: forget the bookkeeping now; the heap
+                # entry stays as a tombstone (skipped at dispatch).
+                self._forget_waiter(tenant)
+            raise
+
+    def release(self, tenant: str) -> None:
+        """Return a running slot and wake the best eligible waiter."""
+        count = self._running.get(tenant, 0)
+        if count <= 0:
+            raise RuntimeError(f"release for tenant {tenant!r} without admit")
+        if count == 1:
+            del self._running[tenant]
+        else:
+            self._running[tenant] = count - 1
+        self._running_total -= 1
+        self._dispatch()
+
+    def _forget_waiter(self, tenant: str) -> None:
+        remaining = self._waiting_by_tenant.get(tenant, 0)
+        if remaining <= 1:
+            self._waiting_by_tenant.pop(tenant, None)
+        else:
+            self._waiting_by_tenant[tenant] = remaining - 1
+        self._waiting_total -= 1
+
+    def _dispatch(self) -> None:
+        """Grant waiting requests, best priority first, skipping tenants
+        parked at their concurrency cap."""
+        blocked: list[tuple[int, int, str, asyncio.Future]] = []
+        while self._waiting and self._running_total < self.max_concurrent:
+            entry = heapq.heappop(self._waiting)
+            __, ___, tenant, future = entry
+            if future.cancelled():
+                continue  # tombstone: bookkeeping already forgotten
+            if self._running.get(tenant, 0) >= self.quota_for(tenant).max_concurrent:
+                blocked.append(entry)
+                continue
+            self._forget_waiter(tenant)
+            self._start(tenant)
+            future.set_result(None)
+        for entry in blocked:
+            heapq.heappush(self._waiting, entry)

@@ -1,0 +1,225 @@
+"""Wire-format dataclasses for the serving layer.
+
+The TCP front-end speaks JSON-lines (one JSON object per ``\\n``), and
+the in-process facade reuses the same shapes so the simulator, the CLI
+and the socket server all measure the identical request path.
+
+Error codes in :class:`QueryResponse.error_code`:
+
+========== ====================================================
+code       meaning
+========== ====================================================
+quota      per-tenant admission quota exhausted
+overload   global waiting room full; request shed
+deadline   strict query missed its per-request deadline
+query      the query itself was invalid or failed (SQL error,
+           decayed window, quarantined leaf in strict mode, ...)
+closed     the service or session is shutting down
+bad_request malformed request (unknown op, missing fields)
+internal   unexpected server-side failure
+========== ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import (
+    QueryDeadlineError,
+    QueryError,
+    QuotaExceededError,
+    ServerOverloadedError,
+    SessionClosedError,
+    SpateError,
+)
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One client query (explore or SQL) with serving metadata."""
+
+    #: "explore", "sql", "explore_stream", "metrics" or "ping".
+    op: str
+    tenant: str = "default"
+    #: Per-request wall-clock budget including queueing (None = server
+    #: default).  Wired into the warehouse ``deadline_ms`` path after
+    #: subtracting time spent waiting for admission.
+    deadline_ms: int | None = None
+    #: Degrade instead of failing: partial answers carry a coverage
+    #: report itemising skipped epochs.
+    partial_ok: bool = False
+    # --- explore fields -------------------------------------------------
+    table: str | None = None
+    attributes: tuple[str, ...] = ()
+    #: (min_x, min_y, max_x, max_y) or None for the whole service area.
+    box: tuple[float, float, float, float] | None = None
+    first_epoch: int | None = None
+    last_epoch: int | None = None
+    coarse: bool = False
+    #: explore_stream: epochs per streamed chunk.
+    chunk_epochs: int = 8
+    # --- sql fields -----------------------------------------------------
+    sql: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation (tuples become lists)."""
+        out: dict[str, Any] = {"op": self.op, "tenant": self.tenant}
+        if self.deadline_ms is not None:
+            out["deadline_ms"] = self.deadline_ms
+        if self.partial_ok:
+            out["partial_ok"] = True
+        if self.op in ("explore", "explore_stream"):
+            out["table"] = self.table
+            out["attributes"] = list(self.attributes)
+            if self.box is not None:
+                out["box"] = list(self.box)
+            out["first_epoch"] = self.first_epoch
+            out["last_epoch"] = self.last_epoch
+            if self.coarse:
+                out["coarse"] = True
+            if self.op == "explore_stream":
+                out["chunk_epochs"] = self.chunk_epochs
+        elif self.op == "sql":
+            out["sql"] = self.sql
+            if self.first_epoch is not None:
+                out["first_epoch"] = self.first_epoch
+            if self.last_epoch is not None:
+                out["last_epoch"] = self.last_epoch
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "QueryRequest":
+        """Parse a client JSON object; raises ValueError when malformed."""
+        if not isinstance(data, dict):
+            raise ValueError("request must be a JSON object")
+        op = data.get("op")
+        if op not in ("explore", "sql", "explore_stream", "metrics", "ping"):
+            raise ValueError(f"unknown op {op!r}")
+        box = data.get("box")
+        if box is not None:
+            if not isinstance(box, (list, tuple)) or len(box) != 4:
+                raise ValueError("box must be [min_x, min_y, max_x, max_y]")
+            box = tuple(float(v) for v in box)
+        attributes = tuple(data.get("attributes") or ())
+        deadline_ms = data.get("deadline_ms")
+        if deadline_ms is not None:
+            deadline_ms = int(deadline_ms)
+        return cls(
+            op=op,
+            tenant=str(data.get("tenant", "default")),
+            deadline_ms=deadline_ms,
+            partial_ok=bool(data.get("partial_ok", False)),
+            table=data.get("table"),
+            attributes=attributes,
+            box=box,
+            first_epoch=_opt_int(data.get("first_epoch")),
+            last_epoch=_opt_int(data.get("last_epoch")),
+            coarse=bool(data.get("coarse", False)),
+            chunk_epochs=int(data.get("chunk_epochs", 8)),
+            sql=data.get("sql"),
+        )
+
+
+@dataclass
+class QueryResponse:
+    """Server answer to one :class:`QueryRequest`."""
+
+    ok: bool
+    #: "quota" | "overload" | "deadline" | "query" | "closed" |
+    #: "bad_request" | "internal"; None on success.
+    error_code: str | None = None
+    error: str | None = None
+    columns: list[str] = field(default_factory=list)
+    rows: list[list[Any]] = field(default_factory=list)
+    #: attribute -> {count, total, min, max, mean} from summary folds.
+    aggregates: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: Serialized CoverageReport (explore only).
+    coverage: dict[str, Any] | None = None
+    #: True when the answer is partial (deadline/skip under partial_ok).
+    partial: bool = False
+    #: End-to-end server-side latency (admission wait included).
+    latency_ms: float = 0.0
+    #: Free-form extras (metrics summary, ping echo, stream position).
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"ok": self.ok}
+        if not self.ok:
+            out["error_code"] = self.error_code
+            out["error"] = self.error
+        if self.columns:
+            out["columns"] = self.columns
+        if self.rows:
+            out["rows"] = self.rows
+        if self.aggregates:
+            out["aggregates"] = self.aggregates
+        if self.coverage is not None:
+            out["coverage"] = self.coverage
+        if self.partial:
+            out["partial"] = True
+        out["latency_ms"] = round(self.latency_ms, 3)
+        if self.extra:
+            out["extra"] = self.extra
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "QueryResponse":
+        return cls(
+            ok=bool(data.get("ok")),
+            error_code=data.get("error_code"),
+            error=data.get("error"),
+            columns=list(data.get("columns") or []),
+            rows=[list(r) for r in data.get("rows") or []],
+            aggregates=dict(data.get("aggregates") or {}),
+            coverage=data.get("coverage"),
+            partial=bool(data.get("partial", False)),
+            latency_ms=float(data.get("latency_ms", 0.0)),
+            extra=dict(data.get("extra") or {}),
+        )
+
+
+def coverage_to_dict(coverage) -> dict[str, Any]:
+    """Serialize a :class:`~repro.query.explore.CoverageReport`."""
+    return {
+        "epochs_served": list(coverage.epochs_served),
+        "epochs_skipped": {
+            str(epoch): reason for epoch, reason in coverage.epochs_skipped.items()
+        },
+        "epochs_pruned": list(coverage.epochs_pruned),
+        "summary_days": dict(coverage.summary_days),
+        "deadline_hit": coverage.deadline_hit,
+        "complete": coverage.complete,
+    }
+
+
+def stats_to_dict(stats) -> dict[str, Any]:
+    """Serialize a :class:`~repro.index.highlights.NumericStats`."""
+    return {
+        "count": stats.count,
+        "total": stats.total,
+        "min": stats.minimum,
+        "max": stats.maximum,
+        "mean": stats.mean if stats.count else None,
+    }
+
+
+def error_code_for(exc: BaseException) -> str:
+    """Map an exception from the query path to a wire error code."""
+    if isinstance(exc, QuotaExceededError):
+        return "quota"
+    if isinstance(exc, ServerOverloadedError):
+        return "overload"
+    if isinstance(exc, QueryDeadlineError):
+        return "deadline"
+    if isinstance(exc, SessionClosedError):
+        return "closed"
+    if isinstance(exc, (QueryError, SpateError)):
+        return "query"
+    if isinstance(exc, ValueError):
+        return "bad_request"
+    return "internal"
+
+
+def _opt_int(value) -> int | None:
+    return None if value is None else int(value)

@@ -1,0 +1,632 @@
+"""The asyncio serving core: ``SpateService`` and ``SpateServer``.
+
+:class:`SpateService` hosts one :class:`~repro.core.spate.Spate`
+warehouse behind two executor pools:
+
+- a **reader pool** (``ThreadPoolExecutor``) running explore/SQL
+  queries concurrently — they share the warehouse's read lock, so
+  readers run in parallel with each other and serialize only against
+  ingest;
+- a **single-thread ingest pool** draining a bounded ``asyncio.Queue``
+  of appended snapshots in arrival order through the 30-minute epoch
+  pipeline.  The bound is the backpressure contract: ``wait=True``
+  appends park the producer, ``wait=False`` appends raise
+  :class:`~repro.errors.IngestBackpressureError` immediately.
+
+Every query passes :class:`~repro.server.admission.AdmissionController`
+first; time spent waiting for admission is charged against the
+request's deadline, so a queued query reaches the warehouse with only
+its *remaining* budget (and fails fast with a ``deadline`` error when
+queueing already consumed it).
+
+:class:`SpateServer` wraps the service in a daemon thread hosting the
+event loop and exposes a synchronous facade
+(``asyncio.run_coroutine_threadsafe``) for tests, the CLI and
+thread-based load generators.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Iterator
+
+from repro.errors import (
+    IngestBackpressureError,
+    QueryDeadlineError,
+    SessionClosedError,
+)
+from repro.server.admission import AdmissionController, TenantQuota
+from repro.server.protocol import (
+    QueryRequest,
+    QueryResponse,
+    coverage_to_dict,
+    error_code_for,
+    stats_to_dict,
+)
+from repro.spatial.geometry import BoundingBox
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables for one serving instance."""
+
+    #: Reader-pool width = global admission cap.
+    max_concurrent_queries: int = 8
+    #: Global waiting room; beyond it requests are shed.
+    max_queued_queries: int = 64
+    #: Applied to tenants without an explicit quota.
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    #: tenant -> quota for tenants with reserved capacity / priority.
+    quotas: dict[str, TenantQuota] = field(default_factory=dict)
+    #: Bounded ingest queue depth (backpressure threshold).
+    ingest_queue_depth: int = 4
+    #: Default per-request budget when the client sends none
+    #: (None = no server-imposed deadline).
+    default_deadline_ms: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent_queries < 1:
+            raise ValueError("max_concurrent_queries must be at least 1")
+        if self.ingest_queue_depth < 1:
+            raise ValueError("ingest_queue_depth must be at least 1")
+
+
+class _RequestDeadline:
+    """Tracks one request's remaining budget across queueing stages."""
+
+    def __init__(self, deadline_ms: int | None) -> None:
+        self._started = time.monotonic()
+        self._budget_ms = deadline_ms
+
+    @property
+    def unlimited(self) -> bool:
+        return self._budget_ms is None
+
+    def elapsed_ms(self) -> float:
+        return (time.monotonic() - self._started) * 1000.0
+
+    def remaining_ms(self) -> int | None:
+        """Budget left, or None when unlimited.
+
+        Returns 0 when already exhausted — callers treat that as an
+        immediate deadline failure rather than an unlimited query.
+        """
+        if self._budget_ms is None:
+            return None
+        return max(0, int(self._budget_ms - self.elapsed_ms()))
+
+
+class IngestSession:
+    """One live streaming ingest session feeding the snapshot pipeline.
+
+    Appends go through the service's bounded queue; each append returns
+    (or resolves) an acknowledgement future that completes when the
+    epoch has been ingested (compressed, stored, indexed, decayed).
+    ``close()`` drains the queue and optionally finalizes the stream.
+    """
+
+    def __init__(self, service: "SpateService") -> None:
+        self._service = service
+        self._closed = False
+        self._pending: list[asyncio.Future] = []
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    async def append(self, snapshot, wait: bool = True) -> asyncio.Future:
+        """Enqueue one epoch snapshot for ingestion.
+
+        Args:
+            wait: park until the bounded queue has room.  ``False``
+                raises :class:`IngestBackpressureError` when full — the
+                producer's shed-or-buffer decision surfaces here.
+
+        Returns:
+            A future resolving to the epoch's
+            :class:`~repro.core.spate.IngestStats` (or raising the
+            ingest error).
+        """
+        if self._closed:
+            raise SessionClosedError("ingest session is closed")
+        ack = await self._service._enqueue_ingest(snapshot, wait=wait)
+        self._pending.append(ack)
+        return ack
+
+    async def drain(self) -> None:
+        """Wait until every append so far has been ingested."""
+        pending, self._pending = self._pending, []
+        for ack in pending:
+            try:
+                await ack
+            except Exception:
+                # The ack future carries the error to whoever awaits it;
+                # drain just needs the pipeline to be empty.
+                pass
+
+    async def close(self, finalize: bool = False) -> None:
+        """Drain outstanding appends; optionally finalize the stream."""
+        if self._closed:
+            return
+        self._closed = True
+        await self.drain()
+        if finalize:
+            await self._service._run_ingest(self._service._spate.finalize)
+
+
+class SpateService:
+    """Asyncio front-end over one warehouse. Single-event-loop object."""
+
+    def __init__(self, spate, config: ServerConfig | None = None) -> None:
+        self._spate = spate
+        self.config = config or ServerConfig()
+        self.metrics = spate.metrics
+        self.admission = AdmissionController(
+            max_concurrent=self.config.max_concurrent_queries,
+            max_queued=self.config.max_queued_queries,
+            default_quota=self.config.default_quota,
+            quotas=self.config.quotas,
+            metrics=self.metrics,
+        )
+        self._readers = ThreadPoolExecutor(
+            max_workers=self.config.max_concurrent_queries,
+            thread_name_prefix="spate-reader",
+        )
+        #: Ingest is strictly ordered: one worker thread, one queue.
+        self._ingester = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="spate-ingest"
+        )
+        self._ingest_queue: asyncio.Queue = asyncio.Queue(
+            maxsize=self.config.ingest_queue_depth
+        )
+        self._ingest_worker: asyncio.Task | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def __aenter__(self) -> "SpateService":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    def start(self) -> None:
+        """Start the ingest worker on the running loop (idempotent)."""
+        if self._ingest_worker is None:
+            self._ingest_worker = asyncio.get_running_loop().create_task(
+                self._drain_ingest_queue(), name="spate-ingest-worker"
+            )
+
+    async def close(self) -> None:
+        """Stop accepting work, drain the ingest queue, shut pools down."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._ingest_worker is not None:
+            # Sentinel wakes the worker even when the queue is empty.
+            await self._ingest_queue.put(None)
+            await self._ingest_worker
+            self._ingest_worker = None
+        self._readers.shutdown(wait=True)
+        self._ingester.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Ingest path
+    # ------------------------------------------------------------------
+
+    def ingest_session(self) -> IngestSession:
+        """Open a streaming ingest session (one at a time is the
+        intended shape; appends from several sessions interleave in
+        queue order)."""
+        if self._closed:
+            raise SessionClosedError("service is closed")
+        self.start()
+        return IngestSession(self)
+
+    async def _enqueue_ingest(self, snapshot, wait: bool) -> asyncio.Future:
+        if self._closed:
+            raise SessionClosedError("service is closed")
+        self.start()
+        ack = asyncio.get_running_loop().create_future()
+        item = (snapshot, ack)
+        if wait:
+            await self._ingest_queue.put(item)
+        else:
+            try:
+                self._ingest_queue.put_nowait(item)
+            except asyncio.QueueFull:
+                self.metrics.on_ingest_shed()
+                raise IngestBackpressureError(
+                    f"ingest queue is full ({self._ingest_queue.maxsize} "
+                    "snapshots buffered); retry with wait=True or back off"
+                ) from None
+        self.metrics.on_ingest_enqueued(self._ingest_queue.qsize())
+        return ack
+
+    async def _drain_ingest_queue(self) -> None:
+        while True:
+            item = await self._ingest_queue.get()
+            if item is None:
+                break
+            snapshot, ack = item
+            try:
+                stats = await self._run_ingest(self._spate.ingest, snapshot)
+            except Exception as exc:
+                if not ack.done():
+                    ack.set_exception(exc)
+            else:
+                if not ack.done():
+                    ack.set_result(stats)
+
+    async def _run_ingest(self, fn, *args):
+        return await asyncio.get_running_loop().run_in_executor(
+            self._ingester, lambda: fn(*args)
+        )
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+
+    async def query(self, request: QueryRequest) -> QueryResponse:
+        """Admit, schedule and run one request; never raises — failures
+        come back as error responses with a wire error code."""
+        deadline = _RequestDeadline(
+            request.deadline_ms
+            if request.deadline_ms is not None
+            else self.config.default_deadline_ms
+        )
+        try:
+            if self._closed:
+                raise SessionClosedError("service is closed")
+            if request.op == "ping":
+                return QueryResponse(
+                    ok=True, latency_ms=deadline.elapsed_ms(), extra={"pong": True}
+                )
+            if request.op == "metrics":
+                return QueryResponse(
+                    ok=True,
+                    latency_ms=deadline.elapsed_ms(),
+                    extra={
+                        "summary": self.metrics.summary(),
+                        "admission": self.admission.snapshot(),
+                    },
+                )
+            await self.admission.admit(request.tenant)
+        except Exception as exc:
+            return self._finish(self._error_response(exc, deadline))
+        try:
+            if request.op == "explore":
+                response = await self._run_explore(request, deadline)
+            elif request.op == "sql":
+                response = await self._run_sql(request, deadline)
+            else:
+                raise ValueError(f"op {request.op!r} is not a unary query")
+        except Exception as exc:
+            response = self._error_response(exc, deadline)
+        finally:
+            self.admission.release(request.tenant)
+        response.latency_ms = deadline.elapsed_ms()
+        return self._finish(response)
+
+    async def _run_explore(
+        self, request: QueryRequest, deadline: _RequestDeadline
+    ) -> QueryResponse:
+        self._check_budget(deadline)
+        table, attributes = self._explore_args(request)
+        box = BoundingBox(*request.box) if request.box is not None else None
+        first, last = self._window(request)
+        result = await self._run_read(
+            self._spate.explore,
+            table,
+            attributes,
+            box,
+            first,
+            last,
+            coarse=request.coarse,
+            partial_ok=request.partial_ok,
+            deadline_ms=deadline.remaining_ms(),
+        )
+        return QueryResponse(
+            ok=True,
+            columns=list(result.columns),
+            rows=[list(r) for r in result.records],
+            aggregates={
+                name: stats_to_dict(stats)
+                for name, stats in result.aggregates.items()
+            },
+            coverage=coverage_to_dict(result.coverage),
+            partial=not result.coverage.complete,
+        )
+
+    async def _run_sql(
+        self, request: QueryRequest, deadline: _RequestDeadline
+    ) -> QueryResponse:
+        if not request.sql:
+            raise ValueError("sql request carries no query text")
+        self._check_budget(deadline)
+        result = await self._run_read(
+            self._spate.sql,
+            request.sql,
+            first_epoch=request.first_epoch,
+            last_epoch=request.last_epoch,
+            deadline_ms=deadline.remaining_ms(),
+            partial_ok=request.partial_ok,
+        )
+        return QueryResponse(
+            ok=True,
+            columns=list(result.columns),
+            rows=[list(r) for r in result.rows],
+        )
+
+    async def stream_explore(
+        self, request: QueryRequest
+    ) -> AsyncIterator[QueryResponse]:
+        """Streaming partials: split the window into ``chunk_epochs``
+        slices and answer each as soon as it is scanned.  Every chunk
+        carries its own CoverageReport; a deadline expiry mid-stream
+        yields one final partial chunk (``partial_ok``) or an error
+        response, then ends the stream.
+        """
+        deadline = _RequestDeadline(
+            request.deadline_ms
+            if request.deadline_ms is not None
+            else self.config.default_deadline_ms
+        )
+        try:
+            if self._closed:
+                raise SessionClosedError("service is closed")
+            table, attributes = self._explore_args(request)
+            if request.chunk_epochs < 1:
+                raise ValueError("chunk_epochs must be at least 1")
+            await self.admission.admit(request.tenant)
+        except Exception as exc:
+            yield self._finish(self._error_response(exc, deadline, final=True))
+            return
+        box = BoundingBox(*request.box) if request.box is not None else None
+        first, last = self._window(request)
+        stream_ok = True
+        try:
+            chunk_first = first
+            while chunk_first <= last:
+                chunk_last = min(chunk_first + request.chunk_epochs - 1, last)
+                try:
+                    self._check_budget(deadline)
+                    result = await self._run_read(
+                        self._spate.explore,
+                        table,
+                        attributes,
+                        box,
+                        chunk_first,
+                        chunk_last,
+                        coarse=request.coarse,
+                        partial_ok=request.partial_ok,
+                        deadline_ms=deadline.remaining_ms(),
+                    )
+                except Exception as exc:
+                    stream_ok = False
+                    yield self._error_response(exc, deadline, final=True)
+                    return
+                final = chunk_last >= last
+                response = QueryResponse(
+                    ok=True,
+                    columns=list(result.columns),
+                    rows=[list(r) for r in result.records],
+                    aggregates={
+                        name: stats_to_dict(stats)
+                        for name, stats in result.aggregates.items()
+                    },
+                    coverage=coverage_to_dict(result.coverage),
+                    partial=not result.coverage.complete,
+                    latency_ms=deadline.elapsed_ms(),
+                    extra={
+                        "chunk": [chunk_first, chunk_last],
+                        "final": final or result.coverage.deadline_hit,
+                    },
+                )
+                yield response
+                if result.coverage.deadline_hit:
+                    # The budget ran out mid-window: the chunk above is
+                    # the stream's last (partial) answer.
+                    return
+                chunk_first = chunk_last + 1
+        finally:
+            self.admission.release(request.tenant)
+            self.metrics.on_request_done(deadline.elapsed_ms(), ok=stream_ok)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    async def _run_read(self, fn, *args, **kwargs):
+        return await asyncio.get_running_loop().run_in_executor(
+            self._readers, lambda: fn(*args, **kwargs)
+        )
+
+    def _check_budget(self, deadline: _RequestDeadline) -> None:
+        remaining = deadline.remaining_ms()
+        if remaining is not None and remaining <= 0:
+            raise QueryDeadlineError(
+                f"request spent its whole {deadline._budget_ms} ms budget "
+                "queueing before reaching the warehouse"
+            )
+
+    def _explore_args(self, request: QueryRequest) -> tuple[str, tuple[str, ...]]:
+        if not request.table:
+            raise ValueError("explore request carries no table")
+        if not request.attributes:
+            raise ValueError("explore request selects no attributes")
+        return request.table, tuple(request.attributes)
+
+    def _window(self, request: QueryRequest) -> tuple[int, int]:
+        first = 0 if request.first_epoch is None else request.first_epoch
+        last = (
+            self._spate.index.frontier_epoch
+            if request.last_epoch is None
+            else request.last_epoch
+        )
+        return first, last
+
+    def _error_response(
+        self, exc: BaseException, deadline: _RequestDeadline, final: bool = False
+    ) -> QueryResponse:
+        response = QueryResponse(
+            ok=False,
+            error_code=error_code_for(exc),
+            error=str(exc),
+            latency_ms=deadline.elapsed_ms(),
+        )
+        if final:
+            response.extra["final"] = True
+        return response
+
+    def _finish(self, response: QueryResponse) -> QueryResponse:
+        """Fold one finished request into the latency/outcome counters.
+
+        Rejections (quota / overload) were already counted by the
+        admission controller and never reached the warehouse, so they
+        stay out of the completion and latency statistics.
+        """
+        if response.error_code not in ("quota", "overload"):
+            self.metrics.on_request_done(response.latency_ms, ok=response.ok)
+        return response
+
+
+class SpateServer:
+    """Thread-hosted event loop exposing :class:`SpateService`
+    synchronously — the shape tests, the CLI and thread-based load
+    generators drive.
+
+    Usage::
+
+        with SpateServer(spate, config) as server:
+            session = server.ingest_session()
+            ack = session.append(snapshot)        # concurrent with...
+            response = server.query(request)      # ...queries
+            ack.result()
+            session.close(finalize=False)
+    """
+
+    def __init__(self, spate, config: ServerConfig | None = None) -> None:
+        self._spate = spate
+        self._config = config or ServerConfig()
+        self.service: SpateService | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "SpateServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run_loop, name="spate-server-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server event loop failed to start")
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+
+        async def boot():
+            self.service = SpateService(self._spate, self._config)
+            self.service.start()
+            self._ready.set()
+
+        loop.run_until_complete(boot())
+        loop.run_forever()
+        # stop() arranged for service.close() to have completed already.
+        loop.close()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        loop, service = self._loop, self.service
+        if loop is not None and service is not None:
+            asyncio.run_coroutine_threadsafe(service.close(), loop).result(
+                timeout=60
+            )
+            loop.call_soon_threadsafe(loop.stop)
+        self._thread.join(timeout=60)
+        self._thread = None
+        self._loop = None
+
+    # -- synchronous facade --------------------------------------------
+
+    def _call(self, coro, timeout: float | None = None):
+        if self._loop is None:
+            raise SessionClosedError("server is not running")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(
+            timeout=timeout
+        )
+
+    def query(self, request: QueryRequest, timeout: float | None = None) -> QueryResponse:
+        """Run one request to completion from any thread."""
+        return self._call(self.service.query(request), timeout=timeout)
+
+    def stream_explore(
+        self, request: QueryRequest, timeout: float | None = None
+    ) -> Iterator[QueryResponse]:
+        """Drive the async stream from a plain thread, chunk by chunk."""
+        if self._loop is None:
+            raise SessionClosedError("server is not running")
+        stream = self.service.stream_explore(request)
+        while True:
+            try:
+                yield self._call(stream.__anext__(), timeout=timeout)
+            except StopAsyncIteration:
+                return
+
+    def ingest_session(self) -> "SyncIngestSession":
+        """Open a streaming ingest session driven from this thread."""
+        session = self._call(self._open_session())
+        return SyncIngestSession(self, session)
+
+    async def _open_session(self) -> IngestSession:
+        return self.service.ingest_session()
+
+    def metrics_summary(self) -> str:
+        return self._spate.metrics.summary()
+
+
+class SyncIngestSession:
+    """Thread-side handle over an :class:`IngestSession`."""
+
+    def __init__(self, server: SpateServer, session: IngestSession) -> None:
+        self._server = server
+        self._session = session
+
+    def append(self, snapshot, wait: bool = True):
+        """Enqueue one snapshot; returns a ``concurrent.futures.Future``
+        acknowledgement resolving when the epoch is ingested."""
+        ack = self._server._call(self._session.append(snapshot, wait=wait))
+        return asyncio.run_coroutine_threadsafe(
+            self._await_future(ack), self._server._loop
+        )
+
+    @staticmethod
+    async def _await_future(ack: asyncio.Future):
+        return await ack
+
+    def drain(self) -> None:
+        self._server._call(self._session.drain())
+
+    def close(self, finalize: bool = False) -> None:
+        self._server._call(self._session.close(finalize=finalize))

@@ -1,0 +1,360 @@
+"""Workload replay: synthetic subscriber query traffic over live ingest.
+
+Replays one day (or more) of the telco trace through a running
+:class:`~repro.server.service.SpateServer` while a fleet of client
+threads issues explore/SQL queries whose per-epoch volume follows the
+diurnal/weekday load curve from :mod:`repro.telco.workload` — query
+traffic peaks in the evening exactly like the record volume does.
+
+Each epoch's queries are released only after that epoch's ingest
+acknowledgement resolves, so every query targets fully-ingested data
+while the pipeline keeps streaming ahead; this is the paper's
+"explore while ingesting" serving story under measurement.
+
+Results (request counts by outcome, server-side latency percentiles,
+per-tenant traffic, ingest throughput) are written to
+``BENCH_serving.json`` by the ``spate loadtest`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core import Spate, SpateConfig
+from repro.core.metrics import percentile
+from repro.server.protocol import QueryRequest, QueryResponse
+from repro.server.service import ServerConfig, SpateServer
+from repro.telco import TelcoTraceGenerator, TraceConfig
+from repro.telco.schema import CDR_TABLE, NMS_TABLE
+from repro.telco.workload import load_multiplier
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs for one workload replay."""
+
+    #: Trace scale (1.0 = the paper's 5 GB week).
+    scale: float = 0.002
+    seed: int = 2017
+    #: Epochs to stream (48 = one day of 30-minute cycles).
+    epochs: int = 48
+    #: Mean queries per epoch before the diurnal multiplier.
+    queries_per_epoch: float = 4.0
+    #: Issuing tenants; traffic is spread across them round-robin-ish
+    #: by the seeded mix.
+    tenants: tuple[str, ...] = ("dashboard", "analyst", "batch")
+    #: Per-request deadline; partial answers (not errors) past it.
+    deadline_ms: int | None = 15_000
+    partial_ok: bool = True
+    #: Query lookback window in epochs.
+    window_epochs: int = 12
+    #: Wall-clock cap in seconds (None = run the full epoch count).
+    duration_s: float | None = None
+    #: Client threads issuing queries.
+    client_threads: int = 8
+    #: Serving-side configuration.
+    server: ServerConfig = field(default_factory=ServerConfig)
+    #: Warehouse codec (gzip-ref keeps CI free of native deps).
+    codec: str = "gzip-ref"
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError("epochs must be at least 1")
+        if self.queries_per_epoch < 0:
+            raise ValueError("queries_per_epoch must be non-negative")
+        if not self.tenants:
+            raise ValueError("at least one tenant is required")
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of one replay (the shape of ``BENCH_serving.json``)."""
+
+    scale: float = 0.0
+    epochs_planned: int = 0
+    epochs_ingested: int = 0
+    queries_planned: int = 0
+    queries_issued: int = 0
+    ok: int = 0
+    #: Responses with ``ok=False`` and a non-rejection error code —
+    #: the count the CI gate requires to be zero.
+    failed: int = 0
+    rejected_quota: int = 0
+    rejected_overload: int = 0
+    deadline_errors: int = 0
+    partial: int = 0
+    per_tenant: dict[str, int] = field(default_factory=dict)
+    failures: list[dict[str, Any]] = field(default_factory=list)
+    #: Server-side end-to-end latencies (admission wait included).
+    latencies_ms: list[float] = field(default_factory=list)
+    ingest_queue_high_water: int = 0
+    wall_seconds: float = 0.0
+
+    def latency_percentiles(self) -> dict[str, float]:
+        samples = self.latencies_ms
+        return {
+            "p50": percentile(samples, 50.0),
+            "p95": percentile(samples, 95.0),
+            "p99": percentile(samples, 99.0),
+            "mean": sum(samples) / len(samples) if samples else 0.0,
+            "max": max(samples) if samples else 0.0,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "bench": "serving",
+            "config": {
+                "scale": self.scale,
+                "epochs": self.epochs_planned,
+            },
+            "totals": {
+                "queries_planned": self.queries_planned,
+                "queries_issued": self.queries_issued,
+                "ok": self.ok,
+                "failed": self.failed,
+                "rejected_quota": self.rejected_quota,
+                "rejected_overload": self.rejected_overload,
+                "deadline_errors": self.deadline_errors,
+                "partial": self.partial,
+            },
+            "latency_ms": {
+                key: round(value, 3)
+                for key, value in self.latency_percentiles().items()
+            },
+            "per_tenant": dict(sorted(self.per_tenant.items())),
+            "failures": self.failures[:20],
+            "ingest": {
+                "epochs": self.epochs_ingested,
+                "queue_high_water": self.ingest_queue_high_water,
+            },
+            "wall_seconds": round(self.wall_seconds, 3),
+        }
+
+    def describe(self) -> str:
+        pct = self.latency_percentiles()
+        lines = [
+            "serving workload replay",
+            f"  trace:    scale={self.scale} epochs={self.epochs_ingested}"
+            f"/{self.epochs_planned} ingested",
+            f"  queries:  {self.queries_issued}/{self.queries_planned} issued, "
+            f"{self.ok} ok, {self.failed} failed, "
+            f"{self.rejected_quota + self.rejected_overload} rejected "
+            f"({self.rejected_overload} shed), {self.partial} partial",
+            f"  latency:  p50={pct['p50']:.1f} ms  p95={pct['p95']:.1f} ms  "
+            f"p99={pct['p99']:.1f} ms  max={pct['max']:.1f} ms",
+            "  tenants:  "
+            + ", ".join(
+                f"{tenant}={count}"
+                for tenant, count in sorted(self.per_tenant.items())
+            ),
+            f"  wall:     {self.wall_seconds:.1f} s",
+        ]
+        return "\n".join(lines)
+
+
+def build_schedule(
+    config: WorkloadConfig, frontier_hint: int | None = None
+) -> list[list[QueryRequest]]:
+    """Per-epoch query lists following the diurnal load curve.
+
+    The per-epoch counts use largest-remainder apportionment over the
+    load multipliers, so the replay's total query volume matches
+    ``queries_per_epoch * epochs`` while each epoch's share follows the
+    curve (seeded, fully deterministic).
+    """
+    rng = random.Random(config.seed ^ 0x5EB0)
+    weights = [load_multiplier(epoch) for epoch in range(config.epochs)]
+    total_queries = round(config.queries_per_epoch * config.epochs)
+    scale = total_queries / sum(weights) if weights else 0.0
+    raw = [w * scale for w in weights]
+    counts = [int(r) for r in raw]
+    remainders = sorted(
+        range(config.epochs), key=lambda e: raw[e] - counts[e], reverse=True
+    )
+    for epoch in remainders[: total_queries - sum(counts)]:
+        counts[epoch] += 1
+
+    schedule: list[list[QueryRequest]] = []
+    for epoch in range(config.epochs):
+        batch = [
+            _make_query(config, rng, epoch, frontier_hint)
+            for _ in range(counts[epoch])
+        ]
+        schedule.append(batch)
+    return schedule
+
+
+def _make_query(
+    config: WorkloadConfig,
+    rng: random.Random,
+    epoch: int,
+    frontier_hint: int | None,
+) -> QueryRequest:
+    """One synthetic subscriber/operator query targeting ingested data."""
+    tenant = rng.choice(config.tenants)
+    last = epoch if frontier_hint is None else min(epoch, frontier_hint)
+    first = max(0, last - config.window_epochs + 1)
+    kind = rng.random()
+    if kind < 0.45:
+        # Flux exploration over a random sub-rectangle (or whole area).
+        box = None
+        if rng.random() < 0.6:
+            max_x, max_y = 100_000.0, 60_000.0
+            x0, y0 = rng.uniform(0, max_x * 0.7), rng.uniform(0, max_y * 0.7)
+            box = (x0, y0, x0 + max_x * 0.3, y0 + max_y * 0.3)
+        return QueryRequest(
+            op="explore",
+            tenant=tenant,
+            table=CDR_TABLE,
+            attributes=("downflux", "upflux"),
+            box=box,
+            first_epoch=first,
+            last_epoch=last,
+            deadline_ms=config.deadline_ms,
+            partial_ok=config.partial_ok,
+        )
+    if kind < 0.65:
+        # Network-health exploration over NMS counters.
+        return QueryRequest(
+            op="explore",
+            tenant=tenant,
+            table=NMS_TABLE,
+            attributes=("val", "latency_ms"),
+            box=None,
+            first_epoch=first,
+            last_epoch=last,
+            deadline_ms=config.deadline_ms,
+            partial_ok=config.partial_ok,
+        )
+    if kind < 0.85:
+        statement = "SELECT call_type, COUNT(*) AS calls FROM CDR GROUP BY call_type"
+    else:
+        threshold = rng.choice((100, 500, 1000))
+        statement = f"SELECT COUNT(*) AS long_calls FROM CDR WHERE duration_s >= {threshold}"
+    return QueryRequest(
+        op="sql",
+        tenant=tenant,
+        sql=statement,
+        first_epoch=first,
+        last_epoch=last,
+        deadline_ms=config.deadline_ms,
+        partial_ok=config.partial_ok,
+    )
+
+
+def run_simulation(
+    config: WorkloadConfig,
+    spate: Spate | None = None,
+    generator: TelcoTraceGenerator | None = None,
+) -> SimulationReport:
+    """Replay the workload against a live server; returns the report.
+
+    Builds a fresh warehouse + generator when none are supplied.  The
+    streamed epochs are ingested *during* the replay — queries for an
+    epoch are released by that epoch's ingest acknowledgement.
+    """
+    if generator is None:
+        generator = TelcoTraceGenerator(
+            TraceConfig(scale=config.scale, days=max(1, -(-config.epochs // 48)),
+                        seed=config.seed)
+        )
+    if spate is None:
+        spate = Spate(SpateConfig(codec=config.codec))
+        spate.register_cells(generator.cells_table())
+
+    schedule = build_schedule(config)
+    report = SimulationReport(
+        scale=config.scale,
+        epochs_planned=config.epochs,
+        queries_planned=sum(len(batch) for batch in schedule),
+    )
+    started = time.monotonic()
+    deadline = None if config.duration_s is None else started + config.duration_s
+
+    def over_budget() -> bool:
+        return deadline is not None and time.monotonic() >= deadline
+
+    with SpateServer(spate, config.server) as server:
+        session = server.ingest_session()
+        pool = ThreadPoolExecutor(
+            max_workers=config.client_threads, thread_name_prefix="sim-client"
+        )
+
+        def run_one(ack, request: QueryRequest) -> QueryResponse:
+            # Release gate: the target epoch must be fully ingested.
+            ack.result()
+            return server.query(request)
+
+        try:
+            futures = []
+            for epoch in range(config.epochs):
+                if over_budget():
+                    break
+                ack = session.append(generator.snapshot(epoch))
+                report.epochs_ingested += 1
+                for request in schedule[epoch]:
+                    futures.append(pool.submit(run_one, ack, request))
+                    report.queries_issued += 1
+            for future in futures:
+                _record(report, future.result())
+            session.close(finalize=False)
+        finally:
+            pool.shutdown(wait=True)
+        report.ingest_queue_high_water = spate.metrics.ingest_queue_depth_max
+        report.per_tenant = dict(spate.metrics.tenant_queries)
+    report.wall_seconds = time.monotonic() - started
+    return report
+
+
+def _record(report: SimulationReport, response: QueryResponse) -> None:
+    report.latencies_ms.append(response.latency_ms)
+    if response.ok:
+        report.ok += 1
+        if response.partial:
+            report.partial += 1
+        return
+    if response.error_code == "quota":
+        report.rejected_quota += 1
+    elif response.error_code == "overload":
+        report.rejected_overload += 1
+    else:
+        if response.error_code == "deadline":
+            report.deadline_errors += 1
+        report.failed += 1
+        if len(report.failures) < 100:
+            report.failures.append(
+                {"code": response.error_code, "error": response.error}
+            )
+
+
+def simulate(
+    config: WorkloadConfig | None = None, bench_file: str | None = None
+) -> SimulationReport:
+    """Synchronous entry point: run the replay, optionally write the
+    ``BENCH_serving.json`` results file, return the report."""
+    report = run_simulation(config or WorkloadConfig())
+    if bench_file:
+        with open(bench_file, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return report
+
+
+def parse_duration(text: str) -> float:
+    """Parse ``"30s"``, ``"2m"``, ``"500ms"`` or plain seconds."""
+    text = text.strip().lower()
+    try:
+        if text.endswith("ms"):
+            return float(text[:-2]) / 1000.0
+        if text.endswith("s"):
+            return float(text[:-1])
+        if text.endswith("m"):
+            return float(text[:-1]) * 60.0
+        return float(text)
+    except ValueError:
+        raise ValueError(f"cannot parse duration {text!r}") from None

@@ -1,0 +1,117 @@
+"""JSON-lines TCP front-end over :class:`~repro.server.service.SpateService`.
+
+One JSON object per line in each direction.  Unary ops (``explore``,
+``sql``, ``metrics``, ``ping``) answer with exactly one response line;
+``explore_stream`` answers with one line per chunk, the last carrying
+``extra.final = true``.  Connections are independent: each line is a
+fresh request, so a client may pipeline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+
+from repro.server.protocol import QueryRequest, QueryResponse
+
+#: A request line larger than this is rejected as malformed.
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+
+async def handle_connection(
+    service, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    """Serve one client connection until EOF."""
+    try:
+        while True:
+            try:
+                line = await reader.readline()
+            except (ConnectionResetError, asyncio.LimitOverrunError):
+                break
+            if not line:
+                break
+            if not line.strip():
+                continue
+            try:
+                request = QueryRequest.from_dict(json.loads(line))
+            except (ValueError, json.JSONDecodeError) as exc:
+                await _send(
+                    writer,
+                    QueryResponse(
+                        ok=False, error_code="bad_request", error=str(exc)
+                    ),
+                )
+                continue
+            if request.op == "explore_stream":
+                async for chunk in service.stream_explore(request):
+                    await _send(writer, chunk)
+            else:
+                await _send(writer, await service.query(request))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def _send(writer: asyncio.StreamWriter, response: QueryResponse) -> None:
+    writer.write(json.dumps(response.to_dict()).encode("utf-8") + b"\n")
+    await writer.drain()
+
+
+async def start_tcp_server(service, host: str = "127.0.0.1", port: int = 0):
+    """Start serving; returns the ``asyncio.Server`` (its first socket's
+    ``getsockname()`` reveals the bound port when ``port=0``)."""
+    return await asyncio.start_server(
+        lambda r, w: handle_connection(service, r, w),
+        host,
+        port,
+        limit=MAX_LINE_BYTES,
+    )
+
+
+class TcpClient:
+    """Minimal blocking JSON-lines client for tests and the simulator."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, request: QueryRequest) -> QueryResponse:
+        """Send one unary request and read its single response line."""
+        self._write(request)
+        return self._read()
+
+    def stream(self, request: QueryRequest):
+        """Send an ``explore_stream`` request; yield chunk responses
+        until the final one (or an error) arrives."""
+        self._write(request)
+        while True:
+            response = self._read()
+            yield response
+            if not response.ok or response.extra.get("final"):
+                return
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "TcpClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _write(self, request: QueryRequest) -> None:
+        self._file.write(json.dumps(request.to_dict()).encode("utf-8") + b"\n")
+        self._file.flush()
+
+    def _read(self) -> QueryResponse:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return QueryResponse.from_dict(json.loads(line))

@@ -1,0 +1,288 @@
+"""Thread-safety contracts behind the serving layer.
+
+Two layers of guarantees:
+
+- **shared structures** — :class:`LeafCache`, :class:`QueryResultCache`
+  and :class:`WarehouseMetrics` take concurrent hits from every reader
+  thread; a multi-thread stress pass must leave their invariants intact
+  (byte accounting, LRU size bounds, counter totals) and leak no
+  exceptions;
+- **read-during-ingest** — worker threads querying fixed windows at or
+  below the ingest frontier while an ingest session streams epochs must
+  observe exactly the answers a quiesced re-run of the same queries
+  produces, with no leaked exceptions — the reentrant RW lock makes
+  concurrent exploration safe, not merely non-crashing.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core import Spate, SpateConfig
+from repro.core.leaf_cache import LeafCache
+from repro.core.metrics import WarehouseMetrics, percentile
+from repro.core.query_cache import QueryResultCache
+from repro.core.snapshot import Table
+from repro.server import QueryRequest, ServerConfig, SpateServer
+
+THREADS = 8
+ROUNDS = 300
+
+
+def run_threads(worker, n=THREADS):
+    """Run ``worker(thread_index)`` on N threads; re-raise any failure."""
+    errors: list[BaseException] = []
+
+    def wrapped(index: int) -> None:
+        try:
+            worker(index)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(i,)) for i in range(n)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not any(t.is_alive() for t in threads), "worker thread hung"
+    if errors:
+        raise errors[0]
+    return errors
+
+
+def make_table(name: str, rows: int = 4) -> Table:
+    table = Table(name=name, columns=["a", "b"])
+    for i in range(rows):
+        table.append([str(i), str(i * 2)])
+    return table
+
+
+class TestLeafCacheThreadSafety:
+    def test_concurrent_mixed_operations(self):
+        cache = LeafCache(capacity_bytes=64 * 1024)
+
+        def worker(index: int) -> None:
+            for round_no in range(ROUNDS):
+                epoch = (index * ROUNDS + round_no) % 32
+                cache.put(epoch, "CDR", make_table("CDR"), nbytes=1024)
+                cache.get(epoch, "CDR")
+                cache.has(epoch, "CDR")
+                if round_no % 17 == 0:
+                    cache.invalidate_epoch(epoch)
+                if round_no % 91 == 0:
+                    cache.clear()
+                len(cache)
+                cache.current_bytes
+
+        run_threads(worker)
+        # Invariants survived: accounting never exceeds capacity and the
+        # stats counters saw every probe.
+        assert 0 <= cache.current_bytes <= 64 * 1024
+        stats = cache.stats()
+        assert stats.hits + stats.misses >= THREADS * ROUNDS
+
+    def test_eviction_accounting_under_contention(self):
+        # Capacity of 3 entries: concurrent puts force constant LRU
+        # eviction; byte accounting must stay exact.
+        cache = LeafCache(capacity_bytes=3 * 100)
+
+        def worker(index: int) -> None:
+            for round_no in range(ROUNDS):
+                cache.put((index, round_no), "CDR", make_table("CDR"), 100)
+
+        run_threads(worker)
+        assert cache.current_bytes == len(cache) * 100
+        assert len(cache) <= 3
+
+
+class TestQueryCacheThreadSafety:
+    def test_concurrent_put_get_clear(self):
+        cache = QueryResultCache(capacity=16)
+
+        def worker(index: int) -> None:
+            for round_no in range(ROUNDS):
+                key = ("sql", f"q{round_no % 24}")
+                cache.put(key, version=1, result=[round_no, index])
+                value = cache.get(key, version=1)
+                # A hit must be a deep copy: mutating it cannot poison
+                # the cached entry other threads read.
+                if value is not None:
+                    value.append("mutated")
+                if round_no % 50 == 0:
+                    cache.clear()
+                len(cache)
+
+        run_threads(worker)
+        assert len(cache) <= 16
+        for round_no in range(24):
+            value = cache.get(("sql", f"q{round_no}"), version=1)
+            if value is not None:
+                assert "mutated" not in value
+
+    def test_version_mismatch_is_safe_concurrently(self):
+        cache = QueryResultCache(capacity=8)
+        cache.put("k", version=1, result=["v1"])
+
+        def worker(index: int) -> None:
+            for round_no in range(ROUNDS):
+                cache.put("k", version=round_no % 3, result=[round_no])
+                cache.get("k", version=(round_no + 1) % 3)
+
+        run_threads(worker)
+
+
+class TestMetricsThreadSafety:
+    def test_counters_sum_exactly(self):
+        metrics = WarehouseMetrics()
+
+        def worker(index: int) -> None:
+            for round_no in range(ROUNDS):
+                metrics.on_request_admitted(f"tenant-{index % 3}")
+                metrics.on_request_done(float(round_no % 50), ok=True)
+                metrics.on_request_rejected(shed=round_no % 2 == 0)
+                metrics.on_ingest_enqueued(queue_depth=round_no % 5)
+                metrics.on_query_cache(hit=round_no % 2 == 0)
+
+        run_threads(worker)
+        total = THREADS * ROUNDS
+        assert metrics.requests_admitted == total
+        assert metrics.requests_completed == total
+        assert metrics.requests_rejected + metrics.requests_shed == total
+        assert sum(metrics.tenant_queries.values()) == total
+        assert metrics.ingest_queue_depth_max == 4
+        # The latency reservoir kept every sample (total < cap) and the
+        # percentile helper sees a coherent distribution.
+        assert metrics.query_latency_ms(100.0) == 49.0
+        assert 0.0 <= percentile(metrics._latency_samples_ms, 50.0) <= 49.0
+        # summary() renders without tripping over concurrent updates.
+        assert "serving admission:" in metrics.summary()
+
+
+class TestReadDuringIngest:
+    def test_queries_during_ingest_match_quiesced_rerun(
+        self, tiny_generator, tiny_snapshots
+    ):
+        """The acceptance check: N reader threads explore fixed windows
+        below the frontier while an ingest session streams epochs; every
+        answer must be byte-identical to the same query re-run after
+        quiesce, and no thread may leak an exception."""
+        spate = Spate(SpateConfig(codec="gzip-ref"))
+        spate.register_cells(tiny_generator.cells_table())
+        total_epochs = 16
+        snapshots = tiny_snapshots[:total_epochs]
+
+        live_answers: dict[tuple, dict] = {}
+        answers_lock = threading.Lock()
+        reader_errors: list[BaseException] = []
+
+        def reader(server, ready_epochs, stop, index):
+            try:
+                while not stop.is_set():
+                    frontier = len(ready_epochs) - 1
+                    if frontier < 1:
+                        continue
+                    # Fixed window entirely at/below the ingest frontier.
+                    last = (index + frontier) % (frontier + 1)
+                    first = max(0, last - 3)
+                    request = QueryRequest(
+                        op="explore",
+                        tenant=f"reader-{index}",
+                        table="CDR",
+                        attributes=("downflux", "upflux"),
+                        first_epoch=first,
+                        last_epoch=last,
+                    )
+                    response = server.query(request, timeout=120)
+                    assert response.ok, response.error
+                    assert response.coverage["complete"] is True
+                    with answers_lock:
+                        live_answers[(first, last)] = {
+                            "rows": response.rows,
+                            "columns": response.columns,
+                        }
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                reader_errors.append(exc)
+
+        ready_epochs: list[int] = []
+        stop = threading.Event()
+        with SpateServer(
+            spate, ServerConfig(max_concurrent_queries=4)
+        ) as server:
+            session = server.ingest_session()
+            readers = [
+                threading.Thread(
+                    target=reader, args=(server, ready_epochs, stop, i)
+                )
+                for i in range(4)
+            ]
+            for thread in readers:
+                thread.start()
+            try:
+                for snapshot in snapshots:
+                    session.append(snapshot).result(timeout=120)
+                    ready_epochs.append(snapshot.epoch)
+            finally:
+                stop.set()
+                for thread in readers:
+                    thread.join(timeout=120)
+            session.close()
+
+            assert not reader_errors, f"reader leaked: {reader_errors[0]!r}"
+            assert not any(t.is_alive() for t in readers)
+            assert live_answers, "no queries completed during ingest"
+
+            # Quiesced re-run: identical windows must yield identical
+            # bytes now that ingest has stopped.
+            for (first, last), seen in live_answers.items():
+                again = server.query(
+                    QueryRequest(
+                        op="explore",
+                        table="CDR",
+                        attributes=("downflux", "upflux"),
+                        first_epoch=first,
+                        last_epoch=last,
+                    )
+                )
+                assert again.ok
+                assert again.columns == seen["columns"]
+                assert again.rows == seen["rows"], (
+                    f"window [{first}, {last}] diverged between live and "
+                    "quiesced execution"
+                )
+        assert spate.ingested_epochs() == list(range(total_epochs))
+
+    def test_sql_during_ingest_is_exception_free(
+        self, tiny_generator, tiny_snapshots
+    ):
+        spate = Spate(SpateConfig(codec="gzip-ref"))
+        spate.register_cells(tiny_generator.cells_table())
+        statement = (
+            "SELECT call_type, COUNT(*) AS n FROM CDR GROUP BY call_type"
+        )
+        responses: list = []
+        with SpateServer(spate) as server:
+            session = server.ingest_session()
+            acks = [session.append(s) for s in tiny_snapshots[:8]]
+
+            def sql_reader(index: int) -> None:
+                acks[min(index, len(acks) - 1)].result(timeout=120)
+                responses.append(
+                    server.query(
+                        QueryRequest(
+                            op="sql",
+                            sql=statement,
+                            first_epoch=0,
+                            last_epoch=index,
+                        ),
+                        timeout=120,
+                    )
+                )
+
+            run_threads(sql_reader, n=6)
+            session.close()
+        assert len(responses) == 6
+        assert all(r.ok for r in responses), [
+            (r.error_code, r.error) for r in responses if not r.ok
+        ]

@@ -1,0 +1,164 @@
+"""Workload replay: diurnal schedule shape and the benchmark artifact.
+
+- the schedule apportions queries by the diurnal load curve (largest
+  remainder: exact total, per-epoch share tracks the multiplier) and is
+  fully deterministic per seed;
+- a short replay against a live server issues every scheduled query,
+  ingests every epoch, and writes a ``BENCH_serving.json`` whose schema
+  the CI serving-smoke job consumes;
+- the CLI gates (``--require-zero-failures``, ``--max-p99-ms``) flip
+  the exit code.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.server import WorkloadConfig, run_simulation, simulate
+from repro.server.simulate import build_schedule, parse_duration
+from repro.telco.workload import load_multiplier
+
+
+class TestSchedule:
+    def test_total_matches_requested_volume(self):
+        config = WorkloadConfig(epochs=48, queries_per_epoch=3.0)
+        schedule = build_schedule(config)
+        assert len(schedule) == 48
+        assert sum(len(batch) for batch in schedule) == 144
+
+    def test_deterministic_per_seed(self):
+        config = WorkloadConfig(epochs=24, queries_per_epoch=2.0, seed=5)
+        first = build_schedule(config)
+        second = build_schedule(config)
+        assert [[r.to_dict() for r in batch] for batch in first] == [
+            [r.to_dict() for r in batch] for batch in second
+        ]
+        shifted = build_schedule(
+            WorkloadConfig(epochs=24, queries_per_epoch=2.0, seed=6)
+        )
+        assert [[r.to_dict() for r in b] for b in first] != [
+            [r.to_dict() for r in b] for b in shifted
+        ]
+
+    def test_counts_follow_diurnal_curve(self):
+        config = WorkloadConfig(epochs=48, queries_per_epoch=10.0)
+        schedule = build_schedule(config)
+        counts = [len(batch) for batch in schedule]
+        # The busiest epoch by the load curve must be scheduled at least
+        # as heavily as the quietest one — the curve has >3x dynamic
+        # range, so apportionment cannot flatten it.
+        multipliers = [load_multiplier(e) for e in range(48)]
+        peak = multipliers.index(max(multipliers))
+        trough = multipliers.index(min(multipliers))
+        assert counts[peak] > counts[trough]
+
+    def test_queries_target_ingested_windows(self):
+        config = WorkloadConfig(epochs=12, queries_per_epoch=4.0)
+        schedule = build_schedule(config)
+        for epoch, batch in enumerate(schedule):
+            for request in batch:
+                assert request.last_epoch <= epoch
+                assert request.first_epoch >= 0
+                assert request.first_epoch <= request.last_epoch
+                assert request.op in ("explore", "sql")
+                assert request.tenant in config.tenants
+
+
+class TestReplay:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_simulation(
+            WorkloadConfig(
+                scale=0.001, epochs=8, queries_per_epoch=2.0, seed=2017
+            )
+        )
+
+    def test_everything_issued_and_answered(self, report):
+        assert report.epochs_ingested == 8
+        assert report.queries_issued == report.queries_planned
+        assert report.ok == report.queries_issued
+        assert report.failed == 0
+        assert len(report.latencies_ms) == report.queries_issued
+
+    def test_per_tenant_counts_cover_all_tenants_seen(self, report):
+        assert sum(report.per_tenant.values()) == report.ok
+
+    def test_percentiles_ordered(self, report):
+        pct = report.latency_percentiles()
+        assert 0.0 <= pct["p50"] <= pct["p95"] <= pct["p99"] <= pct["max"]
+
+    def test_duration_cap_stops_early(self):
+        report = run_simulation(
+            WorkloadConfig(
+                scale=0.001, epochs=48, queries_per_epoch=1.0, duration_s=0.0
+            )
+        )
+        assert report.epochs_ingested == 0
+        assert report.queries_issued == 0
+
+
+class TestBenchArtifact:
+    def test_bench_file_schema(self, tmp_path):
+        bench = tmp_path / "BENCH_serving.json"
+        report = simulate(
+            WorkloadConfig(scale=0.001, epochs=6, queries_per_epoch=2.0),
+            bench_file=str(bench),
+        )
+        payload = json.loads(bench.read_text())
+        assert payload["bench"] == "serving"
+        assert payload["totals"]["queries_issued"] == report.queries_issued
+        assert payload["totals"]["failed"] == 0
+        for key in ("p50", "p95", "p99", "mean", "max"):
+            assert isinstance(payload["latency_ms"][key], float)
+        assert payload["ingest"]["epochs"] == 6
+        assert payload["wall_seconds"] >= 0.0
+        assert isinstance(payload["per_tenant"], dict)
+
+    def test_describe_is_human_readable(self):
+        report = run_simulation(
+            WorkloadConfig(scale=0.001, epochs=4, queries_per_epoch=1.0)
+        )
+        text = report.describe()
+        assert "serving workload replay" in text
+        assert "p99=" in text
+
+
+class TestCliGates:
+    def test_loadtest_passes_gates(self, tmp_path, capsys):
+        bench = tmp_path / "bench.json"
+        code = cli_main([
+            "loadtest",
+            "--scale", "0.001",
+            "--epochs", "6",
+            "--queries-per-epoch", "2",
+            "--duration", "60s",
+            "--bench-file", str(bench),
+            "--require-zero-failures",
+            "--max-p99-ms", "60000",
+        ])
+        assert code == 0
+        assert bench.exists()
+        assert "serving workload replay" in capsys.readouterr().out
+
+    def test_impossible_p99_gate_fails(self, capsys):
+        code = cli_main([
+            "loadtest",
+            "--scale", "0.001",
+            "--epochs", "4",
+            "--queries-per-epoch", "1",
+            "--max-p99-ms", "0.0",
+        ])
+        assert code == 1
+        assert "GATE FAILED" in capsys.readouterr().err
+
+
+def test_parse_duration():
+    assert parse_duration("30s") == 30.0
+    assert parse_duration("2m") == 120.0
+    assert parse_duration("500ms") == 0.5
+    assert parse_duration("45") == 45.0
+    with pytest.raises(ValueError):
+        parse_duration("soon")
