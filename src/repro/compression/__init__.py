@@ -16,6 +16,9 @@ This package implements the same algorithm families from scratch:
   binary range coder ("7z"/LZMA family).
 - :mod:`repro.compression.columnar` — RLE / delta / dictionary column
   encodings used before the general-purpose codec.
+- :mod:`repro.compression.typedchannel` — zone-mapped typed channels
+  per column; the query layer prunes and projects against the header
+  without decompressing channel bodies.
 - :mod:`repro.compression.entropy` — Shannon-entropy analysis used to
   reproduce Figure 4.
 
@@ -40,6 +43,7 @@ from repro.compression.stdlib_adapters import (
     GzipRefCodec,
     LzmaRefCodec,
 )
+from repro.compression.typedchannel import TypedChannelCodec
 from repro.compression.entropy import (
     attribute_entropies,
     column_entropy,
@@ -67,6 +71,7 @@ __all__ = [
     "GzipRefCodec",
     "Bz2RefCodec",
     "LzmaRefCodec",
+    "TypedChannelCodec",
     "shannon_entropy",
     "column_entropy",
     "attribute_entropies",

@@ -22,12 +22,23 @@ _SEP = b"\x00"
 MAX_COLUMN_CELLS = 1 << 27
 
 
-def _check_total(total: int) -> int:
+def _check_total(total: int, expected_cells: int | None = None) -> int:
     if total > MAX_COLUMN_CELLS:
         raise CorruptStreamError(
             f"column declares {total} cells (cap {MAX_COLUMN_CELLS})"
         )
+    if expected_cells is not None and total != expected_cells:
+        raise CorruptStreamError(
+            f"column declares {total} cells, expected {expected_cells}"
+        )
     return total
+
+
+def _check_consumed(data: bytes, pos: int, name: str) -> None:
+    if pos != len(data):
+        raise CorruptStreamError(
+            f"{name} column has {len(data) - pos} trailing bytes"
+        )
 
 
 def _encode_str(value: str) -> bytes:
@@ -58,19 +69,30 @@ def rle_encode(cells: list[str]) -> bytes:
     return bytes(out)
 
 
-def rle_decode(data: bytes) -> list[str]:
-    """Invert :func:`rle_encode`."""
+def rle_decode(data: bytes, expected_cells: int | None = None) -> list[str]:
+    """Invert :func:`rle_encode`.
+
+    Every decoder in this module enforces the same contract: the
+    declared cell count must match ``expected_cells`` when given, and
+    the payload must be consumed exactly — trailing bytes mean a
+    corrupt (or maliciously padded) stream, not slack to ignore.
+    """
     total, pos = decode_varint(data, 0)
-    _check_total(total)
+    _check_total(total, expected_cells)
     cells: list[str] = []
     while len(cells) < total:
         run, pos = decode_varint(data, pos)
+        if run == 0:
+            # A zero-length run makes no progress; accepting it lets a
+            # corrupt stream smuggle arbitrarily many no-op pairs.
+            raise CorruptStreamError("zero-length RLE run")
         if run > total - len(cells):
             # Checked before the allocation so a corrupt run length can
             # never materialise more cells than the header declared.
             raise CorruptStreamError("RLE runs exceed declared cell count")
         value, pos = _decode_str(data, pos)
         cells.extend([value] * run)
+    _check_consumed(data, pos, "rle")
     return cells
 
 
@@ -90,16 +112,17 @@ def delta_encode(cells: list[str]) -> bytes:
     return bytes(out)
 
 
-def delta_decode(data: bytes) -> list[str]:
+def delta_decode(data: bytes, expected_cells: int | None = None) -> list[str]:
     """Invert :func:`delta_encode`."""
     total, pos = decode_varint(data, 0)
-    _check_total(total)
+    _check_total(total, expected_cells)
     cells: list[str] = []
     prev = 0
     for __ in range(total):
         encoded, pos = decode_varint(data, pos)
         prev += _unzigzag(encoded)
         cells.append(str(prev))
+    _check_consumed(data, pos, "delta")
     return cells
 
 
@@ -122,10 +145,10 @@ def dictionary_encode(cells: list[str]) -> bytes:
     return bytes(out)
 
 
-def dictionary_decode(data: bytes) -> list[str]:
+def dictionary_decode(data: bytes, expected_cells: int | None = None) -> list[str]:
     """Invert :func:`dictionary_encode`."""
     total, pos = decode_varint(data, 0)
-    _check_total(total)
+    _check_total(total, expected_cells)
     table_size, pos = decode_varint(data, pos)
     _check_total(table_size)
     table: list[str] = []
@@ -138,6 +161,7 @@ def dictionary_decode(data: bytes) -> list[str]:
         if code >= len(table):
             raise CorruptStreamError(f"dictionary code {code} out of range")
         cells.append(table[code])
+    _check_consumed(data, pos, "dict")
     return cells
 
 
@@ -149,14 +173,15 @@ def plain_encode(cells: list[str]) -> bytes:
     return bytes(out)
 
 
-def plain_decode(data: bytes) -> list[str]:
+def plain_decode(data: bytes, expected_cells: int | None = None) -> list[str]:
     """Invert :func:`plain_encode`."""
     total, pos = decode_varint(data, 0)
-    _check_total(total)
+    _check_total(total, expected_cells)
     cells: list[str] = []
     for __ in range(total):
         value, pos = _decode_str(data, pos)
         cells.append(value)
+    _check_consumed(data, pos, "plain")
     return cells
 
 
@@ -239,14 +264,8 @@ def decode_column(data: bytes, expected_cells: int | None = None) -> list[str]:
         raise CorruptStreamError(f"unknown column encoding id {data[0]}")
     __, decode = _ENCODINGS[name]
     body = data[1:]
-    if expected_cells is not None:
-        declared, __pos = decode_varint(body, 0)
-        if declared != expected_cells:
-            raise CorruptStreamError(
-                f"column declares {declared} cells, expected {expected_cells}"
-            )
     try:
-        return decode(body)
+        return decode(body, expected_cells)
     except CorruptStreamError:
         raise
     except (ValueError, KeyError, IndexError, OverflowError) as exc:

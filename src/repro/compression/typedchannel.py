@@ -1,0 +1,579 @@
+"""Typed-channel columnar leaf codec with per-channel zone maps.
+
+The codecs in this package treat a leaf as an opaque byte string; this
+one understands it.  A serialized table payload (either physical
+layout) is re-expressed as one *typed channel* per column — the column
+cells run through the :mod:`repro.compression.columnar` transforms
+(RLE / delta / dictionary / plain) and a DEFLATE stage — prefixed by a
+**zone map** header describing every channel without touching its body:
+
+- declared encoding and stored/encoded byte lengths,
+- null (empty-cell) count,
+- integer statistics: how many cells parse as integers, and the
+  min/max over those that do,
+- the channel's complete distinct-value set, when it is small enough
+  (≤ :data:`DISTINCT_CAP` values).
+
+The header is the point.  A scan holding pushed predicates can read it
+with :func:`read_header` — a few hundred bytes, no decompression — and
+either *disprove* the leaf entirely (zone-map pruning) or decode only
+the channels the query projects (:func:`decode_table`), skipping the
+rest.  This is the WarpFlow / UnifiedStateCodec idea applied to the
+paper's warehouse: evaluate queries against the compressed
+representation and pay decompression only for survivors.
+
+Correctness contract:
+
+- ``decompress(compress(data)) == data`` for **every** byte string.
+  Payloads that don't parse as a canonical table in either layout (or
+  whose table form doesn't round-trip exactly) are stored in a *raw*
+  mode — plain DEFLATE, no channels — so the codec stays total and
+  :meth:`~repro.compression.base.Codec.measure` never lies.
+- Zone maps are descriptive only; *interpreting* them (which predicate
+  semantics make a prune sound) is the query layer's job
+  (:func:`repro.query.leafscan.zone_map_prunes`).
+
+Container format (all integers LEB128 varints)::
+
+    b"TCH1"  mode
+    mode 0 (raw):       zlib(payload)
+    mode 1 (row)  /  mode 2 (columnar):
+        n_columns  n_rows
+        n_columns x (len, utf8 column name)
+        n_columns x zone map:
+            body_len   -- stored (zlib) channel bytes
+            raw_len    -- encoded channel bytes before zlib
+            null_count int_count zigzag(int_min) zigzag(int_max)
+            flags      -- bit0: complete distinct set follows
+            [n_distinct, n x (len, utf8 value)]
+        n_columns x zlib(encoded channel)
+
+The columnar mode keeps each column's ``encode_column`` bytes exactly
+as they appeared inside the ``COL1`` container, so decompression is a
+pure reassembly — byte identity by construction.  The row mode
+re-derives channels from the parsed table and verifies the full round
+trip at compress time before committing to it.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.compression.base import Codec, register_codec
+from repro.compression.columnar import (
+    MAX_COLUMN_CELLS,
+    decode_column,
+    encode_column,
+)
+from repro.compression.varint import decode_varint, encode_varint
+from repro.core.snapshot import Table
+from repro.errors import CorruptStreamError
+
+#: Registry name — also the leaf file extension for tagged leaves.
+TYPEDCHANNEL_NAME = "typedchannel"
+
+_MAGIC = b"TCH1"
+_MODE_RAW = 0
+_MODE_ROW = 1
+_MODE_COLUMNAR = 2
+
+#: Matches repro.core.layout's columnar container (kept local so the
+#: compression package stays import-independent of the core layer; the
+#: layout round-trip tests pin the two against drift).
+_COLUMNAR_MAGIC = b"COL1"
+
+#: A channel's complete distinct-value set is stored in the zone map
+#: only up to this many values — enough for the telco schema's nominal
+#: columns (call types, cell ids of one epoch) without letting
+#: high-cardinality columns bloat the header.
+DISTINCT_CAP = 64
+
+_ZLIB_LEVEL = 6
+
+
+def _zigzag(value: int) -> int:
+    return ((-value) << 1) - 1 if value < 0 else value << 1
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+def _try_int(cell: str) -> int | None:
+    """The integer view of a cell under SQL coercion (``int(str)``), or
+    None — mirrors how the executor numeric-compares cell strings."""
+    try:
+        return int(cell)
+    except ValueError:
+        return None
+
+
+@dataclass(frozen=True)
+class ChannelZoneMap:
+    """Per-channel statistics readable without decoding the body."""
+
+    name: str
+    #: Stored (zlib-compressed) body bytes.
+    body_len: int
+    #: Encoded channel bytes before the zlib stage — the decompression
+    #: work a reader skips by not decoding this channel.
+    raw_len: int
+    #: Cells that are the empty string (SQL NULL).
+    null_count: int
+    #: Cells with an integer view; min/max are over exactly those.
+    int_count: int
+    int_min: int
+    int_max: int
+    #: The channel's complete distinct-value set, or None when it
+    #: exceeded :data:`DISTINCT_CAP` and was dropped.
+    distinct: tuple[str, ...] | None
+
+
+@dataclass(frozen=True)
+class TypedChannelHeader:
+    """Parsed zone-map header of a table-mode typed-channel blob."""
+
+    mode: int
+    columns: tuple[str, ...]
+    n_rows: int
+    zones: tuple[ChannelZoneMap, ...]
+    #: Offset of the first channel body within the blob.
+    body_start: int
+
+    def zone(self, column: str) -> ChannelZoneMap | None:
+        """Zone map for a column name, or None when absent."""
+        for zone in self.zones:
+            if zone.name == column:
+                return zone
+        return None
+
+    @property
+    def total_raw_bytes(self) -> int:
+        """Decompression work a full decode of this leaf would cost."""
+        return sum(zone.raw_len for zone in self.zones)
+
+
+@dataclass(frozen=True)
+class ChannelReadStats:
+    """What one selective decode actually paid for."""
+
+    channels_decoded: int
+    bytes_decoded: int
+    bytes_skipped: int
+
+
+def _zone_map_for(name: str, cells: list[str]) -> "_ZoneBuild":
+    null_count = 0
+    int_count = 0
+    int_min = 0
+    int_max = 0
+    distinct: set[str] | None = set()
+    for cell in cells:
+        if cell == "":
+            null_count += 1
+        value = _try_int(cell)
+        if value is not None:
+            if int_count == 0:
+                int_min = int_max = value
+            else:
+                int_min = min(int_min, value)
+                int_max = max(int_max, value)
+            int_count += 1
+        if distinct is not None:
+            distinct.add(cell)
+            if len(distinct) > DISTINCT_CAP:
+                distinct = None
+    return _ZoneBuild(
+        name=name,
+        null_count=null_count,
+        int_count=int_count,
+        int_min=int_min,
+        int_max=int_max,
+        distinct=None if distinct is None else tuple(sorted(distinct)),
+    )
+
+
+@dataclass
+class _ZoneBuild:
+    name: str
+    null_count: int
+    int_count: int
+    int_min: int
+    int_max: int
+    distinct: tuple[str, ...] | None
+
+
+def _encode_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    return encode_varint(len(raw)) + raw
+
+
+def _decode_str(data: bytes, pos: int) -> tuple[str, int]:
+    length, pos = decode_varint(data, pos)
+    raw = data[pos : pos + length]
+    if len(raw) != length:
+        raise CorruptStreamError("truncated typed-channel string")
+    try:
+        return raw.decode("utf-8"), pos + length
+    except UnicodeDecodeError as exc:
+        raise CorruptStreamError(
+            f"typed-channel string is not UTF-8: {exc}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Container assembly / parsing
+# ----------------------------------------------------------------------
+
+
+def _assemble(
+    mode: int,
+    columns: list[str],
+    n_rows: int,
+    zones: list[_ZoneBuild],
+    encoded_bodies: list[bytes],
+) -> bytes:
+    out = bytearray(_MAGIC)
+    out.append(mode)
+    out += encode_varint(len(columns))
+    out += encode_varint(n_rows)
+    for column in columns:
+        out += _encode_str(column)
+    compressed = [zlib.compress(body, _ZLIB_LEVEL) for body in encoded_bodies]
+    for zone, body, packed in zip(zones, encoded_bodies, compressed):
+        out += encode_varint(len(packed))
+        out += encode_varint(len(body))
+        out += encode_varint(zone.null_count)
+        out += encode_varint(zone.int_count)
+        out += encode_varint(_zigzag(zone.int_min))
+        out += encode_varint(_zigzag(zone.int_max))
+        if zone.distinct is not None:
+            out.append(1)
+            out += encode_varint(len(zone.distinct))
+            for value in zone.distinct:
+                out += _encode_str(value)
+        else:
+            out.append(0)
+    for packed in compressed:
+        out += packed
+    return bytes(out)
+
+
+def read_header(blob: bytes) -> TypedChannelHeader | None:
+    """Parse a typed-channel blob's zone-map header, body bytes untouched.
+
+    Returns None for raw-mode blobs (no channels to reason about).
+
+    Raises:
+        CorruptStreamError: when the blob is not a typed-channel stream
+            or its header is malformed.
+    """
+    if blob[: len(_MAGIC)] != _MAGIC:
+        raise CorruptStreamError("bad typed-channel magic")
+    pos = len(_MAGIC)
+    if pos >= len(blob):
+        raise CorruptStreamError("typed-channel blob missing mode byte")
+    mode = blob[pos]
+    pos += 1
+    if mode == _MODE_RAW:
+        return None
+    if mode not in (_MODE_ROW, _MODE_COLUMNAR):
+        raise CorruptStreamError(f"unknown typed-channel mode {mode}")
+    n_columns, pos = decode_varint(blob, pos)
+    n_rows, pos = decode_varint(blob, pos)
+    if n_columns > len(blob) - pos:
+        raise CorruptStreamError(
+            f"typed-channel header declares {n_columns} channels"
+        )
+    if n_rows > MAX_COLUMN_CELLS:
+        raise CorruptStreamError(
+            f"typed-channel header declares {n_rows} rows "
+            f"(cap {MAX_COLUMN_CELLS})"
+        )
+    columns: list[str] = []
+    for __ in range(n_columns):
+        name, pos = _decode_str(blob, pos)
+        columns.append(name)
+    zones: list[ChannelZoneMap] = []
+    for name in columns:
+        body_len, pos = decode_varint(blob, pos)
+        raw_len, pos = decode_varint(blob, pos)
+        null_count, pos = decode_varint(blob, pos)
+        int_count, pos = decode_varint(blob, pos)
+        zz_min, pos = decode_varint(blob, pos)
+        zz_max, pos = decode_varint(blob, pos)
+        if pos >= len(blob):
+            raise CorruptStreamError("truncated typed-channel zone map")
+        flags = blob[pos]
+        pos += 1
+        distinct: tuple[str, ...] | None = None
+        if flags & 1:
+            n_distinct, pos = decode_varint(blob, pos)
+            if n_distinct > DISTINCT_CAP + 1:
+                raise CorruptStreamError(
+                    f"typed-channel zone map declares {n_distinct} "
+                    f"distinct values (cap {DISTINCT_CAP})"
+                )
+            values = []
+            for __ in range(n_distinct):
+                value, pos = _decode_str(blob, pos)
+                values.append(value)
+            distinct = tuple(values)
+        zones.append(
+            ChannelZoneMap(
+                name=name,
+                body_len=body_len,
+                raw_len=raw_len,
+                null_count=null_count,
+                int_count=int_count,
+                int_min=_unzigzag(zz_min),
+                int_max=_unzigzag(zz_max),
+                distinct=distinct,
+            )
+        )
+    if sum(zone.body_len for zone in zones) != len(blob) - pos:
+        raise CorruptStreamError("typed-channel bodies do not fill the blob")
+    return TypedChannelHeader(
+        mode=mode,
+        columns=tuple(columns),
+        n_rows=n_rows,
+        zones=tuple(zones),
+        body_start=pos,
+    )
+
+
+# ----------------------------------------------------------------------
+# Selective decode
+# ----------------------------------------------------------------------
+
+
+def decode_table(
+    name: str,
+    blob: bytes,
+    columns: tuple[str, ...] | None = None,
+    header: TypedChannelHeader | None = None,
+) -> tuple[Table, ChannelReadStats]:
+    """Decode a table-mode blob, touching only the selected channels.
+
+    Mirrors the columnar layout's projection contract: the returned
+    table keeps the full stored schema and row width, with unselected
+    cells left as empty strings.  ``columns=None`` decodes everything.
+
+    Raises:
+        CorruptStreamError: on malformed blobs, including raw-mode ones
+            (callers route those through the generic decompress path).
+    """
+    if header is None:
+        header = read_header(blob)
+    if header is None:
+        raise CorruptStreamError("raw-mode typed-channel blob has no channels")
+    wanted = None if columns is None else set(columns)
+    pos = header.body_start
+    column_values: list[list[str]] = []
+    blanks = [""] * header.n_rows
+    decoded = 0
+    bytes_decoded = 0
+    bytes_skipped = 0
+    for zone in header.zones:
+        body = blob[pos : pos + zone.body_len]
+        if len(body) != zone.body_len:
+            raise CorruptStreamError("truncated typed-channel body")
+        pos += zone.body_len
+        if wanted is not None and zone.name not in wanted:
+            bytes_skipped += zone.raw_len
+            column_values.append(blanks)
+            continue
+        try:
+            encoded = zlib.decompress(body)
+        except zlib.error as exc:
+            raise CorruptStreamError(
+                f"typed-channel body for {zone.name!r} is not DEFLATE: {exc}"
+            ) from exc
+        if len(encoded) != zone.raw_len:
+            raise CorruptStreamError(
+                f"typed-channel body for {zone.name!r} inflated to "
+                f"{len(encoded)} bytes, zone map promised {zone.raw_len}"
+            )
+        cells = decode_column(encoded, expected_cells=header.n_rows)
+        decoded += 1
+        bytes_decoded += zone.raw_len
+        column_values.append(cells)
+    rows = [
+        [column_values[c][r] for c in range(len(header.columns))]
+        for r in range(header.n_rows)
+    ]
+    try:
+        table = Table(name=name, columns=list(header.columns), rows=rows)
+    except ValueError as exc:  # e.g. duplicate column names
+        raise CorruptStreamError(f"malformed typed-channel table: {exc}") from exc
+    return table, ChannelReadStats(
+        channels_decoded=decoded,
+        bytes_decoded=bytes_decoded,
+        bytes_skipped=bytes_skipped,
+    )
+
+
+# ----------------------------------------------------------------------
+# The codec
+# ----------------------------------------------------------------------
+
+
+def _parse_columnar(data: bytes) -> tuple[list[str], int, list[bytes]] | None:
+    """Split a canonical ``COL1`` payload into (columns, n_rows, encoded
+    column bodies) — None when the payload isn't exactly that shape."""
+    if data[: len(_COLUMNAR_MAGIC)] != _COLUMNAR_MAGIC:
+        return None
+    try:
+        pos = len(_COLUMNAR_MAGIC)
+        n_columns, pos = decode_varint(data, pos)
+        n_rows, pos = decode_varint(data, pos)
+        if n_columns > len(data) - pos or n_rows > MAX_COLUMN_CELLS:
+            return None
+        columns: list[str] = []
+        for __ in range(n_columns):
+            name, pos = _decode_str(data, pos)
+            columns.append(name)
+        bodies: list[bytes] = []
+        for __ in range(n_columns):
+            length, pos = decode_varint(data, pos)
+            body = data[pos : pos + length]
+            if len(body) != length:
+                return None
+            bodies.append(body)
+            pos += length
+        if pos != len(data):
+            return None  # trailing bytes: reassembly would drop them
+        return columns, n_rows, bodies
+    except CorruptStreamError:
+        return None
+
+
+def _reassemble_columnar(
+    columns: list[str], n_rows: int, bodies: list[bytes]
+) -> bytes:
+    out = bytearray(_COLUMNAR_MAGIC)
+    out += encode_varint(len(columns))
+    out += encode_varint(n_rows)
+    for column in columns:
+        out += _encode_str(column)
+    for body in bodies:
+        out += encode_varint(len(body))
+        out += body
+    return bytes(out)
+
+
+@register_codec
+class TypedChannelCodec(Codec):
+    """Leaf codec storing one zone-mapped typed channel per column."""
+
+    name = TYPEDCHANNEL_NAME
+
+    def compress(self, data: bytes) -> bytes:
+        packed = self._pack_columnar(data)
+        if packed is None:
+            packed = self._pack_row(data)
+        if packed is None:
+            packed = _MAGIC + bytes([_MODE_RAW]) + zlib.compress(data, _ZLIB_LEVEL)
+        return packed
+
+    def decompress(self, data: bytes) -> bytes:
+        header = read_header(data)
+        if header is None:
+            body = data[len(_MAGIC) + 1 :]
+            try:
+                return zlib.decompress(body)
+            except zlib.error as exc:
+                raise CorruptStreamError(
+                    f"corrupt raw typed-channel stream: {exc}"
+                ) from exc
+        bodies: list[bytes] = []
+        pos = header.body_start
+        for zone in header.zones:
+            packed = data[pos : pos + zone.body_len]
+            pos += zone.body_len
+            try:
+                encoded = zlib.decompress(packed)
+            except zlib.error as exc:
+                raise CorruptStreamError(
+                    f"typed-channel body for {zone.name!r} is not DEFLATE: "
+                    f"{exc}"
+                ) from exc
+            if len(encoded) != zone.raw_len:
+                raise CorruptStreamError(
+                    f"typed-channel body for {zone.name!r} inflated to "
+                    f"{len(encoded)} bytes, zone map promised {zone.raw_len}"
+                )
+            bodies.append(encoded)
+        if header.mode == _MODE_COLUMNAR:
+            return _reassemble_columnar(
+                list(header.columns), header.n_rows, bodies
+            )
+        cells_per_column = [
+            decode_column(body, expected_cells=header.n_rows)
+            for body in bodies
+        ]
+        rows = [
+            [cells_per_column[c][r] for c in range(len(header.columns))]
+            for r in range(header.n_rows)
+        ]
+        try:
+            table = Table(
+                name="typedchannel", columns=list(header.columns), rows=rows
+            )
+        except ValueError as exc:
+            raise CorruptStreamError(
+                f"malformed typed-channel table: {exc}"
+            ) from exc
+        return table.serialize()
+
+    # ------------------------------------------------------------------
+
+    def _pack_columnar(self, data: bytes) -> bytes | None:
+        parsed = _parse_columnar(data)
+        if parsed is None:
+            return None
+        columns, n_rows, bodies = parsed
+        zones: list[_ZoneBuild] = []
+        try:
+            for body in bodies:
+                cells = decode_column(body, expected_cells=n_rows)
+                zones.append(_zone_map_for("", cells))
+        except CorruptStreamError:
+            return None
+        for zone, column in zip(zones, columns):
+            zone.name = column
+        # The original encode_column bytes are kept verbatim, so
+        # decompression is reassembly: byte identity by construction.
+        return _assemble(_MODE_COLUMNAR, columns, n_rows, zones, bodies)
+
+    def _pack_row(self, data: bytes) -> bytes | None:
+        try:
+            table = Table.deserialize("typedchannel", data)
+        except (CorruptStreamError, ValueError, IndexError):
+            return None
+        if table.serialize() != data:
+            return None  # non-canonical text: raw mode keeps losslessness
+        columns = list(table.columns)
+        cell_lists = [
+            [row[position] for row in table.rows]
+            for position in range(len(columns))
+        ]
+        zones = [
+            _zone_map_for(name, cells)
+            for name, cells in zip(columns, cell_lists)
+        ]
+        bodies = [encode_column(cells) for cells in cell_lists]
+        return _assemble(_MODE_ROW, columns, len(table.rows), zones, bodies)
+
+
+__all__ = [
+    "ChannelReadStats",
+    "ChannelZoneMap",
+    "DISTINCT_CAP",
+    "TYPEDCHANNEL_NAME",
+    "TypedChannelCodec",
+    "TypedChannelHeader",
+    "decode_table",
+    "read_header",
+]

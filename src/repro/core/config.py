@@ -132,9 +132,16 @@ class AutotuneConfig:
     """
 
     #: Codec names the selector scores.  Defaults to the stdlib-backed
-    #: reference codecs (C-speed) plus the from-scratch zstd, whose
-    #: trained dictionaries are the density play on small leaves.
-    candidates: tuple[str, ...] = ("gzip-ref", "bz2-ref", "7z-ref")
+    #: reference codecs (C-speed) plus the typed-channel columnar codec
+    #: (zone-mapped channels — the candidate whose payoff shows up at
+    #: *query* time, when selective scans prune and project against the
+    #: header instead of decompressing whole leaves).
+    candidates: tuple[str, ...] = (
+        "gzip-ref",
+        "bz2-ref",
+        "7z-ref",
+        "typedchannel",
+    )
     #: Per-payload sample cap for scoring, bytes (payloads at or below
     #: the cap are scored exactly).
     sample_bytes: int = 16 * 1024

@@ -108,10 +108,15 @@ class WarehouseMetrics:
     #: Read-path counters (parallel, pruned leaf scans).
     query_leaves_scanned: int = 0
     query_leaves_pruned: int = 0
+    query_leaves_zone_pruned: int = 0
     query_scan_cache_hits: int = 0
     query_bytes_decompressed: int = 0
+    query_channels_decoded: int = 0
+    query_channel_bytes_skipped: int = 0
     query_scan_wall_seconds: float = 0.0
     query_scan_task_seconds: float = 0.0
+    #: Backend of the decode fan-outs; ``"mixed"`` once scans have run
+    #: on more than one backend (never silently overwritten).
     query_scan_backend: str = ""
     #: Query-result cache counters (complete results keyed on query +
     #: index version).
@@ -283,12 +288,27 @@ class WarehouseMetrics:
         with self._lock:
             self.query_leaves_scanned += stats.leaves_scanned
             self.query_leaves_pruned += stats.leaves_pruned
+            self.query_leaves_zone_pruned += getattr(
+                stats, "leaves_zone_pruned", 0
+            )
             self.query_scan_cache_hits += stats.cache_hits
             self.query_bytes_decompressed += stats.bytes_decompressed
+            self.query_channels_decoded += getattr(
+                stats, "channels_decoded", 0
+            )
+            self.query_channel_bytes_skipped += getattr(
+                stats, "channel_bytes_skipped", 0
+            )
             self.query_scan_wall_seconds += stats.wall_seconds
             self.query_scan_task_seconds += stats.task_seconds
             if stats.backend:
-                self.query_scan_backend = stats.backend
+                if (
+                    self.query_scan_backend
+                    and self.query_scan_backend != stats.backend
+                ):
+                    self.query_scan_backend = "mixed"
+                else:
+                    self.query_scan_backend = stats.backend
 
     def on_query_cache(self, hit: bool) -> None:
         """Record one query-result cache lookup."""
@@ -396,15 +416,18 @@ class WarehouseMetrics:
 
     @property
     def query_prune_rate(self) -> float:
-        """Fraction of candidate leaves queries skipped via summaries."""
-        total = self.query_leaves_scanned + self.query_leaves_pruned
-        return self.query_leaves_pruned / total if total else 0.0
+        """Fraction of candidate leaves queries skipped unread — via
+        day summaries or typed-channel zone maps."""
+        pruned = self.query_leaves_pruned + self.query_leaves_zone_pruned
+        total = self.query_leaves_scanned + pruned
+        return pruned / total if total else 0.0
 
     @property
     def query_scan_speedup(self) -> float:
-        """Decode-stage speedup across all query scans so far."""
+        """Decode-stage speedup across all query scans so far (0.0
+        when no decode wall time was measured — nothing to claim)."""
         if self.query_scan_wall_seconds <= 0.0:
-            return 1.0
+            return 0.0
         return self.query_scan_task_seconds / self.query_scan_wall_seconds
 
     def epoch_budget_headroom(self, epoch_seconds: float = 30 * 60) -> float:
@@ -451,17 +474,35 @@ class WarehouseMetrics:
             f"{self.leaf_cache_invalidations} invalidations, "
             f"{self.leaf_cache_bytes:,} bytes resident"
         )
-        if self.query_leaves_scanned or self.query_leaves_pruned:
+        if (
+            self.query_leaves_scanned
+            or self.query_leaves_pruned
+            or self.query_leaves_zone_pruned
+        ):
             backend = (
                 f", {self.query_scan_backend} decode" if self.query_scan_backend else ""
+            )
+            zone = (
+                f", {self.query_leaves_zone_pruned} zone-pruned"
+                if self.query_leaves_zone_pruned
+                else ""
             )
             lines.append(
                 f"  query read path:       {self.query_leaves_scanned} leaves scanned "
                 f"({self.query_scan_cache_hits} from cache), "
                 f"{self.query_leaves_pruned} pruned "
-                f"({self.query_prune_rate:.0%}), "
+                f"({self.query_prune_rate:.0%}){zone}, "
                 f"{self.query_bytes_decompressed:,} bytes decompressed "
-                f"(speedup {self.query_scan_speedup:.2f}x{backend})"
+                + (
+                    f"(speedup {self.query_scan_speedup:.2f}x{backend})"
+                    if self.query_scan_wall_seconds > 0.0
+                    else f"(speedup n/a{backend})"
+                )
+            )
+        if self.query_channels_decoded or self.query_channel_bytes_skipped:
+            lines.append(
+                f"  typed channels:        {self.query_channels_decoded} decoded, "
+                f"{self.query_channel_bytes_skipped:,} encoded bytes skipped"
             )
         if self.query_cache_hits or self.query_cache_misses:
             lines.append(

@@ -69,8 +69,17 @@ class QueryResultCache:
             return copy.deepcopy(entry)
 
     def put(self, key: Hashable, version: int, result: Any) -> None:
-        """Cache a complete result computed under ``version``."""
+        """Cache a complete result computed under ``version``.
+
+        Results that carry their own coverage report are checked here
+        as a last line of defense: a deadline-truncated or
+        ``partial_ok`` answer (incomplete coverage) is silently
+        refused, whatever the caller believed.  Serving one later as a
+        complete answer is the worst failure mode a result cache has.
+        """
         if not self.enabled:
+            return
+        if not _result_complete(result):
             return
         with self._lock:
             self._entries[(key, version)] = copy.deepcopy(result)
@@ -81,3 +90,25 @@ class QueryResultCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+
+
+def _result_complete(result: Any) -> bool:
+    """Whether a result object claims complete coverage.
+
+    Duck-typed: results without a ``coverage`` attribute (plain SQL
+    ``QueryResult``) are trusted — their caller's guard is the only
+    coverage knowledge that exists.  Anything exposing a
+    ``CoverageReport``-shaped coverage (``complete`` flag, or
+    ``epochs_skipped`` / ``deadline_hit`` fields) is verified.
+    """
+    coverage = getattr(result, "coverage", None)
+    if coverage is None:
+        return True
+    complete = getattr(coverage, "complete", None)
+    if complete is not None:
+        return bool(complete)
+    if isinstance(coverage, dict):
+        return not coverage.get("epochs_skipped") and not coverage.get(
+            "deadline_hit"
+        )
+    return True

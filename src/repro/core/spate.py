@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import functools
 import json
+import threading
 
 from repro.baselines.base import Framework, IngestStats
 from repro.compression.autotune import (
@@ -55,7 +56,13 @@ from repro.index.incremence import IncremenceModule, IngestReport
 from repro.index.temporal import SnapshotLeaf, TemporalIndex
 from repro.index.wal import IndexWal
 from repro.query.explore import ExplorationEngine, ExplorationQuery, ExplorationResult
-from repro.query.leafscan import ScanContext, ScanStats, decode_leaf_task
+from repro.query.leafscan import (
+    ScanContext,
+    ScanStats,
+    decode_leaf_task,
+    task_is_projected,
+    zone_map_prunes,
+)
 from repro.spatial.geometry import BoundingBox, Point
 from repro.spatial.rtree import RTree
 
@@ -122,6 +129,10 @@ class Spate(Framework):
             )
         else:
             self.fault_injector = dfs.fault_injector
+        #: Per-thread scan telemetry backing ``last_scan_stats`` /
+        #: ``last_scan_coverage``.  Must exist before the base-class
+        #: constructor runs: it assigns through the property setters.
+        self._scan_tls = threading.local()
         super().__init__(dfs)
         # In auto mode this is the *fallback* codec; each leaf's tagged
         # codec (stamped at ingest) is authoritative on the read path.
@@ -164,8 +175,6 @@ class Spate(Framework):
         #: query-result cache (entries are keyed on it).
         self.index_version = 0
         self.query_cache = QueryResultCache(self.config.query_cache_entries)
-        #: Read-path stats of the most recent ``read_rows`` scan.
-        self.last_scan_stats = ScanStats()
         self._finalized = False
         self._epochs_since_checkpoint = 0
         self.last_recovery_report = None
@@ -182,6 +191,47 @@ class Spate(Framework):
                 self.dfs, replication=durability.metadata_replication
             )
         self._write_warehouse_meta_if_fresh()
+
+    # ------------------------------------------------------------------
+    # Per-thread scan telemetry
+    # ------------------------------------------------------------------
+    #
+    # ``last_scan_stats`` / ``last_scan_coverage`` are written by every
+    # ``read_rows`` call and read back by the SQL layer's lazy loaders
+    # to decide, among other things, whether a result is complete
+    # enough to cache.  The serving layer runs readers on a thread
+    # pool against one shared Spate: were these plain instance
+    # attributes, thread A's skipped-epoch coverage could be clobbered
+    # by thread B's clean scan between A's scan and A's loader
+    # snapshot — and A's *incomplete* result would be cached as
+    # complete.  Thread-local storage keeps each reader's telemetry
+    # its own.
+
+    @property
+    def last_scan_stats(self) -> ScanStats:
+        """Read-path stats of this thread's most recent scan."""
+        stats = getattr(self._scan_tls, "stats", None)
+        if stats is None:
+            stats = ScanStats()
+            self._scan_tls.stats = stats
+        return stats
+
+    @last_scan_stats.setter
+    def last_scan_stats(self, stats: ScanStats) -> None:
+        self._scan_tls.stats = stats
+
+    @property
+    def last_scan_coverage(self) -> dict:
+        """Coverage of this thread's most recent scan."""
+        coverage = getattr(self._scan_tls, "coverage", None)
+        if coverage is None:
+            coverage = {"epochs_served": [], "epochs_skipped": {}}
+            self._scan_tls.coverage = coverage
+        return coverage
+
+    @last_scan_coverage.setter
+    def last_scan_coverage(self, coverage: dict) -> None:
+        self._scan_tls.coverage = coverage
 
     #: Immutable creation-time warehouse facts (codec, layout) — what
     #: recovery's migration shim trusts when it meets leaves recorded
@@ -476,8 +526,27 @@ class Spate(Framework):
                     raise
                 coverage["epochs_skipped"][leaf.epoch] = str(exc)
                 continue
+            task = ctx.decode_task(
+                table,
+                blob,
+                proj,
+                epoch=leaf.epoch,
+                wanted=tuple(columns) if columns is not None else None,
+            )
+            if ctx.pruning and predicates:
+                # Typed-channel leaves carry per-channel zone maps; a
+                # pushed predicate they disprove skips the decode
+                # entirely (sound: the executor re-applies every
+                # predicate row-wise, so a leaf with no passing row
+                # contributes nothing either way).
+                zone_pruned, skipped_bytes = zone_map_prunes(task, predicates)
+                if zone_pruned:
+                    coverage["epochs_pruned"].append(leaf.epoch)
+                    stats.leaves_zone_pruned += 1
+                    stats.channel_bytes_skipped += skipped_bytes
+                    continue
             plan.append((leaf.epoch, "task", len(tasks)))
-            tasks.append(ctx.decode_task(table, blob, proj, epoch=leaf.epoch))
+            tasks.append(task)
 
         decoded, run, __ = ctx.executor.run_chunked(
             decode_leaf_task, tasks, ctx.chunk_size
@@ -488,9 +557,12 @@ class Spate(Framework):
         rows: list[list[str]] = []
         for epoch, kind, payload in plan:
             if kind == "task":
-                loaded, nbytes = decoded[payload]
+                loaded, nbytes, channel_stats = decoded[payload]
                 stats.bytes_decompressed += nbytes
-                if proj is None:
+                if channel_stats is not None:
+                    stats.channels_decoded += channel_stats.channels_decoded
+                    stats.channel_bytes_skipped += channel_stats.bytes_skipped
+                if not task_is_projected(tasks[payload]):
                     # Projected decodes are partial tables; only full
                     # decodes may enter the shared leaf cache.
                     self._scan_cache_put(epoch, table, loaded, nbytes)

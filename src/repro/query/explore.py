@@ -32,7 +32,13 @@ from repro.errors import (
 )
 from repro.index.highlights import CELL_COLUMN, Highlight, NumericStats
 from repro.index.temporal import TemporalIndex
-from repro.query.leafscan import ScanContext, ScanStats, decode_leaf_task
+from repro.query.leafscan import (
+    ScanContext,
+    ScanStats,
+    decode_leaf_task,
+    task_is_projected,
+    zone_map_prunes,
+)
 from repro.spatial.geometry import BoundingBox, Point
 
 
@@ -516,8 +522,26 @@ class ExplorationEngine:
                 coverage.epochs_skipped[leaf.epoch] = f"unreadable: {exc}"
                 plan.append((leaf, "skipped", None))
                 continue
+            task = ctx.decode_task(
+                query.table, blob, proj, epoch=leaf.epoch, wanted=wanted
+            )
+            if ctx.pruning and cells is not None and cell_col is not None:
+                # Typed-channel leaves: when the cell-id channel's zone
+                # map holds the complete distinct set and it misses the
+                # query box's cells, no row of this leaf can match —
+                # skip the decode (the row filter would drop them all).
+                zone_pruned, skipped_bytes = zone_map_prunes(
+                    task, cell_filter=(cell_col, cells)
+                )
+                if zone_pruned:
+                    if not result.columns:
+                        result.columns = ["epoch", *query.attributes]
+                    coverage.epochs_pruned.append(leaf.epoch)
+                    stats.leaves_zone_pruned += 1
+                    stats.channel_bytes_skipped += skipped_bytes
+                    continue
             plan.append((leaf, "task", len(tasks)))
-            tasks.append(ctx.decode_task(query.table, blob, proj, epoch=leaf.epoch))
+            tasks.append(task)
 
         # Phase 3: parallel decode.  run_chunked stops submitting once
         # the deadline expires, so tasks past the cutoff never run.
@@ -541,9 +565,12 @@ class ExplorationEngine:
                     coverage.epochs_skipped[leaf.epoch] = "deadline"
                     coverage.deadline_hit = True
                     continue
-                table, nbytes = decoded[payload]
+                table, nbytes, channel_stats = decoded[payload]
                 stats.bytes_decompressed += nbytes
-                if proj is None:
+                if channel_stats is not None:
+                    stats.channels_decoded += channel_stats.channels_decoded
+                    stats.channel_bytes_skipped += channel_stats.bytes_skipped
+                if not task_is_projected(tasks[payload]):
                     # Projected decodes are partial tables; only full
                     # decodes may populate the shared leaf cache.
                     ctx.cache_put(leaf.epoch, query.table, table, nbytes)

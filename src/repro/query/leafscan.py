@@ -16,14 +16,23 @@ backend.  The split of responsibilities is deliberate:
 Because the fan-out only reorders *when* leaves are decoded — never the
 order their rows are merged — answers are byte-identical to the serial
 scan, whatever backend ran the decode.
+
+Leaves stored with the typed-channel codec add a third gate between
+summary pruning and decode submission: :func:`zone_map_prunes` reads
+the blob's per-channel zone maps (no decompression) and skips the leaf
+when they *disprove* a pushed predicate or the explore cell filter.
+Disproof reuses the executor's exact value semantics
+(:mod:`repro.query.sql.values`), so a zone-pruned scan returns
+byte-identical answers to a full decode.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
 
 from repro.core.snapshot import Table
+from repro.errors import CorruptStreamError
 
 
 @dataclass
@@ -35,55 +44,97 @@ class ScanStats:
     leaves_scanned: int = 0
     #: Leaves skipped because a summary disproved the filter.
     leaves_pruned: int = 0
+    #: Leaves skipped because their typed-channel zone maps disproved a
+    #: pushed predicate or the explore cell filter.
+    leaves_zone_pruned: int = 0
     #: Scanned leaves served from the decompressed-leaf cache.
     cache_hits: int = 0
     #: Decompressed payload bytes produced by this query's decodes.
     bytes_decompressed: int = 0
+    #: Typed channels actually decoded by selective decodes.
+    channels_decoded: int = 0
+    #: Encoded channel bytes selective decodes and zone pruning skipped.
+    channel_bytes_skipped: int = 0
     #: Wall-clock of the decode fan-out vs its serial-equivalent work.
     wall_seconds: float = 0.0
     task_seconds: float = 0.0
+    #: Executor backend that ran the decodes; ``"mixed"`` when folded
+    #: scans ran on different backends (never silently overwritten).
     backend: str = ""
 
     def merge(self, other: "ScanStats") -> None:
         """Fold another scan's counters into this one."""
         self.leaves_scanned += other.leaves_scanned
         self.leaves_pruned += other.leaves_pruned
+        self.leaves_zone_pruned += other.leaves_zone_pruned
         self.cache_hits += other.cache_hits
         self.bytes_decompressed += other.bytes_decompressed
+        self.channels_decoded += other.channels_decoded
+        self.channel_bytes_skipped += other.channel_bytes_skipped
         self.wall_seconds += other.wall_seconds
         self.task_seconds += other.task_seconds
-        if other.backend:
-            self.backend = other.backend
+        self._fold_backend(other.backend)
 
     def on_run(self, run) -> None:
         """Fold one :class:`~repro.engine.executor.ExecutorRun` in."""
         self.wall_seconds += run.wall_seconds
         self.task_seconds += run.task_seconds
-        if run.backend:
-            self.backend = run.backend
+        self._fold_backend(run.backend)
+
+    def _fold_backend(self, backend: str) -> None:
+        if not backend:
+            return
+        if self.backend and self.backend != backend:
+            self.backend = "mixed"
+        else:
+            self.backend = backend
 
     @property
     def prune_rate(self) -> float:
-        """Fraction of candidate leaves skipped without decompression."""
-        total = self.leaves_scanned + self.leaves_pruned
-        return self.leaves_pruned / total if total else 0.0
+        """Fraction of candidate leaves skipped without decompression
+        (summary- and zone-pruned alike)."""
+        pruned = self.leaves_pruned + self.leaves_zone_pruned
+        total = self.leaves_scanned + pruned
+        return pruned / total if total else 0.0
 
     @property
     def speedup(self) -> float:
-        """Decode-stage speedup: serial-equivalent work / wall time."""
+        """Decode-stage speedup: serial-equivalent work / wall time.
+
+        0.0 when no wall time was measured — a zero-leaf scan has no
+        speedup to report, and claiming 1.0x would be an invention.
+        """
         if self.wall_seconds <= 0.0:
-            return 1.0
+            return 0.0
         return self.task_seconds / self.wall_seconds
 
     def describe(self) -> str:
         """One-line human-readable scan report."""
+        zone = (
+            f", {self.leaves_zone_pruned} zone-pruned"
+            if self.leaves_zone_pruned
+            else ""
+        )
+        channels = (
+            f", {self.channels_decoded} channels decoded, "
+            f"{self.channel_bytes_skipped:,} channel bytes skipped"
+            if self.channels_decoded or self.channel_bytes_skipped
+            else ""
+        )
+        speedup = (
+            f"speedup {self.speedup:.2f}x"
+            if self.wall_seconds > 0.0
+            else "speedup n/a"
+        )
         return (
             f"{self.leaves_scanned} leaves scanned "
             f"({self.cache_hits} from cache), "
-            f"{self.leaves_pruned} pruned ({self.prune_rate:.0%}), "
-            f"{self.bytes_decompressed:,} bytes decompressed, "
-            f"decode wall {self.wall_seconds * 1000:.1f} ms "
-            f"(speedup {self.speedup:.2f}x"
+            f"{self.leaves_pruned} pruned ({self.prune_rate:.0%})"
+            + zone
+            + f", {self.bytes_decompressed:,} bytes decompressed"
+            + channels
+            + f", decode wall {self.wall_seconds * 1000:.1f} ms "
+            f"({speedup}"
             + (f", {self.backend}" if self.backend else "")
             + ")"
         )
@@ -118,7 +169,12 @@ class ScanContext:
     codec_of: Optional[Callable[[int, str], tuple[str, Optional[bytes]]]] = None
 
     def decode_task(
-        self, table: str, blob: bytes, columns: tuple[str, ...] | None, epoch: int | None = None
+        self,
+        table: str,
+        blob: bytes,
+        columns: tuple[str, ...] | None,
+        epoch: int | None = None,
+        wanted: Iterable[str] | None = None,
     ) -> tuple[str, Optional[bytes], str, str, bytes, tuple[str, ...] | None]:
         """Build one picklable work unit for :func:`decode_leaf_task`.
 
@@ -126,10 +182,23 @@ class ScanContext:
         a per-leaf resolver, the task carries that leaf's tagged codec
         (and shared-dictionary bytes); otherwise the warehouse-wide
         codec is assumed, as before codec tagging existed.
+
+        ``wanted`` is the raw referenced-column set before the layout
+        gate in :meth:`projection`.  Typed-channel leaves can skip
+        channels under *either* physical layout, so when the resolved
+        codec is typed-channel and no layout-gated projection applies,
+        the wanted set becomes the projection for that leaf alone.
         """
         codec_name, dict_blob = self.codec_name, None
         if self.codec_of is not None and epoch is not None:
             codec_name, dict_blob = self.codec_of(epoch, table)
+        if (
+            columns is None
+            and wanted is not None
+            and self.pruning
+            and codec_name == _TYPEDCHANNEL
+        ):
+            columns = tuple(sorted(set(wanted)))
         return (codec_name, dict_blob, self.layout, table, blob, columns)
 
     def projection(self, columns) -> tuple[str, ...] | None:
@@ -138,6 +207,8 @@ class ScanContext:
         Projection is only worth requesting for the columnar layout
         (row-layout decodes can't skip columns) and only when pruning
         pushdown is enabled — one switch governs both optimisations.
+        (Typed-channel leaves are projectable under any layout; see
+        :meth:`decode_task`.)
         """
         from repro.core.layout import COLUMNAR_LAYOUT
 
@@ -146,20 +217,126 @@ class ScanContext:
         return tuple(sorted(set(columns)))
 
 
+_TYPEDCHANNEL = "typedchannel"
+
+#: The decode task tuple's column-projection slot — callers use it to
+#: tell full decodes (cacheable) from projected ones (not).
+TASK_COLUMNS = 5
+
+
+def task_is_projected(task) -> bool:
+    """True when a decode task will produce a partial (projected)
+    table, which must never enter the full-leaf cache."""
+    return task[TASK_COLUMNS] is not None
+
+
+def zone_map_prunes(
+    task,
+    predicates: Iterable = (),
+    cell_filter: tuple[str, Iterable[str]] | None = None,
+) -> tuple[bool, int]:
+    """Consult a typed-channel blob's zone maps before decoding it.
+
+    Returns ``(pruned, skipped_bytes)`` — ``pruned`` is True when some
+    pushed predicate (or the explore cell filter) is *disproved* for
+    every row of the leaf, and ``skipped_bytes`` is the decompression
+    work that pruning avoided.  Non-typed-channel leaves, raw-mode
+    blobs, and corrupt headers all return ``(False, 0)``: the normal
+    decode path stays the single place that surfaces corruption.
+    """
+    codec_name, __dict_blob, __layout, __table, blob, __columns = task
+    if codec_name != _TYPEDCHANNEL:
+        return False, 0
+    from repro.compression.typedchannel import read_header
+
+    try:
+        header = read_header(blob)
+    except CorruptStreamError:
+        return False, 0
+    if header is None:
+        return False, 0
+    for predicate in predicates or ():
+        zone = header.zone(predicate.column)
+        if zone is None:
+            continue
+        if _zone_disproves(zone, header.n_rows, predicate.op, predicate.value):
+            return True, header.total_raw_bytes
+    if cell_filter is not None:
+        column, cells = cell_filter
+        zone = header.zone(column)
+        if (
+            zone is not None
+            and zone.distinct is not None
+            and not set(zone.distinct).intersection(cells)
+        ):
+            return True, header.total_raw_bytes
+    return False, 0
+
+
+def _zone_disproves(zone, n_rows: int, op: str, value) -> bool:
+    """Whether a zone map proves no cell of its channel can satisfy
+    ``cell op value`` under executor semantics.
+
+    Two disproof paths, most-precise first:
+
+    - a *complete* distinct set is evaluated exactly, value by value,
+      with the executor's own :func:`~repro.query.sql.values.
+      predicate_passes` — sound for every operator and literal type;
+    - integer min/max bounds apply only to numeric literals and only
+      when **every** row has an integer view (``int_count == n_rows``).
+      Otherwise some cell would be compared as a *string* by the
+      executor, and numeric bounds say nothing about string order.
+    """
+    from repro.query.sql.values import predicate_passes
+
+    if op not in ("=", "<", "<=", ">", ">="):
+        return False
+    if zone.distinct is not None:
+        return not any(
+            predicate_passes(cell, op, value) for cell in zone.distinct
+        )
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return False
+    if n_rows == 0 or zone.int_count != n_rows:
+        return False
+    low, high = zone.int_min, zone.int_max
+    if op == "=":
+        return value < low or value > high
+    if op == "<":
+        return low >= value
+    if op == "<=":
+        return low > value
+    if op == ">":
+        return high <= value
+    return high < value  # ">="
+
+
 def decode_leaf_task(
     task: tuple[str, Optional[bytes], str, str, bytes, tuple[str, ...] | None],
-) -> tuple[Table, int]:
+) -> tuple[Table, int, Optional[object]]:
     """Decompress + deserialize one leaf table (runs on any backend).
 
     Pure function over bytes: resolves its codec by name (plus the
     leaf's shared-dictionary bytes, when its tag references one) so the
-    task tuple pickles for the process backend.  Returns the table and
-    the decompressed payload size (the leaf cache charges by it).
+    task tuple pickles for the process backend.  Returns the table, the
+    decompressed payload size (the leaf cache charges by it), and — for
+    typed-channel leaves — a
+    :class:`~repro.compression.typedchannel.ChannelReadStats` recording
+    which channels the decode touched (None otherwise).
     """
     from repro.compression.autotune import resolve_codec
     from repro.core.layout import deserialize_table
 
     codec_name, dict_blob, layout, table_name, blob, columns = task
+    if codec_name == _TYPEDCHANNEL:
+        from repro.compression.typedchannel import decode_table, read_header
+
+        header = read_header(blob)
+        if header is not None:
+            loaded, channel_stats = decode_table(
+                table_name, blob, columns, header=header
+            )
+            return loaded, channel_stats.bytes_decoded, channel_stats
     payload = resolve_codec(codec_name, dict_blob).decompress(blob)
     loaded = deserialize_table(table_name, payload, layout, columns=columns)
-    return loaded, len(payload)
+    return loaded, len(payload), None

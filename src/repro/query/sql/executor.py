@@ -46,6 +46,11 @@ from repro.query.sql.ast import (
     contains_aggregate,
 )
 from repro.query.sql.parser import parse_sql
+from repro.query.sql.values import (
+    as_number as values_as_number,
+    compare_values as values_compare,
+    is_null as values_is_null,
+)
 from repro.query.sql.planner import (
     collect_column_names,
     extract_scan_predicates,
@@ -393,7 +398,8 @@ class Database:
             pruned = coverage.get("epochs_pruned")
             if pruned:
                 lines.append(
-                    f"  scan {table}: {len(pruned)} epochs pruned by summary"
+                    f"  scan {table}: {len(pruned)} epochs pruned "
+                    "(summary or zone map)"
                 )
         return result, "\n".join(lines)
 
@@ -1097,8 +1103,10 @@ def _substitute_aliases(
 # Value semantics helpers
 # ----------------------------------------------------------------------
 
-def _is_null(value: Any) -> bool:
-    return value is None or value == ""
+# The single source of truth for NULL/coercion/comparison semantics is
+# repro.query.sql.values — zone-map disproof in the scan layer imports
+# the same functions, so pruning can never disagree with row evaluation.
+_is_null = values_is_null
 
 
 def _truthy(value: Any) -> bool:
@@ -1112,29 +1120,8 @@ def _truthy(value: Any) -> bool:
     return bool(value)
 
 
-def _number(value: Any) -> float | int | None:
-    if isinstance(value, bool):
-        return int(value)
-    if isinstance(value, (int, float)):
-        return value
-    if isinstance(value, str):
-        try:
-            return int(value)
-        except ValueError:
-            try:
-                return float(value)
-            except ValueError:
-                return None
-    return None
-
-
-def _compare(left: Any, right: Any) -> int:
-    ln = _number(left)
-    rn = _number(right)
-    if ln is not None and rn is not None:
-        return (ln > rn) - (ln < rn)
-    ls, rs = str(left), str(right)
-    return (ls > rs) - (ls < rs)
+_number = values_as_number
+_compare = values_compare
 
 
 def _null_safe(value: Any) -> Any:

@@ -1,0 +1,85 @@
+"""SQL value semantics shared by row evaluation and scan pruning.
+
+The executor compares cell strings with numeric coercion ("007" equals
+7, mixed types fall back to string order) and treats empty strings as
+NULL.  Zone-map disproof (:func:`repro.query.leafscan.zone_map_prunes`)
+must agree with those semantics *exactly* — a prune decided under even
+slightly different coercion rules silently drops rows.  Keeping the
+single implementation here, imported by both sides, makes divergence a
+merge conflict instead of a wrong answer.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Comparison operators :func:`predicate_passes` understands — the same
+#: set the executor's binary-comparison evaluator handles.
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+def is_null(value: Any) -> bool:
+    """SQL NULL: Python ``None`` or the empty string (the storage layer
+    has no NULL marker; absent cells are empty strings)."""
+    return value is None or value == ""
+
+
+def as_number(value: Any) -> float | int | None:
+    """Numeric view of a value, or None when it has none.
+
+    Booleans coerce to 0/1; strings parse as int first, then float.
+    """
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, str):
+        try:
+            return int(value)
+        except ValueError:
+            try:
+                return float(value)
+            except ValueError:
+                return None
+    return None
+
+
+def compare_values(left: Any, right: Any) -> int:
+    """Three-way compare: numeric when both sides have a numeric view,
+    else lexicographic over the string forms."""
+    ln = as_number(left)
+    rn = as_number(right)
+    if ln is not None and rn is not None:
+        return (ln > rn) - (ln < rn)
+    ls, rs = str(left), str(right)
+    return (ls > rs) - (ls < rs)
+
+
+def predicate_passes(cell: Any, op: str, value: Any) -> bool:
+    """Whether one cell satisfies ``cell op value`` under executor
+    semantics (NULL on either side fails every comparison)."""
+    if is_null(cell) or is_null(value):
+        return False
+    cmp = compare_values(cell, value)
+    if op == "=":
+        return cmp == 0
+    if op == "!=":
+        return cmp != 0
+    if op == "<":
+        return cmp < 0
+    if op == "<=":
+        return cmp <= 0
+    if op == ">":
+        return cmp > 0
+    if op == ">=":
+        return cmp >= 0
+    raise ValueError(f"unsupported comparison operator {op!r}")
+
+
+__all__ = [
+    "COMPARISON_OPS",
+    "as_number",
+    "compare_values",
+    "is_null",
+    "predicate_passes",
+]

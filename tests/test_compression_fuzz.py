@@ -10,7 +10,7 @@ from hypothesis import given, settings, strategies as st
 from repro.compression import get_codec
 from repro.errors import CompressionError
 
-CODECS = ["gzip", "7z", "snappy", "zstd", "gzip-ref"]
+CODECS = ["gzip", "7z", "snappy", "zstd", "gzip-ref", "typedchannel"]
 
 #: Valid magics so fuzz inputs reach the real decoder paths.
 MAGICS = {
@@ -19,6 +19,7 @@ MAGICS = {
     "snappy": b"SNP",
     "zstd": b"ZST",
     "gzip-ref": b"",
+    "typedchannel": b"TCH1",
 }
 
 
@@ -156,6 +157,89 @@ class TestColumnarStreams:
         # plain encoding id 0 + absurd cell count, then nothing.
         self._attempt_column(b"\x00" + encode_varint(2**40))
 
+    def test_per_encoding_cell_count_mismatch_rejected(self):
+        from repro.compression.columnar import decode_column, encode_column
+
+        columns = {
+            "plain": ["x", "y", "z"],
+            "rle": ["a"] * 10,
+            "dict": ["p", "q", "p", "q"],
+            "delta": ["1", "4", "9"],
+        }
+        for encoding, cells in columns.items():
+            blob = encode_column(cells, encoding=encoding)
+            for wrong in (len(cells) - 1, len(cells) + 1, 0):
+                if wrong == len(cells):
+                    continue
+                with pytest.raises(CompressionError):
+                    decode_column(blob, expected_cells=wrong)
+
+    def test_per_encoding_trailing_garbage_rejected(self):
+        from repro.compression.columnar import decode_column, encode_column
+
+        columns = {
+            "plain": ["x", "y", "z"],
+            "rle": ["a"] * 10 + ["b"] * 3,
+            "dict": ["p", "q", "p", "q"],
+            "delta": ["1", "4", "9", "-2"],
+        }
+        for encoding, cells in columns.items():
+            blob = encode_column(cells, encoding=encoding)
+            with pytest.raises(CompressionError):
+                decode_column(blob + b"\x00", expected_cells=len(cells))
+            with pytest.raises(CompressionError):
+                decode_column(blob + b"junk", expected_cells=len(cells))
+
+    def test_per_encoding_truncation_never_escapes(self):
+        from repro.compression.columnar import encode_column
+
+        columns = {
+            "plain": [f"cell-{i}" for i in range(40)],
+            "rle": ["on"] * 25 + ["off"] * 15,
+            "dict": [str(i % 4) for i in range(40)],
+            "delta": [str(i * 13) for i in range(40)],
+        }
+        for encoding, cells in columns.items():
+            blob = encode_column(cells, encoding=encoding)
+            for cut in range(len(blob)):
+                self._attempt_column(blob[:cut], expected=len(cells))
+
+    def test_rle_zero_length_run_rejected(self):
+        from repro.compression.columnar import decode_column, encode_column
+        from repro.compression.varint import decode_varint, encode_varint
+
+        # Splice a zero-length run in front of a valid RLE stream: the
+        # declared total still matches, so only an explicit run-length
+        # check catches it (a naive decoder would loop forever on a
+        # stream of zero-runs).
+        blob = encode_column(["v"] * 6, encoding="rle")
+        encoding_id = blob[:1]
+        rest = blob[1:]
+        total, pos = decode_varint(rest, 0)
+        spliced = (
+            encoding_id
+            + encode_varint(total)
+            + encode_varint(0)  # run length 0
+            + encode_varint(1)  # value byte-length
+            + b"z"
+            + rest[pos:]
+        )
+        with pytest.raises(CompressionError):
+            decode_column(spliced, expected_cells=6)
+
+    def test_rle_overrun_rejected(self):
+        from repro.compression.columnar import decode_column, encode_column
+        from repro.compression.varint import decode_varint, encode_varint
+
+        # Declared total smaller than the runs actually supply.
+        blob = encode_column(["v"] * 6 + ["w"] * 2, encoding="rle")
+        encoding_id = blob[:1]
+        rest = blob[1:]
+        __, pos = decode_varint(rest, 0)
+        understated = encoding_id + encode_varint(3) + rest[pos:]
+        with pytest.raises(CompressionError):
+            decode_column(understated, expected_cells=3)
+
     @given(
         cells=st.lists(
             st.text(
@@ -249,6 +333,99 @@ class TestColumnarTables:
     @settings(max_examples=40, deadline=None)
     def test_property_garbage_tables(self, data):
         self._attempt_table(data)
+
+
+class TestTypedChannelStreams:
+    """Typed-channel blobs: header parsing and selective decode must
+    uphold the corrupt-stream contract on table-mode payloads too."""
+
+    def _blobs(self):
+        from repro.core.layout import serialize_table
+        from repro.core.snapshot import Table
+        from repro.compression import get_codec
+
+        table = Table(
+            name="CDR",
+            columns=["cell_id", "call_type", "duration_s"],
+            rows=[
+                [f"c{i % 6}", ("voice", "sms", "data")[i % 3], str(i * 11)]
+                for i in range(40)
+            ],
+        )
+        codec = get_codec("typedchannel")
+        return (
+            codec,
+            codec.compress(serialize_table(table, "columnar")),
+            codec.compress(serialize_table(table, "row")),
+        )
+
+    def _attempt_header(self, blob: bytes) -> None:
+        from repro.compression.typedchannel import read_header
+
+        try:
+            read_header(blob)
+        except CompressionError:
+            pass
+
+    def _attempt_decode_table(self, blob: bytes) -> None:
+        from repro.compression.typedchannel import decode_table
+
+        try:
+            decode_table("CDR", blob, columns=("duration_s",))
+        except CompressionError:
+            pass
+
+    def test_bit_flips_both_modes(self):
+        codec, columnar, row = self._blobs()
+        rng = random.Random(43)
+        for blob in (columnar, row):
+            for trial in range(60):
+                mutated = bytearray(blob)
+                pos = rng.randrange(len(mutated))
+                mutated[pos] ^= 1 << rng.randrange(8)
+                corrupted = bytes(mutated)
+                _attempt(codec, corrupted)
+                self._attempt_header(corrupted)
+                self._attempt_decode_table(corrupted)
+
+    def test_truncations_both_modes(self):
+        codec, columnar, row = self._blobs()
+        for blob in (columnar, row):
+            for cut in range(len(blob)):
+                _attempt(codec, blob[:cut])
+                self._attempt_header(blob[:cut])
+                self._attempt_decode_table(blob[:cut])
+
+    def test_zone_map_distinct_bomb(self):
+        from repro.compression.varint import encode_varint
+
+        codec, __, __unused = self._blobs()
+        # mode 1, one column, absurd distinct count in the zone map.
+        bomb = (
+            b"TCH1\x01"
+            + encode_varint(1)  # n_columns
+            + encode_varint(3)  # n_rows
+            + encode_varint(1) + b"c"  # column name
+            + encode_varint(0) * 4  # body_len raw_len null_count int_count
+            + encode_varint(0) * 2  # zigzag min/max
+            + b"\x01" + encode_varint(2**40)  # distinct set bomb
+        )
+        with pytest.raises(CompressionError):
+            codec.decompress(bomb)
+
+    def test_body_length_sum_mismatch(self):
+        codec, columnar, __ = self._blobs()
+        with pytest.raises(CompressionError):
+            codec.decompress(columnar + b"extra")
+
+    @given(data=st.binary(min_size=0, max_size=150))
+    @settings(max_examples=60, deadline=None)
+    def test_property_garbage_headers(self, data):
+        codec, __, __unused = self._blobs()
+        for mode in (b"\x00", b"\x01", b"\x02", b"\x7f"):
+            blob = b"TCH1" + mode + data
+            _attempt(codec, blob)
+            self._attempt_header(blob)
 
 
 class TestDictionaryStreams:

@@ -197,6 +197,98 @@ class TestDeadlineUnderParallelScan:
         assert answer(partial) == answer(full)
 
 
+class TestZonePruningIdentity:
+    """Typed-channel zone-map pruning must be invisible in SQL answers:
+    pruning on (zone gate + selective decode active) equals pruning off
+    (full decode), across backends, and still after decay + fungus."""
+
+    @pytest.fixture()
+    def typed_day(self, tiny_generator, tiny_snapshots):
+        from repro.core import Spate, SpateConfig
+
+        spate = Spate(SpateConfig(
+            codec="typedchannel", layout="columnar",
+            # No leaf cache: a warm cache would serve decoded tables
+            # before the zone gate, leaving the property untested.
+            leaf_cache_bytes=0,
+        ))
+        spate.register_cells(tiny_generator.cells_table())
+        for snapshot in tiny_snapshots:
+            spate.ingest(snapshot)
+        spate.finalize()
+        return spate
+
+    @given(
+        threshold=st.integers(-10, 800),
+        op=st.sampled_from(["=", "<", "<=", ">", ">="]),
+        column=st.sampled_from(["duration_s", "upflux", "downflux"]),
+    )
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_property_zone_pruned_sql_equals_full_decode(
+        self, typed_day, threshold, op, column
+    ):
+        sql = (
+            f"SELECT call_type, COUNT(*) AS n, SUM({column}) AS total "
+            f"FROM CDR WHERE {column} {op} {threshold} GROUP BY call_type"
+        )
+        configure(typed_day, "serial", pruning=False)
+        reference = typed_day.sql(sql)
+        for backend in ALL_BACKENDS:
+            configure(typed_day, backend, pruning=True)
+            result = typed_day.sql(sql)
+            assert result.columns == reference.columns, backend
+            assert result.rows == reference.rows, backend
+
+    @pytest.fixture()
+    def typed_decayed(self, typed_day):
+        report = typed_day.decay_groups(
+            older_than_epoch=30, keep_fraction=0.2
+        )
+        assert report.leaves_rewritten > 0
+        return typed_day
+
+    @given(
+        threshold=st.integers(0, 700),
+        cell_suffix=st.integers(0, 30),
+    )
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_property_zone_pruning_sound_after_decay_and_fungus(
+        self, typed_decayed, threshold, cell_suffix
+    ):
+        typed_day = typed_decayed
+        sql = (
+            "SELECT cell_id, COUNT(*) AS n FROM CDR "
+            f"WHERE duration_s >= {threshold} "
+            f"AND cell_id != 'C{cell_suffix:05d}' GROUP BY cell_id"
+        )
+        configure(typed_day, "serial", pruning=False)
+        reference = typed_day.sql(sql)
+        configure(typed_day, "thread", pruning=True)
+        result = typed_day.sql(sql)
+        assert result.columns == reference.columns
+        assert result.rows == reference.rows
+
+    def test_zone_gate_actually_fires_on_selective_query(self, typed_day):
+        configure(typed_day, "thread", pruning=True)
+        typed_day.sql(
+            "SELECT COUNT(*) FROM CDR WHERE duration_s >= 400"
+        )
+        stats = typed_day.last_scan_stats
+        assert stats.leaves_zone_pruned > 0
+        assert stats.channel_bytes_skipped > 0
+
+    def test_explore_box_identity_with_typed_leaves(self, typed_day):
+        box = centered_box(typed_day.area, 0.1, 0.1, 0.3)
+        configure(typed_day, "serial", pruning=False)
+        reference = typed_day.explore("CDR", ("downflux",), box, 0, 47)
+        for backend in ALL_BACKENDS:
+            configure(typed_day, backend, pruning=True)
+            result = typed_day.explore("CDR", ("downflux",), box, 0, 47)
+            assert answer(result) == answer(reference), backend
+
+
 class TestPruningIsDecaySafe:
     """Summaries outlive decay/fungus as supersets: pruning stays sound."""
 
@@ -232,6 +324,62 @@ class TestPruningIsDecaySafe:
         result = decayed.sql(sql)
         assert result.columns == reference.columns
         assert result.rows == reference.rows
+
+    def test_deadline_truncated_result_never_poisons_cache(
+        self, spate_day, monkeypatch
+    ):
+        """Regression: a deadline that expires mid-scan yields a partial
+        answer; caching it would serve the truncation as complete to
+        every later caller of the same window."""
+        spate_day.config = dataclasses.replace(
+            spate_day.config, query_cache_entries=8, executor="thread",
+            query_pruning=True,
+        )
+        from repro.core.query_cache import QueryResultCache
+
+        spate_day.query_cache = QueryResultCache(8)
+        spate_day.executor = get_executor("thread", workers=2)
+
+        ticks = itertools.count(start=0.0, step=1.0)
+        fake = types.SimpleNamespace(monotonic=lambda: next(ticks))
+        monkeypatch.setattr(explore_mod, "time", fake)
+        partial = spate_day.explore(
+            "CDR", ("downflux",), None, 0, 47,
+            deadline_ms=10_000, partial_ok=True,
+        )
+        assert not partial.coverage.complete
+        assert len(spate_day.query_cache) == 0
+
+        monkeypatch.undo()
+        full = spate_day.explore("CDR", ("downflux",), None, 0, 47)
+        assert full.coverage.complete
+        assert spate_day.query_cache.hits == 0  # partial was never served
+        assert len(full.records) > len(partial.records)
+
+    def test_cache_put_refuses_incomplete_coverage_directly(self):
+        from repro.core.query_cache import QueryResultCache
+
+        class Result:
+            def __init__(self, coverage):
+                self.coverage = coverage
+
+        class Coverage:
+            def __init__(self, complete):
+                self.complete = complete
+
+        cache = QueryResultCache(4)
+        cache.put("k1", 0, Result(Coverage(complete=False)))
+        assert cache.get("k1", 0) is None
+        cache.put("k2", 0, Result(Coverage(complete=True)))
+        assert cache.get("k2", 0) is not None
+        # Dict-shaped coverage (the SQL loaders' form): skipped epochs
+        # or a tripped deadline both disqualify.
+        cache.put("k3", 0, Result({"epochs_skipped": {3: "deadline"}}))
+        assert cache.get("k3", 0) is None
+        cache.put("k4", 0, Result({"deadline_hit": True}))
+        assert cache.get("k4", 0) is None
+        cache.put("k5", 0, Result({"epochs_skipped": {}, "deadline_hit": False}))
+        assert cache.get("k5", 0) is not None
 
     def test_index_version_invalidates_query_cache_on_decay(self, spate_day):
         spate_day.config = dataclasses.replace(

@@ -155,6 +155,41 @@ def random_spec(seed: int, tables) -> QuerySpec:
     return QuerySpec(table=table, select=select, filters=filters, limit=limit)
 
 
+@pytest.fixture(scope="module")
+def typed_harness():
+    """The same trace stored under the typed-channel codec, so every
+    scan runs behind the zone-map gate and selective channel decode."""
+    trace = TraceConfig(scale=0.002, days=2, seed=99)
+    generator = TelcoTraceGenerator(trace)
+    spate = Spate(SpateConfig(codec="typedchannel", layout="columnar"))
+    spate.register_cells(generator.cells_table())
+    for epoch in range(48):
+        spate.ingest(generator.snapshot(epoch))
+    spate.finalize()
+    tables = {
+        name: spate.read_rows(name, 0, 47) for name in ("CDR", "NMS")
+    }
+    cell_columns = ["cell_id", "x", "y"]
+    cell_rows = [
+        [cell_id, f"{p.x:.1f}", f"{p.y:.1f}"]
+        for cell_id, p in spate.cell_locations.items()
+    ]
+    tables["CELL"] = (cell_columns, cell_rows)
+
+    spate.config = dataclasses.replace(
+        spate.config, executor="thread", query_pruning=True
+    )
+    spate.executor = get_executor("thread", workers=2)
+    # The reference scans warmed the leaf cache; drop it so later scans
+    # actually reach the zone-map gate instead of being served decoded
+    # tables (a cache hit legitimately bypasses zone pruning).
+    if spate.leaf_cache is not None:
+        spate.leaf_cache.clear()
+    db = spate.sql_database()
+    db.register_table("CELL", cell_columns, cell_rows)
+    return spate, db, tables
+
+
 class TestDifferentialSql:
     @pytest.mark.parametrize("seed", range(32))
     def test_seeded_query_matches_reference(self, harness, seed):
@@ -219,3 +254,121 @@ class TestDifferentialSql:
             want_columns, want_rows = evaluate(spec, tables)
             assert got.columns == want_columns, sql
             assert got.rows == want_rows, sql
+
+
+class TestDifferentialSqlTypedChannel:
+    """The same differential contract with typed-channel leaves: zone
+    maps may only *disprove*, so answers — rows and order — must stay
+    exactly what the naive reference computes."""
+
+    #: Fresh seed range (disjoint from the dense harness) so the two
+    #: batches don't share rng draws.
+    SEEDS = range(100, 116)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_seeded_query_matches_reference(self, typed_harness, seed):
+        spate, db, tables = typed_harness
+        spec = random_spec(seed, tables)
+        sql = render_sql(spec)
+        got = db.execute(sql)
+        want_columns, want_rows = evaluate(spec, tables)
+        assert got.columns == want_columns, sql
+        assert got.rows == want_rows, (
+            f"{sql}\n"
+            f"zone-pruned={spate.last_scan_stats.leaves_zone_pruned}"
+        )
+
+    def test_fuzz_exercises_zone_pruning(self, typed_harness):
+        """The batch must actually hit the zone-map gate; otherwise the
+        typed harness degenerates into the dense one."""
+        spate, db, tables = typed_harness
+        zone_pruned = 0
+        skipped_bytes = 0
+        for seed in self.SEEDS:
+            spec = random_spec(seed, tables)
+            db.execute(render_sql(spec))
+            zone_pruned += spate.last_scan_stats.leaves_zone_pruned
+            skipped_bytes += spate.last_scan_stats.channel_bytes_skipped
+        assert zone_pruned > 0
+        assert skipped_bytes > 0
+
+    def test_targeted_channel_predicates(self, typed_harness):
+        """Hand-picked predicate shapes for each disproof path: numeric
+        bounds, distinct-set string equality, and mixed conjuncts."""
+        spate, db, tables = typed_harness
+        cdr_columns, cdr_rows = tables["CDR"]
+        duration = cdr_columns.index("duration_s")
+        durations = sorted(int(r[duration]) for r in cdr_rows)
+        mid = durations[len(durations) * 3 // 4] if durations else 100
+        cell = cdr_columns.index("cell_id")
+        some_cell = cdr_rows[0][cell] if cdr_rows else "c0"
+        specs = [
+            QuerySpec(  # upper-range threshold: bounds disproof
+                table="CDR",
+                select=(("CDR", "call_type"),),
+                aggs=(Agg("COUNT"), Agg("SUM", "duration_s")),
+                filters=(Filter("CDR", "duration_s", ">=", mid),),
+                group_by=("call_type",),
+            ),
+            QuerySpec(  # string equality: distinct-set disproof
+                table="CDR",
+                select=(("CDR", "duration_s"), ("CDR", "call_type")),
+                filters=(Filter("CDR", "cell_id", "=", some_cell),),
+            ),
+            QuerySpec(  # equality on a value no leaf holds
+                table="CDR",
+                select=(("CDR", "caller_id"),),
+                filters=(Filter("CDR", "cell_id", "=", "no-such-cell"),),
+            ),
+            QuerySpec(  # conjunction: either channel may disprove
+                table="CDR",
+                select=(("CDR", "cell_id"),),
+                filters=(
+                    Filter("CDR", "duration_s", ">", mid),
+                    Filter("CDR", "call_type", "=", "voice"),
+                ),
+            ),
+            QuerySpec(  # join survives selective channel decode
+                table="CDR",
+                select=(("CDR", "cell_id"), ("CDR", "duration_s"),
+                        ("CELL", "x")),
+                join=JoinSpec("CELL", "cell_id", "cell_id", kind="inner"),
+                filters=(Filter("CDR", "duration_s", ">=", mid),),
+            ),
+        ]
+        for spec in specs:
+            sql = render_sql(spec)
+            got = db.execute(sql)
+            want_columns, want_rows = evaluate(spec, tables)
+            assert got.columns == want_columns, sql
+            assert got.rows == want_rows, sql
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_selective_answers_identical_across_backends(
+        self, typed_harness, backend
+    ):
+        """Zone pruning + selective decode must be backend-invariant."""
+        spate, __, tables = typed_harness
+        cdr_columns, cdr_rows = tables["CDR"]
+        duration = cdr_columns.index("duration_s")
+        durations = sorted(int(r[duration]) for r in cdr_rows)
+        mid = durations[len(durations) * 3 // 4] if durations else 100
+        spec = QuerySpec(
+            table="CDR",
+            select=(("CDR", "call_type"),),
+            aggs=(Agg("COUNT"), Agg("SUM", "duration_s")),
+            filters=(Filter("CDR", "duration_s", ">=", mid),),
+            group_by=("call_type",),
+        )
+        sql = render_sql(spec)
+        want_columns, want_rows = evaluate(spec, tables)
+        spate.config = dataclasses.replace(spate.config, executor=backend)
+        spate.executor = get_executor(backend, workers=2)
+        try:
+            db = spate.sql_database()
+            got = db.execute(sql)
+        finally:
+            spate.config = dataclasses.replace(spate.config, executor="thread")
+            spate.executor = get_executor("thread", workers=2)
+        assert got.columns == want_columns
+        assert got.rows == want_rows
