@@ -1,0 +1,128 @@
+"""Sharded scatter-gather bench: coordinator overhead and failover cost.
+
+Ingests the trace into a single-shard and a 3-shard warehouse (same
+fixed 8 region groups, replication 2), then measures:
+
+- full-window ``explore`` and grouped-SQL wall clock on each, and the
+  scatter's RPC fan-out counters — the price of crossing the shard
+  boundary on an in-process transport;
+- the same query with one shard killed mid-scatter: the failover path
+  must stay byte-identical and its wall-clock overhead is recorded;
+- byte-identity of every sharded answer against the single-shard run.
+
+The reproduced numbers land in ``benchmarks/results/shard_query.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import SpateConfig
+from repro.core.config import ShardConfig
+from repro.shard import ShardedSpate
+from repro.telco import TelcoTraceGenerator, TraceConfig
+
+from conftest import report
+
+SCALE = 0.002
+DAYS = 2
+EPOCHS = 48 * DAYS
+SHARDS = 3
+SQL = (
+    "SELECT call_type, COUNT(*) AS n, SUM(duration_s) AS total "
+    "FROM CDR GROUP BY call_type"
+)
+
+
+def _build(shards: int) -> ShardedSpate:
+    generator = TelcoTraceGenerator(TraceConfig(scale=SCALE, days=DAYS, seed=2017))
+    warehouse = ShardedSpate(SpateConfig(
+        sharding=ShardConfig(shards=shards, group_replication=2)
+    ))
+    warehouse.register_cells(generator.cells_table())
+    for epoch in range(EPOCHS):
+        warehouse.ingest(generator.snapshot(epoch))
+    warehouse.finalize()
+    return warehouse
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def test_shard_query_report(benchmark):
+    # benchmark wrapper keeps this report alive under --benchmark-only
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    single = _build(1)
+    sharded = _build(SHARDS)
+    try:
+        explore_args = ("CDR", ("downflux", "upflux"), None, 0, EPOCHS - 1)
+        single_explore_wall, single_explore = _timed(single.explore, *explore_args)
+        rpcs_before = sharded.client.counters.rpcs
+        sharded_explore_wall, sharded_explore = _timed(
+            sharded.explore, *explore_args
+        )
+        explore_rpcs = sharded.client.counters.rpcs - rpcs_before
+
+        single_sql_wall, single_sql = _timed(single.sql, SQL)
+        rpcs_before = sharded.client.counters.rpcs
+        sharded_sql_wall, sharded_sql = _timed(sharded.sql, SQL)
+        sql_rpcs = sharded.client.counters.rpcs - rpcs_before
+
+        assert sharded_explore.records == single_explore.records
+        assert sharded_sql.rows == single_sql.rows
+        assert explore_rpcs >= sharded.region_groups
+
+        # Failover cost: kill shard 0 a few RPCs into the scatter and
+        # rerun the explore — replicas must serve the identical answer.
+        state = {"rpcs": 0}
+
+        def hook(shard_id: int, method: str) -> None:
+            state["rpcs"] += 1
+            if state["rpcs"] == 3 and sharded.workers[0].alive:
+                sharded.kill_shard(0)
+
+        sharded.client.before_invoke = hook
+        failover_wall, failover_explore = _timed(sharded.explore, *explore_args)
+        sharded.client.before_invoke = None
+        assert failover_explore.records == single_explore.records
+        assert failover_explore.coverage.complete
+        failovers = sharded.client.counters.failovers
+        assert failovers > 0
+        replayed = sharded.recover_shard(0)
+
+        counters = sharded.client.counters
+        lines = [
+            "Sharded scatter-gather query bench "
+            f"(scale={SCALE}, epochs={EPOCHS}, shards={SHARDS}, "
+            f"groups={sharded.region_groups}, replication=2)",
+            "",
+            f"{'query':<22}{'1 shard':>12}{f'{SHARDS} shards':>12}"
+            f"{'overhead':>10}{'rpcs':>6}",
+            f"{'explore full window':<22}{single_explore_wall:>11.3f}s"
+            f"{sharded_explore_wall:>11.3f}s"
+            f"{sharded_explore_wall / max(single_explore_wall, 1e-9):>9.2f}x"
+            f"{explore_rpcs:>6}",
+            f"{'sql grouped agg':<22}{single_sql_wall:>11.3f}s"
+            f"{sharded_sql_wall:>11.3f}s"
+            f"{sharded_sql_wall / max(single_sql_wall, 1e-9):>9.2f}x"
+            f"{sql_rpcs:>6}",
+            "",
+            f"explore with shard 0 killed mid-scatter: {failover_wall:.3f}s "
+            f"({failover_wall / max(sharded_explore_wall, 1e-9):.2f}x healthy), "
+            "answer byte-identical",
+            f"failovers={failovers} breaker_trips={counters.breaker_trips} "
+            f"retries={counters.retries} recovery_replayed={replayed}",
+            f"total rpcs={counters.rpcs} "
+            f"modeled_backoff={sharded.client.modeled_backoff_s * 1000:.1f}ms",
+            "",
+            f"rows explored: {len(sharded_explore.records)} "
+            f"(identical across shard counts and through failover)",
+        ]
+        report("shard_query", "\n".join(lines))
+    finally:
+        single.close()
+        sharded.close()

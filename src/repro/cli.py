@@ -69,6 +69,12 @@ def _add_trace_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--leaf-cache-bytes", type=int,
                         default=SpateConfig().leaf_cache_bytes,
                         help="decompressed leaf cache capacity (0 disables)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="worker shards (>1 = scatter-gather warehouse "
+                             "with replication-aware failover)")
+    parser.add_argument("--replication-groups", type=int, default=2,
+                        dest="group_replication",
+                        help="replicas per region group (sharded mode)")
 
 
 def _add_durability_args(parser: argparse.ArgumentParser) -> None:
@@ -95,21 +101,45 @@ def _durable_config(args: argparse.Namespace) -> SpateConfig:
     )
 
 
-def _build_spate(args: argparse.Namespace) -> tuple[Spate, TelcoTraceGenerator]:
-    generator = TelcoTraceGenerator(
-        TraceConfig(scale=args.scale, days=args.days, seed=args.seed)
-    )
-    spate = Spate(SpateConfig(
+def _sharded_config(args: argparse.Namespace) -> SpateConfig:
+    from repro.core.config import ShardConfig
+
+    return SpateConfig(
         codec=args.codec,
         layout=args.layout,
         executor=args.executor,
         leaf_cache_bytes=args.leaf_cache_bytes,
-    ))
+        sharding=ShardConfig(
+            shards=max(1, args.shards),
+            group_replication=args.group_replication,
+        ),
+    )
+
+
+def _build_spate(args: argparse.Namespace) -> tuple[Spate, TelcoTraceGenerator]:
+    generator = TelcoTraceGenerator(
+        TraceConfig(scale=args.scale, days=args.days, seed=args.seed)
+    )
+    if getattr(args, "shards", 1) > 1:
+        spate = Spate.create(_sharded_config(args))
+    else:
+        spate = Spate(SpateConfig(
+            codec=args.codec,
+            layout=args.layout,
+            executor=args.executor,
+            leaf_cache_bytes=args.leaf_cache_bytes,
+        ))
     spate.register_cells(generator.cells_table())
     for snapshot in generator.generate():
         spate.ingest(snapshot)
     spate.finalize()
     return spate, generator
+
+
+def _frontier(spate) -> int:
+    """Latest ingested epoch for either warehouse flavour."""
+    index = getattr(spate, "index", None)
+    return index.frontier_epoch if index is not None else spate.frontier_epoch
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -127,6 +157,13 @@ def cmd_info(args: argparse.Namespace) -> int:
 def cmd_ingest(args: argparse.Namespace) -> int:
     """``ingest``: build SPATE over a generated trace; print storage report."""
     spate, __ = _build_spate(args)
+    if getattr(args, "shards", 1) > 1:
+        print(f"ingested epochs:   {len(spate.ingested_epochs())}")
+        print(f"shards:            {spate.shards} "
+              f"({spate.region_groups} region groups, "
+              f"replication {spate.replication})")
+        print(spate.metrics.summary())
+        return 0
     stats = spate.storage_stats()
     report = spate.last_ingest_report
     print(f"ingested epochs:   {len(spate.ingested_epochs())}")
@@ -224,7 +261,7 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     """``metrics``: ingest a trace, run one whole-window exploration to
     exercise the read path, then print the warehouse counters."""
     spate, __ = _build_spate(args)
-    last = spate.index.frontier_epoch
+    last = _frontier(spate)
     if last >= 0:
         spate.explore("CDR", ("downflux", "upflux"), None, 0, last)
         if args.reread:
@@ -233,19 +270,176 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_sharded(args: argparse.Namespace) -> int:
+    """``chaos --kill-shard-at-epoch``: kill and recover worker shards
+    mid-stream and mid-query, gating on the differential contract.
+
+    Runs the same trace through an N-shard warehouse and a single-shard
+    reference.  At the kill epoch one shard dies; ingest continues (the
+    dead shard's mutations are buffered), queries fail over to replica
+    shards, and every differential check must stay byte-identical.  One
+    query is interrupted by a kill *mid-scatter* — failover must finish
+    it from replicas within the deadline.  At the recovery epoch the
+    shard restarts via WAL replay, catches up on buffered mutations and
+    rejoins without reads ever stopping.  Exit 0 only with zero wrong
+    answers, observed failovers, and a completed catch-up."""
+    from repro.core.config import ShardConfig
+    from repro.shard import ShardedSpate
+
+    shards = max(2, args.shards)
+    generator = TelcoTraceGenerator(
+        TraceConfig(scale=args.scale, days=args.days, seed=args.seed)
+    )
+    cells = generator.cells_table()
+    snapshots = list(generator.generate())
+    total = len(snapshots)
+    kill_at = args.kill_shard_at_epoch
+    if not 0 < kill_at < total:
+        print(f"--kill-shard-at-epoch must be in [1, {total - 1}]",
+              file=sys.stderr)
+        return 2
+    recover_at = (
+        args.recover_shard_at_epoch
+        if args.recover_shard_at_epoch is not None
+        else min(total - 1, kill_at + 8)
+    )
+    victim_shard = args.kill_shard
+
+    def build(n: int) -> ShardedSpate:
+        warehouse = ShardedSpate(SpateConfig(
+            codec=args.codec,
+            layout=args.layout,
+            executor=args.executor,
+            leaf_cache_bytes=args.leaf_cache_bytes,
+            sharding=ShardConfig(
+                shards=n, group_replication=args.group_replication
+            ),
+        ))
+        warehouse.register_cells(cells)
+        return warehouse
+
+    reference = build(1)
+    victim = build(shards)
+    checks = wrong = 0
+    outage_checks = 0
+
+    def differential(last_epoch: int) -> None:
+        nonlocal checks, wrong, outage_checks
+        checks += 1
+        if not victim.workers[victim_shard].alive:
+            outage_checks += 1
+        want = reference.explore("CDR", ("downflux", "upflux"), None, 0, last_epoch)
+        got = victim.explore("CDR", ("downflux", "upflux"), None, 0, last_epoch)
+        if (want.records != got.records
+                or want.columns != got.columns
+                or {k: v.to_dict() for k, v in want.aggregates.items()}
+                != {k: v.to_dict() for k, v in got.aggregates.items()}):
+            wrong += 1
+
+    replayed = None
+    for snapshot in snapshots:
+        if snapshot.epoch == kill_at:
+            victim.kill_shard(victim_shard)
+            # The dead shard must fail heartbeats until it is suspected
+            # and demoted to the back of every failover chain.
+            limit = victim.config.sharding.heartbeat_miss_limit
+            for __ in range(limit):
+                victim.heartbeat()
+        reference.ingest(snapshot)
+        victim.ingest(snapshot)
+        if snapshot.epoch == recover_at and replayed is None:
+            replayed = victim.recover_shard(victim_shard)
+        if snapshot.epoch % max(1, args.check_every) == 0 or snapshot.epoch in (
+            kill_at, recover_at
+        ):
+            differential(snapshot.epoch)
+    if replayed is None:
+        replayed = victim.recover_shard(victim_shard)
+    reference.finalize()
+    victim.finalize()
+
+    # Kill a (recovered) shard again, mid-scatter this time: arm the
+    # RPC hook to crash it after a few calls of the next query.  The
+    # in-flight scatter must fail over and still finish in budget.
+    state = {"rpcs": 0}
+
+    def mid_query_kill(shard_id: int, method: str) -> None:
+        state["rpcs"] += 1
+        if state["rpcs"] == args.kill_after_rpcs and victim.workers[victim_shard].alive:
+            victim.kill_shard(victim_shard)
+
+    victim.client.before_invoke = mid_query_kill
+    last = total - 1
+    got = victim.explore("CDR", ("downflux", "upflux"), None, 0, last,
+                         deadline_ms=args.deadline_ms)
+    victim.client.before_invoke = None
+    want = reference.explore("CDR", ("downflux", "upflux"), None, 0, last)
+    mid_query_ok = (
+        want.records == got.records
+        and not got.coverage.deadline_hit
+        and not got.coverage.shards_skipped
+    )
+    checks += 1
+    if not mid_query_ok:
+        wrong += 1
+    replayed_final = victim.recover_shard(victim_shard)
+    differential(last)
+
+    counters = victim.client.counters
+    recovered = (
+        wrong == 0
+        and counters.failovers > 0
+        and counters.heartbeat_misses > 0
+        and mid_query_ok
+    )
+    lines = [
+        "SPATE shard chaos run",
+        f"  trace:                 scale={args.scale} days={args.days} "
+        f"codec={args.codec} shards={shards} "
+        f"replication={args.group_replication}",
+        f"  schedule:              shard {victim_shard} killed at epoch "
+        f"{kill_at}, recovered at {recover_at} "
+        f"({replayed} buffered mutations replayed, then killed "
+        f"mid-query and recovered again with {replayed_final})",
+        f"  differential:          {checks} checks vs single-shard, "
+        f"{wrong} wrong answers ({outage_checks} during the outage)",
+        f"  mid-query kill:        "
+        f"{'served from replicas in budget' if mid_query_ok else 'FAILED'}",
+        f"  shard rpcs:            {counters.rpcs} "
+        f"({counters.retries} retries, {counters.retry_budget_spent} "
+        f"budget tokens)",
+        f"  failovers:             {counters.failovers} "
+        f"({counters.breaker_trips} breaker trips, "
+        f"{counters.heartbeat_misses} heartbeat misses, "
+        f"{counters.shards_skipped} shard slices skipped)",
+        f"  recoveries:            {counters.recoveries}",
+        f"  verdict:               {'RECOVERED' if recovered else 'DEGRADED'}",
+    ]
+    report = "\n".join(lines)
+    print(report)
+    if args.report_file:
+        with open(args.report_file, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 0 if recovered else 1
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """``chaos``: ingest a trace while a seeded fault injector crashes
     datanodes, corrupts replicas and fails writes; then heal and verify
     the warehouse recovered.  With ``--kill-at-epoch N`` the warehouse
     runs with metadata durability on, is killed (its process memory
     discarded) just before epoch N, reopened with :meth:`Spate.open`,
-    and must resume the stream from the recovered frontier.  Exit code
-    0 only when the namespace holds no phantom files, every file reads
-    back checksum-clean, and heal restored the requested replication
+    and must resume the stream from the recovered frontier.  With
+    ``--kill-shard-at-epoch N`` the drill instead targets the sharded
+    warehouse (see :func:`_chaos_sharded`).  Exit code 0 only when the
+    namespace holds no phantom files, every file reads back
+    checksum-clean, and heal restored the requested replication
     factor."""
     from repro.core import DurabilityConfig, FaultToleranceConfig
     from repro.errors import RecoveryError, SpateError, StorageError
 
+    if args.kill_shard_at_epoch is not None:
+        return _chaos_sharded(args)
     generator = TelcoTraceGenerator(
         TraceConfig(scale=args.scale, days=args.days, seed=args.seed)
     )
@@ -829,6 +1023,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kill-at-epoch", type=int, default=None,
                    help="run with durability on, kill the warehouse just "
                         "before this epoch and recover via Spate.open")
+    p.add_argument("--kill-shard-at-epoch", type=int, default=None,
+                   help="sharded drill: kill a worker shard just before "
+                        "this epoch (differential vs single-shard)")
+    p.add_argument("--kill-shard", type=int, default=0,
+                   help="shard id the sharded drill kills")
+    p.add_argument("--recover-shard-at-epoch", type=int, default=None,
+                   help="epoch the killed shard rejoins (default: "
+                        "kill epoch + 8)")
+    p.add_argument("--check-every", type=int, default=4,
+                   help="epochs between differential checks (sharded drill)")
+    p.add_argument("--kill-after-rpcs", type=int, default=3,
+                   help="mid-query kill: RPCs into the final scatter "
+                        "before the shard dies")
+    p.add_argument("--deadline-ms", type=int, default=30_000,
+                   help="budget for the mid-query-kill check")
     _add_durability_args(p)
     p.set_defaults(func=cmd_chaos)
 

@@ -218,6 +218,76 @@ class DurabilityConfig:
 
 
 @dataclass(frozen=True)
+class ShardConfig:
+    """Shard-layer settings (:mod:`repro.shard`).
+
+    The warehouse is partitioned by a hybrid (cell-region, day) key:
+    cells map to a *fixed* number of spatial region groups (independent
+    of the shard count, so scatter-gather answers are byte-identical
+    for every ``shards`` value), each group is hosted on
+    ``group_replication`` distinct worker shards, and a coordinator
+    scatter-gathers queries across the groups with bounded retries,
+    failover and per-shard circuit breakers.
+    """
+
+    #: Worker shard count.  1 is the degenerate single-shard ring; the
+    #: plain :class:`~repro.core.spate.Spate` facade (no shard layer at
+    #: all) remains the library default.
+    shards: int = 1
+    #: Fixed spatial region-group count.  Must not change over a
+    #: warehouse's lifetime; keep it independent of ``shards`` so
+    #: answers do not depend on the ring size.
+    region_groups: int = 8
+    #: Distinct shards hosting each group (shard-level replication,
+    #: on top of the per-store DFS replication).  Clamped to ``shards``.
+    group_replication: int = 2
+    #: Per-RPC deadline slice, milliseconds (charged against the
+    #: query's ``deadline_ms`` budget when one is set).
+    rpc_timeout_ms: int = 2_000
+    #: Bounded RPC retries (exponential backoff, full jitter) before
+    #: failing over to a replica shard.
+    rpc_retries: int = 2
+    #: Total RPC retry budget across the coordinator's lifetime.
+    rpc_retry_budget: int = 256
+    #: Consecutive failures that trip a shard's circuit breaker.
+    breaker_threshold: int = 3
+    #: RPCs a tripped breaker stays open for before a probe is allowed.
+    breaker_cooldown_rpcs: int = 8
+    #: Heartbeats a shard may miss before failover prefers its replicas.
+    heartbeat_miss_limit: int = 2
+    #: RPC transport: "inline" (deterministic in-process calls; backoff
+    #: charged to a modeled clock) or "thread" (per-shard worker
+    #: threads with real wall-clock timeouts).
+    transport: str = "inline"
+    #: Seed for retry jitter, so chaos runs replay deterministically.
+    seed: int = 2017
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigError("shards must be at least 1")
+        if self.region_groups < 1:
+            raise ConfigError("region_groups must be at least 1")
+        if self.group_replication < 1:
+            raise ConfigError("group_replication must be at least 1")
+        if self.rpc_timeout_ms < 1:
+            raise ConfigError("rpc_timeout_ms must be positive")
+        if self.rpc_retries < 0:
+            raise ConfigError("rpc_retries must be non-negative")
+        if self.rpc_retry_budget < 0:
+            raise ConfigError("rpc_retry_budget must be non-negative")
+        if self.breaker_threshold < 1:
+            raise ConfigError("breaker_threshold must be at least 1")
+        if self.breaker_cooldown_rpcs < 1:
+            raise ConfigError("breaker_cooldown_rpcs must be at least 1")
+        if self.heartbeat_miss_limit < 1:
+            raise ConfigError("heartbeat_miss_limit must be at least 1")
+        if self.transport not in ("inline", "thread"):
+            raise ConfigError(
+                f"transport must be 'inline' or 'thread', got {self.transport!r}"
+            )
+
+
+@dataclass(frozen=True)
 class SpateConfig:
     """Top-level framework configuration.
 
@@ -258,6 +328,9 @@ class SpateConfig:
         durability: metadata WAL + checkpoint settings.
         autotune: adaptive codec selection / dictionary / recompaction
             settings (active when ``codec="auto"``).
+        sharding: shard-layer settings (used by
+            :class:`repro.shard.ShardedSpate`; ignored — and harmless —
+            on the plain single-node facade).
     """
 
     codec: str = "gzip"
@@ -276,6 +349,7 @@ class SpateConfig:
     faults: FaultToleranceConfig = field(default_factory=FaultToleranceConfig)
     durability: DurabilityConfig = field(default_factory=DurabilityConfig)
     autotune: AutotuneConfig = field(default_factory=AutotuneConfig)
+    sharding: ShardConfig = field(default_factory=ShardConfig)
 
     @property
     def autotune_enabled(self) -> bool:

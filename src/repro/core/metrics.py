@@ -80,6 +80,8 @@ class WarehouseMetrics:
     dfs_corrupt_replicas_dropped: int = 0
     dfs_re_replicated_copies: int = 0
     dfs_excess_replicas_trimmed: int = 0
+    dfs_retry_budget_spent: int = 0
+    dfs_retry_budget_exhausted: int = 0
     heal_passes: int = 0
     #: Current under-replicated gauge from the most recent heal pass.
     under_replicated_blocks: int = 0
@@ -104,6 +106,19 @@ class WarehouseMetrics:
     partial_queries: int = 0
     epochs_skipped_degraded: int = 0
     deadline_expirations: int = 0
+
+    #: Shard-layer counters (mirrors of the coordinator's running
+    #: totals, refreshed via :meth:`sync_shards`; all zero in
+    #: single-shard mode).
+    shard_rpcs: int = 0
+    shard_rpc_retries: int = 0
+    shard_failovers: int = 0
+    shard_breaker_trips: int = 0
+    shard_heartbeat_misses: int = 0
+    shards_skipped: int = 0
+    shard_recoveries: int = 0
+    shard_retry_budget_spent: int = 0
+    shard_retry_budget_exhausted: int = 0
 
     #: Read-path counters (parallel, pruned leaf scans).
     query_leaves_scanned: int = 0
@@ -242,6 +257,12 @@ class WarehouseMetrics:
             self.dfs_corrupt_replicas_dropped = fault_stats.corrupt_replicas_dropped
             self.dfs_re_replicated_copies = fault_stats.re_replicated_copies
             self.dfs_excess_replicas_trimmed = fault_stats.excess_replicas_trimmed
+            self.dfs_retry_budget_spent = getattr(
+                fault_stats, "retry_budget_spent", 0
+            )
+            self.dfs_retry_budget_exhausted = getattr(
+                fault_stats, "retry_budget_exhausted", 0
+            )
             self.heal_passes = fault_stats.heal_passes
             if injector is not None:
                 self.faults_crashes_injected = injector.crashes_injected
@@ -282,6 +303,21 @@ class WarehouseMetrics:
             self.epochs_skipped_degraded += epochs_skipped
             if deadline_hit:
                 self.deadline_expirations += 1
+
+    def sync_shards(self, counters) -> None:
+        """Mirror the shard coordinator's cumulative RPC counters (a
+        :class:`~repro.shard.rpc.ShardCounters`; the coordinator owns
+        the running totals, so this *sets* rather than adds)."""
+        with self._lock:
+            self.shard_rpcs = counters.rpcs
+            self.shard_rpc_retries = counters.retries
+            self.shard_failovers = counters.failovers
+            self.shard_breaker_trips = counters.breaker_trips
+            self.shard_heartbeat_misses = counters.heartbeat_misses
+            self.shards_skipped = counters.shards_skipped
+            self.shard_recoveries = counters.recoveries
+            self.shard_retry_budget_spent = counters.retry_budget_spent
+            self.shard_retry_budget_exhausted = counters.retry_budget_exhausted
 
     def on_query_scan(self, stats) -> None:
         """Fold one query's :class:`~repro.query.leafscan.ScanStats` in."""
@@ -548,6 +584,17 @@ class WarehouseMetrics:
                 f"{self.epochs_skipped_degraded} epochs skipped, "
                 f"{self.deadline_expirations} deadline expirations"
             )
+        if self.shard_rpcs or self.shard_recoveries:
+            lines.append(
+                f"  shards:                {self.shard_rpcs} RPCs "
+                f"({self.shard_rpc_retries} retries, "
+                f"{self.shard_retry_budget_spent} budget tokens), "
+                f"{self.shard_failovers} failovers, "
+                f"{self.shard_breaker_trips} breaker trips, "
+                f"{self.shard_heartbeat_misses} heartbeat misses, "
+                f"{self.shards_skipped} shard slices skipped, "
+                f"{self.shard_recoveries} recoveries"
+            )
         if self.requests_admitted or self.requests_rejected or self.requests_shed:
             lines.append(
                 f"  serving admission:     {self.requests_admitted} admitted, "
@@ -586,6 +633,12 @@ class WarehouseMetrics:
                 f"{self.dfs_writes_rolled_back} writes rolled back), "
                 f"{self.dfs_read_failovers} read failovers, "
                 f"{self.dfs_corrupt_replicas_dropped} corrupt replicas dropped"
+                + (
+                    f", retry budget {self.dfs_retry_budget_spent} spent"
+                    f" ({self.dfs_retry_budget_exhausted} refusals)"
+                    if self.dfs_retry_budget_spent or self.dfs_retry_budget_exhausted
+                    else ""
+                )
             )
             lines.append(
                 f"  replication repair:    {self.heal_passes} heal passes, "

@@ -1,0 +1,83 @@
+"""Shared bounded-retry machinery: exponential backoff with full jitter.
+
+Two consumers share this module so their retry behaviour stays
+comparable in the fault metrics: the DFS transient-write path
+(:meth:`repro.dfs.filesystem.SimulatedDFS._store_with_retry`) and the
+shard RPC client (:mod:`repro.shard.rpc`).  Both follow the classic
+full-jitter schedule — ``sleep = uniform(0, min(cap, base * 2**attempt))``
+— which decorrelates retry storms far better than the fixed doubling
+ladder it replaces, while a :class:`RetryBudget` caps the *total* retry
+work a component may burn across its lifetime so a persistent fault
+degrades to a fast failure instead of an unbounded retry loop.
+
+The RNG is injected (seeded by the caller), so a seeded chaos run
+retries — and therefore answers — deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with full jitter.
+
+    ``max_attempts`` counts *retries*, not calls: a policy with
+    ``max_attempts=3`` allows one initial try plus up to three retries.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.001
+    max_delay_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 0:
+            raise ValueError("max_attempts must be >= 0")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """Jittered delay before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        cap = min(self.max_delay_s, self.base_delay_s * (2 ** (attempt - 1)))
+        return rng.uniform(0.0, cap)
+
+
+class RetryBudget:
+    """A thread-safe counter capping total retries across a component.
+
+    Every retry anywhere in the component spends one token; when the
+    budget is exhausted further failures surface immediately.  ``limit``
+    of ``None`` means unbounded (tokens are still counted).
+    """
+
+    def __init__(self, limit: int | None = None) -> None:
+        if limit is not None and limit < 0:
+            raise ValueError("retry budget limit must be >= 0")
+        self.limit = limit
+        self.spent = 0
+        self.exhausted_hits = 0
+        self._lock = threading.Lock()
+
+    def try_spend(self) -> bool:
+        """Take one retry token; False when the budget is gone."""
+        with self._lock:
+            if self.limit is not None and self.spent >= self.limit:
+                self.exhausted_hits += 1
+                return False
+            self.spent += 1
+            return True
+
+    @property
+    def remaining(self) -> int | None:
+        with self._lock:
+            if self.limit is None:
+                return None
+            return max(0, self.limit - self.spent)
+
+
+__all__ = ["RetryPolicy", "RetryBudget"]

@@ -292,6 +292,24 @@ class Spate(Framework):
         spate.recover()
         return spate
 
+    @staticmethod
+    def create(config: SpateConfig | None = None):
+        """Build the warehouse the config asks for.
+
+        With ``config.sharding.shards > 1`` this returns a
+        :class:`~repro.shard.coordinator.ShardedSpate` — the scatter-
+        gather coordinator over process-backed worker shards, which
+        quacks like this class on the whole query surface.  Otherwise a
+        plain single-shard :class:`Spate` (the default, byte-identical
+        to constructing one directly).
+        """
+        config = config or SpateConfig()
+        if config.sharding.shards > 1:
+            from repro.shard import ShardedSpate  # local: avoids a cycle
+
+            return ShardedSpate(config)
+        return Spate(config)
+
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
@@ -474,6 +492,45 @@ class Spate(Framework):
         the serial, unpruned base scan exactly on every column a hint
         allowed the caller to reference.
         """
+        out_columns, by_epoch = self._read_rows_grouped(
+            table, first_epoch, last_epoch, partial_ok, predicates, columns
+        )
+        rows: list[list[str]] = []
+        for __, chunk in by_epoch:
+            rows.extend(chunk)
+        return out_columns, rows
+
+    @_reads
+    def read_rows_by_epoch(
+        self,
+        table: str,
+        first_epoch: int,
+        last_epoch: int,
+        partial_ok: bool = False,
+        predicates=None,
+        columns=None,
+    ) -> tuple[list[str], list[tuple[int, list[list[str]]]]]:
+        """:meth:`read_rows` with the per-epoch grouping kept.
+
+        Returns ``(columns, [(epoch, rows), ...])`` in ascending epoch
+        order; flattening the groups reproduces :meth:`read_rows`
+        byte-for-byte.  The shard coordinator merges worker answers at
+        epoch granularity, so it needs the boundaries the flat scan
+        throws away.
+        """
+        return self._read_rows_grouped(
+            table, first_epoch, last_epoch, partial_ok, predicates, columns
+        )
+
+    def _read_rows_grouped(
+        self,
+        table: str,
+        first_epoch: int,
+        last_epoch: int,
+        partial_ok: bool = False,
+        predicates=None,
+        columns=None,
+    ) -> tuple[list[str], list[tuple[int, list[list[str]]]]]:
         from repro.query.sql.planner import disproved_by_summary
 
         ctx = self._scan_context()
@@ -554,7 +611,7 @@ class Spate(Framework):
         stats.on_run(run)
 
         out_columns: list[str] = []
-        rows: list[list[str]] = []
+        by_epoch: list[tuple[int, list[list[str]]]] = []
         for epoch, kind, payload in plan:
             if kind == "task":
                 loaded, nbytes, channel_stats = decoded[payload]
@@ -574,14 +631,14 @@ class Spate(Framework):
             stats.leaves_scanned += 1
             if not out_columns:
                 out_columns = list(loaded.columns)
-            rows.extend(loaded.rows)
+            by_epoch.append((epoch, loaded.rows))
 
         if not out_columns and coverage["epochs_pruned"]:
             # Everything in range was pruned: recover the schema with
             # one probe read so callers still see real column names.
             out_columns = self.table_columns(table, first_epoch, last_epoch)
         self.metrics.on_query_scan(stats)
-        return out_columns, rows
+        return out_columns, by_epoch
 
     @_writes
     def finalize(self) -> None:

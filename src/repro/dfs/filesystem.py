@@ -16,9 +16,11 @@ behaviour the paper's replication-3 testbed buys.
 
 from __future__ import annotations
 
+import random
 import threading
 from dataclasses import dataclass
 
+from repro.core.retry import RetryBudget, RetryPolicy
 from repro.dfs.block import Block, split_into_blocks
 from repro.dfs.datanode import DataNode
 from repro.dfs.faults import FaultInjector
@@ -53,6 +55,8 @@ class FaultStats:
     write_retries: int = 0
     write_failures: int = 0
     writes_rolled_back: int = 0
+    retry_budget_spent: int = 0
+    retry_budget_exhausted: int = 0
     checksum_failures: int = 0
     read_failovers: int = 0
     corrupt_replicas_dropped: int = 0
@@ -138,6 +142,8 @@ class SimulatedDFS:
         io_model: IoCostModel | None = None,
         fault_injector: FaultInjector | None = None,
         max_write_retries: int = 3,
+        retry_budget: int | None = None,
+        retry_seed: int = 2017,
     ) -> None:
         """
         Args:
@@ -153,6 +159,13 @@ class SimulatedDFS:
                 every write; None runs the happy path only.
             max_write_retries: transient-failure retries per replica
                 store before the write is rolled back.
+            retry_budget: cap on *total* write retries across the
+                filesystem's lifetime (None = unbounded); once spent, a
+                transient failure fails the write immediately instead of
+                retrying, so a persistently failing cluster degrades to
+                fast failures.
+            retry_seed: seed for the full-jitter retry schedule, so a
+                seeded chaos run charges deterministic backoff.
         """
         if datanodes < 1:
             raise StorageError("cluster needs at least one datanode")
@@ -165,6 +178,12 @@ class SimulatedDFS:
         self.io_model = io_model
         self.fault_injector = fault_injector
         self.max_write_retries = max_write_retries
+        self.write_retry_policy = RetryPolicy(
+            max_attempts=max_write_retries,
+            base_delay_s=self.write_retry_backoff_s,
+        )
+        self.retry_budget = RetryBudget(retry_budget)
+        self._retry_rng = random.Random(retry_seed)
         self.fault_stats = FaultStats()
         #: Accumulated modeled I/O time; callers diff this around an
         #: operation to charge it to a measurement.
@@ -444,8 +463,11 @@ class SimulatedDFS:
 
     def _store_with_retry(self, node: DataNode, block: Block) -> None:
         """Store one replica, absorbing transient failures with bounded
-        exponential backoff (charged as modeled time — the simulator
-        never really sleeps)."""
+        exponential backoff and full jitter (charged as modeled time —
+        the simulator never really sleeps).  Every retry spends one
+        token of the filesystem-wide :class:`~repro.core.retry.RetryBudget`;
+        an exhausted budget turns the next transient failure into an
+        immediate write failure."""
         attempt = 0
         while True:
             try:
@@ -455,13 +477,18 @@ class SimulatedDFS:
                 return
             except TransientWriteError:
                 attempt += 1
-                if attempt > self.max_write_retries:
+                if attempt > self.write_retry_policy.max_attempts:
+                    self.fault_stats.write_failures += 1
+                    raise
+                if not self.retry_budget.try_spend():
+                    self.fault_stats.retry_budget_exhausted += 1
                     self.fault_stats.write_failures += 1
                     raise
                 self.fault_stats.write_retries += 1
+                self.fault_stats.retry_budget_spent += 1
                 with self._accounting_lock:
-                    self.modeled_io_seconds += (
-                        self.write_retry_backoff_s * (2 ** (attempt - 1))
+                    self.modeled_io_seconds += self.write_retry_policy.backoff_s(
+                        attempt, self._retry_rng
                     )
 
     def _rollback(self, placements: list[tuple[Block, list[DataNode]]]) -> None:

@@ -114,6 +114,22 @@ class SessionClosedError(ServingError):
     """An append/query was submitted to a closed session or service."""
 
 
+class ShuttingDownError(ServingError):
+    """The server is draining in-flight work and refuses new requests."""
+
+
+class ShardError(SpateError):
+    """A shard-layer RPC or placement operation failed."""
+
+
+class ShardUnavailableError(ShardError):
+    """The target shard is dead, unreachable, or its breaker is open."""
+
+
+class ShardTimeoutError(ShardError):
+    """A shard RPC exceeded its per-call deadline slice."""
+
+
 class PrivacyError(SpateError):
     """A privacy-sanitization request could not be satisfied."""
 

@@ -84,11 +84,45 @@ class CoverageReport:
     epochs_pruned: list[int] = field(default_factory=list)
     #: True when the per-query deadline expired before the scan finished.
     deadline_hit: bool = False
+    #: Shards whose slice of the window could not be served at all
+    #: (shard key -> reason, e.g. ``"dead"``, ``"breaker_open"``,
+    #: ``"timeout"``).  Populated only by the shard coordinator.
+    shards_skipped: dict[str, str] = field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
         """True when nothing in the window was skipped."""
-        return not self.epochs_skipped and not self.deadline_hit
+        return (
+            not self.epochs_skipped
+            and not self.deadline_hit
+            and not self.shards_skipped
+        )
+
+    def merge(self, other: "CoverageReport") -> "CoverageReport":
+        """Fold ``other`` into this report, accumulating skip reasons.
+
+        This is how the shard coordinator combines per-shard coverage
+        and how multi-source degradation (deadline + pruned +
+        shard-skipped) stays visible: a reason never overwrites an
+        earlier one for the same key — distinct reasons join with
+        ``" + "``.  An epoch skipped by any source is skipped in the
+        merge (even if another source served its slice of that epoch);
+        a pruned epoch that some source actually served counts as
+        served.
+        """
+        for epoch, reason in other.epochs_skipped.items():
+            _accumulate_reason(self.epochs_skipped, epoch, reason)
+        for day, resolution in other.summary_days.items():
+            _accumulate_reason(self.summary_days, day, resolution)
+        for shard, reason in other.shards_skipped.items():
+            _accumulate_reason(self.shards_skipped, shard, reason)
+        served = set(self.epochs_served) | set(other.epochs_served)
+        pruned = set(self.epochs_pruned) | set(other.epochs_pruned)
+        skipped = set(self.epochs_skipped)
+        self.epochs_served = sorted(served - skipped)
+        self.epochs_pruned = sorted(pruned - served - skipped)
+        self.deadline_hit = self.deadline_hit or other.deadline_hit
+        return self
 
     def describe(self) -> str:
         """One-line human-readable coverage statement."""
@@ -101,10 +135,25 @@ class CoverageReport:
         parts = [f"{count} {reason}" for reason, count in sorted(reasons.items())]
         if self.deadline_hit and "deadline" not in reasons:
             parts.append("deadline expired")
+        if self.shards_skipped:
+            shard_reasons = sorted(set(self.shards_skipped.values()))
+            parts.append(
+                f"{len(self.shards_skipped)} shards "
+                f"({', '.join(shard_reasons)})"
+            )
         return (
             f"partial ({len(self.epochs_served)} epochs served, "
             f"skipped: {', '.join(parts) if parts else 'none'})"
         )
+
+
+def _accumulate_reason(into: dict, key, reason: str) -> None:
+    """Add ``reason`` for ``key`` without overwriting a different one."""
+    mine = into.get(key)
+    if mine is None:
+        into[key] = reason
+    elif reason not in mine.split(" + "):
+        into[key] = f"{mine} + {reason}"
 
 
 class _Deadline:

@@ -401,6 +401,15 @@ class Database:
                     f"  scan {table}: {len(pruned)} epochs pruned "
                     "(summary or zone map)"
                 )
+            skipped = coverage.get("shards_skipped")
+            if skipped:
+                detail = ", ".join(
+                    f"{shard}={reason}" for shard, reason in sorted(skipped.items())
+                )
+                lines.append(
+                    f"  scan {table}: {len(skipped)} shard slices skipped "
+                    f"({detail})"
+                )
         return result, "\n".join(lines)
 
     def _explain_from(

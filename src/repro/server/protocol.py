@@ -14,7 +14,9 @@ overload   global waiting room full; request shed
 deadline   strict query missed its per-request deadline
 query      the query itself was invalid or failed (SQL error,
            decayed window, quarantined leaf in strict mode, ...)
-closed     the service or session is shutting down
+shutting_down the server is draining in-flight work; retry against
+           another instance (graceful shutdown window)
+closed     the service or session is closed
 bad_request malformed request (unknown op, missing fields)
 internal   unexpected server-side failure
 ========== ====================================================
@@ -31,6 +33,7 @@ from repro.errors import (
     QuotaExceededError,
     ServerOverloadedError,
     SessionClosedError,
+    ShuttingDownError,
     SpateError,
 )
 
@@ -126,8 +129,8 @@ class QueryResponse:
     """Server answer to one :class:`QueryRequest`."""
 
     ok: bool
-    #: "quota" | "overload" | "deadline" | "query" | "closed" |
-    #: "bad_request" | "internal"; None on success.
+    #: "quota" | "overload" | "deadline" | "query" | "shutting_down" |
+    #: "closed" | "bad_request" | "internal"; None on success.
     error_code: str | None = None
     error: str | None = None
     columns: list[str] = field(default_factory=list)
@@ -189,6 +192,7 @@ def coverage_to_dict(coverage) -> dict[str, Any]:
         "epochs_pruned": list(coverage.epochs_pruned),
         "summary_days": dict(coverage.summary_days),
         "deadline_hit": coverage.deadline_hit,
+        "shards_skipped": dict(coverage.shards_skipped),
         "complete": coverage.complete,
     }
 
@@ -212,6 +216,8 @@ def error_code_for(exc: BaseException) -> str:
         return "overload"
     if isinstance(exc, QueryDeadlineError):
         return "deadline"
+    if isinstance(exc, ShuttingDownError):
+        return "shutting_down"
     if isinstance(exc, SessionClosedError):
         return "closed"
     if isinstance(exc, (QueryError, SpateError)):

@@ -38,6 +38,7 @@ from repro.errors import (
     IngestBackpressureError,
     QueryDeadlineError,
     SessionClosedError,
+    ShuttingDownError,
 )
 from repro.server.admission import AdmissionController, TenantQuota
 from repro.server.protocol import (
@@ -185,6 +186,13 @@ class SpateService:
         )
         self._ingest_worker: asyncio.Task | None = None
         self._closed = False
+        #: Graceful shutdown: while draining, new requests are refused
+        #: with a typed ``shutting_down`` error but in-flight queries
+        #: and already-acked ingest batches run to completion.
+        self._draining = False
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -205,17 +213,45 @@ class SpateService:
             )
 
     async def close(self) -> None:
-        """Stop accepting work, drain the ingest queue, shut pools down."""
+        """Graceful shutdown: refuse new work, drain in-flight queries
+        and every already-acked ingest batch, then shut pools down.
+
+        From the first ``await`` here until the service is fully closed,
+        new requests fail fast with a typed ``shutting_down`` error
+        instead of being dropped mid-connection.
+        """
         if self._closed:
             return
-        self._closed = True
+        self._draining = True
+        # In-flight queries (admitted before the drain began) finish.
+        await self._idle.wait()
         if self._ingest_worker is not None:
-            # Sentinel wakes the worker even when the queue is empty.
+            # Sentinel wakes the worker even when the queue is empty;
+            # batches queued before it are ingested and acked first.
             await self._ingest_queue.put(None)
             await self._ingest_worker
             self._ingest_worker = None
+        self._closed = True
         self._readers.shutdown(wait=True)
         self._ingester.shutdown(wait=True)
+
+    def _refuse_if_unavailable(self) -> None:
+        if self._closed:
+            raise SessionClosedError("service is closed")
+        if self._draining:
+            raise ShuttingDownError(
+                "service is shutting down: draining in-flight work, "
+                "not accepting new requests"
+            )
+
+    def _track_request(self) -> None:
+        self._inflight += 1
+        self._idle.clear()
+
+    def _untrack_request(self) -> None:
+        self._inflight -= 1
+        if self._inflight <= 0:
+            self._idle.set()
 
     # ------------------------------------------------------------------
     # Ingest path
@@ -225,14 +261,12 @@ class SpateService:
         """Open a streaming ingest session (one at a time is the
         intended shape; appends from several sessions interleave in
         queue order)."""
-        if self._closed:
-            raise SessionClosedError("service is closed")
+        self._refuse_if_unavailable()
         self.start()
         return IngestSession(self)
 
     async def _enqueue_ingest(self, snapshot, wait: bool) -> asyncio.Future:
-        if self._closed:
-            raise SessionClosedError("service is closed")
+        self._refuse_if_unavailable()
         self.start()
         ack = asyncio.get_running_loop().create_future()
         item = (snapshot, ack)
@@ -283,8 +317,7 @@ class SpateService:
             else self.config.default_deadline_ms
         )
         try:
-            if self._closed:
-                raise SessionClosedError("service is closed")
+            self._refuse_if_unavailable()
             if request.op == "ping":
                 return QueryResponse(
                     ok=True, latency_ms=deadline.elapsed_ms(), extra={"pong": True}
@@ -298,8 +331,16 @@ class SpateService:
                         "admission": self.admission.snapshot(),
                     },
                 )
+        except Exception as exc:
+            return self._finish(self._error_response(exc, deadline))
+        # Count the request as in-flight from before admission: a query
+        # parked in the waiting room was already accepted, so a graceful
+        # shutdown lets it run instead of dropping it.
+        self._track_request()
+        try:
             await self.admission.admit(request.tenant)
         except Exception as exc:
+            self._untrack_request()
             return self._finish(self._error_response(exc, deadline))
         try:
             if request.op == "explore":
@@ -312,6 +353,7 @@ class SpateService:
             response = self._error_response(exc, deadline)
         finally:
             self.admission.release(request.tenant)
+            self._untrack_request()
         response.latency_ms = deadline.elapsed_ms()
         return self._finish(response)
 
@@ -380,13 +422,18 @@ class SpateService:
             else self.config.default_deadline_ms
         )
         try:
-            if self._closed:
-                raise SessionClosedError("service is closed")
+            self._refuse_if_unavailable()
             table, attributes = self._explore_args(request)
             if request.chunk_epochs < 1:
                 raise ValueError("chunk_epochs must be at least 1")
+        except Exception as exc:
+            yield self._finish(self._error_response(exc, deadline, final=True))
+            return
+        self._track_request()
+        try:
             await self.admission.admit(request.tenant)
         except Exception as exc:
+            self._untrack_request()
             yield self._finish(self._error_response(exc, deadline, final=True))
             return
         box = BoundingBox(*request.box) if request.box is not None else None
@@ -438,6 +485,7 @@ class SpateService:
                 chunk_first = chunk_last + 1
         finally:
             self.admission.release(request.tenant)
+            self._untrack_request()
             self.metrics.on_request_done(deadline.elapsed_ms(), ok=stream_ok)
 
     # ------------------------------------------------------------------
@@ -466,10 +514,14 @@ class SpateService:
 
     def _window(self, request: QueryRequest) -> tuple[int, int]:
         first = 0 if request.first_epoch is None else request.first_epoch
+        if request.last_epoch is not None:
+            return first, request.last_epoch
+        # Plain Spate keeps the frontier on its temporal index; the
+        # sharded coordinator tracks it directly.
+        index = getattr(self._spate, "index", None)
         last = (
-            self._spate.index.frontier_epoch
-            if request.last_epoch is None
-            else request.last_epoch
+            index.frontier_epoch if index is not None
+            else self._spate.frontier_epoch
         )
         return first, last
 

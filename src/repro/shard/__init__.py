@@ -1,0 +1,35 @@
+"""Sharded warehouse: hybrid-key partitioning, replication-aware
+placement, and chaos-hardened scatter-gather over worker shards."""
+
+from repro.shard.coordinator import ShardedSpate
+from repro.shard.key import (
+    RegionMap,
+    groups_for_shard,
+    leaf_key,
+    shards_for_group,
+)
+from repro.shard.rpc import (
+    CircuitBreaker,
+    DeadlineBudget,
+    ShardClient,
+    ShardCounters,
+    failure_reason,
+)
+from repro.shard.split import split_snapshot
+from repro.shard.worker import ShardWorker, group_store_config
+
+__all__ = [
+    "CircuitBreaker",
+    "DeadlineBudget",
+    "RegionMap",
+    "ShardClient",
+    "ShardCounters",
+    "ShardWorker",
+    "ShardedSpate",
+    "failure_reason",
+    "group_store_config",
+    "groups_for_shard",
+    "leaf_key",
+    "shards_for_group",
+    "split_snapshot",
+]

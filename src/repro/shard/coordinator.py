@@ -1,0 +1,610 @@
+"""Scatter-gather coordinator: a sharded warehouse that quacks like
+:class:`~repro.core.spate.Spate`.
+
+``ShardedSpate`` partitions every arriving snapshot by the hybrid
+(cell-region, day) key into a FIXED number of region groups and fans
+each group's sub-snapshot out to its replica set of worker shards
+(:func:`~repro.shard.key.shards_for_group`: distinct shards per group).
+Queries scatter to one live replica per group — primary first, failing
+over down the chain — and gather with partial aggregation pushed down:
+workers return per-epoch row groups, ready-merged ``NumericStats``,
+and their own coverage/scan telemetry; the coordinator only
+concatenates in deterministic (epoch, group-rank) order and merges
+counters.
+
+Because the group count is fixed and the merge order is deterministic,
+answers are byte-identical for every shard count — ``ShardedSpate``
+with ``shards=1`` is the single-shard reference the differential gate
+compares against.  (Relative to a *plain* ``Spate``, rows within an
+epoch are permuted by region group; aggregates, grouped queries, and
+ordered queries agree, row order of unordered scans does not — which
+is exactly why the gate pins the shard API's own N=1 as the truth.)
+
+Degradation contract: with ``partial_ok``, a group whose whole replica
+chain is down (dead, breaker open, or timed out) is *skipped* and
+itemised in ``CoverageReport.shards_skipped`` with its reason; strict
+queries raise instead.  Mutations that miss a dead shard are buffered
+per shard and replayed, in order, by :meth:`recover_shard` after the
+worker's WAL-replay restart — rejoin without stopping reads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.baselines.base import IngestStats
+from repro.core.config import SpateConfig
+from repro.core.metrics import WarehouseMetrics
+from repro.core.snapshot import Snapshot, Table
+from repro.errors import QueryError, ShardError
+from repro.query.explore import (
+    CoverageReport,
+    ExplorationQuery,
+    ExplorationResult,
+)
+from repro.query.leafscan import ScanStats
+from repro.shard.key import RegionMap, shards_for_group, groups_for_shard
+from repro.shard.rpc import (
+    CircuitBreaker,
+    DeadlineBudget,
+    ShardClient,
+    failure_reason,
+)
+from repro.shard.split import split_snapshot
+from repro.shard.worker import ShardWorker
+from repro.spatial.geometry import Point
+
+
+def _coverage_from_dict(data: dict) -> CoverageReport:
+    report = CoverageReport()
+    report.epochs_served = list(data.get("epochs_served", []))
+    report.epochs_skipped = dict(data.get("epochs_skipped", {}))
+    report.epochs_pruned = list(data.get("epochs_pruned", []))
+    report.deadline_hit = bool(data.get("deadline_hit", False))
+    report.shards_skipped = dict(data.get("shards_skipped", {}))
+    return report
+
+
+def _coverage_to_dict(report: CoverageReport) -> dict:
+    return {
+        "epochs_served": list(report.epochs_served),
+        "epochs_skipped": dict(report.epochs_skipped),
+        "epochs_pruned": list(report.epochs_pruned),
+        "deadline_hit": report.deadline_hit,
+        "shards_skipped": dict(report.shards_skipped),
+    }
+
+
+class ShardedSpate:
+    """Thin scatter-gather client over N process-backed worker shards."""
+
+    name = "SPATE-sharded"
+
+    def __init__(self, config: SpateConfig | None = None) -> None:
+        self.config = config or SpateConfig()
+        sharding = self.config.sharding
+        self.shards = sharding.shards
+        self.region_groups = sharding.region_groups
+        self.replication = sharding.group_replication
+        self.workers: dict[int, ShardWorker] = {
+            shard_id: ShardWorker(
+                shard_id,
+                self.config,
+                groups_for_shard(
+                    shard_id, self.shards, self.region_groups, self.replication
+                ),
+            )
+            for shard_id in range(self.shards)
+        }
+        self.client = ShardClient(self.workers, sharding)
+        self.metrics = WarehouseMetrics()
+        self.cell_locations: dict[str, Point] = {}
+        self._region_map: RegionMap | None = None
+        #: shard -> mutations it missed while dead, replayed on rejoin.
+        self._missed: dict[int, list[tuple[str, tuple]]] = {}
+        self._suspected: set[int] = set()
+        self._miss_streak: dict[int, int] = {s: 0 for s in self.workers}
+        self._tables_seen: set[str] = set()
+        self._ingested: list[int] = []
+        self._frontier = 0
+        self._finalized = False
+        self._scan_tls = threading.local()
+
+    # ------------------------------------------------------------------
+    # Thread-local scan telemetry (same contract as Spate's)
+    # ------------------------------------------------------------------
+
+    @property
+    def last_scan_coverage(self) -> dict:
+        coverage = getattr(self._scan_tls, "coverage", None)
+        if coverage is None:
+            coverage = {"epochs_served": [], "epochs_skipped": {}}
+            self._scan_tls.coverage = coverage
+        return coverage
+
+    @last_scan_coverage.setter
+    def last_scan_coverage(self, coverage: dict) -> None:
+        self._scan_tls.coverage = coverage
+
+    @property
+    def last_scan_stats(self) -> ScanStats:
+        stats = getattr(self._scan_tls, "stats", None)
+        if stats is None:
+            stats = ScanStats()
+            self._scan_tls.stats = stats
+        return stats
+
+    @last_scan_stats.setter
+    def last_scan_stats(self, stats: ScanStats) -> None:
+        self._scan_tls.stats = stats
+
+    def _deadline(self) -> DeadlineBudget | None:
+        """The current SQL statement's budget (set by sql/explain)."""
+        return getattr(self._scan_tls, "deadline", None)
+
+    # ------------------------------------------------------------------
+    # Placement and RPC plumbing
+    # ------------------------------------------------------------------
+
+    def _group_of_cell(self, cell_id: str) -> int:
+        if self._region_map is None:
+            return 0
+        return self._region_map.group_of(cell_id)
+
+    def _chain(self, group: int) -> list[int]:
+        """Replica chain for a group, heartbeat-suspected shards last."""
+        chain = shards_for_group(group, self.shards, self.replication)
+        healthy = [s for s in chain if s not in self._suspected]
+        suspected = [s for s in chain if s in self._suspected]
+        return healthy + suspected
+
+    def _call_group(
+        self, group: int, method: str, *args, deadline=None, **kwargs
+    ):
+        """Call one live replica of a group, failing over down the chain.
+
+        Raises the last :class:`ShardError` when every replica is out;
+        application errors from a *reached* shard propagate immediately
+        (a deterministic answer must not be retried elsewhere).
+        """
+        chain = self._chain(group)
+        last_exc: ShardError | None = None
+        for position, shard_id in enumerate(chain):
+            try:
+                result = self.client.call(
+                    shard_id, method, group, *args, deadline=deadline, **kwargs
+                )
+            except ShardError as exc:
+                last_exc = exc
+                continue
+            if position:
+                self.client.counters.inc("failovers")
+            return result
+        raise last_exc
+
+    def _mutate_group(self, group: int, method: str, *args):
+        """Apply a mutation on every hosting replica of a group,
+        buffering it for shards that are unreachable.  Returns the
+        first (primary-most) successful result, or None."""
+        first_result = None
+        got_one = False
+        for shard_id in shards_for_group(group, self.shards, self.replication):
+            try:
+                result = self.client.call(shard_id, method, group, *args)
+            except ShardError:
+                self._missed.setdefault(shard_id, []).append(
+                    (method, (group, *args))
+                )
+                continue
+            if not got_one:
+                first_result = result
+                got_one = True
+        return first_result
+
+    # ------------------------------------------------------------------
+    # Setup / ingest (the Framework write surface)
+    # ------------------------------------------------------------------
+
+    def register_cells(self, cells: Table) -> None:
+        """Build the region map and fan the full CELL relation to every
+        shard (each group store needs the whole service area)."""
+        x_idx = cells.column_index("x")
+        y_idx = cells.column_index("y")
+        id_idx = cells.column_index("cell_id")
+        for row in cells.rows:
+            self.cell_locations[row[id_idx]] = Point(
+                float(row[x_idx]), float(row[y_idx])
+            )
+        self._region_map = RegionMap(self.cell_locations, self.region_groups)
+        for shard_id in sorted(self.workers):
+            try:
+                self.client.call(shard_id, "register_cells", cells)
+            except ShardError:
+                self._missed.setdefault(shard_id, []).append(
+                    ("register_cells", (cells,))
+                )
+
+    def ingest(self, snapshot: Snapshot) -> IngestStats:
+        """Split by region group and fan out to each group's replicas.
+
+        Sizes are summed over one copy per group (replicas store the
+        same bytes again; the logical warehouse did not grow twice).
+        """
+        if self._finalized:
+            raise QueryError(
+                f"cannot ingest epoch {snapshot.epoch}: the stream is "
+                "finalized (rollups are closed; open a new warehouse)"
+            )
+        subs = split_snapshot(
+            snapshot, self._group_of_cell, self.region_groups
+        )
+        raw = stored = 0
+        seconds = 0.0
+        for group in range(self.region_groups):
+            stats = self._mutate_group(group, "ingest", subs[group])
+            if stats is not None:
+                raw += stats.raw_bytes
+                stored += stats.stored_bytes
+                seconds += stats.seconds
+        self._tables_seen.update(snapshot.tables)
+        self._ingested.append(snapshot.epoch)
+        if snapshot.epoch > self._frontier:
+            self._frontier = snapshot.epoch
+        self.metrics.on_ingest(
+            records=snapshot.record_count(),
+            raw_bytes=raw,
+            stored_bytes=stored,
+            seconds=seconds,
+        )
+        self.metrics.sync_shards(self.client.counters)
+        return IngestStats(
+            epoch=snapshot.epoch,
+            seconds=seconds,
+            raw_bytes=raw,
+            stored_bytes=stored,
+        )
+
+    def finalize(self) -> None:
+        if self._finalized:
+            raise QueryError(
+                "finalize() was already called on this warehouse "
+                "(possibly before a crash); the stream is closed"
+            )
+        for group in range(self.region_groups):
+            self._mutate_group(group, "finalize")
+        self._finalized = True
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    @property
+    def frontier_epoch(self) -> int:
+        """Latest ingested epoch (the coordinator saw every ingest)."""
+        return self._frontier
+
+    def run_decay(self):
+        """Force a decay pass on every group store (replicas included —
+        they must age in lockstep)."""
+        return [
+            self._mutate_group(group, "run_decay")
+            for group in range(self.region_groups)
+        ]
+
+    def decay_groups(self, older_than_epoch: int, keep_fraction: float = 0.25):
+        """Apply the grouped-eviction fungus on every group store."""
+        return [
+            self._mutate_group(
+                group, "decay_groups", older_than_epoch, keep_fraction
+            )
+            for group in range(self.region_groups)
+        ]
+
+    def heal(self):
+        """Storage repair pass on every group store's DFS."""
+        return [
+            self._mutate_group(group, "heal")
+            for group in range(self.region_groups)
+        ]
+
+    # ------------------------------------------------------------------
+    # Chaos / recovery (shard ring membership)
+    # ------------------------------------------------------------------
+
+    def kill_shard(self, shard_id: int) -> None:
+        """Crash one worker: its stores vanish, its DFS state stays."""
+        self.workers[shard_id].kill()
+
+    def recover_shard(self, shard_id: int) -> int:
+        """Restart a dead worker (checkpoint + WAL replay per group
+        store), replay the mutations it missed while down, reset its
+        breaker, and un-suspect it.  Reads keep flowing on the replicas
+        throughout.  Returns the number of replayed mutations."""
+        worker = self.workers[shard_id]
+        worker.restart()
+        missed = self._missed.pop(shard_id, [])
+        for method, args in missed:
+            getattr(worker, method)(*args)
+        sharding = self.config.sharding
+        self.client.breakers[shard_id] = CircuitBreaker(
+            sharding.breaker_threshold, sharding.breaker_cooldown_rpcs
+        )
+        self._suspected.discard(shard_id)
+        self._miss_streak[shard_id] = 0
+        self.client.counters.inc("recoveries")
+        self.metrics.sync_shards(self.client.counters)
+        return len(missed)
+
+    # Alias mirroring the worker verb; chaos tooling uses either.
+    restart_shard = recover_shard
+
+    def heartbeat(self) -> dict[int, bool]:
+        """Ping every shard; after ``heartbeat_miss_limit`` consecutive
+        misses a shard is *suspected* and demoted to the back of every
+        replica chain until it answers again (or is recovered)."""
+        health = self.client.heartbeat()
+        limit = self.config.sharding.heartbeat_miss_limit
+        for shard_id, healthy in health.items():
+            if healthy:
+                self._miss_streak[shard_id] = 0
+                self._suspected.discard(shard_id)
+            else:
+                self._miss_streak[shard_id] += 1
+                if self._miss_streak[shard_id] >= limit:
+                    self._suspected.add(shard_id)
+        self.metrics.sync_shards(self.client.counters)
+        return health
+
+    # ------------------------------------------------------------------
+    # Read surface (what the SQL layer and explore callers see)
+    # ------------------------------------------------------------------
+
+    def ingested_epochs(self) -> list[int]:
+        """Live epochs, from any reachable replica of group 0 (groups
+        ingest and decay in lockstep, so any group's answer is the
+        warehouse's)."""
+        try:
+            return self._call_group(0, "ingested_epochs")
+        except ShardError:
+            return sorted(set(self._ingested))
+
+    def table_columns(
+        self, table: str, first_epoch: int, last_epoch: int
+    ) -> list[str]:
+        """Schema probe; any group knows every table's header."""
+        for group in range(self.region_groups):
+            try:
+                columns = self._call_group(
+                    group, "table_columns", table, first_epoch, last_epoch
+                )
+            except ShardError:
+                continue
+            if columns:
+                return columns
+        return []
+
+    def read_rows_by_epoch(
+        self,
+        table: str,
+        first_epoch: int,
+        last_epoch: int,
+        partial_ok: bool = False,
+        predicates=None,
+        columns=None,
+    ) -> tuple[list[str], list[tuple[int, list[list[str]]]]]:
+        """Scatter the scan to one live replica per group and gather
+        per-epoch row groups in (epoch, group-rank) order."""
+        deadline = self._deadline()
+        merged_cov = CoverageReport()
+        merged_stats = ScanStats()
+        out_columns: list[str] = []
+        per_epoch: dict[int, list[list[str]]] = {}
+        for group in range(self.region_groups):
+            try:
+                gcols, g_by_epoch, gcov, gstats = self._call_group(
+                    group,
+                    "read_rows_by_epoch",
+                    table,
+                    first_epoch,
+                    last_epoch,
+                    partial_ok,
+                    predicates,
+                    columns,
+                    deadline=deadline,
+                )
+            except ShardError as exc:
+                if not partial_ok:
+                    raise
+                key = f"g{group}@s{self._chain(group)[0]}"
+                merged_cov.shards_skipped[key] = failure_reason(exc)
+                self.client.counters.inc("shards_skipped")
+                continue
+            if not out_columns and gcols:
+                out_columns = list(gcols)
+            for epoch, rows in g_by_epoch:
+                per_epoch.setdefault(epoch, []).extend(rows)
+            merged_cov.merge(_coverage_from_dict(gcov))
+            merged_stats.merge(gstats)
+        self.last_scan_coverage = _coverage_to_dict(merged_cov)
+        self.last_scan_stats = merged_stats
+        self.metrics.on_query_scan(merged_stats)
+        self.metrics.sync_shards(self.client.counters)
+        return out_columns, [
+            (epoch, per_epoch[epoch]) for epoch in sorted(per_epoch)
+        ]
+
+    def read_rows(
+        self,
+        table: str,
+        first_epoch: int,
+        last_epoch: int,
+        partial_ok: bool = False,
+        predicates=None,
+        columns=None,
+    ) -> tuple[list[str], list[list[str]]]:
+        out_columns, by_epoch = self.read_rows_by_epoch(
+            table,
+            first_epoch,
+            last_epoch,
+            partial_ok=partial_ok,
+            predicates=predicates,
+            columns=columns,
+        )
+        rows: list[list[str]] = []
+        for __, chunk in by_epoch:
+            rows.extend(chunk)
+        return out_columns, rows
+
+    def explore(
+        self,
+        table: str,
+        attributes: tuple,
+        box,
+        first_epoch: int,
+        last_epoch: int,
+        coarse: bool = False,
+        partial_ok: bool = False,
+        deadline_ms: int | None = None,
+    ) -> ExplorationResult:
+        """Scatter Q(a, b, w) per group, gather with pushed-down partial
+        aggregation: workers return merged ``NumericStats`` per
+        attribute, the coordinator only merges accumulators and
+        concatenates records in (epoch, group-rank) order."""
+        if deadline_ms is None:
+            deadline_ms = self.config.query_deadline_ms
+        deadline = DeadlineBudget(deadline_ms or None)
+        query = ExplorationQuery(
+            table=table,
+            attributes=tuple(attributes),
+            box=box,
+            first_epoch=first_epoch,
+            last_epoch=last_epoch,
+        )
+        merged = ExplorationResult(query=query)
+        per_epoch: dict[int, list[list[str]]] = {}
+        for group in range(self.region_groups):
+            try:
+                result = self._call_group(
+                    group,
+                    "explore",
+                    table,
+                    tuple(attributes),
+                    box,
+                    first_epoch,
+                    last_epoch,
+                    coarse,
+                    partial_ok,
+                    deadline.remaining_ms(),
+                    deadline=deadline,
+                )
+            except ShardError as exc:
+                if not partial_ok:
+                    raise
+                key = f"g{group}@s{self._chain(group)[0]}"
+                merged.coverage.shards_skipped[key] = failure_reason(exc)
+                self.client.counters.inc("shards_skipped")
+                continue
+            if not merged.columns and result.columns:
+                merged.columns = list(result.columns)
+            for record in result.records:
+                per_epoch.setdefault(int(record[0]), []).append(record)
+            for name, stats in result.aggregates.items():
+                mine = merged.aggregates.get(name)
+                if mine is None:
+                    merged.aggregates[name] = stats.copy()
+                else:
+                    mine.merge(stats)
+            merged.highlights.extend(result.highlights)
+            for day, resolution in result.resolution_by_day.items():
+                merged.resolution_by_day.setdefault(day, resolution)
+            merged.snapshots_read += result.snapshots_read
+            merged.coverage.merge(result.coverage)
+            merged.scan_stats.merge(result.scan_stats)
+        merged.records = [
+            record
+            for epoch in sorted(per_epoch)
+            for record in per_epoch[epoch]
+        ]
+        self.metrics.on_explore(merged.snapshots_read, merged.used_decayed_data)
+        self.metrics.on_query_scan(merged.scan_stats)
+        if partial_ok and not merged.coverage.complete:
+            self.metrics.on_degraded_query(
+                epochs_skipped=len(merged.coverage.epochs_skipped),
+                deadline_hit=merged.coverage.deadline_hit,
+            )
+        self.metrics.sync_shards(self.client.counters)
+        return merged
+
+    def highlights(self, first_epoch: int, last_epoch: int):
+        """Detected highlights across all groups, group-rank order."""
+        out = []
+        for group in range(self.region_groups):
+            out.extend(
+                self._call_group(group, "highlights", first_epoch, last_epoch)
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # SQL surface
+    # ------------------------------------------------------------------
+
+    def sql_database(
+        self,
+        first_epoch: int | None = None,
+        last_epoch: int | None = None,
+        partial_ok: bool = False,
+        tables: list[str] | None = None,
+    ):
+        from repro.query.sql.executor import Database
+
+        first = 0 if first_epoch is None else first_epoch
+        last = self._frontier if last_epoch is None else last_epoch
+        names = tables or sorted(self._tables_seen)
+        db = Database()
+        db.register_framework_scan(
+            self, list(names), first, last, partial_ok=partial_ok
+        )
+        return db
+
+    def sql(
+        self,
+        query: str,
+        first_epoch: int | None = None,
+        last_epoch: int | None = None,
+        deadline_ms: int | None = None,
+        partial_ok: bool = False,
+    ):
+        db = self.sql_database(first_epoch, last_epoch, partial_ok=partial_ok)
+        if deadline_ms is None:
+            deadline_ms = self.config.query_deadline_ms or None
+        # One budget spans parse-to-output AND every shard RPC slice the
+        # scans fan out (picked up thread-locally by read_rows_by_epoch).
+        self._scan_tls.deadline = DeadlineBudget(deadline_ms)
+        try:
+            return db.execute(query, deadline_ms=deadline_ms)
+        finally:
+            self._scan_tls.deadline = None
+
+    def explain(
+        self,
+        query: str,
+        first_epoch: int | None = None,
+        last_epoch: int | None = None,
+        deadline_ms: int | None = None,
+        partial_ok: bool = False,
+    ) -> str:
+        db = self.sql_database(first_epoch, last_epoch, partial_ok=partial_ok)
+        if deadline_ms is None:
+            deadline_ms = self.config.query_deadline_ms or None
+        self._scan_tls.deadline = DeadlineBudget(deadline_ms)
+        try:
+            __, report = db.explain_analyze(query, deadline_ms=deadline_ms)
+        finally:
+            self._scan_tls.deadline = None
+        return report
+
+    def close(self) -> None:
+        self.client.close()
+
+
+__all__ = ["ShardedSpate"]

@@ -1,0 +1,81 @@
+"""Hybrid (cell-region, day) partitioning key and replica placement.
+
+The warehouse is partitioned spatially into a FIXED number of region
+groups (``ShardConfig.region_groups``), independent of how many worker
+shards serve them.  Each record's cell centroid falls into a tile of a
+uniform grid over the service area; tiles fold onto region groups.  A
+leaf — one epoch's slice of one group — is addressed by the hybrid key
+``(group, day_key)``: the group picks the shard set, the day key places
+the leaf inside that group store's temporal index.
+
+Keeping the group count fixed is what makes scatter-gather answers
+independent of the shard count: the same sub-snapshots exist whether
+one shard hosts all groups or eight shards host one each, and the
+coordinator always merges them in group-rank order.  Placement then
+maps groups onto shards round-robin with replication — a group's
+replicas land on *distinct* shards, so losing any single shard leaves
+every group with a live copy (as long as ``shards >= 2``).
+"""
+
+from __future__ import annotations
+
+from repro.spatial.geometry import BoundingBox, Point
+from repro.spatial.grid import UniformGrid
+
+
+class RegionMap:
+    """cell id -> region group, via a uniform grid over the cell area.
+
+    Cells outside the area (should not happen — the area is built from
+    the cells themselves) and unknown cell ids map to group 0, so a
+    row is never lost, merely co-located with the first group.
+    """
+
+    def __init__(
+        self,
+        cell_locations: dict[str, Point],
+        region_groups: int,
+    ) -> None:
+        self.region_groups = region_groups
+        self._group_of: dict[str, int] = {}
+        if not cell_locations:
+            return
+        area = BoundingBox.from_points(list(cell_locations.values()))
+        grid = UniformGrid(area, cols=region_groups, rows=region_groups)
+        for cell_id, point in cell_locations.items():
+            try:
+                col, row = grid.tile_of(point)
+            except ValueError:
+                self._group_of[cell_id] = 0
+                continue
+            self._group_of[cell_id] = (row * region_groups + col) % region_groups
+
+    def group_of(self, cell_id: str) -> int:
+        """Region group owning this cell's records (0 when unknown)."""
+        return self._group_of.get(cell_id, 0)
+
+
+def leaf_key(group: int, day_key: str) -> tuple[int, str]:
+    """The hybrid partition key of one leaf: (region group, day)."""
+    return (group, day_key)
+
+
+def shards_for_group(group: int, shards: int, replication: int) -> list[int]:
+    """Hosting shards for a group, primary first, replicas on distinct
+    shards (round-robin from the primary)."""
+    copies = min(max(1, replication), shards)
+    return [(group + i) % shards for i in range(copies)]
+
+
+def groups_for_shard(
+    shard_id: int, shards: int, region_groups: int, replication: int
+) -> list[int]:
+    """Every group hosted (as primary or replica) by one shard."""
+    return [
+        group
+        for group in range(region_groups)
+        if shard_id in shards_for_group(group, shards, replication)
+    ]
+
+
+__all__ = ["RegionMap", "leaf_key", "shards_for_group", "groups_for_shard"]

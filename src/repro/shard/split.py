@@ -1,0 +1,53 @@
+"""Stable region partitioning of snapshots.
+
+``split_snapshot`` cuts one arriving epoch into ``region_groups``
+sub-snapshots, one per region group.  The split is *stable*: a row's
+group depends only on its cell id (via the :class:`~repro.shard.key.
+RegionMap`), one region's rows never straddle groups, and rows keep
+their relative order inside each group.  Every sub-snapshot carries
+every table of the original — possibly empty, header only — so every
+group store sees every epoch and every schema, which is what lets any
+single group answer schema probes and keeps per-store temporal indexes
+aligned.
+
+Tables without a cell column (unknown table kinds) land wholly in
+group 0: deterministic, and the coordinator's group-rank merge puts
+them back exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.snapshot import Snapshot, Table
+from repro.index.highlights import CELL_COLUMN
+
+
+def split_snapshot(
+    snapshot: Snapshot,
+    group_of_cell: Callable[[str], int],
+    region_groups: int,
+) -> list[Snapshot]:
+    """Partition one snapshot into ``region_groups`` sub-snapshots."""
+    subs = [Snapshot(epoch=snapshot.epoch) for __ in range(region_groups)]
+    for name, table in snapshot.tables.items():
+        parts: list[list[list[str]]] = [[] for __ in range(region_groups)]
+        cell_col = CELL_COLUMN.get(name)
+        cell_idx = (
+            table.column_index(cell_col)
+            if cell_col is not None and cell_col in table.columns
+            else None
+        )
+        if cell_idx is None:
+            parts[0] = list(table.rows)
+        else:
+            for row in table.rows:
+                parts[group_of_cell(row[cell_idx])].append(row)
+        for group in range(region_groups):
+            subs[group].add_table(
+                Table(name, list(table.columns), parts[group])
+            )
+    return subs
+
+
+__all__ = ["split_snapshot"]

@@ -1,0 +1,181 @@
+"""Storage repair concurrent with readers: no torn reads, ever.
+
+``heal()`` holds the warehouse write lock, but replica corruption and
+datanode churn happen *underneath* the lock — a reader can hit a block
+whose replica was just damaged or whose datanode just died.  The DFS
+read path must fail over (CRC check, next replica) so that explore /
+SQL / raw-row answers stay byte-identical to the pre-chaos baseline
+throughout a corrupt → heal → fsck loop, and the repair counters must
+stay consistent in ``WarehouseMetrics``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.core import Spate, SpateConfig
+from repro.core.config import ShardConfig
+from repro.shard import ShardedSpate
+from repro.telco import TelcoTraceGenerator, TraceConfig
+
+TRACE = TraceConfig(scale=0.002, days=1, seed=31)
+EPOCHS = 8
+SQL = "SELECT call_type, COUNT(*) AS n FROM CDR GROUP BY call_type"
+
+
+@pytest.fixture()
+def warehouse() -> Spate:
+    generator = TelcoTraceGenerator(TRACE)
+    spate = Spate(SpateConfig(codec="gzip-ref"))
+    spate.register_cells(generator.cells_table())
+    for epoch in range(EPOCHS):
+        spate.ingest(generator.snapshot(epoch))
+    spate.finalize()
+    return spate
+
+
+def corrupt_one_replica(dfs, rng: random.Random) -> bool:
+    """Damage a single replica of a random block that still has at
+    least one other live copy (so the data never becomes lost)."""
+    files = [m for m in dfs.namenode.files() if m.blocks]
+    if not files:
+        return False
+    meta = rng.choice(files)
+    block_id = rng.choice(meta.blocks)
+    nodes = list(dfs.namenode.locations(block_id))
+    if len(nodes) < 2:
+        return False
+    return dfs.datanodes[rng.choice(nodes)].corrupt_block(block_id)
+
+
+class ReaderPool:
+    """Threads replaying the same reads and diffing against a baseline."""
+
+    def __init__(self, threads: int = 3) -> None:
+        self._threads = threads
+        self._stop = threading.Event()
+        self.errors: list[BaseException] = []
+        self.reads = 0
+        self._lock = threading.Lock()
+
+    def run(self, spate, chaos) -> None:
+        explore_truth = spate.explore(
+            "CDR", ("downflux", "upflux"), None, 0, EPOCHS - 1
+        )
+        sql_truth = spate.sql(SQL)
+        rows_truth = spate.read_rows("CDR", 0, EPOCHS - 1)
+
+        def reader(seed: int) -> None:
+            rng = random.Random(seed)
+            while not self._stop.is_set():
+                try:
+                    kind = rng.randrange(3)
+                    if kind == 0:
+                        result = spate.explore(
+                            "CDR", ("downflux", "upflux"), None, 0, EPOCHS - 1
+                        )
+                        assert result.records == explore_truth.records
+                        assert result.coverage.complete
+                    elif kind == 1:
+                        result = spate.sql(SQL)
+                        assert result.rows == sql_truth.rows
+                    else:
+                        assert spate.read_rows("CDR", 0, EPOCHS - 1) == rows_truth
+                    with self._lock:
+                        self.reads += 1
+                except BaseException as exc:  # noqa: BLE001 — collected
+                    self.errors.append(exc)
+                    return
+
+        threads = [
+            threading.Thread(target=reader, args=(seed,))
+            for seed in range(self._threads)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            chaos()
+        finally:
+            self._stop.set()
+            for t in threads:
+                t.join(timeout=60)
+        assert not self.errors, f"reader failed mid-repair: {self.errors[0]!r}"
+        assert self.reads > 0
+
+
+class TestHealConcurrentWithReaders:
+    def test_corrupt_heal_fsck_loop_never_tears_a_read(self, warehouse):
+        pool = ReaderPool()
+        rng = random.Random(7)
+
+        def chaos():
+            for __ in range(12):
+                corrupted = corrupt_one_replica(warehouse.dfs, rng)
+                report = warehouse.heal()
+                if corrupted:
+                    assert report.corrupt_replicas_dropped >= 0
+                # fsck is read-only and may overlap readers freely.
+                check = warehouse.dfs.fsck()
+                assert check.lost_blocks == 0
+
+        pool.run(warehouse, chaos)
+        final = warehouse.dfs.fsck()
+        assert final.healthy
+        assert warehouse.metrics.heal_passes == \
+            warehouse.dfs.fault_stats.heal_passes
+        assert warehouse.metrics.heal_passes >= 12
+
+    def test_datanode_churn_with_heal_keeps_answers_identical(self, warehouse):
+        pool = ReaderPool()
+        nodes = sorted(warehouse.dfs.datanodes)
+
+        def chaos():
+            for i in range(6):
+                victim = nodes[i % len(nodes)]
+                warehouse.dfs.kill_datanode(victim)
+                warehouse.heal()  # re-replicates onto the live nodes
+                warehouse.dfs.restart_datanode(victim)
+                warehouse.heal()  # trims the excess copies back down
+
+        pool.run(warehouse, chaos)
+        final = warehouse.dfs.fsck()
+        assert final.healthy
+
+    def test_fsck_reports_stay_consistent_under_read_load(self, warehouse):
+        pool = ReaderPool(threads=2)
+        reports = []
+
+        def chaos():
+            for __ in range(10):
+                reports.append(warehouse.dfs.fsck())
+
+        pool.run(warehouse, chaos)
+        assert len({r.blocks for r in reports}) == 1, \
+            "fsck must see a stable namespace while only readers run"
+        assert all(r.healthy for r in reports)
+
+
+class TestShardedHealConcurrentWithReaders:
+    def test_coordinator_heal_fanout_does_not_disturb_scatter_gather(self):
+        generator = TelcoTraceGenerator(TRACE)
+        sharded = ShardedSpate(
+            SpateConfig(sharding=ShardConfig(shards=2, group_replication=2))
+        )
+        sharded.register_cells(generator.cells_table())
+        for epoch in range(EPOCHS):
+            sharded.ingest(generator.snapshot(epoch))
+        sharded.finalize()
+        try:
+            pool = ReaderPool(threads=2)
+
+            def chaos():
+                for __ in range(6):
+                    reports = sharded.heal()
+                    assert len(reports) == sharded.region_groups
+
+            pool.run(sharded, chaos)
+        finally:
+            sharded.close()

@@ -1,0 +1,153 @@
+"""The shared retry machinery: policy, budget, and both consumers.
+
+One :class:`~repro.core.retry.RetryPolicy` / ``RetryBudget`` pair
+meters the DFS transient-write path and the shard RPC path, so this
+suite pins the schedule's bounds and determinism once and then checks
+each integration charges it the same way.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.core.retry import RetryBudget, RetryPolicy
+from repro.dfs.faults import FaultInjector
+from repro.dfs.filesystem import SimulatedDFS
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential_with_full_jitter(self):
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.01, max_delay_s=1.0)
+        rng = random.Random(7)
+        for attempt in range(1, 6):
+            cap = min(1.0, 0.01 * 2 ** (attempt - 1))
+            for __ in range(50):
+                backoff = policy.backoff_s(attempt, rng)
+                assert 0.0 <= backoff <= cap
+
+    def test_backoff_caps_at_max_delay(self):
+        policy = RetryPolicy(max_attempts=30, base_delay_s=0.5, max_delay_s=2.0)
+        rng = random.Random(1)
+        assert all(policy.backoff_s(20, rng) <= 2.0 for __ in range(100))
+
+    def test_schedule_is_deterministic_per_seed(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_s=0.001)
+        a = [policy.backoff_s(i, random.Random(42)) for i in range(1, 5)]
+        b = [policy.backoff_s(i, random.Random(42)) for i in range(1, 5)]
+        assert a == b
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=2).backoff_s(0, random.Random(1))
+
+
+class TestRetryBudget:
+    def test_spend_until_exhausted(self):
+        budget = RetryBudget(3)
+        assert [budget.try_spend() for __ in range(5)] == [
+            True, True, True, False, False
+        ]
+        assert budget.spent == 3
+        assert budget.exhausted_hits == 2
+        assert budget.remaining == 0
+
+    def test_unlimited_budget(self):
+        budget = RetryBudget(None)
+        assert all(budget.try_spend() for __ in range(100))
+        assert budget.spent == 100
+        assert budget.exhausted_hits == 0
+
+    def test_thread_safe_accounting(self):
+        budget = RetryBudget(500)
+        granted = []
+
+        def spend():
+            wins = sum(budget.try_spend() for __ in range(100))
+            granted.append(wins)
+
+        threads = [threading.Thread(target=spend) for __ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(granted) == 500
+        assert budget.spent == 500
+
+
+class TestDfsRetryIntegration:
+    """Transient write failures retry with backoff charged as modeled
+    I/O and spend the filesystem-wide budget."""
+
+    def _dfs(self, failure_rate: float, **kwargs) -> SimulatedDFS:
+        injector = FaultInjector(seed=11, write_failure_rate=failure_rate)
+        return SimulatedDFS(
+            datanodes=4, default_replication=2,
+            fault_injector=injector, **kwargs
+        )
+
+    def test_transient_failures_absorbed_and_metered(self):
+        dfs = self._dfs(0.3, max_write_retries=5)
+        for i in range(40):
+            dfs.write_file(f"/f{i}", b"payload-%d" % i * 50)
+        stats = dfs.fault_stats
+        assert stats.write_retries > 0
+        assert stats.retry_budget_spent == stats.write_retries
+        assert dfs.modeled_io_seconds > 0.0
+        for i in range(40):
+            assert dfs.read_file(f"/f{i}").startswith(b"payload")
+
+    def test_exhausted_budget_fails_fast(self):
+        dfs = self._dfs(0.9, max_write_retries=10, retry_budget=2)
+        from repro.errors import StorageError
+
+        wrote = failed = 0
+        for i in range(30):
+            try:
+                dfs.write_file(f"/f{i}", b"x" * 64)
+                wrote += 1
+            except StorageError:
+                failed += 1
+        assert failed > 0
+        assert dfs.fault_stats.retry_budget_spent == 2
+        assert dfs.fault_stats.retry_budget_exhausted > 0
+        assert dfs.retry_budget.remaining == 0
+
+    def test_seeded_backoff_is_reproducible(self):
+        def run() -> float:
+            dfs = self._dfs(0.3, max_write_retries=5, retry_seed=77)
+            for i in range(20):
+                dfs.write_file(f"/f{i}", b"y" * 128)
+            return dfs.modeled_io_seconds
+
+        assert run() == run()
+
+    def test_budget_counters_reach_warehouse_metrics(self):
+        from repro.core import Spate, SpateConfig
+        from repro.core.config import FaultToleranceConfig
+        from repro.telco import TelcoTraceGenerator, TraceConfig
+
+        generator = TelcoTraceGenerator(
+            TraceConfig(scale=0.001, days=1, seed=5)
+        )
+        spate = Spate(SpateConfig(faults=FaultToleranceConfig(
+            enabled=True, seed=3, write_failure_rate=0.2,
+            crash_rate=0.0, corruption_rate=0.0,
+        )))
+        spate.register_cells(generator.cells_table())
+        for epoch in range(6):
+            try:
+                spate.ingest(generator.snapshot(epoch))
+            except Exception:
+                pass
+        spate.metrics.sync_storage_faults(spate.dfs.fault_stats)
+        assert spate.metrics.dfs_retry_budget_spent == \
+            spate.dfs.fault_stats.retry_budget_spent

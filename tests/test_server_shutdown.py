@@ -1,0 +1,174 @@
+"""Graceful server shutdown: drain in-flight work, refuse new work.
+
+``SpateService.close()`` is a drain, not a guillotine: queries admitted
+before the drain began run to completion, every already-acked ingest
+batch is ingested, and only *new* requests fail fast — with the typed
+``shutting_down`` error code while draining and ``closed`` once the
+pools are down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.core import Spate, SpateConfig
+from repro.errors import SessionClosedError, ShuttingDownError
+from repro.server import QueryRequest, SpateServer
+from repro.server.protocol import error_code_for
+from repro.server.service import SpateService
+
+
+class GatedSpate:
+    """Delegating wrapper whose ``explore`` blocks on an event — a
+    deterministic 'slow query' that holds the drain window open."""
+
+    def __init__(self, spate: Spate) -> None:
+        self._spate = spate
+        self.gate = threading.Event()
+        self.started = threading.Event()
+
+    def __getattr__(self, name):
+        return getattr(self._spate, name)
+
+    def explore(self, *args, **kwargs):
+        self.started.set()
+        assert self.gate.wait(timeout=30), "gated explore never released"
+        return self._spate.explore(*args, **kwargs)
+
+
+@pytest.fixture()
+def gated(tiny_generator, tiny_snapshots) -> GatedSpate:
+    spate = Spate(SpateConfig(codec="gzip-ref"))
+    spate.register_cells(tiny_generator.cells_table())
+    for snapshot in tiny_snapshots[:4]:
+        spate.ingest(snapshot)
+    return GatedSpate(spate)
+
+
+def explore_request(**overrides) -> QueryRequest:
+    base = dict(
+        op="explore",
+        table="CDR",
+        attributes=("downflux",),
+        first_epoch=0,
+        last_epoch=3,
+    )
+    base.update(overrides)
+    return QueryRequest(**base)
+
+
+class TestGracefulDrain:
+    def test_inflight_query_finishes_and_new_ones_are_refused(self, gated):
+        async def main():
+            async with SpateService(gated) as service:
+                loop = asyncio.get_running_loop()
+                inflight = asyncio.ensure_future(
+                    service.query(explore_request())
+                )
+                # The query is on a reader thread, parked on the gate.
+                await loop.run_in_executor(None, gated.started.wait)
+                closer = asyncio.ensure_future(service.close())
+                await asyncio.sleep(0.05)
+                assert not closer.done(), "drain must wait for in-flight"
+
+                refused = await service.query(explore_request())
+                assert (refused.ok, refused.error_code) == (
+                    False, "shutting_down"
+                )
+                with pytest.raises(ShuttingDownError):
+                    service.ingest_session()
+
+                gated.gate.set()
+                response = await inflight
+                await closer
+
+                after = await service.query(explore_request())
+                assert (after.ok, after.error_code) == (False, "closed")
+                return response
+
+        response = asyncio.run(main())
+        assert response.ok
+        assert response.coverage["complete"] is True
+        assert len(response.rows) > 0
+
+    def test_acked_ingest_batches_complete_before_close(
+        self, tiny_generator, tiny_snapshots
+    ):
+        spate = Spate(SpateConfig(codec="gzip-ref"))
+        spate.register_cells(tiny_generator.cells_table())
+
+        async def main():
+            async with SpateService(spate) as service:
+                session = service.ingest_session()
+                acks = [
+                    await session.append(s) for s in tiny_snapshots[:3]
+                ]
+                # Close without draining the session first: the acked
+                # batches must still be ingested before the sentinel.
+                await service.close()
+                return [ack.result() for ack in acks]
+
+        stats = asyncio.run(main())
+        assert all(s is not None for s in stats)
+        assert spate.ingested_epochs() == [0, 1, 2]
+
+    def test_stream_refused_while_draining(self, gated):
+        async def main():
+            async with SpateService(gated) as service:
+                loop = asyncio.get_running_loop()
+                inflight = asyncio.ensure_future(
+                    service.query(explore_request())
+                )
+                await loop.run_in_executor(None, gated.started.wait)
+                closer = asyncio.ensure_future(service.close())
+                await asyncio.sleep(0.05)
+
+                chunks = [
+                    r
+                    async for r in service.stream_explore(
+                        explore_request(op="explore_stream", chunk_epochs=2)
+                    )
+                ]
+                gated.gate.set()
+                await inflight
+                await closer
+                return chunks
+
+        chunks = asyncio.run(main())
+        assert len(chunks) == 1
+        assert (chunks[0].ok, chunks[0].error_code) == (
+            False, "shutting_down"
+        )
+        assert chunks[0].extra["final"] is True
+
+    def test_error_code_precedence(self):
+        assert error_code_for(ShuttingDownError("x")) == "shutting_down"
+        assert error_code_for(SessionClosedError("x")) == "closed"
+
+    def test_threaded_server_stop_is_graceful(self, gated):
+        with SpateServer(gated) as server:
+            results: list = []
+
+            def slow_query():
+                results.append(server.query(explore_request(), timeout=60))
+
+            thread = threading.Thread(target=slow_query)
+            thread.start()
+            assert gated.started.wait(timeout=30)
+
+            stopper = threading.Thread(target=server.stop)
+            stopper.start()
+            stopper.join(timeout=0.2)
+            assert stopper.is_alive(), "stop must wait for the drain"
+
+            gated.gate.set()
+            stopper.join(timeout=60)
+            assert not stopper.is_alive()
+            thread.join(timeout=60)
+
+        assert len(results) == 1
+        assert results[0].ok
+        assert results[0].coverage["complete"] is True

@@ -16,7 +16,9 @@ import random
 import pytest
 
 from repro.core import Spate, SpateConfig
+from repro.core.config import ShardConfig
 from repro.engine.executor import get_executor
+from repro.shard import ShardedSpate
 from repro.telco import TelcoTraceGenerator, TraceConfig
 
 from tests.sql_reference import (
@@ -372,3 +374,130 @@ class TestDifferentialSqlTypedChannel:
             spate.executor = get_executor("thread", workers=2)
         assert got.columns == want_columns
         assert got.rows == want_rows
+
+
+SHARD_EPOCHS = 16
+
+
+def _build_sharded_pair(epochs: int = SHARD_EPOCHS):
+    """The same trace in a 1-shard and a 3-shard warehouse.
+
+    ``shards=1`` is the byte-identity reference: region grouping is
+    fixed at 8 groups regardless of shard count, so scatter-gather over
+    3 shards must merge back to exactly the single-shard answer.
+    """
+    trace = TraceConfig(scale=0.002, days=1, seed=99)
+
+    def build(shards: int) -> ShardedSpate:
+        generator = TelcoTraceGenerator(trace)
+        spate = ShardedSpate(
+            SpateConfig(
+                sharding=ShardConfig(shards=shards, group_replication=2)
+            )
+        )
+        spate.register_cells(generator.cells_table())
+        for epoch in range(epochs):
+            spate.ingest(generator.snapshot(epoch))
+        spate.finalize()
+        return spate
+
+    return build(1), build(3)
+
+
+@pytest.fixture(scope="module")
+def shard_harness():
+    """1-shard reference vs 3-shard scatter-gather over one trace."""
+    single, sharded = _build_sharded_pair()
+    tables = {
+        name: single.read_rows(name, 0, SHARD_EPOCHS - 1)
+        for name in ("CDR", "NMS")
+    }
+    cell_columns = ["cell_id", "x", "y"]
+    cell_rows = [
+        [cell_id, f"{p.x:.1f}", f"{p.y:.1f}"]
+        for cell_id, p in single.cell_locations.items()
+    ]
+    tables["CELL"] = (cell_columns, cell_rows)
+    dbs = {}
+    for key, spate in (("single", single), ("sharded", sharded)):
+        db = spate.sql_database()
+        db.register_table("CELL", cell_columns, cell_rows)
+        dbs[key] = db
+    yield single, sharded, dbs, tables
+    single.close()
+    sharded.close()
+
+
+class TestDifferentialSqlMultiShard:
+    """Scatter-gather SQL must be byte-identical to single-shard — the
+    same differential contract, now crossing the shard RPC layer with
+    partial aggregation pushdown and coordinator merge in between."""
+
+    #: Fresh seed range, disjoint from the dense (0-31) and
+    #: typed-channel (100-115) batches.
+    SEEDS = range(200, 216)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_seeded_query_matches_single_shard(self, shard_harness, seed):
+        single, sharded, dbs, tables = shard_harness
+        spec = random_spec(seed, tables)
+        sql = render_sql(spec)
+        got = dbs["sharded"].execute(sql)
+        want = dbs["single"].execute(sql)
+        assert got.columns == want.columns, sql
+        assert got.rows == want.rows, sql
+        # And both agree with the naive reference evaluation.
+        ref_columns, ref_rows = evaluate(spec, tables)
+        assert want.columns == ref_columns, sql
+        assert want.rows == ref_rows, sql
+
+    def test_identity_survives_shard_killed_mid_query(self, shard_harness):
+        """Kill a shard a few RPCs into the scatter: with replication 2
+        every group still has a live replica, so the SQL answer must
+        stay byte-identical (failover, not degradation)."""
+        single, sharded, dbs, tables = shard_harness
+        spec = random_spec(201, tables)  # a grouped spec (201 % 4 == 1)
+        sql = render_sql(spec)
+        want = dbs["single"].execute(sql)
+
+        state = {"rpcs": 0}
+
+        def hook(shard_id: int, method: str) -> None:
+            state["rpcs"] += 1
+            if state["rpcs"] == 3 and sharded.workers[0].alive:
+                sharded.kill_shard(0)
+
+        sharded.client.before_invoke = hook
+        try:
+            got = dbs["sharded"].execute(sql)
+        finally:
+            sharded.client.before_invoke = None
+        assert got.columns == want.columns
+        assert got.rows == want.rows
+        assert sharded.client.counters.failovers > 0
+        sharded.recover_shard(0)
+        again = dbs["sharded"].execute(sql)
+        assert again.rows == want.rows
+
+    def test_identity_survives_decay_and_fungus(self):
+        """Run the decaying fungus on both warehouses (replicas age in
+        lockstep) — the degraded relations must still match exactly."""
+        single, sharded = _build_sharded_pair(epochs=12)
+        try:
+            for spate in (single, sharded):
+                spate.decay_groups(older_than_epoch=6, keep_fraction=0.25)
+            queries = [
+                "SELECT call_type, COUNT(*) AS n FROM CDR GROUP BY call_type",
+                "SELECT kpi, COUNT(*) AS n, SUM(val) AS total "
+                "FROM NMS GROUP BY kpi",
+                "SELECT cell_id, duration_s FROM CDR "
+                "WHERE duration_s >= 30 LIMIT 25",
+            ]
+            for sql in queries:
+                want = single.sql(sql)
+                got = sharded.sql(sql)
+                assert got.columns == want.columns, sql
+                assert got.rows == want.rows, sql
+        finally:
+            single.close()
+            sharded.close()
