@@ -348,17 +348,18 @@ def read_header(blob: bytes) -> TypedChannelHeader | None:
 # ----------------------------------------------------------------------
 
 
-def decode_table(
-    name: str,
+def decode_columns(
     blob: bytes,
     columns: tuple[str, ...] | None = None,
     header: TypedChannelHeader | None = None,
-) -> tuple[Table, ChannelReadStats]:
-    """Decode a table-mode blob, touching only the selected channels.
+) -> tuple[list[str], list[list[str]], ChannelReadStats]:
+    """Decode a table-mode blob column-major, touching only the
+    selected channels — the zero-transpose feed for the vectorized SQL
+    engine's column batches.
 
-    Mirrors the columnar layout's projection contract: the returned
-    table keeps the full stored schema and row width, with unselected
-    cells left as empty strings.  ``columns=None`` decodes everything.
+    Returns ``(column_names, per-column cell lists, stats)``.  The
+    projection contract matches :func:`decode_table`: the full stored
+    schema comes back, with unselected columns as blank cell lists.
 
     Raises:
         CorruptStreamError: on malformed blobs, including raw-mode ones
@@ -399,19 +400,47 @@ def decode_table(
         decoded += 1
         bytes_decoded += zone.raw_len
         column_values.append(cells)
+    return (
+        list(header.columns),
+        column_values,
+        ChannelReadStats(
+            channels_decoded=decoded,
+            bytes_decoded=bytes_decoded,
+            bytes_skipped=bytes_skipped,
+        ),
+    )
+
+
+def decode_table(
+    name: str,
+    blob: bytes,
+    columns: tuple[str, ...] | None = None,
+    header: TypedChannelHeader | None = None,
+) -> tuple[Table, ChannelReadStats]:
+    """Decode a table-mode blob, touching only the selected channels.
+
+    Mirrors the columnar layout's projection contract: the returned
+    table keeps the full stored schema and row width, with unselected
+    cells left as empty strings.  ``columns=None`` decodes everything.
+
+    Raises:
+        CorruptStreamError: on malformed blobs, including raw-mode ones
+            (callers route those through the generic decompress path).
+    """
+    if header is None:
+        header = read_header(blob)
+    if header is None:
+        raise CorruptStreamError("raw-mode typed-channel blob has no channels")
+    names, column_values, stats = decode_columns(blob, columns, header)
     rows = [
-        [column_values[c][r] for c in range(len(header.columns))]
+        [column_values[c][r] for c in range(len(names))]
         for r in range(header.n_rows)
     ]
     try:
-        table = Table(name=name, columns=list(header.columns), rows=rows)
+        table = Table(name=name, columns=names, rows=rows)
     except ValueError as exc:  # e.g. duplicate column names
         raise CorruptStreamError(f"malformed typed-channel table: {exc}") from exc
-    return table, ChannelReadStats(
-        channels_decoded=decoded,
-        bytes_decoded=bytes_decoded,
-        bytes_skipped=bytes_skipped,
-    )
+    return table, stats
 
 
 # ----------------------------------------------------------------------

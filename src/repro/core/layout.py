@@ -112,9 +112,39 @@ def _serialize_columnar(table: Table) -> bytes:
     )
 
 
-def _deserialize_columnar(
-    name: str, data: bytes, projection: tuple[str, ...] | None = None
-) -> Table:
+def deserialize_table_columns(
+    name: str,
+    data: bytes,
+    layout: str = ROW_LAYOUT,
+    columns: tuple[str, ...] | None = None,
+) -> tuple[list[str], list[list[str]]]:
+    """Like :func:`deserialize_table`, but column-major: returns
+    ``(column_names, per-column cell lists)`` without materializing row
+    tuples.  For the columnar layout this skips the final transpose the
+    row form pays; the row layout parses rows and transposes once.
+    Projection semantics match :func:`deserialize_table` (full schema,
+    unselected columns are blank)."""
+    try:
+        if layout == ROW_LAYOUT:
+            table = Table.deserialize(name, data)
+            return list(table.columns), [
+                [row[c] for row in table.rows]
+                for c in range(len(table.columns))
+            ]
+        if layout == COLUMNAR_LAYOUT:
+            return _decode_columnar_columns(data, columns)
+    except CorruptStreamError:
+        raise
+    except (ValueError, KeyError, IndexError, OverflowError) as exc:
+        raise CorruptStreamError(
+            f"malformed {layout} payload for table {name!r}: {exc}"
+        ) from exc
+    raise ConfigError(f"unknown layout {layout!r}")
+
+
+def _decode_columnar_columns(
+    data: bytes, projection: tuple[str, ...] | None = None
+) -> tuple[list[str], list[list[str]]]:
     if data[: len(_COLUMNAR_MAGIC)] != _COLUMNAR_MAGIC:
         raise CorruptStreamError("bad columnar table magic")
     pos = len(_COLUMNAR_MAGIC)
@@ -155,6 +185,15 @@ def _deserialize_columnar(
                 f"column has {len(cells)} cells, header promised {n_rows}"
             )
         column_values.append(cells)
+    return columns, column_values
+
+
+def _deserialize_columnar(
+    name: str, data: bytes, projection: tuple[str, ...] | None = None
+) -> Table:
+    columns, column_values = _decode_columnar_columns(data, projection)
+    n_columns = len(columns)
+    n_rows = len(column_values[0]) if column_values else 0
     rows = [
         [column_values[c][r] for c in range(n_columns)] for r in range(n_rows)
     ]

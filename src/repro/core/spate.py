@@ -59,6 +59,7 @@ from repro.query.explore import ExplorationEngine, ExplorationQuery, Exploration
 from repro.query.leafscan import (
     ScanContext,
     ScanStats,
+    decode_leaf_columns_task,
     decode_leaf_task,
     task_is_projected,
     zone_map_prunes,
@@ -522,31 +523,29 @@ class Spate(Framework):
             table, first_epoch, last_epoch, partial_ok, predicates, columns
         )
 
-    def _read_rows_grouped(
+    def _scan_leaf_plan(
         self,
+        ctx,
+        coverage: dict,
+        stats: ScanStats,
         table: str,
         first_epoch: int,
         last_epoch: int,
-        partial_ok: bool = False,
-        predicates=None,
-        columns=None,
-    ) -> tuple[list[str], list[tuple[int, list[list[str]]]]]:
+        partial_ok: bool,
+        predicates: list,
+        columns,
+    ) -> tuple[list[tuple[int, str, object]], list[tuple]]:
+        """Shared gatekeeping for the row- and column-form scans.
+
+        Runs on the calling thread (DFS and the leaf cache are not
+        thread-safe) and returns ``(plan, tasks)``: plan entries fold in
+        this epoch order as ``(epoch, "table"|"absent"|"task", payload)``
+        where ``"table"`` carries a cache-hit Table, ``"absent"`` None,
+        and ``"task"`` an index into the decode task list.
+        """
         from repro.query.sql.planner import disproved_by_summary
 
-        ctx = self._scan_context()
-        coverage: dict = {
-            "epochs_served": [],
-            "epochs_skipped": {},
-            "epochs_pruned": [],
-        }
-        self.last_scan_coverage = coverage
-        stats = ScanStats()
-        self.last_scan_stats = stats
-        predicates = list(predicates or [])
         proj = ctx.projection(tuple(columns)) if columns is not None else None
-
-        # Gatekeeping on the calling thread (DFS and the leaf cache are
-        # not thread-safe); plan entries fold in this epoch order.
         plan: list[tuple[int, str, object]] = []
         tasks: list[tuple] = []
         for leaf in self.index.leaves():
@@ -604,6 +603,31 @@ class Spate(Framework):
                     continue
             plan.append((leaf.epoch, "task", len(tasks)))
             tasks.append(task)
+        return plan, tasks
+
+    def _read_rows_grouped(
+        self,
+        table: str,
+        first_epoch: int,
+        last_epoch: int,
+        partial_ok: bool = False,
+        predicates=None,
+        columns=None,
+    ) -> tuple[list[str], list[tuple[int, list[list[str]]]]]:
+        ctx = self._scan_context()
+        coverage: dict = {
+            "epochs_served": [],
+            "epochs_skipped": {},
+            "epochs_pruned": [],
+        }
+        self.last_scan_coverage = coverage
+        stats = ScanStats()
+        self.last_scan_stats = stats
+        predicates = list(predicates or [])
+        plan, tasks = self._scan_leaf_plan(
+            ctx, coverage, stats, table, first_epoch, last_epoch,
+            partial_ok, predicates, columns,
+        )
 
         decoded, run, __ = ctx.executor.run_chunked(
             decode_leaf_task, tasks, ctx.chunk_size
@@ -639,6 +663,148 @@ class Spate(Framework):
             out_columns = self.table_columns(table, first_epoch, last_epoch)
         self.metrics.on_query_scan(stats)
         return out_columns, by_epoch
+
+    @_reads
+    def read_columns(
+        self,
+        table: str,
+        first_epoch: int,
+        last_epoch: int,
+        partial_ok: bool = False,
+        predicates=None,
+        columns=None,
+    ) -> tuple[list[str], list[list[str]]]:
+        """Column-major twin of :meth:`read_rows` — the feed for the
+        vectorized SQL engine's column batches.
+
+        Returns ``(column_names, per-column cell lists)``.  Same epoch
+        order, same pruning/quarantine/coverage behaviour, same pushdown
+        contract; transposing the result reproduces :meth:`read_rows`
+        byte-for-byte.  Typed-channel and columnar-layout leaves decode
+        straight into columns (the per-leaf row transpose disappears);
+        cache-hit leaves transpose the cached Table on the way out, and
+        column scans never populate the leaf cache themselves.
+        """
+        out_columns, by_epoch = self._read_columns_grouped(
+            table, first_epoch, last_epoch, partial_ok, predicates, columns
+        )
+        data: list[list[str]] = [[] for __ in out_columns]
+        for __, chunk in by_epoch:
+            n_rows = len(chunk[0]) if chunk else 0
+            for c in range(len(out_columns)):
+                if c < len(chunk):
+                    data[c].extend(chunk[c])
+                else:
+                    data[c].extend([""] * n_rows)
+        return out_columns, data
+
+    @_reads
+    def read_columns_by_epoch(
+        self,
+        table: str,
+        first_epoch: int,
+        last_epoch: int,
+        partial_ok: bool = False,
+        predicates=None,
+        columns=None,
+    ) -> tuple[list[str], list[tuple[int, list[list[str]]]]]:
+        """:meth:`read_columns` with the per-epoch grouping kept — the
+        shard worker's column-scan RPC payload."""
+        return self._read_columns_grouped(
+            table, first_epoch, last_epoch, partial_ok, predicates, columns
+        )
+
+    def _read_columns_grouped(
+        self,
+        table: str,
+        first_epoch: int,
+        last_epoch: int,
+        partial_ok: bool = False,
+        predicates=None,
+        columns=None,
+    ) -> tuple[list[str], list[tuple[int, list[list[str]]]]]:
+        ctx = self._scan_context()
+        coverage: dict = {
+            "epochs_served": [],
+            "epochs_skipped": {},
+            "epochs_pruned": [],
+        }
+        self.last_scan_coverage = coverage
+        stats = ScanStats()
+        self.last_scan_stats = stats
+        predicates = list(predicates or [])
+        plan, tasks = self._scan_leaf_plan(
+            ctx, coverage, stats, table, first_epoch, last_epoch,
+            partial_ok, predicates, columns,
+        )
+
+        decoded, run, __ = ctx.executor.run_chunked(
+            decode_leaf_columns_task, tasks, ctx.chunk_size
+        )
+        stats.on_run(run)
+
+        out_columns: list[str] = []
+        by_epoch: list[tuple[int, list[list[str]]]] = []
+        for epoch, kind, payload in plan:
+            if kind == "task":
+                names, column_values, nbytes, channel_stats = decoded[payload]
+                stats.bytes_decompressed += nbytes
+                if channel_stats is not None:
+                    stats.channels_decoded += channel_stats.channels_decoded
+                    stats.channel_bytes_skipped += channel_stats.bytes_skipped
+                # Column decodes never feed the leaf cache: projected or
+                # not, they are column lists, not Tables.
+            elif kind == "table":
+                loaded = payload  # cache hit: transpose on the way out
+                names = list(loaded.columns)
+                column_values = [
+                    [row[c] for row in loaded.rows]
+                    for c in range(len(loaded.columns))
+                ]
+            else:
+                coverage["epochs_served"].append(epoch)
+                continue  # absent
+            coverage["epochs_served"].append(epoch)
+            stats.leaves_scanned += 1
+            if not out_columns:
+                out_columns = list(names)
+            by_epoch.append((epoch, column_values))
+
+        if not out_columns and coverage["epochs_pruned"]:
+            out_columns = self.table_columns(table, first_epoch, last_epoch)
+        self.metrics.on_query_scan(stats)
+        return out_columns, by_epoch
+
+    @_reads
+    def table_statistics(self, table: str, first_epoch: int, last_epoch: int):
+        """Planner statistics for one table over an epoch range, merged
+        from the day summaries the warehouse already maintains (row
+        counts, per-attribute bounds, capped distinct sets).  Purely
+        index-resident: no leaf is read.  Day granularity means a range
+        covering part of a day overestimates — acceptable for a cost
+        model.  Returns None when no summary saw the table."""
+        from repro.query.sql.cost import stats_from_summary
+
+        merged = None
+        seen_days: set = set()
+        for leaf in self.index.leaves():
+            if leaf.decayed or not (first_epoch <= leaf.epoch <= last_epoch):
+                continue
+            if leaf.day_key in seen_days:
+                continue
+            seen_days.add(leaf.day_key)
+            day = self.index.find_day(leaf.day_key)
+            summary = day.summary if day is not None else None
+            if summary is None:
+                continue
+            stats = stats_from_summary(summary, table)
+            if stats is None:
+                continue
+            if merged is None:
+                merged = stats
+            else:
+                merged.merge(stats)
+        return merged
 
     @_writes
     def finalize(self) -> None:
@@ -775,6 +941,7 @@ class Spate(Framework):
             }
         )
         db = Database()
+        db.metrics = self.metrics
         db.register_framework_scan(
             self, list(names), first, last, partial_ok=partial_ok
         )

@@ -340,3 +340,37 @@ def decode_leaf_task(
     payload = resolve_codec(codec_name, dict_blob).decompress(blob)
     loaded = deserialize_table(table_name, payload, layout, columns=columns)
     return loaded, len(payload), None
+
+
+def decode_leaf_columns_task(
+    task: tuple[str, Optional[bytes], str, str, bytes, tuple[str, ...] | None],
+) -> tuple[list[str], list[list[str]], int, Optional[object]]:
+    """Column-major twin of :func:`decode_leaf_task` for the vectorized
+    SQL read path: same task tuples, same gates, but typed-channel and
+    columnar-layout leaves come back as ``(columns, per-column cell
+    lists)`` *without the row transpose* — the batch engine consumes
+    columns directly.  Row-layout leaves transpose here, on the worker,
+    so the main-thread merge cost is identical either way."""
+    from repro.compression.autotune import resolve_codec
+    from repro.core.layout import deserialize_table_columns
+
+    codec_name, dict_blob, layout, table_name, blob, columns = task
+    if codec_name == _TYPEDCHANNEL:
+        from repro.compression.typedchannel import decode_columns, read_header
+
+        header = read_header(blob)
+        if header is not None:
+            names, column_values, channel_stats = decode_columns(
+                blob, columns, header=header
+            )
+            return (
+                names,
+                column_values,
+                channel_stats.bytes_decoded,
+                channel_stats,
+            )
+    payload = resolve_codec(codec_name, dict_blob).decompress(blob)
+    names, column_values = deserialize_table_columns(
+        table_name, payload, layout, columns=columns
+    )
+    return names, column_values, len(payload), None

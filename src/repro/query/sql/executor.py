@@ -45,13 +45,25 @@ from repro.query.sql.ast import (
     UnaryOp,
     contains_aggregate,
 )
+from repro.query.sql.cost import (
+    PUSHDOWN_USELESS_AT,
+    JoinEdge,
+    TableStats,
+    choose_join_order,
+    predicate_selectivity,
+)
 from repro.query.sql.parser import parse_sql
 from repro.query.sql.values import (
     as_number as values_as_number,
     compare_values as values_compare,
+    hashable_key as values_hashable_key,
     is_null as values_is_null,
+    is_truthy as values_is_truthy,
+    null_safe_key as values_null_safe_key,
+    sort_key as values_sort_key,
 )
 from repro.query.sql.planner import (
+    _simple_comparison,
     collect_column_names,
     extract_scan_predicates,
     scan_table_bindings,
@@ -140,20 +152,59 @@ class Database:
         #: per-query pushdown hints: table -> (predicates, columns).
         self._scan_hints: dict[str, tuple[list, Optional[set[str]]]] = {}
         self._stage_marks: list[tuple[str, float]] | None = None
+        #: Engine selection: True routes supported statements through the
+        #: column-batch pipeline (:mod:`repro.query.sql.vectorized`);
+        #: statements it cannot cover (any subquery) fall back to the
+        #: row path before any scan runs.
+        self.vectorized = True
+        #: table name -> zero-copy column loader (frameworks exposing
+        #: ``read_columns`` feed batches without row materialization).
+        self._batch_loaders: dict[str, Callable[[], Any]] = {}
+        #: Materialized tables keep their transposed ColumnBatch (and
+        #: its memoized numeric/null views) across queries; scan-backed
+        #: tables never land here — their batches depend on per-query
+        #: pushdown hints.
+        self._batch_cache: dict[str, Any] = {}
+        self._batch_cacheable: set[str] = set()
+        #: table name -> lazy TableStats provider / memoized result.
+        self._stats_providers: dict[str, Callable[[], Any]] = {}
+        self._stats_cache: dict[str, Any] = {}
+        #: What the last :meth:`execute` ran: ``{"engine", "fallback"}``.
+        self.last_execution: dict[str, Any] = {}
+        #: Cardinality/plan records from the last vectorized execution.
+        self.last_profile: list[dict] = []
+        #: Optional WarehouseMetrics sink for per-engine query counters.
+        self.metrics: Any = None
 
     def register_table(
         self, name: str, columns: list[str], rows: list[list[str]]
     ) -> None:
-        """Register a materialized table (name lookup is case-insensitive)."""
+        """Register a materialized table (name lookup is case-insensitive).
+
+        Rows are treated as immutable once registered — the vectorized
+        engine caches their columnar transpose; re-register to replace.
+        """
         materialized = rows
-        self._tables[name.upper()] = (list(columns), lambda: materialized)
+        upper = name.upper()
+        self._tables[upper] = (list(columns), lambda: materialized)
+        self._batch_loaders.pop(upper, None)
+        self._batch_cache.pop(upper, None)
+        self._batch_cacheable.add(upper)
+        self._stats_cache.pop(upper, None)
+        self._stats_providers[upper] = lambda: TableStats(rows=len(materialized))
 
     def register_lazy_table(
         self, name: str, columns: list[str], loader: Callable[[], list[list[str]]]
     ) -> None:
         """Register a table whose rows load on first scan (e.g. from a
         framework's compressed storage)."""
-        self._tables[name.upper()] = (list(columns), loader)
+        upper = name.upper()
+        self._tables[upper] = (list(columns), loader)
+        self._batch_loaders.pop(upper, None)
+        self._batch_cache.pop(upper, None)
+        self._batch_cacheable.discard(upper)
+        self._stats_providers.pop(upper, None)
+        self._stats_cache.pop(upper, None)
 
     def register_framework(
         self,
@@ -228,13 +279,95 @@ class Database:
                 return rows
 
             self._tables[upper] = (list(columns), loader)
+            self._batch_loaders.pop(upper, None)
+            self._batch_cache.pop(upper, None)
+            self._batch_cacheable.discard(upper)
+            self._stats_providers.pop(upper, None)
+            self._stats_cache.pop(upper, None)
+
+            if hasattr(framework, "read_columns"):
+
+                def batch_loader(source=source, upper=upper):
+                    from repro.query.sql.batch import ColumnBatch
+
+                    predicates, projected = self._scan_hints.get(
+                        upper, ([], None)
+                    )
+                    out_columns, data = source.framework.read_columns(
+                        source.table,
+                        source.first_epoch,
+                        source.last_epoch,
+                        partial_ok=source.partial_ok,
+                        predicates=predicates,
+                        columns=projected,
+                    )
+                    self.scan_coverage[upper] = dict(
+                        getattr(
+                            source.framework, "last_scan_coverage", {}
+                        )
+                        or {}
+                    )
+                    stats = getattr(
+                        source.framework, "last_scan_stats", None
+                    )
+                    if stats is not None:
+                        self.scan_stats[upper] = stats
+                    return ColumnBatch.from_columns(out_columns, data)
+
+                self._batch_loaders[upper] = batch_loader
+
+            if hasattr(framework, "table_statistics"):
+                self._stats_providers[upper] = (
+                    lambda source=source: source.framework.table_statistics(
+                        source.table, source.first_epoch, source.last_epoch
+                    )
+                )
 
     def table_names(self) -> list[str]:
         """Registered table names, sorted."""
         return sorted(self._tables)
 
+    def table_statistics(self, name: str) -> Optional[TableStats]:
+        """Planner statistics for a table (memoized), or None when no
+        provider is registered or the provider fails.  Providers are
+        summary-backed — fetching statistics never runs a scan."""
+        upper = name.upper()
+        if upper in self._stats_cache:
+            return self._stats_cache[upper]
+        provider = self._stats_providers.get(upper)
+        stats = None
+        if provider is not None:
+            try:
+                stats = provider()
+            except Exception:
+                stats = None  # advisory only; never fail a query for stats
+        self._stats_cache[upper] = stats
+        return stats
+
+    def _load_batch(self, upper: str):
+        """Column batch for one base table: the framework's column path
+        when registered, else one transpose of the row loader's output."""
+        from repro.query.sql.batch import ColumnBatch
+
+        batch_loader = self._batch_loaders.get(upper)
+        if batch_loader is not None:
+            return batch_loader()
+        cached = self._batch_cache.get(upper)
+        if cached is not None:
+            return cached
+        columns, loader = self._tables[upper]
+        batch = ColumnBatch.from_rows(columns, loader())
+        if upper in self._batch_cacheable:
+            # The transpose and its numeric/null views now amortize
+            # across every later query over this table.
+            self._batch_cache[upper] = batch
+        return batch
+
     def execute(
-        self, sql: str | SelectStatement, deadline_ms: int | None = None
+        self,
+        sql: str | SelectStatement,
+        deadline_ms: int | None = None,
+        vectorized: bool | None = None,
     ) -> QueryResult:
         """Parse (if needed) and run a SELECT statement.
 
@@ -243,16 +376,45 @@ class Database:
                 it at stage boundaries (scan/join, aggregation, sort)
                 and raises :class:`~repro.errors.QueryDeadlineError`
                 when exceeded.
+            vectorized: override the database's engine default for this
+                statement.  The two engines return byte-identical
+                results; the flag exists for differential testing and
+                diagnosis.
         """
         statement = parse_sql(sql) if isinstance(sql, str) else sql
+        use_batches = self.vectorized if vectorized is None else vectorized
+        self.last_profile = []
+        reason = None
+        if use_batches:
+            from repro.query.sql.vectorized import unsupported_reason
+
+            reason = unsupported_reason(statement)
+            if reason is not None:
+                use_batches = False
+        self.last_execution = {
+            "engine": "vectorized" if use_batches else "row",
+            "fallback": reason,
+        }
         self._plan_scan_hints(statement)
         if deadline_ms is not None and deadline_ms > 0:
             self._deadline_expires = time.monotonic() + deadline_ms / 1000.0
         try:
-            return self._execute_select(statement)
+            if use_batches:
+                from repro.query.sql.vectorized import VectorizedExecutor
+
+                engine = VectorizedExecutor(self)
+                result = engine.execute(statement)
+                self.last_profile = engine.profile
+            else:
+                result = self._execute_select(statement)
         finally:
             self._deadline_expires = None
             self._scan_hints = {}
+        if self.metrics is not None:
+            self.metrics.on_sql_execution(
+                self.last_execution["engine"], len(result.rows)
+            )
+        return result
 
     def _plan_scan_hints(self, stmt: SelectStatement) -> None:
         """Derive per-table pushdown hints for scan-registered tables.
@@ -283,6 +445,20 @@ class Database:
                 if counts.get(upper, 0) == 1
                 else []
             )
+            if pushed:
+                # Pruned-scan vs full-scan: a predicate estimated to keep
+                # nearly every row can't prune any leaf or zone, so
+                # carrying it into the scan is per-leaf overhead for
+                # nothing.  (Pushed predicates are re-applied row-wise
+                # either way, so dropping one never changes answers.)
+                stats = self.table_statistics(upper)
+                if stats is not None:
+                    pushed = [
+                        p
+                        for p in pushed
+                        if predicate_selectivity(stats, p.column, p.op, p.value)
+                        < PUSHDOWN_USELESS_AT
+                    ]
             self._scan_hints[upper] = (pushed, columns)
 
     def _check_deadline(self, stage: str) -> None:
@@ -361,6 +537,9 @@ class Database:
                 lines.insert(
                     len(lines), f"  Filter (post-join) [{predicate}]"
                 )
+            order_line = self._explain_join_order(stmt)
+            if order_line is not None:
+                lines.append(order_line)
         return "\n".join(lines)
 
     def explain_analyze(
@@ -383,6 +562,25 @@ class Database:
         finally:
             self._stage_marks = None
         lines = [self.explain(stmt), "", f"Actual: {len(result.rows)} rows"]
+        engine = self.last_execution.get("engine", "row")
+        fallback = self.last_execution.get("fallback")
+        lines.append(
+            f"  engine: {engine}"
+            + (f" (fallback: {fallback})" if fallback else "")
+        )
+        for entry in self.last_profile:
+            if "note" in entry:
+                lines.append(f"  plan {entry['label']}: {entry['note']}")
+            else:
+                est = (
+                    "?"
+                    if entry.get("est") is None
+                    else f"~{entry['est']:.0f}"
+                )
+                lines.append(
+                    f"  cardinality {entry['label']}: "
+                    f"est {est}, actual {entry['actual']} rows"
+                )
         prev_at = marks[0][1]
         for stage, at in marks[1:]:
             label = "output" if stage == "finish" else stage
@@ -452,8 +650,110 @@ class Database:
             if pushed
             else ""
         )
-        lines.append(f"{pad}{label}{suffix}")
+        est = ""
+        if isinstance(item, TableRef):
+            stats = self.table_statistics(item.name)
+            if stats is not None:
+                fraction = 1.0
+                for predicate in pushed:
+                    simple = _simple_comparison(predicate)
+                    if simple is not None:
+                        ref, op, value = simple
+                        fraction *= predicate_selectivity(
+                            stats, ref.name, op, value
+                        )
+                est = f" est=~{stats.rows * fraction:.0f} rows"
+        lines.append(f"{pad}{label}{suffix}{est}")
         return leftover
+
+    def _explain_join_order(self, stmt: SelectStatement) -> Optional[str]:
+        """The cost-based join order line for a flattenable inner/cross
+        tree of base tables with statistics, or None.  Static: reads
+        only catalog schemas and summary statistics, never a loader."""
+        item = stmt.from_item
+        if not isinstance(item, Join):
+            return None
+        tables: list[TableRef] = []
+        pooled: list[Expression] = []
+
+        def walk(node: FromItem) -> bool:
+            if isinstance(node, Join) and node.kind in ("inner", "cross"):
+                if not walk(node.left) or not walk(node.right):
+                    return False
+                if node.condition is not None:
+                    pooled.extend(_split_conjuncts(node.condition))
+                return True
+            if isinstance(node, TableRef):
+                tables.append(node)
+                return True
+            return False
+
+        if not walk(item):
+            return None
+        if len(tables) < 2:
+            return None
+        if len({t.binding for t in tables}) != len(tables):
+            return None
+        for t in tables:
+            if t.name.upper() not in self._tables:
+                return None
+        pooled.extend(
+            c
+            for c in _split_conjuncts(stmt.where)
+            if not contains_aggregate(c)
+        )
+        all_stats = [self.table_statistics(t.name) for t in tables]
+        if any(s is None for s in all_stats):
+            return None
+
+        def owner(ref: ColumnRef) -> Optional[int]:
+            matches = [
+                pos
+                for pos, t in enumerate(tables)
+                if ref.name in self._tables[t.name.upper()][0]
+                and (ref.table is None or ref.table == t.binding)
+            ]
+            return matches[0] if len(matches) == 1 else None
+
+        sizes = [float(s.rows) for s in all_stats]
+        edges: list[JoinEdge] = []
+        for predicate in pooled:
+            if (
+                isinstance(predicate, BinaryOp)
+                and predicate.op == "="
+                and isinstance(predicate.left, ColumnRef)
+                and isinstance(predicate.right, ColumnRef)
+            ):
+                ta = owner(predicate.left)
+                tb = owner(predicate.right)
+                if ta is not None and tb is not None and ta != tb:
+                    ca = all_stats[ta].columns.get(predicate.left.name)
+                    cb = all_stats[tb].columns.get(predicate.right.name)
+                    edges.append(
+                        JoinEdge(
+                            left=ta,
+                            right=tb,
+                            left_distinct=ca.distinct if ca else 0,
+                            right_distinct=cb.distinct if cb else 0,
+                        )
+                    )
+                    continue
+            simple = _simple_comparison(predicate)
+            if simple is not None:
+                ref, op, value = simple
+                pos = owner(ref)
+                if pos is not None:
+                    sizes[pos] *= predicate_selectivity(
+                        all_stats[pos], ref.name, op, value
+                    )
+        plan = choose_join_order(sizes, edges)
+        parts = [tables[plan.order[0]].binding or tables[plan.order[0]].name]
+        for pos, side, est_rows in zip(
+            plan.order[1:], plan.build_sides, plan.step_rows[1:]
+        ):
+            name = tables[pos].binding or tables[pos].name
+            parts.append(f"{name}(build={side}, est=~{est_rows:.0f})")
+        return "JoinOrder [" + " -> ".join(parts) + "] (cost-based)"
 
     def _scope_of(self, item: FromItem) -> _Scope:
         """Schema of a FROM source, derived statically (no row access)."""
@@ -907,6 +1207,11 @@ class Database:
             value = self._eval(expr.operand, row, scope)
             low = self._eval(expr.low, row, scope)
             high = self._eval(expr.high, row, scope)
+            # NULL on any operand fails BETWEEN and NOT BETWEEN alike
+            # (the PR-9 values audit; previously str(None) was compared
+            # lexicographically, disagreeing with every other predicate).
+            if _is_null(value) or _is_null(low) or _is_null(high):
+                return False
             hit = _compare(value, low) >= 0 and _compare(value, high) <= 0
             return hit != expr.negated
         if isinstance(expr, InList):
@@ -1113,59 +1418,18 @@ def _substitute_aliases(
 # ----------------------------------------------------------------------
 
 # The single source of truth for NULL/coercion/comparison semantics is
-# repro.query.sql.values — zone-map disproof in the scan layer imports
-# the same functions, so pruning can never disagree with row evaluation.
+# repro.query.sql.values — zone-map disproof in the scan layer and the
+# batch kernels import the same functions, so pruning and vectorized
+# filtering can never disagree with row evaluation.  The old local
+# implementations were folded into values.py by the PR-9 audit; these
+# aliases keep the executor's historical spellings.
 _is_null = values_is_null
-
-
-def _truthy(value: Any) -> bool:
-    if _is_null(value):
-        return False
-    if isinstance(value, bool):
-        return value
-    number = _number(value)
-    if number is not None:
-        return number != 0
-    return bool(value)
-
-
+_truthy = values_is_truthy
 _number = values_as_number
 _compare = values_compare
-
-
-def _null_safe(value: Any) -> Any:
-    """Normalize for hashing: numbers compare across int/str forms."""
-    number = _number(value)
-    return number if number is not None else value
-
-
-def _hashable(value: Any) -> Any:
-    return value if isinstance(value, (str, int, float, bool, type(None))) else str(value)
-
-
-def _sortable(value: Any, ascending: bool):
-    """Total-order key: nulls last, numbers before strings."""
-    null = _is_null(value)
-    number = _number(value)
-    if number is not None:
-        key = (0, number, "")
-    else:
-        key = (1, 0.0, str(value))
-    rank = (1 if null else 0, key)
-
-    class _Wrapped:
-        __slots__ = ("rank",)
-
-        def __init__(self, rank):
-            self.rank = rank
-
-        def __lt__(self, other):
-            return self.rank < other.rank if ascending else self.rank > other.rank
-
-        def __eq__(self, other):
-            return self.rank == other.rank
-
-    return _Wrapped(rank)
+_null_safe = values_null_safe_key
+_hashable = values_hashable_key
+_sortable = values_sort_key
 
 
 def _like_to_regex(pattern: str) -> re.Pattern:

@@ -455,6 +455,113 @@ class ShardedSpate:
             rows.extend(chunk)
         return out_columns, rows
 
+    def read_columns_by_epoch(
+        self,
+        table: str,
+        first_epoch: int,
+        last_epoch: int,
+        partial_ok: bool = False,
+        predicates=None,
+        columns=None,
+    ) -> tuple[list[str], list[tuple[int, list[list[str]]]]]:
+        """Column-major scatter-gather: per-epoch column chunks merged
+        by concatenating each column's cells in group-rank order — the
+        transpose of :meth:`read_rows_by_epoch`, byte for byte."""
+        deadline = self._deadline()
+        merged_cov = CoverageReport()
+        merged_stats = ScanStats()
+        out_columns: list[str] = []
+        per_epoch: dict[int, list[list[str]]] = {}
+        for group in range(self.region_groups):
+            try:
+                gcols, g_by_epoch, gcov, gstats = self._call_group(
+                    group,
+                    "read_columns_by_epoch",
+                    table,
+                    first_epoch,
+                    last_epoch,
+                    partial_ok,
+                    predicates,
+                    columns,
+                    deadline=deadline,
+                )
+            except ShardError as exc:
+                if not partial_ok:
+                    raise
+                key = f"g{group}@s{self._chain(group)[0]}"
+                merged_cov.shards_skipped[key] = failure_reason(exc)
+                self.client.counters.inc("shards_skipped")
+                continue
+            if not out_columns and gcols:
+                out_columns = list(gcols)
+            for epoch, chunk in g_by_epoch:
+                existing = per_epoch.get(epoch)
+                if existing is None:
+                    per_epoch[epoch] = [list(cells) for cells in chunk]
+                    continue
+                for c, cells in enumerate(chunk):
+                    if c < len(existing):
+                        existing[c].extend(cells)
+                    else:
+                        existing.append(list(cells))
+            merged_cov.merge(_coverage_from_dict(gcov))
+            merged_stats.merge(gstats)
+        self.last_scan_coverage = _coverage_to_dict(merged_cov)
+        self.last_scan_stats = merged_stats
+        self.metrics.on_query_scan(merged_stats)
+        self.metrics.sync_shards(self.client.counters)
+        return out_columns, [
+            (epoch, per_epoch[epoch]) for epoch in sorted(per_epoch)
+        ]
+
+    def read_columns(
+        self,
+        table: str,
+        first_epoch: int,
+        last_epoch: int,
+        partial_ok: bool = False,
+        predicates=None,
+        columns=None,
+    ) -> tuple[list[str], list[list[str]]]:
+        out_columns, by_epoch = self.read_columns_by_epoch(
+            table,
+            first_epoch,
+            last_epoch,
+            partial_ok=partial_ok,
+            predicates=predicates,
+            columns=columns,
+        )
+        data: list[list[str]] = [[] for __ in out_columns]
+        for __, chunk in by_epoch:
+            n_rows = len(chunk[0]) if chunk else 0
+            for c in range(len(out_columns)):
+                if c < len(chunk):
+                    data[c].extend(chunk[c])
+                else:
+                    data[c].extend([""] * n_rows)
+        return out_columns, data
+
+    def table_statistics(self, table: str, first_epoch: int, last_epoch: int):
+        """Planner statistics merged across all reachable groups (row
+        counts add, bounds widen, distincts stay a lower bound).  Purely
+        advisory: an unreachable group degrades the estimate, never the
+        answer, so shard errors are swallowed."""
+        merged = None
+        for group in range(self.region_groups):
+            try:
+                stats = self._call_group(
+                    group, "table_statistics", table, first_epoch, last_epoch
+                )
+            except ShardError:
+                continue
+            if stats is None:
+                continue
+            if merged is None:
+                merged = stats
+            else:
+                merged.merge(stats)
+        return merged
+
     def explore(
         self,
         table: str,
@@ -561,6 +668,7 @@ class ShardedSpate:
         last = self._frontier if last_epoch is None else last_epoch
         names = tables or sorted(self._tables_seen)
         db = Database()
+        db.metrics = self.metrics
         db.register_framework_scan(
             self, list(names), first, last, partial_ok=partial_ok
         )

@@ -155,6 +155,38 @@ class ShardWorker:
         )
         return out_columns, by_epoch, store.last_scan_coverage, store.last_scan_stats
 
+    def read_columns_by_epoch(
+        self,
+        group: int,
+        table: str,
+        first_epoch: int,
+        last_epoch: int,
+        partial_ok: bool = False,
+        predicates=None,
+        columns=None,
+    ):
+        """Column-major twin of :meth:`read_rows_by_epoch`: returns
+        ``(columns, [(epoch, column_lists)...], coverage, stats)`` for
+        the coordinator's batch merge."""
+        store = self._store(group)
+        out_columns, by_epoch = store.read_columns_by_epoch(
+            table,
+            first_epoch,
+            last_epoch,
+            partial_ok=partial_ok,
+            predicates=predicates,
+            columns=columns,
+        )
+        return out_columns, by_epoch, store.last_scan_coverage, store.last_scan_stats
+
+    def table_statistics(
+        self, group: int, table: str, first_epoch: int, last_epoch: int
+    ):
+        """Planner statistics for this group's slice of ``table``."""
+        return self._store(group).table_statistics(
+            table, first_epoch, last_epoch
+        )
+
     def explore(
         self,
         group: int,

@@ -43,25 +43,69 @@ class Agg:
 
 @dataclass(frozen=True)
 class JoinSpec:
-    """Equi-join of the base table with one other table."""
+    """Equi-join with one other table.  ``left_table`` names the
+    already-joined table the condition's left side lives on (None means
+    the spec's base table), so chains like CDR->CELL->NMS compose."""
 
     table: str
     left_column: str
     right_column: str
     kind: str = "inner"  # inner | left
+    left_table: str | None = None
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """One ``CASE WHEN col op literal THEN then ELSE other END`` select
+    item over a base-table (or joined-table) column."""
+
+    table: str
+    column: str
+    op: str
+    value: object
+    then: object
+    other: object
+
+
+@dataclass(frozen=True)
+class OrderSpec:
+    """One ORDER BY key over an *output* column alias."""
+
+    column: str
+    ascending: bool = True
 
 
 @dataclass(frozen=True)
 class QuerySpec:
-    """A constrained SELECT: filters, optional join/grouping/limit."""
+    """A constrained SELECT: filters, optional joins/grouping/having/
+    ordering/limit, optionally UNIONed with a second branch."""
 
     table: str
     select: tuple[tuple[str, str], ...] = ()  # (table, column) projections
     aggs: tuple[Agg, ...] = ()
     filters: tuple[Filter, ...] = ()
     join: JoinSpec | None = None
+    #: Additional join chain after ``join`` (which is kept for the
+    #: original single-join specs); evaluated left to right.
+    joins: tuple[JoinSpec, ...] = ()
+    #: CASE select items, aliased k0.. after the plain columns.
+    cases: tuple[CaseSpec, ...] = ()
     group_by: tuple[str, ...] = ()  # base-table columns
+    #: HAVING conjuncts over aggregate aliases: (alias, op, literal).
+    having: tuple[tuple[str, str, object], ...] = ()
+    order_by: tuple[OrderSpec, ...] = ()
     limit: int | None = None
+    #: Render the join chain in implicit comma form (FROM a, b, c with
+    #: the equi conditions moved into WHERE) — the shape that exercises
+    #: the vectorized engine's cost-based join reordering.
+    implicit_join: bool = False
+    #: Optional UNION with a second branch of the same column arity.
+    union: "QuerySpec | None" = None
+    union_all: bool = False
+
+    def all_joins(self) -> tuple[JoinSpec, ...]:
+        head = (self.join,) if self.join is not None else ()
+        return head + self.joins
 
 
 # ----------------------------------------------------------------------
@@ -71,7 +115,7 @@ class QuerySpec:
 
 def _ref(spec: QuerySpec, table: str, column: str) -> str:
     """Qualified only when a join makes bare names ambiguous."""
-    return f"{table}.{column}" if spec.join is not None else column
+    return f"{table}.{column}" if spec.all_joins() else column
 
 
 def _literal(value: object) -> str:
@@ -80,32 +124,75 @@ def _literal(value: object) -> str:
     return "'" + str(value).replace("'", "''") + "'"
 
 
-def render_sql(spec: QuerySpec) -> str:
-    """Spec -> SELECT text; every output column gets an explicit alias."""
+def _render_select(spec: QuerySpec) -> str:
+    """One SELECT body (no UNION chaining, no trailing ORDER/LIMIT)."""
     items: list[str] = []
     for i, (table, column) in enumerate(spec.select):
         items.append(f"{_ref(spec, table, column)} AS c{i}")
+    for i, case in enumerate(spec.cases):
+        items.append(
+            f"CASE WHEN {_ref(spec, case.table, case.column)} {case.op} "
+            f"{_literal(case.value)} THEN {_literal(case.then)} "
+            f"ELSE {_literal(case.other)} END AS k{i}"
+        )
     for i, agg in enumerate(spec.aggs):
         arg = "*" if agg.column is None else _ref(spec, spec.table, agg.column)
         items.append(f"{agg.func}({arg}) AS a{i}")
 
-    sql = f"SELECT {', '.join(items)} FROM {spec.table}"
-    if spec.join is not None:
-        keyword = "LEFT JOIN" if spec.join.kind == "left" else "JOIN"
-        sql += (
-            f" {keyword} {spec.join.table} ON "
-            f"{spec.table}.{spec.join.left_column} = "
-            f"{spec.join.table}.{spec.join.right_column}"
+    joins = spec.all_joins()
+    join_conjuncts: list[str] = []
+    if spec.implicit_join and joins:
+        # FROM a, b, c — the parser's comma spelling of a cross join;
+        # the equi conditions ride in WHERE, which is exactly the shape
+        # the cost-based planner flattens and reorders.
+        sql = "SELECT {} FROM {}".format(
+            ", ".join(items),
+            ", ".join([spec.table] + [j.table for j in joins]),
         )
-    if spec.filters:
-        conjuncts = [
-            f"{_ref(spec, f.table, f.column)} {f.op} {_literal(f.value)}"
-            for f in spec.filters
-        ]
+        for join in joins:
+            left = join.left_table or spec.table
+            join_conjuncts.append(
+                f"{left}.{join.left_column} = "
+                f"{join.table}.{join.right_column}"
+            )
+    else:
+        sql = f"SELECT {', '.join(items)} FROM {spec.table}"
+        for join in joins:
+            keyword = "LEFT JOIN" if join.kind == "left" else "JOIN"
+            left = join.left_table or spec.table
+            sql += (
+                f" {keyword} {join.table} ON "
+                f"{left}.{join.left_column} = "
+                f"{join.table}.{join.right_column}"
+            )
+    conjuncts = join_conjuncts + [
+        f"{_ref(spec, f.table, f.column)} {f.op} {_literal(f.value)}"
+        for f in spec.filters
+    ]
+    if conjuncts:
         sql += " WHERE " + " AND ".join(conjuncts)
     if spec.group_by:
         sql += " GROUP BY " + ", ".join(
             _ref(spec, spec.table, c) for c in spec.group_by
+        )
+    if spec.having:
+        sql += " HAVING " + " AND ".join(
+            f"{alias} {op} {_literal(value)}"
+            for alias, op, value in spec.having
+        )
+    return sql
+
+
+def render_sql(spec: QuerySpec) -> str:
+    """Spec -> SELECT text; every output column gets an explicit alias."""
+    sql = _render_select(spec)
+    if spec.union is not None:
+        keyword = "UNION ALL" if spec.union_all else "UNION"
+        sql += f" {keyword} " + _render_select(spec.union)
+    if spec.order_by:
+        sql += " ORDER BY " + ", ".join(
+            order.column + ("" if order.ascending else " DESC")
+            for order in spec.order_by
         )
     if spec.limit is not None:
         sql += f" LIMIT {spec.limit}"
@@ -164,6 +251,38 @@ def _join_key(value):
     return number if number is not None else value
 
 
+def _order_rank(value):
+    """Independent mirror of the engine's ORDER BY rank: non-NULLs
+    first (numbers before strings), NULLs last."""
+    null = _is_null(value)
+    number = _number(value)
+    if number is not None:
+        key = (0, number, "")
+    else:
+        key = (1, 0.0, str(value))
+    return (1 if null else 0, key)
+
+
+class _Asc:
+    __slots__ = ("rank",)
+
+    def __init__(self, value):
+        self.rank = _order_rank(value)
+
+    def __lt__(self, other):
+        return self.rank < other.rank
+
+    def __eq__(self, other):
+        return self.rank == other.rank
+
+
+class _Desc(_Asc):
+    __slots__ = ()
+
+    def __lt__(self, other):
+        return self.rank > other.rank
+
+
 def _aggregate(agg: Agg, rows: list[list], idx: int | None):
     if agg.func == "COUNT" and agg.column is None:
         return len(rows)
@@ -201,27 +320,28 @@ class _Relation:
         return self.index[(table, column)]
 
 
-def evaluate(
+def _case_value(case: CaseSpec, row: list, rel: "_Relation"):
+    cell = row[rel.at(case.table, case.column)]
+    return case.then if _matches(cell, case.op, case.value) else case.other
+
+
+def _evaluate_branch(
     spec: QuerySpec, tables: dict[str, tuple[list[str], list[list[str]]]]
 ) -> tuple[list[str], list[list]]:
-    """Evaluate ``spec`` over materialized ``tables`` (name -> cols, rows).
-
-    Returns ``(columns, rows)`` in the same order the production engine
-    produces: scan order for plain queries (rows are fed in scan order),
-    group-signature order for grouped ones.
-    """
+    """One SELECT body (joins, filters, grouping, having) — no trailing
+    ORDER BY/LIMIT, no UNION chaining."""
     base_columns, base_rows = tables[spec.table]
     rel = _Relation(
         fields=[(spec.table, c) for c in base_columns],
         rows=[list(r) for r in base_rows],
     )
 
-    if spec.join is not None:
-        right_columns, right_rows = tables[spec.join.table]
-        right_fields = [(spec.join.table, c) for c in right_columns]
+    for join in spec.all_joins():
+        right_columns, right_rows = tables[join.table]
+        right_fields = [(join.table, c) for c in right_columns]
         right_at = {f: i for i, f in enumerate(right_fields)}
-        left_idx = rel.at(spec.table, spec.join.left_column)
-        right_idx = right_at[(spec.join.table, spec.join.right_column)]
+        left_idx = rel.at(join.left_table or spec.table, join.left_column)
+        right_idx = right_at[(join.table, join.right_column)]
         bucket: dict[object, list[list]] = {}
         for row in right_rows:
             bucket.setdefault(_join_key(row[right_idx]), []).append(list(row))
@@ -232,7 +352,7 @@ def evaluate(
                 if _matches(lrow[left_idx], "=", rrow[right_idx]):
                     joined.append(lrow + rrow)
                     matched = True
-            if not matched and spec.join.kind == "left":
+            if not matched and join.kind == "left":
                 joined.append(lrow + [None] * len(right_fields))
         rel = _Relation(fields=rel.fields + right_fields, rows=joined)
 
@@ -240,9 +360,11 @@ def evaluate(
         idx = rel.at(flt.table, flt.column)
         rel.rows = [r for r in rel.rows if _matches(r[idx], flt.op, flt.value)]
 
-    columns = [f"c{i}" for i in range(len(spec.select))] + [
-        f"a{i}" for i in range(len(spec.aggs))
-    ]
+    columns = (
+        [f"c{i}" for i in range(len(spec.select))]
+        + [f"k{i}" for i in range(len(spec.cases))]
+        + [f"a{i}" for i in range(len(spec.aggs))]
+    )
 
     if spec.group_by or spec.aggs:
         key_idx = [rel.at(spec.table, c) for c in spec.group_by]
@@ -260,6 +382,10 @@ def evaluate(
             row: list = []
             for table, column in spec.select:
                 row.append(group_rows[0][rel.at(table, column)])
+            for case in spec.cases:
+                # Non-aggregate select items read the group's
+                # representative (first) row, like the engine.
+                row.append(_case_value(case, group_rows[0], rel))
             for agg in spec.aggs:
                 idx = (
                     None
@@ -268,9 +394,66 @@ def evaluate(
                 )
                 row.append(_aggregate(agg, group_rows, idx))
             out.append(row)
+        if spec.having:
+            having_idx = [
+                (columns.index(alias), op, value)
+                for alias, op, value in spec.having
+            ]
+            out = [
+                row
+                for row in out
+                if all(
+                    _matches(row[i], op, value) for i, op, value in having_idx
+                )
+            ]
     else:
         pick = [rel.at(table, column) for table, column in spec.select]
-        out = [[row[i] for i in pick] for row in rel.rows]
+        out = []
+        for row in rel.rows:
+            projected = [row[i] for i in pick]
+            projected.extend(
+                _case_value(case, row, rel) for case in spec.cases
+            )
+            out.append(projected)
+    return columns, out
+
+
+def evaluate(
+    spec: QuerySpec, tables: dict[str, tuple[list[str], list[list[str]]]]
+) -> tuple[list[str], list[list]]:
+    """Evaluate ``spec`` over materialized ``tables`` (name -> cols, rows).
+
+    Returns ``(columns, rows)`` in the same order the production engine
+    produces: scan order for plain queries, group-signature order for
+    grouped ones, concatenation (+ first-occurrence dedup) for UNIONs,
+    stable output-column sort when the spec orders.
+    """
+    columns, out = _evaluate_branch(spec, tables)
+
+    if spec.union is not None:
+        __, branch_rows = _evaluate_branch(spec.union, tables)
+        out = out + branch_rows
+        if not spec.union_all:
+            seen: set[tuple] = set()
+            unique: list[list] = []
+            for row in out:
+                key = tuple(_join_key(v) for v in row)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(row)
+            out = unique
+
+    if spec.order_by:
+        keys = [
+            (columns.index(order.column), order.ascending)
+            for order in spec.order_by
+        ]
+        out = sorted(
+            out,
+            key=lambda row: tuple(
+                _Asc(row[i]) if asc else _Desc(row[i]) for i, asc in keys
+            ),
+        )
 
     if spec.limit is not None:
         out = out[: spec.limit]

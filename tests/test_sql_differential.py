@@ -23,8 +23,10 @@ from repro.telco import TelcoTraceGenerator, TraceConfig
 
 from tests.sql_reference import (
     Agg,
+    CaseSpec,
     Filter,
     JoinSpec,
+    OrderSpec,
     QuerySpec,
     evaluate,
     render_sql,
@@ -155,6 +157,148 @@ def random_spec(seed: int, tables) -> QuerySpec:
     )
     limit = rng.randint(1, 40) if kind == "limit" else None
     return QuerySpec(table=table, select=select, filters=filters, limit=limit)
+
+
+#: Three-table join chains (base -> CELL -> other fact table).
+CHAINS = {
+    "CDR": (
+        JoinSpec("CELL", "cell_id", "cell_id"),
+        JoinSpec("NMS", "cell_id", "cellid", left_table="CELL"),
+    ),
+    "NMS": (
+        JoinSpec("CELL", "cellid", "cell_id"),
+        JoinSpec("CDR", "cell_id", "cell_id", left_table="CELL"),
+    ),
+}
+
+V2_KINDS = [
+    "multijoin",
+    "implicit",
+    "having",
+    "grouped_order",
+    "order_limit",
+    "case",
+    "union",
+    "union_all_order",
+]
+
+
+def random_spec_v2(seed: int, tables) -> QuerySpec:
+    """Second-generation specs: multi-table joins (explicit and comma
+    form, exercising the cost-based reorder), HAVING, ORDER BY + LIMIT
+    ties, CASE projections, and UNION chains."""
+    rng = random.Random(seed)
+    table = rng.choice(["CDR", "NMS"])
+    other = "NMS" if table == "CDR" else "CDR"
+    kind = V2_KINDS[seed % len(V2_KINDS)]
+    filters = _random_filters(rng, tables, table, rng.randint(1, 2))
+
+    if kind in ("multijoin", "implicit"):
+        # Keep the three-way join bounded: an equality filter on the
+        # other fact table rides along with the base filters.
+        other_col = rng.choice(STRING_COLUMNS[other])
+        other_val = _sample_literal(rng, tables, other, other_col, False)
+        filters = filters + (Filter(other, other_col, "=", other_val),)
+        if rng.random() < 0.5:
+            key = rng.choice(STRING_COLUMNS[table])
+            return QuerySpec(
+                table=table,
+                select=((table, key),),
+                aggs=(Agg("COUNT"), Agg("SUM", rng.choice(NUMERIC_COLUMNS[table]))),
+                filters=filters,
+                joins=CHAINS[table],
+                group_by=(key,),
+                implicit_join=kind == "implicit",
+            )
+        return QuerySpec(
+            table=table,
+            select=(
+                (table, rng.choice(STRING_COLUMNS[table])),
+                ("CELL", rng.choice(["x", "y"])),
+                (other, rng.choice(NUMERIC_COLUMNS[other])),
+            ),
+            filters=filters,
+            joins=CHAINS[table],
+            limit=rng.randint(5, 60),
+            implicit_join=kind == "implicit",
+        )
+
+    if kind == "having":
+        key = rng.choice(STRING_COLUMNS[table])
+        return QuerySpec(
+            table=table,
+            select=((table, key),),
+            aggs=(Agg("COUNT"), Agg(rng.choice(["SUM", "AVG", "MAX"]),
+                                    rng.choice(NUMERIC_COLUMNS[table]))),
+            filters=filters,
+            group_by=(key,),
+            having=(("a0", rng.choice([">", ">=", "<="]), rng.randint(1, 30)),),
+        )
+
+    if kind == "grouped_order":
+        key = rng.choice(STRING_COLUMNS[table])
+        return QuerySpec(
+            table=table,
+            select=((table, key),),
+            aggs=(Agg("COUNT"), Agg("MIN", rng.choice(NUMERIC_COLUMNS[table]))),
+            filters=filters,
+            group_by=(key,),
+            order_by=(OrderSpec("a0", ascending=rng.random() < 0.5),
+                      OrderSpec("c0"),),
+            limit=rng.randint(1, 6) if rng.random() < 0.5 else None,
+        )
+
+    if kind == "order_limit":
+        # Low-cardinality leading key forces ties; the stable sort must
+        # break them identically in both engines.
+        return QuerySpec(
+            table=table,
+            select=((table, rng.choice(STRING_COLUMNS[table])),
+                    (table, rng.choice(NUMERIC_COLUMNS[table]))),
+            filters=filters,
+            order_by=(OrderSpec("c0", ascending=rng.random() < 0.7),),
+            limit=rng.randint(3, 25),
+        )
+
+    if kind == "case":
+        col = rng.choice(NUMERIC_COLUMNS[table])
+        threshold = _sample_literal(rng, tables, table, col, True)
+        return QuerySpec(
+            table=table,
+            select=((table, rng.choice(STRING_COLUMNS[table])),),
+            cases=(CaseSpec(table, col, rng.choice([">=", "<"]), threshold,
+                            "hi", "lo"),),
+            filters=filters,
+            limit=rng.randint(10, 50) if rng.random() < 0.5 else None,
+        )
+
+    # union / union_all_order: same-arity branches over both fact tables.
+    branch = QuerySpec(
+        table=other,
+        select=((other, rng.choice(STRING_COLUMNS[other])),),
+        cases=(CaseSpec(other, rng.choice(NUMERIC_COLUMNS[other]), ">=",
+                        _sample_literal(rng, tables, other,
+                                        rng.choice(NUMERIC_COLUMNS[other]),
+                                        True),
+                        "hi", "lo"),),
+        filters=_random_filters(rng, tables, other, 1),
+    )
+    return QuerySpec(
+        table=table,
+        select=((table, rng.choice(STRING_COLUMNS[table])),),
+        cases=(CaseSpec(table, rng.choice(NUMERIC_COLUMNS[table]), "<",
+                        _sample_literal(rng, tables, table,
+                                        rng.choice(NUMERIC_COLUMNS[table]),
+                                        True),
+                        "hi", "lo"),),
+        filters=filters,
+        union=branch,
+        union_all=kind == "union_all_order",
+        order_by=(OrderSpec("c0"), OrderSpec("k0", ascending=False))
+        if kind == "union_all_order"
+        else (),
+        limit=rng.randint(5, 40) if rng.random() < 0.5 else None,
+    )
 
 
 @pytest.fixture(scope="module")
@@ -376,6 +520,160 @@ class TestDifferentialSqlTypedChannel:
         assert got.rows == want_rows
 
 
+def _three_way(db, tables, spec):
+    """One spec through all three paths: vectorized engine, row engine,
+    naive reference — byte-identical or bust."""
+    sql = render_sql(spec)
+    got = db.execute(sql)
+    assert db.last_execution["engine"] == "vectorized", sql
+    row = db.execute(sql, vectorized=False)
+    assert got.columns == row.columns, sql
+    assert got.rows == row.rows, f"vectorized != row engine\n{sql}"
+    want_columns, want_rows = evaluate(spec, tables)
+    assert got.columns == want_columns, sql
+    assert got.rows == want_rows, f"engines != reference\n{sql}"
+
+
+class TestDifferentialSqlV2:
+    """Second-generation specs on the dense harness: multi-table joins
+    (explicit and comma form), HAVING, ORDER BY ties, CASE, UNION —
+    every one diffed three ways (vectorized, row engine, reference)."""
+
+    SEEDS = range(300, 348)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_seeded_query_three_way(self, harness, seed):
+        spate, db, tables = harness
+        _three_way(db, tables, random_spec_v2(seed, tables))
+
+    def test_join_order_permutations(self, harness):
+        """The same three-table join written base-first from either fact
+        table, in both explicit and comma form: four syntactic shapes,
+        one cost-based planner, identical answers."""
+        spate, db, tables = harness
+        for base in ("CDR", "NMS"):
+            key = "call_type" if base == "CDR" else "kpi"
+            for implicit in (False, True):
+                spec = QuerySpec(
+                    table=base,
+                    select=((base, key),),
+                    aggs=(Agg("COUNT"),),
+                    filters=(Filter("NMS", "drops", ">", 0),),
+                    joins=CHAINS[base],
+                    group_by=(key,),
+                    implicit_join=implicit,
+                )
+                _three_way(db, tables, spec)
+
+    def test_implicit_join_is_cost_reordered(self, harness):
+        """The comma-form join must actually reach the cost-based
+        reorder path: EXPLAIN shows the chosen order and the profile
+        carries a JoinOrder note with per-step cardinalities."""
+        spate, db, tables = harness
+        spec = QuerySpec(
+            table="CDR",
+            select=(("CDR", "call_type"),),
+            aggs=(Agg("COUNT"),),
+            filters=(Filter("NMS", "kpi", "=", "drops"),),
+            joins=CHAINS["CDR"],
+            group_by=("call_type",),
+            implicit_join=True,
+        )
+        sql = render_sql(spec)
+        plan = db.explain(sql)
+        assert "JoinOrder [" in plan
+        assert "(cost-based)" in plan
+        assert "est=~" in plan
+        __, report = db.explain_analyze(sql)
+        assert "plan JoinOrder" in report
+        assert "cardinality" in report
+        assert "engine: vectorized" in report
+
+    def test_order_by_limit_ties(self, harness):
+        """A leading key with heavy ties plus LIMIT: the stable sort
+        must break ties by pre-sort order in all three paths."""
+        spate, db, tables = harness
+        spec = QuerySpec(
+            table="CDR",
+            select=(("CDR", "call_type"), ("CDR", "duration_s"),
+                    ("CDR", "cell_id")),
+            order_by=(OrderSpec("c0"),),
+            limit=11,
+        )
+        _three_way(db, tables, spec)
+        desc = dataclasses.replace(
+            spec, order_by=(OrderSpec("c0", ascending=False),)
+        )
+        _three_way(db, tables, desc)
+
+    def test_case_union_interaction(self, harness):
+        """CASE-projected branches through UNION and UNION ALL with a
+        trailing ORDER BY + LIMIT over the merged result."""
+        spate, db, tables = harness
+        branch = QuerySpec(
+            table="NMS",
+            select=(("NMS", "kpi"),),
+            cases=(CaseSpec("NMS", "val", ">=", 10, "hi", "lo"),),
+            filters=(Filter("NMS", "drops", ">=", 0),),
+        )
+        for union_all in (False, True):
+            spec = QuerySpec(
+                table="CDR",
+                select=(("CDR", "call_type"),),
+                cases=(CaseSpec("CDR", "duration_s", "<", 60, "hi", "lo"),),
+                union=branch,
+                union_all=union_all,
+                order_by=(OrderSpec("k0"), OrderSpec("c0", ascending=False)),
+                limit=17,
+            )
+            _three_way(db, tables, spec)
+
+    def test_nullable_and_mixed_group_keys(self, harness):
+        """GROUP BY over a column holding empty strings (storage NULLs)
+        and numeric-looking strings of mixed formatting: grouping is on
+        the raw cell, so "7" and "07" stay distinct groups and "" forms
+        its own group."""
+        spate, db, tables = harness
+        db.register_table(
+            "MIXED",
+            ["k", "v"],
+            [["7", "1"], ["07", "2"], ["", "3"], ["a", "4"],
+             ["7", "5"], ["", "6"], ["a", ""]],
+        )
+        sql = (
+            "SELECT k AS c0, COUNT(*) AS a0, SUM(v) AS a1, COUNT(v) AS a2 "
+            "FROM MIXED GROUP BY k"
+        )
+        got = db.execute(sql)
+        row = db.execute(sql, vectorized=False)
+        assert got.columns == row.columns and got.rows == row.rows
+        assert got.rows == [
+            ["", 2, 9, 2],
+            ["07", 1, 2, 1],
+            ["7", 2, 6, 2],
+            ["a", 2, 4, 1],  # SUM skips the NULL v; COUNT(v) drops it
+        ]
+
+    def test_fuzz_exercises_new_shapes(self, harness):
+        """The v2 seed batch must actually cover every kind — a skewed
+        rng choice could silently drop a whole feature from the gate."""
+        spate, db, tables = harness
+        kinds = {V2_KINDS[seed % len(V2_KINDS)] for seed in self.SEEDS}
+        assert kinds == set(V2_KINDS)
+
+
+class TestDifferentialSqlV2TypedChannel:
+    """A v2 slice through typed-channel leaves: selective channel decode
+    and zone maps under multi-join / ordered / union statements."""
+
+    SEEDS = range(400, 412)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_seeded_query_three_way(self, typed_harness, seed):
+        spate, db, tables = typed_harness
+        _three_way(db, tables, random_spec_v2(seed, tables))
+
+
 SHARD_EPOCHS = 16
 
 
@@ -478,6 +776,63 @@ class TestDifferentialSqlMultiShard:
         sharded.recover_shard(0)
         again = dbs["sharded"].execute(sql)
         assert again.rows == want.rows
+
+    V2_SEEDS = range(500, 508)
+
+    @pytest.mark.parametrize("seed", V2_SEEDS)
+    def test_v2_query_matches_single_shard(self, shard_harness, seed):
+        """v2 shapes (multi-join, HAVING, ORDER BY, UNION) across the
+        shard RPC layer: 3-shard scatter-gather == 1-shard == reference,
+        on both engines."""
+        single, sharded, dbs, tables = shard_harness
+        spec = random_spec_v2(seed, tables)
+        sql = render_sql(spec)
+        got = dbs["sharded"].execute(sql)
+        want = dbs["single"].execute(sql)
+        assert got.columns == want.columns, sql
+        assert got.rows == want.rows, sql
+        row = dbs["sharded"].execute(sql, vectorized=False)
+        assert got.rows == row.rows, sql
+        ref_columns, ref_rows = evaluate(spec, tables)
+        assert want.columns == ref_columns, sql
+        assert want.rows == ref_rows, sql
+
+    def test_vectorized_identity_interleaved_with_decay(self):
+        """Run the engine diff, age the warehouse with the decay fungus,
+        and diff again: the vectorized column feed must see exactly the
+        leaves the row path sees at every decay state."""
+        single, sharded = _build_sharded_pair(epochs=12)
+        queries = [
+            "SELECT call_type AS c0, COUNT(*) AS a0, SUM(duration_s) AS a1 "
+            "FROM CDR GROUP BY call_type",
+            "SELECT kpi AS c0, val AS c1 FROM NMS WHERE drops >= 0 "
+            "ORDER BY c0 LIMIT 19",
+            "SELECT cell_id AS c0 FROM CDR WHERE duration_s >= 30 "
+            "UNION SELECT cellid AS c0 FROM NMS WHERE val > 5",
+        ]
+        try:
+            for round_no in range(3):
+                for spate in (single, sharded):
+                    db = spate.sql_database()
+                    for sql in queries:
+                        got = db.execute(sql)
+                        assert db.last_execution["engine"] == "vectorized"
+                        row = db.execute(sql, vectorized=False)
+                        assert got.columns == row.columns, sql
+                        assert got.rows == row.rows, (round_no, sql)
+                for sql in queries:
+                    assert single.sql(sql).rows == sharded.sql(sql).rows
+                if round_no == 0:
+                    for spate in (single, sharded):
+                        spate.decay_groups(
+                            older_than_epoch=6, keep_fraction=0.25
+                        )
+                elif round_no == 1:
+                    for spate in (single, sharded):
+                        spate.run_decay()
+        finally:
+            single.close()
+            sharded.close()
 
     def test_identity_survives_decay_and_fungus(self):
         """Run the decaying fungus on both warehouses (replicas age in

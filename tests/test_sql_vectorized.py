@@ -1,0 +1,309 @@
+"""Property tests: the vectorized engine is indistinguishable from the
+row engine.
+
+Hypothesis drives random predicates/aggregates/orderings over both a
+randomly drawn materialized table (adversarial cell values: empty
+strings, zero-padded numbers, floats, text) and a real ingested telco
+warehouse (scan path with pushdown and projection active).  For every
+statement the two engines must return byte-identical answers — or fail
+with the same exception class.  Degraded modes ride along: deadline
+truncation trips at the same stage and ``partial_ok`` scans report the
+same coverage under both engines.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Spate, SpateConfig
+from repro.errors import QueryDeadlineError
+from repro.query.sql import Database
+from repro.telco import TelcoTraceGenerator, TraceConfig
+
+from tests.sql_reference import (
+    Agg,
+    CaseSpec,
+    Filter,
+    OrderSpec,
+    QuerySpec,
+    evaluate,
+    render_sql,
+)
+
+# ----------------------------------------------------------------------
+# Materialized-table property: adversarial cell values
+# ----------------------------------------------------------------------
+
+#: Cell pool mixing NULLs, ints, zero-padded ints, floats, and text —
+#: every coercion edge in the values truth table.
+CELL_POOL = ["", "0", "1", "7", "07", "7.5", "-3", "10", "2", "a", "b", "x"]
+T_COLUMNS = ["k", "v", "w"]
+OPS = ["=", "!=", "<", "<=", ">", ">="]
+AGG_FUNCS = ["COUNT", "SUM", "AVG", "MIN", "MAX"]
+
+
+def random_local_spec(rng: random.Random) -> QuerySpec:
+    """A spec over the three-column table T, weighted toward shapes
+    that stress coercion: filters on mixed cells, grouping on nullable
+    keys, ordering with ties, CASE, UNION."""
+    kind = rng.choice(["plain", "grouped", "order", "case", "union", "having"])
+    filters = tuple(
+        Filter("T", rng.choice(T_COLUMNS), rng.choice(OPS),
+               rng.choice(CELL_POOL + [rng.randint(-2, 12)]))
+        for __ in range(rng.randint(0, 2))
+    )
+    if kind == "grouped" or kind == "having":
+        key = rng.choice(T_COLUMNS)
+        return QuerySpec(
+            table="T",
+            select=(("T", key),),
+            aggs=(Agg("COUNT"),
+                  Agg(rng.choice(AGG_FUNCS), rng.choice(T_COLUMNS))),
+            filters=filters,
+            group_by=(key,),
+            having=((("a0", rng.choice(OPS), rng.randint(0, 5)),)
+                    if kind == "having" else ()),
+        )
+    if kind == "order":
+        return QuerySpec(
+            table="T",
+            select=(("T", "k"), ("T", "v")),
+            filters=filters,
+            order_by=(OrderSpec("c0", ascending=rng.random() < 0.5),
+                      OrderSpec("c1"),),
+            limit=rng.randint(1, 10) if rng.random() < 0.5 else None,
+        )
+    if kind == "case":
+        return QuerySpec(
+            table="T",
+            select=(("T", rng.choice(T_COLUMNS)),),
+            cases=(CaseSpec("T", rng.choice(T_COLUMNS), rng.choice(OPS),
+                            rng.choice(CELL_POOL), "hi", "lo"),),
+            filters=filters,
+        )
+    if kind == "union":
+        branch = QuerySpec(
+            table="T",
+            select=(("T", rng.choice(T_COLUMNS)),),
+            filters=tuple(
+                Filter("T", rng.choice(T_COLUMNS), rng.choice(OPS),
+                       rng.choice(CELL_POOL))
+                for __ in range(rng.randint(0, 1))
+            ),
+        )
+        return QuerySpec(
+            table="T",
+            select=(("T", rng.choice(T_COLUMNS)),),
+            filters=filters,
+            union=branch,
+            union_all=rng.random() < 0.5,
+            limit=rng.randint(1, 20) if rng.random() < 0.5 else None,
+        )
+    return QuerySpec(
+        table="T",
+        select=tuple(("T", c) for c in
+                     rng.sample(T_COLUMNS, rng.randint(1, 3))),
+        filters=filters,
+        limit=rng.randint(1, 15) if rng.random() < 0.5 else None,
+    )
+
+
+def _run(db: Database, sql: str, vectorized: bool):
+    """(result, None) on success, (None, exception class name) on error."""
+    try:
+        return db.execute(sql, vectorized=vectorized), None
+    except Exception as exc:  # noqa: BLE001 — parity is the property
+        return None, type(exc).__name__
+
+
+@given(
+    rows=st.lists(
+        st.tuples(*[st.sampled_from(CELL_POOL)] * len(T_COLUMNS)),
+        max_size=24,
+    ),
+    seed=st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_engines_agree_on_random_tables(rows, seed):
+    db = Database()
+    db.register_table("T", list(T_COLUMNS), [list(r) for r in rows])
+    spec = random_local_spec(random.Random(seed))
+    sql = render_sql(spec)
+    got, got_err = _run(db, sql, vectorized=True)
+    want, want_err = _run(db, sql, vectorized=False)
+    assert got_err == want_err, sql
+    if got_err is None:
+        assert got.columns == want.columns, sql
+        assert got.rows == want.rows, sql
+        # And the naive reference concurs on well-formed statements.
+        ref_columns, ref_rows = evaluate(
+            spec, {"T": (list(T_COLUMNS), [list(r) for r in rows])}
+        )
+        assert got.columns == ref_columns, sql
+        assert got.rows == ref_rows, sql
+
+
+# ----------------------------------------------------------------------
+# Warehouse property: real scan path, pushdown + projection active
+# ----------------------------------------------------------------------
+
+EPOCHS = 12
+
+
+@pytest.fixture(scope="module")
+def warehouse():
+    trace = TraceConfig(scale=0.002, days=1, seed=41)
+    generator = TelcoTraceGenerator(trace)
+    spate = Spate(SpateConfig(query_pruning=True))
+    spate.register_cells(generator.cells_table())
+    for epoch in range(EPOCHS):
+        spate.ingest(generator.snapshot(epoch))
+    spate.finalize()
+    tables = {
+        name: spate.read_rows(name, 0, EPOCHS - 1) for name in ("CDR", "NMS")
+    }
+    return spate, spate.sql_database(), tables
+
+
+WAREHOUSE_COLUMNS = {
+    "CDR": ["duration_s", "upflux", "downflux", "call_type", "result"],
+    "NMS": ["val", "drops", "kpi"],
+}
+
+
+def random_warehouse_sql(rng: random.Random, tables) -> str:
+    table = rng.choice(["CDR", "NMS"])
+    columns, rows = tables[table]
+    pool = WAREHOUSE_COLUMNS[table]
+    conjuncts = []
+    for __ in range(rng.randint(0, 2)):
+        column = rng.choice(pool)
+        idx = columns.index(column)
+        values = [r[idx] for r in rows if r[idx] != ""] or ["0"]
+        value = rng.choice(values)
+        literal = value if value.lstrip("-").isdigit() else f"'{value}'"
+        conjuncts.append(f"{column} {rng.choice(OPS)} {literal}")
+    where = f" WHERE {' AND '.join(conjuncts)}" if conjuncts else ""
+    if rng.random() < 0.5:
+        key = "call_type" if table == "CDR" else "kpi"
+        numeric = rng.choice(pool[:2])
+        return (
+            f"SELECT {key} AS c0, COUNT(*) AS a0, "
+            f"{rng.choice(AGG_FUNCS)}({numeric}) AS a1 "
+            f"FROM {table}{where} GROUP BY {key}"
+        )
+    picked = ", ".join(
+        f"{c} AS c{i}" for i, c in enumerate(rng.sample(pool, 2))
+    )
+    suffix = f" LIMIT {rng.randint(1, 30)}" if rng.random() < 0.5 else ""
+    return f"SELECT {picked} FROM {table}{where}{suffix}"
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_engines_agree_on_warehouse_scans(warehouse, seed):
+    spate, db, tables = warehouse
+    sql = random_warehouse_sql(random.Random(seed), tables)
+    got, got_err = _run(db, sql, vectorized=True)
+    want, want_err = _run(db, sql, vectorized=False)
+    assert got_err == want_err, sql
+    if got_err is None:
+        assert got.columns == want.columns, sql
+        assert got.rows == want.rows, sql
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_scan_coverage_parity(warehouse, seed):
+    """Both engines drive the same gatekeeping: identical epochs
+    served/pruned for the same pushed predicates."""
+    spate, db, tables = warehouse
+    sql = random_warehouse_sql(random.Random(seed), tables)
+    got_err = _run(db, sql, vectorized=True)[1]
+    vec_cov = {
+        k: dict(v) if isinstance(v, dict) else list(v)
+        for k, v in spate.last_scan_coverage.items()
+    }
+    want_err = _run(db, sql, vectorized=False)[1]
+    row_cov = {
+        k: dict(v) if isinstance(v, dict) else list(v)
+        for k, v in spate.last_scan_coverage.items()
+    }
+    assert got_err == want_err, sql
+    if got_err is None:
+        assert vec_cov == row_cov, sql
+
+
+# ----------------------------------------------------------------------
+# Degraded modes: deadline truncation and partial_ok parity
+# ----------------------------------------------------------------------
+
+
+class TestDegradedParity:
+    def _ticking_clock(self, monkeypatch):
+        import repro.query.sql.executor as executor_module
+
+        ticks = iter(range(0, 10_000_000, 100))  # each call jumps 100 s
+        monkeypatch.setattr(
+            executor_module.time, "monotonic", lambda: float(next(ticks))
+        )
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_deadline_trips_at_the_same_stage(
+        self, warehouse, monkeypatch, vectorized
+    ):
+        """With a clock that jumps 100 s per reading, both engines blow
+        the deadline on their first stage check — and because the
+        vectorized engine marks the same stages at the same points, the
+        error text (which names the stage) is identical."""
+        spate, __, tables = warehouse
+        db = spate.sql_database()
+        sql = "SELECT call_type AS c0, COUNT(*) AS a0 FROM CDR GROUP BY call_type"
+        self._ticking_clock(monkeypatch)
+        with pytest.raises(QueryDeadlineError) as excinfo:
+            db.execute(sql, deadline_ms=1000, vectorized=vectorized)
+        assert "scan/join" in str(excinfo.value)
+
+    def test_partial_ok_coverage_parity_with_dead_leaf(self):
+        """Destroy one leaf's every replica: with ``partial_ok`` both
+        engines answer from the survivors and report the identical
+        skipped epoch."""
+        from tests.test_degraded_queries import destroy_leaf
+
+        trace = TraceConfig(scale=0.002, days=1, seed=41)
+        generator = TelcoTraceGenerator(trace)
+        spate = Spate(SpateConfig(leaf_cache_bytes=0))
+        spate.register_cells(generator.cells_table())
+        for epoch in range(10):
+            spate.ingest(generator.snapshot(epoch))
+        spate.finalize()
+        destroy_leaf(spate, 4)
+
+        db = spate.sql_database(0, 9, partial_ok=True)
+        sql = "SELECT call_type AS c0, COUNT(*) AS a0 FROM CDR GROUP BY call_type"
+        got = db.execute(sql)
+        vec_cov = {
+            "served": list(spate.last_scan_coverage["epochs_served"]),
+            "skipped": dict(spate.last_scan_coverage["epochs_skipped"]),
+        }
+        want = db.execute(sql, vectorized=False)
+        row_cov = {
+            "served": list(spate.last_scan_coverage["epochs_served"]),
+            "skipped": dict(spate.last_scan_coverage["epochs_skipped"]),
+        }
+        assert got.rows == want.rows
+        assert vec_cov == row_cov
+        assert list(vec_cov["skipped"]) == [4]
+        assert 4 not in vec_cov["served"]
