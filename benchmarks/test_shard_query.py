@@ -8,6 +8,9 @@ fixed 8 region groups, replication 2), then measures:
   boundary on an in-process transport;
 - the same query with one shard killed mid-scatter: the failover path
   must stay byte-identical and its wall-clock overhead is recorded;
+- region routing: a spatially-selective explore box and a cell-pinned
+  SQL query must contact FEWER region groups than the full scatter,
+  with answers byte-identical to the unrouted (full-scatter) run;
 - byte-identity of every sharded answer against the single-shard run.
 
 The reproduced numbers land in ``benchmarks/results/shard_query.txt``.
@@ -20,6 +23,7 @@ import time
 from repro.core import SpateConfig
 from repro.core.config import ShardConfig
 from repro.shard import ShardedSpate
+from repro.spatial.geometry import BoundingBox
 from repro.telco import TelcoTraceGenerator, TraceConfig
 
 from conftest import report
@@ -94,6 +98,46 @@ def test_shard_query_report(benchmark):
         assert failovers > 0
         replayed = sharded.recover_shard(0)
 
+        # Region routing: a small explore box and a cell-pinned SQL
+        # query must contact fewer groups than the full scatter, with
+        # answers byte-identical to the unrouted run.
+        area = BoundingBox.from_points(list(sharded.cell_locations.values()))
+        box = BoundingBox(
+            area.min_x,
+            area.min_y,
+            area.min_x + area.width * 0.2,
+            area.min_y + area.height * 0.2,
+        )
+        boxed_args = ("CDR", ("downflux", "upflux"), box, 0, EPOCHS - 1)
+        rpcs_before = sharded.client.counters.rpcs
+        routed_wall, routed_explore = _timed(sharded.explore, *boxed_args)
+        routed_rpcs = sharded.client.counters.rpcs - rpcs_before
+        routed_away = list(routed_explore.coverage.groups_routed)
+        assert routed_away, "selective box did not route any groups away"
+        assert routed_rpcs < explore_rpcs
+
+        sharded.route_queries = False
+        rpcs_before = sharded.client.counters.rpcs
+        unrouted_wall, unrouted_explore = _timed(sharded.explore, *boxed_args)
+        unrouted_rpcs = sharded.client.counters.rpcs - rpcs_before
+        sharded.route_queries = True
+        assert routed_explore.records == unrouted_explore.records
+
+        pin_cell = next(iter(sorted(sharded.cell_locations)))
+        pinned_sql = (
+            "SELECT call_type, COUNT(*) AS n FROM CDR "
+            f"WHERE cell_id = '{pin_cell}' GROUP BY call_type"
+        )
+        routed_sql_wall, routed_sql = _timed(sharded.sql, pinned_sql)
+        sql_routed_away = list(
+            sharded.last_scan_coverage.get("groups_routed", [])
+        )
+        assert sql_routed_away, "cell-pinned SQL did not route any groups away"
+        sharded.route_queries = False
+        unrouted_sql_result = sharded.sql(pinned_sql)
+        sharded.route_queries = True
+        assert routed_sql.rows == unrouted_sql_result.rows
+
         counters = sharded.client.counters
         lines = [
             "Sharded scatter-gather query bench "
@@ -114,6 +158,15 @@ def test_shard_query_report(benchmark):
             f"explore with shard 0 killed mid-scatter: {failover_wall:.3f}s "
             f"({failover_wall / max(sharded_explore_wall, 1e-9):.2f}x healthy), "
             "answer byte-identical",
+            "",
+            f"routed explore (20% box): {routed_wall:.3f}s, "
+            f"{routed_rpcs} rpcs vs {unrouted_rpcs} unrouted "
+            f"({unrouted_wall:.3f}s), "
+            f"{len(routed_away)}/{sharded.region_groups} groups routed away, "
+            "answer byte-identical",
+            f"routed sql (cell pin): {routed_sql_wall:.3f}s, "
+            f"{len(sql_routed_away)}/{sharded.region_groups} groups routed "
+            "away, answer byte-identical",
             f"failovers={failovers} breaker_trips={counters.breaker_trips} "
             f"retries={counters.retries} recovery_replayed={replayed}",
             f"total rpcs={counters.rpcs} "

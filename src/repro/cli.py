@@ -75,6 +75,15 @@ def _add_trace_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--replication-groups", type=int, default=2,
                         dest="group_replication",
                         help="replicas per region group (sharded mode)")
+    parser.add_argument("--shard-transport", default="inline",
+                        choices=("inline", "thread", "socket"),
+                        help="shard RPC transport (socket = workers as "
+                             "real processes over localhost TCP)")
+    parser.add_argument("--region-layout", type=int, default=2,
+                        choices=(1, 2),
+                        help="region-map tiling layout (must match the "
+                             "layout the warehouse was created with; "
+                             "1 = legacy stripes, 2 = 2-D tiles)")
 
 
 def _add_durability_args(parser: argparse.ArgumentParser) -> None:
@@ -112,6 +121,8 @@ def _sharded_config(args: argparse.Namespace) -> SpateConfig:
         sharding=ShardConfig(
             shards=max(1, args.shards),
             group_replication=args.group_replication,
+            transport=getattr(args, "shard_transport", "inline"),
+            region_layout=getattr(args, "region_layout", 2),
         ),
     )
 
@@ -312,7 +323,10 @@ def _chaos_sharded(args: argparse.Namespace) -> int:
             executor=args.executor,
             leaf_cache_bytes=args.leaf_cache_bytes,
             sharding=ShardConfig(
-                shards=n, group_replication=args.group_replication
+                shards=n,
+                group_replication=args.group_replication,
+                transport=getattr(args, "shard_transport", "inline"),
+                region_layout=getattr(args, "region_layout", 2),
             ),
         ))
         warehouse.register_cells(cells)
@@ -423,6 +437,158 @@ def _chaos_sharded(args: argparse.Namespace) -> int:
     return 0 if recovered else 1
 
 
+def _chaos_coordinator_restart(args: argparse.Namespace) -> int:
+    """``chaos --coordinator-restart``: crash the coordinator mid-query
+    and reattach a fresh one to the surviving socket worker processes.
+
+    Under the socket transport the workers are real processes and the
+    coordinator is just a client object.  The drill ingests the trace,
+    aborts one scatter partway through (the "crash"), abandons the
+    coordinator with no shutdown of any kind, attaches a new
+    coordinator to the same endpoints, resyncs its bookkeeping from the
+    live workers, and gates on the differential contract — every
+    answer from the revived coordinator, including through a worker
+    kill and recovery, must be byte-identical to the single-shard
+    reference.  Exit 0 only with zero wrong answers."""
+    from repro.core.config import ShardConfig
+    from repro.shard import ShardedSpate
+
+    shards = max(2, args.shards)
+    generator = TelcoTraceGenerator(
+        TraceConfig(scale=args.scale, days=args.days, seed=args.seed)
+    )
+    cells = generator.cells_table()
+    snapshots = list(generator.generate())
+    last = snapshots[-1].epoch
+    sql = (
+        "SELECT call_type, COUNT(*) AS n, SUM(duration_s) AS total "
+        "FROM CDR GROUP BY call_type"
+    )
+
+    def config(n: int, transport: str) -> SpateConfig:
+        return SpateConfig(
+            codec=args.codec,
+            layout=args.layout,
+            executor=args.executor,
+            leaf_cache_bytes=args.leaf_cache_bytes,
+            sharding=ShardConfig(
+                shards=n,
+                group_replication=args.group_replication,
+                transport=transport,
+                region_layout=getattr(args, "region_layout", 2),
+            ),
+        )
+
+    reference = ShardedSpate(config(1, "inline"))
+    victim = ShardedSpate(config(shards, "socket"))
+    try:
+        for warehouse in (reference, victim):
+            warehouse.register_cells(cells)
+            for snapshot in snapshots:
+                warehouse.ingest(snapshot)
+        endpoints = victim.worker_endpoints
+        checks = wrong = 0
+        want_explore = reference.explore(
+            "CDR", ("downflux", "upflux"), None, 0, last
+        ).records
+        want_sql = reference.sql(sql).rows
+
+        def differential(warehouse) -> None:
+            nonlocal checks, wrong
+            got_explore = warehouse.explore(
+                "CDR", ("downflux", "upflux"), None, 0, last
+            ).records
+            got_sql = warehouse.sql(sql).rows
+            checks += 2
+            wrong += int(got_explore != want_explore)
+            wrong += int(got_sql != want_sql)
+
+        differential(victim)
+
+        # The crash: abort a scatter a few RPCs in, then abandon the
+        # coordinator object — no close(), no cleanup.  Its worker
+        # processes keep serving.
+        class CoordinatorCrash(RuntimeError):
+            pass
+
+        state = {"rpcs": 0}
+
+        def crash_hook(shard_id: int, method: str) -> None:
+            state["rpcs"] += 1
+            if state["rpcs"] == args.kill_after_rpcs:
+                raise CoordinatorCrash
+
+        victim.client.before_invoke = crash_hook
+        mid_query_crashed = False
+        try:
+            victim.explore("CDR", ("downflux", "upflux"), None, 0, last)
+        except CoordinatorCrash:
+            mid_query_crashed = True
+
+        revived = ShardedSpate(
+            config(shards, "socket"), worker_endpoints=endpoints
+        )
+        try:
+            summary = revived.resync()
+            resynced_ok = (
+                summary["frontier"] == last and "CDR" in summary["tables"]
+            )
+            differential(revived)
+            # The revived coordinator must also ride out a worker kill:
+            # the failover stack is transport-independent.  Query once
+            # with the dead shard still leading its chains (failover
+            # proper), then again after heartbeats demote it.
+            revived.kill_shard(0)
+            differential(revived)
+            limit = revived.config.sharding.heartbeat_miss_limit
+            for __ in range(limit):
+                revived.heartbeat()
+            differential(revived)
+            replayed = revived.recover_shard(0)
+            differential(revived)
+            counters = revived.client.counters
+            recovered = (
+                wrong == 0
+                and mid_query_crashed
+                and resynced_ok
+                and counters.failovers > 0
+            )
+            lines = [
+                "SPATE coordinator-restart chaos run",
+                f"  trace:                 scale={args.scale} days={args.days} "
+                f"shards={shards} replication={args.group_replication} "
+                f"transport=socket",
+                f"  crash:                 coordinator aborted mid-scatter "
+                f"after {args.kill_after_rpcs} RPCs "
+                f"({'yes' if mid_query_crashed else 'NO CRASH'}), "
+                f"abandoned without shutdown",
+                f"  reattach:              resynced "
+                f"{summary['epochs']} epochs to frontier "
+                f"{summary['frontier']}, tables "
+                f"{','.join(summary['tables'])}",
+                f"  differential:          {checks} checks vs single-shard, "
+                f"{wrong} wrong answers (including through a worker kill "
+                f"and recovery, {replayed} replayed)",
+                f"  failovers:             {counters.failovers} "
+                f"({counters.heartbeat_misses} heartbeat misses)",
+                f"  verdict:               "
+                f"{'RECOVERED' if recovered else 'DEGRADED'}",
+            ]
+            report = "\n".join(lines)
+            print(report)
+            if args.report_file:
+                with open(args.report_file, "w", encoding="utf-8") as handle:
+                    handle.write(report + "\n")
+            return 0 if recovered else 1
+        finally:
+            revived.close()
+    finally:
+        # The spawner owns the worker processes; terminating them here
+        # is the drill's only clean shutdown.
+        victim.close()
+        reference.close()
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """``chaos``: ingest a trace while a seeded fault injector crashes
     datanodes, corrupts replicas and fails writes; then heal and verify
@@ -438,6 +604,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.core import DurabilityConfig, FaultToleranceConfig
     from repro.errors import RecoveryError, SpateError, StorageError
 
+    if getattr(args, "coordinator_restart", False):
+        return _chaos_coordinator_restart(args)
     if args.kill_shard_at_epoch is not None:
         return _chaos_sharded(args)
     generator = TelcoTraceGenerator(
@@ -1038,6 +1206,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "before the shard dies")
     p.add_argument("--deadline-ms", type=int, default=30_000,
                    help="budget for the mid-query-kill check")
+    p.add_argument("--coordinator-restart", action="store_true",
+                   help="socket-transport drill: crash the coordinator "
+                        "mid-query, reattach a fresh one to the surviving "
+                        "worker processes, differential vs single-shard")
     _add_durability_args(p)
     p.set_defaults(func=cmd_chaos)
 

@@ -256,9 +256,17 @@ class ShardConfig:
     #: Heartbeats a shard may miss before failover prefers its replicas.
     heartbeat_miss_limit: int = 2
     #: RPC transport: "inline" (deterministic in-process calls; backoff
-    #: charged to a modeled clock) or "thread" (per-shard worker
-    #: threads with real wall-clock timeouts).
+    #: charged to a modeled clock), "thread" (per-shard worker threads
+    #: with real wall-clock timeouts), or "socket" (each worker is a
+    #: real OS process serving length-prefixed JSON-lines RPCs over
+    #: localhost TCP; workers survive coordinator restarts).
     transport: str = "inline"
+    #: Tile→group fold version of the :class:`~repro.shard.key.
+    #: RegionMap` (1 = legacy vertical stripes, 2 = true grid tiles).
+    #: Recorded in the warehouse creation record; a warehouse must be
+    #: reopened with the layout it was created under, or its placement
+    #: — and therefore its answers — would silently change.
+    region_layout: int = 2
     #: Seed for retry jitter, so chaos runs replay deterministically.
     seed: int = 2017
 
@@ -281,9 +289,14 @@ class ShardConfig:
             raise ConfigError("breaker_cooldown_rpcs must be at least 1")
         if self.heartbeat_miss_limit < 1:
             raise ConfigError("heartbeat_miss_limit must be at least 1")
-        if self.transport not in ("inline", "thread"):
+        if self.transport not in ("inline", "thread", "socket"):
             raise ConfigError(
-                f"transport must be 'inline' or 'thread', got {self.transport!r}"
+                "transport must be 'inline', 'thread' or 'socket', "
+                f"got {self.transport!r}"
+            )
+        if self.region_layout not in (1, 2):
+            raise ConfigError(
+                f"region_layout must be 1 or 2, got {self.region_layout!r}"
             )
 
 

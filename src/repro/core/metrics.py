@@ -119,6 +119,12 @@ class WarehouseMetrics:
     shard_recoveries: int = 0
     shard_retry_budget_spent: int = 0
     shard_retry_budget_exhausted: int = 0
+    #: Region groups queries never contacted thanks to spatial routing.
+    shard_groups_routed: int = 0
+    #: Replication as configured vs what shards_for_group can actually
+    #: place (clamped to the shard count when it exceeds it).
+    shard_replication_configured: int = 0
+    shard_replication_effective: int = 0
 
     #: Read-path counters (parallel, pruned leaf scans).
     query_leaves_scanned: int = 0
@@ -324,6 +330,7 @@ class WarehouseMetrics:
             self.shard_recoveries = counters.recoveries
             self.shard_retry_budget_spent = counters.retry_budget_spent
             self.shard_retry_budget_exhausted = counters.retry_budget_exhausted
+            self.shard_groups_routed = counters.groups_routed
 
     def on_query_scan(self, stats) -> None:
         """Fold one query's :class:`~repro.query.leafscan.ScanStats` in."""
@@ -614,8 +621,23 @@ class WarehouseMetrics:
                 f"{self.shard_breaker_trips} breaker trips, "
                 f"{self.shard_heartbeat_misses} heartbeat misses, "
                 f"{self.shards_skipped} shard slices skipped, "
+                f"{self.shard_groups_routed} groups routed away, "
                 f"{self.shard_recoveries} recoveries"
             )
+        if self.shard_replication_configured:
+            line = (
+                f"  shard replication:     "
+                f"{self.shard_replication_effective} effective"
+            )
+            if (
+                self.shard_replication_effective
+                != self.shard_replication_configured
+            ):
+                line += (
+                    f" (configured {self.shard_replication_configured}, "
+                    "clamped to the shard count)"
+                )
+            lines.append(line)
         if self.requests_admitted or self.requests_rejected or self.requests_shed:
             lines.append(
                 f"  serving admission:     {self.requests_admitted} admitted, "

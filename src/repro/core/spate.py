@@ -44,6 +44,7 @@ from repro.dfs.faults import FaultInjector
 from repro.dfs.filesystem import HealReport, SimulatedDFS
 from repro.engine.executor import get_executor
 from repro.errors import (
+    ConfigError,
     DecayedDataError,
     LeafQuarantinedError,
     QueryError,
@@ -256,6 +257,7 @@ class Spate(Framework):
                     "codec": self.config.codec,
                     "static_codec": self.config.static_codec,
                     "layout": self.config.layout,
+                    "region_layout": self.config.sharding.region_layout,
                 },
                 sort_keys=True,
             ).encode("utf-8")
@@ -1159,12 +1161,39 @@ class Spate(Framework):
         from the DFS: newest checkpoint + WAL replay, then orphan
         cleanup, leaf verification, and a fresh checkpoint.  Returns the
         :class:`~repro.core.recovery.RecoveryReport`.
+
+        Raises:
+            ConfigError: when the configured ``region_layout``
+                contradicts the one this warehouse was created under
+                (reopening with a different tile→group fold would move
+                every cell's region group and silently change answers).
         """
         from repro.core.recovery import run_recovery
 
+        self._check_region_layout()
         report = run_recovery(self)
         self._bump_index_version()
         return report
+
+    def _check_region_layout(self) -> None:
+        """Refuse to open a warehouse under a contradicting region
+        layout.  Warehouses created before layout versioning carry no
+        record and are layout 1 (the legacy stripe fold) by definition.
+        """
+        meta = self.stored_warehouse_meta()
+        if meta is None:
+            return
+        stored = int(meta.get("region_layout", 1))
+        configured = self.config.sharding.region_layout
+        if stored != configured:
+            raise ConfigError(
+                f"this warehouse was created with region_layout {stored} "
+                f"but is being opened with region_layout {configured}; "
+                "the tile→group fold decides which region group stores "
+                "each cell's leaves, so changing it would reshuffle "
+                "placement and corrupt routed answers.  Reopen with "
+                f"sharding.region_layout={stored}"
+            )
 
     @_writes
     def verify_leaves(self) -> tuple[int, dict[int, str]]:

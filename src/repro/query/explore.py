@@ -88,6 +88,12 @@ class CoverageReport:
     #: (shard key -> reason, e.g. ``"dead"``, ``"breaker_open"``,
     #: ``"timeout"``).  Populated only by the shard coordinator.
     shards_skipped: dict[str, str] = field(default_factory=dict)
+    #: Region groups the router proved irrelevant to the query's
+    #: spatial footprint and never contacted.  Routing is sound (a
+    #: routed-away group holds no matching rows), so — like pruning —
+    #: it never makes a query incomplete.  Populated only by the shard
+    #: coordinator.
+    groups_routed: list[int] = field(default_factory=list)
 
     @property
     def complete(self) -> bool:
@@ -122,12 +128,22 @@ class CoverageReport:
         self.epochs_served = sorted(served - skipped)
         self.epochs_pruned = sorted(pruned - served - skipped)
         self.deadline_hit = self.deadline_hit or other.deadline_hit
+        self.groups_routed = sorted(
+            set(self.groups_routed) | set(other.groups_routed)
+        )
         return self
 
     def describe(self) -> str:
         """One-line human-readable coverage statement."""
         if self.complete:
-            return f"complete ({len(self.epochs_served)} epochs served)"
+            routed = (
+                f", {len(self.groups_routed)} groups routed away"
+                if self.groups_routed
+                else ""
+            )
+            return (
+                f"complete ({len(self.epochs_served)} epochs served{routed})"
+            )
         reasons: dict[str, int] = {}
         for reason in self.epochs_skipped.values():
             key = reason.split(":", 1)[0]

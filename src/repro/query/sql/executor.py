@@ -608,6 +608,13 @@ class Database:
                     f"  scan {table}: {len(skipped)} shard slices skipped "
                     f"({detail})"
                 )
+            routed = coverage.get("groups_routed")
+            if routed:
+                listed = ", ".join(f"g{group}" for group in sorted(routed))
+                lines.append(
+                    f"  scan {table}: {len(routed)} groups routed away "
+                    f"({listed})"
+                )
         return result, "\n".join(lines)
 
     def _explain_from(

@@ -80,6 +80,31 @@ def disproved_by_summary(summary, table: str, predicates) -> bool:
     return False
 
 
+def cell_equality_values(table: str, predicates) -> Optional[list[str]]:
+    """Cell ids this scan's pushed predicates pin ``table`` to, or
+    ``None`` when they imply no spatial restriction.
+
+    Only ``cell_column = literal`` conjuncts qualify; each one
+    restricts the scan to a single cell, so the list is the conjunction
+    of singletons (two *different* pinned cells make the WHERE
+    unsatisfiable outside group 0's unknown-cell rows — the shard
+    router handles that by intersecting).  The executor re-applies
+    every conjunct row-wise, so consumers only need this to be a
+    superset-sound routing hint, never an exact filter.
+    """
+    cell_column = CELL_COLUMN.get(table)
+    if cell_column is None or not predicates:
+        return None
+    values = [
+        str(predicate.value)
+        for predicate in predicates
+        if predicate.op == "="
+        and predicate.column == cell_column
+        and not isinstance(predicate.value, bool)
+    ]
+    return values or None
+
+
 def all_select_statements(stmt: SelectStatement) -> list[SelectStatement]:
     """The statement plus every nested SELECT (union branches, FROM
     subqueries, IN / scalar subqueries) — each is a separate scan
@@ -310,6 +335,7 @@ def _collect_expr(expr: Expression, names: set[str]) -> bool:
 __all__ = [
     "ScanPredicate",
     "all_select_statements",
+    "cell_equality_values",
     "collect_column_names",
     "disproved_by_summary",
     "extract_scan_predicates",

@@ -193,6 +193,7 @@ def coverage_to_dict(coverage) -> dict[str, Any]:
         "summary_days": dict(coverage.summary_days),
         "deadline_hit": coverage.deadline_hit,
         "shards_skipped": dict(coverage.shards_skipped),
+        "groups_routed": list(coverage.groups_routed),
         "complete": coverage.complete,
     }
 

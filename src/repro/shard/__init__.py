@@ -1,11 +1,15 @@
 """Sharded warehouse: hybrid-key partitioning, replication-aware
-placement, and chaos-hardened scatter-gather over worker shards."""
+placement, region-routed scatter, and chaos-hardened scatter-gather
+over worker shards (in-process or socket-backed processes)."""
 
 from repro.shard.coordinator import ShardedSpate
 from repro.shard.key import (
+    KNOWN_REGION_LAYOUTS,
     RegionMap,
+    effective_replication,
     groups_for_shard,
     leaf_key,
+    region_grid_shape,
     shards_for_group,
 )
 from repro.shard.rpc import (
@@ -16,20 +20,26 @@ from repro.shard.rpc import (
     failure_reason,
 )
 from repro.shard.split import split_snapshot
+from repro.shard.transport import SocketShardProxy, start_worker_process
 from repro.shard.worker import ShardWorker, group_store_config
 
 __all__ = [
     "CircuitBreaker",
     "DeadlineBudget",
+    "KNOWN_REGION_LAYOUTS",
     "RegionMap",
     "ShardClient",
     "ShardCounters",
     "ShardWorker",
     "ShardedSpate",
+    "SocketShardProxy",
+    "effective_replication",
     "failure_reason",
     "group_store_config",
     "groups_for_shard",
     "leaf_key",
+    "region_grid_shape",
     "shards_for_group",
     "split_snapshot",
+    "start_worker_process",
 ]

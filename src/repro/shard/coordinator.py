@@ -26,6 +26,15 @@ itemised in ``CoverageReport.shards_skipped`` with its reason; strict
 queries raise instead.  Mutations that miss a dead shard are buffered
 per shard and replayed, in order, by :meth:`recover_shard` after the
 worker's WAL-replay restart — rejoin without stopping reads.
+
+Routing: a query with a spatial footprint — an explore box, or SQL
+cell-equality predicates pushed down by the planner — contacts only
+the region groups whose grid tiles the footprint covers, always
+including group 0 (unknown cells and cell-less tables live there, so
+the candidate set is provably a superset of the groups holding
+matching rows).  Routed-away groups are itemised in
+``CoverageReport.groups_routed``; like pruning, routing never makes a
+query incomplete.  A query with no footprint scatters to all groups.
 """
 
 from __future__ import annotations
@@ -43,7 +52,13 @@ from repro.query.explore import (
     ExplorationResult,
 )
 from repro.query.leafscan import ScanStats
-from repro.shard.key import RegionMap, shards_for_group, groups_for_shard
+from repro.query.sql.planner import cell_equality_values
+from repro.shard.key import (
+    RegionMap,
+    effective_replication,
+    shards_for_group,
+    groups_for_shard,
+)
 from repro.shard.rpc import (
     CircuitBreaker,
     DeadlineBudget,
@@ -62,6 +77,7 @@ def _coverage_from_dict(data: dict) -> CoverageReport:
     report.epochs_pruned = list(data.get("epochs_pruned", []))
     report.deadline_hit = bool(data.get("deadline_hit", False))
     report.shards_skipped = dict(data.get("shards_skipped", {}))
+    report.groups_routed = list(data.get("groups_routed", []))
     return report
 
 
@@ -72,6 +88,7 @@ def _coverage_to_dict(report: CoverageReport) -> dict:
         "epochs_pruned": list(report.epochs_pruned),
         "deadline_hit": report.deadline_hit,
         "shards_skipped": dict(report.shards_skipped),
+        "groups_routed": list(report.groups_routed),
     }
 
 
@@ -80,24 +97,80 @@ class ShardedSpate:
 
     name = "SPATE-sharded"
 
-    def __init__(self, config: SpateConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: SpateConfig | None = None,
+        worker_endpoints: dict[int, tuple[str, int]] | None = None,
+    ) -> None:
         self.config = config or SpateConfig()
         sharding = self.config.sharding
         self.shards = sharding.shards
         self.region_groups = sharding.region_groups
         self.replication = sharding.group_replication
-        self.workers: dict[int, ShardWorker] = {
-            shard_id: ShardWorker(
-                shard_id,
-                self.config,
-                groups_for_shard(
-                    shard_id, self.shards, self.region_groups, self.replication
-                ),
+        #: shards_for_group cannot place more distinct replicas than
+        #: shards exist; this is the factor queries actually get.
+        self.effective_replication = effective_replication(
+            self.shards, self.replication
+        )
+        #: Worker processes this coordinator spawned (socket transport
+        #: only).  Empty when attached to pre-existing endpoints — the
+        #: spawner owns termination, an attacher never does.
+        self._worker_processes: dict[int, object] = {}
+        if sharding.transport == "socket":
+            from repro.shard.transport import (
+                SocketShardProxy,
+                start_worker_process,
             )
-            for shard_id in range(self.shards)
-        }
+
+            if worker_endpoints is None:
+                endpoints: dict[int, tuple[str, int]] = {}
+                for shard_id in range(self.shards):
+                    process, port = start_worker_process(
+                        shard_id, self.config
+                    )
+                    self._worker_processes[shard_id] = process
+                    endpoints[shard_id] = ("127.0.0.1", port)
+            else:
+                endpoints = {
+                    int(shard_id): (host, int(port))
+                    for shard_id, (host, port) in worker_endpoints.items()
+                }
+            self.worker_endpoints: dict[int, tuple[str, int]] | None = (
+                endpoints
+            )
+            self.workers = {
+                shard_id: SocketShardProxy(shard_id, host, port)
+                for shard_id, (host, port) in sorted(endpoints.items())
+            }
+        else:
+            if worker_endpoints is not None:
+                raise ShardError(
+                    "worker_endpoints requires sharding.transport='socket' "
+                    f"(got {sharding.transport!r})"
+                )
+            self.worker_endpoints = None
+            self.workers = {
+                shard_id: ShardWorker(
+                    shard_id,
+                    self.config,
+                    groups_for_shard(
+                        shard_id,
+                        self.shards,
+                        self.region_groups,
+                        self.replication,
+                    ),
+                )
+                for shard_id in range(self.shards)
+            }
         self.client = ShardClient(self.workers, sharding)
         self.metrics = WarehouseMetrics()
+        self.metrics.shard_replication_configured = self.replication
+        self.metrics.shard_replication_effective = self.effective_replication
+        #: Region-group routing switch.  Flips off when the region map
+        #: is rebuilt after rows were already placed (the rebuilt map
+        #: cannot be proven to match placement); tests flip it to force
+        #: full scatter for routed-vs-full differential comparison.
+        self.route_queries = True
         self.cell_locations: dict[str, Point] = {}
         self._region_map: RegionMap | None = None
         #: shard -> mutations it missed while dead, replayed on rejoin.
@@ -150,6 +223,40 @@ class ShardedSpate:
         if self._region_map is None:
             return 0
         return self._region_map.group_of(cell_id)
+
+    def _route_groups(
+        self, box=None, table=None, predicates=None
+    ) -> list[int]:
+        """Candidate region groups for a query footprint: sorted and
+        always containing group 0 (unknown cells and cell-less tables
+        live there), so the set is provably a superset of the groups
+        holding matching rows.  Every group when there is no usable
+        footprint or routing is off."""
+        full = list(range(self.region_groups))
+        if not self.route_queries or self._region_map is None:
+            return full
+        if box is not None:
+            return self._region_map.groups_for_box(box)
+        if table is not None and predicates:
+            values = cell_equality_values(table, predicates)
+            if values:
+                # Each pinned cell restricts the scan to {0, its group};
+                # ANDed pins intersect (two different cells leave only
+                # group 0's unknown-cell rows as possible matches).
+                sets = [
+                    set(self._region_map.groups_for_cells([value]))
+                    for value in values
+                ]
+                return sorted(set.intersection(*sets) | {0})
+        return full
+
+    def _note_routed(self, coverage: CoverageReport, groups: list[int]) -> None:
+        """Record the groups a restricted scatter routed away."""
+        if len(groups) >= self.region_groups:
+            return
+        routed = [g for g in range(self.region_groups) if g not in groups]
+        coverage.groups_routed = routed
+        self.client.counters.inc("groups_routed", len(routed))
 
     def _chain(self, group: int) -> list[int]:
         """Replica chain for a group, heartbeat-suspected shards last."""
@@ -215,7 +322,18 @@ class ShardedSpate:
             self.cell_locations[row[id_idx]] = Point(
                 float(row[x_idx]), float(row[y_idx])
             )
-        self._region_map = RegionMap(self.cell_locations, self.region_groups)
+        if self._ingested:
+            # Rows are already placed by the previous map (or by the
+            # no-map group-0 default); a rebuilt map cannot be proven
+            # to match that placement, so routing — which trusts the
+            # map — is disabled rather than risk missing rows.  Full
+            # scatter stays correct regardless of placement.
+            self.route_queries = False
+        self._region_map = RegionMap(
+            self.cell_locations,
+            self.region_groups,
+            layout=self.config.sharding.region_layout,
+        )
         for shard_id in sorted(self.workers):
             try:
                 self.client.call(shard_id, "register_cells", cells)
@@ -399,7 +517,9 @@ class ShardedSpate:
         merged_stats = ScanStats()
         out_columns: list[str] = []
         per_epoch: dict[int, list[list[str]]] = {}
-        for group in range(self.region_groups):
+        groups = self._route_groups(table=table, predicates=predicates)
+        self._note_routed(merged_cov, groups)
+        for group in groups:
             try:
                 gcols, g_by_epoch, gcov, gstats = self._call_group(
                     group,
@@ -472,7 +592,9 @@ class ShardedSpate:
         merged_stats = ScanStats()
         out_columns: list[str] = []
         per_epoch: dict[int, list[list[str]]] = {}
-        for group in range(self.region_groups):
+        groups = self._route_groups(table=table, predicates=predicates)
+        self._note_routed(merged_cov, groups)
+        for group in groups:
             try:
                 gcols, g_by_epoch, gcov, gstats = self._call_group(
                     group,
@@ -589,7 +711,9 @@ class ShardedSpate:
         )
         merged = ExplorationResult(query=query)
         per_epoch: dict[int, list[list[str]]] = {}
-        for group in range(self.region_groups):
+        groups = self._route_groups(box=box)
+        self._note_routed(merged.coverage, groups)
+        for group in groups:
             try:
                 result = self._call_group(
                     group,
@@ -687,11 +811,14 @@ class ShardedSpate:
             deadline_ms = self.config.query_deadline_ms or None
         # One budget spans parse-to-output AND every shard RPC slice the
         # scans fan out (picked up thread-locally by read_rows_by_epoch).
+        # Save/restore rather than clear: a nested sql() on the same
+        # thread must not strip the outer statement's budget.
+        previous = getattr(self._scan_tls, "deadline", None)
         self._scan_tls.deadline = DeadlineBudget(deadline_ms)
         try:
             return db.execute(query, deadline_ms=deadline_ms)
         finally:
-            self._scan_tls.deadline = None
+            self._scan_tls.deadline = previous
 
     def explain(
         self,
@@ -704,15 +831,48 @@ class ShardedSpate:
         db = self.sql_database(first_epoch, last_epoch, partial_ok=partial_ok)
         if deadline_ms is None:
             deadline_ms = self.config.query_deadline_ms or None
+        previous = getattr(self._scan_tls, "deadline", None)
         self._scan_tls.deadline = DeadlineBudget(deadline_ms)
         try:
             __, report = db.explain_analyze(query, deadline_ms=deadline_ms)
         finally:
-            self._scan_tls.deadline = None
+            self._scan_tls.deadline = previous
         return report
 
+    # ------------------------------------------------------------------
+    # Coordinator restart (socket transport)
+    # ------------------------------------------------------------------
+
+    def resync(self) -> dict:
+        """Rebuild coordinator bookkeeping from live workers after
+        attaching to surviving socket endpoints: the worker processes
+        outlived the old coordinator, its in-memory frontier and table
+        registry did not.  Group stores ingest in lockstep, so group 0
+        speaks for the warehouse.  Routing stays off until cells are
+        re-registered — and stays off even then, because the rebuilt
+        map cannot be proven to match the old coordinator's placement;
+        a reattached coordinator answers by full scatter, which is
+        correct for any placement.  Returns a small summary dict."""
+        epochs = self._call_group(0, "ingested_epochs")
+        self._ingested = sorted(epochs)
+        self._frontier = max(epochs, default=0)
+        tables = self._call_group(0, "known_tables")
+        self._tables_seen.update(tables)
+        self.metrics.sync_shards(self.client.counters)
+        return {
+            "epochs": len(self._ingested),
+            "frontier": self._frontier,
+            "tables": sorted(self._tables_seen),
+        }
+
     def close(self) -> None:
+        """Close RPC resources; terminate worker processes only if this
+        coordinator spawned them (an attacher leaves them serving)."""
         self.client.close()
+        for process in self._worker_processes.values():
+            process.terminate()
+            process.join(timeout=5.0)
+        self._worker_processes.clear()
 
 
 __all__ = ["ShardedSpate"]

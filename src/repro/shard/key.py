@@ -15,12 +15,61 @@ coordinator always merges them in group-rank order.  Placement then
 maps groups onto shards round-robin with replication — a group's
 replicas land on *distinct* shards, so losing any single shard leaves
 every group with a live copy (as long as ``shards >= 2``).
+
+Region layouts
+--------------
+
+The tile→group fold is *versioned* (``ShardConfig.region_layout``),
+because a warehouse's placement must never change under its feet:
+
+- **layout 1** (legacy): ``(row * region_groups + col) % region_groups``
+  over a ``region_groups x region_groups`` grid.  The row term is a
+  multiple of the modulus, so it vanishes — groups degenerate to
+  vertical stripes of the ``col`` coordinate.  Kept bit-for-bit so
+  warehouses created before the fix keep their stripe placement.
+- **layout 2** (fixed): the grid is factored ``cols x rows`` with
+  ``cols * rows == region_groups`` (rows = the largest divisor
+  ``<= sqrt(region_groups)``), so every tile IS a region group —
+  true two-dimensional tiles, which is what box-based routing prunes
+  against.  For 8 groups that is a 4x2 grid.
+
+Both layouts expose the same routing helpers; layout 1 simply prunes
+only along the x axis.  Routing is a *superset* contract: unknown
+cells and cell-less tables always live in group 0, so every candidate
+set includes group 0.
 """
 
 from __future__ import annotations
 
+import logging
+
 from repro.spatial.geometry import BoundingBox, Point
 from repro.spatial.grid import UniformGrid
+
+logger = logging.getLogger(__name__)
+
+#: Region layouts this build understands (recorded per warehouse).
+KNOWN_REGION_LAYOUTS = (1, 2)
+
+
+def region_grid_shape(region_groups: int, layout: int) -> tuple[int, int]:
+    """(cols, rows) of the region grid for one layout.
+
+    Layout 1 keeps the legacy square ``G x G`` grid; layout 2 factors
+    ``G = cols * rows`` with rows the largest divisor ``<= sqrt(G)``,
+    so the fold below is a bijection from tiles to groups.  A prime
+    group count degenerates to ``G x 1`` — stripes again, but by
+    arithmetic necessity rather than by accident.
+    """
+    if layout == 1:
+        return region_groups, region_groups
+    rows = 1
+    d = 1
+    while d * d <= region_groups:
+        if region_groups % d == 0:
+            rows = d
+        d += 1
+    return region_groups // rows, rows
 
 
 class RegionMap:
@@ -35,24 +84,74 @@ class RegionMap:
         self,
         cell_locations: dict[str, Point],
         region_groups: int,
+        layout: int = 2,
     ) -> None:
+        if layout not in KNOWN_REGION_LAYOUTS:
+            raise ValueError(f"unknown region layout {layout!r}")
         self.region_groups = region_groups
+        self.layout = layout
         self._group_of: dict[str, int] = {}
+        self._grid: UniformGrid | None = None
         if not cell_locations:
             return
         area = BoundingBox.from_points(list(cell_locations.values()))
-        grid = UniformGrid(area, cols=region_groups, rows=region_groups)
+        if area.width <= 0 or area.height <= 0:
+            # Degenerate service area (single cell, or all collinear):
+            # no grid to tile, everything lives in group 0.
+            return
+        cols, rows = region_grid_shape(region_groups, layout)
+        grid = UniformGrid(area, cols=cols, rows=rows)
+        self._grid = grid
         for cell_id, point in cell_locations.items():
             try:
-                col, row = grid.tile_of(point)
+                tile = grid.tile_of(point)
             except ValueError:
                 self._group_of[cell_id] = 0
                 continue
-            self._group_of[cell_id] = (row * region_groups + col) % region_groups
+            self._group_of[cell_id] = self._fold(tile)
+
+    def _fold(self, tile: tuple[int, int]) -> int:
+        """Tile -> region group, per this map's layout version."""
+        col, row = tile
+        if self.layout == 1:
+            # Legacy stripes: the row term is a multiple of the modulus.
+            return (row * self.region_groups + col) % self.region_groups
+        return (row * self._grid.cols + col) % self.region_groups
 
     def group_of(self, cell_id: str) -> int:
         """Region group owning this cell's records (0 when unknown)."""
         return self._group_of.get(cell_id, 0)
+
+    # ------------------------------------------------------------------
+    # Routing: candidate groups for a query's spatial footprint.
+    # Both helpers return a *superset* of the groups holding matching
+    # rows — group 0 is always included because unknown cells and
+    # cell-less tables land there.
+    # ------------------------------------------------------------------
+
+    def groups_for_box(self, box: BoundingBox) -> list[int]:
+        """Candidate groups for an explore box.
+
+        Every cell centroid inside ``box`` lies in a grid tile that
+        intersects ``box``, and ``tile_of`` / ``tiles_intersecting``
+        share the same floor arithmetic, so folding the intersecting
+        tiles covers every matching cell's group.  With no grid (no
+        cells registered) everything lives in group 0.
+        """
+        groups = {0}
+        if self._grid is not None:
+            for tile in self._grid.tiles_intersecting(box):
+                groups.add(self._fold(tile))
+        return sorted(groups)
+
+    def groups_for_cells(self, cell_ids) -> list[int]:
+        """Candidate groups for an explicit cell-id set (SQL cell
+        predicates).  Unknown ids map to group 0, which is included
+        unconditionally anyway."""
+        groups = {0}
+        for cell_id in cell_ids:
+            groups.add(self.group_of(str(cell_id)))
+        return sorted(groups)
 
 
 def leaf_key(group: int, day_key: str) -> tuple[int, str]:
@@ -60,10 +159,38 @@ def leaf_key(group: int, day_key: str) -> tuple[int, str]:
     return (group, day_key)
 
 
+def effective_replication(shards: int, replication: int) -> int:
+    """The replication factor placement can actually deliver: replicas
+    must land on distinct shards, so the factor is clamped to the ring
+    size."""
+    return min(max(1, replication), max(1, shards))
+
+
+#: (shards, replication) pairs whose clamp was already logged — the
+#: placement math runs on every call and must not spam.
+_clamp_logged: set[tuple[int, int]] = set()
+
+
 def shards_for_group(group: int, shards: int, replication: int) -> list[int]:
     """Hosting shards for a group, primary first, replicas on distinct
-    shards (round-robin from the primary)."""
-    copies = min(max(1, replication), shards)
+    shards (round-robin from the primary).
+
+    When ``replication > shards`` the factor is clamped — there are not
+    enough distinct shards to hold more copies.  The clamp is logged
+    once per (shards, replication) pair and surfaced through
+    ``WarehouseMetrics`` (``spate metrics``); it must not silently
+    degrade durability.
+    """
+    copies = effective_replication(shards, replication)
+    if copies < replication and (shards, replication) not in _clamp_logged:
+        _clamp_logged.add((shards, replication))
+        logger.warning(
+            "group replication %d clamped to %d: only %d distinct "
+            "shard(s) to place copies on",
+            replication,
+            copies,
+            shards,
+        )
     return [(group + i) % shards for i in range(copies)]
 
 
@@ -78,4 +205,12 @@ def groups_for_shard(
     ]
 
 
-__all__ = ["RegionMap", "leaf_key", "shards_for_group", "groups_for_shard"]
+__all__ = [
+    "KNOWN_REGION_LAYOUTS",
+    "RegionMap",
+    "effective_replication",
+    "leaf_key",
+    "region_grid_shape",
+    "shards_for_group",
+    "groups_for_shard",
+]

@@ -126,6 +126,7 @@ class ShardCounters:
         self.heartbeat_misses = 0
         self.shards_skipped = 0
         self.recoveries = 0
+        self.groups_routed = 0
 
     def inc(self, name: str, amount: int = 1) -> None:
         with self._lock:
@@ -175,6 +176,9 @@ class ShardClient:
         #: Backoff the inline transport charged as modeled time instead
         #: of sleeping (keeps seeded runs deterministic and fast).
         self.modeled_backoff_s = 0.0
+        #: Thread and socket transports have real wall clocks: retries
+        #: actually sleep, timeouts actually expire.
+        self._wall_clock = config.transport in ("thread", "socket")
         #: Test/chaos hook: called as ``(shard_id, method)`` right
         #: before each attempt is invoked — lets the chaos harness kill
         #: a shard mid-scatter at an exact RPC count.
@@ -194,6 +198,10 @@ class ShardClient:
     def close(self) -> None:
         for pool in self._pools.values():
             pool.shutdown(wait=False)
+        for worker in self.workers.values():
+            closer = getattr(worker, "close", None)
+            if callable(closer):
+                closer()
 
     # ------------------------------------------------------------------
     # Heartbeats
@@ -267,7 +275,7 @@ class ShardClient:
                     raise
                 self.counters.inc("retries")
                 backoff = self.policy.backoff_s(attempt, self._rng)
-                if self._pools:
+                if self._wall_clock:
                     time.sleep(backoff)
                 else:
                     self.modeled_backoff_s += backoff
@@ -281,24 +289,44 @@ class ShardClient:
         worker = self.workers[shard_id]
         if not getattr(worker, "alive", True):
             raise ShardUnavailableError(f"shard {shard_id} is dead")
+        remote = getattr(worker, "invoke_rpc", None)
+        if remote is not None:
+            # Socket transport: the proxy applies the timeout slice at
+            # the socket itself; errors already arrive as ShardErrors.
+            return remote(method, args, kwargs, self._timeout_s(deadline))
         fn = getattr(worker, method)
         pool = self._pools.get(shard_id)
         if pool is None:
             return fn(*args, **kwargs)
-        timeout_s = self.config.rpc_timeout_ms / 1000.0
-        if deadline is not None:
-            remaining = deadline.remaining_s()
-            if remaining is not None:
-                timeout_s = min(timeout_s, remaining)
+        timeout_s = self._timeout_s(deadline)
         future = pool.submit(fn, *args, **kwargs)
         try:
             return future.result(timeout=timeout_s)
         except FutureTimeoutError:
             future.cancel()
+            # cancel() is a no-op once the call started: the stale call
+            # would keep occupying this shard's single lane, and the
+            # next query's RPC — budgeted by its *own* deadline — would
+            # queue behind it and time out through no fault of its own.
+            # Retire the poisoned lane and start a fresh one, exactly
+            # like abandoning a wedged connection to a real process.
+            pool.shutdown(wait=False)
+            self._pools[shard_id] = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=f"shard-{shard_id}"
+            )
             raise ShardTimeoutError(
                 f"shard {shard_id}: {method} exceeded its "
                 f"{timeout_s * 1000:.0f} ms slice"
             ) from None
+
+    def _timeout_s(self, deadline: DeadlineBudget | None) -> float:
+        """Per-call slice: rpc_timeout_ms capped by the query budget."""
+        timeout_s = self.config.rpc_timeout_ms / 1000.0
+        if deadline is not None:
+            remaining = deadline.remaining_s()
+            if remaining is not None:
+                timeout_s = min(timeout_s, remaining)
+        return timeout_s
 
 
 __all__ = [

@@ -1,0 +1,175 @@
+"""Wire codec for the socket shard transport.
+
+The socket transport frames one JSON object per line (the same
+framing :mod:`repro.server.tcp` uses for the query protocol), so every
+RPC argument and result must round-trip through JSON.  The RPC surface
+passes rich framework objects — :class:`~repro.core.snapshot.Snapshot`,
+:class:`~repro.query.explore.ExplorationResult`, planner statistics,
+decay/heal reports — all of which are plain dataclasses, so the codec
+is generic: containers are tagged, dataclasses are encoded as
+``{"__dc__": "module:qualname", "f": {field: value, ...}}`` and
+reconstructed field-by-field (bypassing ``__init__``, whose validation
+already ran on the sending side).
+
+Decoding only ever imports from ``repro.`` modules and only
+instantiates dataclasses; a hostile peer on the loopback socket could
+at worst instantiate a repro dataclass with odd field values — the
+same power any caller of the library has.  Exceptions cross the wire
+as ``(module, qualname, message)`` and are re-raised as themselves
+when they resolve to an Exception subclass in ``repro.errors`` or
+``builtins``, so the client-side retry stack sees the exact error
+class the worker raised (application errors must not look like shard
+failures).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import json
+
+from repro.errors import ShardError
+
+#: Tag keys (all reserved: a plain dict containing one is re-tagged).
+_DC = "__dc__"
+_TUPLE = "__t__"
+_SET = "__s__"
+_FSET = "__fs__"
+_DICT = "__d__"
+_TAGS = (_DC, _TUPLE, _SET, _FSET, _DICT)
+
+
+class WireError(ShardError):
+    """A value could not be encoded for, or decoded from, the wire."""
+
+
+def encode_value(value):
+    """Lower ``value`` to JSON-safe plain data (tagged containers)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        encoded = [encode_value(item) for item in value]
+        return {_TUPLE: encoded} if isinstance(value, tuple) else encoded
+    if isinstance(value, (set, frozenset)):
+        try:
+            items = sorted(value)
+        except TypeError:
+            items = list(value)
+        tag = _FSET if isinstance(value, frozenset) else _SET
+        return {tag: [encode_value(item) for item in items]}
+    if isinstance(value, dict):
+        if all(isinstance(k, str) for k in value) and not any(
+            k in _TAGS for k in value
+        ):
+            return {k: encode_value(v) for k, v in value.items()}
+        return {
+            _DICT: [[encode_value(k), encode_value(v)] for k, v in value.items()]
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        return {
+            _DC: f"{cls.__module__}:{cls.__qualname__}",
+            "f": {
+                field.name: encode_value(getattr(value, field.name))
+                for field in dataclasses.fields(cls)
+            },
+        }
+    raise WireError(
+        f"cannot encode {type(value).__module__}.{type(value).__qualname__} "
+        "for the socket transport"
+    )
+
+
+def decode_value(value):
+    """Reverse of :func:`encode_value`."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    if isinstance(value, dict):
+        if _DC in value:
+            cls = _resolve_dataclass(value[_DC])
+            obj = object.__new__(cls)
+            for name, encoded in value["f"].items():
+                object.__setattr__(obj, name, decode_value(encoded))
+            return obj
+        if _TUPLE in value:
+            return tuple(decode_value(item) for item in value[_TUPLE])
+        if _SET in value:
+            return {decode_value(item) for item in value[_SET]}
+        if _FSET in value:
+            return frozenset(decode_value(item) for item in value[_FSET])
+        if _DICT in value:
+            return {
+                decode_value(k): decode_value(v) for k, v in value[_DICT]
+            }
+        return {k: decode_value(v) for k, v in value.items()}
+    raise WireError(f"cannot decode wire value of type {type(value).__name__}")
+
+
+def _resolve_dataclass(ref: str):
+    module_name, __, qualname = ref.partition(":")
+    if not module_name.startswith("repro."):
+        raise WireError(f"refusing to decode non-repro type {ref!r}")
+    obj = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    if not (isinstance(obj, type) and dataclasses.is_dataclass(obj)):
+        raise WireError(f"{ref!r} is not a dataclass")
+    return obj
+
+
+def encode_error(exc: BaseException) -> dict:
+    """One raised exception as a wire envelope field."""
+    cls = type(exc)
+    module = cls.__module__
+    return {
+        "module": module,
+        "qualname": cls.__qualname__,
+        "message": str(exc),
+    }
+
+
+def decode_error(data: dict) -> BaseException:
+    """Rebuild the worker's exception, falling back to ShardError when
+    the recorded class cannot be resolved to a known exception type."""
+    module_name = data.get("module", "")
+    qualname = data.get("qualname", "")
+    message = data.get("message", "shard rpc failed")
+    try:
+        if module_name == "builtins":
+            cls = getattr(__import__("builtins"), qualname)
+        elif module_name.startswith("repro."):
+            obj = importlib.import_module(module_name)
+            for part in qualname.split("."):
+                obj = getattr(obj, part)
+            cls = obj
+        else:
+            raise WireError(f"unknown error module {module_name!r}")
+        if not (isinstance(cls, type) and issubclass(cls, BaseException)):
+            raise WireError(f"{qualname!r} is not an exception type")
+        return cls(message)
+    except WireError:
+        return ShardError(f"{module_name}.{qualname}: {message}")
+    except Exception:
+        return ShardError(f"{module_name}.{qualname}: {message}")
+
+
+def dumps(message: dict) -> bytes:
+    """One protocol message as a JSON line (the frame unit)."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def loads(line: bytes) -> dict:
+    return json.loads(line.decode("utf-8"))
+
+
+__all__ = [
+    "WireError",
+    "decode_error",
+    "decode_value",
+    "dumps",
+    "encode_error",
+    "encode_value",
+    "loads",
+]

@@ -32,12 +32,14 @@ def group_store_config(config: SpateConfig) -> SpateConfig:
     sharding is reset (a group store is always single-shard), and the
     decode executor is pinned serial — eight stores per worker times N
     workers would otherwise multiply thread pools for no answer-side
-    difference.
+    difference.  ``region_layout`` is carried over: the group store
+    records it in its warehouse creation record, and ``restart()``'s
+    ``Spate.open`` refuses a contradicting layout.
     """
     return dataclasses.replace(
         config,
         durability=dataclasses.replace(config.durability, enabled=True),
-        sharding=ShardConfig(),
+        sharding=ShardConfig(region_layout=config.sharding.region_layout),
         executor="serial",
     )
 
@@ -220,6 +222,19 @@ class ShardWorker:
 
     def ingested_epochs(self, group: int) -> list[int]:
         return self._store(group).ingested_epochs()
+
+    def known_tables(self, group: int) -> list[str]:
+        """Table names with live leaves in this group store — what a
+        reattaching coordinator needs to rebuild its SQL catalog."""
+        store = self._store(group)
+        return sorted(
+            {
+                name
+                for leaf in store.index.leaves()
+                if not leaf.decayed
+                for name in leaf.table_paths
+            }
+        )
 
     def run_decay(self, group: int):
         return self._store(group).run_decay()

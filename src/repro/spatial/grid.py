@@ -67,14 +67,26 @@ class UniformGrid:
         return out
 
     def tiles_intersecting(self, box: BoundingBox) -> Iterator[tuple[int, int]]:
-        """Tile coordinates overlapping ``box``."""
+        """Tile coordinates overlapping ``box``.
+
+        The lower bounds are clamped into range like ``tile_of`` clamps
+        max-edge points into the last tile — a box touching only the
+        area's max edge must still cover that edge's tiles, or the grid
+        would disagree with ``tile_of`` about edge points.
+        """
         if not self.area.intersects(box):
             return
-        lo_col = max(0, int((box.min_x - self.area.min_x) / self.area.width * self.cols))
+        lo_col = min(
+            self.cols - 1,
+            max(0, int((box.min_x - self.area.min_x) / self.area.width * self.cols)),
+        )
         hi_col = min(
             self.cols - 1, int((box.max_x - self.area.min_x) / self.area.width * self.cols)
         )
-        lo_row = max(0, int((box.min_y - self.area.min_y) / self.area.height * self.rows))
+        lo_row = min(
+            self.rows - 1,
+            max(0, int((box.min_y - self.area.min_y) / self.area.height * self.rows)),
+        )
         hi_row = min(
             self.rows - 1, int((box.max_y - self.area.min_y) / self.area.height * self.rows)
         )

@@ -173,3 +173,17 @@ class TestUniformGrid:
     def test_tiles_intersecting_disjoint_box(self):
         grid = UniformGrid(AREA)
         assert list(grid.tiles_intersecting(BoundingBox(2000, 2000, 3000, 3000))) == []
+
+    def test_tiles_intersecting_max_edge_agrees_with_tile_of(self):
+        # A box lying entirely on the area's max edge used to compute a
+        # lower tile index past the last row/col and yield nothing,
+        # while tile_of folds max-edge points into the last tile — so
+        # query() silently dropped max-edge payloads.
+        grid = UniformGrid(AREA, cols=2, rows=2)
+        corner = Point(1000, 1000)
+        grid.insert(corner, "ne-corner")
+        point_box = BoundingBox(1000, 1000, 1000, 1000)
+        assert grid.tile_of(corner) in set(grid.tiles_intersecting(point_box))
+        assert grid.query(point_box) == ["ne-corner"]
+        edge_box = BoundingBox(0, 1000, 1000, 1000)
+        assert set(grid.tiles_intersecting(edge_box)) == {(0, 1), (1, 1)}
